@@ -1,0 +1,32 @@
+//! E14: best-response application dynamics.
+
+use best_response::bgp;
+use criterion::{criterion_group, criterion_main, Criterion};
+use stateless_core::convergence::classify_sync;
+
+fn bench_bgp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bgp_gadgets");
+    for (name, spp) in [
+        ("good", bgp::good_gadget()),
+        ("disagree", bgp::disagree_gadget()),
+        ("bad", bgp::bad_gadget()),
+    ] {
+        let p = spp.to_protocol();
+        let n = spp.node_count();
+        let direct: Vec<bgp::Route> = (0..n as u8)
+            .map(|i| if i == 0 { vec![0] } else { vec![i, 0] })
+            .collect();
+        let init = spp.labeling_from(&direct);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                classify_sync(&p, &vec![0; n], init.clone(), 1_000_000)
+                    .unwrap()
+                    .is_label_stable()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bgp);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E11: circuit-on-ring compilation and self-stabilizing evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use boolean_circuit::library;
+use stateless_core::prelude::*;
+use stateless_protocols::circuit_ring::{compile_circuit, CircuitLabel};
+
+fn bench_circuit_ring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("circuit_on_ring");
+    group.sample_size(10);
+    for (name, circuit) in [
+        ("parity3", library::parity(3)),
+        ("equality4", library::equality(4)),
+        ("majority3", library::majority(3)),
+    ] {
+        let compiled = compile_circuit(&circuit).unwrap();
+        let n = circuit.input_count();
+        let x = vec![true; n];
+        group.bench_with_input(BenchmarkId::new("stabilize", name), &n, |b, _| {
+            b.iter(|| {
+                let mut sim = Simulation::new(
+                    compiled.protocol(),
+                    &compiled.ring_inputs(&x),
+                    vec![CircuitLabel::default(); compiled.protocol().edge_count()],
+                )
+                .unwrap();
+                sim.run(&mut Synchronous, compiled.rounds_bound());
+                sim.outputs()[0]
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("compile", name), &n, |b, _| {
+            b.iter(|| compile_circuit(&circuit).unwrap().ring_size())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_circuit_ring);
+criterion_main!(benches);

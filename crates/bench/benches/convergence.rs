@@ -1,0 +1,42 @@
+//! E1/E3: generic-protocol convergence time vs graph size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stateless_core::prelude::*;
+use stateless_protocols::generic::{generic_protocol, round_bound, GenericLabel};
+
+fn bench_generic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generic_protocol_stabilization");
+    for n in [6usize, 10, 16] {
+        for (name, graph) in [
+            ("uniring", topology::unidirectional_ring(n)),
+            ("biring", topology::bidirectional_ring(n)),
+            ("clique", topology::clique(n)),
+        ] {
+            let p = generic_protocol(graph, |x: &[bool]| {
+                2 * x.iter().filter(|&&b| b).count() >= x.len()
+            })
+            .unwrap();
+            let inputs: Vec<u64> = (0..n as u64).map(|i| i % 2).collect();
+            group.bench_with_input(
+                BenchmarkId::new(name, n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let mut sim = Simulation::new(
+                            &p,
+                            &inputs,
+                            vec![GenericLabel::zero(n); p.edge_count()],
+                        )
+                        .unwrap();
+                        sim.run_until_label_stable(&mut Synchronous, round_bound(n) + 1)
+                            .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generic);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E7/E8: D-counter synchronization cost vs ring size and modulus.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stateless_core::prelude::*;
+use stateless_protocols::counter::{counter_protocol, sync_rounds_bound, CounterFields};
+
+fn bench_counter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("d_counter");
+    for (n, d) in [(5usize, 8u32), (9, 16), (17, 32), (33, 64)] {
+        let p = counter_protocol(n, d).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("sync", format!("n{n}_D{d}")),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let mut sim = Simulation::new(
+                        &p,
+                        &vec![0; n],
+                        vec![CounterFields::default(); p.edge_count()],
+                    )
+                    .unwrap();
+                    sim.run(&mut Synchronous, sync_rounds_bound(n));
+                    sim.outputs()[0]
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("calibration", format!("n{n}_D{d}")),
+            &n,
+            |b, _| b.iter(|| counter_protocol(n, d).unwrap().label_bits()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_counter);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E15: raw simulation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use stateless_core::prelude::*;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_throughput");
+    for n in [100usize, 1000] {
+        let p = Protocol::builder(topology::unidirectional_ring(n), 8.0)
+            .uniform_reaction(FnReaction::new(|_, inc: &[u64], x| {
+                let m = inc[0].max(x);
+                (vec![m], m)
+            }))
+            .build()
+            .unwrap();
+        let inputs: Vec<u64> = (0..n as u64).collect();
+        group.throughput(Throughput::Elements(n as u64 * 10));
+        group.bench_with_input(BenchmarkId::new("max_ring_10_rounds", n), &n, |b, _| {
+            b.iter(|| {
+                let mut sim = Simulation::new(&p, &inputs, vec![0u64; n]).unwrap();
+                sim.run(&mut Synchronous, 10);
+                sim.outputs()[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E13: fooling-set verification cost (O(|S|²) evaluations).
+
+use comm_complexity::fooling;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stateless_core::topology;
+
+fn bench_fooling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fooling_sets");
+    for n in [8usize, 12, 16] {
+        let ring = topology::bidirectional_ring(n);
+        group.bench_with_input(BenchmarkId::new("equality_bound", n), &n, |b, &n| {
+            b.iter(|| {
+                fooling::equality_fooling_set(n).unwrap().label_bound(&ring).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("majority_bound", n), &n, |b, &n| {
+            b.iter(|| {
+                fooling::majority_fooling_set(n).unwrap().label_bound(&ring).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fooling);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! E5: snake-in-the-box search cost vs dimension.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hypercube_snake::longest_snake;
+
+fn bench_snake(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snake_search");
+    group.sample_size(10);
+    for d in [3u32, 4, 5] {
+        group.bench_with_input(BenchmarkId::new("exhaustive", d), &d, |b, &d| {
+            b.iter(|| longest_snake(d, None).snake.unwrap().len())
+        });
+    }
+    group.bench_function("budgeted_q6", |b| {
+        b.iter(|| longest_snake(6, Some(200_000)).nodes)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_snake);
+criterion_main!(benches);

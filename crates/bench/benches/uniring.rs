@@ -1,0 +1,41 @@
+//! E9/E10: TM-on-ring and BP-on-ring round costs.
+
+use branching_program::convert::{bp_to_uniring_protocol, output_rounds_bound as bp_bound, BpRingLabel};
+use branching_program::library as bps;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stateless_core::prelude::*;
+use stateless_protocols::tm_ring::{output_rounds_bound, tm_ring_protocol, TmLabel};
+use turing_machine::library as machines;
+
+fn bench_uniring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uniring_simulations");
+    group.sample_size(10);
+    for n in [3usize, 4, 5] {
+        let m = machines::parity_machine(n);
+        let p = tm_ring_protocol(m.clone());
+        let budget = output_rounds_bound(&m);
+        let inputs: Vec<u64> = (0..n as u64).map(|i| i % 2).collect();
+        group.bench_with_input(BenchmarkId::new("tm_parity", n), &n, |b, _| {
+            b.iter(|| {
+                let mut sim =
+                    Simulation::new(&p, &inputs, vec![TmLabel::reset(&m); n]).unwrap();
+                sim.run(&mut Synchronous, budget);
+                sim.outputs()[0]
+            })
+        });
+        let bp = bps::majority(n);
+        let bp_p = bp_to_uniring_protocol(&bp).unwrap();
+        group.bench_with_input(BenchmarkId::new("bp_majority", n), &n, |b, _| {
+            b.iter(|| {
+                let mut sim =
+                    Simulation::new(&bp_p, &inputs, vec![BpRingLabel::default(); n]).unwrap();
+                sim.run(&mut Synchronous, bp_bound(&bp));
+                sim.outputs()[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_uniring);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E4/E6: the exponential cost of exact stabilization verification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stabilization_verify::{verify_label_stabilization, Limits};
+use stateless_protocols::example1::example1_protocol;
+
+fn bench_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_verification");
+    group.sample_size(10);
+    // The state space is |Σ|^{n(n−1)}·rⁿ: watch it explode with n.
+    for n in [3usize, 4] {
+        let p = example1_protocol(n);
+        group.bench_with_input(BenchmarkId::new("example1_r=n-1", n), &n, |b, _| {
+            b.iter(|| {
+                verify_label_stabilization(
+                    &p,
+                    &vec![0; n],
+                    &[false, true],
+                    (n - 1) as u8,
+                    Limits { max_states: 5_000_000 },
+                )
+                .unwrap()
+                .is_stabilizing()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_verify);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Regenerates the experiment tables of EXPERIMENTS.md.
+//!
+//! Usage: `cargo run --release -p stateless-bench --bin experiments [e1 e4 …]`
+//! (no arguments = run everything).
+
+fn main() {
+    let ids: Vec<String> = std::env::args().skip(1).collect();
+    stateless_bench::experiments::run(&ids);
+}

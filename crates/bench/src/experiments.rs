@@ -1,0 +1,673 @@
+//! One function per experiment in EXPERIMENTS.md (E1–E15). Each prints a
+//! small table of paper-expected vs. measured values.
+
+use std::time::Instant;
+
+use boolean_circuit::library as circuits;
+use branching_program::convert::{bp_to_uniring_protocol, uniring_protocol_to_bp, BpRingLabel};
+use branching_program::library as bps;
+use comm_complexity::{counting, fooling};
+use hypercube_snake::{abbott_katchalski_bound, longest_snake, Snake};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use stabilization_verify::{enumerate_stable_labelings, verify_label_stabilization, Limits};
+use stateless_core::convergence::{classify_sync, SyncOutcome};
+use stateless_core::prelude::*;
+use stateless_protocols::circuit_ring::{compile_circuit, CircuitLabel};
+use stateless_protocols::counter::{counter_protocol, sync_rounds_bound, CounterFields};
+use stateless_protocols::example1::{example1_protocol, hot_node_labeling, oscillation_schedule};
+use stateless_protocols::generic::{generic_protocol, round_bound, GenericLabel};
+use stateless_protocols::metanode::{lifted_labeling, metanode_lift};
+use stateless_protocols::snake_reduction::{
+    disj_oscillation_schedule, disj_reduction, eq_initial_labeling, eq_reduction,
+};
+use stateless_protocols::string_oscillation::StringOscillation;
+use stateless_protocols::tm_ring::{output_rounds_bound, tm_ring_protocol, TmLabel};
+use stateless_protocols::worst_case::{exact_rounds, worst_case_protocol};
+use turing_machine::library as machines;
+
+fn header(id: &str, title: &str) {
+    println!("\n=== {id}: {title} ===");
+}
+
+fn bools_of(bits: u32, n: usize) -> Vec<bool> {
+    (0..n).map(|i| bits >> i & 1 == 1).collect()
+}
+
+/// E1 — Proposition 2.1: radius ≤ Rₙ.
+pub fn e1() {
+    header("E1", "Proposition 2.1 — graph radius lower-bounds round complexity");
+    println!("{:<28} {:>7} {:>11}", "graph", "radius", "measured Rₙ");
+    let parity = |x: &[bool]| x.iter().filter(|&&b| b).count() % 2 == 1;
+    let mut rng = StdRng::seed_from_u64(1);
+    let graphs: Vec<(String, stateless_core::graph::DiGraph)> = vec![
+        ("uniring(6)".into(), topology::unidirectional_ring(6)),
+        ("uniring(10)".into(), topology::unidirectional_ring(10)),
+        ("biring(9)".into(), topology::bidirectional_ring(9)),
+        ("clique(6)".into(), topology::clique(6)),
+        ("star(8)".into(), topology::star(8)),
+        ("random(8,+10)".into(), topology::random_strongly_connected(8, 10, &mut rng)),
+    ];
+    for (name, g) in graphs {
+        let n = g.node_count();
+        let radius = g.radius().expect("strongly connected");
+        let p = generic_protocol(g, parity).unwrap();
+        let mut worst = 0u64;
+        for bits in [0u32, 1, (1 << n) - 1, 0b1010] {
+            let x = bools_of(bits, n);
+            let inputs: Vec<u64> = x.iter().map(|&b| u64::from(b)).collect();
+            let mut sim =
+                Simulation::new(&p, &inputs, vec![GenericLabel::zero(n); p.edge_count()])
+                    .unwrap();
+            let steps = sim.run_until_label_stable(&mut Synchronous, 10 * n as u64).unwrap();
+            worst = worst.max(steps);
+        }
+        println!("{name:<28} {radius:>7} {worst:>11}");
+        assert!(worst >= radius as u64, "Prop 2.1 shape");
+    }
+}
+
+/// E2 — Proposition 2.2: Rₙ ≤ |Σ|^|E| (trivial but measurable).
+pub fn e2() {
+    header("E2", "Proposition 2.2 — Rₙ never exceeds the configuration count");
+    println!("{:<14} {:>6} {:>14} {:>12}", "protocol", "n", "|Σ|^|E| bound", "measured Rₙ");
+    for (n, q) in [(2usize, 3u64), (3, 3), (3, 4), (4, 2)] {
+        let p = worst_case_protocol(n, q);
+        let outcome = classify_sync(&p, &vec![0; n], vec![0u64; n], 10_000_000).unwrap();
+        let round = match outcome {
+            SyncOutcome::LabelStable { round, .. } => round,
+            _ => unreachable!("worst-case protocol stabilizes"),
+        };
+        let bound = q.pow(n as u32);
+        println!("{:<14} {n:>6} {bound:>14} {round:>12}", format!("worst(q={q})"));
+        assert!(round <= bound * n as u64);
+    }
+}
+
+/// E3 — Proposition 2.3: the generic protocol achieves Lₙ = n+1, Rₙ ≤ 2n.
+pub fn e3() {
+    header("E3", "Proposition 2.3 — generic protocol: Lₙ = n+1, Rₙ ≤ 2n");
+    println!(
+        "{:<26} {:>4} {:>8} {:>10} {:>9}",
+        "graph/function", "n", "Lₙ bits", "2n bound", "worst Rₙ"
+    );
+    let maj = |x: &[bool]| 2 * x.iter().filter(|&&b| b).count() >= x.len();
+    for n in [4usize, 5, 6] {
+        for (gname, g) in [
+            ("uniring", topology::unidirectional_ring(n)),
+            ("biring", topology::bidirectional_ring(n)),
+            ("clique", topology::clique(n)),
+        ] {
+            let p = generic_protocol(g, maj).unwrap();
+            let mut worst = 0u64;
+            for bits in 0..1u32 << n {
+                let x = bools_of(bits, n);
+                let inputs: Vec<u64> = x.iter().map(|&b| u64::from(b)).collect();
+                let mut sim =
+                    Simulation::new(&p, &inputs, vec![GenericLabel::zero(n); p.edge_count()])
+                        .unwrap();
+                let steps =
+                    sim.run_until_label_stable(&mut Synchronous, round_bound(n) + 1).unwrap();
+                worst = worst.max(steps);
+            }
+            println!(
+                "{:<26} {n:>4} {:>8} {:>10} {worst:>9}",
+                format!("{gname}/majority"),
+                p.label_bits(),
+                round_bound(n)
+            );
+            assert!(worst <= round_bound(n));
+        }
+    }
+}
+
+/// E4 — Theorem 3.1 + Example 1: the (n−1)-fair threshold, exactly.
+pub fn e4() {
+    header("E4", "Theorem 3.1 & Example 1 — two stable labelings, (n−1)-fair threshold");
+    println!("{:<6} {:>14} {:>22} {:>22}", "n", "stable count", "r = n−2 verdict", "r = n−1 verdict");
+    for n in [3usize, 4] {
+        let p = example1_protocol(n);
+        let stable = enumerate_stable_labelings(&p, &vec![0; n], &[false, true]).unwrap();
+        let lo = verify_label_stabilization(
+            &p,
+            &vec![0; n],
+            &[false, true],
+            (n - 2) as u8,
+            Limits { max_states: 5_000_000 },
+        )
+        .unwrap();
+        let hi = verify_label_stabilization(
+            &p,
+            &vec![0; n],
+            &[false, true],
+            (n - 1) as u8,
+            Limits { max_states: 5_000_000 },
+        )
+        .unwrap();
+        println!(
+            "{n:<6} {:>14} {:>22} {:>22}",
+            stable.len(),
+            if lo.is_stabilizing() { "stabilizing" } else { "OSCILLATES" },
+            if hi.is_stabilizing() { "stabilizing" } else { "OSCILLATES" }
+        );
+        assert!(lo.is_stabilizing() && !hi.is_stabilizing());
+    }
+    // The explicit witness schedule scales to any n.
+    for n in [8usize, 32] {
+        let p = example1_protocol(n);
+        let mut sim = Simulation::new(&p, &vec![0; n], hot_node_labeling(n, 0)).unwrap();
+        let mut sched = oscillation_schedule(n);
+        let mut changes = 0u64;
+        for _ in 0..4 * n {
+            let before = sim.labeling().to_vec();
+            let active = sched.activations(sim.time() + 1, n);
+            sim.step_with(&active);
+            changes += u64::from(before != sim.labeling());
+        }
+        println!("explicit witness, n={n}: {changes} label changes in {} steps", 4 * n);
+        assert_eq!(changes, 4 * n as u64);
+    }
+}
+
+/// E5 — Theorem 4.1: snake lengths and both reductions in action.
+pub fn e5() {
+    header("E5", "Theorem 4.1 — snake-in-the-box reductions (EQ and DISJ)");
+    println!("{:<4} {:>8} {:>12} {:>10}", "d", "s(d)", "λ·2^d", "exhausted");
+    for d in 2..=6u32 {
+        let known = Snake::known(d).unwrap().len();
+        let out = longest_snake(d, Some(50_000_000));
+        println!(
+            "{d:<4} {known:>8} {:>12.1} {:>10}",
+            abbott_katchalski_bound(d),
+            out.exhausted
+        );
+    }
+    for d in [4u32, 5] {
+        let snake = Snake::embedded_isolated(d).unwrap();
+        let len = snake.len();
+        let x: Vec<bool> = (0..len).map(|i| i % 2 == 0).collect();
+        let (p, layout) = eq_reduction(&snake, &x, &x);
+        let init = eq_initial_labeling(layout, false, snake.vertices()[0]);
+        let eq_osc = classify_sync(&p, &vec![0; layout.n], init, 1_000_000).unwrap();
+        let mut y = x.clone();
+        y[1] = !y[1];
+        let (p2, layout2) = eq_reduction(&snake, &x, &y);
+        let init2 = eq_initial_labeling(layout2, false, snake.vertices()[0]);
+        let neq = classify_sync(&p2, &vec![0; layout2.n], init2, 1_000_000).unwrap();
+        println!(
+            "EQ reduction d={d} (|S|={len}): x=y → {}, x≠y → {}",
+            verdict(&eq_osc),
+            verdict(&neq)
+        );
+        assert!(!eq_osc.is_label_stable() && neq.is_label_stable());
+    }
+    // DISJ: intersecting oscillates under the Claim B.8 schedule.
+    let snake = Snake::embedded_isolated(4).unwrap();
+    let q = 3;
+    let (p, layout) = disj_reduction(&snake, q, &[true, false, true], &[false, false, true]);
+    let (mut sched, init) = disj_oscillation_schedule(&snake, layout, q, 2);
+    let mut sim = Simulation::new(&p, &vec![0; layout.n], init.clone()).unwrap();
+    for _ in 0..sched.period() {
+        let active = sched.activations(sim.time() + 1, layout.n);
+        sim.step_with(&active);
+    }
+    println!(
+        "DISJ reduction d=4, q={q}: intersecting sets → period-{} oscillation (closes: {})",
+        sched.period(),
+        sim.labeling() == &init[..]
+    );
+    assert_eq!(sim.labeling(), &init[..]);
+}
+
+fn verdict<L>(o: &SyncOutcome<L>) -> &'static str {
+    if o.is_label_stable() {
+        "stabilizes"
+    } else {
+        "OSCILLATES"
+    }
+}
+
+/// E6 — Theorem 4.2 / B.11 / B.14: PSPACE-hardness pipeline, end to end.
+pub fn e6() {
+    header("E6", "Theorem 4.2 — String-Oscillation → stateful → stateless (metanode)");
+    let cases: Vec<(&str, StringOscillation)> = vec![
+        ("halting g", StringOscillation::new(2, 2, |_| None)),
+        ("looping g", StringOscillation::new(2, 2, |t| Some(1 - t[0]))),
+        (
+            "mixed g",
+            StringOscillation::new(2, 3, |t| if t[0] == 0 { None } else { Some(t[0]) }),
+        ),
+    ];
+    println!("{:<12} {:>16} {:>26}", "instance", "brute-force", "metanode protocol (sync)");
+    for (name, inst) in cases {
+        let brute = inst.find_oscillating_string();
+        let stateful = inst.to_stateful_protocol();
+        let lifted = metanode_lift(&stateful, 4.0);
+        let n_big = 3 * stateful.node_count();
+        // Probe from the lifted encodings of every string.
+        let mut any_osc = false;
+        let mut t = vec![0u8; inst.string_len()];
+        'outer: loop {
+            let init = lifted_labeling(&inst.initial_labels(&t));
+            let outcome = classify_sync(&lifted, &vec![0; n_big], init, 300_000).unwrap();
+            any_osc |= !outcome.is_label_stable();
+            let mut i = 0;
+            loop {
+                if i == t.len() {
+                    break 'outer;
+                }
+                t[i] += 1;
+                if t[i] == inst.alphabet() {
+                    t[i] = 0;
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        println!(
+            "{name:<12} {:>16} {:>26}",
+            if brute.is_some() { "oscillates" } else { "always halts" },
+            if any_osc { "OSCILLATES" } else { "stabilizes" }
+        );
+        assert_eq!(brute.is_some(), any_osc, "reduction preserves the verdict");
+    }
+}
+
+/// E7 — Claim 5.5: the 2-counter alternates on every odd ring.
+pub fn e7() {
+    header("E7", "Claim 5.5 — stateless 2-counter on odd rings");
+    println!("{:<4} {:>16} {:>18}", "n", "rounds to sync", "alternating after");
+    for n in [3usize, 5, 7, 9, 11, 15] {
+        let p = counter_protocol(n, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let initial: Vec<CounterFields> = (0..p.edge_count())
+            .map(|_| CounterFields {
+                b1: rng.random_bool(0.5),
+                b2: rng.random_bool(0.5),
+                z: rng.random_range(0..4),
+                g: rng.random_range(0..4),
+            })
+            .collect();
+        let mut sim = Simulation::new(&p, &vec![0; n], initial).unwrap();
+        // Find the first round after which outputs alternate for 2n rounds.
+        let mut synced_at = None;
+        let mut streak = 0u64;
+        let mut prev: Option<Vec<u64>> = None;
+        for t in 1..=(8 * n as u64 + 64) {
+            sim.run(&mut Synchronous, 1);
+            let outs = sim.outputs().to_vec();
+            let uniform = outs.iter().all(|&c| c == outs[0]);
+            let alternating = prev
+                .as_ref()
+                .map(|p| p.iter().zip(&outs).all(|(&a, &b)| (a + 1) % 2 == b))
+                .unwrap_or(false);
+            if uniform && alternating {
+                streak += 1;
+                if streak >= 2 * n as u64 && synced_at.is_none() {
+                    synced_at = Some(t - streak + 1);
+                }
+            } else {
+                streak = 0;
+            }
+            prev = Some(outs);
+        }
+        let at = synced_at.expect("2-counter synchronizes");
+        println!("{n:<4} {:>16} {at:>18}", sync_rounds_bound(n));
+        assert!(at <= sync_rounds_bound(n) + 1);
+    }
+}
+
+/// E8 — Claim 5.6: the D-counter synchronizes in O(n) with O(log D) labels.
+pub fn e8() {
+    header("E8", "Claim 5.6 — D-counter: sync time vs 4n shape, label bits vs 2+3·log D");
+    println!(
+        "{:<4} {:>4} {:>12} {:>12} {:>12} {:>14}",
+        "n", "D", "bound 4n+8", "measured", "paper bits", "our bits"
+    );
+    for (n, d) in [(5usize, 4u32), (9, 8), (13, 16), (21, 32), (33, 64)] {
+        let p = counter_protocol(n, d).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let initial: Vec<CounterFields> = (0..p.edge_count())
+            .map(|_| CounterFields {
+                b1: rng.random_bool(0.5),
+                b2: rng.random_bool(0.5),
+                z: rng.random_range(0..2 * d),
+                g: rng.random_range(0..2 * d),
+            })
+            .collect();
+        let mut sim = Simulation::new(&p, &vec![0; n], initial).unwrap();
+        let mut synced_at = None;
+        let mut streak = 0u64;
+        let mut prev: Option<u64> = None;
+        for t in 1..=(sync_rounds_bound(n) + 4 * u64::from(d) + 64) {
+            sim.run(&mut Synchronous, 1);
+            let outs = sim.outputs();
+            let uniform = outs.iter().all(|&c| c == outs[0]);
+            let incrementing = prev.map(|p| (p + 1) % u64::from(d) == outs[0]).unwrap_or(false);
+            if uniform && incrementing {
+                streak += 1;
+                if streak >= 2 * u64::from(d) && synced_at.is_none() {
+                    synced_at = Some(t - streak + 1);
+                }
+            } else {
+                streak = 0;
+            }
+            prev = Some(outs[0]);
+        }
+        let at = synced_at.expect("D-counter synchronizes");
+        let paper_bits = 2.0 + 3.0 * f64::from(d).log2();
+        println!(
+            "{n:<4} {d:>4} {:>12} {at:>12} {paper_bits:>12.1} {:>14}",
+            sync_rounds_bound(n),
+            p.label_bits()
+        );
+        assert!(at <= sync_rounds_bound(n) + 1);
+    }
+}
+
+/// E9 — Theorem 5.2 (⊇): logspace machines run on the unidirectional ring.
+pub fn e9() {
+    header("E9", "Theorem 5.2 — TM-on-ring: correctness and O(log n) labels");
+    println!(
+        "{:<22} {:>4} {:>8} {:>12} {:>10} {:>8}",
+        "language", "n", "|Z|", "round budget", "correct", "bits"
+    );
+    let cases: Vec<(&str, usize, turing_machine::Machine)> = vec![
+        ("parity", 4, machines::parity_machine(4)),
+        ("Σ≡0 (mod 3)", 4, machines::mod_count_machine(4, 3, 0)),
+        ("contains 11", 5, machines::contains_11_machine(5)),
+        ("first = last", 4, machines::first_equals_last_machine(4)),
+    ];
+    for (name, n, m) in cases {
+        let p = tm_ring_protocol(m.clone());
+        let budget = output_rounds_bound(&m);
+        let mut correct = 0usize;
+        let total = 1usize << n;
+        for bits in 0..total as u32 {
+            let x = bools_of(bits, n);
+            let expected = u64::from(m.decide(&x).unwrap());
+            let inputs: Vec<u64> = x.iter().map(|&b| u64::from(b)).collect();
+            let mut sim =
+                Simulation::new(&p, &inputs, vec![TmLabel::reset(&m); n]).unwrap();
+            sim.run(&mut Synchronous, budget);
+            if sim.outputs().iter().all(|&y| y == expected) {
+                correct += 1;
+            }
+        }
+        println!(
+            "{name:<22} {n:>4} {:>8} {budget:>12} {:>10} {:>8.1}",
+            m.config_count(),
+            format!("{correct}/{total}"),
+            p.label_bits()
+        );
+        assert_eq!(correct, total);
+    }
+}
+
+/// E10 — Theorem 5.2 (⊆) + Lemma C.2: branching programs both ways.
+pub fn e10() {
+    header("E10", "Theorem 5.2 / Lemma C.2 — branching programs ⇄ unidirectional rings");
+    // BP → protocol.
+    println!("{:<18} {:>4} {:>6} {:>12} {:>10}", "program", "n", "size", "round budget", "correct");
+    for (name, bp) in [
+        ("parity", bps::parity(5)),
+        ("majority", bps::majority(5)),
+        ("equality", bps::equality(6)),
+        ("contains 11", bps::contains_11(5)),
+    ] {
+        let n = bp.input_count();
+        let p = bp_to_uniring_protocol(&bp).unwrap();
+        let budget = branching_program::convert::output_rounds_bound(&bp);
+        let mut correct = 0usize;
+        for bits in 0..1u32 << n {
+            let x = bools_of(bits, n);
+            let expected = u64::from(bp.eval(&x).unwrap());
+            let inputs: Vec<u64> = x.iter().map(|&b| u64::from(b)).collect();
+            let mut sim =
+                Simulation::new(&p, &inputs, vec![BpRingLabel::default(); n]).unwrap();
+            sim.run(&mut Synchronous, budget);
+            if sim.outputs().iter().all(|&y| y == expected) {
+                correct += 1;
+            }
+        }
+        println!(
+            "{name:<18} {n:>4} {:>6} {budget:>12} {:>10}",
+            bp.size(),
+            format!("{correct}/{}", 1 << n)
+        );
+        assert_eq!(correct, 1 << n);
+    }
+    // Protocol → BP: extract from the sticky-OR ring.
+    let n = 5;
+    let p = Protocol::builder(topology::unidirectional_ring(n), 1.0)
+        .uniform_reaction(FnReaction::new(|_, inc: &[bool], x| {
+            let b = inc[0] || x == 1;
+            (vec![b], u64::from(b))
+        }))
+        .build()
+        .unwrap();
+    let bp = uniring_protocol_to_bp(&p, &[false, true], &false).unwrap();
+    println!(
+        "protocol → BP: sticky-OR(n={n}): extracted size {} = n·|Σ|² = {}",
+        bp.size(),
+        n * 4
+    );
+    assert_eq!(bp.size(), n * 4);
+    // Lemma C.2(2): the exact worst case.
+    println!("Lemma C.2(2): worst-case protocol Rₙ = n(|Σ|−1):");
+    for (n, q) in [(3usize, 4u64), (4, 5), (5, 3)] {
+        let p = worst_case_protocol(n, q);
+        let outcome = classify_sync(&p, &vec![0; n], vec![0u64; n], 1_000_000).unwrap();
+        let SyncOutcome::LabelStable { round, .. } = outcome else { unreachable!() };
+        println!("  n={n} q={q}: measured {round}, formula {}", exact_rounds(n, q));
+        assert_eq!(round, exact_rounds(n, q));
+    }
+}
+
+/// E11 — Theorem 5.4: circuits compiled onto the bidirectional ring.
+pub fn e11() {
+    header("E11", "Theorem 5.4 — circuit-on-ring compiler (P/poly ⊆ ÕSb_log)");
+    println!(
+        "{:<16} {:>4} {:>5} {:>6} {:>12} {:>10} {:>7}",
+        "circuit", "n", "|C|", "N", "round budget", "correct", "bits"
+    );
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut cases = vec![
+        ("parity(3)".to_string(), circuits::parity(3)),
+        ("equality(4)".to_string(), circuits::equality(4)),
+        ("majority(3)".to_string(), circuits::majority(3)),
+        ("mod3(3)".to_string(), circuits::mod_count(3, 3, 0)),
+    ];
+    cases.push(("random(3,6)".to_string(), boolean_circuit::synthesis::random_circuit(3, 6, &mut rng)));
+    for (name, c) in cases {
+        let n = c.input_count();
+        let compiled = compile_circuit(&c).unwrap();
+        let mut correct = 0usize;
+        for bits in 0..1u32 << n {
+            let x = bools_of(bits, n);
+            let expected = u64::from(c.eval(&x).unwrap());
+            let initial: Vec<CircuitLabel> = (0..compiled.protocol().edge_count())
+                .map(|_| CircuitLabel {
+                    ctr: CounterFields {
+                        b1: rng.random_bool(0.5),
+                        b2: rng.random_bool(0.5),
+                        z: rng.random_range(0..compiled.modulus()),
+                        g: rng.random_range(0..compiled.modulus()),
+                    },
+                    i1: rng.random_bool(0.5),
+                    i2: rng.random_bool(0.5),
+                    v: rng.random_bool(0.5),
+                    o: rng.random_bool(0.5),
+                })
+                .collect();
+            let mut sim =
+                Simulation::new(compiled.protocol(), &compiled.ring_inputs(&x), initial)
+                    .unwrap();
+            sim.run(&mut Synchronous, compiled.rounds_bound());
+            if sim.outputs().iter().all(|&y| y == expected) {
+                correct += 1;
+            }
+        }
+        println!(
+            "{name:<16} {n:>4} {:>5} {:>6} {:>12} {:>10} {:>7}",
+            c.size(),
+            compiled.ring_size(),
+            compiled.rounds_bound(),
+            format!("{correct}/{}", 1 << n),
+            compiled.protocol().label_bits()
+        );
+        assert_eq!(correct, 1 << n);
+    }
+}
+
+/// E12 — Theorem 5.10: the counting lower bound.
+pub fn e12() {
+    header("E12", "Theorem 5.10 — counting bound Lₙ ≥ n/(4k) on degree-k graphs");
+    println!("{:<6} {:<4} {:>12} {:>22}", "n", "k", "n/(4k) bits", "counting threshold bits");
+    for n in [16usize, 32, 64, 128] {
+        for k in [2usize, 4] {
+            let bound = counting::theorem_5_10_bound(n, k);
+            let feasible = counting::min_feasible_label_bits(n, k);
+            println!("{n:<6} {k:<4} {bound:>12.2} {feasible:>22}");
+            assert!(counting::labels_insufficient(n, k, bound / 8.0));
+        }
+    }
+}
+
+/// E13 — Theorem 6.2 + Corollaries 6.3/6.4: fooling-set lower bounds.
+pub fn e13() {
+    header("E13", "Theorem 6.2 — fooling sets for EQ and MAJ on the bidirectional ring");
+    println!("{:<6} {:>10} {:>14} {:>16}", "n", "|S| (EQ)", "EQ bound bits", "MAJ bound bits");
+    for n in [8usize, 12, 16, 20] {
+        let ring = topology::bidirectional_ring(n);
+        let eq = fooling::equality_fooling_set(n).unwrap();
+        let eq_bound = eq.label_bound(&ring).unwrap();
+        let maj = fooling::majority_fooling_set(n).unwrap();
+        let maj_bound = maj.label_bound(&ring).unwrap();
+        println!("{n:<6} {:>10} {eq_bound:>14.3} {maj_bound:>16.3}", eq.size());
+        assert!((eq_bound - (n as f64 - 4.0) / 8.0).abs() < 1e-9);
+    }
+    // The proof mechanism, live: cut labelings of a real label-stabilizing
+    // protocol are injective over the fooling set.
+    let n = 8;
+    let ring = topology::bidirectional_ring(n);
+    let eq = fooling::equality_fooling_set(n).unwrap();
+    let p = generic_protocol(ring.clone(), fooling::equality_fn).unwrap();
+    let (c_edges, d_edges) = fooling::cut_edges(&ring, n / 2);
+    let mut signatures = std::collections::HashSet::new();
+    for (x, y) in &eq.pairs {
+        let mut input_bits: Vec<u64> = x.iter().map(|&b| u64::from(b)).collect();
+        input_bits.extend(y.iter().map(|&b| u64::from(b)));
+        let mut sim =
+            Simulation::new(&p, &input_bits, vec![GenericLabel::zero(n); p.edge_count()])
+                .unwrap();
+        sim.run_until_label_stable(&mut Synchronous, 4 * n as u64).unwrap();
+        let sig: Vec<GenericLabel> = c_edges
+            .iter()
+            .chain(&d_edges)
+            .map(|&e| sim.labeling()[e].clone())
+            .collect();
+        signatures.insert(sig);
+    }
+    println!(
+        "cut-labeling injectivity on EQ_{n}: {} distinct signatures for {} fooling pairs",
+        signatures.len(),
+        eq.size()
+    );
+    assert_eq!(signatures.len(), eq.size());
+}
+
+/// E14 — the applications: BGP, contagion, asynchronous circuits, games.
+pub fn e14() {
+    header("E14", "Applications — BGP gadgets, contagion, async circuits, games");
+    use best_response::{async_circuit, bgp, contagion, game};
+    // BGP.
+    for (name, spp, expect_stable) in [
+        ("GOOD gadget", bgp::good_gadget(), true),
+        ("DISAGREE", bgp::disagree_gadget(), false),
+        ("BAD gadget", bgp::bad_gadget(), false),
+    ] {
+        let p = spp.to_protocol();
+        let nn = spp.node_count();
+        let direct: Vec<bgp::Route> = (0..nn as u8)
+            .map(|i| if i == 0 { vec![0] } else { vec![i, 0] })
+            .collect();
+        let init = spp.labeling_from(&direct);
+        let outcome = classify_sync(&p, &vec![0; nn], init, 1_000_000).unwrap();
+        println!("BGP {name:<12} sync from direct routes → {}", verdict(&outcome));
+        assert_eq!(outcome.is_label_stable(), expect_stable);
+    }
+    // Contagion.
+    let g = topology::bidirectional_ring(9);
+    let p = contagion::contagion_protocol(g.clone(), 1, 2);
+    let init = contagion::seeded_labeling(&g, &[4]);
+    let outcome = classify_sync(&p, &vec![0; 9], init, 1_000_000).unwrap();
+    println!(
+        "contagion q=1/2, ring(9), one seed → {} (full adoption: {})",
+        verdict(&outcome),
+        outcome.final_outputs() == Some(&vec![1; 9][..])
+    );
+    // Async circuits.
+    let latch = async_circuit::sr_latch();
+    let meta = classify_sync(&latch, &[0, 0], vec![false, false], 1000).unwrap();
+    println!("SR latch, S=R=0, simultaneous switching → {}", verdict(&meta));
+    assert!(!meta.is_label_stable());
+    // Games.
+    let mp = game::matching_pennies().to_protocol();
+    let o = classify_sync(&mp, &[0, 0], vec![0u64, 0], 1000).unwrap();
+    println!("matching pennies best-response → {}", verdict(&o));
+    let pd = game::prisoners_dilemma().to_protocol();
+    let o = classify_sync(&pd, &[0, 0], vec![0u64, 0], 1000).unwrap();
+    println!("prisoner's dilemma best-response → {}", verdict(&o));
+    assert!(o.is_label_stable());
+}
+
+/// E15 — engine throughput sanity.
+pub fn e15() {
+    header("E15", "Engine throughput — node-activations per second");
+    for n in [100usize, 1000, 10_000] {
+        let p = Protocol::builder(topology::unidirectional_ring(n), 8.0)
+            .uniform_reaction(FnReaction::new(|_, inc: &[u64], x| {
+                let m = inc[0].max(x);
+                (vec![m], m)
+            }))
+            .build()
+            .unwrap();
+        let inputs: Vec<u64> = (0..n as u64).collect();
+        let mut sim = Simulation::new(&p, &inputs, vec![0u64; n]).unwrap();
+        let rounds = 2_000_000 / n as u64;
+        let start = Instant::now();
+        sim.run(&mut Synchronous, rounds);
+        let dt = start.elapsed().as_secs_f64();
+        let act = rounds as f64 * n as f64;
+        println!("n={n:<7} {rounds:>6} rounds  {:>12.0} activations/s", act / dt);
+    }
+}
+
+/// Runs the experiments selected by `ids` (all when empty).
+pub fn run(ids: &[String]) {
+    let all: Vec<(&str, fn())> = vec![
+        ("e1", e1 as fn()),
+        ("e2", e2),
+        ("e3", e3),
+        ("e4", e4),
+        ("e5", e5),
+        ("e6", e6),
+        ("e7", e7),
+        ("e8", e8),
+        ("e9", e9),
+        ("e10", e10),
+        ("e11", e11),
+        ("e12", e12),
+        ("e13", e13),
+        ("e14", e14),
+        ("e15", e15),
+    ];
+    let wanted: Vec<String> = ids.iter().map(|s| s.to_lowercase()).collect();
+    for (id, f) in all {
+        if wanted.is_empty() || wanted.iter().any(|w| w == id) {
+            f();
+        }
+    }
+}

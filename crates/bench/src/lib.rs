@@ -1,0 +1,11 @@
+//! # stateless-bench
+//!
+//! Experiment harness and Criterion benchmarks for the reproduction. The
+//! `experiments` binary regenerates every experiment table recorded in
+//! `EXPERIMENTS.md` (`cargo run --release -p stateless-bench --bin
+//! experiments [ids…]`); the benches in `benches/` time the same code
+//! paths.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;

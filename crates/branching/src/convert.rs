@@ -1,0 +1,381 @@
+//! The two directions of Theorem 5.2, made executable.
+//!
+//! * **L/poly ⊆ OSu_log**: [`bp_to_uniring_protocol`] compiles a branching
+//!   program into an output-stabilizing protocol on the unidirectional
+//!   ring. A single label circulates carrying the program's control state;
+//!   node 0 periodically resets the evaluation (that is what makes the
+//!   protocol *self-stabilizing*: whatever garbage the adversary planted in
+//!   the initial labeling is flushed at the first reset) and publishes the
+//!   verdict of the completed pass, which every node then outputs.
+//! * **OSu_log ⊆ L/poly**: [`uniring_protocol_to_bp`] unrolls the
+//!   single-label simulation loop from the proof (Appendix C, "Simulation
+//!   of protocol Aₙ") into a branching program of size `n·|Σ|²`: layer `t`
+//!   holds one node per label value, queries `x_{t mod n}`, and the final
+//!   layer's output bit decides acceptance. Lemma C.2 (`Rₙ ≤ n·|Σ|`)
+//!   guarantees `n·|Σ|` layers suffice.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use stateless_core::label::{bits_for_cardinality, Label};
+use stateless_core::prelude::*;
+
+use crate::program::{BpNode, BpTarget, BranchingProgram};
+
+/// Control state carried by the circulating label of a compiled program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BpPhase {
+    /// Evaluation is at this internal node, waiting to pass its variable's
+    /// ring position.
+    At(u32),
+    /// Evaluation finished with acceptance.
+    Accept,
+    /// Evaluation finished with rejection.
+    Reject,
+}
+
+/// The ring label of a compiled branching program: control state, a
+/// saturating hop counter that triggers the periodic reset, and the verdict
+/// of the last completed evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BpRingLabel {
+    /// Control state of the in-flight evaluation.
+    pub phase: BpPhase,
+    /// Hops since the last reset, saturating at the reset threshold.
+    pub hops: u32,
+    /// Verdict of the last completed evaluation — the bit every node
+    /// outputs.
+    pub verdict: bool,
+}
+
+impl Default for BpRingLabel {
+    fn default() -> Self {
+        BpRingLabel { phase: BpPhase::Reject, hops: 0, verdict: false }
+    }
+}
+
+/// Errors from the protocol ↔ branching-program conversions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConvertError {
+    /// The protocol's graph is not the unidirectional ring `0→1→…→n−1→0`.
+    NotUnidirectionalRing,
+    /// The protocol emitted a label missing from the supplied alphabet.
+    UnknownLabel,
+    /// The program's input arity does not match the ring size.
+    ArityMismatch {
+        /// Program inputs.
+        program: usize,
+        /// Ring nodes.
+        ring: usize,
+    },
+    /// A reaction misbehaved while being probed.
+    Core(CoreError),
+}
+
+impl fmt::Display for ConvertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConvertError::NotUnidirectionalRing => {
+                write!(f, "protocol does not run on the unidirectional ring")
+            }
+            ConvertError::UnknownLabel => {
+                write!(f, "protocol emitted a label outside the supplied alphabet")
+            }
+            ConvertError::ArityMismatch { program, ring } => {
+                write!(f, "program has {program} inputs but the ring has {ring} nodes")
+            }
+            ConvertError::Core(e) => write!(f, "protocol probe failed: {e}"),
+        }
+    }
+}
+
+impl Error for ConvertError {}
+
+impl From<CoreError> for ConvertError {
+    fn from(e: CoreError) -> Self {
+        ConvertError::Core(e)
+    }
+}
+
+/// Hop budget for one complete evaluation of `bp` on an `n`-ring: each of
+/// the ≤ `size` queries waits at most `n` hops for its variable's node,
+/// plus one round of slack.
+fn reset_period(bp: &BranchingProgram, n: usize) -> u32 {
+    (n * (bp.size() + 1)) as u32
+}
+
+/// Compiles a branching program into an output-stabilizing stateless
+/// protocol on the unidirectional `n`-ring (`n = bp.input_count()`).
+///
+/// Label complexity is `log₂((S+2)·(nS+n+1)·2) = O(log S + log n)` bits for
+/// a size-`S` program — logarithmic for polynomial-size programs, as
+/// Theorem 5.2 requires. The protocol *output*-stabilizes to `bp(x)` at
+/// every node from **any** initial labeling; its labels never stabilize
+/// (the counter circulates forever), which is exactly the regime of the
+/// class `OSu`.
+///
+/// # Errors
+///
+/// Returns [`ConvertError::ArityMismatch`] if `bp.input_count() < 2`
+/// (a ring needs two nodes).
+pub fn bp_to_uniring_protocol(
+    bp: &BranchingProgram,
+) -> Result<Protocol<BpRingLabel>, ConvertError> {
+    let n = bp.input_count();
+    if n < 2 {
+        return Err(ConvertError::ArityMismatch { program: n, ring: 2 });
+    }
+    let cap = reset_period(bp, n);
+    let label_bits = bits_for_cardinality((bp.size() as u128 + 2) * (u128::from(cap) + 1) * 2);
+    let graph = topology::unidirectional_ring(n);
+    let mut builder =
+        Protocol::builder(graph, label_bits).name(format!("bp-on-uniring(n={n}, S={})", bp.size()));
+    for node in 0..n {
+        let bp = bp.clone();
+        builder = builder.reaction(
+            node,
+            FnReaction::new(move |i: NodeId, incoming: &[BpRingLabel], input| {
+                let lab = incoming[0];
+                let mut phase = lab.phase;
+                let mut hops = lab.hops.saturating_add(1).min(cap);
+                let mut verdict = lab.verdict;
+                if i == 0 && hops >= cap {
+                    // Publish the completed evaluation's verdict and restart.
+                    verdict = matches!(phase, BpPhase::Accept);
+                    phase = target_to_phase(bp.start());
+                    hops = 0;
+                }
+                // Answer every pending query owned by this node.
+                while let BpPhase::At(v) = phase {
+                    let node = bp.nodes()[v as usize];
+                    if node.var != i {
+                        break;
+                    }
+                    let t = if input == 1 { node.if_one } else { node.if_zero };
+                    phase = target_to_phase(t);
+                }
+                (vec![BpRingLabel { phase, hops, verdict }], u64::from(verdict))
+            }),
+        );
+    }
+    Ok(builder.build().expect("all ring nodes have reactions"))
+}
+
+fn target_to_phase(t: BpTarget) -> BpPhase {
+    match t {
+        BpTarget::Node(v) => BpPhase::At(v as u32),
+        BpTarget::Accept => BpPhase::Accept,
+        BpTarget::Reject => BpPhase::Reject,
+    }
+}
+
+/// A safe synchronous-round budget for a protocol produced by
+/// [`bp_to_uniring_protocol`] to output-stabilize from an arbitrary
+/// initial labeling: two full reset periods plus one lap for the verdict
+/// to propagate.
+pub fn output_rounds_bound(bp: &BranchingProgram) -> u64 {
+    let n = bp.input_count();
+    u64::from(reset_period(bp, n)) * 2 + 2 * n as u64
+}
+
+/// Extracts a branching program computing the converged output of a
+/// stateless protocol on the unidirectional `n`-ring, by unrolling the
+/// single-label simulation loop of Theorem 5.2's proof for `n·|Σ|`
+/// iterations starting from the uniform labeling `(ℓ₀, …, ℓ₀)`.
+///
+/// The resulting program has `n·|Σ|²` internal nodes and queries variables
+/// in the cyclic order `x₀, x₁, …` — it is an *oblivious* branching program
+/// of width `|Σ|`, which is the structural reason unidirectional rings sit
+/// inside L/poly.
+///
+/// The extraction is faithful when the protocol output-stabilizes on the
+/// synchronous schedule from the uniform initial labeling within `n·|Σ|`
+/// rounds — which Lemma C.2 guarantees for every output-stabilizing
+/// protocol with label space `alphabet`.
+///
+/// # Errors
+///
+/// * [`ConvertError::NotUnidirectionalRing`] if the graph is not the ring;
+/// * [`ConvertError::UnknownLabel`] if a reaction emits a label outside
+///   `alphabet` (the alphabet must be closed under the reactions);
+/// * [`ConvertError::Core`] if a reaction misbehaves.
+pub fn uniring_protocol_to_bp<L: Label>(
+    protocol: &Protocol<L>,
+    alphabet: &[L],
+    initial: &L,
+) -> Result<BranchingProgram, ConvertError> {
+    let g = protocol.graph();
+    let n = g.node_count();
+    let ring_ok = g.edge_count() == n && (0..n).all(|i| g.edge(i, (i + 1) % n) == Some(i));
+    if !ring_ok {
+        return Err(ConvertError::NotUnidirectionalRing);
+    }
+    let index: HashMap<&L, usize> = alphabet.iter().enumerate().map(|(k, l)| (l, k)).collect();
+    let sigma = alphabet.len();
+    let start_k = *index.get(initial).ok_or(ConvertError::UnknownLabel)?;
+    let layers = n * sigma;
+
+    // Probe δ_j(ℓ, b): set every edge to ℓ (node j reads only edge j−1) and
+    // apply node j.
+    let probe = |j: usize, k: usize, b: u64| -> Result<(usize, bool), ConvertError> {
+        let labeling = vec![alphabet[k].clone(); n];
+        let (out, y) = protocol.apply(j, &labeling, b)?;
+        let k_next = *index.get(&out[0]).ok_or(ConvertError::UnknownLabel)?;
+        Ok((k_next, y == 1))
+    };
+
+    let mut nodes = Vec::with_capacity(layers * sigma);
+    for t in 0..layers {
+        let j = t % n;
+        for k in 0..sigma {
+            let go = |b: u64| -> Result<BpTarget, ConvertError> {
+                let (k_next, y) = probe(j, k, b)?;
+                Ok(if t + 1 == layers {
+                    if y {
+                        BpTarget::Accept
+                    } else {
+                        BpTarget::Reject
+                    }
+                } else {
+                    BpTarget::Node((t + 1) * sigma + k_next)
+                })
+            };
+            let if_zero = go(0)?;
+            let if_one = go(1)?;
+            nodes.push(BpNode { var: j, if_zero, if_one });
+        }
+    }
+    Ok(BranchingProgram::new(n, nodes, BpTarget::Node(start_k))
+        .expect("layered unrolling is topological"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+
+    /// A tiny output-stabilizing uniring protocol computing OR of all
+    /// inputs with Σ = {false, true}: sticky disjunction.
+    fn or_ring(n: usize) -> Protocol<bool> {
+        Protocol::builder(topology::unidirectional_ring(n), 1.0)
+            .name("sticky-or")
+            .uniform_reaction(FnReaction::new(|_, incoming: &[bool], input| {
+                let b = incoming[0] || input == 1;
+                (vec![b], u64::from(b))
+            }))
+            .build()
+            .unwrap()
+    }
+
+    fn ring_output<L: Label>(p: &Protocol<L>, x: &[bool], init: Vec<L>, rounds: u64) -> Vec<u64> {
+        let inputs: Vec<u64> = x.iter().map(|&b| u64::from(b)).collect();
+        let mut sim = Simulation::new(p, &inputs, init).unwrap();
+        sim.run(&mut Synchronous, rounds);
+        sim.outputs().to_vec()
+    }
+
+    #[test]
+    fn compiled_parity_outputs_correctly_from_default_labels() {
+        for n in 2..=5 {
+            let bp = library::parity(n);
+            let p = bp_to_uniring_protocol(&bp).unwrap();
+            let rounds = output_rounds_bound(&bp);
+            for bits in 0..1u32 << n {
+                let x: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+                let expected = u64::from(bp.eval(&x).unwrap());
+                let outs =
+                    ring_output(&p, &x, vec![BpRingLabel::default(); n], rounds);
+                assert_eq!(outs, vec![expected; n], "n={n} x={x:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_majority_self_stabilizes_from_adversarial_labels() {
+        let n = 5;
+        let bp = library::majority(n);
+        let p = bp_to_uniring_protocol(&bp).unwrap();
+        let rounds = output_rounds_bound(&bp);
+        let x = [true, true, false, true, false];
+        // Adversarial initial labeling: a bogus Accept verdict with a stale
+        // in-flight evaluation and desynchronized counters.
+        let init: Vec<BpRingLabel> = (0..n)
+            .map(|i| BpRingLabel {
+                phase: BpPhase::At(0),
+                hops: (i * 7) as u32,
+                verdict: i % 2 == 0,
+            })
+            .collect();
+        let outs = ring_output(&p, &x, init, 3 * rounds);
+        assert_eq!(outs, vec![1; n]);
+    }
+
+    #[test]
+    fn compiled_constant_program_works() {
+        let bp = BranchingProgram::new(3, vec![], BpTarget::Accept).unwrap();
+        let p = bp_to_uniring_protocol(&bp).unwrap();
+        let outs = ring_output(
+            &p,
+            &[false, false, false],
+            vec![BpRingLabel::default(); 3],
+            output_rounds_bound(&bp),
+        );
+        assert_eq!(outs, vec![1; 3]);
+    }
+
+    #[test]
+    fn extracted_bp_matches_or_protocol() {
+        for n in 2..=5 {
+            let p = or_ring(n);
+            let bp = uniring_protocol_to_bp(&p, &[false, true], &false).unwrap();
+            assert_eq!(bp.size(), n * 2 * 2);
+            for bits in 0..1u32 << n {
+                let x: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+                let expected = x.iter().any(|&b| b);
+                assert_eq!(bp.eval(&x).unwrap(), expected, "n={n} x={x:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn extraction_rejects_non_rings() {
+        let p = Protocol::builder(topology::clique(3), 1.0)
+            .uniform_reaction(FnReaction::new(|_, _: &[bool], _| (vec![false; 2], 0)))
+            .build()
+            .unwrap();
+        assert_eq!(
+            uniring_protocol_to_bp(&p, &[false, true], &false).unwrap_err(),
+            ConvertError::NotUnidirectionalRing
+        );
+    }
+
+    #[test]
+    fn extraction_rejects_unknown_labels() {
+        let p = Protocol::builder(topology::unidirectional_ring(3), 2.0)
+            .uniform_reaction(FnReaction::new(|_, _: &[u8], _| (vec![9u8], 0)))
+            .build()
+            .unwrap();
+        assert_eq!(
+            uniring_protocol_to_bp(&p, &[0u8, 1], &0).unwrap_err(),
+            ConvertError::UnknownLabel
+        );
+    }
+
+    #[test]
+    fn round_trip_bp_to_protocol_to_outputs_on_equality() {
+        let n = 6;
+        let bp = library::equality(n);
+        let p = bp_to_uniring_protocol(&bp).unwrap();
+        let rounds = output_rounds_bound(&bp);
+        for x in [
+            [true, false, true, true, false, true],
+            [true, false, true, false, false, true],
+        ] {
+            let expected = u64::from(bp.eval(&x).unwrap());
+            let outs = ring_output(&p, &x, vec![BpRingLabel::default(); n], rounds);
+            assert_eq!(outs, vec![expected; n]);
+        }
+    }
+}

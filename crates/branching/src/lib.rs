@@ -1,0 +1,33 @@
+//! # branching-program
+//!
+//! The **L/poly substrate** of "Stateless Computation" (Theorem 5.2):
+//! deterministic branching programs, a small library of them, and the two
+//! conversions that make the theorem executable:
+//!
+//! * [`convert::bp_to_uniring_protocol`] — compiles a branching program of
+//!   size `S` into an *output-stabilizing* stateless protocol on the
+//!   unidirectional `n`-ring with label complexity `O(log S + log n)`
+//!   (the `L/poly ⊆ OSu_log` direction);
+//! * [`convert::uniring_protocol_to_bp`] — extracts from any stateless
+//!   protocol on the unidirectional ring a branching program of size
+//!   `O(n·|Σ|²)` computing the protocol's converged output (the
+//!   `OSu_log ⊆ L/poly` direction, following the single-label simulation
+//!   loop in the proof of Theorem 5.2 / Lemma C.2).
+//!
+//! ```
+//! use branching_program::library;
+//!
+//! let bp = library::parity(4);
+//! assert!(bp.eval(&[true, false, true, true])?);
+//! assert!(!bp.eval(&[true, false, true, false])?);
+//! # Ok::<(), branching_program::BpError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convert;
+pub mod library;
+pub mod program;
+
+pub use program::{BpError, BpNode, BpTarget, BranchingProgram};

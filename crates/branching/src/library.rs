@@ -1,0 +1,199 @@
+//! A library of hand-built branching programs for the languages the paper
+//! uses as running examples.
+
+use crate::program::{BpNode, BpTarget, BranchingProgram};
+
+/// Parity: accepts iff an odd number of inputs are 1. Width-2 layered
+/// program of size `2n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn parity(n: usize) -> BranchingProgram {
+    assert!(n >= 1, "parity needs at least one input");
+    // Layer i has two nodes: (i, even) at index 2i and (i, odd) at 2i+1.
+    let mut nodes = Vec::with_capacity(2 * n);
+    for i in 0..n {
+        let next = |odd: bool| -> BpTarget {
+            if i + 1 == n {
+                if odd {
+                    BpTarget::Accept
+                } else {
+                    BpTarget::Reject
+                }
+            } else {
+                BpTarget::Node(2 * (i + 1) + usize::from(odd))
+            }
+        };
+        // Even-so-far node.
+        nodes.push(BpNode { var: i, if_zero: next(false), if_one: next(true) });
+        // Odd-so-far node.
+        nodes.push(BpNode { var: i, if_zero: next(true), if_one: next(false) });
+    }
+    BranchingProgram::new(n, nodes, BpTarget::Node(0)).expect("layered program is topological")
+}
+
+/// Threshold: accepts iff at least `t` inputs are 1. Layered counting
+/// program of width `t+1` and size `O(n·t)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn threshold(n: usize, t: usize) -> BranchingProgram {
+    assert!(n >= 1, "threshold needs at least one input");
+    if t == 0 {
+        return BranchingProgram::new(n, vec![], BpTarget::Accept).expect("constant");
+    }
+    if t > n {
+        return BranchingProgram::new(n, vec![], BpTarget::Reject).expect("constant");
+    }
+    // Node (i, c) = "reading variable i with count c so far", for c in
+    // 0..=min(i, t-1); counts ≥ t accept immediately.
+    // Index layout: layer i starts at offset[i], holding width(i) nodes.
+    let width = |i: usize| (i.min(t - 1)) + 1;
+    let mut offset = vec![0usize; n + 1];
+    for i in 0..n {
+        offset[i + 1] = offset[i] + width(i);
+    }
+    let mut nodes = Vec::with_capacity(offset[n]);
+    for i in 0..n {
+        for c in 0..width(i) {
+            let go = |c_next: usize| -> BpTarget {
+                if c_next >= t {
+                    return BpTarget::Accept;
+                }
+                if i + 1 == n {
+                    return BpTarget::Reject;
+                }
+                // Remaining inputs can still reach t?
+                if c_next + (n - i - 1) < t {
+                    return BpTarget::Reject;
+                }
+                BpTarget::Node(offset[i + 1] + c_next.min(width(i + 1) - 1))
+            };
+            nodes.push(BpNode { var: i, if_zero: go(c), if_one: go(c + 1) });
+        }
+    }
+    BranchingProgram::new(n, nodes, BpTarget::Node(0)).expect("layered program is topological")
+}
+
+/// The paper's majority `Majₙ`: accepts iff `Σᵢ xᵢ ≥ n/2`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn majority(n: usize) -> BranchingProgram {
+    threshold(n, n.div_ceil(2))
+}
+
+/// The paper's equality `Eqₙ`: accepts iff `n` is even and the first half
+/// of the input equals the second half. Width-2 program of size `≤ n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn equality(n: usize) -> BranchingProgram {
+    assert!(n >= 1, "equality needs at least one input");
+    if n % 2 == 1 {
+        return BranchingProgram::new(n, vec![], BpTarget::Reject).expect("constant");
+    }
+    let half = n / 2;
+    // Pair i occupies nodes 3i (query xᵢ), 3i+1 (saw 0, query x_{half+i}),
+    // 3i+2 (saw 1, query x_{half+i}).
+    let mut nodes = Vec::with_capacity(3 * half);
+    for i in 0..half {
+        let next = if i + 1 == half { BpTarget::Accept } else { BpTarget::Node(3 * (i + 1)) };
+        nodes.push(BpNode {
+            var: i,
+            if_zero: BpTarget::Node(3 * i + 1),
+            if_one: BpTarget::Node(3 * i + 2),
+        });
+        nodes.push(BpNode { var: half + i, if_zero: next, if_one: BpTarget::Reject });
+        nodes.push(BpNode { var: half + i, if_zero: BpTarget::Reject, if_one: next });
+    }
+    BranchingProgram::new(n, nodes, BpTarget::Node(0)).expect("pairwise program is topological")
+}
+
+/// Accepts iff the input contains two consecutive ones (`11` as a factor).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn contains_11(n: usize) -> BranchingProgram {
+    assert!(n >= 1, "contains_11 needs at least one input");
+    if n == 1 {
+        return BranchingProgram::new(n, vec![], BpTarget::Reject).expect("constant");
+    }
+    // Node (i, seen_one) at index 2i + seen.
+    let mut nodes = Vec::with_capacity(2 * n);
+    for i in 0..n {
+        let cont = |seen: bool| -> BpTarget {
+            if i + 1 == n {
+                BpTarget::Reject
+            } else {
+                BpTarget::Node(2 * (i + 1) + usize::from(seen))
+            }
+        };
+        nodes.push(BpNode { var: i, if_zero: cont(false), if_one: cont(true) });
+        nodes.push(BpNode { var: i, if_zero: cont(false), if_one: BpTarget::Accept });
+    }
+    BranchingProgram::new(n, nodes, BpTarget::Node(0)).expect("layered program is topological")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute<F: Fn(&[bool]) -> bool>(bp: &BranchingProgram, f: F) {
+        let n = bp.input_count();
+        assert!(n <= 12);
+        for bits in 0..1u32 << n {
+            let x: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(bp.eval(&x).unwrap(), f(&x), "x = {x:?}");
+        }
+    }
+
+    #[test]
+    fn parity_matches() {
+        for n in 1..=7 {
+            brute(&parity(n), |x| x.iter().filter(|&&b| b).count() % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn threshold_matches() {
+        for n in 1..=6 {
+            for t in 0..=n + 1 {
+                brute(&threshold(n, t), |x| x.iter().filter(|&&b| b).count() >= t);
+            }
+        }
+    }
+
+    #[test]
+    fn majority_matches_paper_definition() {
+        for n in 1..=7 {
+            brute(&majority(n), |x| 2 * x.iter().filter(|&&b| b).count() >= n);
+        }
+    }
+
+    #[test]
+    fn equality_matches_paper_definition() {
+        for n in 1..=8 {
+            brute(&equality(n), |x| n % 2 == 0 && x[..n / 2] == x[n / 2..]);
+        }
+    }
+
+    #[test]
+    fn contains_11_matches() {
+        for n in 1..=8 {
+            brute(&contains_11(n), |x| x.windows(2).any(|w| w[0] && w[1]));
+        }
+    }
+
+    #[test]
+    fn sizes_are_linear_for_width2_programs() {
+        assert_eq!(parity(10).size(), 20);
+        assert!(equality(10).size() <= 15);
+        assert!(majority(11).size() <= 11 * 7);
+    }
+}

@@ -1,0 +1,280 @@
+//! Deterministic branching programs as topologically ordered DAGs.
+
+use std::error::Error;
+use std::fmt;
+
+/// Where a branch leads: a later node, or a verdict sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BpTarget {
+    /// Continue at the node with the given index (must be **greater** than
+    /// the current node's index — programs are topologically ordered, so
+    /// every evaluation terminates in at most `size` queries).
+    Node(usize),
+    /// Accept the input.
+    Accept,
+    /// Reject the input.
+    Reject,
+}
+
+/// An internal node: query variable `var` and branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BpNode {
+    /// Index of the input variable this node queries.
+    pub var: usize,
+    /// Target when the variable is 0.
+    pub if_zero: BpTarget,
+    /// Target when the variable is 1.
+    pub if_one: BpTarget,
+}
+
+/// Errors from branching-program construction and evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BpError {
+    /// Input vector length did not match the program's input arity.
+    WrongInputLength {
+        /// Length supplied.
+        got: usize,
+        /// Expected input count.
+        expected: usize,
+    },
+    /// A node queried a variable beyond the declared arity.
+    BadVariable {
+        /// The offending node.
+        node: usize,
+        /// The variable index it queries.
+        var: usize,
+    },
+    /// A node branched to itself or an earlier node, breaking topological
+    /// order.
+    NotTopological {
+        /// The offending node.
+        node: usize,
+        /// The target it branches to.
+        target: usize,
+    },
+    /// The start target referenced a nonexistent node.
+    BadStart {
+        /// The nonexistent node index.
+        target: usize,
+    },
+}
+
+impl fmt::Display for BpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BpError::WrongInputLength { got, expected } => {
+                write!(f, "input has length {got}, program expects {expected}")
+            }
+            BpError::BadVariable { node, var } => {
+                write!(f, "node {node} queries out-of-range variable {var}")
+            }
+            BpError::NotTopological { node, target } => {
+                write!(f, "node {node} branches backwards/self to node {target}")
+            }
+            BpError::BadStart { target } => {
+                write!(f, "start target references nonexistent node {target}")
+            }
+        }
+    }
+}
+
+impl Error for BpError {}
+
+/// A deterministic branching program.
+///
+/// Nodes are topologically ordered (every branch goes strictly forward),
+/// so evaluation always terminates within `size()` queries — this is the
+/// path-length bound the ring compilation of
+/// [`convert`](crate::convert) relies on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BranchingProgram {
+    n_inputs: usize,
+    nodes: Vec<BpNode>,
+    start: BpTarget,
+}
+
+impl BranchingProgram {
+    /// Constructs and validates a program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BpError::BadVariable`], [`BpError::NotTopological`], or
+    /// [`BpError::BadStart`] when the node list is malformed.
+    pub fn new(
+        n_inputs: usize,
+        nodes: Vec<BpNode>,
+        start: BpTarget,
+    ) -> Result<Self, BpError> {
+        for (i, node) in nodes.iter().enumerate() {
+            if node.var >= n_inputs {
+                return Err(BpError::BadVariable { node: i, var: node.var });
+            }
+            for t in [node.if_zero, node.if_one] {
+                if let BpTarget::Node(j) = t {
+                    if j <= i {
+                        return Err(BpError::NotTopological { node: i, target: j });
+                    }
+                    if j >= nodes.len() {
+                        return Err(BpError::BadStart { target: j });
+                    }
+                }
+            }
+        }
+        if let BpTarget::Node(j) = start {
+            if j >= nodes.len() {
+                return Err(BpError::BadStart { target: j });
+            }
+        }
+        Ok(BranchingProgram { n_inputs, nodes, start })
+    }
+
+    /// Number of input variables.
+    pub fn input_count(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Number of internal nodes (the program's *size*).
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The internal nodes in topological order.
+    pub fn nodes(&self) -> &[BpNode] {
+        &self.nodes
+    }
+
+    /// The entry target.
+    pub fn start(&self) -> BpTarget {
+        self.start
+    }
+
+    /// Follows one branch from `target` under input `x`; verdict targets
+    /// are fixed points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is shorter than a queried variable index — call
+    /// [`eval`](Self::eval) for validated evaluation.
+    pub fn step(&self, target: BpTarget, x: &[bool]) -> BpTarget {
+        match target {
+            BpTarget::Node(v) => {
+                let node = self.nodes[v];
+                if x[node.var] {
+                    node.if_one
+                } else {
+                    node.if_zero
+                }
+            }
+            sink => sink,
+        }
+    }
+
+    /// Evaluates the program on `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BpError::WrongInputLength`] on arity mismatch.
+    pub fn eval(&self, x: &[bool]) -> Result<bool, BpError> {
+        if x.len() != self.n_inputs {
+            return Err(BpError::WrongInputLength { got: x.len(), expected: self.n_inputs });
+        }
+        let mut at = self.start;
+        // Topological order guarantees termination in ≤ size steps.
+        for _ in 0..=self.nodes.len() {
+            match at {
+                BpTarget::Accept => return Ok(true),
+                BpTarget::Reject => return Ok(false),
+                BpTarget::Node(_) => at = self.step(at, x),
+            }
+        }
+        unreachable!("topological order bounds path length by size()")
+    }
+
+    /// The full truth table (only for small programs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_count() > 24`.
+    pub fn truth_table(&self) -> Vec<bool> {
+        assert!(self.n_inputs <= 24, "truth table would be too large");
+        (0..1usize << self.n_inputs)
+            .map(|bits| {
+                let x: Vec<bool> = (0..self.n_inputs).map(|i| bits >> i & 1 == 1).collect();
+                self.eval(&x).expect("arity correct by construction")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use BpTarget::{Accept, Node, Reject};
+
+    #[test]
+    fn single_node_is_the_variable() {
+        let bp = BranchingProgram::new(
+            1,
+            vec![BpNode { var: 0, if_zero: Reject, if_one: Accept }],
+            Node(0),
+        )
+        .unwrap();
+        assert!(!bp.eval(&[false]).unwrap());
+        assert!(bp.eval(&[true]).unwrap());
+        assert_eq!(bp.size(), 1);
+    }
+
+    #[test]
+    fn constant_programs_need_no_nodes() {
+        let bp = BranchingProgram::new(3, vec![], Accept).unwrap();
+        assert_eq!(bp.truth_table(), vec![true; 8]);
+    }
+
+    #[test]
+    fn rejects_backward_and_self_branches() {
+        let err = BranchingProgram::new(
+            1,
+            vec![BpNode { var: 0, if_zero: Node(0), if_one: Accept }],
+            Node(0),
+        )
+        .unwrap_err();
+        assert_eq!(err, BpError::NotTopological { node: 0, target: 0 });
+    }
+
+    #[test]
+    fn rejects_bad_variable_and_start() {
+        let err = BranchingProgram::new(
+            1,
+            vec![BpNode { var: 3, if_zero: Reject, if_one: Accept }],
+            Node(0),
+        )
+        .unwrap_err();
+        assert_eq!(err, BpError::BadVariable { node: 0, var: 3 });
+        let err = BranchingProgram::new(1, vec![], Node(0)).unwrap_err();
+        assert_eq!(err, BpError::BadStart { target: 0 });
+    }
+
+    #[test]
+    fn eval_validates_arity() {
+        let bp = BranchingProgram::new(2, vec![], Reject).unwrap();
+        assert_eq!(
+            bp.eval(&[true]),
+            Err(BpError::WrongInputLength { got: 1, expected: 2 })
+        );
+    }
+
+    #[test]
+    fn and_of_two_variables() {
+        let bp = BranchingProgram::new(
+            2,
+            vec![
+                BpNode { var: 0, if_zero: Reject, if_one: Node(1) },
+                BpNode { var: 1, if_zero: Reject, if_one: Accept },
+            ],
+            Node(0),
+        )
+        .unwrap();
+        assert_eq!(bp.truth_table(), vec![false, false, false, true]);
+    }
+}

@@ -1,0 +1,418 @@
+//! Fan-in-2 Boolean circuits in topological order.
+
+use std::error::Error;
+use std::fmt;
+
+/// Index of a gate within a circuit, in topological order.
+pub type GateId = usize;
+
+/// Where a gate (or the circuit output) reads a bit from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateSource {
+    /// The `i`-th circuit input variable.
+    Input(usize),
+    /// The output of an earlier gate.
+    Gate(GateId),
+    /// A Boolean constant.
+    Const(bool),
+}
+
+/// The Boolean operation a gate computes on its two sources.
+///
+/// Unary NOT is expressed as `Nand(a, a)`; buffers as `And(a, a)` — the
+/// builder provides `not`/`buf` conveniences that do this for you, keeping
+/// every gate binary as in the paper's fan-in-2 model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateOp {
+    /// Logical conjunction.
+    And,
+    /// Logical disjunction.
+    Or,
+    /// Exclusive or.
+    Xor,
+    /// Negated conjunction.
+    Nand,
+    /// Negated disjunction.
+    Nor,
+    /// Negated exclusive or (equivalence).
+    Xnor,
+}
+
+impl GateOp {
+    /// Applies the operation to two bits.
+    pub fn apply(self, a: bool, b: bool) -> bool {
+        match self {
+            GateOp::And => a && b,
+            GateOp::Or => a || b,
+            GateOp::Xor => a ^ b,
+            GateOp::Nand => !(a && b),
+            GateOp::Nor => !(a || b),
+            GateOp::Xnor => !(a ^ b),
+        }
+    }
+}
+
+/// A single fan-in-2 gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Gate {
+    /// The operation.
+    pub op: GateOp,
+    /// First input source.
+    pub a: GateSource,
+    /// Second input source.
+    pub b: GateSource,
+}
+
+/// Errors from circuit construction and evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// Input vector length did not match the circuit's input arity.
+    WrongInputLength {
+        /// Length supplied.
+        got: usize,
+        /// The circuit's input count.
+        expected: usize,
+    },
+    /// A gate referenced an input variable beyond the declared arity or a
+    /// gate at or after its own position (breaking topological order).
+    InvalidSource {
+        /// Index of the offending gate (`None` for the output source).
+        gate: Option<GateId>,
+        /// The invalid source.
+        source: GateSource,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::WrongInputLength { got, expected } => {
+                write!(f, "input has length {got}, circuit expects {expected}")
+            }
+            CircuitError::InvalidSource { gate, source } => match gate {
+                Some(g) => write!(f, "gate {g} has invalid source {source:?}"),
+                None => write!(f, "circuit output has invalid source {source:?}"),
+            },
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+/// An immutable fan-in-2 Boolean circuit with one output bit.
+///
+/// Build with [`CircuitBuilder`]. Gates are stored in topological order:
+/// gate `j` may only read inputs, constants, and gates `< j`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Circuit {
+    n_inputs: usize,
+    gates: Vec<Gate>,
+    output: GateSource,
+}
+
+impl Circuit {
+    /// Starts building a circuit over `n_inputs` input variables.
+    pub fn builder(n_inputs: usize) -> CircuitBuilder {
+        CircuitBuilder { n_inputs, gates: Vec::new() }
+    }
+
+    /// Number of input variables.
+    pub fn input_count(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Number of gates `|C|`.
+    pub fn size(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// The gates in topological order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The source feeding the circuit's output bit.
+    pub fn output(&self) -> GateSource {
+        self.output
+    }
+
+    /// Evaluates the circuit on `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::WrongInputLength`] on arity mismatch.
+    pub fn eval(&self, x: &[bool]) -> Result<bool, CircuitError> {
+        let values = self.eval_gates(x)?;
+        Ok(self.resolve(self.output, x, &values))
+    }
+
+    /// Evaluates the circuit, returning the value of every gate (indexed by
+    /// [`GateId`]). Used by the ring compiler's tests to cross-check
+    /// intermediate values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::WrongInputLength`] on arity mismatch.
+    pub fn eval_gates(&self, x: &[bool]) -> Result<Vec<bool>, CircuitError> {
+        if x.len() != self.n_inputs {
+            return Err(CircuitError::WrongInputLength { got: x.len(), expected: self.n_inputs });
+        }
+        let mut values = Vec::with_capacity(self.gates.len());
+        for gate in &self.gates {
+            let a = self.resolve(gate.a, x, &values);
+            let b = self.resolve(gate.b, x, &values);
+            values.push(gate.op.apply(a, b));
+        }
+        Ok(values)
+    }
+
+    fn resolve(&self, source: GateSource, x: &[bool], values: &[bool]) -> bool {
+        match source {
+            GateSource::Input(i) => x[i],
+            GateSource::Gate(g) => values[g],
+            GateSource::Const(c) => c,
+        }
+    }
+
+    /// The full truth table (only for small circuits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_count() > 24`.
+    pub fn truth_table(&self) -> Vec<bool> {
+        assert!(self.n_inputs <= 24, "truth table would be too large");
+        (0..1usize << self.n_inputs)
+            .map(|bits| {
+                let x: Vec<bool> = (0..self.n_inputs).map(|i| bits >> i & 1 == 1).collect();
+                self.eval(&x).expect("arity is correct by construction")
+            })
+            .collect()
+    }
+}
+
+/// Builds a [`Circuit`] gate by gate; see [`Circuit::builder`].
+///
+/// # Examples
+///
+/// ```
+/// use boolean_circuit::{Circuit, GateSource};
+///
+/// // x0 XOR x1 (2-input parity)
+/// let mut b = Circuit::builder(2);
+/// let g = b.xor(GateSource::Input(0), GateSource::Input(1))?;
+/// let c = b.finish(g)?;
+/// assert!(c.eval(&[true, false])?);
+/// assert!(!c.eval(&[true, true])?);
+/// # Ok::<(), boolean_circuit::CircuitError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircuitBuilder {
+    n_inputs: usize,
+    gates: Vec<Gate>,
+}
+
+impl CircuitBuilder {
+    fn check(&self, source: GateSource) -> Result<(), CircuitError> {
+        let ok = match source {
+            GateSource::Input(i) => i < self.n_inputs,
+            GateSource::Gate(g) => g < self.gates.len(),
+            GateSource::Const(_) => true,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(CircuitError::InvalidSource { gate: Some(self.gates.len()), source })
+        }
+    }
+
+    /// Appends a gate and returns a source referring to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidSource`] if an operand is invalid.
+    pub fn gate(
+        &mut self,
+        op: GateOp,
+        a: GateSource,
+        b: GateSource,
+    ) -> Result<GateSource, CircuitError> {
+        self.check(a)?;
+        self.check(b)?;
+        self.gates.push(Gate { op, a, b });
+        Ok(GateSource::Gate(self.gates.len() - 1))
+    }
+
+    /// Appends `a AND b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidSource`] if an operand is invalid.
+    pub fn and(&mut self, a: GateSource, b: GateSource) -> Result<GateSource, CircuitError> {
+        self.gate(GateOp::And, a, b)
+    }
+
+    /// Appends `a OR b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidSource`] if an operand is invalid.
+    pub fn or(&mut self, a: GateSource, b: GateSource) -> Result<GateSource, CircuitError> {
+        self.gate(GateOp::Or, a, b)
+    }
+
+    /// Appends `a XOR b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidSource`] if an operand is invalid.
+    pub fn xor(&mut self, a: GateSource, b: GateSource) -> Result<GateSource, CircuitError> {
+        self.gate(GateOp::Xor, a, b)
+    }
+
+    /// Appends `NOT a` (as `NAND(a, a)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidSource`] if the operand is invalid.
+    pub fn not(&mut self, a: GateSource) -> Result<GateSource, CircuitError> {
+        self.gate(GateOp::Nand, a, a)
+    }
+
+    /// Appends a buffer (as `AND(a, a)`), useful to materialize an input or
+    /// constant as a gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidSource`] if the operand is invalid.
+    pub fn buf(&mut self, a: GateSource) -> Result<GateSource, CircuitError> {
+        self.gate(GateOp::And, a, a)
+    }
+
+    /// Appends `a == b` (XNOR).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidSource`] if an operand is invalid.
+    pub fn eq(&mut self, a: GateSource, b: GateSource) -> Result<GateSource, CircuitError> {
+        self.gate(GateOp::Xnor, a, b)
+    }
+
+    /// Number of gates appended so far.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Whether no gate has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Finalizes the circuit with `output` as its output source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidSource`] if `output` is invalid.
+    pub fn finish(self, output: GateSource) -> Result<Circuit, CircuitError> {
+        let ok = match output {
+            GateSource::Input(i) => i < self.n_inputs,
+            GateSource::Gate(g) => g < self.gates.len(),
+            GateSource::Const(_) => true,
+        };
+        if !ok {
+            return Err(CircuitError::InvalidSource { gate: None, source: output });
+        }
+        Ok(Circuit { n_inputs: self.n_inputs, gates: self.gates, output })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use GateSource::{Const, Gate as G, Input};
+
+    #[test]
+    fn ops_apply_truth_tables() {
+        assert!(GateOp::And.apply(true, true));
+        assert!(!GateOp::And.apply(true, false));
+        assert!(GateOp::Or.apply(false, true));
+        assert!(GateOp::Xor.apply(true, false));
+        assert!(!GateOp::Xor.apply(true, true));
+        assert!(GateOp::Nand.apply(false, true));
+        assert!(!GateOp::Nand.apply(true, true));
+        assert!(GateOp::Nor.apply(false, false));
+        assert!(GateOp::Xnor.apply(true, true));
+    }
+
+    #[test]
+    fn builds_and_evaluates_simple_formula() {
+        // (x0 AND x1) OR NOT x2
+        let mut b = Circuit::builder(3);
+        let and = b.and(Input(0), Input(1)).unwrap();
+        let not = b.not(Input(2)).unwrap();
+        let or = b.or(and, not).unwrap();
+        let c = b.finish(or).unwrap();
+        assert_eq!(c.size(), 3);
+        for bits in 0..8u32 {
+            let x: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            let expected = (x[0] && x[1]) || !x[2];
+            assert_eq!(c.eval(&x).unwrap(), expected, "x = {x:?}");
+        }
+    }
+
+    #[test]
+    fn constant_and_passthrough_outputs() {
+        let b = Circuit::builder(2);
+        let c = b.finish(Const(true)).unwrap();
+        assert!(c.eval(&[false, false]).unwrap());
+        let b = Circuit::builder(2);
+        let c = b.finish(Input(1)).unwrap();
+        assert!(c.eval(&[false, true]).unwrap());
+        assert!(!c.eval(&[true, false]).unwrap());
+    }
+
+    #[test]
+    fn rejects_forward_references() {
+        let mut b = Circuit::builder(1);
+        let err = b.and(Input(0), G(0)).unwrap_err();
+        assert!(matches!(err, CircuitError::InvalidSource { .. }));
+        let mut b = Circuit::builder(1);
+        let err = b.and(Input(1), Input(0)).unwrap_err();
+        assert!(matches!(err, CircuitError::InvalidSource { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_output_source() {
+        let b = Circuit::builder(1);
+        assert!(b.finish(G(0)).is_err());
+    }
+
+    #[test]
+    fn eval_validates_arity() {
+        let mut b = Circuit::builder(2);
+        let g = b.xor(Input(0), Input(1)).unwrap();
+        let c = b.finish(g).unwrap();
+        assert_eq!(
+            c.eval(&[true]),
+            Err(CircuitError::WrongInputLength { got: 1, expected: 2 })
+        );
+    }
+
+    #[test]
+    fn truth_table_of_xor() {
+        let mut b = Circuit::builder(2);
+        let g = b.xor(Input(0), Input(1)).unwrap();
+        let c = b.finish(g).unwrap();
+        assert_eq!(c.truth_table(), vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn eval_gates_exposes_intermediates() {
+        let mut b = Circuit::builder(2);
+        let a = b.and(Input(0), Input(1)).unwrap();
+        let o = b.or(a, Input(0)).unwrap();
+        let c = b.finish(o).unwrap();
+        let vals = c.eval_gates(&[true, false]).unwrap();
+        assert_eq!(vals, vec![false, true]);
+    }
+}

@@ -1,0 +1,28 @@
+//! # boolean-circuit
+//!
+//! The **P/poly substrate** of "Stateless Computation" (Theorem 5.4):
+//! fan-in-2 Boolean circuits, their evaluation, builders for the standard
+//! functions the paper discusses (majority, equality, parity, …), and
+//! truth-table synthesis.
+//!
+//! Circuits here are DAGs in topological order (a gate may only reference
+//! strictly earlier gates), which is exactly the `g₁, g₂, …, g_{|C|}` gate
+//! ordering the paper's ring compilation relies on.
+//!
+//! ```
+//! use boolean_circuit::library;
+//!
+//! let maj = library::majority(5);
+//! assert!(maj.eval(&[true, true, false, true, false])?);
+//! assert!(!maj.eval(&[true, false, false, true, false])?);
+//! # Ok::<(), boolean_circuit::CircuitError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod library;
+pub mod synthesis;
+
+pub use circuit::{Circuit, CircuitBuilder, CircuitError, Gate, GateId, GateOp, GateSource};

@@ -1,0 +1,269 @@
+//! Standard circuits for the functions the paper reasons about:
+//! majority, equality, parity, thresholds, modular counting, palindromes.
+
+use crate::circuit::{Circuit, CircuitBuilder, GateSource};
+
+/// XOR-chain parity: outputs 1 iff an odd number of inputs are 1.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn parity(n: usize) -> Circuit {
+    assert!(n >= 1, "parity needs at least one input");
+    let mut b = Circuit::builder(n);
+    let mut acc = GateSource::Input(0);
+    for i in 1..n {
+        acc = b.xor(acc, GateSource::Input(i)).expect("sources are valid");
+    }
+    b.finish(acc).expect("output source is valid")
+}
+
+/// AND of all inputs.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn and_all(n: usize) -> Circuit {
+    assert!(n >= 1, "and needs at least one input");
+    let mut b = Circuit::builder(n);
+    let mut acc = GateSource::Input(0);
+    for i in 1..n {
+        acc = b.and(acc, GateSource::Input(i)).expect("sources are valid");
+    }
+    b.finish(acc).expect("output source is valid")
+}
+
+/// OR of all inputs.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn or_all(n: usize) -> Circuit {
+    assert!(n >= 1, "or needs at least one input");
+    let mut b = Circuit::builder(n);
+    let mut acc = GateSource::Input(0);
+    for i in 1..n {
+        acc = b.or(acc, GateSource::Input(i)).expect("sources are valid");
+    }
+    b.finish(acc).expect("output source is valid")
+}
+
+/// Appends a popcount to `b`: the binary sum `Σᵢ xᵢ` of all `n` inputs,
+/// least-significant bit first.
+fn popcount(b: &mut CircuitBuilder, n: usize) -> Vec<GateSource> {
+    let mut acc: Vec<GateSource> = Vec::new();
+    for i in 0..n {
+        // Ripple-increment `acc` by Input(i).
+        let mut carry = GateSource::Input(i);
+        for slot in acc.iter_mut() {
+            let sum = b.xor(*slot, carry).expect("sources are valid");
+            carry = b.and(*slot, carry).expect("sources are valid");
+            *slot = sum;
+        }
+        acc.push(carry);
+    }
+    acc
+}
+
+/// Appends a comparison `value ≥ threshold` where `value` is a
+/// little-endian bit vector of gate sources and `threshold` a constant.
+fn ge_const(b: &mut CircuitBuilder, value: &[GateSource], threshold: usize) -> GateSource {
+    let width = value.len().max(usize::BITS as usize - threshold.leading_zeros() as usize);
+    let mut gt = GateSource::Const(false);
+    let mut eq = GateSource::Const(true);
+    for i in (0..width).rev() {
+        let v = value.get(i).copied().unwrap_or(GateSource::Const(false));
+        let t_bit = threshold >> i & 1 == 1;
+        if t_bit {
+            eq = b.and(eq, v).expect("sources are valid");
+        } else {
+            let e_and_v = b.and(eq, v).expect("sources are valid");
+            gt = b.or(gt, e_and_v).expect("sources are valid");
+            let not_v = b.not(v).expect("sources are valid");
+            eq = b.and(eq, not_v).expect("sources are valid");
+        }
+    }
+    b.or(gt, eq).expect("sources are valid")
+}
+
+/// Threshold function: outputs 1 iff at least `t` inputs are 1.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn threshold(n: usize, t: usize) -> Circuit {
+    assert!(n >= 1, "threshold needs at least one input");
+    let mut b = Circuit::builder(n);
+    let sum = popcount(&mut b, n);
+    let out = ge_const(&mut b, &sum, t);
+    b.finish(out).expect("output source is valid")
+}
+
+/// The paper's majority `Majₙ`: outputs 1 iff `Σᵢ xᵢ ≥ n/2`
+/// (Section 6; note the non-strict inequality with real `n/2`).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn majority(n: usize) -> Circuit {
+    // Σ ≥ n/2 over the reals ⟺ Σ ≥ ⌈n/2⌉ over the integers.
+    threshold(n, n.div_ceil(2))
+}
+
+/// The paper's equality `Eqₙ`: for even `n`, outputs 1 iff
+/// `(x₁,…,x_{n/2}) = (x_{n/2+1},…,xₙ)`; the constant 0 for odd `n`
+/// (Section 6 defines `Eqₙ(x) = 1` only when `n` is even).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn equality(n: usize) -> Circuit {
+    assert!(n >= 1, "equality needs at least one input");
+    if n % 2 == 1 {
+        return Circuit::builder(n).finish(GateSource::Const(false)).expect("const output");
+    }
+    let half = n / 2;
+    let mut b = Circuit::builder(n);
+    let mut acc = GateSource::Const(true);
+    for i in 0..half {
+        let same = b.eq(GateSource::Input(i), GateSource::Input(half + i)).expect("valid");
+        acc = b.and(acc, same).expect("valid");
+    }
+    b.finish(acc).expect("output source is valid")
+}
+
+/// Palindrome: outputs 1 iff `x` equals its reversal.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn palindrome(n: usize) -> Circuit {
+    assert!(n >= 1, "palindrome needs at least one input");
+    let mut b = Circuit::builder(n);
+    let mut acc = GateSource::Const(true);
+    for i in 0..n / 2 {
+        let same = b.eq(GateSource::Input(i), GateSource::Input(n - 1 - i)).expect("valid");
+        acc = b.and(acc, same).expect("valid");
+    }
+    b.finish(acc).expect("output source is valid")
+}
+
+/// Modular counting: outputs 1 iff `Σᵢ xᵢ ≡ residue (mod modulus)`.
+///
+/// Tracks the running count one-hot in `modulus` wires, so the circuit has
+/// `O(n·modulus)` gates — the shape of a deterministic finite automaton
+/// unrolled over the input, which is also how the logspace Turing machines
+/// of Theorem 5.2 decide these languages.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `modulus < 2`, or `residue ≥ modulus`.
+pub fn mod_count(n: usize, modulus: usize, residue: usize) -> Circuit {
+    assert!(n >= 1, "mod_count needs at least one input");
+    assert!(modulus >= 2, "modulus must be at least 2");
+    assert!(residue < modulus, "residue must be below the modulus");
+    let mut b = Circuit::builder(n);
+    let mut state: Vec<GateSource> = (0..modulus)
+        .map(|k| GateSource::Const(k == 0))
+        .collect();
+    for i in 0..n {
+        let x = GateSource::Input(i);
+        let not_x = b.not(x).expect("valid");
+        let mut next = Vec::with_capacity(modulus);
+        for k in 0..modulus {
+            let from_prev = b.and(x, state[(k + modulus - 1) % modulus]).expect("valid");
+            let stay = b.and(not_x, state[k]).expect("valid");
+            next.push(b.or(from_prev, stay).expect("valid"));
+        }
+        state = next;
+    }
+    b.finish(state[residue]).expect("output source is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute<F: Fn(&[bool]) -> bool>(c: &Circuit, f: F) {
+        let n = c.input_count();
+        assert!(n <= 12, "brute-force check only for small n");
+        for bits in 0..1u32 << n {
+            let x: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(c.eval(&x).unwrap(), f(&x), "x = {x:?}");
+        }
+    }
+
+    #[test]
+    fn parity_matches_brute_force() {
+        for n in 1..=6 {
+            brute(&parity(n), |x| x.iter().filter(|&&b| b).count() % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn and_or_match_brute_force() {
+        for n in 1..=5 {
+            brute(&and_all(n), |x| x.iter().all(|&b| b));
+            brute(&or_all(n), |x| x.iter().any(|&b| b));
+        }
+    }
+
+    #[test]
+    fn majority_matches_paper_definition() {
+        for n in 1..=8 {
+            brute(&majority(n), |x| {
+                let ones = x.iter().filter(|&&b| b).count();
+                2 * ones >= n
+            });
+        }
+    }
+
+    #[test]
+    fn threshold_matches_brute_force() {
+        for n in 1..=6 {
+            for t in 0..=n + 1 {
+                brute(&threshold(n, t), |x| x.iter().filter(|&&b| b).count() >= t);
+            }
+        }
+    }
+
+    #[test]
+    fn equality_matches_paper_definition() {
+        for n in 1..=8 {
+            brute(&equality(n), |x| {
+                n % 2 == 0 && x[..n / 2] == x[n / 2..]
+            });
+        }
+    }
+
+    #[test]
+    fn palindrome_matches_brute_force() {
+        for n in 1..=7 {
+            brute(&palindrome(n), |x| {
+                let mut r = x.to_vec();
+                r.reverse();
+                r == x
+            });
+        }
+    }
+
+    #[test]
+    fn mod_count_matches_brute_force() {
+        for n in 1..=6 {
+            for m in 2..=4 {
+                for r in 0..m {
+                    brute(&mod_count(n, m, r), |x| {
+                        x.iter().filter(|&&b| b).count() % m == r
+                    });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_are_reasonable() {
+        assert_eq!(parity(8).size(), 7);
+        assert!(majority(16).size() < 400, "got {}", majority(16).size());
+        assert!(mod_count(10, 3, 0).size() <= 10 * 3 * 3 + 10);
+    }
+}

@@ -1,0 +1,122 @@
+//! Circuit synthesis: truth tables → circuits, and random circuits.
+//!
+//! The paper's Theorem 5.4 proof uses the fact that *any* function
+//! `g : {0,1}^N → {0,1}^M` has a circuit of size `M·N·2^N`;
+//! [`from_truth_table`] is that (exponential, DNF-shaped) construction,
+//! used for tiny helper functions inside larger compilations and for tests.
+
+use crate::circuit::{Circuit, CircuitError, GateOp, GateSource};
+
+/// Synthesizes a circuit from a truth table in input-minor order:
+/// `table[bits]` is the value at the assignment whose `i`-th variable is
+/// bit `i` of `bits`.
+///
+/// The construction is a disjunction of minterms, size `O(n·2ⁿ)` — the
+/// general exponential upper bound the paper quotes.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::WrongInputLength`] if `table.len() != 2^n`.
+pub fn from_truth_table(n: usize, table: &[bool]) -> Result<Circuit, CircuitError> {
+    if table.len() != 1usize << n {
+        return Err(CircuitError::WrongInputLength { got: table.len(), expected: 1 << n });
+    }
+    let mut b = Circuit::builder(n);
+    let mut acc = GateSource::Const(false);
+    for (bits, &value) in table.iter().enumerate() {
+        if !value {
+            continue;
+        }
+        let mut minterm = GateSource::Const(true);
+        for i in 0..n {
+            let lit = if bits >> i & 1 == 1 {
+                GateSource::Input(i)
+            } else {
+                b.not(GateSource::Input(i))?
+            };
+            minterm = b.and(minterm, lit)?;
+        }
+        acc = b.or(acc, minterm)?;
+    }
+    b.finish(acc)
+}
+
+/// Generates a random fan-in-2 circuit with `size` gates over `n` inputs,
+/// drawing operations and operands uniformly. Deterministic for a fixed
+/// RNG state; the circuit's output is its last gate.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `size == 0`.
+pub fn random_circuit<R: rand::Rng>(n: usize, size: usize, rng: &mut R) -> Circuit {
+    use rand::RngExt;
+    assert!(n >= 1 && size >= 1, "need at least one input and one gate");
+    let ops = [GateOp::And, GateOp::Or, GateOp::Xor, GateOp::Nand, GateOp::Nor, GateOp::Xnor];
+    let mut b = Circuit::builder(n);
+    let mut last = GateSource::Input(0);
+    for g in 0..size {
+        let pick = |rng: &mut R, b_len: usize| {
+            let total = n + b_len;
+            let k = rng.random_range(0..total);
+            if k < n {
+                GateSource::Input(k)
+            } else {
+                GateSource::Gate(k - n)
+            }
+        };
+        let a = pick(rng, g);
+        let c = pick(rng, g);
+        let op = ops[rng.random_range(0..ops.len())];
+        last = b.gate(op, a, c).expect("random sources are valid");
+    }
+    b.finish(last).expect("last gate is a valid output")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn truth_table_round_trips() {
+        // A random-looking 3-input function.
+        let table = [true, false, false, true, true, true, false, false];
+        let c = from_truth_table(3, &table).unwrap();
+        assert_eq!(c.truth_table(), table.to_vec());
+    }
+
+    #[test]
+    fn truth_table_constants() {
+        let c = from_truth_table(2, &[false; 4]).unwrap();
+        assert_eq!(c.truth_table(), vec![false; 4]);
+        let c = from_truth_table(2, &[true; 4]).unwrap();
+        assert_eq!(c.truth_table(), vec![true; 4]);
+    }
+
+    #[test]
+    fn truth_table_rejects_bad_length() {
+        assert!(from_truth_table(3, &[true; 7]).is_err());
+    }
+
+    #[test]
+    fn every_three_input_function_synthesizes() {
+        for bits in 0..256u32 {
+            let table: Vec<bool> = (0..8).map(|i| bits >> i & 1 == 1).collect();
+            let c = from_truth_table(3, &table).unwrap();
+            assert_eq!(c.truth_table(), table);
+        }
+    }
+
+    #[test]
+    fn random_circuit_is_deterministic_per_seed() {
+        let mut r1 = StdRng::seed_from_u64(11);
+        let mut r2 = StdRng::seed_from_u64(11);
+        let c1 = random_circuit(4, 20, &mut r1);
+        let c2 = random_circuit(4, 20, &mut r2);
+        assert_eq!(c1, c2);
+        assert_eq!(c1.size(), 20);
+        // Evaluates without error.
+        c1.eval(&[true, false, true, false]).unwrap();
+    }
+}

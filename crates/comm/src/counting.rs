@@ -1,0 +1,96 @@
+//! The counting bound of Theorem 5.10: on graph families of constant
+//! maximum degree `k`, some Boolean function needs labels of
+//! `Lₙ ≥ n/(4k)` bits — no topology-independent shortcut exists.
+
+/// The Theorem 5.10 lower bound `n/(4k)` in bits.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn theorem_5_10_bound(n: usize, k: usize) -> f64 {
+    assert!(k >= 1, "degree must be positive");
+    n as f64 / (4.0 * k as f64)
+}
+
+/// `log₂` of the number of distinct stateless protocols on an `n`-node
+/// graph of maximum degree `k` with label space size `2^label_bits`
+/// (the counting step of the proof: `(2|Σ|^k)^{2n|Σ|^k}` protocols).
+pub fn log2_protocol_count(n: usize, k: usize, label_bits: f64) -> f64 {
+    let log_sigma = label_bits;
+    // |Σ|^k = 2^(k·L); count = (2·|Σ|^k)^(2n·|Σ|^k)
+    let sigma_k_log = k as f64 * log_sigma;
+    let exponent = 2.0 * n as f64 * sigma_k_log.exp2();
+    exponent * (1.0 + sigma_k_log)
+}
+
+/// `log₂` of the number of Boolean functions on `n` bits: `2^n`.
+pub fn log2_function_count(n: usize) -> f64 {
+    (n as f64).exp2()
+}
+
+/// Whether `label_bits`-bit labels are *information-theoretically ruled
+/// out* for computing all Boolean functions on some degree-`k` `n`-node
+/// graph: true iff there are fewer protocols than functions.
+pub fn labels_insufficient(n: usize, k: usize, label_bits: f64) -> bool {
+    log2_protocol_count(n, k, label_bits) < log2_function_count(n)
+}
+
+/// The smallest integer label length (in bits) **not** ruled out by the
+/// counting argument — an explicit witness that the `n/(4k)` bound is the
+/// right shape.
+pub fn min_feasible_label_bits(n: usize, k: usize) -> u32 {
+    (0..=n as u32)
+        .find(|&bits| !labels_insufficient(n, k, f64::from(bits)))
+        .unwrap_or(n as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_matches_formula() {
+        assert!((theorem_5_10_bound(32, 2) - 4.0).abs() < 1e-12);
+        assert!((theorem_5_10_bound(100, 4) - 6.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_labels_are_insufficient_for_large_n() {
+        // With 1-bit labels on a degree-4 graph, 2n·2^4·(1+4) protocols
+        // cannot cover 2^(2^n) functions once n is moderately large.
+        assert!(labels_insufficient(16, 4, 1.0));
+        assert!(labels_insufficient(24, 2, 2.0));
+    }
+
+    #[test]
+    fn linear_labels_are_sufficient_by_counting() {
+        // n-bit labels always escape the counting obstruction.
+        for n in [8usize, 12, 16] {
+            assert!(!labels_insufficient(n, 2, n as f64));
+        }
+    }
+
+    #[test]
+    fn min_feasible_bits_respects_the_theorem_bound() {
+        for n in [16usize, 24, 32, 48] {
+            for k in [2usize, 4] {
+                let feasible = min_feasible_label_bits(n, k);
+                // The paper's n/(4k) is a lower bound on the *worst-case*
+                // function; the counting threshold sits at the same shape
+                // (within constant factors, it is Θ(n/k)).
+                assert!(
+                    f64::from(feasible) >= theorem_5_10_bound(n, k) / 4.0,
+                    "n={n} k={k}: feasible={feasible}"
+                );
+                assert!(f64::from(feasible) <= n as f64, "never beyond the trivial bound");
+            }
+        }
+    }
+
+    #[test]
+    fn protocol_count_grows_with_labels() {
+        let small = log2_protocol_count(10, 2, 1.0);
+        let large = log2_protocol_count(10, 2, 4.0);
+        assert!(large > small);
+    }
+}

@@ -1,0 +1,64 @@
+//! Set-disjointness, the second reduction source of Theorem 4.1
+//! (Theorem B.7 uses DISJ for the high-fairness regime `r ≥ 2^{n/2}`).
+
+/// Whether the characteristic vectors `x` and `y` are disjoint
+/// (`EA ∩ EB = ∅` in the paper's notation).
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn disjoint(x: &[bool], y: &[bool]) -> bool {
+    assert_eq!(x.len(), y.len(), "characteristic vectors must have equal length");
+    x.iter().zip(y).all(|(&a, &b)| !(a && b))
+}
+
+/// The first index in the intersection, if any.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn first_intersection(x: &[bool], y: &[bool]) -> Option<usize> {
+    assert_eq!(x.len(), y.len(), "characteristic vectors must have equal length");
+    x.iter().zip(y).position(|(&a, &b)| a && b)
+}
+
+/// The deterministic communication-complexity lower bound for
+/// set-disjointness on `q`-element universes: `q + 1` bits (the classic
+/// fooling-set argument; the paper uses the weaker `≥ q`).
+pub fn disjointness_lower_bound(q: usize) -> usize {
+    q + 1
+}
+
+/// The paper's mapping `I(j) = 1 + (j − 1) mod q` (1-indexed in the text),
+/// here 0-indexed: the universe element that snake position `j` queries
+/// when the snake is cut into chunks of length `q`.
+pub fn chunk_index(j: usize, q: usize) -> usize {
+    j % q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjointness_basics() {
+        assert!(disjoint(&[true, false], &[false, true]));
+        assert!(!disjoint(&[true, false], &[true, true]));
+        assert!(disjoint(&[], &[]));
+        assert_eq!(first_intersection(&[false, true, true], &[false, false, true]), Some(2));
+        assert_eq!(first_intersection(&[true, false], &[false, true]), None);
+    }
+
+    #[test]
+    fn chunk_index_wraps() {
+        assert_eq!(chunk_index(0, 3), 0);
+        assert_eq!(chunk_index(5, 3), 2);
+        assert_eq!(chunk_index(6, 3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        disjoint(&[true], &[true, false]);
+    }
+}

@@ -1,0 +1,368 @@
+//! Fooling sets and the Theorem 6.2 label-complexity lower bound.
+//!
+//! **Reproduction note.** Corollary 6.3 as printed fixes only `x₁ = 1`,
+//! but Theorem 6.2's hypotheses require the inputs of *every* node with a
+//! cut edge to be constant across the fooling set — on the bidirectional
+//! ring that is two coordinates per side. We therefore fix `x₁` **and**
+//! `x_{n/2}` (and drop the one offending chain element for majority),
+//! giving bounds `(n−4)/8` and `log(⌊n/2⌋−1)/4`: identical asymptotics,
+//! hypotheses machine-verified. The discrepancy is recorded in
+//! EXPERIMENTS.md (E13).
+
+use std::error::Error;
+use std::fmt;
+
+use stateless_core::graph::DiGraph;
+use stateless_core::{EdgeId, NodeId};
+
+/// Errors from fooling-set verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FoolingError {
+    /// Some pair disagreed with the claimed function value `b`.
+    WrongValue {
+        /// Index of the offending pair.
+        pair: usize,
+    },
+    /// Two pairs failed the fooling condition (both cross evaluations
+    /// still gave `b`).
+    NotFooling {
+        /// The two offending pair indices.
+        pairs: (usize, usize),
+    },
+    /// A node with a cut edge had a non-constant input across the set,
+    /// violating Theorem 6.2's hypotheses.
+    BoundaryNotConstant {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// Construction parameters were invalid (e.g. odd `n` for equality).
+    BadParameters {
+        /// Human-readable description.
+        what: String,
+    },
+}
+
+impl fmt::Display for FoolingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FoolingError::WrongValue { pair } => {
+                write!(f, "pair {pair} does not evaluate to the claimed value")
+            }
+            FoolingError::NotFooling { pairs } => {
+                write!(f, "pairs {} and {} violate the fooling condition", pairs.0, pairs.1)
+            }
+            FoolingError::BoundaryNotConstant { node } => {
+                write!(f, "cut node {node} has a non-constant input across the set")
+            }
+            FoolingError::BadParameters { what } => write!(f, "bad parameters: {what}"),
+        }
+    }
+}
+
+impl Error for FoolingError {}
+
+/// A fooling set for `f : {0,1}^n → {0,1}` split at position `m`
+/// (Definition 6.1), together with the function it fools.
+pub struct FoolingSet {
+    /// Split position: `x`-parts have length `m`, `y`-parts `n − m`.
+    pub m: usize,
+    /// Total input length.
+    pub n: usize,
+    /// The pairs `(x, y) ∈ S`.
+    pub pairs: Vec<(Vec<bool>, Vec<bool>)>,
+    /// The common function value `b`.
+    pub value: bool,
+    /// The function being fooled.
+    pub f: Box<dyn Fn(&[bool]) -> bool + Send + Sync>,
+}
+
+impl fmt::Debug for FoolingSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FoolingSet")
+            .field("m", &self.m)
+            .field("n", &self.n)
+            .field("size", &self.pairs.len())
+            .field("value", &self.value)
+            .finish()
+    }
+}
+
+impl FoolingSet {
+    /// `|S|`.
+    pub fn size(&self) -> usize {
+        self.pairs.len()
+    }
+
+    fn concat(&self, x: &[bool], y: &[bool]) -> Vec<bool> {
+        let mut v = Vec::with_capacity(self.n);
+        v.extend_from_slice(x);
+        v.extend_from_slice(y);
+        v
+    }
+
+    /// Verifies Definition 6.1: every pair evaluates to `value`, and for
+    /// every two distinct pairs at least one cross evaluation differs.
+    ///
+    /// Runs `O(|S|²)` evaluations of `f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FoolingError::WrongValue`] or [`FoolingError::NotFooling`]
+    /// pinpointing the violation.
+    pub fn verify(&self) -> Result<(), FoolingError> {
+        for (i, (x, y)) in self.pairs.iter().enumerate() {
+            if (self.f)(&self.concat(x, y)) != self.value {
+                return Err(FoolingError::WrongValue { pair: i });
+            }
+        }
+        for i in 0..self.pairs.len() {
+            for j in i + 1..self.pairs.len() {
+                let (xi, yi) = &self.pairs[i];
+                let (xj, yj) = &self.pairs[j];
+                let cross_a = (self.f)(&self.concat(xi, yj)) == self.value;
+                let cross_b = (self.f)(&self.concat(xj, yi)) == self.value;
+                if cross_a && cross_b {
+                    return Err(FoolingError::NotFooling { pairs: (i, j) });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies Theorem 6.2's boundary hypotheses on `graph`: every node
+    /// `i < m` with an edge into `[m..n)` has constant `xᵢ` across the
+    /// set, and every node `i ≥ m` with an edge into `[0..m)` has constant
+    /// `y_{i−m}`.
+    ///
+    /// Returns the cut sizes `(|C|, |D|)` on success.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FoolingError::BoundaryNotConstant`] naming the node.
+    pub fn verify_boundary(&self, graph: &DiGraph) -> Result<(usize, usize), FoolingError> {
+        let (c_edges, d_edges) = cut_edges(graph, self.m);
+        for &e in &c_edges {
+            let (i, _) = graph.endpoints(e);
+            let first = self.pairs[0].0[i];
+            if self.pairs.iter().any(|(x, _)| x[i] != first) {
+                return Err(FoolingError::BoundaryNotConstant { node: i });
+            }
+        }
+        for &e in &d_edges {
+            let (i, _) = graph.endpoints(e);
+            let first = self.pairs[0].1[i - self.m];
+            if self.pairs.iter().any(|(_, y)| y[i - self.m] != first) {
+                return Err(FoolingError::BoundaryNotConstant { node: i });
+            }
+        }
+        Ok((c_edges.len(), d_edges.len()))
+    }
+
+    /// The Theorem 6.2 lower bound on `graph`:
+    /// `Lₙ ≥ log₂|S| / (|C| + |D|)` bits, after verifying both the fooling
+    /// property and the boundary hypotheses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates verification failures.
+    pub fn label_bound(&self, graph: &DiGraph) -> Result<f64, FoolingError> {
+        self.verify()?;
+        let (c, d) = self.verify_boundary(graph)?;
+        Ok((self.size() as f64).log2() / (c + d) as f64)
+    }
+}
+
+/// The cut edge sets of Theorem 6.2: `C` (from `[0..m)` into `[m..n)`) and
+/// `D` (from `[m..n)` into `[0..m)`).
+pub fn cut_edges(graph: &DiGraph, m: usize) -> (Vec<EdgeId>, Vec<EdgeId>) {
+    let mut c = Vec::new();
+    let mut d = Vec::new();
+    for (e, u, v) in graph.edges() {
+        if u < m && v >= m {
+            c.push(e);
+        } else if v < m && u >= m {
+            d.push(e);
+        }
+    }
+    (c, d)
+}
+
+/// The paper's equality function `Eqₙ` (Section 6).
+pub fn equality_fn(x: &[bool]) -> bool {
+    let n = x.len();
+    n % 2 == 0 && x[..n / 2] == x[n / 2..]
+}
+
+/// The paper's majority function `Majₙ` (Section 6): `Σxᵢ ≥ n/2`.
+pub fn majority_fn(x: &[bool]) -> bool {
+    2 * x.iter().filter(|&&b| b).count() >= x.len()
+}
+
+/// The Corollary 6.3 fooling set for `Eqₙ` on the bidirectional `n`-ring:
+/// `S = {(x, x) : x₁ = x_{n/2} = 1}`, split at `m = n/2`.
+///
+/// Size `2^{n/2−2}`, giving the bound `(n−4)/8` bits (see the module-level
+/// reproduction note on the constant).
+///
+/// # Errors
+///
+/// Returns [`FoolingError::BadParameters`] unless `n` is even and ≥ 6.
+pub fn equality_fooling_set(n: usize) -> Result<FoolingSet, FoolingError> {
+    if n % 2 != 0 || n < 6 {
+        return Err(FoolingError::BadParameters {
+            what: format!("equality fooling set needs even n ≥ 6, got {n}"),
+        });
+    }
+    let m = n / 2;
+    // Free coordinates: positions 1..m-1 of x (0-indexed); x₀ and x_{m−1}
+    // are pinned to 1 so the ring's four cut nodes see constant inputs.
+    let free = m - 2;
+    let mut pairs = Vec::with_capacity(1 << free);
+    for bits in 0..1u64 << free {
+        let mut x = vec![true; m];
+        for (k, slot) in x.iter_mut().enumerate().take(m - 1).skip(1) {
+            *slot = bits >> (k - 1) & 1 == 1;
+        }
+        pairs.push((x.clone(), x));
+    }
+    Ok(FoolingSet { m, n, pairs, value: true, f: Box::new(equality_fn) })
+}
+
+/// The Corollary 6.4 fooling set for `Majₙ` on the bidirectional `n`-ring:
+/// the chain `Q = {(1, 1^k 0^{m−1−k})}` paired with complements,
+/// split at `m = ⌊n/2⌋`.
+///
+/// Size `⌊n/2⌋ − 1` (one chain element dropped to satisfy the boundary
+/// hypotheses; see the module-level note), giving the bound
+/// `log₂(⌊n/2⌋−1)/4` bits.
+///
+/// # Errors
+///
+/// Returns [`FoolingError::BadParameters`] for `n < 6`.
+pub fn majority_fooling_set(n: usize) -> Result<FoolingSet, FoolingError> {
+    if n < 6 {
+        return Err(FoolingError::BadParameters {
+            what: format!("majority fooling set needs n ≥ 6, got {n}"),
+        });
+    }
+    let m = n / 2;
+    let mut pairs = Vec::with_capacity(m - 1);
+    // k = m−1 would set x_{m−1} = 1, breaking boundary constancy; drop it.
+    for k in 0..m - 1 {
+        let mut x = vec![false; m];
+        x[0] = true;
+        for slot in x.iter_mut().take(k + 1).skip(1) {
+            *slot = true;
+        }
+        let mut y: Vec<bool> = x.iter().map(|&b| !b).collect();
+        if n % 2 == 1 {
+            y.push(true); // the paper's fixed trailing 1 for odd rings
+        }
+        pairs.push((x, y));
+    }
+    Ok(FoolingSet { m, n, pairs, value: true, f: Box::new(majority_fn) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stateless_core::topology;
+
+    #[test]
+    fn equality_fooling_set_verifies_and_bounds() {
+        for n in [6usize, 8, 10, 12] {
+            let fs = equality_fooling_set(n).unwrap();
+            assert_eq!(fs.size(), 1 << (n / 2 - 2));
+            fs.verify().unwrap();
+            let g = topology::bidirectional_ring(n);
+            let bound = fs.label_bound(&g).unwrap();
+            let expected = (n as f64 - 4.0) / 8.0;
+            assert!((bound - expected).abs() < 1e-9, "n={n}: {bound} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn majority_fooling_set_verifies_and_bounds() {
+        for n in [6usize, 7, 9, 10, 12, 15] {
+            let fs = majority_fooling_set(n).unwrap();
+            assert_eq!(fs.size(), n / 2 - 1);
+            fs.verify().unwrap();
+            let g = topology::bidirectional_ring(n);
+            let bound = fs.label_bound(&g).unwrap();
+            let expected = ((n / 2 - 1) as f64).log2() / 4.0;
+            assert!((bound - expected).abs() < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn bad_parameters_are_rejected() {
+        assert!(equality_fooling_set(7).is_err());
+        assert!(equality_fooling_set(4).is_err());
+        assert!(majority_fooling_set(4).is_err());
+    }
+
+    #[test]
+    fn verify_catches_wrong_value() {
+        let fs = FoolingSet {
+            m: 1,
+            n: 2,
+            pairs: vec![(vec![true], vec![false])],
+            value: true,
+            f: Box::new(equality_fn),
+        };
+        assert_eq!(fs.verify(), Err(FoolingError::WrongValue { pair: 0 }));
+    }
+
+    #[test]
+    fn verify_catches_non_fooling_pairs() {
+        // OR is constant 1 on these pairs and all crosses: not fooling.
+        let fs = FoolingSet {
+            m: 1,
+            n: 2,
+            pairs: vec![(vec![true], vec![false]), (vec![true], vec![true])],
+            value: true,
+            f: Box::new(|x: &[bool]| x.iter().any(|&b| b)),
+        };
+        assert_eq!(fs.verify(), Err(FoolingError::NotFooling { pairs: (0, 1) }));
+    }
+
+    #[test]
+    fn boundary_violation_is_detected() {
+        // Equality fooling set WITHOUT pinning x_{m−1}: boundary check on
+        // the ring must fail.
+        let n = 8;
+        let m = 4;
+        let mut pairs = Vec::new();
+        for bits in 0..8u8 {
+            let mut x = vec![true; m];
+            for k in 1..m {
+                x[k] = bits >> (k - 1) & 1 == 1;
+            }
+            pairs.push((x.clone(), x));
+        }
+        let fs = FoolingSet { m, n, pairs, value: true, f: Box::new(equality_fn) };
+        fs.verify().unwrap();
+        let g = topology::bidirectional_ring(n);
+        assert_eq!(
+            fs.verify_boundary(&g),
+            Err(FoolingError::BoundaryNotConstant { node: 3 })
+        );
+    }
+
+    #[test]
+    fn cut_edges_on_the_ring_are_four() {
+        let g = topology::bidirectional_ring(10);
+        let (c, d) = cut_edges(&g, 5);
+        assert_eq!(c.len(), 2);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn cut_edges_on_clique_grow_quadratically() {
+        let g = topology::clique(6);
+        let (c, d) = cut_edges(&g, 3);
+        assert_eq!(c.len(), 9);
+        assert_eq!(d.len(), 9);
+    }
+}

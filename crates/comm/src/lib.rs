@@ -1,0 +1,30 @@
+//! # comm-complexity
+//!
+//! Lower-bound machinery from Part II of "Stateless Computation":
+//!
+//! * [`fooling`] — fooling sets (Definition 6.1), the cut-aware
+//!   label-complexity bound of Theorem 6.2, and the verified fooling sets
+//!   behind Corollaries 6.3 (equality) and 6.4 (majority);
+//! * [`counting`] — the counting bound of Theorem 5.10
+//!   (`Lₙ ≥ n/(4k)` on degree-`k` graphs);
+//! * [`disjointness`] — set-disjointness utilities for the Theorem 4.1
+//!   communication reduction.
+//!
+//! ```
+//! use comm_complexity::fooling;
+//! use stateless_core::topology;
+//!
+//! // Corollary 6.3: label-stabilizing equality on the bidirectional
+//! // 12-ring needs ≥ 1 bit labels (and Θ(n) asymptotically).
+//! let fs = fooling::equality_fooling_set(12)?;
+//! let ring = topology::bidirectional_ring(12);
+//! assert!(fs.label_bound(&ring)? >= 1.0);
+//! # Ok::<(), comm_complexity::fooling::FoolingError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counting;
+pub mod disjointness;
+pub mod fooling;

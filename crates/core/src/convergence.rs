@@ -1,0 +1,355 @@
+//! Exact classification of synchronous runs.
+//!
+//! Under the synchronous (1-fair) schedule the global transition is a
+//! deterministic function of the labeling alone, so every run eventually
+//! enters a cycle; detecting that cycle classifies the run exactly:
+//!
+//! * cycle of period 1 → the run **label-stabilizes**, and the round at
+//!   which it first reached the fixed point is its label-convergence time;
+//! * period > 1 with constant outputs along the cycle → the run
+//!   **output-stabilizes** but not label-stabilizes (the labels oscillate
+//!   forever while outputs stay put);
+//! * otherwise the run oscillates in outputs too.
+//!
+//! This is the measurement used for the paper's round complexity `Rₙ`
+//! (Section 2.3), which is defined for synchronous interaction.
+
+use std::collections::HashMap;
+
+use crate::error::CoreError;
+use crate::label::Label;
+use crate::protocol::Protocol;
+use crate::{Input, Output};
+
+/// The exact outcome of a synchronous run from one initial labeling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyncOutcome<L> {
+    /// The labeling reached a fixed point.
+    LabelStable {
+        /// First round at which the stable labeling held.
+        round: u64,
+        /// The stable labeling.
+        labeling: Vec<L>,
+        /// Node outputs at (and forever after) stabilization.
+        outputs: Vec<Output>,
+    },
+    /// The labeling entered a cycle of period ≥ 2.
+    Oscillating {
+        /// First round of the recurring segment.
+        cycle_start: u64,
+        /// Cycle period (≥ 2).
+        period: u64,
+        /// If outputs are constant along the cycle: the round after which
+        /// outputs never change again, and their final values.
+        outputs_stable: Option<(u64, Vec<Output>)>,
+    },
+}
+
+impl<L> SyncOutcome<L> {
+    /// Whether the run label-stabilized.
+    pub fn is_label_stable(&self) -> bool {
+        matches!(self, SyncOutcome::LabelStable { .. })
+    }
+
+    /// Whether the run output-stabilized (label stability implies it).
+    pub fn is_output_stable(&self) -> bool {
+        match self {
+            SyncOutcome::LabelStable { .. } => true,
+            SyncOutcome::Oscillating { outputs_stable, .. } => outputs_stable.is_some(),
+        }
+    }
+
+    /// The converged outputs, if the run output-stabilized.
+    pub fn final_outputs(&self) -> Option<&[Output]> {
+        match self {
+            SyncOutcome::LabelStable { outputs, .. } => Some(outputs),
+            SyncOutcome::Oscillating { outputs_stable, .. } => {
+                outputs_stable.as_ref().map(|(_, o)| o.as_slice())
+            }
+        }
+    }
+
+    /// The output-convergence round: the earliest round after which outputs
+    /// never change, if the run output-stabilized.
+    pub fn output_round(&self) -> Option<u64> {
+        match self {
+            SyncOutcome::LabelStable { round, .. } => Some(*round),
+            SyncOutcome::Oscillating { outputs_stable, .. } => {
+                outputs_stable.as_ref().map(|&(r, _)| r)
+            }
+        }
+    }
+}
+
+/// Runs `protocol` synchronously from `initial` and classifies the run by
+/// exact cycle detection (hashing every visited labeling).
+///
+/// Memory is proportional to the number of distinct labelings visited,
+/// which is at most `|Σ|^|E|` — use only where that is acceptable; the cap
+/// `max_states` aborts earlier.
+///
+/// # Errors
+///
+/// Returns [`CoreError::NotConverged`] if more than `max_states` distinct
+/// labelings were visited without closing a cycle, and validation errors
+/// for mismatched lengths.
+pub fn classify_sync<L: Label>(
+    protocol: &Protocol<L>,
+    inputs: &[Input],
+    initial: Vec<L>,
+    max_states: usize,
+) -> Result<SyncOutcome<L>, CoreError> {
+    protocol.check_lengths(&initial, inputs)?;
+    let n = protocol.node_count();
+    let mut seen: HashMap<Vec<L>, u64> = HashMap::new();
+    // history[t] = labeling at round t; outputs_history[t] = outputs
+    // produced by the step from round t-1 to t (outputs_history[0] is the
+    // pre-run placeholder and never inspected).
+    let mut history: Vec<Vec<L>> = vec![initial.clone()];
+    let mut outputs_history: Vec<Vec<Output>> = vec![vec![0; n]];
+    let mut current = initial;
+    seen.insert(current.clone(), 0);
+
+    for t in 1..=(max_states as u64) {
+        let mut next = current.clone();
+        let mut outs = vec![0; n];
+        for node in 0..n {
+            let (outgoing, output) = protocol.apply(node, &current, inputs[node])?;
+            for (slot, &e) in outgoing.into_iter().zip(protocol.graph().out_edges(node)) {
+                next[e] = slot;
+            }
+            outs[node] = output;
+        }
+        if let Some(&s) = seen.get(&next) {
+            let period = t - s;
+            if period == 1 && next == current {
+                // Fixed point: find the first round the labeling equaled it.
+                let round = history
+                    .iter()
+                    .position(|l| *l == next)
+                    .expect("fixed point was visited") as u64;
+                // Outputs after stabilization: produced by stepping from the
+                // stable labeling.
+                return Ok(SyncOutcome::LabelStable { round, labeling: next, outputs: outs });
+            }
+            history.push(next.clone());
+            outputs_history.push(outs);
+            // Outputs along the cycle are outputs_history[s+1 ..= t]; they
+            // are the recurring output vectors (the step out of round s
+            // produced outputs_history[s+1], and the cycle repeats).
+            let cycle_outputs = &outputs_history[(s + 1) as usize..=t as usize];
+            let constant = cycle_outputs.windows(2).all(|w| w[0] == w[1]);
+            let outputs_stable = if constant {
+                let final_outputs = cycle_outputs[0].clone();
+                // Earliest round after which outputs never changed: walk
+                // back from the end of recorded history.
+                let mut round = s + 1;
+                for back in (1..=t).rev() {
+                    if outputs_history[back as usize] != final_outputs {
+                        round = back + 1;
+                        break;
+                    }
+                    round = back;
+                }
+                Some((round, final_outputs))
+            } else {
+                None
+            };
+            return Ok(SyncOutcome::Oscillating { cycle_start: s, period, outputs_stable });
+        }
+        seen.insert(next.clone(), t);
+        history.push(next.clone());
+        outputs_history.push(outs);
+        current = next;
+    }
+    Err(CoreError::NotConverged { steps: max_states as u64 })
+}
+
+/// Measures the synchronous round complexity of `protocol` over a set of
+/// initial labelings and one input: the maximum label-stabilization round,
+/// or `None` if some run oscillates.
+///
+/// # Errors
+///
+/// Propagates [`classify_sync`] errors.
+pub fn sync_round_complexity<L: Label>(
+    protocol: &Protocol<L>,
+    inputs: &[Input],
+    initials: impl IntoIterator<Item = Vec<L>>,
+    max_states: usize,
+) -> Result<Option<u64>, CoreError> {
+    let mut worst = 0;
+    for initial in initials {
+        match classify_sync(protocol, inputs, initial, max_states)? {
+            SyncOutcome::LabelStable { round, .. } => worst = worst.max(round),
+            SyncOutcome::Oscillating { .. } => return Ok(None),
+        }
+    }
+    Ok(Some(worst))
+}
+
+/// Enumerates all labelings of a graph with `edges` edges over the label
+/// alphabet `alphabet` (cartesian power). Intended for exhaustive sweeps on
+/// tiny instances; the iterator yields `|alphabet|^edges` items.
+pub fn all_labelings<L: Label>(alphabet: &[L], edges: usize) -> AllLabelings<L> {
+    AllLabelings { alphabet: alphabet.to_vec(), counters: vec![0; edges], done: alphabet.is_empty() && edges > 0 }
+}
+
+/// Iterator over all labelings; see [`all_labelings`].
+#[derive(Debug, Clone)]
+pub struct AllLabelings<L> {
+    alphabet: Vec<L>,
+    counters: Vec<usize>,
+    done: bool,
+}
+
+impl<L: Label> Iterator for AllLabelings<L> {
+    type Item = Vec<L>;
+
+    fn next(&mut self) -> Option<Vec<L>> {
+        if self.done {
+            return None;
+        }
+        let item: Vec<L> =
+            self.counters.iter().map(|&c| self.alphabet[c].clone()).collect();
+        // Increment odometer.
+        let mut i = 0;
+        loop {
+            if i == self.counters.len() {
+                self.done = true;
+                break;
+            }
+            self.counters[i] += 1;
+            if self.counters[i] == self.alphabet.len() {
+                self.counters[i] = 0;
+                i += 1;
+            } else {
+                break;
+            }
+        }
+        Some(item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reaction::FnReaction;
+    use crate::topology;
+
+    fn max_ring(n: usize) -> Protocol<u64> {
+        Protocol::builder(topology::unidirectional_ring(n), 8.0)
+            .uniform_reaction(FnReaction::new(|_, incoming: &[u64], input| {
+                let m = incoming[0].max(input);
+                (vec![m], m)
+            }))
+            .build()
+            .unwrap()
+    }
+
+    fn rotate_ring(n: usize) -> Protocol<u64> {
+        Protocol::builder(topology::unidirectional_ring(n), 8.0)
+            .uniform_reaction(FnReaction::new(|_, incoming: &[u64], _| {
+                (vec![incoming[0]], incoming[0])
+            }))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn classify_detects_fixed_point_and_round() {
+        let p = max_ring(4);
+        let outcome = classify_sync(&p, &[1, 2, 3, 4], vec![0; 4], 10_000).unwrap();
+        match outcome {
+            SyncOutcome::LabelStable { round, labeling, outputs } => {
+                assert!(round <= 4);
+                assert_eq!(labeling, vec![4; 4]);
+                assert_eq!(outputs, vec![4; 4]);
+            }
+            other => panic!("expected label stability, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classify_detects_oscillation_with_period() {
+        let p = rotate_ring(3);
+        let outcome = classify_sync(&p, &[0; 3], vec![7, 8, 9], 10_000).unwrap();
+        match outcome {
+            SyncOutcome::Oscillating { cycle_start, period, outputs_stable } => {
+                assert_eq!(cycle_start, 0);
+                assert_eq!(period, 3);
+                assert!(outputs_stable.is_none(), "rotating distinct outputs");
+            }
+            other => panic!("expected oscillation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn output_stable_label_oscillation() {
+        // Rotating identical labels but constant outputs: rotate labels,
+        // output a constant.
+        let p = Protocol::builder(topology::unidirectional_ring(3), 8.0)
+            .uniform_reaction(FnReaction::new(|_, incoming: &[u64], _| {
+                (vec![incoming[0].wrapping_add(1) % 2], 42)
+            }))
+            .build()
+            .unwrap();
+        // Labels cycle (parity flip through ring of odd size → period 2).
+        let outcome = classify_sync(&p, &[0; 3], vec![0, 1, 0], 10_000).unwrap();
+        match outcome {
+            SyncOutcome::Oscillating { outputs_stable, .. } => {
+                let (round, outs) = outputs_stable.expect("outputs constant");
+                assert_eq!(outs, vec![42; 3]);
+                assert!(round <= 1);
+            }
+            SyncOutcome::LabelStable { .. } => panic!("labels should oscillate"),
+        }
+    }
+
+    #[test]
+    fn round_complexity_over_all_initials() {
+        let p = max_ring(3);
+        let initials = all_labelings(&[0u64, 1, 2], 3);
+        let r = sync_round_complexity(&p, &[0, 1, 2], initials, 10_000)
+            .unwrap()
+            .expect("max protocol always stabilizes");
+        // Labels ≥ inputs are absorbed within n rounds.
+        assert!(r <= 3, "got {r}");
+    }
+
+    #[test]
+    fn round_complexity_none_on_oscillators() {
+        let p = rotate_ring(3);
+        let initials = vec![vec![0u64, 1, 2]];
+        assert_eq!(sync_round_complexity(&p, &[0; 3], initials, 1000).unwrap(), None);
+    }
+
+    #[test]
+    fn all_labelings_enumerates_cartesian_power() {
+        let all: Vec<Vec<bool>> = all_labelings(&[false, true], 3).collect();
+        assert_eq!(all.len(), 8);
+        assert_eq!(all[0], vec![false, false, false]);
+        assert!(all.contains(&vec![true, false, true]));
+        let dedup: std::collections::HashSet<_> = all.iter().cloned().collect();
+        assert_eq!(dedup.len(), 8);
+    }
+
+    #[test]
+    fn all_labelings_zero_edges_is_single_empty() {
+        let all: Vec<Vec<bool>> = all_labelings(&[false, true], 0).collect();
+        assert_eq!(all, vec![Vec::<bool>::new()]);
+    }
+
+    #[test]
+    fn classify_respects_state_cap() {
+        let p = Protocol::builder(topology::unidirectional_ring(2), 64.0)
+            .uniform_reaction(FnReaction::new(|_, incoming: &[u64], _| {
+                (vec![incoming[0] + 1], 0)
+            }))
+            .build()
+            .unwrap();
+        // Counter grows unboundedly; must hit the cap.
+        let err = classify_sync(&p, &[0, 0], vec![0, 0], 100).unwrap_err();
+        assert_eq!(err, CoreError::NotConverged { steps: 100 });
+    }
+}

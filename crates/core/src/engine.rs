@@ -1,0 +1,308 @@
+//! The simulation engine: executes `(ℓᵗ, yᵗ) = δ(ℓᵗ⁻¹, x, σ(t))`.
+
+use crate::error::CoreError;
+use crate::label::Label;
+use crate::protocol::Protocol;
+use crate::schedule::Schedule;
+use crate::{Input, NodeId, Output};
+
+/// A running instance of a stateless protocol: the current labeling `ℓᵗ`,
+/// the last outputs `yᵗ`, and the fixed inputs `x`.
+///
+/// The engine is faithful to the paper's semantics: all nodes activated at
+/// step `t` read the labeling from the *end of step `t−1`* and their writes
+/// are committed simultaneously.
+///
+/// # Examples
+///
+/// See the crate-level quickstart.
+#[derive(Debug)]
+pub struct Simulation<'p, L: Label> {
+    protocol: &'p Protocol<L>,
+    labeling: Vec<L>,
+    outputs: Vec<Output>,
+    inputs: Vec<Input>,
+    time: u64,
+}
+
+impl<'p, L: Label> Simulation<'p, L> {
+    /// Starts a simulation with the given inputs and initial labeling `ℓ⁰`.
+    /// Outputs start at `0` (they are meaningless until a node first
+    /// reacts, exactly as in the model, where `yᵢ` is only defined after
+    /// `i`'s first activation).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the labeling or input lengths do not match the
+    /// protocol's graph.
+    pub fn new(
+        protocol: &'p Protocol<L>,
+        inputs: &[Input],
+        initial_labeling: Vec<L>,
+    ) -> Result<Self, CoreError> {
+        protocol.check_lengths(&initial_labeling, inputs)?;
+        Ok(Simulation {
+            protocol,
+            labeling: initial_labeling,
+            outputs: vec![0; protocol.node_count()],
+            inputs: inputs.to_vec(),
+            time: 0,
+        })
+    }
+
+    /// The protocol being run.
+    pub fn protocol(&self) -> &'p Protocol<L> {
+        self.protocol
+    }
+
+    /// The current labeling `ℓᵗ`, indexed by edge id.
+    pub fn labeling(&self) -> &[L] {
+        &self.labeling
+    }
+
+    /// The most recent output of every node.
+    pub fn outputs(&self) -> &[Output] {
+        &self.outputs
+    }
+
+    /// The fixed input vector `x`.
+    pub fn inputs(&self) -> &[Input] {
+        &self.inputs
+    }
+
+    /// The number of steps executed so far.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Executes one step activating exactly the nodes in `active`
+    /// (duplicates are allowed and ignored). All activated nodes observe the
+    /// pre-step labeling; their writes are committed together.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a reaction function returns the wrong number of outgoing
+    /// labels or an activation names a nonexistent node — both are bugs in
+    /// the caller's protocol, not runtime conditions.
+    pub fn step_with(&mut self, active: &[NodeId]) {
+        let mut writes: Vec<(NodeId, Vec<L>, Output)> = Vec::with_capacity(active.len());
+        for &node in active {
+            assert!(
+                node < self.protocol.node_count(),
+                "activation of nonexistent node {node}"
+            );
+            let (outgoing, output) = self
+                .protocol
+                .apply(node, &self.labeling, self.inputs[node])
+                .expect("reaction arity validated by Protocol::apply");
+            writes.push((node, outgoing, output));
+        }
+        for (node, outgoing, output) in writes {
+            for (slot, &e) in outgoing.into_iter().zip(self.protocol.graph().out_edges(node)) {
+                self.labeling[e] = slot;
+            }
+            self.outputs[node] = output;
+        }
+        self.time += 1;
+    }
+
+    /// Runs `steps` steps under `schedule`.
+    pub fn run(&mut self, schedule: &mut dyn Schedule, steps: u64) {
+        for _ in 0..steps {
+            let active = schedule.activations(self.time + 1, self.protocol.node_count());
+            self.step_with(&active);
+        }
+    }
+
+    /// Whether the current labeling is a stable labeling (a fixed point of
+    /// every reaction function).
+    pub fn is_label_stable(&self) -> bool {
+        self.protocol
+            .is_stable_labeling(&self.labeling, &self.inputs)
+            .expect("lengths validated at construction")
+    }
+
+    /// Runs under `schedule` until the labeling is stable, up to
+    /// `max_steps`. Returns the number of steps taken.
+    ///
+    /// Note: for *non-synchronous* schedules a stable labeling is the only
+    /// sound notion of convergence a bounded observer can certify; the
+    /// exact product-graph verification lives in `stabilization-verify`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotConverged`] if the labeling is still unstable
+    /// after `max_steps`.
+    pub fn run_until_label_stable(
+        &mut self,
+        schedule: &mut dyn Schedule,
+        max_steps: u64,
+    ) -> Result<u64, CoreError> {
+        let start = self.time;
+        for _ in 0..max_steps {
+            if self.is_label_stable() {
+                return Ok(self.time - start);
+            }
+            let active = schedule.activations(self.time + 1, self.protocol.node_count());
+            self.step_with(&active);
+        }
+        if self.is_label_stable() {
+            Ok(self.time - start)
+        } else {
+            Err(CoreError::NotConverged { steps: max_steps })
+        }
+    }
+
+    /// Runs under `schedule` until the *outputs* stop changing for
+    /// `quiet_steps` consecutive steps, up to `max_steps`. Returns the step
+    /// count at the last output change (a practical, not certified,
+    /// output-convergence time).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotConverged`] if outputs kept changing.
+    pub fn run_until_outputs_quiesce(
+        &mut self,
+        schedule: &mut dyn Schedule,
+        quiet_steps: u64,
+        max_steps: u64,
+    ) -> Result<u64, CoreError> {
+        let start = self.time;
+        let mut last_change = 0u64;
+        let mut prev = self.outputs.clone();
+        for _ in 0..max_steps {
+            let active = schedule.activations(self.time + 1, self.protocol.node_count());
+            self.step_with(&active);
+            if self.outputs != prev {
+                last_change = self.time - start;
+                prev = self.outputs.clone();
+            } else if (self.time - start) - last_change >= quiet_steps {
+                return Ok(last_change);
+            }
+        }
+        Err(CoreError::NotConverged { steps: max_steps })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reaction::FnReaction;
+    use crate::schedule::{RoundRobin, Synchronous};
+    use crate::topology;
+
+    /// Token-passing on the unidirectional ring: each node forwards its
+    /// incoming label; the labeling rotates forever.
+    fn rotate_ring(n: usize) -> Protocol<u64> {
+        Protocol::builder(topology::unidirectional_ring(n), 8.0)
+            .name("rotate")
+            .uniform_reaction(FnReaction::new(|_, incoming: &[u64], _| {
+                (vec![incoming[0]], incoming[0])
+            }))
+            .build()
+            .unwrap()
+    }
+
+    /// Max-propagation on the unidirectional ring: converges to the global
+    /// max everywhere.
+    fn max_ring(n: usize) -> Protocol<u64> {
+        Protocol::builder(topology::unidirectional_ring(n), 8.0)
+            .name("max")
+            .uniform_reaction(FnReaction::new(|_, incoming: &[u64], input| {
+                let m = incoming[0].max(input);
+                (vec![m], m)
+            }))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn synchronous_rotation_moves_all_labels() {
+        let p = rotate_ring(4);
+        let mut sim = Simulation::new(&p, &[0; 4], vec![10, 20, 30, 40]).unwrap();
+        sim.run(&mut Synchronous, 1);
+        // Edge i holds the label previously on edge i-1.
+        assert_eq!(sim.labeling(), &[40, 10, 20, 30]);
+        sim.run(&mut Synchronous, 3);
+        assert_eq!(sim.labeling(), &[10, 20, 30, 40], "period n rotation");
+    }
+
+    #[test]
+    fn simultaneity_within_a_step() {
+        // Two nodes swap labels through a 2-clique; simultaneous activation
+        // must read the *old* labels on both sides.
+        let p = Protocol::builder(topology::clique(2), 8.0)
+            .uniform_reaction(FnReaction::new(|_, incoming: &[u64], _| {
+                (vec![incoming[0]], incoming[0])
+            }))
+            .build()
+            .unwrap();
+        let mut sim = Simulation::new(&p, &[0, 0], vec![1, 2]).unwrap();
+        sim.step_with(&[0, 1]);
+        assert_eq!(sim.labeling(), &[2, 1], "labels swapped, not clobbered");
+        sim.step_with(&[0, 1]);
+        assert_eq!(sim.labeling(), &[1, 2]);
+    }
+
+    #[test]
+    fn max_ring_label_stabilizes_within_n_rounds() {
+        let p = max_ring(5);
+        let mut sim = Simulation::new(&p, &[3, 1, 4, 1, 5], vec![0; 5]).unwrap();
+        let steps = sim.run_until_label_stable(&mut Synchronous, 100).unwrap();
+        assert!(steps <= 5, "took {steps} rounds");
+        assert!(sim.is_label_stable());
+        assert_eq!(sim.outputs(), &[5; 5]);
+    }
+
+    #[test]
+    fn round_robin_also_converges() {
+        let p = max_ring(5);
+        let mut sim = Simulation::new(&p, &[3, 1, 4, 1, 5], vec![0; 5]).unwrap();
+        let mut sched = RoundRobin::new(1);
+        sim.run_until_label_stable(&mut sched, 200).unwrap();
+        assert_eq!(sim.outputs().iter().filter(|&&y| y == 5).count(), 5);
+    }
+
+    #[test]
+    fn rotation_never_label_stabilizes() {
+        let p = rotate_ring(3);
+        let mut sim = Simulation::new(&p, &[0; 3], vec![1, 2, 3]).unwrap();
+        let err = sim.run_until_label_stable(&mut Synchronous, 50).unwrap_err();
+        assert_eq!(err, CoreError::NotConverged { steps: 50 });
+    }
+
+    #[test]
+    fn outputs_quiesce_on_max_ring() {
+        let p = max_ring(4);
+        let mut sim = Simulation::new(&p, &[9, 2, 2, 2], vec![0; 4]).unwrap();
+        let last_change = sim
+            .run_until_outputs_quiesce(&mut Synchronous, 10, 1000)
+            .unwrap();
+        assert!(last_change <= 4);
+        assert_eq!(sim.outputs(), &[9; 4]);
+    }
+
+    #[test]
+    fn new_validates_lengths() {
+        let p = max_ring(3);
+        assert!(Simulation::new(&p, &[0, 0], vec![0, 0, 0]).is_err());
+        assert!(Simulation::new(&p, &[0, 0, 0], vec![0, 0]).is_err());
+    }
+
+    #[test]
+    fn time_advances_per_step() {
+        let p = max_ring(3);
+        let mut sim = Simulation::new(&p, &[0, 0, 0], vec![0, 0, 0]).unwrap();
+        assert_eq!(sim.time(), 0);
+        sim.run(&mut Synchronous, 7);
+        assert_eq!(sim.time(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonexistent node")]
+    fn activating_missing_node_panics() {
+        let p = max_ring(3);
+        let mut sim = Simulation::new(&p, &[0, 0, 0], vec![0, 0, 0]).unwrap();
+        sim.step_with(&[5]);
+    }
+}

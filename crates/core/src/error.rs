@@ -1,0 +1,168 @@
+//! Error types shared across the crate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{EdgeId, NodeId};
+
+/// Errors produced while constructing or running stateless protocols.
+///
+/// # Examples
+///
+/// ```
+/// use stateless_core::CoreError;
+///
+/// let err = CoreError::NodeOutOfRange { node: 7, node_count: 3 };
+/// assert!(err.to_string().contains("node 7"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A node id was not in `0..node_count`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// The number of nodes of the graph.
+        node_count: usize,
+    },
+    /// An edge between the given endpoints was inserted twice
+    /// (graphs are simple: at most one edge per ordered pair).
+    DuplicateEdge {
+        /// Source node.
+        from: NodeId,
+        /// Destination node.
+        to: NodeId,
+    },
+    /// A self-loop was requested; the model has no self-edges
+    /// (a node never reads its own outgoing labels — that is what makes
+    /// the computation *stateless*).
+    SelfLoop {
+        /// The node on which the self-loop was requested.
+        node: NodeId,
+    },
+    /// The protocol requires a strongly connected graph but the given one
+    /// is not.
+    NotStronglyConnected,
+    /// A reaction was not supplied for some node before `build()`.
+    MissingReaction {
+        /// The node lacking a reaction function.
+        node: NodeId,
+    },
+    /// A reaction returned the wrong number of outgoing labels.
+    WrongOutgoingArity {
+        /// The node whose reaction misbehaved.
+        node: NodeId,
+        /// Number of labels the reaction returned.
+        got: usize,
+        /// The node's out-degree.
+        expected: usize,
+    },
+    /// An initial labeling had the wrong length.
+    WrongLabelingLength {
+        /// Length supplied.
+        got: usize,
+        /// Edge count of the graph.
+        expected: usize,
+    },
+    /// An input vector had the wrong length.
+    WrongInputLength {
+        /// Length supplied.
+        got: usize,
+        /// Node count of the graph.
+        expected: usize,
+    },
+    /// A bounded-horizon run did not converge within the step budget.
+    NotConverged {
+        /// The number of steps executed before giving up.
+        steps: u64,
+    },
+    /// A parameter was outside its documented domain
+    /// (e.g. an even ring size where an odd one is required).
+    InvalidParameter {
+        /// Human-readable description of the violated requirement.
+        what: String,
+    },
+    /// An edge id was not in `0..edge_count`.
+    EdgeOutOfRange {
+        /// The offending edge id.
+        edge: EdgeId,
+        /// The number of edges of the graph.
+        edge_count: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range for graph with {node_count} nodes")
+            }
+            CoreError::DuplicateEdge { from, to } => {
+                write!(f, "duplicate edge ({from}, {to}); graphs are simple")
+            }
+            CoreError::SelfLoop { node } => {
+                write!(f, "self-loop on node {node}; stateless nodes have no self-edges")
+            }
+            CoreError::NotStronglyConnected => {
+                write!(f, "graph is not strongly connected")
+            }
+            CoreError::MissingReaction { node } => {
+                write!(f, "no reaction function supplied for node {node}")
+            }
+            CoreError::WrongOutgoingArity { node, got, expected } => write!(
+                f,
+                "reaction of node {node} returned {got} outgoing labels, expected {expected}"
+            ),
+            CoreError::WrongLabelingLength { got, expected } => {
+                write!(f, "labeling has length {got}, graph has {expected} edges")
+            }
+            CoreError::WrongInputLength { got, expected } => {
+                write!(f, "input vector has length {got}, graph has {expected} nodes")
+            }
+            CoreError::NotConverged { steps } => {
+                write!(f, "run did not converge within {steps} steps")
+            }
+            CoreError::InvalidParameter { what } => {
+                write!(f, "invalid parameter: {what}")
+            }
+            CoreError::EdgeOutOfRange { edge, edge_count } => {
+                write!(f, "edge {edge} out of range for graph with {edge_count} edges")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let cases = [
+            CoreError::NodeOutOfRange { node: 1, node_count: 1 },
+            CoreError::DuplicateEdge { from: 0, to: 1 },
+            CoreError::SelfLoop { node: 2 },
+            CoreError::NotStronglyConnected,
+            CoreError::MissingReaction { node: 0 },
+            CoreError::WrongOutgoingArity { node: 0, got: 1, expected: 2 },
+            CoreError::WrongLabelingLength { got: 1, expected: 2 },
+            CoreError::WrongInputLength { got: 1, expected: 2 },
+            CoreError::NotConverged { steps: 10 },
+            CoreError::InvalidParameter { what: "n must be odd".into() },
+            CoreError::EdgeOutOfRange { edge: 9, edge_count: 2 },
+        ];
+        for c in cases {
+            let s = c.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,96 @@
+//! The label space `Σ`.
+//!
+//! A label is any cloneable, hashable value type; structured protocol labels
+//! (counter fields, Turing-machine configurations, …) are ordinary structs
+//! implementing [`Label`] via the blanket impl. Label *complexity* — the
+//! paper's `Lₙ = log₂|Σ|` — is declared per protocol (see
+//! [`Protocol::label_bits`](crate::protocol::Protocol::label_bits)) because
+//! the Rust representation may be wider than the information-theoretic
+//! label length.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A value usable as an edge label.
+///
+/// Blanket-implemented for every `Clone + Eq + Hash + Debug + Send + Sync +
+/// 'static` type; you never implement it manually.
+///
+/// # Examples
+///
+/// ```
+/// use stateless_core::label::Label;
+///
+/// fn assert_label<L: Label>() {}
+/// assert_label::<bool>();
+/// assert_label::<u64>();
+/// assert_label::<(u8, u8, bool)>();
+/// ```
+pub trait Label: Clone + Eq + Hash + Debug + Send + Sync + 'static {}
+
+impl<T: Clone + Eq + Hash + Debug + Send + Sync + 'static> Label for T {}
+
+/// Number of bits needed to address a space of `cardinality` labels:
+/// `⌈log₂ cardinality⌉`, the paper's `Lₙ` for a concrete finite `Σ`.
+///
+/// Returns `0.0` for cardinalities `0` and `1` (a single label carries no
+/// information).
+///
+/// # Examples
+///
+/// ```
+/// use stateless_core::label::bits_for_cardinality;
+///
+/// assert_eq!(bits_for_cardinality(2), 1.0);
+/// assert_eq!(bits_for_cardinality(8), 3.0);
+/// assert_eq!(bits_for_cardinality(9), 4.0);
+/// assert_eq!(bits_for_cardinality(1), 0.0);
+/// ```
+pub fn bits_for_cardinality(cardinality: u128) -> f64 {
+    if cardinality <= 1 {
+        return 0.0;
+    }
+    let exact = 128 - (cardinality - 1).leading_zeros();
+    f64::from(exact)
+}
+
+/// Exact `log₂` of a cardinality, for reporting fractional label
+/// complexities (e.g. lower bounds like `(n−2)/8` bits).
+///
+/// # Examples
+///
+/// ```
+/// use stateless_core::label::log2_cardinality;
+///
+/// assert!((log2_cardinality(8) - 3.0).abs() < 1e-12);
+/// assert!((log2_cardinality(6) - 2.585).abs() < 1e-3);
+/// ```
+pub fn log2_cardinality(cardinality: u128) -> f64 {
+    if cardinality <= 1 {
+        return 0.0;
+    }
+    (cardinality as f64).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_rounds_up() {
+        assert_eq!(bits_for_cardinality(0), 0.0);
+        assert_eq!(bits_for_cardinality(1), 0.0);
+        assert_eq!(bits_for_cardinality(2), 1.0);
+        assert_eq!(bits_for_cardinality(3), 2.0);
+        assert_eq!(bits_for_cardinality(4), 2.0);
+        assert_eq!(bits_for_cardinality(1 << 20), 20.0);
+        assert_eq!(bits_for_cardinality((1 << 20) + 1), 21.0);
+    }
+
+    #[test]
+    fn log2_is_exact_on_powers() {
+        for k in 0..30u32 {
+            assert!((log2_cardinality(1u128 << k) - f64::from(k)).abs() < 1e-9);
+        }
+    }
+}

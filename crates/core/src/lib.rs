@@ -1,0 +1,98 @@
+//! # stateless-core
+//!
+//! The model of *stateless distributed computation* from
+//! "Stateless Computation" (Dolev, Erdmann, Lutz, Schapira, Zair — PODC 2017).
+//!
+//! Processors have **no internal state**. Each node `i` of a strongly
+//! connected directed graph is a pure *reaction function*
+//!
+//! ```text
+//! δᵢ : Σ⁻ⁱ × X → Σ⁺ⁱ × Y
+//! ```
+//!
+//! mapping the labels of its incoming edges and its private input to labels
+//! for its outgoing edges and an output value. An *adversarial schedule*
+//! `σ : t ↦ σ(t) ⊆ [n]` decides which nodes react at each time step; the
+//! aggregate transition is `(ℓᵗ, yᵗ) = δ(ℓᵗ⁻¹, x, σ(t))`.
+//!
+//! This crate provides the pieces of that definition as composable types:
+//!
+//! * [`graph::DiGraph`] — directed graphs, plus the standard topologies the
+//!   paper studies ([`topology`]): rings, cliques, stars, hypercubes, tori.
+//! * [`label::Label`] — the label space `Σ` (any hashable value type).
+//! * [`reaction::Reaction`] — the reaction function `δᵢ`.
+//! * [`protocol::Protocol`] — a graph together with one reaction per node
+//!   (the pair `(Σ, δ)` of the paper).
+//! * [`schedule::Schedule`] — synchronous, round-robin, scripted, and random
+//!   r-fair schedules, plus fairness monitoring.
+//! * [`engine::Simulation`] — executes `(ℓᵗ, yᵗ) = δ(ℓᵗ⁻¹, x, σ(t))`.
+//! * [`convergence`] — exact classification of synchronous runs
+//!   (label-stable / oscillating) by cycle detection, and bounded-horizon
+//!   convergence helpers for arbitrary schedules.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use stateless_core::prelude::*;
+//!
+//! // A 1-bit OR protocol on the clique K₃: every node broadcasts whether it
+//! // has seen a 1; outputs converge to OR(x₁,x₂,x₃) in one synchronous round.
+//! let graph = topology::clique(3);
+//! let mut builder = Protocol::builder(graph, 1.0).name("or-on-clique");
+//! for node in 0..3 {
+//!     builder = builder.reaction(
+//!         node,
+//!         FnReaction::new(move |_, incoming: &[bool], input| {
+//!             let bit = input == 1 || incoming.iter().any(|&b| b);
+//!             (vec![bit; 2], u64::from(bit))
+//!         }),
+//!     );
+//! }
+//! let protocol = builder.build()?;
+//! let mut sim = Simulation::new(&protocol, &[0, 1, 0], vec![false; 6])?;
+//! sim.run(&mut Synchronous, 3);
+//! assert_eq!(sim.outputs(), &[1, 1, 1]);
+//! # Ok::<(), stateless_core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convergence;
+pub mod engine;
+pub mod error;
+pub mod graph;
+pub mod label;
+pub mod protocol;
+pub mod reaction;
+pub mod schedule;
+pub mod topology;
+pub mod trace;
+
+pub use error::CoreError;
+
+/// Identifies a node (processor) of a [`graph::DiGraph`]; nodes are `0..n`.
+pub type NodeId = usize;
+/// Identifies a directed edge of a [`graph::DiGraph`], in insertion order.
+pub type EdgeId = usize;
+/// A private node input `xᵢ` (the paper's input space `X`, encoded in `u64`;
+/// Boolean inputs use `0`/`1`).
+pub type Input = u64;
+/// A node output value `yᵢ` (the paper's `Y`; Boolean outputs use `0`/`1`).
+pub type Output = u64;
+
+/// Convenient glob-import of the whole public surface.
+pub mod prelude {
+    pub use crate::convergence::{classify_sync, SyncOutcome};
+    pub use crate::engine::Simulation;
+    pub use crate::error::CoreError;
+    pub use crate::graph::DiGraph;
+    pub use crate::label::Label;
+    pub use crate::protocol::{Protocol, ProtocolBuilder};
+    pub use crate::reaction::{FnReaction, Reaction};
+    pub use crate::schedule::{
+        FairnessMonitor, RandomRFair, RoundRobin, Schedule, Scripted, Synchronous,
+    };
+    pub use crate::topology;
+    pub use crate::{EdgeId, Input, NodeId, Output};
+}

@@ -1,0 +1,125 @@
+//! Reaction functions `δᵢ : Σ⁻ⁱ × X → Σ⁺ⁱ × Y`.
+//!
+//! A reaction is a *pure* function: it borrows itself immutably, so the type
+//! system enforces the statelessness restriction of the model — a node can
+//! react only to what it currently sees on its incoming edges, never to
+//! anything it remembers.
+
+use crate::label::Label;
+use crate::{Input, NodeId, Output};
+
+/// A node's reaction function.
+///
+/// `incoming` is ordered like
+/// [`DiGraph::in_edges`](crate::graph::DiGraph::in_edges) for the node, and
+/// the returned outgoing vector must be ordered like
+/// [`DiGraph::out_edges`](crate::graph::DiGraph::out_edges) and have exactly
+/// the node's out-degree (the engine validates this).
+///
+/// Implementations must be deterministic: the model's global transition
+/// `(ℓᵗ, yᵗ) = δ(ℓᵗ⁻¹, x, σ(t))` is a function, and the exact verification
+/// algorithms in `stabilization-verify` rely on it.
+///
+/// # Examples
+///
+/// ```
+/// use stateless_core::reaction::{FnReaction, Reaction};
+///
+/// // A relay node on a unidirectional ring: forward the incoming label,
+/// // output its value.
+/// let relay = FnReaction::new(|_node, incoming: &[u64], _input| {
+///     (vec![incoming[0]], incoming[0])
+/// });
+/// let (out, y) = relay.react(3, &[42], 0);
+/// assert_eq!(out, vec![42]);
+/// assert_eq!(y, 42);
+/// ```
+pub trait Reaction<L: Label>: Send + Sync {
+    /// Maps the node's incoming labels and private input to outgoing labels
+    /// and an output value.
+    fn react(&self, node: NodeId, incoming: &[L], input: Input) -> (Vec<L>, Output);
+}
+
+/// Adapts a closure into a [`Reaction`].
+///
+/// This is the workhorse for building protocols; see the crate-level
+/// example. The wrapped closure must be deterministic.
+pub struct FnReaction<F> {
+    f: F,
+}
+
+impl<F> FnReaction<F> {
+    /// Wraps `f` as a reaction function.
+    pub fn new(f: F) -> Self {
+        FnReaction { f }
+    }
+}
+
+impl<F> std::fmt::Debug for FnReaction<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnReaction").finish_non_exhaustive()
+    }
+}
+
+impl<L, F> Reaction<L> for FnReaction<F>
+where
+    L: Label,
+    F: Fn(NodeId, &[L], Input) -> (Vec<L>, Output) + Send + Sync,
+{
+    fn react(&self, node: NodeId, incoming: &[L], input: Input) -> (Vec<L>, Output) {
+        (self.f)(node, incoming, input)
+    }
+}
+
+/// A reaction that repeats one constant label on all outgoing edges and
+/// outputs a constant — useful as a placeholder and in tests.
+#[derive(Debug, Clone)]
+pub struct ConstReaction<L> {
+    label: L,
+    output: Output,
+    out_degree: usize,
+}
+
+impl<L: Label> ConstReaction<L> {
+    /// Creates a reaction that always emits `label` on each of the node's
+    /// `out_degree` outgoing edges and outputs `output`.
+    pub fn new(label: L, output: Output, out_degree: usize) -> Self {
+        ConstReaction { label, output, out_degree }
+    }
+}
+
+impl<L: Label> Reaction<L> for ConstReaction<L> {
+    fn react(&self, _node: NodeId, _incoming: &[L], _input: Input) -> (Vec<L>, Output) {
+        (vec![self.label.clone(); self.out_degree], self.output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_reaction_passes_node_and_input_through() {
+        let r = FnReaction::new(|node, incoming: &[u64], input| {
+            (vec![input + node as u64], incoming.len() as u64)
+        });
+        let (out, y) = r.react(2, &[9, 9, 9], 40);
+        assert_eq!(out, vec![42]);
+        assert_eq!(y, 3);
+    }
+
+    #[test]
+    fn const_reaction_ignores_everything() {
+        let r = ConstReaction::new(true, 1, 3);
+        let (out, y) = r.react(0, &[false, false], 99);
+        assert_eq!(out, vec![true, true, true]);
+        assert_eq!(y, 1);
+    }
+
+    #[test]
+    fn reactions_are_object_safe() {
+        let boxed: Box<dyn Reaction<bool>> = Box::new(ConstReaction::new(false, 0, 1));
+        let (out, _) = boxed.react(0, &[], 0);
+        assert_eq!(out, vec![false]);
+    }
+}

@@ -1,0 +1,307 @@
+//! Schedules `σ : N⁺ → 2^[n]` and fairness.
+//!
+//! A schedule decides which nodes are activated at each time step. The paper
+//! distinguishes *fair* schedules (every node activated infinitely often)
+//! and *r-fair* schedules (every node activated at least once in every `r`
+//! consecutive steps); the synchronous case is `r = 1`.
+
+use rand::{Rng, RngExt};
+
+use crate::NodeId;
+
+/// A source of activation sets.
+///
+/// `activations(t, n)` returns the set `σ(t)` for time step `t ≥ 1` on a
+/// graph with `n` nodes. Implementations may be stateful (e.g. random
+/// schedules track deadlines) but must return a nonempty subset of `0..n`.
+pub trait Schedule {
+    /// The activation set for time step `t` (1-based) on `n` nodes.
+    fn activations(&mut self, t: u64, n: usize) -> Vec<NodeId>;
+}
+
+/// The synchronous schedule: every node is activated at every step
+/// (1-fair). This is the setting of the paper's Part II.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Synchronous;
+
+impl Schedule for Synchronous {
+    fn activations(&mut self, _t: u64, n: usize) -> Vec<NodeId> {
+        (0..n).collect()
+    }
+}
+
+/// Round-robin: activates `k` consecutive nodes per step, wrapping around.
+/// With `k = 1` this is the canonical n-fair sequential schedule.
+#[derive(Debug, Clone)]
+pub struct RoundRobin {
+    k: usize,
+    next: usize,
+}
+
+impl RoundRobin {
+    /// A round-robin schedule activating `k ≥ 1` nodes per step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "round-robin must activate at least one node per step");
+        RoundRobin { k, next: 0 }
+    }
+}
+
+impl Schedule for RoundRobin {
+    fn activations(&mut self, _t: u64, n: usize) -> Vec<NodeId> {
+        let mut set = Vec::with_capacity(self.k.min(n));
+        for i in 0..self.k.min(n) {
+            set.push((self.next + i) % n);
+        }
+        self.next = (self.next + self.k) % n.max(1);
+        set.sort_unstable();
+        set.dedup();
+        set
+    }
+}
+
+/// A scripted schedule: replays a fixed sequence of activation sets,
+/// cycling when it reaches the end. This is how the adversarial schedules
+/// from the paper's proofs (e.g. the Example 1 oscillation and the
+/// Theorem B.8 set-disjointness schedule) are expressed.
+#[derive(Debug, Clone)]
+pub struct Scripted {
+    steps: Vec<Vec<NodeId>>,
+    pos: usize,
+}
+
+impl Scripted {
+    /// Builds a scripted schedule from `steps`; after the last entry the
+    /// script repeats from the beginning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty or contains an empty activation set.
+    pub fn cycle(steps: Vec<Vec<NodeId>>) -> Self {
+        assert!(!steps.is_empty(), "scripted schedule needs at least one step");
+        assert!(
+            steps.iter().all(|s| !s.is_empty()),
+            "activation sets must be nonempty"
+        );
+        Scripted { steps, pos: 0 }
+    }
+
+    /// The script length before repetition.
+    pub fn period(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// The largest gap between consecutive activations of any node over one
+    /// period (considering the cyclic repetition): the smallest `r` for
+    /// which this schedule is r-fair.
+    ///
+    /// Returns `None` if some node in `0..n` never appears (the schedule is
+    /// not even fair for that node).
+    pub fn fairness(&self, n: usize) -> Option<usize> {
+        let period = self.steps.len();
+        let mut worst = 0usize;
+        for node in 0..n {
+            let hits: Vec<usize> = (0..period)
+                .filter(|&i| self.steps[i].contains(&node))
+                .collect();
+            if hits.is_empty() {
+                return None;
+            }
+            for (k, &h) in hits.iter().enumerate() {
+                let prev = if k == 0 { hits[hits.len() - 1] as isize - period as isize } else { hits[k - 1] as isize };
+                let gap = (h as isize - prev) as usize;
+                worst = worst.max(gap);
+            }
+        }
+        Some(worst)
+    }
+}
+
+impl Schedule for Scripted {
+    fn activations(&mut self, _t: u64, _n: usize) -> Vec<NodeId> {
+        let set = self.steps[self.pos].clone();
+        self.pos = (self.pos + 1) % self.steps.len();
+        set
+    }
+}
+
+/// A randomized r-fair schedule: each step activates each node
+/// independently with probability `p`, then force-includes every node whose
+/// activation deadline (r steps since last activation) has arrived, so the
+/// produced schedule is r-fair **by construction**.
+#[derive(Debug)]
+pub struct RandomRFair<R> {
+    r: usize,
+    p: f64,
+    rng: R,
+    since: Vec<usize>,
+}
+
+impl<R: Rng> RandomRFair<R> {
+    /// Creates an r-fair random schedule with per-node inclusion probability
+    /// `p` (forced inclusions are added on top).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r == 0` or `p` is not in `[0, 1]`.
+    pub fn new(r: usize, p: f64, rng: R) -> Self {
+        assert!(r >= 1, "fairness parameter r must be at least 1");
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        RandomRFair { r, p, rng, since: Vec::new() }
+    }
+
+    /// The fairness parameter `r`.
+    pub fn r(&self) -> usize {
+        self.r
+    }
+}
+
+impl<R: Rng> Schedule for RandomRFair<R> {
+    fn activations(&mut self, _t: u64, n: usize) -> Vec<NodeId> {
+        if self.since.len() != n {
+            self.since = vec![0; n];
+        }
+        let mut set: Vec<NodeId> = Vec::new();
+        for node in 0..n {
+            self.since[node] += 1;
+            let forced = self.since[node] >= self.r;
+            if forced || self.rng.random_bool(self.p) {
+                set.push(node);
+                self.since[node] = 0;
+            }
+        }
+        if set.is_empty() {
+            // A schedule maps to a *nonempty* subset; activate one random
+            // node so the step is well-formed.
+            let node = self.rng.random_range(0..n);
+            set.push(node);
+            self.since[node] = 0;
+        }
+        set
+    }
+}
+
+/// Wraps a schedule and records the observed fairness: the largest gap any
+/// node has gone without activation. Useful to *check* that an allegedly
+/// r-fair schedule really is one.
+#[derive(Debug)]
+pub struct FairnessMonitor<S> {
+    inner: S,
+    since: Vec<usize>,
+    worst_gap: usize,
+}
+
+impl<S: Schedule> FairnessMonitor<S> {
+    /// Wraps `inner`.
+    pub fn new(inner: S) -> Self {
+        FairnessMonitor { inner, since: Vec::new(), worst_gap: 0 }
+    }
+
+    /// The largest observed activation gap so far (a lower bound on the
+    /// schedule's true fairness parameter `r`).
+    pub fn worst_gap(&self) -> usize {
+        self.worst_gap
+    }
+
+    /// Consumes the monitor, returning the wrapped schedule.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: Schedule> Schedule for FairnessMonitor<S> {
+    fn activations(&mut self, t: u64, n: usize) -> Vec<NodeId> {
+        if self.since.len() != n {
+            self.since = vec![0; n];
+        }
+        let set = self.inner.activations(t, n);
+        for node in 0..n {
+            self.since[node] += 1;
+        }
+        for &node in &set {
+            self.worst_gap = self.worst_gap.max(self.since[node]);
+            self.since[node] = 0;
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn synchronous_activates_everyone() {
+        let mut s = Synchronous;
+        assert_eq!(s.activations(1, 4), vec![0, 1, 2, 3]);
+        assert_eq!(s.activations(99, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn round_robin_single_is_n_fair() {
+        let mut s = FairnessMonitor::new(RoundRobin::new(1));
+        for t in 1..=20 {
+            s.activations(t, 5);
+        }
+        assert_eq!(s.worst_gap(), 5);
+    }
+
+    #[test]
+    fn round_robin_k_wraps() {
+        let mut s = RoundRobin::new(3);
+        assert_eq!(s.activations(1, 4), vec![0, 1, 2]);
+        assert_eq!(s.activations(2, 4), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn scripted_cycles_and_reports_fairness() {
+        let s = Scripted::cycle(vec![vec![0, 1], vec![1, 2], vec![0, 2]]);
+        assert_eq!(s.fairness(3), Some(2));
+        let mut s = s;
+        assert_eq!(s.activations(1, 3), vec![0, 1]);
+        assert_eq!(s.activations(2, 3), vec![1, 2]);
+        assert_eq!(s.activations(3, 3), vec![0, 2]);
+        assert_eq!(s.activations(4, 3), vec![0, 1], "wraps around");
+    }
+
+    #[test]
+    fn scripted_fairness_none_when_node_missing() {
+        let s = Scripted::cycle(vec![vec![0], vec![1]]);
+        assert_eq!(s.fairness(3), None);
+        assert_eq!(s.fairness(2), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn scripted_rejects_empty_sets() {
+        Scripted::cycle(vec![vec![]]);
+    }
+
+    #[test]
+    fn random_rfair_is_rfair_by_construction() {
+        let rng = StdRng::seed_from_u64(3);
+        let mut s = FairnessMonitor::new(RandomRFair::new(4, 0.2, rng));
+        for t in 1..=500 {
+            let set = s.activations(t, 9);
+            assert!(!set.is_empty());
+        }
+        assert!(s.worst_gap() <= 4, "observed gap {} exceeds r=4", s.worst_gap());
+    }
+
+    #[test]
+    fn random_rfair_with_p0_is_pure_deadline() {
+        let rng = StdRng::seed_from_u64(3);
+        let mut s = FairnessMonitor::new(RandomRFair::new(3, 0.0, rng));
+        for t in 1..=300 {
+            assert!(!s.activations(t, 4).is_empty());
+        }
+        // With p = 0 nodes fire only at deadlines (or as the nonemptiness
+        // fallback), so the worst gap is exactly r.
+        assert_eq!(s.worst_gap(), 3);
+    }
+}

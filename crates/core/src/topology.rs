@@ -1,0 +1,306 @@
+//! Standard topologies studied in the paper, with documented edge orderings.
+//!
+//! The paper's constructions depend on knowing *which* incoming label comes
+//! from which neighbor. Every constructor here documents the incoming and
+//! outgoing edge order it guarantees, and the protocol crates rely on those
+//! orders (they are additionally asserted via
+//! [`DiGraph::in_neighbor_index`](crate::graph::DiGraph::in_neighbor_index)
+//! at protocol-construction time).
+
+use rand::prelude::IndexedRandom;
+use rand::{Rng, RngExt};
+
+use crate::graph::DiGraph;
+use crate::NodeId;
+
+/// The unidirectional ring `0 → 1 → … → n−1 → 0`.
+///
+/// Edge `i` is `(i, (i+1) mod n)`. Every node has exactly one incoming and
+/// one outgoing edge, so reactions see `incoming[0]` = label from the
+/// predecessor and emit `outgoing[0]` = label to the successor.
+///
+/// # Panics
+///
+/// Panics if `n < 2` (a ring needs at least two nodes).
+pub fn unidirectional_ring(n: usize) -> DiGraph {
+    assert!(n >= 2, "a unidirectional ring needs at least 2 nodes");
+    let mut g = DiGraph::new(n);
+    for i in 0..n {
+        g.add_edge(i, (i + 1) % n).expect("ring edges are valid");
+    }
+    g
+}
+
+/// The bidirectional ring on `n` nodes: node `i` is linked with
+/// `(i±1) mod n` in both directions.
+///
+/// Orderings guaranteed for every node `i`:
+/// * `incoming[0]` is the label from the counter-clockwise neighbor
+///   `(i−1) mod n`, `incoming[1]` from the clockwise neighbor `(i+1) mod n`;
+/// * `outgoing[0]` goes clockwise to `(i+1) mod n`, `outgoing[1]` goes
+///   counter-clockwise to `(i−1) mod n`.
+///
+/// # Panics
+///
+/// Panics if `n < 3` (antiparallel pairs need three distinct nodes to form
+/// a simple ring).
+pub fn bidirectional_ring(n: usize) -> DiGraph {
+    assert!(n >= 3, "a bidirectional ring needs at least 3 nodes");
+    let mut g = DiGraph::new(n);
+    // First all clockwise edges (i, i+1), then all counter-clockwise ones.
+    // For node i: in-edges arrive in order [from i-1 (cw edge), from i+1
+    // (ccw edge)] because cw edges are inserted first; out-edges in order
+    // [to i+1 (cw), to i-1 (ccw)] for the same reason.
+    for i in 0..n {
+        g.add_edge(i, (i + 1) % n).expect("cw ring edges are valid");
+    }
+    for i in 0..n {
+        g.add_edge(i, (i + n - 1) % n).expect("ccw ring edges are valid");
+    }
+    g
+}
+
+/// The clique `Kₙ`: every ordered pair is an edge.
+///
+/// For node `i`, both incoming and outgoing edges are ordered by the other
+/// endpoint ascending (i.e. neighbors `0,…,i−1,i+1,…,n−1`).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn clique(n: usize) -> DiGraph {
+    assert!(n >= 2, "a clique needs at least 2 nodes");
+    let mut g = DiGraph::new(n);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                g.add_edge(i, j).expect("clique edges are valid");
+            }
+        }
+    }
+    g
+}
+
+/// The star on `n` nodes with bidirectional spokes: node `0` is the hub.
+///
+/// The hub's incoming/outgoing edges are ordered by leaf id ascending.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn star(n: usize) -> DiGraph {
+    assert!(n >= 2, "a star needs at least 2 nodes");
+    let mut g = DiGraph::new(n);
+    for leaf in 1..n {
+        g.add_edge(0, leaf).expect("spoke is valid");
+        g.add_edge(leaf, 0).expect("spoke is valid");
+    }
+    g
+}
+
+/// A bidirectional path `0 — 1 — … — n−1`: each consecutive pair is linked
+/// by antiparallel edges, so the graph is strongly connected.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn bidirectional_path(n: usize) -> DiGraph {
+    assert!(n >= 2, "a path needs at least 2 nodes");
+    let mut g = DiGraph::new(n);
+    for i in 0..n - 1 {
+        g.add_edge(i, i + 1).expect("path edge is valid");
+        g.add_edge(i + 1, i).expect("path edge is valid");
+    }
+    g
+}
+
+/// The hypercube `Q_d` with bidirectional links: nodes are `0..2^d`,
+/// adjacent iff their ids differ in exactly one bit.
+///
+/// # Panics
+///
+/// Panics if `d == 0` or `d > 20`.
+pub fn hypercube(d: u32) -> DiGraph {
+    assert!(d >= 1 && d <= 20, "hypercube dimension must be in 1..=20");
+    let n = 1usize << d;
+    let mut g = DiGraph::new(n);
+    for v in 0..n {
+        for bit in 0..d {
+            let u = v ^ (1 << bit);
+            g.add_edge(v, u).expect("hypercube edge is valid");
+        }
+    }
+    g
+}
+
+/// The `w × h` torus with bidirectional links (4-neighbor wrap-around grid).
+///
+/// Node `(r, c)` has id `r*w + c`.
+///
+/// # Panics
+///
+/// Panics if `w < 3` or `h < 3` (smaller wrap-arounds create parallel
+/// edges, which simple graphs forbid).
+pub fn torus(w: usize, h: usize) -> DiGraph {
+    assert!(w >= 3 && h >= 3, "torus dimensions must be at least 3×3");
+    let mut g = DiGraph::new(w * h);
+    let id = |r: usize, c: usize| r * w + c;
+    for r in 0..h {
+        for c in 0..w {
+            let here = id(r, c);
+            for (nr, nc) in [
+                (r, (c + 1) % w),
+                (r, (c + w - 1) % w),
+                ((r + 1) % h, c),
+                ((r + h - 1) % h, c),
+            ] {
+                let there = id(nr, nc);
+                if !g.has_edge(here, there) {
+                    g.add_edge(here, there).expect("torus edge is valid");
+                }
+            }
+        }
+    }
+    g
+}
+
+/// A random strongly connected digraph: a random Hamiltonian cycle plus
+/// `extra_edges` additional random non-duplicate edges.
+///
+/// Deterministic given the RNG state — experiments seed it explicitly.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or if `extra_edges` exceeds `n·(n−1) − n` (the number
+/// of edges not on the cycle).
+pub fn random_strongly_connected<R: Rng>(n: usize, extra_edges: usize, rng: &mut R) -> DiGraph {
+    assert!(n >= 2, "need at least 2 nodes");
+    assert!(
+        extra_edges <= n * (n - 1) - n,
+        "extra_edges exceeds available non-cycle edges"
+    );
+    let mut perm: Vec<NodeId> = (0..n).collect();
+    // Fisher-Yates shuffle.
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        perm.swap(i, j);
+    }
+    let mut g = DiGraph::new(n);
+    for i in 0..n {
+        g.add_edge(perm[i], perm[(i + 1) % n]).expect("cycle edge is valid");
+    }
+    let mut remaining: Vec<(NodeId, NodeId)> = (0..n)
+        .flat_map(|u| (0..n).map(move |v| (u, v)))
+        .filter(|&(u, v)| u != v && !g.has_edge(u, v))
+        .collect();
+    for _ in 0..extra_edges {
+        let pick = *remaining.choose(rng).expect("enough edges remain");
+        remaining.retain(|&e| e != pick);
+        g.add_edge(pick.0, pick.1).expect("edge was free");
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unidirectional_ring_shape() {
+        let g = unidirectional_ring(5);
+        assert_eq!(g.edge_count(), 5);
+        assert!(g.is_strongly_connected());
+        for i in 0..5 {
+            assert_eq!(g.in_degree(i), 1);
+            assert_eq!(g.out_degree(i), 1);
+            assert_eq!(g.out_neighbors(i), vec![(i + 1) % 5]);
+        }
+        assert_eq!(g.radius(), Some(4));
+    }
+
+    #[test]
+    fn bidirectional_ring_orderings() {
+        let n = 7;
+        let g = bidirectional_ring(n);
+        assert_eq!(g.edge_count(), 2 * n);
+        assert!(g.is_strongly_connected());
+        for i in 0..n {
+            let ccw = (i + n - 1) % n;
+            let cw = (i + 1) % n;
+            assert_eq!(g.in_neighbor_index(i, ccw), Some(0), "incoming[0] is from ccw");
+            assert_eq!(g.in_neighbor_index(i, cw), Some(1), "incoming[1] is from cw");
+            assert_eq!(g.out_neighbor_index(i, cw), Some(0), "outgoing[0] goes cw");
+            assert_eq!(g.out_neighbor_index(i, ccw), Some(1), "outgoing[1] goes ccw");
+        }
+        assert_eq!(g.radius(), Some(n / 2));
+    }
+
+    #[test]
+    fn clique_neighbor_order_is_ascending() {
+        let g = clique(4);
+        assert_eq!(g.edge_count(), 12);
+        assert_eq!(g.in_neighbors(2), vec![0, 1, 3]);
+        assert_eq!(g.out_neighbors(2), vec![0, 1, 3]);
+        assert_eq!(g.radius(), Some(1));
+        assert_eq!(g.max_degree(), 6);
+    }
+
+    #[test]
+    fn star_is_strongly_connected_radius_one() {
+        let g = star(6);
+        assert!(g.is_strongly_connected());
+        assert_eq!(g.eccentricity(0), Some(1));
+        assert_eq!(g.radius(), Some(1));
+        assert_eq!(g.diameter(), Some(2));
+    }
+
+    #[test]
+    fn hypercube_degrees() {
+        let g = hypercube(3);
+        assert_eq!(g.node_count(), 8);
+        assert_eq!(g.edge_count(), 8 * 3);
+        assert!(g.is_strongly_connected());
+        for v in 0..8 {
+            assert_eq!(g.out_degree(v), 3);
+        }
+        assert_eq!(g.diameter(), Some(3));
+    }
+
+    #[test]
+    fn torus_shape() {
+        let g = torus(3, 4);
+        assert_eq!(g.node_count(), 12);
+        assert!(g.is_strongly_connected());
+        for v in 0..12 {
+            assert_eq!(g.out_degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn bidirectional_path_connected() {
+        let g = bidirectional_path(4);
+        assert!(g.is_strongly_connected());
+        assert_eq!(g.diameter(), Some(3));
+    }
+
+    #[test]
+    fn random_graph_is_strongly_connected_and_deterministic() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g1 = random_strongly_connected(8, 10, &mut rng);
+        assert!(g1.is_strongly_connected());
+        assert_eq!(g1.edge_count(), 18);
+        let mut rng = StdRng::seed_from_u64(7);
+        let g2 = random_strongly_connected(8, 10, &mut rng);
+        let e1: Vec<_> = g1.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2, "same seed gives same graph");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn bidirectional_ring_rejects_n2() {
+        bidirectional_ring(2);
+    }
+}

@@ -1,0 +1,158 @@
+//! Execution traces: compact records of a run for debugging experiments.
+
+use std::fmt;
+
+use crate::engine::Simulation;
+use crate::label::Label;
+use crate::schedule::Schedule;
+use crate::{NodeId, Output};
+
+/// One recorded step of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStep {
+    /// Time step (1-based).
+    pub time: u64,
+    /// Activated nodes.
+    pub active: Vec<NodeId>,
+    /// Outputs after the step.
+    pub outputs: Vec<Output>,
+    /// Whether the labeling changed during the step.
+    pub labeling_changed: bool,
+}
+
+/// A bounded trace of a simulation run.
+///
+/// # Examples
+///
+/// ```
+/// use stateless_core::prelude::*;
+/// use stateless_core::trace::Trace;
+///
+/// let graph = topology::unidirectional_ring(3);
+/// let p = Protocol::builder(graph, 8.0)
+///     .uniform_reaction(FnReaction::new(|_, inc: &[u64], x| {
+///         let m = inc[0].max(x);
+///         (vec![m], m)
+///     }))
+///     .build()?;
+/// let mut sim = Simulation::new(&p, &[5, 1, 2], vec![0; 3])?;
+/// let trace = Trace::record(&mut sim, &mut Synchronous, 6);
+/// assert_eq!(trace.len(), 6);
+/// assert!(trace.quiescent_suffix() >= 1, "max protocol settles");
+/// # Ok::<(), stateless_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    steps: Vec<TraceStep>,
+}
+
+impl Trace {
+    /// Runs `sim` for `steps` steps under `schedule`, recording each step.
+    pub fn record<L: Label>(
+        sim: &mut Simulation<'_, L>,
+        schedule: &mut dyn Schedule,
+        steps: u64,
+    ) -> Self {
+        let mut trace = Trace { steps: Vec::with_capacity(steps as usize) };
+        for _ in 0..steps {
+            let before = sim.labeling().to_vec();
+            let active = schedule.activations(sim.time() + 1, sim.protocol().node_count());
+            sim.step_with(&active);
+            trace.steps.push(TraceStep {
+                time: sim.time(),
+                active,
+                outputs: sim.outputs().to_vec(),
+                labeling_changed: before != sim.labeling(),
+            });
+        }
+        trace
+    }
+
+    /// The recorded steps in order.
+    pub fn steps(&self) -> &[TraceStep] {
+        &self.steps
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Length of the trailing run of steps in which the labeling did not
+    /// change — a quick convergence heuristic.
+    pub fn quiescent_suffix(&self) -> usize {
+        self.steps.iter().rev().take_while(|s| !s.labeling_changed).count()
+    }
+
+    /// The per-step output vectors of one node.
+    pub fn output_series(&self, node: NodeId) -> Vec<Output> {
+        self.steps.iter().map(|s| s.outputs[node]).collect()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.steps {
+            writeln!(
+                f,
+                "t={:<4} active={:?} outputs={:?}{}",
+                s.time,
+                s.active,
+                s.outputs,
+                if s.labeling_changed { "" } else { "  (labels unchanged)" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Protocol;
+    use crate::reaction::FnReaction;
+    use crate::schedule::Synchronous;
+    use crate::topology;
+
+    fn max_ring(n: usize) -> Protocol<u64> {
+        Protocol::builder(topology::unidirectional_ring(n), 8.0)
+            .uniform_reaction(FnReaction::new(|_, inc: &[u64], x| {
+                let m = inc[0].max(x);
+                (vec![m], m)
+            }))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn trace_records_quiescence() {
+        let p = max_ring(4);
+        let mut sim = Simulation::new(&p, &[7, 0, 0, 0], vec![0; 4]).unwrap();
+        let trace = Trace::record(&mut sim, &mut Synchronous, 10);
+        assert_eq!(trace.len(), 10);
+        assert!(trace.quiescent_suffix() >= 5);
+        assert_eq!(*trace.output_series(2).last().unwrap(), 7);
+    }
+
+    #[test]
+    fn trace_display_mentions_every_step() {
+        let p = max_ring(3);
+        let mut sim = Simulation::new(&p, &[1, 2, 3], vec![0; 3]).unwrap();
+        let trace = Trace::record(&mut sim, &mut Synchronous, 3);
+        let text = trace.to_string();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("t=1"));
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.quiescent_suffix(), 0);
+    }
+}

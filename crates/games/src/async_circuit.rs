@@ -1,0 +1,113 @@
+//! Asynchronous Boolean circuits with feedback loops as stateless
+//! computation — the paper's hardware-flavored application.
+//!
+//! Gates react to the most recent values on their input wires; wire values
+//! are edge labels and gate evaluation is the reaction function. An
+//! adversarial activation schedule models uncontrolled gate delays, so
+//! Theorem 3.1 reads: a feedback circuit with two settled states (like an
+//! SR latch) can be kept **metastable** forever by delay patterns that are
+//! (n−1)-fair.
+
+use stateless_core::prelude::*;
+use stateless_core::reaction::FnReaction;
+
+/// A cross-coupled NOR latch: node 0 is `Q`, node 1 is `Q̄`; their
+/// *inputs* are the external Set and Reset lines (`x₀ = R`, `x₁ = S`).
+///
+/// With `S = R = 0` the latch holds either state — two stable labelings —
+/// and the synchronous schedule from `(0, 0)` produces the classic
+/// metastable ping-pong.
+pub fn sr_latch() -> Protocol<bool> {
+    Protocol::builder(topology::clique(2), 1.0)
+        .name("sr-latch")
+        .uniform_reaction(FnReaction::new(|_, incoming: &[bool], input| {
+            // NOR of the external line and the other gate's output.
+            let bit = !(input == 1 || incoming[0]);
+            (vec![bit], u64::from(bit))
+        }))
+        .build()
+        .expect("both gates have reactions")
+}
+
+/// A ring oscillator: `k` inverters in a directed cycle. For odd `k` there
+/// is **no** stable labeling at all — the free-running clock of
+/// asynchronous design, and a protocol that fails to label-stabilize for
+/// every `r`.
+///
+/// # Panics
+///
+/// Panics if `k < 2`.
+pub fn ring_oscillator(k: usize) -> Protocol<bool> {
+    Protocol::builder(topology::unidirectional_ring(k), 1.0)
+        .name(format!("ring-oscillator({k})"))
+        .uniform_reaction(FnReaction::new(|_, incoming: &[bool], _| {
+            let bit = !incoming[0];
+            (vec![bit], u64::from(bit))
+        }))
+        .build()
+        .expect("all inverters have reactions")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stabilization_verify::{
+        enumerate_stable_labelings, verify_label_stabilization, Limits,
+    };
+    use stateless_core::convergence::{classify_sync, SyncOutcome};
+
+    #[test]
+    fn latch_holds_both_states_when_lines_are_idle() {
+        let p = sr_latch();
+        let stable = enumerate_stable_labelings(&p, &[0, 0], &[false, true]).unwrap();
+        // Labeling = [edge 0→1, edge 1→0] = [Q, Q̄].
+        assert_eq!(stable.len(), 2);
+        assert!(stable.contains(&vec![true, false]));
+        assert!(stable.contains(&vec![false, true]));
+    }
+
+    #[test]
+    fn latch_metastability_is_a_theorem_3_1_instance() {
+        let p = sr_latch();
+        // Two stable labelings, n = 2 ⟹ not (n−1) = 1-stabilizing.
+        let v = verify_label_stabilization(&p, &[0, 0], &[false, true], 1, Limits::default())
+            .unwrap();
+        assert!(!v.is_stabilizing());
+        // The concrete metastable run: simultaneous gate switching.
+        let outcome = classify_sync(&p, &[0, 0], vec![false, false], 1000).unwrap();
+        assert!(matches!(outcome, SyncOutcome::Oscillating { period: 2, .. }));
+    }
+
+    #[test]
+    fn asserting_set_resolves_the_latch() {
+        let p = sr_latch();
+        // S = 1, R = 0: unique fixed point (Q, Q̄) = (1, 0), reached from
+        // everywhere even under adversarial 2-fair schedules.
+        let v = verify_label_stabilization(&p, &[0, 1], &[false, true], 2, Limits::default())
+            .unwrap();
+        assert!(v.is_stabilizing());
+        let outcome = classify_sync(&p, &[0, 1], vec![false, false], 1000).unwrap();
+        match outcome {
+            SyncOutcome::LabelStable { labeling, .. } => {
+                assert_eq!(labeling, vec![true, false]);
+            }
+            other => panic!("expected resolution, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn odd_ring_oscillator_has_no_stable_labeling() {
+        let p = ring_oscillator(3);
+        let stable = enumerate_stable_labelings(&p, &[0; 3], &[false, true]).unwrap();
+        assert!(stable.is_empty());
+        let outcome = classify_sync(&p, &[0; 3], vec![false, false, false], 1000).unwrap();
+        assert!(matches!(outcome, SyncOutcome::Oscillating { .. }));
+    }
+
+    #[test]
+    fn even_ring_of_inverters_latches() {
+        let p = ring_oscillator(4);
+        let stable = enumerate_stable_labelings(&p, &[0; 4], &[false, true]).unwrap();
+        assert_eq!(stable.len(), 2, "alternating labelings are fixed points");
+    }
+}

@@ -1,0 +1,244 @@
+//! Interdomain routing (BGP) as stateless computation: the Stable Paths
+//! Problem of Griffin, Shepherd and Wilfong — the paper's headline
+//! motivating application (Section 1.1).
+//!
+//! A node's "state" is exactly its last route advertisement per neighbor,
+//! i.e. an edge label; route selection maps the neighbors' most recent
+//! advertisements to a new selection — a reaction function. Stable routing
+//! trees are stable labelings, so the paper's Theorem 3.1 turns the
+//! classic DISAGREE gadget (two stable trees) into a protocol that cannot
+//! converge under every (n−1)-fair activation schedule.
+
+use std::sync::Arc;
+
+use stateless_core::prelude::*;
+use stateless_core::reaction::FnReaction;
+
+/// A route: the sequence of nodes from the owner down to the destination
+/// (node 0). The empty vector is "no route".
+pub type Route = Vec<u8>;
+
+/// A Stable Paths Problem instance: node 0 is the destination; every
+/// other node ranks its permitted paths (best first).
+#[derive(Debug, Clone)]
+pub struct SppInstance {
+    n: usize,
+    /// `permitted[i]` for `i ≥ 1`: ranked routes, each starting with `i`
+    /// and ending with `0`.
+    permitted: Vec<Vec<Route>>,
+}
+
+impl SppInstance {
+    /// Creates an instance. `permitted[0]` must be empty (the destination
+    /// originates `[0]` itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a path does not start at its owner or end at 0.
+    pub fn new(n: usize, permitted: Vec<Vec<Route>>) -> Self {
+        assert_eq!(permitted.len(), n, "one (possibly empty) list per node");
+        for (i, paths) in permitted.iter().enumerate() {
+            for p in paths {
+                assert!(p.first() == Some(&(i as u8)), "path must start at its owner");
+                assert!(p.last() == Some(&0), "path must end at the destination");
+            }
+        }
+        SppInstance { n, permitted }
+    }
+
+    /// Number of nodes (destination included).
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Compiles BGP route selection into a stateless protocol on the
+    /// clique `K_n`: every node broadcasts its currently selected route;
+    /// upon activation it re-selects the best-ranked permitted path whose
+    /// tail matches its next hop's current advertisement. The node output
+    /// is the rank of the selected path (`u64::MAX ⇒ no route`).
+    pub fn to_protocol(&self) -> Protocol<Route> {
+        let n = self.n;
+        let deg = n - 1;
+        let longest = self
+            .permitted
+            .iter()
+            .flatten()
+            .map(|p| p.len())
+            .max()
+            .unwrap_or(1) as f64;
+        let mut builder =
+            Protocol::builder(topology::clique(n), longest * (n as f64).log2().max(1.0))
+                .name(format!("bgp-spp({n} nodes)"));
+        // The destination always advertises [0].
+        builder = builder.reaction(
+            0,
+            FnReaction::new(move |_, _: &[Route], _| (vec![vec![0u8]; deg], 0)),
+        );
+        for node in 1..n {
+            let paths = Arc::new(self.permitted[node].clone());
+            builder = builder.reaction(
+                node,
+                FnReaction::new(move |me: NodeId, incoming: &[Route], _| {
+                    let label_of = |who: NodeId| -> &Route {
+                        &incoming[if who < me { who } else { who - 1 }]
+                    };
+                    let mut chosen: Route = Vec::new();
+                    let mut rank = u64::MAX;
+                    for (k, p) in paths.iter().enumerate() {
+                        let next_hop = p[1] as NodeId;
+                        if label_of(next_hop)[..] == p[1..] {
+                            chosen = p.clone();
+                            rank = k as u64;
+                            break;
+                        }
+                    }
+                    (vec![chosen; deg], rank)
+                }),
+            );
+        }
+        builder.build().expect("all nodes have reactions")
+    }
+
+    /// The per-node-uniform labeling where each node advertises `routes[i]`.
+    pub fn labeling_from(&self, routes: &[Route]) -> Vec<Route> {
+        let graph = topology::clique(self.n);
+        let mut labeling = vec![Vec::new(); graph.edge_count()];
+        for node in 0..self.n {
+            for &e in graph.out_edges(node) {
+                labeling[e] = routes[node].clone();
+            }
+        }
+        labeling
+    }
+}
+
+/// GOOD GADGET: a chain where everyone prefers routing through the
+/// previous node — a unique stable tree; converges under every fair
+/// schedule.
+pub fn good_gadget() -> SppInstance {
+    SppInstance::new(
+        3,
+        vec![
+            vec![],
+            vec![vec![1, 0]],
+            vec![vec![2, 1, 0], vec![2, 0]],
+        ],
+    )
+}
+
+/// DISAGREE: both nodes prefer routing through each other. Two stable
+/// trees — by Theorem 3.1, not label (n−1)-stabilizing; the synchronous
+/// run from direct routes flips forever.
+pub fn disagree_gadget() -> SppInstance {
+    SppInstance::new(
+        3,
+        vec![
+            vec![],
+            vec![vec![1, 2, 0], vec![1, 0]],
+            vec![vec![2, 1, 0], vec![2, 0]],
+        ],
+    )
+}
+
+/// BAD GADGET: three nodes with cyclic preferences around the
+/// destination — **no** stable tree at all; BGP oscillates forever under
+/// any schedule that keeps everyone moving.
+pub fn bad_gadget() -> SppInstance {
+    SppInstance::new(
+        4,
+        vec![
+            vec![],
+            vec![vec![1, 2, 0], vec![1, 0]],
+            vec![vec![2, 3, 0], vec![2, 0]],
+            vec![vec![3, 1, 0], vec![3, 0]],
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stateless_core::convergence::{classify_sync, SyncOutcome};
+
+    #[test]
+    fn good_gadget_converges_everywhere() {
+        let spp = good_gadget();
+        let p = spp.to_protocol();
+        for start in [
+            vec![vec![0], vec![], vec![]],
+            vec![vec![0], vec![1, 0], vec![2, 0]],
+            vec![vec![], vec![1, 0], vec![2, 1, 0]],
+        ] {
+            let init = spp.labeling_from(&start);
+            let outcome = classify_sync(&p, &[0; 3], init, 100_000).unwrap();
+            match outcome {
+                SyncOutcome::LabelStable { outputs, .. } => {
+                    assert_eq!(outputs, vec![0, 0, 0], "best ranks everywhere");
+                }
+                other => panic!("good gadget must converge, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn disagree_has_two_stable_trees() {
+        let spp = disagree_gadget();
+        let p = spp.to_protocol();
+        let tree_a =
+            spp.labeling_from(&[vec![0], vec![1, 2, 0], vec![2, 0]]);
+        let tree_b =
+            spp.labeling_from(&[vec![0], vec![1, 0], vec![2, 1, 0]]);
+        assert!(p.is_stable_labeling(&tree_a, &[0; 3]).unwrap());
+        assert!(p.is_stable_labeling(&tree_b, &[0; 3]).unwrap());
+    }
+
+    #[test]
+    fn disagree_oscillates_synchronously_from_direct_routes() {
+        let spp = disagree_gadget();
+        let p = spp.to_protocol();
+        let init = spp.labeling_from(&[vec![0], vec![1, 0], vec![2, 0]]);
+        let outcome = classify_sync(&p, &[0; 3], init, 100_000).unwrap();
+        assert!(
+            matches!(outcome, SyncOutcome::Oscillating { .. }),
+            "the BGP 'route flap': both switch up, invalidate each other, fall back"
+        );
+    }
+
+    #[test]
+    fn disagree_converges_under_sequential_activation() {
+        // One-at-a-time activations settle into one of the two trees.
+        let spp = disagree_gadget();
+        let p = spp.to_protocol();
+        let init = spp.labeling_from(&[vec![0], vec![1, 0], vec![2, 0]]);
+        let mut sim = Simulation::new(&p, &[0; 3], init).unwrap();
+        let mut sched = RoundRobin::new(1);
+        sim.run_until_label_stable(&mut sched, 100).unwrap();
+        assert!(sim.is_label_stable());
+    }
+
+    #[test]
+    fn bad_gadget_never_stabilizes() {
+        let spp = bad_gadget();
+        let p = spp.to_protocol();
+        for start in [
+            vec![vec![0], vec![1, 0], vec![2, 0], vec![3, 0]],
+            vec![vec![0], vec![], vec![], vec![]],
+            vec![vec![0], vec![1, 2, 0], vec![2, 0], vec![3, 1, 0]],
+        ] {
+            let init = spp.labeling_from(&start);
+            let outcome = classify_sync(&p, &[0; 4], init, 100_000).unwrap();
+            assert!(
+                matches!(outcome, SyncOutcome::Oscillating { .. }),
+                "bad gadget has no stable tree"
+            );
+        }
+    }
+
+    #[test]
+    fn instance_validation() {
+        let bad = std::panic::catch_unwind(|| {
+            SppInstance::new(2, vec![vec![], vec![vec![0, 1]]])
+        });
+        assert!(bad.is_err(), "path must start at owner / end at 0");
+    }
+}

@@ -1,0 +1,124 @@
+//! Diffusion of technologies in social networks (Morris-style contagion)
+//! as stateless computation.
+//!
+//! Each agent adopts a technology iff at least a `q` fraction of its
+//! neighbors currently adopt it — a best response to coordination
+//! pressure. All-adopt and none-adopt are both stable labelings, so
+//! Theorem 3.1 applies: no matter the threshold, the dynamics cannot be
+//! label (n−1)-stabilizing.
+
+use stateless_core::graph::DiGraph;
+use stateless_core::prelude::*;
+use stateless_core::reaction::FnReaction;
+
+/// Builds the threshold-adoption protocol on `graph` (use a symmetric
+/// graph for the classic model): a node outputs and broadcasts 1 iff at
+/// least `num/den` of its in-neighbors currently broadcast 1.
+///
+/// # Panics
+///
+/// Panics if `den == 0`, `num > den`, or some node has no in-neighbors.
+pub fn contagion_protocol(graph: DiGraph, num: usize, den: usize) -> Protocol<bool> {
+    assert!(den > 0 && num <= den, "threshold must be a fraction in [0, 1]");
+    let n = graph.node_count();
+    for i in 0..n {
+        assert!(graph.in_degree(i) > 0, "every agent needs neighbors to observe");
+    }
+    let mut builder = Protocol::builder(graph.clone(), 1.0)
+        .name(format!("contagion(q={num}/{den}, n={n})"));
+    for node in 0..n {
+        let deg_out = graph.out_degree(node);
+        builder = builder.reaction(
+            node,
+            FnReaction::new(move |_, incoming: &[bool], _| {
+                let adopters = incoming.iter().filter(|&&b| b).count();
+                // adopters / indegree ≥ num / den  ⟺  adopters·den ≥ num·indegree
+                let adopt = adopters * den >= num * incoming.len() && num > 0
+                    || num == 0;
+                (vec![adopt; deg_out], u64::from(adopt))
+            }),
+        );
+    }
+    builder.build().expect("all agents have reactions")
+}
+
+/// Seeds: the uniform labeling where exactly the given nodes broadcast 1.
+pub fn seeded_labeling(graph: &DiGraph, seeds: &[NodeId]) -> Vec<bool> {
+    let mut labeling = vec![false; graph.edge_count()];
+    for &s in seeds {
+        for &e in graph.out_edges(s) {
+            labeling[e] = true;
+        }
+    }
+    labeling
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stabilization_verify::{enumerate_stable_labelings, verify_label_stabilization, Limits};
+    use stateless_core::convergence::{classify_sync, SyncOutcome};
+    use stateless_core::topology;
+
+    #[test]
+    fn both_extremes_are_stable() {
+        let g = topology::bidirectional_ring(6);
+        let p = contagion_protocol(g.clone(), 1, 2);
+        assert!(p.is_stable_labeling(&vec![false; g.edge_count()], &vec![0; 6]).unwrap());
+        assert!(p.is_stable_labeling(&vec![true; g.edge_count()], &vec![0; 6]).unwrap());
+    }
+
+    #[test]
+    fn theorem_3_1_applies_to_contagion() {
+        // Two stable labelings ⟹ not (n−1)-stabilizing: the checker finds
+        // an oscillating 2-fair schedule on the triangle.
+        let g = topology::clique(3);
+        let p = contagion_protocol(g, 1, 2);
+        let stable = enumerate_stable_labelings(&p, &[0; 3], &[false, true]).unwrap();
+        assert!(stable.len() >= 2);
+        let v = verify_label_stabilization(&p, &[0; 3], &[false, true], 2, Limits::default())
+            .unwrap();
+        assert!(!v.is_stabilizing(), "Theorem 3.1 in action");
+    }
+
+    #[test]
+    fn low_threshold_spreads_from_one_seed() {
+        let g = topology::bidirectional_ring(7);
+        let p = contagion_protocol(g.clone(), 1, 2);
+        let init = seeded_labeling(&g, &[3]);
+        let outcome = classify_sync(&p, &vec![0; 7], init, 100_000).unwrap();
+        match outcome {
+            SyncOutcome::LabelStable { outputs, .. } => {
+                assert_eq!(outputs, vec![1; 7], "full adoption");
+            }
+            other => panic!("contagion should saturate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn high_threshold_dies_from_one_seed() {
+        let g = topology::bidirectional_ring(7);
+        let p = contagion_protocol(g.clone(), 2, 2);
+        let init = seeded_labeling(&g, &[3]);
+        let outcome = classify_sync(&p, &vec![0; 7], init, 100_000).unwrap();
+        match outcome {
+            SyncOutcome::LabelStable { outputs, .. } => {
+                assert_eq!(outputs, vec![0; 7], "isolated adopter retreats");
+            }
+            other => panic!("expected die-out, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contiguous_block_spreads_under_unanimity_on_both_sides() {
+        // With q = 1/2 on the ring, a block of two adjacent seeds spreads.
+        let g = topology::bidirectional_ring(8);
+        let p = contagion_protocol(g.clone(), 1, 2);
+        let init = seeded_labeling(&g, &[3, 4]);
+        let outcome = classify_sync(&p, &vec![0; 8], init, 100_000).unwrap();
+        assert_eq!(
+            outcome.final_outputs().expect("stabilizes"),
+            &vec![1; 8][..]
+        );
+    }
+}

@@ -1,0 +1,259 @@
+//! Finite strategic games and best-response dynamics as stateless
+//! computation.
+//!
+//! The paper's framing: "best-response dynamics can be formalized in our
+//! model as the scenario that both the output set of each node and the
+//! labels of each of its outgoing edges are the same set and represent
+//! that node's possible strategies" (Section 3). A pure Nash equilibrium
+//! corresponds exactly to a stable labeling, so a game with two or more
+//! pure equilibria cannot best-response-converge under every
+//! (n−1)-fair schedule.
+
+use std::sync::Arc;
+
+use stateless_core::prelude::*;
+use stateless_core::reaction::FnReaction;
+
+/// A finite strategic game: `strategy_counts[i]` strategies per player and
+/// an integer utility function over full profiles.
+pub struct Game {
+    strategy_counts: Vec<usize>,
+    utility: Arc<dyn Fn(usize, &[usize]) -> i64 + Send + Sync>,
+}
+
+impl std::fmt::Debug for Game {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Game").field("players", &self.strategy_counts.len()).finish()
+    }
+}
+
+impl Game {
+    /// Creates a game; `utility(player, profile)` scores a full strategy
+    /// profile for one player.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are fewer than 2 players or a player has no
+    /// strategies.
+    pub fn new<U>(strategy_counts: Vec<usize>, utility: U) -> Self
+    where
+        U: Fn(usize, &[usize]) -> i64 + Send + Sync + 'static,
+    {
+        assert!(strategy_counts.len() >= 2, "need at least two players");
+        assert!(strategy_counts.iter().all(|&s| s >= 1), "players need strategies");
+        Game { strategy_counts, utility: Arc::new(utility) }
+    }
+
+    /// Number of players.
+    pub fn player_count(&self) -> usize {
+        self.strategy_counts.len()
+    }
+
+    /// The lowest-index best response of `player` to `profile` (the
+    /// paper's dynamics assume unique best responses; ties are broken
+    /// deterministically toward the smallest strategy id, preserving
+    /// determinism of the induced reaction functions).
+    pub fn best_response(&self, player: usize, profile: &[usize]) -> usize {
+        let mut best = 0;
+        let mut best_u = i64::MIN;
+        let mut trial = profile.to_vec();
+        for s in 0..self.strategy_counts[player] {
+            trial[player] = s;
+            let u = (self.utility)(player, &trial);
+            if u > best_u {
+                best_u = u;
+                best = s;
+            }
+        }
+        best
+    }
+
+    /// Whether `profile` is a pure Nash equilibrium.
+    pub fn is_nash(&self, profile: &[usize]) -> bool {
+        (0..self.player_count()).all(|p| {
+            let mut trial = profile.to_vec();
+            let here = (self.utility)(p, profile);
+            (0..self.strategy_counts[p]).all(|s| {
+                trial[p] = s;
+                let u = (self.utility)(p, &trial);
+                trial[p] = profile[p];
+                u <= here
+            })
+        })
+    }
+
+    /// Enumerates all pure Nash equilibria (small games only).
+    pub fn pure_equilibria(&self) -> Vec<Vec<usize>> {
+        let n = self.player_count();
+        let mut out = Vec::new();
+        let mut profile = vec![0usize; n];
+        loop {
+            if self.is_nash(&profile) {
+                out.push(profile.clone());
+            }
+            let mut i = 0;
+            loop {
+                if i == n {
+                    return out;
+                }
+                profile[i] += 1;
+                if profile[i] == self.strategy_counts[i] {
+                    profile[i] = 0;
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Compiles best-response dynamics into a stateless protocol on the
+    /// clique: labels are strategy ids, each node broadcasts its strategy
+    /// and best-responds to the observed profile. Stable labelings =
+    /// pure Nash equilibria.
+    pub fn to_protocol(&self) -> Protocol<u64> {
+        let n = self.player_count();
+        let deg = n - 1;
+        let max_s = *self.strategy_counts.iter().max().expect("nonempty") as f64;
+        let mut builder = Protocol::builder(topology::clique(n), max_s.log2().max(1.0))
+            .name(format!("best-response({n} players)"));
+        for player in 0..n {
+            let utility = Arc::clone(&self.utility);
+            let counts = self.strategy_counts.clone();
+            builder = builder.reaction(
+                player,
+                FnReaction::new(move |me: NodeId, incoming: &[u64], _| {
+                    // Reconstruct the observed profile; our own entry is
+                    // immaterial (best_response scans it).
+                    let mut profile = vec![0usize; counts.len()];
+                    for (k, other) in (0..counts.len()).filter(|&o| o != me).enumerate() {
+                        profile[other] =
+                            (incoming[k] as usize).min(counts[other] - 1);
+                    }
+                    let mut best = 0;
+                    let mut best_u = i64::MIN;
+                    for s in 0..counts[me] {
+                        profile[me] = s;
+                        let u = (utility)(me, &profile);
+                        if u > best_u {
+                            best_u = u;
+                            best = s;
+                        }
+                    }
+                    (vec![best as u64; deg], best as u64)
+                }),
+            );
+        }
+        builder.build().expect("all players have reactions")
+    }
+}
+
+/// A 2-player coordination game: both prefer matching strategies —
+/// two pure equilibria, the canonical Theorem 3.1 instability example.
+pub fn coordination() -> Game {
+    Game::new(vec![2, 2], |p, prof| {
+        let _ = p;
+        i64::from(prof[0] == prof[1])
+    })
+}
+
+/// Matching pennies: no pure equilibrium, best responses cycle forever.
+pub fn matching_pennies() -> Game {
+    Game::new(vec![2, 2], |p, prof| {
+        let matches = prof[0] == prof[1];
+        if (p == 0) == matches {
+            1
+        } else {
+            -1
+        }
+    })
+}
+
+/// Prisoner's dilemma: a dominant-strategy equilibrium — best-response
+/// dynamics converge under every fair schedule.
+pub fn prisoners_dilemma() -> Game {
+    // Strategy 0 = cooperate, 1 = defect.
+    Game::new(vec![2, 2], |p, prof| {
+        let (mine, theirs) = (prof[p], prof[1 - p]);
+        match (mine, theirs) {
+            (0, 0) => 3,
+            (0, 1) => 0,
+            (1, 0) => 5,
+            (1, 1) => 1,
+            _ => unreachable!("binary strategies"),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stabilization_verify::{enumerate_stable_labelings, verify_label_stabilization, Limits};
+    use stateless_core::convergence::{classify_sync, SyncOutcome};
+
+    #[test]
+    fn equilibria_enumeration() {
+        assert_eq!(coordination().pure_equilibria().len(), 2);
+        assert_eq!(matching_pennies().pure_equilibria().len(), 0);
+        assert_eq!(prisoners_dilemma().pure_equilibria(), vec![vec![1, 1]]);
+    }
+
+    #[test]
+    fn stable_labelings_are_exactly_pure_equilibria() {
+        let game = coordination();
+        let p = game.to_protocol();
+        let stable = enumerate_stable_labelings(&p, &[0, 0], &[0u64, 1]).unwrap();
+        assert_eq!(stable.len(), 2);
+        assert!(stable.contains(&vec![0, 0]));
+        assert!(stable.contains(&vec![1, 1]));
+    }
+
+    #[test]
+    fn coordination_is_not_1_stabilizing_by_theorem_3_1() {
+        // n = 2, two equilibria: Theorem 3.1 with r = n − 1 = 1 (the
+        // synchronous schedule) predicts oscillation — indeed, mismatched
+        // players swap forever.
+        let game = coordination();
+        let p = game.to_protocol();
+        let v =
+            verify_label_stabilization(&p, &[0, 0], &[0u64, 1], 1, Limits::default()).unwrap();
+        assert!(!v.is_stabilizing());
+        let outcome = classify_sync(&p, &[0, 0], vec![0u64, 1], 1000).unwrap();
+        assert!(matches!(outcome, SyncOutcome::Oscillating { .. }));
+    }
+
+    #[test]
+    fn matching_pennies_never_settles() {
+        let p = matching_pennies().to_protocol();
+        for init in [[0u64, 0], [0, 1], [1, 0], [1, 1]] {
+            let outcome = classify_sync(&p, &[0, 0], init.to_vec(), 1000).unwrap();
+            assert!(matches!(outcome, SyncOutcome::Oscillating { .. }), "init = {init:?}");
+        }
+    }
+
+    #[test]
+    fn dominant_strategies_converge_from_everywhere() {
+        let p = prisoners_dilemma().to_protocol();
+        let v =
+            verify_label_stabilization(&p, &[0, 0], &[0u64, 1], 2, Limits::default()).unwrap();
+        assert!(v.is_stabilizing(), "unique dominant equilibrium converges even at r = 2");
+    }
+
+    #[test]
+    fn three_player_congestion_style_game_converges() {
+        // Players pick one of two links; cost = load on the chosen link.
+        let game = Game::new(vec![2, 2, 2], |p, prof| {
+            let load = prof.iter().filter(|&&s| s == prof[p]).count() as i64;
+            -load
+        });
+        let p = game.to_protocol();
+        // Under round-robin (one player moves at a time) this is a
+        // potential game: it must settle.
+        let mut sim = Simulation::new(&p, &[0; 3], vec![0u64; 6]).unwrap();
+        let mut sched = RoundRobin::new(1);
+        sim.run_until_label_stable(&mut sched, 100).unwrap();
+        let outs = sim.outputs();
+        // A balanced split: not all on one link.
+        assert!(outs.iter().any(|&s| s == 0) && outs.iter().any(|&s| s == 1));
+    }
+}

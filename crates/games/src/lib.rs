@@ -1,0 +1,24 @@
+//! # best-response
+//!
+//! The application layer of "Stateless Computation" (Sections 1.1 and 3):
+//! systems in which strategic nodes repeatedly best-respond to each
+//! other's most recent actions are *stateless protocols*, so Theorem 3.1
+//! (multiple stable labelings ⟹ no label (n−1)-stabilization) yields
+//! non-convergence results for all of them:
+//!
+//! * [`game`] — finite strategic games; best-response dynamics compiled to
+//!   a stateless protocol on the clique;
+//! * [`bgp`] — interdomain routing as the Stable Paths Problem, with the
+//!   classic Good/Bad/Disagree gadgets;
+//! * [`contagion`] — diffusion of technologies in social networks
+//!   (threshold adoption, Morris-style);
+//! * [`async_circuit`] — asynchronous Boolean circuits with feedback
+//!   (SR latch, ring oscillator).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod async_circuit;
+pub mod bgp;
+pub mod contagion;
+pub mod game;

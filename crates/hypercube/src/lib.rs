@@ -1,0 +1,65 @@
+//! # hypercube-snake
+//!
+//! Snake-in-the-box constructions for the communication-complexity
+//! reductions of Theorem 4.1: induced cycles in the hypercube `Q_d`,
+//! exhaustive search for small `d`, verified known snakes for larger `d`,
+//! and the *orientation function* `φ` that turns a snake into reaction
+//! functions for the clique protocols of Appendix B.
+//!
+//! A **snake-in-the-box** here is an *induced simple cycle* of `Q_d`
+//! (Definition B.2): consecutive vertices differ in one coordinate and no
+//! two non-consecutive vertices are adjacent in the cube. Abbott and
+//! Katchalski proved `s(d) ≥ λ·2^d` with `λ ≥ 0.3` (Theorem B.3), which is
+//! the exponential growth the hardness proof rides on.
+//!
+//! ```
+//! use hypercube_snake::Snake;
+//!
+//! let snake = Snake::known(4).expect("Q4 snake is built in");
+//! assert_eq!(snake.len(), 8); // s(4) = 8
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod search;
+pub mod snake;
+
+pub use search::longest_snake;
+pub use snake::{Snake, SnakeError};
+
+/// The Abbott–Katchalski lower bound `λ·2^d` on the maximum snake length,
+/// with `λ = 0.3` (Theorem B.3; valid for `d ≥ 8`, reported for all `d`
+/// as the reference curve of experiment E5).
+pub fn abbott_katchalski_bound(d: u32) -> f64 {
+    0.3 * f64::from(2u32.pow(d.min(31)))
+}
+
+/// Number of vertices of `Q_d`.
+pub fn vertex_count(d: u32) -> usize {
+    1usize << d
+}
+
+/// Whether `u` and `v` are adjacent in `Q_d` (differ in exactly one bit).
+pub fn adjacent(u: u32, v: u32) -> bool {
+    (u ^ v).count_ones() == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjacency_is_single_bit_difference() {
+        assert!(adjacent(0b000, 0b001));
+        assert!(adjacent(0b101, 0b100));
+        assert!(!adjacent(0b000, 0b011));
+        assert!(!adjacent(0b101, 0b101));
+    }
+
+    #[test]
+    fn bound_grows_exponentially() {
+        assert!((abbott_katchalski_bound(8) - 76.8).abs() < 1e-9);
+        assert!(abbott_katchalski_bound(10) > 300.0);
+    }
+}

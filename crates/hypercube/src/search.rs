@@ -1,0 +1,182 @@
+//! Depth-first search for maximum snakes.
+//!
+//! The search fixes the start vertex at `0` and canonicalizes dimension
+//! order (a new dimension may be used only if it is the smallest unused
+//! one), which quotients out the `d!·2^d` automorphisms fixing nothing —
+//! enough to search `Q_5` exhaustively in well under a second and `Q_6`
+//! with a budget.
+
+use crate::snake::Snake;
+
+/// Result of a snake search.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The longest induced cycle found (as a validated [`Snake`]), or
+    /// `None` if none of length ≥ 4 exists within the budget.
+    pub snake: Option<Snake>,
+    /// Whether the search space was exhausted (the result is then the true
+    /// maximum `s(d)` up to the canonical symmetry).
+    pub exhausted: bool,
+    /// Search-tree nodes visited.
+    pub nodes: u64,
+}
+
+/// Searches for the longest snake in `Q_d`, visiting at most `budget`
+/// search-tree nodes if given.
+///
+/// # Panics
+///
+/// Panics if `d < 2` or `d > 16`.
+pub fn longest_snake(d: u32, budget: Option<u64>) -> SearchOutcome {
+    assert!((2..=16).contains(&d), "search supports 2 ≤ d ≤ 16");
+    let n = 1usize << d;
+    let mut used = vec![false; n];
+    let mut adj_count = vec![0u8; n];
+    let mut path: Vec<u32> = Vec::with_capacity(n);
+    let mut best: Vec<u32> = Vec::new();
+    let mut nodes = 0u64;
+    let mut exhausted = true;
+
+    // Place the start vertex 0.
+    used[0] = true;
+    for bit in 0..d {
+        adj_count[1usize << bit] += 1;
+    }
+    path.push(0);
+
+    dfs(
+        d,
+        &mut path,
+        &mut used,
+        &mut adj_count,
+        &mut best,
+        &mut nodes,
+        budget,
+        &mut exhausted,
+        0, // no dimension used yet: the first move must flip dimension 0
+    );
+
+    let snake = if best.len() >= 4 {
+        Some(Snake::new(d, best).expect("search maintains the induced-cycle invariant"))
+    } else {
+        None
+    };
+    SearchOutcome { snake, exhausted, nodes }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    d: u32,
+    path: &mut Vec<u32>,
+    used: &mut [bool],
+    adj_count: &mut [u8],
+    best: &mut Vec<u32>,
+    nodes: &mut u64,
+    budget: Option<u64>,
+    exhausted: &mut bool,
+    dims_used: u32,
+) {
+    if !*exhausted {
+        return; // budget exhausted somewhere below: cancel the whole search
+    }
+    *nodes += 1;
+    if let Some(b) = budget {
+        if *nodes > b {
+            *exhausted = false;
+            return;
+        }
+    }
+    let last = *path.last().expect("path is never empty");
+    // Canonical dimension set: already-used dims plus the next unused one.
+    let dim_limit = (dims_used + 1).min(d);
+    for bit in 0..dim_limit {
+        let w = last ^ (1 << bit);
+        let wi = w as usize;
+        if used[wi] {
+            continue;
+        }
+        let closes = crate::adjacent(w, 0) && path.len() >= 3;
+        match adj_count[wi] {
+            1 => {
+                if crate::adjacent(w, 0) && path.len() >= 2 {
+                    // Adjacent to the start but adj_count 1 means `last`
+                    // is not counted… cannot happen except length-1 paths
+                    // handled below; skip to stay induced.
+                    continue;
+                }
+                // Interior extension.
+                extend(d, path, used, adj_count, best, nodes, budget, exhausted, dims_used, bit, w);
+            }
+            2 if closes => {
+                // `w` is adjacent to exactly `last` and the start: closing
+                // it forms an induced cycle. Record, do not extend.
+                path.push(w);
+                if path.len() > best.len() {
+                    *best = path.clone();
+                }
+                path.pop();
+            }
+            _ => {}
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn extend(
+    d: u32,
+    path: &mut Vec<u32>,
+    used: &mut [bool],
+    adj_count: &mut [u8],
+    best: &mut Vec<u32>,
+    nodes: &mut u64,
+    budget: Option<u64>,
+    exhausted: &mut bool,
+    dims_used: u32,
+    bit: u32,
+    w: u32,
+) {
+    let wi = w as usize;
+    used[wi] = true;
+    for b2 in 0..d {
+        adj_count[(w ^ (1 << b2)) as usize] += 1;
+    }
+    path.push(w);
+    let next_dims = dims_used.max(bit + 1);
+    dfs(d, path, used, adj_count, best, nodes, budget, exhausted, next_dims);
+    path.pop();
+    for b2 in 0..d {
+        adj_count[(w ^ (1 << b2)) as usize] -= 1;
+    }
+    used[wi] = false;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_small_dimensions_match_known_records() {
+        for (d, s_d) in [(2u32, 4usize), (3, 6), (4, 8)] {
+            let out = longest_snake(d, None);
+            assert!(out.exhausted);
+            assert_eq!(out.snake.expect("snake exists").len(), s_d, "s({d})");
+        }
+    }
+
+    #[test]
+    fn exhaustive_q5_finds_record_14() {
+        let out = longest_snake(5, None);
+        assert!(out.exhausted);
+        assert_eq!(out.snake.expect("snake exists").len(), 14);
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let out = longest_snake(6, Some(10_000));
+        assert!(!out.exhausted);
+        assert!(out.nodes <= 10_001);
+        if let Some(s) = out.snake {
+            assert!(s.len() >= 4);
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! Validated snakes (induced cycles) and the orientation function `φ`.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::adjacent;
+
+/// Errors from snake construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SnakeError {
+    /// Cycles must have at least 4 vertices.
+    TooShort {
+        /// Supplied length.
+        len: usize,
+    },
+    /// A vertex exceeded `2^d`.
+    VertexOutOfRange {
+        /// The offending vertex.
+        vertex: u32,
+    },
+    /// A vertex appeared twice.
+    Repeated {
+        /// The repeated vertex.
+        vertex: u32,
+    },
+    /// Two cyclically consecutive vertices are not cube-adjacent.
+    NotACycle {
+        /// Position of the first vertex of the bad pair.
+        at: usize,
+    },
+    /// Two non-consecutive vertices are cube-adjacent (cycle not induced).
+    NotInduced {
+        /// Positions of the chord's endpoints.
+        chord: (usize, usize),
+    },
+    /// No edge of the cube avoids the snake (needed by the Theorem 4.1
+    /// normalization); happens only for the full 4-cycle in `Q₂`.
+    NoFreeEdge,
+}
+
+impl fmt::Display for SnakeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnakeError::TooShort { len } => write!(f, "cycle of length {len} is too short"),
+            SnakeError::VertexOutOfRange { vertex } => {
+                write!(f, "vertex {vertex} outside the cube")
+            }
+            SnakeError::Repeated { vertex } => write!(f, "vertex {vertex} repeated"),
+            SnakeError::NotACycle { at } => {
+                write!(f, "vertices at positions {at} and next are not adjacent")
+            }
+            SnakeError::NotInduced { chord } => {
+                write!(f, "chord between positions {} and {}", chord.0, chord.1)
+            }
+            SnakeError::NoFreeEdge => write!(f, "no cube edge avoids the snake"),
+        }
+    }
+}
+
+impl Error for SnakeError {}
+
+/// A validated snake-in-the-box: an induced cycle of `Q_d`, stored with a
+/// fixed orientation (the cyclic successor order of its vertex list).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snake {
+    d: u32,
+    vertices: Vec<u32>,
+    index: HashMap<u32, usize>,
+}
+
+impl Snake {
+    /// Validates `vertices` as an induced cycle in `Q_d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the specific [`SnakeError`] describing the violation.
+    pub fn new(d: u32, vertices: Vec<u32>) -> Result<Self, SnakeError> {
+        if vertices.len() < 4 {
+            return Err(SnakeError::TooShort { len: vertices.len() });
+        }
+        let mut index = HashMap::with_capacity(vertices.len());
+        for (i, &v) in vertices.iter().enumerate() {
+            if d < 32 && v >= 1u32 << d {
+                return Err(SnakeError::VertexOutOfRange { vertex: v });
+            }
+            if index.insert(v, i).is_some() {
+                return Err(SnakeError::Repeated { vertex: v });
+            }
+        }
+        let m = vertices.len();
+        for i in 0..m {
+            if !adjacent(vertices[i], vertices[(i + 1) % m]) {
+                return Err(SnakeError::NotACycle { at: i });
+            }
+        }
+        for i in 0..m {
+            for j in i + 2..m {
+                if i == 0 && j == m - 1 {
+                    continue; // the closing edge
+                }
+                if adjacent(vertices[i], vertices[j]) {
+                    return Err(SnakeError::NotInduced { chord: (i, j) });
+                }
+            }
+        }
+        Ok(Snake { d, vertices, index })
+    }
+
+    /// A verified maximum snake for `2 ≤ d ≤ 6` (lengths 4, 6, 8, 14, 26 —
+    /// the known values of `s(d)`); `None` otherwise.
+    pub fn known(d: u32) -> Option<Snake> {
+        let vertices: Vec<u32> = match d {
+            2 => vec![0b00, 0b01, 0b11, 0b10],
+            3 => vec![0, 1, 3, 7, 6, 4],
+            4 => vec![0, 1, 3, 7, 15, 14, 12, 8],
+            // Found by the exhaustive search in `crate::search` and frozen
+            // here; `Snake::new` re-verifies them at every construction.
+            5 => vec![0, 1, 3, 7, 6, 14, 12, 13, 29, 31, 27, 26, 24, 16],
+            6 => vec![
+                0, 1, 3, 7, 6, 14, 12, 13, 29, 25, 24, 26, 18, 50, 51, 49, 53, 52, 60, 62, 63,
+                47, 43, 42, 40, 32,
+            ],
+            _ => return None,
+        };
+        Some(Snake::new(d, vertices).expect("built-in snakes are valid"))
+    }
+
+    /// The cube dimension `d`.
+    pub fn dimension(&self) -> u32 {
+        self.d
+    }
+
+    /// Cycle length `|S|`.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Snakes are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The vertices in cyclic order.
+    pub fn vertices(&self) -> &[u32] {
+        &self.vertices
+    }
+
+    /// Position of `v` on the cycle, if it is a snake vertex.
+    pub fn position(&self, v: u32) -> Option<usize> {
+        self.index.get(&v).copied()
+    }
+
+    /// Whether `v` lies on the snake.
+    pub fn contains(&self, v: u32) -> bool {
+        self.index.contains_key(&v)
+    }
+
+    /// The cyclic successor of a snake vertex.
+    pub fn successor(&self, v: u32) -> Option<u32> {
+        let i = self.position(v)?;
+        Some(self.vertices[(i + 1) % self.vertices.len()])
+    }
+
+    /// XOR-translates the snake by `mask` (a cube automorphism), yielding
+    /// another valid snake.
+    #[must_use]
+    pub fn translate(&self, mask: u32) -> Snake {
+        let vertices = self.vertices.iter().map(|&v| v ^ mask).collect();
+        Snake::new(self.d, vertices).expect("translation preserves snakes")
+    }
+
+    /// Finds a cube edge with both endpoints off the snake.
+    ///
+    /// The counting argument of Theorem B.4 guarantees one for `d ≥ 3`:
+    /// the cube has `d·2^{d−1}` edges and at most `(d−1)·|S| ≤ (d−1)·2^{d−1}`
+    /// touch the snake.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnakeError::NoFreeEdge`] if every edge touches the snake
+    /// (only the full 4-cycle in `Q₂`).
+    pub fn free_edge(&self) -> Result<(u32, u32), SnakeError> {
+        for u in 0..1u32 << self.d {
+            if self.contains(u) {
+                continue;
+            }
+            for bit in 0..self.d {
+                let v = u ^ (1 << bit);
+                if v > u && !self.contains(v) {
+                    return Ok((u, v));
+                }
+            }
+        }
+        Err(SnakeError::NoFreeEdge)
+    }
+
+    /// Normalizes the snake for the Theorem 4.1 reductions: translates it
+    /// so that vertex `0` and one of its neighbors `v_j` are both off the
+    /// snake (the paper's "w.l.o.g. `vᵢ = 0^{n−2}`"). Returns the
+    /// translated snake and `v_j`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnakeError::NoFreeEdge`] when no free edge exists.
+    pub fn normalized_for_reduction(&self) -> Result<(Snake, u32), SnakeError> {
+        let (u, v) = self.free_edge()?;
+        let snake = self.translate(u);
+        Ok((snake, u ^ v))
+    }
+
+    /// A snake in `Q_d` around which **vertex 0 is isolated**: neither 0
+    /// nor any neighbor of 0 lies on the snake. Built by embedding the
+    /// record snake of `Q_{d−1}` into the bottom half of `Q_d` and
+    /// translating so that 0 lands on an off-snake vertex of the top half.
+    ///
+    /// This is the form the Theorem 4.1 reductions need: maximum snakes
+    /// *dominate* the cube, so after the paper's collapse to `0^{d}` the
+    /// orientation `φ` could step straight back onto the snake and
+    /// manufacture spurious oscillations; with an isolated 0, `φ` fixes
+    /// `0^d` and the collapse is absorbing (recorded as a reproduction
+    /// note in DESIGN.md / E5). Length is `s(d−1) ≥ λ·2^{d−1}` — still
+    /// exponential.
+    ///
+    /// Returns `None` if `d−1` has no built-in snake (`d ∉ 3..=7`).
+    pub fn embedded_isolated(d: u32) -> Option<Snake> {
+        let inner = Snake::known(d - 1)?;
+        // An off-snake vertex of Q_{d−1}: snakes cover at most half the
+        // cube, so one exists.
+        let w = (0..1u32 << (d - 1))
+            .find(|&v| !inner.contains(v))
+            .expect("snakes never cover the whole cube");
+        let u = w | 1 << (d - 1); // top-half vertex above w
+        let vertices = inner.vertices().iter().map(|&v| v ^ u).collect();
+        let snake = Snake::new(d, vertices).expect("embedding preserves snakes");
+        debug_assert!(!snake.contains(0));
+        debug_assert!((0..d).all(|k| !snake.contains(1 << k)));
+        Some(snake)
+    }
+
+    /// The orientation function `φ_j` of Theorem B.4: given every state
+    /// coordinate **except** dimension `j` (packed in `rest`, whose bit `j`
+    /// is ignored), the bit that node `j` should output so that
+    ///
+    /// * on the snake, the global state walks the oriented cycle (the node
+    ///   owning the flipped dimension flips; all others keep their bit);
+    /// * a snake vertex is never pulled off the cycle by a node whose
+    ///   dimension is not the one being flipped;
+    /// * off-snake pairs drift deterministically (toward the 0-side).
+    ///
+    /// Consistency with both candidate states `rest∣_{j=0}` and
+    /// `rest∣_{j=1}` is exactly the induced-cycle property, which
+    /// [`Snake::new`] validated.
+    pub fn phi(&self, j: u32, rest: u32) -> bool {
+        let v0 = rest & !(1u32 << j);
+        let v1 = v0 | (1u32 << j);
+        match (self.position(v0), self.position(v1)) {
+            (Some(_), Some(_)) => {
+                // Adjacent snake vertices are cyclically consecutive.
+                self.successor(v0) == Some(v1)
+            }
+            (Some(_), None) => false, // keep the snake vertex's bit (0)
+            (None, Some(_)) => true,  // keep the snake vertex's bit (1)
+            (None, None) => false,    // free pair: drift toward the 0-side
+        }
+    }
+
+    /// Applies `φ` at every dimension simultaneously: the synchronous
+    /// next state of the bottom-layer dynamics when the top nodes agree.
+    pub fn phi_step(&self, state: u32) -> u32 {
+        let mut next = 0u32;
+        for j in 0..self.d {
+            if self.phi(j, state) {
+                next |= 1 << j;
+            }
+        }
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_snakes_have_record_lengths() {
+        for (d, len) in [(2u32, 4usize), (3, 6), (4, 8), (5, 14), (6, 26)] {
+            let s = Snake::known(d).expect("snake exists");
+            assert_eq!(s.len(), len, "s({d})");
+            assert_eq!(s.dimension(), d);
+        }
+        assert!(Snake::known(9).is_none());
+    }
+
+    #[test]
+    fn validation_rejects_chords_and_gaps() {
+        // 6-cycle with a chord in Q3: 0-1-3-2-6-4 has chord 0–2 and 0–4…
+        let err = Snake::new(3, vec![0, 1, 3, 2, 6, 4]).unwrap_err();
+        assert!(matches!(err, SnakeError::NotInduced { .. }));
+        let err = Snake::new(3, vec![0, 1, 3, 7]).unwrap_err();
+        assert!(matches!(err, SnakeError::NotACycle { .. }));
+        let err = Snake::new(3, vec![0, 1, 3]).unwrap_err();
+        assert_eq!(err, SnakeError::TooShort { len: 3 });
+        let err = Snake::new(2, vec![0, 1, 3, 9]).unwrap_err();
+        assert_eq!(err, SnakeError::VertexOutOfRange { vertex: 9 });
+    }
+
+    #[test]
+    fn successor_walks_the_cycle() {
+        let s = Snake::known(3).unwrap();
+        let mut v = 0;
+        for _ in 0..s.len() {
+            v = s.successor(v).unwrap();
+        }
+        assert_eq!(v, 0, "one full lap");
+        assert_eq!(s.successor(2), None, "2 is off this snake");
+    }
+
+    #[test]
+    fn translation_preserves_validity() {
+        let s = Snake::known(4).unwrap();
+        let t = s.translate(0b1010);
+        assert_eq!(t.len(), s.len());
+        assert!(t.contains(0 ^ 0b1010));
+    }
+
+    #[test]
+    fn q3_max_snake_has_no_free_edge_but_q4_up_do() {
+        // The two vertices Q₃'s record snake misses are antipodal, so the
+        // counting argument of Theorem B.4 only bites from d = 4 on.
+        assert_eq!(Snake::known(3).unwrap().free_edge(), Err(SnakeError::NoFreeEdge));
+    }
+
+    #[test]
+    fn normalization_puts_zero_off_snake() {
+        for d in 4..=6 {
+            let s = Snake::known(d).unwrap();
+            let (t, vj) = s.normalized_for_reduction().unwrap();
+            assert!(!t.contains(0), "d={d}");
+            assert!(!t.contains(vj), "d={d}");
+            assert!(adjacent(0, vj));
+        }
+    }
+
+    #[test]
+    fn q2_snake_has_no_free_edge() {
+        let s = Snake::known(2).unwrap();
+        assert_eq!(s.free_edge(), Err(SnakeError::NoFreeEdge));
+    }
+
+    #[test]
+    fn phi_step_walks_snake_states_along_the_cycle() {
+        for d in [3u32, 4, 5, 6] {
+            let s = Snake::known(d).unwrap();
+            for (i, &v) in s.vertices().iter().enumerate() {
+                let next = s.vertices()[(i + 1) % s.len()];
+                assert_eq!(s.phi_step(v), next, "d={d} at position {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn embedded_isolated_snakes_isolate_zero() {
+        for d in [4u32, 5, 6, 7] {
+            let s = Snake::embedded_isolated(d).expect("exists for d in 3..=7");
+            assert_eq!(s.dimension(), d);
+            assert!(!s.contains(0));
+            for k in 0..d {
+                assert!(!s.contains(1 << k), "d={d}: e_{k} off the snake");
+            }
+            // With an isolated 0, phi fixes the all-zero state.
+            assert_eq!(s.phi_step(0), 0, "d={d}");
+            // Still exponential length: s(d−1) ≥ λ·2^{d−1}, λ = 0.3.
+            assert!(s.len() as f64 >= 0.3 * f64::from(1u32 << (d - 1)), "d={d}: len {}", s.len());
+        }
+        assert!(Snake::embedded_isolated(9).is_none());
+    }
+
+    #[test]
+    fn phi_keeps_non_flipping_dimensions() {
+        let s = Snake::known(4).unwrap();
+        let v = s.vertices()[2];
+        let next = s.vertices()[3];
+        let flip = (v ^ next).trailing_zeros();
+        for j in 0..4u32 {
+            let bit = s.phi(j, v);
+            if j == flip {
+                assert_eq!(bit, next >> j & 1 == 1);
+            } else {
+                assert_eq!(bit, v >> j & 1 == 1, "dimension {j} must hold its bit");
+            }
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! Theorem 5.4 (`P/poly ⊆ ÕSb_log`): compiling a Boolean circuit onto the
+//! bidirectional ring.
+//!
+//! The ring has `N = 2|C| + n (+ helpers to make N odd)` nodes: the first
+//! `n` hold the circuit inputs; each gate `gⱼ` owns a *compute node* and a
+//! *memory node*. The compiled protocol layers four mechanisms:
+//!
+//! 1. the **D-counter** of Claim 5.6 ([`crate::counter`]) gives every node
+//!    a synchronized clock value `c(t) = (t + φ) mod D`;
+//! 2. the clock is partitioned into one **interval per gate** (in
+//!    topological order): during gate `j`'s interval its input providers
+//!    copy their values into the `i1`/`i2` fields at scheduled ticks (twice
+//!    each, for the memory handshake), the fields ride clockwise, and the
+//!    compute node applies the gate operation when they arrive;
+//! 3. each computed bit is parked in the **memory gadget**: the compute
+//!    and memory nodes bounce the `v` field between each other forever
+//!    (writing the fresh value at two consecutive ticks makes the bounce a
+//!    fixed point — the paper's "two consecutive time steps" trick);
+//! 4. the output gate's memory node continuously publishes its bit into
+//!    the `o` field, which relays clockwise; every node outputs `o`.
+//!
+//! Self-stabilization is inherited from the counter: whatever garbage the
+//! initial labeling contains, once the clock synchronizes (`O(N)` rounds)
+//! the next full clock cycle recomputes every gate from the true inputs in
+//! topological order, and every cycle after that rewrites the same values.
+//!
+//! **Reproduction note (DESIGN.md):** interval offsets are re-derived with
+//! `+3` slack per gate instead of the paper's `+1`; same `O(Σdⱼ)` clock
+//! modulus, `O(N + D)` rounds and `O(log D)` label bits.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use boolean_circuit::{Circuit, GateOp, GateSource};
+use stateless_core::label::bits_for_cardinality;
+use stateless_core::prelude::*;
+use stateless_core::reaction::FnReaction;
+
+use crate::counter::{CounterCore, CounterFields};
+
+/// The compiled label: counter fields plus the four data bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CircuitLabel {
+    /// The Claim 5.6 counter fields.
+    pub ctr: CounterFields,
+    /// First gate-input bit in transit.
+    pub i1: bool,
+    /// Second gate-input bit in transit.
+    pub i2: bool,
+    /// The memory-gadget bit.
+    pub v: bool,
+    /// The published circuit output.
+    pub o: bool,
+}
+
+/// Where a gate role reads its bit at compute time.
+#[derive(Debug, Clone, Copy)]
+enum RoleSrc {
+    /// From the relayed `i1`/`i2` field.
+    Field,
+    /// A constant folded at compile time.
+    Const(bool),
+}
+
+#[derive(Debug, Clone)]
+struct GateTask {
+    ticks: [u32; 2],
+    op: GateOp,
+    i1: RoleSrc,
+    i2: RoleSrc,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum OWriter {
+    /// A memory node publishes its remembered bit.
+    Memory(NodeId),
+    /// An input node publishes its input.
+    Input(NodeId),
+    /// Node 0 publishes a constant.
+    Constant(bool),
+}
+
+struct Plan {
+    core: CounterCore,
+    n_inputs: usize,
+    /// Per node: tick → (write i1?, write i2?).
+    writes: Vec<HashMap<u32, (bool, bool)>>,
+    /// Per node: the gate computed there, if any.
+    compute: Vec<Option<GateTask>>,
+    /// Which nodes are compute nodes (v echoes from clockwise) vs memory
+    /// nodes (v echoes from counter-clockwise).
+    is_compute: Vec<bool>,
+    o_writer: OWriter,
+}
+
+/// A circuit compiled onto the bidirectional ring.
+pub struct CompiledCircuit {
+    protocol: Protocol<CircuitLabel>,
+    ring_size: usize,
+    modulus: u32,
+    rounds_bound: u64,
+}
+
+impl std::fmt::Debug for CompiledCircuit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledCircuit")
+            .field("ring_size", &self.ring_size)
+            .field("modulus", &self.modulus)
+            .field("rounds_bound", &self.rounds_bound)
+            .finish()
+    }
+}
+
+impl CompiledCircuit {
+    /// The compiled protocol.
+    pub fn protocol(&self) -> &Protocol<CircuitLabel> {
+        &self.protocol
+    }
+
+    /// Ring size `N` (the paper's `2|C| + n`, padded to an odd count).
+    pub fn ring_size(&self) -> usize {
+        self.ring_size
+    }
+
+    /// The clock modulus `D`.
+    pub fn modulus(&self) -> u32 {
+        self.modulus
+    }
+
+    /// A safe synchronous round budget for every node's output to equal
+    /// the circuit value from any initial labeling — the paper's
+    /// `O(N + D)` shape.
+    pub fn rounds_bound(&self) -> u64 {
+        self.rounds_bound
+    }
+
+    /// Extends the circuit inputs `x` with zeros for the helper nodes,
+    /// producing the protocol's input vector.
+    pub fn ring_inputs(&self, x: &[bool]) -> Vec<Input> {
+        let mut v: Vec<Input> = x.iter().map(|&b| u64::from(b)).collect();
+        v.resize(self.ring_size, 0);
+        v
+    }
+}
+
+/// Compiles `circuit` into a stateless protocol on the bidirectional ring
+/// (Theorem 5.4's construction).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] if the circuit has no inputs.
+pub fn compile_circuit(circuit: &Circuit) -> Result<CompiledCircuit, CoreError> {
+    let n = circuit.input_count();
+    if n == 0 {
+        return Err(CoreError::InvalidParameter {
+            what: "circuit must have at least one input".into(),
+        });
+    }
+    let size = circuit.size();
+    let gnode = |j: usize| n + 2 * j;
+    let mnode = |j: usize| n + 2 * j + 1;
+    let mut ring_size = (n + 2 * size).max(3);
+    if ring_size % 2 == 0 {
+        ring_size += 1; // helper relay node to make the ring odd
+    }
+
+    // Resolve each gate's providers and lay out the clock intervals.
+    let provider = |src: GateSource| -> Option<NodeId> {
+        match src {
+            GateSource::Input(i) => Some(i),
+            GateSource::Gate(g) => Some(mnode(g)),
+            GateSource::Const(_) => None,
+        }
+    };
+    let mut writes: Vec<HashMap<u32, (bool, bool)>> = vec![HashMap::new(); ring_size];
+    let mut compute: Vec<Option<GateTask>> = vec![None; ring_size];
+    let mut is_compute = vec![false; ring_size];
+    let mut t_start: u64 = 0;
+    for (j, gate) in circuit.gates().iter().enumerate() {
+        let g = gnode(j);
+        is_compute[g] = true;
+        let pa = provider(gate.a);
+        let pb = provider(gate.b);
+        // Distances are plain differences: providers always precede the
+        // compute node, so data never wraps past node 0.
+        let (d1, i1_src, i2_src) = match (pa, pb) {
+            (Some(a), Some(b)) => {
+                let (da, db) = ((g - a) as u64, (g - b) as u64);
+                // The farther provider feeds i1 so its bits arrive together
+                // with i2's (all our gate ops are commutative).
+                let (far, far_d, near, near_d) =
+                    if da >= db { (a, da, b, db) } else { (b, db, a, da) };
+                record_write(&mut writes[far], t_start, true, far == near && far_d == near_d);
+                let near_tick = t_start + (far_d - near_d);
+                if far != near || far_d != near_d {
+                    record_write(&mut writes[near], near_tick, false, true);
+                }
+                (far_d, RoleSrc::Field, RoleSrc::Field)
+            }
+            (Some(a), None) => {
+                let da = (g - a) as u64;
+                record_write(&mut writes[a], t_start, true, false);
+                (da, RoleSrc::Field, const_of(gate.b))
+            }
+            (None, Some(b)) => {
+                let db = (g - b) as u64;
+                record_write(&mut writes[b], t_start, false, true);
+                (db, const_of(gate.a), RoleSrc::Field)
+            }
+            (None, None) => (0, const_of(gate.a), const_of(gate.b)),
+        };
+        let c1 = t_start + d1;
+        compute[g] = Some(GateTask {
+            ticks: [c1 as u32, (c1 + 1) as u32],
+            op: gate.op,
+            i1: i1_src,
+            i2: i2_src,
+        });
+        t_start += d1 + 3;
+    }
+    let modulus = (t_start.max(2)) as u32;
+
+    let o_writer = match circuit.output() {
+        GateSource::Gate(g) => OWriter::Memory(mnode(g)),
+        GateSource::Input(i) => OWriter::Input(i),
+        GateSource::Const(b) => OWriter::Constant(b),
+    };
+
+    let core = CounterCore::new(ring_size, modulus)?;
+    let label_bits =
+        2.0 + 2.0 * bits_for_cardinality(u128::from(modulus)) + 4.0;
+    let rounds_bound = 4 * ring_size as u64 + 8 + 2 * u64::from(modulus) + ring_size as u64 + 8;
+
+    let plan = Arc::new(Plan { core, n_inputs: n, writes, compute, is_compute, o_writer });
+
+    let mut builder = Protocol::builder(topology::bidirectional_ring(ring_size), label_bits)
+        .name(format!("circuit-on-ring(N={ring_size}, |C|={size}, D={modulus})"));
+    for node in 0..ring_size {
+        let plan = Arc::clone(&plan);
+        builder = builder.reaction(
+            node,
+            FnReaction::new(move |j: NodeId, incoming: &[CircuitLabel], input| {
+                let (ccw, cw) = (incoming[0], incoming[1]);
+                let ctr = plan.core.react(j, ccw.ctr, cw.ctr);
+                let clock = plan.core.count(j, ccw.ctr, cw.ctr);
+
+                // Data defaults: clockwise relay; v echoes within the pair.
+                let mut i1 = ccw.i1;
+                let mut i2 = ccw.i2;
+                let mut v = if plan.is_compute[j] { cw.v } else { ccw.v };
+                let mut o = ccw.o;
+
+                // Scheduled provider writes.
+                if let Some(&(w1, w2)) = plan.writes[j].get(&clock) {
+                    let value = if j < plan.n_inputs { input == 1 } else { ccw.v };
+                    if w1 {
+                        i1 = value;
+                    }
+                    if w2 {
+                        i2 = value;
+                    }
+                }
+                // Scheduled gate computation.
+                if let Some(task) = &plan.compute[j] {
+                    if task.ticks.contains(&clock) {
+                        let a = match task.i1 {
+                            RoleSrc::Field => ccw.i1,
+                            RoleSrc::Const(c) => c,
+                        };
+                        let b = match task.i2 {
+                            RoleSrc::Field => ccw.i2,
+                            RoleSrc::Const(c) => c,
+                        };
+                        v = task.op.apply(a, b);
+                    }
+                }
+                // Output publication.
+                match plan.o_writer {
+                    OWriter::Memory(m) if m == j => o = ccw.v,
+                    OWriter::Input(i) if i == j => o = input == 1,
+                    OWriter::Constant(c) if j == 0 => o = c,
+                    _ => {}
+                }
+
+                let out = CircuitLabel { ctr, i1, i2, v, o };
+                (vec![out, out], u64::from(o))
+            }),
+        );
+    }
+    let protocol = builder.build().expect("all ring nodes have reactions");
+    Ok(CompiledCircuit { protocol, ring_size, modulus, rounds_bound })
+}
+
+fn record_write(map: &mut HashMap<u32, (bool, bool)>, tick: u64, i1: bool, i2: bool) {
+    for t in [tick, tick + 1] {
+        let entry = map.entry(t as u32).or_insert((false, false));
+        entry.0 |= i1;
+        entry.1 |= i2;
+    }
+}
+
+fn const_of(src: GateSource) -> RoleSrc {
+    match src {
+        GateSource::Const(c) => RoleSrc::Const(c),
+        _ => unreachable!("caller checked the source is a constant"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boolean_circuit::library;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use stateless_core::engine::Simulation;
+    use stateless_core::schedule::Synchronous;
+
+    fn random_label<R: rand::RngExt>(rng: &mut R, d: u32) -> CircuitLabel {
+        CircuitLabel {
+            ctr: CounterFields {
+                b1: rng.random_bool(0.5),
+                b2: rng.random_bool(0.5),
+                z: rng.random_range(0..2 * d),
+                g: rng.random_range(0..2 * d),
+            },
+            i1: rng.random_bool(0.5),
+            i2: rng.random_bool(0.5),
+            v: rng.random_bool(0.5),
+            o: rng.random_bool(0.5),
+        }
+    }
+
+    fn check_all_inputs(circuit: &Circuit, seed: u64) {
+        let compiled = compile_circuit(circuit).unwrap();
+        let p = compiled.protocol();
+        let n = circuit.input_count();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for bits in 0..1u32 << n {
+            let x: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            let expected = u64::from(circuit.eval(&x).unwrap());
+            let initial: Vec<CircuitLabel> = (0..p.edge_count())
+                .map(|_| random_label(&mut rng, compiled.modulus()))
+                .collect();
+            let mut sim = Simulation::new(p, &compiled.ring_inputs(&x), initial).unwrap();
+            sim.run(&mut Synchronous, compiled.rounds_bound());
+            assert_eq!(
+                sim.outputs(),
+                &vec![expected; compiled.ring_size()][..],
+                "x = {x:?} (N={}, D={})",
+                compiled.ring_size(),
+                compiled.modulus()
+            );
+        }
+    }
+
+    #[test]
+    fn compiles_parity_3() {
+        check_all_inputs(&library::parity(3), 1);
+    }
+
+    #[test]
+    fn compiles_equality_4() {
+        check_all_inputs(&library::equality(4), 2);
+    }
+
+    #[test]
+    fn compiles_majority_3() {
+        check_all_inputs(&library::majority(3), 3);
+    }
+
+    #[test]
+    fn compiles_gates_with_constants_and_nots() {
+        // NOT(x0) OR (x1 AND true)
+        let mut b = Circuit::builder(2);
+        let na = b.not(GateSource::Input(0)).unwrap();
+        let and = b.and(GateSource::Input(1), GateSource::Const(true)).unwrap();
+        let or = b.or(na, and).unwrap();
+        let c = b.finish(or).unwrap();
+        check_all_inputs(&c, 4);
+    }
+
+    #[test]
+    fn compiles_passthrough_and_constant_outputs() {
+        // Output is an input directly.
+        let c = Circuit::builder(2).finish(GateSource::Input(1)).unwrap();
+        check_all_inputs(&c, 5);
+        // Output is a constant.
+        let c = Circuit::builder(2).finish(GateSource::Const(true)).unwrap();
+        check_all_inputs(&c, 6);
+    }
+
+    #[test]
+    fn compiles_random_circuits() {
+        let mut rng = StdRng::seed_from_u64(123);
+        for trial in 0..4 {
+            let c = boolean_circuit::synthesis::random_circuit(3, 6, &mut rng);
+            check_all_inputs(&c, 100 + trial);
+        }
+    }
+
+    #[test]
+    fn ring_size_is_odd_and_matches_paper_shape() {
+        let c = library::parity(4); // 3 gates
+        let compiled = compile_circuit(&c).unwrap();
+        // N = 2|C| + n = 10 → padded to 11.
+        assert_eq!(compiled.ring_size(), 11);
+        assert_eq!(compiled.ring_size() % 2, 1);
+    }
+
+    #[test]
+    fn label_bits_are_logarithmic_in_d() {
+        let c = library::equality(6);
+        let compiled = compile_circuit(&c).unwrap();
+        let d = f64::from(compiled.modulus());
+        assert!(compiled.protocol().label_bits() <= 2.0 + 2.0 * (d.log2().ceil() + 1.0) + 4.0);
+    }
+}

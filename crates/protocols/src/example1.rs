@@ -1,0 +1,148 @@
+//! Example 1 (Section 3): tightness of Theorem 3.1.
+//!
+//! A protocol on the clique `Kₙ` with label space `{0, 1}` whose reaction
+//! is "send 1s unless every incoming edge is 0". It has exactly two stable
+//! labelings (all-0 and all-1), so by Theorem 3.1 it is **not** label
+//! (n−1)-stabilizing — and [`oscillation_schedule`] exhibits the witness
+//! schedule. The paper shows it **is** label r-stabilizing for every
+//! `r < n−1`, which `stabilization-verify` confirms exhaustively for small
+//! `n` (experiment E4).
+
+use stateless_core::prelude::*;
+use stateless_core::reaction::FnReaction;
+
+/// Builds the Example 1 protocol on `Kₙ`.
+///
+/// Each node emits the same bit on all its outgoing edges; its output is
+/// that bit.
+///
+/// # Panics
+///
+/// Panics if `n < 3` (the example needs at least three nodes for the
+/// fairness gap to exist).
+pub fn example1_protocol(n: usize) -> Protocol<bool> {
+    assert!(n >= 3, "Example 1 needs n ≥ 3");
+    let deg = n - 1;
+    Protocol::builder(topology::clique(n), 1.0)
+        .name(format!("example1(K{n})"))
+        .uniform_reaction(FnReaction::new(move |_, incoming: &[bool], _| {
+            let bit = incoming.iter().any(|&b| b);
+            (vec![bit; deg], u64::from(bit))
+        }))
+        .build()
+        .expect("all clique nodes have reactions")
+}
+
+/// The all-`bit` labeling of `Kₙ` — the protocol's two stable labelings
+/// are `uniform_labeling(n, false)` and `uniform_labeling(n, true)`.
+pub fn uniform_labeling(n: usize, bit: bool) -> Vec<bool> {
+    vec![bit; n * (n - 1)]
+}
+
+/// The initial labeling from which [`oscillation_schedule`] oscillates:
+/// exactly node 0 is "hot" (its outgoing edges are all 1).
+pub fn hot_node_labeling(n: usize, hot: NodeId) -> Vec<bool> {
+    let graph = topology::clique(n);
+    let mut labeling = vec![false; graph.edge_count()];
+    for &e in graph.out_edges(hot) {
+        labeling[e] = true;
+    }
+    labeling
+}
+
+/// The (n−1)-fair schedule under which the protocol oscillates forever
+/// from [`hot_node_labeling`]`(n, 0)`: at step `t` activate the pair
+/// `{t mod n, (t+1) mod n}`.
+///
+/// Each node `i` is activated at consecutive steps `i, i+1 (mod n)` of the
+/// period-`n` script, so its largest activation gap is exactly `n − 1` —
+/// the schedule is (n−1)-fair and no fairer, matching the Theorem 3.1
+/// threshold exactly.
+pub fn oscillation_schedule(n: usize) -> Scripted {
+    let steps = (0..n).map(|t| vec![t, (t + 1) % n]).collect();
+    Scripted::cycle(steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stateless_core::engine::Simulation;
+    use stateless_core::schedule::{FairnessMonitor, Schedule, Synchronous};
+
+    #[test]
+    fn both_uniform_labelings_are_stable() {
+        for n in [3usize, 4, 5, 6] {
+            let p = example1_protocol(n);
+            let inputs = vec![0; n];
+            assert!(p.is_stable_labeling(&uniform_labeling(n, false), &inputs).unwrap());
+            assert!(p.is_stable_labeling(&uniform_labeling(n, true), &inputs).unwrap());
+            assert!(!p.is_stable_labeling(&hot_node_labeling(n, 0), &inputs).unwrap());
+        }
+    }
+
+    #[test]
+    fn oscillation_schedule_is_exactly_n_minus_1_fair() {
+        for n in [3usize, 5, 8] {
+            let sched = oscillation_schedule(n);
+            assert_eq!(sched.fairness(n), Some(n - 1));
+        }
+    }
+
+    #[test]
+    fn oscillates_forever_under_the_adversarial_schedule() {
+        for n in [3usize, 4, 6, 16] {
+            let p = example1_protocol(n);
+            let mut sim =
+                Simulation::new(&p, &vec![0; n], hot_node_labeling(n, 0)).unwrap();
+            let mut sched = FairnessMonitor::new(oscillation_schedule(n));
+            for t in 0..(10 * n) {
+                let active = sched.activations(sim.time() + 1, n);
+                sim.step_with(&active);
+                // Invariant of the oscillation: exactly one hot node, and it
+                // is node (t+1) mod n.
+                let hot = hot_node_labeling(n, (t + 1) % n);
+                assert_eq!(sim.labeling(), &hot[..], "n={n} t={t}");
+            }
+            assert!(sched.worst_gap() <= n - 1, "schedule stayed (n−1)-fair");
+        }
+    }
+
+    #[test]
+    fn synchronous_run_converges_quickly() {
+        // Under the 1-fair schedule the hot labeling spreads: two or more
+        // nodes become hot after one step and the system locks at all-1.
+        let n = 5;
+        let p = example1_protocol(n);
+        let mut sim = Simulation::new(&p, &[0; 5], hot_node_labeling(n, 0)).unwrap();
+        sim.run_until_label_stable(&mut Synchronous, 50).unwrap();
+        assert_eq!(sim.labeling(), &uniform_labeling(n, true)[..]);
+    }
+
+    #[test]
+    fn theorem_3_1_tightness_verified_exactly_for_k3() {
+        use stabilization_verify::{verify_label_stabilization, Limits, Verdict};
+        let n = 3;
+        let p = example1_protocol(n);
+        // Two stable labelings exist, so Theorem 3.1 forbids label
+        // (n−1)-stabilization: the checker must find an oscillation at
+        // r = n−1 = 2 …
+        let v = verify_label_stabilization(&p, &[0; 3], &[false, true], 2, Limits::default())
+            .unwrap();
+        assert!(matches!(v, Verdict::NotStabilizing(_)), "r = n−1 oscillates");
+        // … and Example 1 shows tightness: at r = n−2 = 1 every fair run
+        // converges.
+        let v = verify_label_stabilization(&p, &[0; 3], &[false, true], 1, Limits::default())
+            .unwrap();
+        assert!(v.is_stabilizing(), "r < n−1 stabilizes");
+    }
+
+    #[test]
+    fn all_zero_start_stays_zero() {
+        let n = 4;
+        let p = example1_protocol(n);
+        let mut sim = Simulation::new(&p, &[0; 4], uniform_labeling(n, false)).unwrap();
+        sim.run(&mut Synchronous, 10);
+        assert_eq!(sim.labeling(), &uniform_labeling(n, false)[..]);
+        assert_eq!(sim.outputs(), &[0; 4]);
+    }
+}

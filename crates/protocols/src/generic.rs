@@ -1,0 +1,259 @@
+//! Proposition 2.3: every Boolean function is computable by a
+//! label-stabilizing protocol with `Lₙ = n + 1` and `Rₙ ≤ 2n` on any
+//! strongly connected digraph.
+//!
+//! The construction uses two spanning arborescences rooted at node 0:
+//! along `T₂` (paths *into* the root) every node forwards the OR-fold of
+//! its subtree's inputs toward the root; node 0 assembles the full input
+//! vector, evaluates `f`, and floods the answer along `T₁` (paths *out of*
+//! the root). Each label is a pair `(z, b)` of an `n`-bit input-knowledge
+//! vector and the answer bit.
+
+use std::sync::Arc;
+
+use stateless_core::graph::DiGraph;
+use stateless_core::prelude::*;
+use stateless_core::reaction::FnReaction;
+
+/// The `(z, b)` label of the generic protocol: `z` is a partial input
+/// vector (coordinate-wise OR of everything learned so far), `b` the
+/// answer bit being flooded.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GenericLabel {
+    /// Partial knowledge of the global input (length `n`).
+    pub z: Vec<bool>,
+    /// The flooded output bit.
+    pub b: bool,
+}
+
+impl GenericLabel {
+    /// The all-zero label (the paper's `0^{n+1}`).
+    pub fn zero(n: usize) -> Self {
+        GenericLabel { z: vec![false; n], b: false }
+    }
+}
+
+/// Builds the Proposition 2.3 protocol computing `f` on `graph`.
+///
+/// The protocol is **label-stabilizing from any initial labeling**: every
+/// label is recomputed from scratch at each activation, so corrupted
+/// initial knowledge is flushed within one tree height in each direction
+/// (`Rₙ ≤ 2n` synchronous rounds).
+///
+/// # Errors
+///
+/// Returns [`CoreError::NotStronglyConnected`] if `graph` is not strongly
+/// connected (the arborescences do not exist otherwise).
+pub fn generic_protocol<F>(graph: DiGraph, f: F) -> Result<Protocol<GenericLabel>, CoreError>
+where
+    F: Fn(&[bool]) -> bool + Send + Sync + 'static,
+{
+    let n = graph.node_count();
+    let t1 = graph.out_arborescence(0)?; // paths root → i (flood tree)
+    let t2 = graph.in_arborescence(0)?; // paths i → root (gather tree)
+    let f = Arc::new(f);
+
+    // children2[i] = incoming edges of i from its T₂ children (the nodes
+    // whose gathered knowledge i aggregates).
+    let mut children2: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
+    for (child, parent_edge) in t2.iter().enumerate() {
+        if let Some(e) = *parent_edge {
+            let (_, to) = graph.endpoints(e);
+            children2[to].push(e);
+            debug_assert_eq!(graph.endpoints(e).0, child);
+        }
+    }
+    // children1[i] = outgoing edges of i to its T₁ children (the nodes i
+    // floods the answer to). parent1_edge[i] = the incoming edge carrying
+    // the answer to i.
+    let mut children1: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
+    for parent_edge in t1.iter().flatten() {
+        let (from, _) = graph.endpoints(*parent_edge);
+        children1[from].push(*parent_edge);
+    }
+
+    let mut builder = Protocol::builder(graph.clone(), (n + 1) as f64)
+        .name(format!("generic-f(n={n})"));
+    for node in 0..n {
+        let in_edges: Vec<EdgeId> = graph.in_edges(node).to_vec();
+        let out_edges: Vec<EdgeId> = graph.out_edges(node).to_vec();
+        // Positions (within `incoming`) of this node's T₂-children edges.
+        let gather_slots: Vec<usize> = children2[node]
+            .iter()
+            .map(|e| in_edges.iter().position(|x| x == e).expect("child edge is incoming"))
+            .collect();
+        // Position of the T₁ parent edge (None for the root).
+        let answer_slot: Option<usize> = t1[node]
+            .map(|e| in_edges.iter().position(|x| *x == e).expect("parent edge is incoming"));
+        // For each outgoing edge: does it go to the T₂ parent, and is it a
+        // T₁ child edge?
+        let is_gather_out: Vec<bool> = out_edges.iter().map(|e| t2[node] == Some(*e)).collect();
+        let is_flood_out: Vec<bool> =
+            out_edges.iter().map(|e| children1[node].contains(e)).collect();
+        let f = Arc::clone(&f);
+
+        builder = builder.reaction(
+            node,
+            FnReaction::new(move |i: NodeId, incoming: &[GenericLabel], input| {
+                // wᵢ ∨ OR over T₂-children's z vectors.
+                let mut z = vec![false; n];
+                z[i] = input == 1;
+                for &slot in &gather_slots {
+                    for (zi, ci) in z.iter_mut().zip(&incoming[slot].z) {
+                        *zi |= *ci;
+                    }
+                }
+                // The answer bit: the root computes it, others read their
+                // T₁ parent's label.
+                let (b, y) = if i == 0 {
+                    let bit = f(&z);
+                    (bit, u64::from(bit))
+                } else {
+                    let bit = answer_slot.map(|s| incoming[s].b).unwrap_or(false);
+                    (bit, u64::from(bit))
+                };
+                let outgoing = is_gather_out
+                    .iter()
+                    .zip(&is_flood_out)
+                    .map(|(&gather, &flood)| GenericLabel {
+                        z: if gather { z.clone() } else { vec![false; n] },
+                        b: flood && b,
+                    })
+                    .collect();
+                (outgoing, y)
+            }),
+        );
+    }
+    builder.build()
+}
+
+/// A safe synchronous round budget for the protocol: `2n` (Proposition
+/// 2.3's `Rₙ`).
+pub fn round_bound(n: usize) -> u64 {
+    2 * n as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    use stateless_core::convergence::{classify_sync, SyncOutcome};
+    use stateless_core::engine::Simulation;
+    use stateless_core::schedule::{RoundRobin, Synchronous};
+
+    fn check_on_graph<F>(graph: DiGraph, f: F)
+    where
+        F: Fn(&[bool]) -> bool + Send + Sync + Clone + 'static,
+    {
+        let n = graph.node_count();
+        assert!(n <= 6);
+        let p = generic_protocol(graph, f.clone()).unwrap();
+        for bits in 0..1u32 << n {
+            let x: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            let inputs: Vec<u64> = x.iter().map(|&b| u64::from(b)).collect();
+            let mut sim =
+                Simulation::new(&p, &inputs, vec![GenericLabel::zero(n); p.edge_count()])
+                    .unwrap();
+            let steps = sim
+                .run_until_label_stable(&mut Synchronous, round_bound(n) + 1)
+                .unwrap_or_else(|e| panic!("did not stabilize on x={x:?}: {e}"));
+            assert!(steps <= round_bound(n), "Rₙ ≤ 2n violated: {steps} > {}", round_bound(n));
+            // Outputs refresh at the activation *after* the labels settle.
+            sim.run(&mut Synchronous, 1);
+            let expected = u64::from(f(&x));
+            assert_eq!(sim.outputs(), &vec![expected; n][..], "x = {x:?}");
+        }
+    }
+
+    #[test]
+    fn computes_parity_on_unidirectional_ring() {
+        check_on_graph(topology::unidirectional_ring(5), |x: &[bool]| {
+            x.iter().filter(|&&b| b).count() % 2 == 1
+        });
+    }
+
+    #[test]
+    fn computes_majority_on_bidirectional_ring() {
+        check_on_graph(topology::bidirectional_ring(5), |x: &[bool]| {
+            2 * x.iter().filter(|&&b| b).count() >= x.len()
+        });
+    }
+
+    #[test]
+    fn computes_equality_on_clique_and_star() {
+        let eq = |x: &[bool]| x.len() % 2 == 0 && x[..x.len() / 2] == x[x.len() / 2..];
+        check_on_graph(topology::clique(4), eq);
+        check_on_graph(topology::star(6), eq);
+    }
+
+    #[test]
+    fn computes_on_random_strongly_connected_graphs() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..3 {
+            let g = topology::random_strongly_connected(6, 8, &mut rng);
+            check_on_graph(g, |x: &[bool]| x.iter().filter(|&&b| b).count() >= 2);
+        }
+    }
+
+    #[test]
+    fn self_stabilizes_from_adversarial_initial_labelings() {
+        let n = 5;
+        let g = topology::bidirectional_ring(n);
+        let p = generic_protocol(g, |x: &[bool]| x.iter().any(|&b| b)).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = [true, false, false, true, false];
+        let inputs: Vec<u64> = x.iter().map(|&b| u64::from(b)).collect();
+        for _ in 0..20 {
+            let initial: Vec<GenericLabel> = (0..p.edge_count())
+                .map(|_| GenericLabel {
+                    z: (0..n).map(|_| rng.random_bool(0.5)).collect(),
+                    b: rng.random_bool(0.5),
+                })
+                .collect();
+            let mut sim = Simulation::new(&p, &inputs, initial).unwrap();
+            let steps = sim.run_until_label_stable(&mut Synchronous, round_bound(n) + 1).unwrap();
+            assert!(steps <= round_bound(n));
+            sim.run(&mut Synchronous, 1);
+            assert_eq!(sim.outputs(), &[1, 1, 1, 1, 1]);
+        }
+    }
+
+    #[test]
+    fn stabilizes_under_round_robin_too() {
+        let n = 4;
+        let g = topology::clique(n);
+        let p = generic_protocol(g, |x: &[bool]| x.iter().all(|&b| b)).unwrap();
+        let mut sim = Simulation::new(
+            &p,
+            &[1, 1, 1, 1],
+            vec![GenericLabel::zero(n); p.edge_count()],
+        )
+        .unwrap();
+        let mut sched = RoundRobin::new(1);
+        sim.run_until_label_stable(&mut sched, 200).unwrap();
+        sim.run(&mut sched, 4); // every node reacts once more to refresh outputs
+        assert_eq!(sim.outputs(), &[1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn sync_classification_confirms_label_stability() {
+        let n = 4;
+        let g = topology::unidirectional_ring(n);
+        let p = generic_protocol(g, |x: &[bool]| x[0]).unwrap();
+        let outcome = classify_sync(
+            &p,
+            &[1, 0, 0, 0],
+            vec![GenericLabel::zero(n); n],
+            100_000,
+        )
+        .unwrap();
+        match outcome {
+            SyncOutcome::LabelStable { round, outputs, .. } => {
+                assert!(round <= round_bound(n));
+                assert_eq!(outputs, vec![1; n]);
+            }
+            other => panic!("expected label stability, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Theorem B.14: removing statefulness with metanodes.
+//!
+//! Every stateful protocol `A` on `K_n` (reactions may read their own
+//! label) lifts to a *stateless* protocol `Ā` on `K_{3n}` with the same
+//! stabilization behavior: each node is tripled, and a copy recovers "its
+//! own" label by majority over its two siblings — statelessness is
+//! restored because a node never needs to see itself, only its two
+//! mirrors.
+//!
+//! The lifted reaction is exactly the paper's:
+//!
+//! * if the node's *view* is inconsistent (some other metanode's three
+//!   copies disagree, or its own two siblings disagree or show `ω`) → `ω`;
+//! * else if the corresponding labeling is a stable labeling of `A` → `ω`
+//!   (the all-`ω` labeling is the lifted protocol's unique resting point);
+//! * else → `δᵢ` applied to the corresponding labeling.
+//!
+//! Chained after [`crate::string_oscillation`], this yields Theorem 4.2:
+//! deciding label r-stabilization of *stateless* protocols is
+//! PSPACE-complete.
+
+use std::sync::Arc;
+
+use stateless_core::label::Label;
+use stateless_core::prelude::*;
+use stateless_core::reaction::FnReaction;
+
+use crate::stateful::StatefulProtocol;
+
+/// A lifted label: an original label or the sentinel `ω`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum MetaLabel<L> {
+    /// An original-protocol label.
+    Value(L),
+    /// The paper's `ω` sentinel.
+    Omega,
+}
+
+/// Lifts a stateful protocol on `K_n` to a stateless one on `K_{3n}`
+/// (Theorem B.14). Copy `j` of metanode `i` is node `3i + j`.
+///
+/// `label_bits` declares `log₂|Σ|` of the original protocol; the lifted
+/// protocol uses one extra symbol (`ω`).
+pub fn metanode_lift<L: Label>(
+    stateful: &StatefulProtocol<L>,
+    label_bits: f64,
+) -> Protocol<MetaLabel<L>> {
+    let n = stateful.node_count();
+    let big = 3 * n;
+    let deg = big - 1;
+    let stateful = Arc::new(stateful.clone());
+    let mut builder = Protocol::builder(topology::clique(big), label_bits + 1.0)
+        .name(format!("metanode-lift(K{n} → K{big})"));
+    for node in 0..big {
+        let stateful = Arc::clone(&stateful);
+        builder = builder.reaction(
+            node,
+            FnReaction::new(move |me: NodeId, incoming: &[MetaLabel<L>], _| {
+                let peer = |who: NodeId| -> &MetaLabel<L> {
+                    &incoming[if who < me { who } else { who - 1 }]
+                };
+                let my_meta = me / 3;
+                // Reconstruct the corresponding labeling, checking the view.
+                let mut corresponding: Vec<L> = Vec::with_capacity(stateful.node_count());
+                let mut consistent = true;
+                'outer: for meta in 0..stateful.node_count() {
+                    let copies: Vec<&MetaLabel<L>> = (0..3)
+                        .map(|c| 3 * meta + c)
+                        .filter(|&u| u != me)
+                        .map(peer)
+                        .collect();
+                    // Other metanodes expose 3 copies, our own exposes 2;
+                    // all visible copies must agree on a non-ω value.
+                    let first = copies[0];
+                    for c in &copies {
+                        if *c != first {
+                            consistent = false;
+                            break 'outer;
+                        }
+                    }
+                    match first {
+                        MetaLabel::Value(v) => corresponding.push(v.clone()),
+                        MetaLabel::Omega => {
+                            consistent = false;
+                            break 'outer;
+                        }
+                    }
+                }
+                let out = if !consistent {
+                    MetaLabel::Omega
+                } else if stateful.is_stable(&corresponding) {
+                    MetaLabel::Omega
+                } else {
+                    MetaLabel::Value(stateful.apply(my_meta, &corresponding))
+                };
+                let y = u64::from(matches!(out, MetaLabel::Omega));
+                (vec![out; deg], y)
+            }),
+        );
+    }
+    builder.build().expect("all clique nodes have reactions")
+}
+
+/// Lifts a stateful label vector to an initial labeling of the metanode
+/// protocol (every copy of metanode `i` broadcasts `labels[i]`).
+pub fn lifted_labeling<L: Label>(labels: &[L]) -> Vec<MetaLabel<L>> {
+    let n = labels.len();
+    let big = 3 * n;
+    let graph = topology::clique(big);
+    let mut labeling = vec![MetaLabel::Omega; graph.edge_count()];
+    for node in 0..big {
+        for &e in graph.out_edges(node) {
+            labeling[e] = MetaLabel::Value(labels[node / 3].clone());
+        }
+    }
+    labeling
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stateful::StatefulProtocol;
+    use crate::string_oscillation::StringOscillation;
+    use stateless_core::convergence::{classify_sync, SyncOutcome};
+
+    fn flip(n: usize) -> StatefulProtocol<bool> {
+        StatefulProtocol::new(
+            (0..n)
+                .map(|i| {
+                    Arc::new(move |labels: &[bool]| !labels[i])
+                        as Arc<dyn Fn(&[bool]) -> bool + Send + Sync>
+                })
+                .collect(),
+        )
+    }
+
+    fn sticky_or(n: usize) -> StatefulProtocol<bool> {
+        StatefulProtocol::new(
+            (0..n)
+                .map(|i| {
+                    Arc::new(move |labels: &[bool]| {
+                        labels[i] || labels[(i + 1) % labels.len()]
+                    }) as Arc<dyn Fn(&[bool]) -> bool + Send + Sync>
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn lift_of_stabilizing_protocol_settles_at_all_omega() {
+        let a = sticky_or(2);
+        let lifted = metanode_lift(&a, 1.0);
+        for init in [[false, false], [true, false], [true, true]] {
+            let initial = lifted_labeling(&init);
+            let outcome =
+                classify_sync(&lifted, &vec![0; 6], initial, 100_000).unwrap();
+            match outcome {
+                SyncOutcome::LabelStable { labeling, .. } => {
+                    assert!(
+                        labeling.iter().all(|l| *l == MetaLabel::Omega),
+                        "resting point is all-ω"
+                    );
+                }
+                other => panic!("expected stabilization, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lift_of_oscillating_protocol_oscillates() {
+        let a = flip(2);
+        let lifted = metanode_lift(&a, 1.0);
+        let initial = lifted_labeling(&[false, true]);
+        let outcome = classify_sync(&lifted, &vec![0; 6], initial, 100_000).unwrap();
+        assert!(matches!(outcome, SyncOutcome::Oscillating { .. }));
+    }
+
+    #[test]
+    fn theorem_4_2_end_to_end_halting() {
+        // String-Oscillation → stateful protocol → stateless metanode lift:
+        // a halting instance yields a stabilizing stateless protocol.
+        let inst = StringOscillation::new(2, 2, |_| None);
+        let stateful = inst.to_stateful_protocol();
+        let lifted = metanode_lift(&stateful, 4.0);
+        let n_big = 3 * stateful.node_count();
+        for t in [[0u8, 0], [1, 0], [1, 1]] {
+            let initial = lifted_labeling(&inst.initial_labels(&t));
+            let outcome =
+                classify_sync(&lifted, &vec![0; n_big], initial, 100_000).unwrap();
+            assert!(outcome.is_label_stable(), "halting instance must stabilize (t={t:?})");
+        }
+    }
+
+    #[test]
+    fn theorem_4_2_end_to_end_looping() {
+        let inst = StringOscillation::new(2, 2, |t| Some(1 - t[0]));
+        let stateful = inst.to_stateful_protocol();
+        let lifted = metanode_lift(&stateful, 4.0);
+        let n_big = 3 * stateful.node_count();
+        let initial = lifted_labeling(&inst.initial_labels(&[0, 0]));
+        let outcome = classify_sync(&lifted, &vec![0; n_big], initial, 100_000).unwrap();
+        assert!(
+            matches!(outcome, SyncOutcome::Oscillating { .. }),
+            "looping instance must not stabilize"
+        );
+    }
+
+    #[test]
+    fn corrupted_lift_collapses_to_omega() {
+        // Start from an inconsistent labeling: one copy disagrees. The
+        // protocol detects the inconsistency and sinks to all-ω.
+        let a = flip(2);
+        let lifted = metanode_lift(&a, 1.0);
+        let mut initial = lifted_labeling(&[false, false]);
+        // Corrupt node 0's broadcasts.
+        let graph = lifted.graph();
+        for &e in graph.out_edges(0) {
+            initial[e] = MetaLabel::Value(true);
+        }
+        let outcome = classify_sync(&lifted, &vec![0; 6], initial, 100_000).unwrap();
+        match outcome {
+            SyncOutcome::LabelStable { labeling, .. } => {
+                assert!(labeling.iter().all(|l| *l == MetaLabel::Omega));
+            }
+            other => panic!("expected collapse to ω, got {other:?}"),
+        }
+    }
+}

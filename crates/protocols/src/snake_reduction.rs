@@ -1,0 +1,494 @@
+//! Theorem 4.1 (Theorems B.4 and B.7): the snake-in-the-box clique
+//! protocols showing that verifying label r-stabilization costs `2^Ω(n)`
+//! bits of communication.
+//!
+//! All three constructions run on the clique `K_n` with 1-bit labels
+//! (every node broadcasts one bit). The "bottom" nodes embed a hypercube
+//! `Q_d`: their joint bits form a cube vertex, and while the "top" nodes
+//! agree, the orientation function `φ` of a snake `S ⊆ Q_d` walks that
+//! vertex along the snake cycle. Alice's and Bob's reaction functions hold
+//! their private inputs `x, y` (indexed by snake position); the system
+//! oscillates forever exactly when the communication-problem instance is
+//! positive:
+//!
+//! * [`eq_reduction`] (Thm B.4, `r = 1`): oscillates iff `x = y`;
+//! * [`eq_reduction_with_latch`] (Thm B.4, general `r ≤ 2^{n/2}`): a
+//!   two-node latch slows the collapse so that only sufficiently long
+//!   disagreement windows stop the walk;
+//! * [`disj_reduction`] (Thm B.7, `r ≥ 2^{n/2}`): oscillates (under the
+//!   scripted r-fair schedule of Claim B.8, [`disj_oscillation_schedule`])
+//!   iff the input sets intersect.
+
+use hypercube_snake::Snake;
+use stateless_core::prelude::*;
+use stateless_core::reaction::FnReaction;
+
+/// Node roles of the reductions: Alice is node 0, Bob node 1; in the latch
+/// variant nodes 2 and 3 form the latch; the remaining `d` nodes carry the
+/// cube state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReductionLayout {
+    /// Number of clique nodes.
+    pub n: usize,
+    /// Index of the first cube-state node.
+    pub state_base: usize,
+    /// Cube dimension `d`.
+    pub d: u32,
+}
+
+/// Extracts, from a clique node's `incoming` slice (all other nodes'
+/// labels in ascending node order), the label of node `who` (≠ self).
+fn peer(incoming: &[bool], me: NodeId, who: NodeId) -> bool {
+    incoming[if who < me { who } else { who - 1 }]
+}
+
+/// Extracts the cube state from a clique node's `incoming` slice.
+fn peer_state(incoming: &[bool], me: NodeId, base: usize, d: u32, own_bit: bool) -> u32 {
+    let mut v = 0u32;
+    for bit in 0..d {
+        let node = base + bit as usize;
+        let b = if node == me { own_bit } else { peer(incoming, me, node) };
+        if b {
+            v |= 1 << bit;
+        }
+    }
+    v
+}
+
+/// Builds the Theorem B.4 (`r = 1`) equality reduction on `K_{d+2}`.
+///
+/// `x` and `y` must have length `snake.len()`. The snake must avoid
+/// vertex 0; for the `x ≠ y` convergence claim to hold from every initial
+/// labeling, 0's whole neighborhood must also be off the snake — use
+/// [`Snake::embedded_isolated`]. (Maximum snakes *dominate* the cube, so
+/// the paper's collapse-to-`0^d` argument needs this strengthening; see
+/// DESIGN.md.)
+///
+/// The protocol oscillates under the synchronous schedule from
+/// `(α, α, s₀)` iff `x = y`, and label-stabilizes to `(1, 0, 0^d)` when
+/// `x ≠ y`.
+///
+/// # Panics
+///
+/// Panics if the input lengths mismatch the snake or the snake contains
+/// vertex 0.
+pub fn eq_reduction(snake: &Snake, x: &[bool], y: &[bool]) -> (Protocol<bool>, ReductionLayout) {
+    assert_eq!(x.len(), snake.len(), "x must be indexed by snake positions");
+    assert_eq!(y.len(), snake.len(), "y must be indexed by snake positions");
+    assert!(!snake.contains(0), "normalize the snake away from vertex 0 first");
+    let d = snake.dimension();
+    let n = d as usize + 2;
+    let layout = ReductionLayout { n, state_base: 2, d };
+    let deg = n - 1;
+    let mut builder = Protocol::builder(topology::clique(n), 1.0)
+        .name(format!("eq-reduction(d={d}, |S|={})", snake.len()));
+    // Alice.
+    {
+        let snake = snake.clone();
+        let x = x.to_vec();
+        builder = builder.reaction(
+            0,
+            FnReaction::new(move |me: NodeId, incoming: &[bool], _| {
+                let state = peer_state(incoming, me, 2, d, false);
+                let bit = match snake.position(state) {
+                    Some(i) => x[i],
+                    None => true,
+                };
+                (vec![bit; deg], u64::from(bit))
+            }),
+        );
+    }
+    // Bob.
+    {
+        let snake = snake.clone();
+        let y = y.to_vec();
+        builder = builder.reaction(
+            1,
+            FnReaction::new(move |me: NodeId, incoming: &[bool], _| {
+                let state = peer_state(incoming, me, 2, d, false);
+                let bit = match snake.position(state) {
+                    Some(i) => y[i],
+                    None => false,
+                };
+                (vec![bit; deg], u64::from(bit))
+            }),
+        );
+    }
+    // Cube-state nodes.
+    for node in 2..n {
+        let snake = snake.clone();
+        let dim = (node - 2) as u32;
+        builder = builder.reaction(
+            node,
+            FnReaction::new(move |me: NodeId, incoming: &[bool], _| {
+                let alice = peer(incoming, me, 0);
+                let bob = peer(incoming, me, 1);
+                let bit = if alice != bob {
+                    false
+                } else {
+                    let rest = peer_state(incoming, me, 2, d, false);
+                    snake.phi(dim, rest)
+                };
+                (vec![bit; deg], u64::from(bit))
+            }),
+        );
+    }
+    (builder.build().expect("all clique nodes have reactions"), layout)
+}
+
+/// The initial labeling `(α, α, s)` for the equality reduction: Alice and
+/// Bob broadcast `alpha`, the cube nodes spell the snake vertex `s`.
+pub fn eq_initial_labeling(layout: ReductionLayout, alpha: bool, vertex: u32) -> Vec<bool> {
+    clique_uniform_labeling(layout.n, |node| {
+        if node < layout.state_base {
+            alpha
+        } else {
+            vertex >> (node - layout.state_base) & 1 == 1
+        }
+    })
+}
+
+/// Builds a per-node-uniform clique labeling from a node-bit function.
+pub fn clique_uniform_labeling(n: usize, bit_of: impl Fn(NodeId) -> bool) -> Vec<bool> {
+    let graph = topology::clique(n);
+    let mut labeling = vec![false; graph.edge_count()];
+    for node in 0..n {
+        for &e in graph.out_edges(node) {
+            labeling[e] = bit_of(node);
+        }
+    }
+    labeling
+}
+
+/// Builds the Theorem B.4 general-`r` equality reduction on `K_{d+4}`:
+/// nodes 2–3 are the latch `(ℓ₃, ℓ₄)` of the paper. Snake positions are
+/// grouped into chunks of `3r`; Alice's and Bob's inputs are indexed by
+/// chunk.
+///
+/// # Panics
+///
+/// Panics if the snake contains vertex 0, if `r == 0`, or if the input
+/// lengths differ from the chunk count `⌈|S| / 3r⌉`.
+pub fn eq_reduction_with_latch(
+    snake: &Snake,
+    r: usize,
+    x: &[bool],
+    y: &[bool],
+) -> (Protocol<bool>, ReductionLayout) {
+    assert!(r >= 1, "fairness parameter must be positive");
+    assert!(!snake.contains(0), "normalize the snake away from vertex 0 first");
+    let chunk = 3 * r;
+    let chunks = snake.len().div_ceil(chunk);
+    assert_eq!(x.len(), chunks, "x must be indexed by snake chunks");
+    assert_eq!(y.len(), chunks, "y must be indexed by snake chunks");
+    let d = snake.dimension();
+    let n = d as usize + 4;
+    let layout = ReductionLayout { n, state_base: 4, d };
+    let deg = n - 1;
+    let mut builder = Protocol::builder(topology::clique(n), 1.0)
+        .name(format!("eq-latch-reduction(d={d}, r={r})"));
+    // Alice and Bob.
+    for (node, input, idle) in [(0usize, x.to_vec(), true), (1, y.to_vec(), false)] {
+        let snake = snake.clone();
+        builder = builder.reaction(
+            node,
+            FnReaction::new(move |me: NodeId, incoming: &[bool], _| {
+                let latch =
+                    (peer(incoming, me, 2), peer(incoming, me, 3)) == (true, true);
+                let state = peer_state(incoming, me, 4, d, false);
+                let bit = if !latch {
+                    match snake.position(state) {
+                        Some(j) => input[j / chunk],
+                        None => idle,
+                    }
+                } else {
+                    idle
+                };
+                (vec![bit; deg], u64::from(bit))
+            }),
+        );
+    }
+    // Latch node 2 copies node 3; latch node 3 sets on disagreement.
+    builder = builder.reaction(
+        2,
+        FnReaction::new(move |me: NodeId, incoming: &[bool], _| {
+            let bit = peer(incoming, me, 3);
+            (vec![bit; deg], u64::from(bit))
+        }),
+    );
+    builder = builder.reaction(
+        3,
+        FnReaction::new(move |me: NodeId, incoming: &[bool], _| {
+            let bit = peer(incoming, me, 2)
+                || peer(incoming, me, 0) != peer(incoming, me, 1);
+            (vec![bit; deg], u64::from(bit))
+        }),
+    );
+    // Cube-state nodes.
+    for node in 4..n {
+        let snake = snake.clone();
+        let dim = (node - 4) as u32;
+        builder = builder.reaction(
+            node,
+            FnReaction::new(move |me: NodeId, incoming: &[bool], _| {
+                let latch =
+                    (peer(incoming, me, 2), peer(incoming, me, 3)) == (true, true);
+                let bit = if latch {
+                    false
+                } else {
+                    let rest = peer_state(incoming, me, 4, d, false);
+                    snake.phi(dim, rest)
+                };
+                (vec![bit; deg], u64::from(bit))
+            }),
+        );
+    }
+    (builder.build().expect("all clique nodes have reactions"), layout)
+}
+
+/// The initial labeling for the latch reduction: `(α, α, 0, 0, s)`.
+pub fn latch_initial_labeling(layout: ReductionLayout, alpha: bool, vertex: u32) -> Vec<bool> {
+    clique_uniform_labeling(layout.n, |node| match node {
+        0 | 1 => alpha,
+        2 | 3 => false,
+        _ => vertex >> (node - layout.state_base) & 1 == 1,
+    })
+}
+
+/// Builds the Theorem B.7 set-disjointness reduction on `K_{d+2}`: Alice
+/// and Bob hold characteristic vectors over a `q`-element universe; snake
+/// position `j` queries element `I(j) = j mod q`.
+///
+/// # Panics
+///
+/// Panics if the snake contains vertex 0, `q == 0`, or the vectors don't
+/// have length `q`.
+pub fn disj_reduction(
+    snake: &Snake,
+    q: usize,
+    x: &[bool],
+    y: &[bool],
+) -> (Protocol<bool>, ReductionLayout) {
+    assert!(q >= 1, "universe must be nonempty");
+    assert_eq!(x.len(), q, "x is a characteristic vector over [q]");
+    assert_eq!(y.len(), q, "y is a characteristic vector over [q]");
+    assert!(!snake.contains(0), "normalize the snake away from vertex 0 first");
+    let d = snake.dimension();
+    let n = d as usize + 2;
+    let layout = ReductionLayout { n, state_base: 2, d };
+    let deg = n - 1;
+    let mut builder = Protocol::builder(topology::clique(n), 1.0)
+        .name(format!("disj-reduction(d={d}, q={q})"));
+    for (node, input, other) in [(0usize, x.to_vec(), 1usize), (1, y.to_vec(), 0)] {
+        let snake = snake.clone();
+        builder = builder.reaction(
+            node,
+            FnReaction::new(move |me: NodeId, incoming: &[bool], _| {
+                let other_label = peer(incoming, me, other);
+                let state = peer_state(incoming, me, 2, d, false);
+                let bit = if !other_label {
+                    match snake.position(state) {
+                        Some(j) => input[j % q],
+                        None => false,
+                    }
+                } else {
+                    false
+                };
+                (vec![bit; deg], u64::from(bit))
+            }),
+        );
+    }
+    for node in 2..n {
+        let snake = snake.clone();
+        let dim = (node - 2) as u32;
+        builder = builder.reaction(
+            node,
+            FnReaction::new(move |me: NodeId, incoming: &[bool], _| {
+                let tops = (peer(incoming, me, 0), peer(incoming, me, 1));
+                let bit = if tops == (true, true) {
+                    let rest = peer_state(incoming, me, 2, d, false);
+                    snake.phi(dim, rest)
+                } else {
+                    false
+                };
+                (vec![bit; deg], u64::from(bit))
+            }),
+        );
+    }
+    (builder.build().expect("all clique nodes have reactions"), layout)
+}
+
+/// The Claim B.8 oscillation witness for [`disj_reduction`]: a scripted
+/// r-fair schedule (with `r ≥ 2q + 2`) and matching initial labeling that
+/// keep the system oscillating forever when element `k` is in both sets.
+///
+/// The schedule walks the cube state along the snake (activating only the
+/// cube nodes) and, at every snake position `j` with `I(j) = k`, toggles
+/// Alice and Bob twice: down (both see the other at 1) and up (both see 0
+/// and re-arm from their common element). Returns `(schedule, initial
+/// labeling)`.
+///
+/// # Panics
+///
+/// Panics if `k ≥ q` or no snake position maps to `k` (needs `|S| ≥ q`).
+pub fn disj_oscillation_schedule(
+    snake: &Snake,
+    layout: ReductionLayout,
+    q: usize,
+    k: usize,
+) -> (Scripted, Vec<bool>) {
+    assert!(k < q, "element out of range");
+    let len = snake.len();
+    let j_star = (0..len).find(|j| j % q == k).expect("|S| ≥ q required");
+    let state_nodes: Vec<NodeId> = (layout.state_base..layout.n).collect();
+    let mut steps: Vec<Vec<NodeId>> = Vec::new();
+    // One full lap of the snake, toggling at every position ≡ k (mod q).
+    for m in 1..=len {
+        steps.push(state_nodes.clone());
+        if (j_star + m) % len % q == k {
+            steps.push(vec![0, 1]);
+            steps.push(vec![0, 1]);
+        }
+    }
+    let initial = eq_initial_labeling(layout, true, snake.vertices()[j_star]);
+    (Scripted::cycle(steps), initial)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stateless_core::convergence::{classify_sync, SyncOutcome};
+    use stateless_core::engine::Simulation;
+    use stateless_core::schedule::Schedule;
+
+    fn snake4() -> Snake {
+        // Vertex 0 isolated from the snake: required for the x ≠ y
+        // convergence claim (see Snake::embedded_isolated).
+        Snake::embedded_isolated(4).unwrap()
+    }
+
+    #[test]
+    fn eq_reduction_oscillates_iff_inputs_equal() {
+        let snake = snake4();
+        let len = snake.len();
+        let x: Vec<bool> = (0..len).map(|i| i % 3 == 0).collect();
+        // Equal inputs: oscillation from (α, α, s₀).
+        let (p, layout) = eq_reduction(&snake, &x, &x);
+        let init = eq_initial_labeling(layout, false, snake.vertices()[0]);
+        let outcome = classify_sync(&p, &vec![0; layout.n], init, 100_000).unwrap();
+        assert!(
+            matches!(outcome, SyncOutcome::Oscillating { .. }),
+            "x = y must oscillate"
+        );
+        // Different inputs: stabilization to (1, 0, 0^d).
+        let mut y = x.clone();
+        y[2] = !y[2];
+        let (p, layout) = eq_reduction(&snake, &x, &y);
+        for start in 0..len {
+            let init = eq_initial_labeling(layout, true, snake.vertices()[start]);
+            let outcome =
+                classify_sync(&p, &vec![0; layout.n], init, 100_000).unwrap();
+            match outcome {
+                SyncOutcome::LabelStable { labeling, .. } => {
+                    let expected = clique_uniform_labeling(layout.n, |node| node == 0);
+                    assert_eq!(labeling, expected, "stable point is (1, 0, 0^d)");
+                }
+                other => panic!("x ≠ y must stabilize, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn eq_reduction_stabilizes_from_off_snake_states() {
+        let snake = snake4();
+        let x: Vec<bool> = vec![true; snake.len()];
+        let mut y = x.clone();
+        y[0] = false;
+        let (p, layout) = eq_reduction(&snake, &x, &y);
+        // Off-snake state, disagreeing tops.
+        let init = clique_uniform_labeling(layout.n, |node| node == 1);
+        let outcome = classify_sync(&p, &vec![0; layout.n], init, 100_000).unwrap();
+        assert!(outcome.is_label_stable());
+    }
+
+    #[test]
+    fn latch_reduction_oscillates_iff_inputs_equal() {
+        let snake = snake4();
+        let r = 2;
+        let chunks = snake.len().div_ceil(3 * r);
+        let x: Vec<bool> = (0..chunks).map(|i| i % 2 == 0).collect();
+        let (p, layout) = eq_reduction_with_latch(&snake, r, &x, &x);
+        let init = latch_initial_labeling(layout, false, snake.vertices()[0]);
+        let outcome = classify_sync(&p, &vec![0; layout.n], init, 100_000).unwrap();
+        assert!(matches!(outcome, SyncOutcome::Oscillating { .. }));
+
+        let mut y = x.clone();
+        y[0] = !y[0];
+        let (p, layout) = eq_reduction_with_latch(&snake, r, &x, &y);
+        let init = latch_initial_labeling(layout, false, snake.vertices()[0]);
+        let outcome = classify_sync(&p, &vec![0; layout.n], init, 100_000).unwrap();
+        assert!(outcome.is_label_stable(), "x ≠ y must stabilize");
+    }
+
+    #[test]
+    fn disj_reduction_oscillates_on_intersecting_sets() {
+        let snake = snake4();
+        let q = 3;
+        let x = vec![true, false, true];
+        let y = vec![false, false, true]; // intersect at element 2
+        let (p, layout) = disj_reduction(&snake, q, &x, &y);
+        let (mut sched, init) = disj_oscillation_schedule(&snake, layout, q, 2);
+        let mut sim = Simulation::new(&p, &vec![0; layout.n], init.clone()).unwrap();
+        let period = sched.period();
+        let mut changed = false;
+        for _ in 0..4 * period {
+            let before = sim.labeling().to_vec();
+            let active = sched.activations(sim.time() + 1, layout.n);
+            sim.step_with(&active);
+            changed |= before != sim.labeling();
+        }
+        assert!(changed, "labels keep moving");
+        // After whole laps the labeling returns to the start: a true cycle.
+        let mut sim2 = Simulation::new(&p, &vec![0; layout.n], init.clone()).unwrap();
+        let mut sched2 = disj_oscillation_schedule(&snake, layout, q, 2).0;
+        for _ in 0..period {
+            let active = sched2.activations(sim2.time() + 1, layout.n);
+            sim2.step_with(&active);
+        }
+        assert_eq!(sim2.labeling(), &init[..], "period closes the oscillation");
+    }
+
+    #[test]
+    fn disj_reduction_converges_on_disjoint_sets() {
+        let snake = snake4();
+        let q = 3;
+        let x = vec![true, false, false];
+        let y = vec![false, true, false]; // disjoint
+        let (p, layout) = disj_reduction(&snake, q, &x, &y);
+        // The same adversarial schedules that witness oscillation for
+        // intersecting sets all lead to stabilization here.
+        for k in 0..q {
+            let (mut sched, init) = disj_oscillation_schedule(&snake, layout, q, k);
+            let mut sim = Simulation::new(&p, &vec![0; layout.n], init).unwrap();
+            for _ in 0..6 * sched.period() {
+                let active = sched.activations(sim.time() + 1, layout.n);
+                sim.step_with(&active);
+            }
+            assert!(sim.is_label_stable(), "disjoint sets stabilize (k={k})");
+        }
+        // And the synchronous run stabilizes as well.
+        let init = eq_initial_labeling(layout, true, snake.vertices()[0]);
+        let outcome = classify_sync(&p, &vec![0; layout.n], init, 100_000).unwrap();
+        assert!(outcome.is_label_stable());
+    }
+
+    #[test]
+    fn disj_schedule_is_r_fair_for_r_at_least_2q_plus_2() {
+        let snake = snake4();
+        let q = 3;
+        let (_, layout) = disj_reduction(&snake, q, &[true; 3], &[true; 3]);
+        let (sched, _) = disj_oscillation_schedule(&snake, layout, q, 1);
+        let fairness = sched.fairness(layout.n).expect("all nodes scheduled");
+        assert!(fairness <= 2 * q + 2, "fairness {fairness} ≤ 2q+2");
+    }
+}

@@ -1,0 +1,144 @@
+//! Stateful protocols on cliques (Appendix B): reaction functions that may
+//! read their *own* outgoing label as well as everyone else's.
+//!
+//! These are the intermediate objects of the PSPACE-completeness proof
+//! (Theorem 4.2): String-Oscillation reduces to stateful-protocol
+//! stabilization (Theorem B.11), and [`crate::metanode`] removes the
+//! statefulness (Theorem B.14). Labels are per-node (each node broadcasts
+//! the same label to all clique neighbors), matching the appendix's
+//! redefinition `δᵢ : Σⁿ → Σ`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use stateless_core::label::Label;
+
+/// A stateful clique protocol: node `i`'s next label is
+/// `δᵢ(ℓ₁, …, ℓₙ)` — note the inclusion of `ℓᵢ` itself.
+#[derive(Clone)]
+pub struct StatefulProtocol<L> {
+    reactions: Vec<Arc<dyn Fn(&[L]) -> L + Send + Sync>>,
+}
+
+impl<L: Label> std::fmt::Debug for StatefulProtocol<L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StatefulProtocol").field("nodes", &self.reactions.len()).finish()
+    }
+}
+
+impl<L: Label> StatefulProtocol<L> {
+    /// Builds a protocol from one reaction per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reactions` is empty.
+    pub fn new(reactions: Vec<Arc<dyn Fn(&[L]) -> L + Send + Sync>>) -> Self {
+        assert!(!reactions.is_empty(), "need at least one node");
+        StatefulProtocol { reactions }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.reactions.len()
+    }
+
+    /// Applies node `i`'s reaction to the global label vector.
+    pub fn apply(&self, i: usize, labels: &[L]) -> L {
+        (self.reactions[i])(labels)
+    }
+
+    /// One step activating `active` (simultaneous reads).
+    pub fn step(&self, labels: &[L], active: &[usize]) -> Vec<L> {
+        let mut next = labels.to_vec();
+        for &i in active {
+            next[i] = self.apply(i, labels);
+        }
+        next
+    }
+
+    /// Whether `labels` is a fixed point of every reaction.
+    pub fn is_stable(&self, labels: &[L]) -> bool {
+        (0..self.node_count()).all(|i| self.apply(i, labels) == labels[i])
+    }
+
+    /// Classifies the synchronous run from `initial` by cycle detection:
+    /// `Ok(true)` if it reaches a stable vector, `Ok(false)` if it enters a
+    /// nontrivial cycle, `Err(visited)` if `max_states` was exceeded.
+    pub fn sync_stabilizes(&self, initial: Vec<L>, max_states: usize) -> Result<bool, usize> {
+        let n = self.node_count();
+        let all: Vec<usize> = (0..n).collect();
+        let mut seen: HashMap<Vec<L>, u64> = HashMap::new();
+        let mut current = initial;
+        for t in 0..max_states as u64 {
+            if let Some(_prev) = seen.get(&current) {
+                return Ok(false);
+            }
+            seen.insert(current.clone(), t);
+            let next = self.step(&current, &all);
+            if next == current {
+                return Ok(true);
+            }
+            current = next;
+        }
+        Err(max_states)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flip_protocol(n: usize) -> StatefulProtocol<bool> {
+        // Every node negates its own label: oscillates forever.
+        let reactions = (0..n)
+            .map(|i| {
+                Arc::new(move |labels: &[bool]| !labels[i])
+                    as Arc<dyn Fn(&[bool]) -> bool + Send + Sync>
+            })
+            .collect();
+        StatefulProtocol::new(reactions)
+    }
+
+    fn copy_protocol(n: usize) -> StatefulProtocol<bool> {
+        // Every node copies its left neighbor's label OR'd with its own:
+        // sticky, stabilizes.
+        let reactions = (0..n)
+            .map(|i| {
+                Arc::new(move |labels: &[bool]| labels[i] || labels[(i + 1) % labels.len()])
+                    as Arc<dyn Fn(&[bool]) -> bool + Send + Sync>
+            })
+            .collect();
+        StatefulProtocol::new(reactions)
+    }
+
+    #[test]
+    fn flip_oscillates() {
+        let p = flip_protocol(3);
+        assert_eq!(p.sync_stabilizes(vec![false, true, false], 100), Ok(false));
+        assert!(!p.is_stable(&[false, false, false]));
+    }
+
+    #[test]
+    fn sticky_or_stabilizes() {
+        let p = copy_protocol(4);
+        assert_eq!(p.sync_stabilizes(vec![false, true, false, false], 100), Ok(true));
+        assert!(p.is_stable(&[true; 4]));
+        assert!(p.is_stable(&[false; 4]));
+    }
+
+    #[test]
+    fn partial_activation_only_updates_active_nodes() {
+        let p = flip_protocol(3);
+        let next = p.step(&[false, false, false], &[1]);
+        assert_eq!(next, vec![false, true, false]);
+    }
+
+    #[test]
+    fn state_budget_is_reported() {
+        // A counter protocol that never repeats within the budget.
+        let reactions = vec![Arc::new(|labels: &[u64]| labels[0] + 1)
+            as Arc<dyn Fn(&[u64]) -> u64 + Send + Sync>];
+        let p = StatefulProtocol::new(reactions);
+        assert_eq!(p.sync_stabilizes(vec![0], 50), Err(50));
+    }
+}

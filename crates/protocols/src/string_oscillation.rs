@@ -1,0 +1,264 @@
+//! Theorem B.11: the String-Oscillation problem and its reduction to
+//! stateful-protocol stabilization.
+//!
+//! **String-Oscillation**: given `g : Γᵐ → Γ ∪ {halt}`, does some initial
+//! string `T` make the cursor procedure
+//!
+//! ```text
+//! i ← 0; while g(T) ≠ halt { T[i] ← g(T); i ← (i+1) mod m }
+//! ```
+//!
+//! run forever? The problem is PSPACE-complete; the reduction below turns
+//! an instance into a stateful clique protocol on `K_{m+1}` that is label
+//! r-stabilizing **iff** the procedure halts on every initial string —
+//! which is how Theorem 4.2 inherits PSPACE-hardness.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use crate::stateful::StatefulProtocol;
+
+/// A String-Oscillation instance: the alphabet size `|Γ|` and the map `g`
+/// (`None` encodes `halt`).
+pub struct StringOscillation {
+    m: usize,
+    gamma: u8,
+    g: Arc<dyn Fn(&[u8]) -> Option<u8> + Send + Sync>,
+}
+
+impl std::fmt::Debug for StringOscillation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StringOscillation")
+            .field("m", &self.m)
+            .field("gamma", &self.gamma)
+            .finish()
+    }
+}
+
+/// The label of the reduction's protocol: every node carries a cursor
+/// component and a symbol component (`(k, α)` in the paper; node `m`
+/// carries the controller pair `(j, γ)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OscLabel {
+    /// Cursor component (only meaningful on the controller node).
+    pub idx: u8,
+    /// Symbol component: `None` encodes the paper's `halt`.
+    pub sym: Option<u8>,
+}
+
+impl StringOscillation {
+    /// Creates an instance over strings of length `m` with symbols
+    /// `0..gamma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `gamma == 0`.
+    pub fn new<G>(m: usize, gamma: u8, g: G) -> Self
+    where
+        G: Fn(&[u8]) -> Option<u8> + Send + Sync + 'static,
+    {
+        assert!(m >= 1 && gamma >= 1, "need a nonempty string and alphabet");
+        StringOscillation { m, gamma, g: Arc::new(g) }
+    }
+
+    /// String length `m`.
+    pub fn string_len(&self) -> usize {
+        self.m
+    }
+
+    /// Alphabet size `|Γ|`.
+    pub fn alphabet(&self) -> u8 {
+        self.gamma
+    }
+
+    /// Runs the cursor procedure from `initial`; returns `true` if it
+    /// loops forever (detected by revisiting a `(string, cursor)` state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` has the wrong length or an out-of-range symbol.
+    pub fn runs_forever(&self, initial: &[u8]) -> bool {
+        assert_eq!(initial.len(), self.m, "string length mismatch");
+        assert!(initial.iter().all(|&s| s < self.gamma), "symbol out of range");
+        let mut seen: HashSet<(Vec<u8>, usize)> = HashSet::new();
+        let mut t = initial.to_vec();
+        let mut i = 0usize;
+        loop {
+            match (self.g)(&t) {
+                None => return false,
+                Some(sym) => {
+                    if !seen.insert((t.clone(), i)) {
+                        return true;
+                    }
+                    t[i] = sym;
+                    i = (i + 1) % self.m;
+                }
+            }
+        }
+    }
+
+    /// Brute-force decision of the String-Oscillation instance: does *any*
+    /// initial string loop forever? Exponential in `m` — the hardness the
+    /// reduction transports.
+    ///
+    /// Returns the witness string if one exists.
+    pub fn find_oscillating_string(&self) -> Option<Vec<u8>> {
+        let mut t = vec![0u8; self.m];
+        loop {
+            if self.runs_forever(&t) {
+                return Some(t);
+            }
+            // Odometer increment.
+            let mut i = 0;
+            loop {
+                if i == self.m {
+                    return None;
+                }
+                t[i] += 1;
+                if t[i] == self.gamma {
+                    t[i] = 0;
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// The Theorem B.11 reduction: a stateful protocol on `K_{m+1}` that
+    /// fails to stabilize exactly when some initial string loops forever.
+    ///
+    /// Node `i < m` holds string symbol `i`; node `m` is the controller
+    /// carrying the cursor `(j, γ)`.
+    pub fn to_stateful_protocol(&self) -> StatefulProtocol<OscLabel> {
+        let m = self.m;
+        let mut reactions: Vec<Arc<dyn Fn(&[OscLabel]) -> OscLabel + Send + Sync>> =
+            Vec::with_capacity(m + 1);
+        for i in 0..m {
+            reactions.push(Arc::new(move |labels: &[OscLabel]| {
+                let m = labels.len() - 1;
+                let controller = labels[m];
+                match controller.sym {
+                    None => OscLabel { idx: 0, sym: None },
+                    Some(gamma_val) if usize::from(controller.idx) == i => {
+                        OscLabel { idx: 0, sym: Some(gamma_val) }
+                    }
+                    Some(_) => OscLabel { idx: 0, sym: labels[i].sym },
+                }
+            }));
+        }
+        let g = Arc::clone(&self.g);
+        let gamma = self.gamma;
+        reactions.push(Arc::new(move |labels: &[OscLabel]| {
+            let m = labels.len() - 1;
+            let me = labels[m];
+            match me.sym {
+                None => OscLabel { idx: 0, sym: None },
+                Some(gamma_val) => {
+                    let j = usize::from(me.idx) % m;
+                    if labels[j].sym == Some(gamma_val) {
+                        // The write landed: advance the cursor and apply g.
+                        let string: Option<Vec<u8>> = labels[..m]
+                            .iter()
+                            .map(|l| l.sym.filter(|&s| s < gamma))
+                            .collect();
+                        let next = match string {
+                            Some(s) => (g)(&s),
+                            None => None, // corrupt symbols: halt defensively
+                        };
+                        OscLabel { idx: ((j + 1) % m) as u8, sym: next }
+                    } else {
+                        me
+                    }
+                }
+            }
+        }));
+        StatefulProtocol::new(reactions)
+    }
+
+    /// The initial label vector encoding string `t` with the controller
+    /// primed at cursor 0 holding `g(t)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` has the wrong length.
+    pub fn initial_labels(&self, t: &[u8]) -> Vec<OscLabel> {
+        assert_eq!(t.len(), self.m, "string length mismatch");
+        let mut labels: Vec<OscLabel> =
+            t.iter().map(|&s| OscLabel { idx: 0, sym: Some(s) }).collect();
+        labels.push(OscLabel { idx: 0, sym: (self.g)(t) });
+        labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// g that immediately halts everywhere.
+    fn halting() -> StringOscillation {
+        StringOscillation::new(2, 2, |_| None)
+    }
+
+    /// g that rotates symbols forever: never halts.
+    fn looping() -> StringOscillation {
+        StringOscillation::new(2, 2, |t| Some(1 - t[0]))
+    }
+
+    /// g that halts iff the first symbol is 0 — and can never zero it:
+    /// loops exactly on strings with `t[0] ≠ 0`.
+    fn mixed() -> StringOscillation {
+        StringOscillation::new(2, 3, |t| if t[0] == 0 { None } else { Some(t[0]) })
+    }
+
+    #[test]
+    fn procedure_semantics() {
+        assert!(!halting().runs_forever(&[0, 1]));
+        assert!(looping().runs_forever(&[0, 0]));
+        assert!(!mixed().runs_forever(&[0, 0]));
+        assert!(!mixed().runs_forever(&[0, 2]));
+        assert!(mixed().runs_forever(&[1, 0]));
+        assert!(mixed().runs_forever(&[2, 1]));
+    }
+
+    #[test]
+    fn brute_force_finds_witnesses() {
+        assert_eq!(halting().find_oscillating_string(), None);
+        assert!(looping().find_oscillating_string().is_some());
+        let w = mixed().find_oscillating_string().expect("witness exists");
+        assert!(mixed().runs_forever(&w));
+    }
+
+    #[test]
+    fn reduction_preserves_oscillation() {
+        // Looping g: the protocol must not stabilize from the primed
+        // initial labels.
+        let inst = looping();
+        let p = inst.to_stateful_protocol();
+        let init = inst.initial_labels(&[0, 0]);
+        assert_eq!(p.sync_stabilizes(init, 10_000), Ok(false));
+    }
+
+    #[test]
+    fn reduction_preserves_stabilization() {
+        let inst = halting();
+        let p = inst.to_stateful_protocol();
+        for t in [[0u8, 0], [0, 1], [1, 0], [1, 1]] {
+            let init = inst.initial_labels(&t);
+            assert_eq!(p.sync_stabilizes(init, 10_000), Ok(true), "t = {t:?}");
+        }
+    }
+
+    #[test]
+    fn mixed_instance_matches_brute_force_per_string() {
+        let inst = mixed();
+        let p = inst.to_stateful_protocol();
+        for a in 0..3u8 {
+            for b in 0..3u8 {
+                let loops = inst.runs_forever(&[a, b]);
+                let stabilizes = p.sync_stabilizes(inst.initial_labels(&[a, b]), 100_000);
+                assert_eq!(stabilizes, Ok(!loops), "t = [{a}, {b}]");
+            }
+        }
+    }
+}

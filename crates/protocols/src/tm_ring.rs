@@ -1,0 +1,212 @@
+//! Theorem 5.2 (`L/poly ⊆ OSu_log`): simulating a space-bounded Turing
+//! machine on the unidirectional ring.
+//!
+//! Exactly as in the proof, the label space is
+//! `Σ = Z × {0,1} × [|Z|+1] × {0,1}`: a machine configuration, the bit
+//! under its input head (filled in by the node that owns that input
+//! position as the label sweeps the ring), a step counter that triggers
+//! the periodic re-initialization — the self-stabilization mechanism —
+//! and the published output bit.
+//!
+//! Node 0 runs `n` interleaved simulations (one per circulating label):
+//! each time a label passes, it applies one machine step `π(z, b)`,
+//! refreshes `b` with its own input, and bumps the counter; at counter
+//! `|Z|` it publishes `F(z)` and restarts from `z₀`. Every other node
+//! answers input queries (when the head of the carried configuration sits
+//! on its position) and forwards everything else unchanged.
+
+use std::sync::Arc;
+
+use stateless_core::label::bits_for_cardinality;
+use stateless_core::prelude::*;
+use stateless_core::reaction::FnReaction;
+use turing_machine::Machine;
+
+/// The ring label `(z, b, c, o)` of the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TmLabel {
+    /// Configuration index in `0..|Z|`.
+    pub z: u64,
+    /// The input bit under `z`'s head (maintained by the owning node).
+    pub b: bool,
+    /// Steps simulated since the last reset, in `0..=|Z|`.
+    pub c: u64,
+    /// The published output.
+    pub o: bool,
+}
+
+impl TmLabel {
+    /// A canonical label: initial configuration, zero counter.
+    pub fn reset(machine: &Machine) -> Self {
+        TmLabel {
+            z: machine.config_to_index(&machine.initial_config()),
+            b: false,
+            c: 0,
+            o: false,
+        }
+    }
+}
+
+/// Builds the Theorem 5.2 simulation protocol for `machine` on the
+/// unidirectional ring with `n = machine.input_len()` nodes.
+///
+/// The protocol **output-stabilizes from any initial labeling** to
+/// `machine.decide(x)` at every node, provided the machine is a decider
+/// (halts within `|Z|` steps — which every decider does). Label complexity
+/// is `log₂(2·|Z|·(|Z|+1)·2) = O(log |Z|) = O(log n)` for
+/// logspace machines.
+///
+/// # Panics
+///
+/// Panics if `machine.input_len() < 2`.
+pub fn tm_ring_protocol(machine: Machine) -> Protocol<TmLabel> {
+    let n = machine.input_len();
+    assert!(n >= 2, "ring simulation needs n ≥ 2");
+    let z_count = machine.config_count();
+    let label_bits =
+        bits_for_cardinality(u128::from(z_count) * 2 * (u128::from(z_count) + 1) * 2);
+    let machine = Arc::new(machine);
+    let mut builder = Protocol::builder(topology::unidirectional_ring(n), label_bits)
+        .name(format!("tm-on-uniring(n={n}, |Z|={z_count})"));
+
+    // Node 0: the simulation driver.
+    {
+        let m = Arc::clone(&machine);
+        builder = builder.reaction(
+            0,
+            FnReaction::new(move |_, incoming: &[TmLabel], input| {
+                let lab = incoming[0];
+                // Clamp garbage from adversarial initial labelings.
+                let z_idx = lab.z.min(m.config_count() - 1);
+                let config = m.index_to_config(z_idx).expect("clamped index is valid");
+                let out = if lab.c >= m.config_count() {
+                    // Periodic reset: publish the finished run's verdict.
+                    let verdict = m.is_accepting(&config);
+                    let z0 = m.initial_config();
+                    let b0 = input == 1; // z₀'s head is at position 0 = us
+                    TmLabel { z: m.config_to_index(&z0), b: b0, c: 0, o: verdict }
+                } else {
+                    let next = m.step_with_bit(&config, lab.b);
+                    let b = if next.input_head == 0 { input == 1 } else { lab.b };
+                    TmLabel { z: m.config_to_index(&next), b, c: lab.c + 1, o: lab.o }
+                };
+                (vec![out], u64::from(out.o))
+            }),
+        );
+    }
+    // Nodes 1..n: input servers and relays.
+    for node in 1..n {
+        let m = Arc::clone(&machine);
+        builder = builder.reaction(
+            node,
+            FnReaction::new(move |i: NodeId, incoming: &[TmLabel], input| {
+                let lab = incoming[0];
+                let z_idx = lab.z.min(m.config_count() - 1);
+                let config = m.index_to_config(z_idx).expect("clamped index is valid");
+                let b = if config.input_head == i { input == 1 } else { lab.b };
+                let out = TmLabel { z: z_idx, b, c: lab.c.min(m.config_count()), o: lab.o };
+                (vec![out], u64::from(out.o))
+            }),
+        );
+    }
+    builder.build().expect("all ring nodes have reactions")
+}
+
+/// A safe synchronous round budget for output stabilization from any
+/// initial labeling: two full reset periods plus a propagation lap.
+pub fn output_rounds_bound(machine: &Machine) -> u64 {
+    let n = machine.input_len() as u64;
+    2 * n * (machine.config_count() + 1) + 2 * n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    use stateless_core::engine::Simulation;
+    use stateless_core::schedule::Synchronous;
+    use turing_machine::library;
+
+    fn run_from(
+        machine: &Machine,
+        x: &[bool],
+        initial: Vec<TmLabel>,
+    ) -> Vec<u64> {
+        let p = tm_ring_protocol(machine.clone());
+        let inputs: Vec<u64> = x.iter().map(|&b| u64::from(b)).collect();
+        let mut sim = Simulation::new(&p, &inputs, initial).unwrap();
+        sim.run(&mut Synchronous, output_rounds_bound(machine));
+        sim.outputs().to_vec()
+    }
+
+    #[test]
+    fn parity_machine_on_ring_matches_direct_decision() {
+        let n = 3;
+        let m = library::parity_machine(n);
+        for bits in 0..1u32 << n {
+            let x: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            let expected = u64::from(m.decide(&x).unwrap());
+            let outs = run_from(&m, &x, vec![TmLabel::reset(&m); n]);
+            assert_eq!(outs, vec![expected; n], "x = {x:?}");
+        }
+    }
+
+    #[test]
+    fn contains_11_machine_on_ring_matches() {
+        let n = 4;
+        let m = library::contains_11_machine(n);
+        for bits in [0b0000u32, 0b0110, 0b1010, 0b1100, 0b1111] {
+            let x: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            let expected = u64::from(m.decide(&x).unwrap());
+            let outs = run_from(&m, &x, vec![TmLabel::reset(&m); n]);
+            assert_eq!(outs, vec![expected; n], "x = {x:?}");
+        }
+    }
+
+    #[test]
+    fn first_equals_last_uses_the_work_tape_on_ring() {
+        let n = 4;
+        let m = library::first_equals_last_machine(n);
+        for x in [
+            [true, false, false, true],
+            [true, false, false, false],
+            [false, true, true, false],
+            [false, true, true, true],
+        ] {
+            let expected = u64::from(m.decide(&x).unwrap());
+            let outs = run_from(&m, &x, vec![TmLabel::reset(&m); n]);
+            assert_eq!(outs, vec![expected; n], "x = {x:?}");
+        }
+    }
+
+    #[test]
+    fn self_stabilizes_from_adversarial_labels() {
+        let n = 3;
+        let m = library::mod_count_machine(n, 3, 0);
+        let mut rng = StdRng::seed_from_u64(99);
+        let x = [true, true, true]; // 3 ≡ 0 (mod 3): accept
+        for _ in 0..10 {
+            let initial: Vec<TmLabel> = (0..n)
+                .map(|_| TmLabel {
+                    z: rng.random_range(0..10 * m.config_count()),
+                    b: rng.random_bool(0.5),
+                    c: rng.random_range(0..2 * m.config_count()),
+                    o: rng.random_bool(0.5),
+                })
+                .collect();
+            let outs = run_from(&m, &x, initial);
+            assert_eq!(outs, vec![1; n]);
+        }
+    }
+
+    #[test]
+    fn label_complexity_is_logarithmic() {
+        for n in [4usize, 8, 16] {
+            let m = library::parity_machine(n);
+            let p = tm_ring_protocol(m);
+            // |Z| = O(n²) ⟹ label bits = O(log n).
+            assert!(p.label_bits() <= 6.0 * (n as f64).log2() + 8.0, "n={n}");
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Lemma C.2(2): a unidirectional-ring protocol whose synchronous round
+//! complexity is exactly `n·(|Σ|−1)`, witnessing that the `Rₙ ≤ n·|Σ|`
+//! upper bound of Lemma C.2(1) is tight up to one lap.
+//!
+//! Node 0 increments the circulating value until it saturates at
+//! `q−1 = |Σ|−1`; relays forward it unchanged. Every value must travel a
+//! full lap to be incremented once, so saturation takes `n·(q−1)` rounds
+//! from the all-zero labeling.
+
+use stateless_core::prelude::*;
+use stateless_core::reaction::FnReaction;
+
+/// Builds the worst-case protocol on the unidirectional `n`-ring with
+/// label space `Σ = {0, …, q−1}`.
+///
+/// Outputs are 1 exactly when a node observes the saturated value.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `q < 2`.
+pub fn worst_case_protocol(n: usize, q: u64) -> Protocol<u64> {
+    assert!(n >= 2 && q >= 2, "need n ≥ 2 nodes and q ≥ 2 labels");
+    let mut builder =
+        Protocol::builder(topology::unidirectional_ring(n), (q as f64).log2())
+            .name(format!("worst-case(n={n}, q={q})"));
+    builder = builder.reaction(
+        0,
+        FnReaction::new(move |_, incoming: &[u64], _| {
+            let v = incoming[0];
+            if v >= q - 1 {
+                (vec![q - 1], 1)
+            } else {
+                (vec![v + 1], 0)
+            }
+        }),
+    );
+    for node in 1..n {
+        builder = builder.reaction(
+            node,
+            FnReaction::new(move |_, incoming: &[u64], _| {
+                let v = incoming[0].min(q - 1);
+                (vec![v], u64::from(v == q - 1))
+            }),
+        );
+    }
+    builder.build().expect("all ring nodes have reactions")
+}
+
+/// The exact synchronous label-stabilization round count from the all-zero
+/// labeling: `n·(q−1)`.
+pub fn exact_rounds(n: usize, q: u64) -> u64 {
+    n as u64 * (q - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stateless_core::convergence::{classify_sync, SyncOutcome};
+
+    #[test]
+    fn stabilization_takes_exactly_n_times_q_minus_1_rounds() {
+        for n in [2usize, 3, 4, 5] {
+            for q in [2u64, 3, 5, 8] {
+                let p = worst_case_protocol(n, q);
+                let outcome =
+                    classify_sync(&p, &vec![0; n], vec![0u64; n], 1_000_000).unwrap();
+                match outcome {
+                    SyncOutcome::LabelStable { round, labeling, .. } => {
+                        assert_eq!(round, exact_rounds(n, q), "n={n} q={q}");
+                        assert_eq!(labeling, vec![q - 1; n]);
+                    }
+                    other => panic!("expected stabilization, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn respects_the_lemma_upper_bound() {
+        for n in [2usize, 4] {
+            for q in [3u64, 6] {
+                assert!(exact_rounds(n, q) <= n as u64 * q, "Rₙ ≤ n·|Σ|");
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_labels_above_q_are_clamped() {
+        let p = worst_case_protocol(3, 4);
+        let outcome = classify_sync(&p, &[0; 3], vec![99, 0, 7], 10_000).unwrap();
+        assert!(outcome.is_label_stable());
+    }
+}

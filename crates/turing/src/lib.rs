@@ -1,0 +1,34 @@
+//! # turing-machine
+//!
+//! The **space-bounded Turing machine substrate** of Theorem 5.2
+//! (`OSu_log ≡ L/poly`): deterministic machines with
+//!
+//! * a read-only input tape of `n` bits with a clamped head,
+//! * a bounded read/write work tape over `{0, 1, ␣}`,
+//! * an explicitly indexed configuration space
+//!   `Z = Q × {0,1,␣}^s × [s] × [n]`, exactly the set the paper's protocol
+//!   labels carry.
+//!
+//! **Substitution note (recorded in DESIGN.md):** the paper gives the
+//! machine a separate read-only *advice tape*. Because advice depends only
+//! on `n`, we absorb it into the per-length transition table — the machines
+//! in [`library`] are constructed per input length, which is the same
+//! non-uniformity L/poly grants. This keeps `|Z|` polynomial in `n` and the
+//! protocol labels logarithmic, which is all Theorem 5.2 uses.
+//!
+//! ```
+//! use turing_machine::library;
+//!
+//! let m = library::parity_machine(5);
+//! assert!(m.decide(&[true, false, true, true, false])?);
+//! assert!(!m.decide(&[true, false, false, true, false])?);
+//! # Ok::<(), turing_machine::MachineError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod library;
+pub mod machine;
+
+pub use machine::{Config, Machine, MachineBuilder, MachineError, Transition};

@@ -1,0 +1,250 @@
+//! Per-length machines for the running-example languages of Theorem 5.2.
+//!
+//! Each constructor builds a decider for inputs of length exactly `n`; the
+//! non-uniformity (state counts growing with `n`) stands in for the advice
+//! tape, as documented at the crate root. All machines halt within `|Z|`
+//! steps and have `|Z| = poly(n)` configurations, so their ring simulations
+//! carry `O(log n)`-bit labels.
+
+use crate::machine::{Machine, Transition};
+
+/// Parity: accepts iff an odd number of input bits are 1.
+///
+/// States `pos·2 + parity` for `pos ∈ 0..n`, plus halting states `2n`
+/// (reject) and `2n+1` (accept).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn parity_machine(n: usize) -> Machine {
+    assert!(n >= 1, "parity machine needs n ≥ 1");
+    let n_states = 2 * n as u32 + 2;
+    let mut b = Machine::builder(n_states, 1, n);
+    for pos in 0..n as u32 {
+        for parity in 0..2u32 {
+            let state = pos * 2 + parity;
+            for bit in [false, true] {
+                let next_parity = parity ^ u32::from(bit);
+                let next_state = if pos + 1 == n as u32 {
+                    2 * n as u32 + next_parity
+                } else {
+                    (pos + 1) * 2 + next_parity
+                };
+                b.on_any_work(
+                    state,
+                    bit,
+                    Transition { next_state, write: 0, work_move: 0, input_move: 1 },
+                )
+                .expect("states in range");
+            }
+        }
+    }
+    b.halt(2 * n as u32, false).expect("state in range");
+    b.halt(2 * n as u32 + 1, true).expect("state in range");
+    b.build()
+}
+
+/// Modular counting: accepts iff `Σᵢ xᵢ ≡ residue (mod modulus)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `modulus < 2`, or `residue ≥ modulus`.
+pub fn mod_count_machine(n: usize, modulus: u32, residue: u32) -> Machine {
+    assert!(n >= 1, "machine needs n ≥ 1");
+    assert!(modulus >= 2 && residue < modulus, "bad modulus/residue");
+    let scan_states = modulus * n as u32;
+    // Halting states: scan_states + c for c in 0..modulus.
+    let n_states = scan_states + modulus;
+    let mut b = Machine::builder(n_states, 1, n);
+    for pos in 0..n as u32 {
+        for count in 0..modulus {
+            let state = pos * modulus + count;
+            for bit in [false, true] {
+                let next_count = (count + u32::from(bit)) % modulus;
+                let next_state = if pos + 1 == n as u32 {
+                    scan_states + next_count
+                } else {
+                    (pos + 1) * modulus + next_count
+                };
+                b.on_any_work(
+                    state,
+                    bit,
+                    Transition { next_state, write: 0, work_move: 0, input_move: 1 },
+                )
+                .expect("states in range");
+            }
+        }
+    }
+    for count in 0..modulus {
+        b.halt(scan_states + count, count == residue).expect("state in range");
+    }
+    b.build()
+}
+
+/// Accepts iff the input contains `11` as a factor.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn contains_11_machine(n: usize) -> Machine {
+    assert!(n >= 1, "machine needs n ≥ 1");
+    // States pos·2 + seen_one, then reject = 2n, accept = 2n+1.
+    let reject = 2 * n as u32;
+    let accept = reject + 1;
+    let mut b = Machine::builder(accept + 1, 1, n);
+    for pos in 0..n as u32 {
+        for seen in 0..2u32 {
+            let state = pos * 2 + seen;
+            let step_to = |s: u32| if pos + 1 == n as u32 { reject } else { (pos + 1) * 2 + s };
+            b.on_any_work(
+                state,
+                false,
+                Transition { next_state: step_to(0), write: 0, work_move: 0, input_move: 1 },
+            )
+            .expect("states in range");
+            let on_one = if seen == 1 { accept } else { step_to(1) };
+            b.on_any_work(
+                state,
+                true,
+                Transition { next_state: on_one, write: 0, work_move: 0, input_move: 1 },
+            )
+            .expect("states in range");
+        }
+    }
+    b.halt(reject, false).expect("state in range");
+    b.halt(accept, true).expect("state in range");
+    b.build()
+}
+
+/// Accepts iff the first and last input bits are equal — a machine that
+/// genuinely *uses its work tape*: it records `x₀` on the tape, walks to
+/// the end of the input, and compares.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn first_equals_last_machine(n: usize) -> Machine {
+    assert!(n >= 2, "needs at least two input bits");
+    // State 0: record x₀, move right.
+    // States 1..n-1: walk right (pos = state).
+    // State n-1: at the last bit, compare with the recorded work symbol.
+    // Halting: n (reject), n+1 (accept).
+    let walk_last = n as u32 - 1;
+    let reject = n as u32;
+    let accept = reject + 1;
+    let mut b = Machine::builder(accept + 1, 1, n);
+    for bit in [false, true] {
+        b.on_any_work(
+            0,
+            bit,
+            Transition {
+                next_state: 1,
+                write: u8::from(bit),
+                work_move: 0,
+                input_move: 1,
+            },
+        )
+        .expect("states in range");
+    }
+    for pos in 1..walk_last {
+        for bit in [false, true] {
+            b.on_any_work_preserve(
+                pos,
+                bit,
+                Transition { next_state: pos + 1, write: 0, work_move: 0, input_move: 1 },
+            )
+            .expect("states in range");
+        }
+    }
+    // Careful: on_any_work would clobber the recorded symbol; compare per
+    // work symbol explicitly.
+    for (work_sym, last_bit) in [(0u8, false), (0, true), (1, false), (1, true)] {
+        let matches = (work_sym == 1) == last_bit;
+        b.on(
+            walk_last,
+            work_sym,
+            last_bit,
+            Transition {
+                next_state: if matches { accept } else { reject },
+                write: work_sym,
+                work_move: 0,
+                input_move: 0,
+            },
+        )
+        .expect("states in range");
+    }
+    b.halt(reject, false).expect("state in range");
+    b.halt(accept, true).expect("state in range");
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute<F: Fn(&[bool]) -> bool>(m: &Machine, f: F) {
+        let n = m.input_len();
+        assert!(n <= 10);
+        for bits in 0..1u32 << n {
+            let x: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(m.decide(&x).unwrap(), f(&x), "x = {x:?}");
+        }
+    }
+
+    #[test]
+    fn parity_machine_matches() {
+        for n in 1..=6 {
+            brute(&parity_machine(n), |x| x.iter().filter(|&&b| b).count() % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn mod_count_machine_matches() {
+        for n in 1..=5 {
+            for m in 2..=3 {
+                for r in 0..m {
+                    brute(&mod_count_machine(n, m, r), |x| {
+                        x.iter().filter(|&&b| b).count() as u32 % m == r
+                    });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contains_11_machine_matches() {
+        for n in 1..=7 {
+            brute(&contains_11_machine(n), |x| x.windows(2).any(|w| w[0] && w[1]));
+        }
+    }
+
+    #[test]
+    fn first_equals_last_machine_matches() {
+        for n in 2..=7 {
+            brute(&first_equals_last_machine(n), |x| x[0] == x[n - 1]);
+        }
+    }
+
+    #[test]
+    fn config_spaces_are_polynomial() {
+        let m = parity_machine(8);
+        // |Z| = (2n+2)·3·1·n.
+        assert_eq!(m.config_count(), 18 * 3 * 8);
+        let m = mod_count_machine(6, 3, 0);
+        assert_eq!(m.config_count(), (3 * 6 + 3) as u64 * 3 * 6);
+    }
+
+    #[test]
+    fn machines_halt_well_within_config_count() {
+        let m = contains_11_machine(6);
+        let x = [false, true, true, false, false, true];
+        let mut c = m.initial_config();
+        let mut steps = 0u64;
+        while !m.is_halting(&c) {
+            c = m.step(&c, &x).unwrap();
+            steps += 1;
+            assert!(steps <= m.config_count());
+        }
+        assert!(steps <= 6);
+    }
+}

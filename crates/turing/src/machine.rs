@@ -1,0 +1,466 @@
+//! Deterministic space-bounded machines and their configuration space `Z`.
+
+use std::error::Error;
+use std::fmt;
+
+/// The blank work-tape symbol.
+pub const BLANK: u8 = 2;
+
+/// One transition: what to do in a `(state, work symbol, input bit)`
+/// situation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// Next control state.
+    pub next_state: u32,
+    /// Symbol written to the current work cell (`0`, `1`, or [`BLANK`]).
+    pub write: u8,
+    /// Work head movement (−1, 0, +1), clamped to the tape.
+    pub work_move: i8,
+    /// Input head movement (−1, 0, +1), clamped to the input.
+    pub input_move: i8,
+}
+
+/// A machine configuration: an element of `Z = Q × {0,1,␣}^s × [s] × [n]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Config {
+    /// Control state.
+    pub state: u32,
+    /// Work tape contents (`work.len() == s`).
+    pub work: Vec<u8>,
+    /// Work head position in `0..s`.
+    pub work_head: usize,
+    /// Input head position in `0..n`.
+    pub input_head: usize,
+}
+
+/// Errors from machine construction and execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MachineError {
+    /// Input length does not match the machine's declared input length.
+    WrongInputLength {
+        /// Length supplied.
+        got: usize,
+        /// Declared input length.
+        expected: usize,
+    },
+    /// The machine revisited a configuration without halting — it is not a
+    /// decider on this input.
+    NotADecider,
+    /// A transition referenced an out-of-range state or symbol.
+    InvalidTransition {
+        /// Description of the violation.
+        what: String,
+    },
+    /// A configuration index was out of range.
+    BadConfigIndex {
+        /// The offending index.
+        index: u64,
+        /// The configuration count `|Z|`.
+        count: u64,
+    },
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::WrongInputLength { got, expected } => {
+                write!(f, "input has length {got}, machine expects {expected}")
+            }
+            MachineError::NotADecider => {
+                write!(f, "machine looped without halting; it is not a decider here")
+            }
+            MachineError::InvalidTransition { what } => {
+                write!(f, "invalid transition: {what}")
+            }
+            MachineError::BadConfigIndex { index, count } => {
+                write!(f, "configuration index {index} out of range (|Z| = {count})")
+            }
+        }
+    }
+}
+
+impl Error for MachineError {}
+
+/// A deterministic machine with bounded work tape and per-length (advice
+/// absorbed) transition table. Build with [`Machine::builder`].
+#[derive(Debug, Clone)]
+pub struct Machine {
+    n_states: u32,
+    work_len: usize,
+    input_len: usize,
+    accepting: Vec<bool>,
+    halting: Vec<bool>,
+    // transitions[(state * 3 + work_sym) * 2 + bit]
+    transitions: Vec<Transition>,
+}
+
+impl Machine {
+    /// Starts building a machine with `n_states` control states, a work
+    /// tape of `work_len ≥ 1` cells, for inputs of length `input_len ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn builder(n_states: u32, work_len: usize, input_len: usize) -> MachineBuilder {
+        assert!(n_states >= 1 && work_len >= 1 && input_len >= 1, "dimensions must be positive");
+        let default = Transition { next_state: 0, write: BLANK, work_move: 0, input_move: 0 };
+        MachineBuilder {
+            machine: Machine {
+                n_states,
+                work_len,
+                input_len,
+                accepting: vec![false; n_states as usize],
+                halting: vec![false; n_states as usize],
+                transitions: vec![default; n_states as usize * 6],
+            },
+        }
+    }
+
+    /// Number of control states `|Q|`.
+    pub fn state_count(&self) -> u32 {
+        self.n_states
+    }
+
+    /// Work tape length `s`.
+    pub fn work_len(&self) -> usize {
+        self.work_len
+    }
+
+    /// Declared input length `n`.
+    pub fn input_len(&self) -> usize {
+        self.input_len
+    }
+
+    /// `|Z| = |Q| · 3^s · s · n`, the size of the configuration space.
+    pub fn config_count(&self) -> u64 {
+        u64::from(self.n_states)
+            * 3u64.pow(self.work_len as u32)
+            * self.work_len as u64
+            * self.input_len as u64
+    }
+
+    /// The canonical initial configuration `z₀`: state 0, blank tape, both
+    /// heads at 0.
+    pub fn initial_config(&self) -> Config {
+        Config {
+            state: 0,
+            work: vec![BLANK; self.work_len],
+            work_head: 0,
+            input_head: 0,
+        }
+    }
+
+    /// Whether `config`'s state is accepting (the paper's `F`).
+    pub fn is_accepting(&self, config: &Config) -> bool {
+        self.accepting[config.state as usize]
+    }
+
+    /// Whether `config`'s state is halting (halting configurations are
+    /// absorbing under [`step_with_bit`](Self::step_with_bit)).
+    pub fn is_halting(&self, config: &Config) -> bool {
+        self.halting[config.state as usize]
+    }
+
+    /// The partial global transition `π(z, b)`: one step given that the bit
+    /// currently under the input head is `b`. Halting configurations map to
+    /// themselves, which is what lets the ring protocol keep circulating
+    /// them until the periodic reset.
+    pub fn step_with_bit(&self, config: &Config, bit: bool) -> Config {
+        if self.is_halting(config) {
+            return config.clone();
+        }
+        let work_sym = config.work[config.work_head];
+        let t = self.transitions
+            [(config.state as usize * 3 + work_sym as usize) * 2 + usize::from(bit)];
+        let mut next = config.clone();
+        next.state = t.next_state;
+        next.work[config.work_head] = t.write;
+        next.work_head = clamp_move(config.work_head, t.work_move, self.work_len);
+        next.input_head = clamp_move(config.input_head, t.input_move, self.input_len);
+        next
+    }
+
+    /// One step reading the true input `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::WrongInputLength`] on arity mismatch.
+    pub fn step(&self, config: &Config, x: &[bool]) -> Result<Config, MachineError> {
+        if x.len() != self.input_len {
+            return Err(MachineError::WrongInputLength { got: x.len(), expected: self.input_len });
+        }
+        Ok(self.step_with_bit(config, x[config.input_head]))
+    }
+
+    /// Runs the machine to halting and returns acceptance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::WrongInputLength`] on arity mismatch and
+    /// [`MachineError::NotADecider`] if the machine runs `|Z|` steps without
+    /// halting (a decider never revisits a configuration, so `|Z|` steps
+    /// always suffice).
+    pub fn decide(&self, x: &[bool]) -> Result<bool, MachineError> {
+        let mut config = self.initial_config();
+        for _ in 0..=self.config_count() {
+            if self.is_halting(&config) {
+                return Ok(self.is_accepting(&config));
+            }
+            config = self.step(&config, x)?;
+        }
+        Err(MachineError::NotADecider)
+    }
+
+    /// Bijectively encodes a configuration as an index in `0..|Z|`
+    /// (mixed-radix over state, work contents, work head, input head).
+    pub fn config_to_index(&self, config: &Config) -> u64 {
+        let mut work_val = 0u64;
+        for &sym in config.work.iter().rev() {
+            work_val = work_val * 3 + u64::from(sym);
+        }
+        ((u64::from(config.state) * 3u64.pow(self.work_len as u32) + work_val)
+            * self.work_len as u64
+            + config.work_head as u64)
+            * self.input_len as u64
+            + config.input_head as u64
+    }
+
+    /// Inverse of [`config_to_index`](Self::config_to_index).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::BadConfigIndex`] if `index ≥ |Z|`.
+    pub fn index_to_config(&self, index: u64) -> Result<Config, MachineError> {
+        if index >= self.config_count() {
+            return Err(MachineError::BadConfigIndex { index, count: self.config_count() });
+        }
+        let input_head = (index % self.input_len as u64) as usize;
+        let rest = index / self.input_len as u64;
+        let work_head = (rest % self.work_len as u64) as usize;
+        let rest = rest / self.work_len as u64;
+        let mut work_val = rest % 3u64.pow(self.work_len as u32);
+        let state = (rest / 3u64.pow(self.work_len as u32)) as u32;
+        let mut work = vec![0u8; self.work_len];
+        for slot in work.iter_mut() {
+            *slot = (work_val % 3) as u8;
+            work_val /= 3;
+        }
+        Ok(Config { state, work, work_head, input_head })
+    }
+}
+
+fn clamp_move(pos: usize, delta: i8, len: usize) -> usize {
+    let next = pos as i64 + i64::from(delta);
+    next.clamp(0, len as i64 - 1) as usize
+}
+
+/// Builds a [`Machine`]; see [`Machine::builder`].
+#[derive(Debug, Clone)]
+pub struct MachineBuilder {
+    machine: Machine,
+}
+
+impl MachineBuilder {
+    /// Sets the transition for `(state, work_sym, bit)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::InvalidTransition`] if a state or symbol is
+    /// out of range.
+    pub fn on(
+        &mut self,
+        state: u32,
+        work_sym: u8,
+        bit: bool,
+        t: Transition,
+    ) -> Result<&mut Self, MachineError> {
+        let m = &mut self.machine;
+        if state >= m.n_states || t.next_state >= m.n_states {
+            return Err(MachineError::InvalidTransition {
+                what: format!("state {} or next {} out of range", state, t.next_state),
+            });
+        }
+        if work_sym > BLANK || t.write > BLANK {
+            return Err(MachineError::InvalidTransition {
+                what: format!("work symbol {} or write {} out of range", work_sym, t.write),
+            });
+        }
+        if !(-1..=1).contains(&t.work_move) || !(-1..=1).contains(&t.input_move) {
+            return Err(MachineError::InvalidTransition {
+                what: "head moves must be in -1..=1".into(),
+            });
+        }
+        m.transitions[(state as usize * 3 + work_sym as usize) * 2 + usize::from(bit)] = t;
+        Ok(self)
+    }
+
+    /// Sets the same transition (verbatim, including `write`) for every
+    /// work symbol — for states whose behavior is work-tape independent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::InvalidTransition`] as in [`on`](Self::on).
+    pub fn on_any_work(
+        &mut self,
+        state: u32,
+        bit: bool,
+        t: Transition,
+    ) -> Result<&mut Self, MachineError> {
+        for sym in 0..=BLANK {
+            self.on(state, sym, bit, t)?;
+        }
+        Ok(self)
+    }
+
+    /// Like [`on_any_work`](Self::on_any_work) but rewrites the scanned
+    /// symbol unchanged — for states that must *not* disturb the work tape
+    /// while the head rests on recorded data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::InvalidTransition`] as in [`on`](Self::on).
+    pub fn on_any_work_preserve(
+        &mut self,
+        state: u32,
+        bit: bool,
+        t: Transition,
+    ) -> Result<&mut Self, MachineError> {
+        for sym in 0..=BLANK {
+            self.on(state, sym, bit, Transition { write: sym, ..t })?;
+        }
+        Ok(self)
+    }
+
+    /// Marks `state` as halting; `accept` decides its verdict.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::InvalidTransition`] if `state` is out of
+    /// range.
+    pub fn halt(&mut self, state: u32, accept: bool) -> Result<&mut Self, MachineError> {
+        if state >= self.machine.n_states {
+            return Err(MachineError::InvalidTransition {
+                what: format!("halting state {state} out of range"),
+            });
+        }
+        self.machine.halting[state as usize] = true;
+        self.machine.accepting[state as usize] = accept;
+        Ok(self)
+    }
+
+    /// Finalizes the machine.
+    pub fn build(self) -> Machine {
+        self.machine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two states: 0 scans right flipping parity into the state… kept
+    /// minimal here; richer machines live in `library`.
+    fn always_accept(n: usize) -> Machine {
+        let mut b = Machine::builder(2, 1, n);
+        b.on_any_work(0, false, Transition { next_state: 1, write: 0, work_move: 0, input_move: 0 })
+            .unwrap();
+        b.on_any_work(0, true, Transition { next_state: 1, write: 0, work_move: 0, input_move: 0 })
+            .unwrap();
+        b.halt(1, true).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn decide_trivial_machine() {
+        let m = always_accept(4);
+        assert!(m.decide(&[false, true, false, true]).unwrap());
+        assert_eq!(
+            m.decide(&[true]),
+            Err(MachineError::WrongInputLength { got: 1, expected: 4 })
+        );
+    }
+
+    #[test]
+    fn halting_configs_are_absorbing() {
+        let m = always_accept(3);
+        let mut c = m.initial_config();
+        c = m.step_with_bit(&c, true);
+        assert_eq!(c.state, 1);
+        let c2 = m.step_with_bit(&c, false);
+        assert_eq!(c, c2);
+    }
+
+    #[test]
+    fn config_index_round_trips() {
+        let m = Machine::builder(3, 2, 4).build();
+        assert_eq!(m.config_count(), 3 * 9 * 2 * 4);
+        for idx in 0..m.config_count() {
+            let c = m.index_to_config(idx).unwrap();
+            assert_eq!(m.config_to_index(&c), idx);
+        }
+        assert!(m.index_to_config(m.config_count()).is_err());
+    }
+
+    #[test]
+    fn spinning_machine_is_not_a_decider() {
+        // One non-halting state that never moves: loops forever.
+        let m = Machine::builder(1, 1, 2).build();
+        assert_eq!(m.decide(&[true, false]), Err(MachineError::NotADecider));
+    }
+
+    #[test]
+    fn head_moves_clamp_at_tape_ends() {
+        let mut b = Machine::builder(2, 1, 2);
+        b.on_any_work(0, false, Transition { next_state: 0, write: 0, work_move: -1, input_move: -1 })
+            .unwrap();
+        b.on_any_work(0, true, Transition { next_state: 1, write: 0, work_move: 1, input_move: 1 })
+            .unwrap();
+        b.halt(1, true).unwrap();
+        let m = b.build();
+        let c = m.initial_config();
+        let c = m.step_with_bit(&c, false);
+        assert_eq!((c.work_head, c.input_head), (0, 0), "clamped at left");
+        let c = m.step_with_bit(&c, true);
+        assert_eq!((c.work_head, c.input_head), (0, 1), "work tape len 1 clamps");
+    }
+
+    #[test]
+    fn builder_rejects_bad_transitions() {
+        let mut b = Machine::builder(2, 1, 2);
+        assert!(b
+            .on(5, 0, false, Transition { next_state: 0, write: 0, work_move: 0, input_move: 0 })
+            .is_err());
+        assert!(b
+            .on(0, 7, false, Transition { next_state: 0, write: 0, work_move: 0, input_move: 0 })
+            .is_err());
+        assert!(b
+            .on(0, 0, false, Transition { next_state: 0, write: 0, work_move: 2, input_move: 0 })
+            .is_err());
+        assert!(b.halt(9, true).is_err());
+    }
+
+    #[test]
+    fn work_tape_is_read_back() {
+        // Write the first input bit to the work tape, step again and branch
+        // on the written symbol.
+        let mut b = Machine::builder(4, 1, 2);
+        // State 0: record bit into work cell.
+        b.on_any_work(0, false, Transition { next_state: 1, write: 0, work_move: 0, input_move: 1 })
+            .unwrap();
+        b.on_any_work(0, true, Transition { next_state: 1, write: 1, work_move: 0, input_move: 1 })
+            .unwrap();
+        // State 1: accept iff recorded symbol is 1 (regardless of input bit).
+        for bit in [false, true] {
+            b.on(1, 0, bit, Transition { next_state: 2, write: 0, work_move: 0, input_move: 0 })
+                .unwrap();
+            b.on(1, 1, bit, Transition { next_state: 3, write: 1, work_move: 0, input_move: 0 })
+                .unwrap();
+        }
+        b.halt(2, false).unwrap();
+        b.halt(3, true).unwrap();
+        let m = b.build();
+        assert!(m.decide(&[true, false]).unwrap());
+        assert!(!m.decide(&[false, true]).unwrap());
+    }
+}

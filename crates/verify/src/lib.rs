@@ -1,0 +1,34 @@
+//! # stabilization-verify
+//!
+//! **Exact** verification of label/output r-stabilization for stateless
+//! protocols, by model-checking the very object Theorem 3.1's proof
+//! manipulates: the product graph over `Σ^E × [r]^n`, whose vertices pair
+//! a labeling with a per-node *countdown* (steps each node may remain
+//! inactive) and whose edges are the legal activation sets (nonempty,
+//! containing every node whose countdown hit 1).
+//!
+//! A protocol is label r-stabilizing **iff** no reachable strongly
+//! connected component of this graph contains a labeling-changing edge:
+//! every infinite r-fair run eventually lives inside one SCC, and label
+//! convergence means the labeling component goes quiet. The checker
+//! returns either [`Verdict::Stabilizing`] or a concrete
+//! [`CycleWitness`] — an initial labeling plus a cyclic activation script
+//! that oscillates forever (and is r-fair by construction).
+//!
+//! The state space is `|Σ|^{|E|} · r^n` — exponential, exactly as the
+//! paper's PSPACE-completeness (Theorem 4.2) and communication bounds
+//! (Theorem 4.1) say it must be. Use it on small instances; experiment E4
+//! uses it to confirm Example 1's tightness, and bench `verify` charts the
+//! blowup.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod product;
+pub mod stable;
+
+pub use product::{
+    verify_label_stabilization, verify_output_stabilization, CycleWitness, Limits, Verdict,
+    VerifyError,
+};
+pub use stable::enumerate_stable_labelings;

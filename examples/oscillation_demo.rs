@@ -1,0 +1,47 @@
+//! Example 1 of the paper, live: two stable labelings make a protocol
+//! breakable by an (n−1)-fair adversary (Theorem 3.1), but any fairer
+//! schedule converges.
+//!
+//! ```sh
+//! cargo run --example oscillation_demo
+//! ```
+
+use stateless_computation::core::prelude::*;
+use stateless_computation::protocols::example1::{
+    example1_protocol, hot_node_labeling, oscillation_schedule,
+};
+use stateless_computation::verify::{verify_label_stabilization, Limits};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 5;
+    let protocol = example1_protocol(n);
+    println!("Example 1 on K{n}: send 1s unless every incoming edge is 0.");
+    println!("Stable labelings: all-0 and all-1 (two of them!).\n");
+
+    // The adversary: activate pairs {t, t+1} cyclically — exactly
+    // (n−1)-fair — starting with one "hot" node.
+    let mut sim = Simulation::new(&protocol, &vec![0; n], hot_node_labeling(n, 0))?;
+    let mut sched = FairnessMonitor::new(oscillation_schedule(n));
+    for t in 0..3 * n {
+        let active = sched.activations(sim.time() + 1, n);
+        sim.step_with(&active);
+        let hot: Vec<usize> = (0..n)
+            .filter(|&i| protocol.graph().out_edges(i).iter().any(|&e| sim.labeling()[e]))
+            .collect();
+        println!("t={:<3} activated {:?}  hot node(s): {:?}", t + 1, active, hot);
+    }
+    println!("\n→ the hot token circulates forever; worst activation gap = {}", sched.worst_gap());
+
+    // Exact verification for a small instance: r = n−2 converges,
+    // r = n−1 does not.
+    let small = example1_protocol(3);
+    for r in [1u8, 2] {
+        let verdict =
+            verify_label_stabilization(&small, &[0; 3], &[false, true], r, Limits::default())?;
+        println!(
+            "K3, r = {r}: {}",
+            if verdict.is_stabilizing() { "label r-stabilizing" } else { "oscillation exists" }
+        );
+    }
+    Ok(())
+}

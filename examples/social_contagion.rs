@@ -1,0 +1,36 @@
+//! Diffusion of technologies (Morris contagion) as stateless dynamics.
+//!
+//! ```sh
+//! cargo run --example social_contagion
+//! ```
+
+use stateless_computation::core::convergence::{classify_sync, SyncOutcome};
+use stateless_computation::core::prelude::*;
+use stateless_computation::games::contagion::{contagion_protocol, seeded_labeling};
+
+fn spread(n: usize, num: usize, den: usize, seeds: &[usize]) {
+    let graph = topology::bidirectional_ring(n);
+    let protocol = contagion_protocol(graph.clone(), num, den);
+    let init = seeded_labeling(&graph, seeds);
+    match classify_sync(&protocol, &vec![0; n], init, 1_000_000).unwrap() {
+        SyncOutcome::LabelStable { round, outputs, .. } => {
+            let adopters = outputs.iter().filter(|&&y| y == 1).count();
+            println!(
+                "ring({n}), threshold {num}/{den}, seeds {seeds:?}: settles in {round} rounds → {adopters}/{n} adopt"
+            );
+        }
+        SyncOutcome::Oscillating { period, .. } => {
+            println!("ring({n}), threshold {num}/{den}, seeds {seeds:?}: oscillates (period {period})");
+        }
+    }
+}
+
+fn main() {
+    println!("Adopt iff at least q of your neighbors adopted — a best response.\n");
+    spread(11, 1, 2, &[5]); // low threshold: one adopter converts the ring
+    spread(11, 2, 2, &[5]); // unanimity: a lone adopter gives up
+    spread(11, 2, 2, &[4, 5, 6]); // a block with unanimous interiors … still capped
+    spread(12, 1, 2, &[0, 6]); // two seeds racing around the ring
+    println!("\nBoth all-adopt and none-adopt are stable labelings, so by Theorem 3.1");
+    println!("no contagion process of this kind can be (n−1)-fair convergent.");
+}

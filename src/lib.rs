@@ -1,0 +1,52 @@
+//! # stateless-computation
+//!
+//! Umbrella crate for the Rust reproduction of **"Stateless Computation"**
+//! (Dolev, Erdmann, Lutz, Schapira, Zair — PODC 2017). It re-exports every
+//! sub-crate of the workspace under one roof so that examples, integration
+//! tests, and downstream users need a single dependency.
+//!
+//! * [`core`] — the model: graphs, labels, reactions, protocols, schedules,
+//!   simulation engine ([`stateless_core`]).
+//! * [`verify`] — exact r-stabilization model checking
+//!   ([`stabilization_verify`]).
+//! * [`circuits`] — Boolean circuits, the P/poly substrate
+//!   ([`boolean_circuit`]).
+//! * [`branching`] — branching programs, the L/poly substrate
+//!   ([`branching_program`]).
+//! * [`turing`] — space-bounded Turing machines with advice
+//!   ([`turing_machine`]).
+//! * [`hypercube`] — snake-in-the-box constructions ([`hypercube_snake`]).
+//! * [`comm`] — fooling sets and counting bounds ([`comm_complexity`]).
+//! * [`protocols`] — every construction from the paper
+//!   ([`stateless_protocols`]).
+//! * [`games`] — best-response dynamics, BGP, contagion ([`best_response`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use stateless_computation::core::prelude::*;
+//!
+//! let graph = topology::unidirectional_ring(4);
+//! let p = Protocol::builder(graph, 8.0)
+//!     .uniform_reaction(FnReaction::new(|_, incoming: &[u64], input| {
+//!         let m = incoming[0].max(input);
+//!         (vec![m], m)
+//!     }))
+//!     .build()?;
+//! let mut sim = Simulation::new(&p, &[3, 1, 4, 1], vec![0; 4])?;
+//! sim.run_until_label_stable(&mut Synchronous, 100)?;
+//! assert_eq!(sim.outputs(), &[4, 4, 4, 4]);
+//! # Ok::<(), stateless_computation::core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use best_response as games;
+pub use boolean_circuit as circuits;
+pub use branching_program as branching;
+pub use comm_complexity as comm;
+pub use hypercube_snake as hypercube;
+pub use stabilization_verify as verify;
+pub use stateless_core as core;
+pub use stateless_protocols as protocols;
+pub use turing_machine as turing;

@@ -1,0 +1,129 @@
+//! Property-based integration tests (proptest): invariants that must hold
+//! across randomly generated protocols, schedules, and initial labelings.
+
+use proptest::prelude::*;
+use stateless_computation::core::prelude::*;
+use stateless_computation::protocols::counter::{
+    counter_protocol, sync_rounds_bound, CounterFields,
+};
+use stateless_computation::protocols::generic::{generic_protocol, round_bound, GenericLabel};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Engine determinism: the same protocol, inputs, labeling, and
+    /// schedule always produce the same trajectory.
+    #[test]
+    fn engine_is_deterministic(seed in 0u64..1000, n in 3usize..8) {
+        let p = Protocol::builder(topology::unidirectional_ring(n), 8.0)
+            .uniform_reaction(FnReaction::new(|_, inc: &[u64], x| {
+                let v = inc[0].wrapping_mul(31).wrapping_add(x) % 97;
+                (vec![v], v)
+            }))
+            .build()
+            .unwrap();
+        let inputs: Vec<u64> = (0..n as u64).map(|i| (i * seed) % 5).collect();
+        let init: Vec<u64> = (0..n as u64).map(|i| (i + seed) % 7).collect();
+        let run = |mut sched: RoundRobin| {
+            let mut sim = Simulation::new(&p, &inputs, init.clone()).unwrap();
+            sim.run(&mut sched, 50);
+            (sim.labeling().to_vec(), sim.outputs().to_vec())
+        };
+        prop_assert_eq!(run(RoundRobin::new(2)), run(RoundRobin::new(2)));
+    }
+
+    /// The RandomRFair schedule is r-fair for arbitrary parameters.
+    #[test]
+    fn random_schedule_is_r_fair(seed in 0u64..500, r in 1usize..6, n in 2usize..10) {
+        use rand::SeedableRng;
+        let rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut sched = FairnessMonitor::new(RandomRFair::new(r, 0.3, rng));
+        for t in 1..=300 {
+            let set = sched.activations(t, n);
+            prop_assert!(!set.is_empty());
+            prop_assert!(set.iter().all(|&i| i < n));
+        }
+        prop_assert!(sched.worst_gap() <= r);
+    }
+
+    /// Proposition 2.3 end-to-end: the generic protocol computes any
+    /// (randomly chosen) 3-junta from any initial labeling within 2n
+    /// synchronous rounds.
+    #[test]
+    fn generic_protocol_computes_random_juntas(
+        table in 0u32..256,
+        x_bits in 0u32..64,
+        garbage in 0u64..1000,
+    ) {
+        let n = 6;
+        let f = move |x: &[bool]| {
+            let idx = usize::from(x[0]) | usize::from(x[2]) << 1 | usize::from(x[4]) << 2;
+            table >> idx & 1 == 1
+        };
+        let g = topology::bidirectional_ring(n);
+        let p = generic_protocol(g, f).unwrap();
+        let x: Vec<bool> = (0..n).map(|i| x_bits >> i & 1 == 1).collect();
+        let inputs: Vec<u64> = x.iter().map(|&b| u64::from(b)).collect();
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(garbage);
+        let init: Vec<GenericLabel> = (0..p.edge_count())
+            .map(|_| GenericLabel {
+                z: (0..n).map(|_| rng.random_bool(0.5)).collect(),
+                b: rng.random_bool(0.5),
+            })
+            .collect();
+        let mut sim = Simulation::new(&p, &inputs, init).unwrap();
+        let steps = sim
+            .run_until_label_stable(&mut Synchronous, round_bound(n) + 1)
+            .unwrap();
+        prop_assert!(steps <= round_bound(n));
+        sim.run(&mut Synchronous, 1);
+        let expected = u64::from(f(&x));
+        prop_assert_eq!(sim.outputs(), &vec![expected; n][..]);
+    }
+
+    /// Claim 5.6 as a property: the D-counter synchronizes from arbitrary
+    /// labelings for random odd sizes and moduli.
+    #[test]
+    fn counter_synchronizes(seed in 0u64..200, half_n in 1usize..5, d in 2u32..12) {
+        let n = 2 * half_n + 1;
+        let p = counter_protocol(n, d).unwrap();
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let init: Vec<CounterFields> = (0..p.edge_count())
+            .map(|_| CounterFields {
+                b1: rng.random_bool(0.5),
+                b2: rng.random_bool(0.5),
+                z: rng.random_range(0..3 * d),
+                g: rng.random_range(0..3 * d),
+            })
+            .collect();
+        let mut sim = Simulation::new(&p, &vec![0; n], init).unwrap();
+        sim.run(&mut Synchronous, sync_rounds_bound(n));
+        let mut prev = None;
+        for _ in 0..d + 3 {
+            sim.run(&mut Synchronous, 1);
+            let outs = sim.outputs().to_vec();
+            prop_assert!(outs.iter().all(|&c| c == outs[0]), "outputs: {:?}", outs);
+            if let Some(p) = prev {
+                prop_assert_eq!(outs[0], (p + 1) % u64::from(d));
+            }
+            prev = Some(outs[0]);
+        }
+    }
+
+    /// Stable labelings are absorbing: once a simulation sits on a stable
+    /// labeling, no schedule can move it.
+    #[test]
+    fn stable_labelings_are_absorbing(seed in 0u64..300, n in 3usize..6) {
+        use stateless_computation::protocols::example1;
+        let p = example1::example1_protocol(n);
+        let stable = example1::uniform_labeling(n, seed % 2 == 0);
+        use rand::SeedableRng;
+        let rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut sched = RandomRFair::new(3, 0.4, rng);
+        let mut sim = Simulation::new(&p, &vec![0; n], stable.clone()).unwrap();
+        sim.run(&mut sched, 60);
+        prop_assert_eq!(sim.labeling(), &stable[..]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Cross-crate integration tests: each test replays one of the paper's
+//! results end-to-end through the public API of the umbrella crate.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use stateless_computation::branching::convert as bpconv;
+use stateless_computation::branching::library as bps;
+use stateless_computation::circuits::library as circuits;
+use stateless_computation::comm::fooling;
+use stateless_computation::core::convergence::{classify_sync, SyncOutcome};
+use stateless_computation::core::prelude::*;
+use stateless_computation::games::bgp;
+use stateless_computation::hypercube::Snake;
+use stateless_computation::protocols::circuit_ring::{compile_circuit, CircuitLabel};
+use stateless_computation::protocols::counter::CounterFields;
+use stateless_computation::protocols::example1;
+use stateless_computation::protocols::generic::{generic_protocol, GenericLabel};
+use stateless_computation::protocols::metanode::{lifted_labeling, metanode_lift};
+use stateless_computation::protocols::snake_reduction::{eq_initial_labeling, eq_reduction};
+use stateless_computation::protocols::string_oscillation::StringOscillation;
+use stateless_computation::protocols::tm_ring;
+use stateless_computation::turing::library as machines;
+use stateless_computation::verify::{
+    enumerate_stable_labelings, verify_label_stabilization, Limits,
+};
+
+/// Theorem 3.1 + Example 1: two stable labelings ⟹ not (n−1)-stabilizing,
+/// and the bound is tight.
+#[test]
+fn theorem_3_1_and_tightness() {
+    let n = 3;
+    let p = example1::example1_protocol(n);
+    let stable = enumerate_stable_labelings(&p, &[0; 3], &[false, true]).unwrap();
+    assert_eq!(stable.len(), 2);
+    let at_threshold =
+        verify_label_stabilization(&p, &[0; 3], &[false, true], 2, Limits::default()).unwrap();
+    assert!(!at_threshold.is_stabilizing());
+    let below =
+        verify_label_stabilization(&p, &[0; 3], &[false, true], 1, Limits::default()).unwrap();
+    assert!(below.is_stabilizing());
+}
+
+/// Theorem 3.1's corollary for games: BGP DISAGREE has two stable trees
+/// and flaps forever under simultaneous updates.
+#[test]
+fn bgp_disagree_route_flap() {
+    let spp = bgp::disagree_gadget();
+    let p = spp.to_protocol();
+    let a = spp.labeling_from(&[vec![0], vec![1, 2, 0], vec![2, 0]]);
+    let b = spp.labeling_from(&[vec![0], vec![1, 0], vec![2, 1, 0]]);
+    assert!(p.is_stable_labeling(&a, &[0; 3]).unwrap());
+    assert!(p.is_stable_labeling(&b, &[0; 3]).unwrap());
+    let init = spp.labeling_from(&[vec![0], vec![1, 0], vec![2, 0]]);
+    let outcome = classify_sync(&p, &[0; 3], init, 100_000).unwrap();
+    assert!(matches!(outcome, SyncOutcome::Oscillating { .. }));
+}
+
+/// Theorem 4.1 (EQ regime): the snake reduction distinguishes x = y from
+/// x ≠ y by stabilization behavior.
+#[test]
+fn theorem_4_1_eq_reduction() {
+    let snake = Snake::embedded_isolated(5).unwrap();
+    let x: Vec<bool> = (0..snake.len()).map(|i| i % 3 != 0).collect();
+    let (p, layout) = eq_reduction(&snake, &x, &x);
+    let init = eq_initial_labeling(layout, true, snake.vertices()[2]);
+    let osc = classify_sync(&p, &vec![0; layout.n], init, 500_000).unwrap();
+    assert!(!osc.is_label_stable());
+
+    let mut y = x.clone();
+    y[4] = !y[4];
+    let (p, layout) = eq_reduction(&snake, &x, &y);
+    let init = eq_initial_labeling(layout, true, snake.vertices()[2]);
+    let conv = classify_sync(&p, &vec![0; layout.n], init, 500_000).unwrap();
+    assert!(conv.is_label_stable());
+}
+
+/// Theorem 4.2: the PSPACE-hardness pipeline preserves stabilization in
+/// both directions through the metanode lift.
+#[test]
+fn theorem_4_2_pipeline() {
+    for (halts, inst) in [
+        (true, StringOscillation::new(2, 2, |_| None)),
+        (false, StringOscillation::new(2, 2, |t| Some(1 - t[0]))),
+    ] {
+        let stateful = inst.to_stateful_protocol();
+        let lifted = metanode_lift(&stateful, 4.0);
+        let init = lifted_labeling(&inst.initial_labels(&[0, 0]));
+        let outcome =
+            classify_sync(&lifted, &vec![0; 3 * stateful.node_count()], init, 300_000).unwrap();
+        assert_eq!(outcome.is_label_stable(), halts);
+    }
+}
+
+/// Theorem 5.2 both directions: a logspace machine runs on the ring; a
+/// ring protocol unrolls into a branching program; both agree with direct
+/// evaluation.
+#[test]
+fn theorem_5_2_round_trip() {
+    let n = 4;
+    let m = machines::parity_machine(n);
+    let p = tm_ring::tm_ring_protocol(m.clone());
+    let budget = tm_ring::output_rounds_bound(&m);
+    for bits in 0..1u32 << n {
+        let x: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+        let inputs: Vec<u64> = x.iter().map(|&b| u64::from(b)).collect();
+        let mut sim =
+            Simulation::new(&p, &inputs, vec![tm_ring::TmLabel::reset(&m); n]).unwrap();
+        sim.run(&mut Synchronous, budget);
+        let expected = u64::from(m.decide(&x).unwrap());
+        assert_eq!(sim.outputs(), &vec![expected; n][..]);
+    }
+
+    // BP → ring → outputs, and ring → BP extraction.
+    let bp = bps::equality(6);
+    let rp = bpconv::bp_to_uniring_protocol(&bp).unwrap();
+    let x = [true, false, true, true, false, true];
+    let inputs: Vec<u64> = x.iter().map(|&b| u64::from(b)).collect();
+    let mut sim = Simulation::new(
+        &rp,
+        &inputs,
+        vec![bpconv::BpRingLabel::default(); 6],
+    )
+    .unwrap();
+    sim.run(&mut Synchronous, bpconv::output_rounds_bound(&bp));
+    assert_eq!(sim.outputs(), &[1; 6]);
+}
+
+/// Theorem 5.4: a random circuit, compiled to the ring, self-stabilizes to
+/// the right output from a random labeling.
+#[test]
+fn theorem_5_4_random_circuit() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let circuit = stateless_computation::circuits::synthesis::random_circuit(4, 7, &mut rng);
+    let compiled = compile_circuit(&circuit).unwrap();
+    for bits in [0u32, 5, 9, 15] {
+        let x: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+        let expected = u64::from(circuit.eval(&x).unwrap());
+        let initial: Vec<CircuitLabel> = (0..compiled.protocol().edge_count())
+            .map(|_| CircuitLabel {
+                ctr: CounterFields {
+                    b1: rng.random_bool(0.5),
+                    b2: rng.random_bool(0.5),
+                    z: rng.random_range(0..compiled.modulus()),
+                    g: rng.random_range(0..compiled.modulus()),
+                },
+                i1: rng.random_bool(0.5),
+                i2: rng.random_bool(0.5),
+                v: rng.random_bool(0.5),
+                o: rng.random_bool(0.5),
+            })
+            .collect();
+        let mut sim =
+            Simulation::new(compiled.protocol(), &compiled.ring_inputs(&x), initial).unwrap();
+        sim.run(&mut Synchronous, compiled.rounds_bound());
+        assert!(sim.outputs().iter().all(|&y| y == expected), "x = {x:?}");
+    }
+}
+
+/// Theorem 6.2: fooling-set bounds hold and the Prop 2.3 protocol (whose
+/// label complexity n+1 must exceed them) demonstrates the cut-injectivity
+/// the proof relies on.
+#[test]
+fn theorem_6_2_bounds_vs_real_protocol() {
+    let n = 10;
+    let ring = topology::bidirectional_ring(n);
+    let eq_set = fooling::equality_fooling_set(n).unwrap();
+    let bound = eq_set.label_bound(&ring).unwrap();
+    let p = generic_protocol(ring, fooling::equality_fn).unwrap();
+    assert!(
+        p.label_bits() >= bound,
+        "the generic protocol respects the lower bound ({} ≥ {bound})",
+        p.label_bits()
+    );
+}
+
+/// Proposition 2.1: radius lower-bounds round complexity on the circuit
+/// library too (cross-crate sanity).
+#[test]
+fn radius_bound_on_generic_protocols() {
+    for n in [4usize, 6] {
+        let g = topology::unidirectional_ring(n);
+        let radius = g.radius().unwrap() as u64;
+        let p = generic_protocol(g, |x: &[bool]| x.iter().any(|&b| b)).unwrap();
+        let mut worst = 0;
+        for bits in [1u32, 1 << (n - 1)] {
+            let x: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            let inputs: Vec<u64> = x.iter().map(|&b| u64::from(b)).collect();
+            let mut sim =
+                Simulation::new(&p, &inputs, vec![GenericLabel::zero(n); p.edge_count()])
+                    .unwrap();
+            worst =
+                worst.max(sim.run_until_label_stable(&mut Synchronous, 10 * n as u64).unwrap());
+        }
+        assert!(worst >= radius);
+    }
+}
+
+/// The compiled majority circuit and the majority branching program and
+/// the majority machine all agree — three substrates, one function.
+#[test]
+fn substrates_agree_on_majority() {
+    let n = 5;
+    let circuit = circuits::majority(n);
+    let bp = bps::majority(n);
+    for bits in 0..1u32 << n {
+        let x: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+        let expected = 2 * x.iter().filter(|&&b| b).count() >= n;
+        assert_eq!(circuit.eval(&x).unwrap(), expected);
+        assert_eq!(bp.eval(&x).unwrap(), expected);
+    }
+}

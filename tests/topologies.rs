@@ -1,0 +1,76 @@
+//! The paper's future-work direction (3): stateless computation on
+//! further topologies — hypercube, torus, star, path. The Prop 2.3
+//! generic protocol and the convergence bounds must hold on all of them.
+
+use stateless_computation::core::prelude::*;
+use stateless_computation::protocols::generic::{generic_protocol, round_bound, GenericLabel};
+
+fn check_parity_on(graph: stateless_core::graph::DiGraph) {
+    let n = graph.node_count();
+    assert!(graph.is_strongly_connected());
+    let p = generic_protocol(graph, |x: &[bool]| {
+        x.iter().filter(|&&b| b).count() % 2 == 1
+    })
+    .unwrap();
+    let inputs_sets: Vec<u32> = vec![0, 1, (1 << n.min(20)) - 1, 0b1011];
+    for bits in inputs_sets {
+        let x: Vec<bool> = (0..n).map(|i| bits >> (i % 20) & 1 == 1).collect();
+        let inputs: Vec<u64> = x.iter().map(|&b| u64::from(b)).collect();
+        let mut sim =
+            Simulation::new(&p, &inputs, vec![GenericLabel::zero(n); p.edge_count()]).unwrap();
+        let steps = sim
+            .run_until_label_stable(&mut Synchronous, round_bound(n) + 1)
+            .unwrap();
+        assert!(steps <= round_bound(n), "Rₙ ≤ 2n on every topology");
+        sim.run(&mut Synchronous, 1);
+        let expected = u64::from(x.iter().filter(|&&b| b).count() % 2 == 1);
+        assert_eq!(sim.outputs(), &vec![expected; n][..]);
+    }
+}
+
+#[test]
+fn generic_protocol_on_hypercube() {
+    check_parity_on(topology::hypercube(3));
+    check_parity_on(topology::hypercube(4));
+}
+
+#[test]
+fn generic_protocol_on_torus() {
+    check_parity_on(topology::torus(3, 3));
+    check_parity_on(topology::torus(4, 3));
+}
+
+#[test]
+fn generic_protocol_on_star_and_path() {
+    check_parity_on(topology::star(9));
+    check_parity_on(topology::bidirectional_path(8));
+}
+
+#[test]
+fn contagion_on_torus_spreads_from_a_block() {
+    use stateless_computation::core::convergence::classify_sync;
+    use stateless_computation::games::contagion::{contagion_protocol, seeded_labeling};
+    let g = topology::torus(4, 4);
+    let p = contagion_protocol(g.clone(), 1, 2);
+    // A 2×2 block of adopters: every frontier node sees 2 of 4 neighbors.
+    let seeds = [0usize, 1, 4, 5];
+    let init = seeded_labeling(&g, &seeds);
+    let outcome = classify_sync(&p, &vec![0; 16], init, 1_000_000).unwrap();
+    // With 4-neighbor adjacency, a frontier node sees only 1 of 4 adopters:
+    // the block self-sustains but does NOT spread — Morris's point that the
+    // contagion threshold depends on neighborhood structure.
+    let outs = outcome.final_outputs().expect("stabilizes");
+    let adopters: Vec<usize> = (0..16).filter(|&i| outs[i] == 1).collect();
+    assert_eq!(adopters, seeds.to_vec());
+}
+
+#[test]
+fn counter_rejects_even_rings_but_runs_on_all_odd_sizes() {
+    use stateless_computation::protocols::counter::counter_protocol;
+    for n in (3..=13).step_by(2) {
+        assert!(counter_protocol(n, 6).is_ok(), "odd n = {n}");
+    }
+    for n in (4..=12).step_by(2) {
+        assert!(counter_protocol(n, 6).is_err(), "even n = {n}");
+    }
+}
