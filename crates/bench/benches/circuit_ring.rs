@@ -1,7 +1,7 @@
 //! E11: circuit-on-ring compilation and self-stabilizing evaluation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use boolean_circuit::library;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use stateless_core::prelude::*;
 use stateless_protocols::circuit_ring::{compile_circuit, CircuitLabel};
 

@@ -1,8 +1,16 @@
-//! E1/E3: generic-protocol convergence time vs graph size.
+//! E1/E3: generic-protocol convergence time vs graph size, plus the exact
+//! synchronous classifier (fingerprint arena vs the clone-based naive
+//! reference) and the parallel sweep driver.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use stateless_bench::workloads::{is_stable_naive, max_ring, max_ring_naive, sticky_or_ring};
+use stateless_core::convergence::{
+    all_labelings, classify_sync, classify_sync_naive, sync_round_complexity,
+    sync_round_complexity_par,
+};
 use stateless_core::prelude::*;
 use stateless_protocols::generic::{generic_protocol, round_bound, GenericLabel};
+use stateless_protocols::worst_case::{exact_rounds, worst_case_protocol};
 
 fn bench_generic(c: &mut Criterion) {
     let mut group = c.benchmark_group("generic_protocol_stabilization");
@@ -17,26 +25,118 @@ fn bench_generic(c: &mut Criterion) {
             })
             .unwrap();
             let inputs: Vec<u64> = (0..n as u64).map(|i| i % 2).collect();
-            group.bench_with_input(
-                BenchmarkId::new(name, n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        let mut sim = Simulation::new(
-                            &p,
-                            &inputs,
-                            vec![GenericLabel::zero(n); p.edge_count()],
-                        )
-                        .unwrap();
-                        sim.run_until_label_stable(&mut Synchronous, round_bound(n) + 1)
-                            .unwrap()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| {
+                    let mut sim =
+                        Simulation::new(&p, &inputs, vec![GenericLabel::zero(n); p.edge_count()])
+                            .unwrap();
+                    sim.run_until_label_stable(&mut Synchronous, round_bound(n) + 1)
+                        .unwrap()
+                })
+            });
         }
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_generic);
+/// Convergence measurement at n = 1024: run a max-propagation ring until
+/// label-stable (≈ n rounds, each with a full stability probe), buffered
+/// vs the seed's naive path (allocating `apply` for both the step and the
+/// probe). This is the round-complexity measurement loop every experiment
+/// drives, at scale.
+fn bench_stabilization(c: &mut Criterion) {
+    let n = 1024usize;
+    let p = max_ring(n);
+    let p_naive = max_ring_naive(n);
+    let inputs: Vec<u64> = (0..n as u64).collect();
+    let mut group = c.benchmark_group("label_stabilization");
+    group.sample_size(10);
+    // ~n rounds of n activations, plus a same-sized probe per round.
+    group.throughput(Throughput::Elements(2 * (n as u64) * (n as u64)));
+    group.bench_with_input(BenchmarkId::new("max_ring_buffered", n), &n, |b, _| {
+        b.iter(|| {
+            let mut sim = Simulation::new(&p, &inputs, vec![0u64; n]).unwrap();
+            sim.run_until_label_stable(&mut Synchronous, 2 * n as u64)
+                .unwrap()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("max_ring_naive", n), &n, |b, _| {
+        // The seed implementation: per-round stability probe through the
+        // allocating apply() path, then a naive step.
+        let all: Vec<NodeId> = (0..n).collect();
+        b.iter(|| {
+            let mut sim = Simulation::new(&p_naive, &inputs, vec![0u64; n]).unwrap();
+            let mut steps = 0u64;
+            while !is_stable_naive(&p_naive, sim.labeling(), &inputs) {
+                sim.step_with_naive(&all);
+                steps += 1;
+            }
+            steps
+        })
+    });
+    group.finish();
+}
+
+/// The classifier at n = 1024: the worst-case protocol takes exactly
+/// `n·(q−1)` synchronous rounds to its fixed point, so one classification
+/// steps ~n² node-activations and hashes n labelings of n labels.
+fn bench_classify(c: &mut Criterion) {
+    let n = 1024usize;
+    let q = 2u64;
+    let p = worst_case_protocol(n, q);
+    let inputs = vec![0u64; n];
+    let rounds = exact_rounds(n, q);
+    let mut group = c.benchmark_group("classify_sync");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(rounds * n as u64));
+    group.bench_with_input(BenchmarkId::new("worst_case_fingerprint", n), &n, |b, _| {
+        b.iter(|| {
+            let out = classify_sync(&p, &inputs, vec![0u64; n], 10_000).unwrap();
+            assert!(out.is_label_stable());
+            out.output_round()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("worst_case_naive", n), &n, |b, _| {
+        b.iter(|| {
+            let out = classify_sync_naive(&p, &inputs, vec![0u64; n], 10_000).unwrap();
+            assert!(out.is_label_stable());
+            out.output_round()
+        })
+    });
+    group.finish();
+}
+
+/// The exhaustive sweep driver: all 2¹⁴ binary labelings of the 14-ring,
+/// sequential vs parallel.
+fn bench_sweep(c: &mut Criterion) {
+    let n = 14usize;
+    let p = sticky_or_ring(n);
+    let inputs: Vec<u64> = (0..n as u64).map(|i| i % 2).collect();
+    let mut group = c.benchmark_group("round_complexity_sweep");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(1 << n));
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            sync_round_complexity(&p, &inputs, all_labelings(&[false, true], n), 10_000)
+                .unwrap()
+                .unwrap()
+        })
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| {
+            sync_round_complexity_par(&p, &inputs, all_labelings(&[false, true], n), 10_000)
+                .unwrap()
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generic,
+    bench_stabilization,
+    bench_classify,
+    bench_sweep
+);
 criterion_main!(benches);

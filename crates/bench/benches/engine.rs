@@ -1,27 +1,59 @@
-//! E15: raw simulation throughput.
+//! E15: raw simulation throughput — buffered hot path vs the naive
+//! allocating reference, at small and large ring sizes. The workloads are
+//! shared with `experiments --json` (see `stateless_bench::workloads`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use stateless_bench::workloads::{max_ring, max_ring_naive};
 use stateless_core::prelude::*;
+
+const ROUNDS: u64 = 10;
 
 fn bench_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_throughput");
-    for n in [100usize, 1000] {
-        let p = Protocol::builder(topology::unidirectional_ring(n), 8.0)
-            .uniform_reaction(FnReaction::new(|_, inc: &[u64], x| {
-                let m = inc[0].max(x);
-                (vec![m], m)
-            }))
-            .build()
-            .unwrap();
+    for n in [100usize, 1024] {
+        let p = max_ring(n);
+        let p_naive = max_ring_naive(n);
         let inputs: Vec<u64> = (0..n as u64).collect();
-        group.throughput(Throughput::Elements(n as u64 * 10));
+        group.throughput(Throughput::Elements(n as u64 * ROUNDS));
+        // Buffered fast path: `run` + Synchronous dispatches to step_sync.
         group.bench_with_input(BenchmarkId::new("max_ring_10_rounds", n), &n, |b, _| {
             b.iter(|| {
                 let mut sim = Simulation::new(&p, &inputs, vec![0u64; n]).unwrap();
-                sim.run(&mut Synchronous, 10);
+                sim.run(&mut Synchronous, ROUNDS);
                 sim.outputs()[0]
             })
         });
+        // Naive reference: allocating apply() path, explicit activation
+        // lists, FnReaction closures.
+        group.bench_with_input(
+            BenchmarkId::new("max_ring_10_rounds_naive", n),
+            &n,
+            |b, _| {
+                let all: Vec<NodeId> = (0..n).collect();
+                b.iter(|| {
+                    let mut sim = Simulation::new(&p_naive, &inputs, vec![0u64; n]).unwrap();
+                    for _ in 0..ROUNDS {
+                        sim.step_with_naive(&all);
+                    }
+                    sim.outputs()[0]
+                })
+            },
+        );
+        // Buffered general path (activation lists, but scratch buffers).
+        group.bench_with_input(
+            BenchmarkId::new("max_ring_10_rounds_step_with", n),
+            &n,
+            |b, _| {
+                let all: Vec<NodeId> = (0..n).collect();
+                b.iter(|| {
+                    let mut sim = Simulation::new(&p, &inputs, vec![0u64; n]).unwrap();
+                    for _ in 0..ROUNDS {
+                        sim.step_with(&all);
+                    }
+                    sim.outputs()[0]
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -10,12 +10,18 @@ fn bench_fooling(c: &mut Criterion) {
         let ring = topology::bidirectional_ring(n);
         group.bench_with_input(BenchmarkId::new("equality_bound", n), &n, |b, &n| {
             b.iter(|| {
-                fooling::equality_fooling_set(n).unwrap().label_bound(&ring).unwrap()
+                fooling::equality_fooling_set(n)
+                    .unwrap()
+                    .label_bound(&ring)
+                    .unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("majority_bound", n), &n, |b, &n| {
             b.iter(|| {
-                fooling::majority_fooling_set(n).unwrap().label_bound(&ring).unwrap()
+                fooling::majority_fooling_set(n)
+                    .unwrap()
+                    .label_bound(&ring)
+                    .unwrap()
             })
         });
     }

@@ -1,6 +1,8 @@
 //! E9/E10: TM-on-ring and BP-on-ring round costs.
 
-use branching_program::convert::{bp_to_uniring_protocol, output_rounds_bound as bp_bound, BpRingLabel};
+use branching_program::convert::{
+    bp_to_uniring_protocol, output_rounds_bound as bp_bound, BpRingLabel,
+};
 use branching_program::library as bps;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use stateless_core::prelude::*;
@@ -17,8 +19,7 @@ fn bench_uniring(c: &mut Criterion) {
         let inputs: Vec<u64> = (0..n as u64).map(|i| i % 2).collect();
         group.bench_with_input(BenchmarkId::new("tm_parity", n), &n, |b, _| {
             b.iter(|| {
-                let mut sim =
-                    Simulation::new(&p, &inputs, vec![TmLabel::reset(&m); n]).unwrap();
+                let mut sim = Simulation::new(&p, &inputs, vec![TmLabel::reset(&m); n]).unwrap();
                 sim.run(&mut Synchronous, budget);
                 sim.outputs()[0]
             })

@@ -17,7 +17,9 @@ fn bench_verify(c: &mut Criterion) {
                     &vec![0; n],
                     &[false, true],
                     (n - 1) as u8,
-                    Limits { max_states: 5_000_000 },
+                    Limits {
+                        max_states: 5_000_000,
+                    },
                 )
                 .unwrap()
                 .is_stabilizing()

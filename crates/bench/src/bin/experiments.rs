@@ -2,8 +2,17 @@
 //!
 //! Usage: `cargo run --release -p stateless-bench --bin experiments [e1 e4 …]`
 //! (no arguments = run everything).
+//!
+//! With `--json`, instead emits a machine-readable perf summary comparing
+//! the buffered engine / fingerprint classifier / parallel sweep against
+//! their naive references (the committed `BENCH_engine.json` snapshot):
+//! `cargo run --release -p stateless-bench --bin experiments -- --json > BENCH_engine.json`
 
 fn main() {
-    let ids: Vec<String> = std::env::args().skip(1).collect();
-    stateless_bench::experiments::run(&ids);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--json") {
+        print!("{}", stateless_bench::perf::summary_json());
+        return;
+    }
+    stateless_bench::experiments::run(&args);
 }

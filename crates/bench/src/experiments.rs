@@ -36,7 +36,10 @@ fn bools_of(bits: u32, n: usize) -> Vec<bool> {
 
 /// E1 — Proposition 2.1: radius ≤ Rₙ.
 pub fn e1() {
-    header("E1", "Proposition 2.1 — graph radius lower-bounds round complexity");
+    header(
+        "E1",
+        "Proposition 2.1 — graph radius lower-bounds round complexity",
+    );
     println!("{:<28} {:>7} {:>11}", "graph", "radius", "measured Rₙ");
     let parity = |x: &[bool]| x.iter().filter(|&&b| b).count() % 2 == 1;
     let mut rng = StdRng::seed_from_u64(1);
@@ -46,7 +49,10 @@ pub fn e1() {
         ("biring(9)".into(), topology::bidirectional_ring(9)),
         ("clique(6)".into(), topology::clique(6)),
         ("star(8)".into(), topology::star(8)),
-        ("random(8,+10)".into(), topology::random_strongly_connected(8, 10, &mut rng)),
+        (
+            "random(8,+10)".into(),
+            topology::random_strongly_connected(8, 10, &mut rng),
+        ),
     ];
     for (name, g) in graphs {
         let n = g.node_count();
@@ -57,9 +63,10 @@ pub fn e1() {
             let x = bools_of(bits, n);
             let inputs: Vec<u64> = x.iter().map(|&b| u64::from(b)).collect();
             let mut sim =
-                Simulation::new(&p, &inputs, vec![GenericLabel::zero(n); p.edge_count()])
-                    .unwrap();
-            let steps = sim.run_until_label_stable(&mut Synchronous, 10 * n as u64).unwrap();
+                Simulation::new(&p, &inputs, vec![GenericLabel::zero(n); p.edge_count()]).unwrap();
+            let steps = sim
+                .run_until_label_stable(&mut Synchronous, 10 * n as u64)
+                .unwrap();
             worst = worst.max(steps);
         }
         println!("{name:<28} {radius:>7} {worst:>11}");
@@ -69,8 +76,14 @@ pub fn e1() {
 
 /// E2 — Proposition 2.2: Rₙ ≤ |Σ|^|E| (trivial but measurable).
 pub fn e2() {
-    header("E2", "Proposition 2.2 — Rₙ never exceeds the configuration count");
-    println!("{:<14} {:>6} {:>14} {:>12}", "protocol", "n", "|Σ|^|E| bound", "measured Rₙ");
+    header(
+        "E2",
+        "Proposition 2.2 — Rₙ never exceeds the configuration count",
+    );
+    println!(
+        "{:<14} {:>6} {:>14} {:>12}",
+        "protocol", "n", "|Σ|^|E| bound", "measured Rₙ"
+    );
     for (n, q) in [(2usize, 3u64), (3, 3), (3, 4), (4, 2)] {
         let p = worst_case_protocol(n, q);
         let outcome = classify_sync(&p, &vec![0; n], vec![0u64; n], 10_000_000).unwrap();
@@ -79,14 +92,20 @@ pub fn e2() {
             _ => unreachable!("worst-case protocol stabilizes"),
         };
         let bound = q.pow(n as u32);
-        println!("{:<14} {n:>6} {bound:>14} {round:>12}", format!("worst(q={q})"));
+        println!(
+            "{:<14} {n:>6} {bound:>14} {round:>12}",
+            format!("worst(q={q})")
+        );
         assert!(round <= bound * n as u64);
     }
 }
 
 /// E3 — Proposition 2.3: the generic protocol achieves Lₙ = n+1, Rₙ ≤ 2n.
 pub fn e3() {
-    header("E3", "Proposition 2.3 — generic protocol: Lₙ = n+1, Rₙ ≤ 2n");
+    header(
+        "E3",
+        "Proposition 2.3 — generic protocol: Lₙ = n+1, Rₙ ≤ 2n",
+    );
     println!(
         "{:<26} {:>4} {:>8} {:>10} {:>9}",
         "graph/function", "n", "Lₙ bits", "2n bound", "worst Rₙ"
@@ -106,8 +125,9 @@ pub fn e3() {
                 let mut sim =
                     Simulation::new(&p, &inputs, vec![GenericLabel::zero(n); p.edge_count()])
                         .unwrap();
-                let steps =
-                    sim.run_until_label_stable(&mut Synchronous, round_bound(n) + 1).unwrap();
+                let steps = sim
+                    .run_until_label_stable(&mut Synchronous, round_bound(n) + 1)
+                    .unwrap();
                 worst = worst.max(steps);
             }
             println!(
@@ -123,8 +143,14 @@ pub fn e3() {
 
 /// E4 — Theorem 3.1 + Example 1: the (n−1)-fair threshold, exactly.
 pub fn e4() {
-    header("E4", "Theorem 3.1 & Example 1 — two stable labelings, (n−1)-fair threshold");
-    println!("{:<6} {:>14} {:>22} {:>22}", "n", "stable count", "r = n−2 verdict", "r = n−1 verdict");
+    header(
+        "E4",
+        "Theorem 3.1 & Example 1 — two stable labelings, (n−1)-fair threshold",
+    );
+    println!(
+        "{:<6} {:>14} {:>22} {:>22}",
+        "n", "stable count", "r = n−2 verdict", "r = n−1 verdict"
+    );
     for n in [3usize, 4] {
         let p = example1_protocol(n);
         let stable = enumerate_stable_labelings(&p, &vec![0; n], &[false, true]).unwrap();
@@ -133,7 +159,9 @@ pub fn e4() {
             &vec![0; n],
             &[false, true],
             (n - 2) as u8,
-            Limits { max_states: 5_000_000 },
+            Limits {
+                max_states: 5_000_000,
+            },
         )
         .unwrap();
         let hi = verify_label_stabilization(
@@ -141,14 +169,24 @@ pub fn e4() {
             &vec![0; n],
             &[false, true],
             (n - 1) as u8,
-            Limits { max_states: 5_000_000 },
+            Limits {
+                max_states: 5_000_000,
+            },
         )
         .unwrap();
         println!(
             "{n:<6} {:>14} {:>22} {:>22}",
             stable.len(),
-            if lo.is_stabilizing() { "stabilizing" } else { "OSCILLATES" },
-            if hi.is_stabilizing() { "stabilizing" } else { "OSCILLATES" }
+            if lo.is_stabilizing() {
+                "stabilizing"
+            } else {
+                "OSCILLATES"
+            },
+            if hi.is_stabilizing() {
+                "stabilizing"
+            } else {
+                "OSCILLATES"
+            }
         );
         assert!(lo.is_stabilizing() && !hi.is_stabilizing());
     }
@@ -164,15 +202,24 @@ pub fn e4() {
             sim.step_with(&active);
             changes += u64::from(before != sim.labeling());
         }
-        println!("explicit witness, n={n}: {changes} label changes in {} steps", 4 * n);
+        println!(
+            "explicit witness, n={n}: {changes} label changes in {} steps",
+            4 * n
+        );
         assert_eq!(changes, 4 * n as u64);
     }
 }
 
 /// E5 — Theorem 4.1: snake lengths and both reductions in action.
 pub fn e5() {
-    header("E5", "Theorem 4.1 — snake-in-the-box reductions (EQ and DISJ)");
-    println!("{:<4} {:>8} {:>12} {:>10}", "d", "s(d)", "λ·2^d", "exhausted");
+    header(
+        "E5",
+        "Theorem 4.1 — snake-in-the-box reductions (EQ and DISJ)",
+    );
+    println!(
+        "{:<4} {:>8} {:>12} {:>10}",
+        "d", "s(d)", "λ·2^d", "exhausted"
+    );
     for d in 2..=6u32 {
         let known = Snake::known(d).unwrap().len();
         let out = longest_snake(d, Some(50_000_000));
@@ -229,16 +276,25 @@ fn verdict<L>(o: &SyncOutcome<L>) -> &'static str {
 
 /// E6 — Theorem 4.2 / B.11 / B.14: PSPACE-hardness pipeline, end to end.
 pub fn e6() {
-    header("E6", "Theorem 4.2 — String-Oscillation → stateful → stateless (metanode)");
+    header(
+        "E6",
+        "Theorem 4.2 — String-Oscillation → stateful → stateless (metanode)",
+    );
     let cases: Vec<(&str, StringOscillation)> = vec![
         ("halting g", StringOscillation::new(2, 2, |_| None)),
-        ("looping g", StringOscillation::new(2, 2, |t| Some(1 - t[0]))),
+        (
+            "looping g",
+            StringOscillation::new(2, 2, |t| Some(1 - t[0])),
+        ),
         (
             "mixed g",
             StringOscillation::new(2, 3, |t| if t[0] == 0 { None } else { Some(t[0]) }),
         ),
     ];
-    println!("{:<12} {:>16} {:>26}", "instance", "brute-force", "metanode protocol (sync)");
+    println!(
+        "{:<12} {:>16} {:>26}",
+        "instance", "brute-force", "metanode protocol (sync)"
+    );
     for (name, inst) in cases {
         let brute = inst.find_oscillating_string();
         let stateful = inst.to_stateful_protocol();
@@ -267,7 +323,11 @@ pub fn e6() {
         }
         println!(
             "{name:<12} {:>16} {:>26}",
-            if brute.is_some() { "oscillates" } else { "always halts" },
+            if brute.is_some() {
+                "oscillates"
+            } else {
+                "always halts"
+            },
             if any_osc { "OSCILLATES" } else { "stabilizes" }
         );
         assert_eq!(brute.is_some(), any_osc, "reduction preserves the verdict");
@@ -277,7 +337,10 @@ pub fn e6() {
 /// E7 — Claim 5.5: the 2-counter alternates on every odd ring.
 pub fn e7() {
     header("E7", "Claim 5.5 — stateless 2-counter on odd rings");
-    println!("{:<4} {:>16} {:>18}", "n", "rounds to sync", "alternating after");
+    println!(
+        "{:<4} {:>16} {:>18}",
+        "n", "rounds to sync", "alternating after"
+    );
     for n in [3usize, 5, 7, 9, 11, 15] {
         let p = counter_protocol(n, 2).unwrap();
         let mut rng = StdRng::seed_from_u64(n as u64);
@@ -320,7 +383,10 @@ pub fn e7() {
 
 /// E8 — Claim 5.6: the D-counter synchronizes in O(n) with O(log D) labels.
 pub fn e8() {
-    header("E8", "Claim 5.6 — D-counter: sync time vs 4n shape, label bits vs 2+3·log D");
+    header(
+        "E8",
+        "Claim 5.6 — D-counter: sync time vs 4n shape, label bits vs 2+3·log D",
+    );
     println!(
         "{:<4} {:>4} {:>12} {:>12} {:>12} {:>14}",
         "n", "D", "bound 4n+8", "measured", "paper bits", "our bits"
@@ -344,7 +410,9 @@ pub fn e8() {
             sim.run(&mut Synchronous, 1);
             let outs = sim.outputs();
             let uniform = outs.iter().all(|&c| c == outs[0]);
-            let incrementing = prev.map(|p| (p + 1) % u64::from(d) == outs[0]).unwrap_or(false);
+            let incrementing = prev
+                .map(|p| (p + 1) % u64::from(d) == outs[0])
+                .unwrap_or(false);
             if uniform && incrementing {
                 streak += 1;
                 if streak >= 2 * u64::from(d) && synced_at.is_none() {
@@ -368,7 +436,10 @@ pub fn e8() {
 
 /// E9 — Theorem 5.2 (⊇): logspace machines run on the unidirectional ring.
 pub fn e9() {
-    header("E9", "Theorem 5.2 — TM-on-ring: correctness and O(log n) labels");
+    header(
+        "E9",
+        "Theorem 5.2 — TM-on-ring: correctness and O(log n) labels",
+    );
     println!(
         "{:<22} {:>4} {:>8} {:>12} {:>10} {:>8}",
         "language", "n", "|Z|", "round budget", "correct", "bits"
@@ -388,8 +459,7 @@ pub fn e9() {
             let x = bools_of(bits, n);
             let expected = u64::from(m.decide(&x).unwrap());
             let inputs: Vec<u64> = x.iter().map(|&b| u64::from(b)).collect();
-            let mut sim =
-                Simulation::new(&p, &inputs, vec![TmLabel::reset(&m); n]).unwrap();
+            let mut sim = Simulation::new(&p, &inputs, vec![TmLabel::reset(&m); n]).unwrap();
             sim.run(&mut Synchronous, budget);
             if sim.outputs().iter().all(|&y| y == expected) {
                 correct += 1;
@@ -407,9 +477,15 @@ pub fn e9() {
 
 /// E10 — Theorem 5.2 (⊆) + Lemma C.2: branching programs both ways.
 pub fn e10() {
-    header("E10", "Theorem 5.2 / Lemma C.2 — branching programs ⇄ unidirectional rings");
+    header(
+        "E10",
+        "Theorem 5.2 / Lemma C.2 — branching programs ⇄ unidirectional rings",
+    );
     // BP → protocol.
-    println!("{:<18} {:>4} {:>6} {:>12} {:>10}", "program", "n", "size", "round budget", "correct");
+    println!(
+        "{:<18} {:>4} {:>6} {:>12} {:>10}",
+        "program", "n", "size", "round budget", "correct"
+    );
     for (name, bp) in [
         ("parity", bps::parity(5)),
         ("majority", bps::majority(5)),
@@ -424,8 +500,7 @@ pub fn e10() {
             let x = bools_of(bits, n);
             let expected = u64::from(bp.eval(&x).unwrap());
             let inputs: Vec<u64> = x.iter().map(|&b| u64::from(b)).collect();
-            let mut sim =
-                Simulation::new(&p, &inputs, vec![BpRingLabel::default(); n]).unwrap();
+            let mut sim = Simulation::new(&p, &inputs, vec![BpRingLabel::default(); n]).unwrap();
             sim.run(&mut Synchronous, budget);
             if sim.outputs().iter().all(|&y| y == expected) {
                 correct += 1;
@@ -459,15 +534,23 @@ pub fn e10() {
     for (n, q) in [(3usize, 4u64), (4, 5), (5, 3)] {
         let p = worst_case_protocol(n, q);
         let outcome = classify_sync(&p, &vec![0; n], vec![0u64; n], 1_000_000).unwrap();
-        let SyncOutcome::LabelStable { round, .. } = outcome else { unreachable!() };
-        println!("  n={n} q={q}: measured {round}, formula {}", exact_rounds(n, q));
+        let SyncOutcome::LabelStable { round, .. } = outcome else {
+            unreachable!()
+        };
+        println!(
+            "  n={n} q={q}: measured {round}, formula {}",
+            exact_rounds(n, q)
+        );
         assert_eq!(round, exact_rounds(n, q));
     }
 }
 
 /// E11 — Theorem 5.4: circuits compiled onto the bidirectional ring.
 pub fn e11() {
-    header("E11", "Theorem 5.4 — circuit-on-ring compiler (P/poly ⊆ ÕSb_log)");
+    header(
+        "E11",
+        "Theorem 5.4 — circuit-on-ring compiler (P/poly ⊆ ÕSb_log)",
+    );
     println!(
         "{:<16} {:>4} {:>5} {:>6} {:>12} {:>10} {:>7}",
         "circuit", "n", "|C|", "N", "round budget", "correct", "bits"
@@ -479,7 +562,10 @@ pub fn e11() {
         ("majority(3)".to_string(), circuits::majority(3)),
         ("mod3(3)".to_string(), circuits::mod_count(3, 3, 0)),
     ];
-    cases.push(("random(3,6)".to_string(), boolean_circuit::synthesis::random_circuit(3, 6, &mut rng)));
+    cases.push((
+        "random(3,6)".to_string(),
+        boolean_circuit::synthesis::random_circuit(3, 6, &mut rng),
+    ));
     for (name, c) in cases {
         let n = c.input_count();
         let compiled = compile_circuit(&c).unwrap();
@@ -502,8 +588,7 @@ pub fn e11() {
                 })
                 .collect();
             let mut sim =
-                Simulation::new(compiled.protocol(), &compiled.ring_inputs(&x), initial)
-                    .unwrap();
+                Simulation::new(compiled.protocol(), &compiled.ring_inputs(&x), initial).unwrap();
             sim.run(&mut Synchronous, compiled.rounds_bound());
             if sim.outputs().iter().all(|&y| y == expected) {
                 correct += 1;
@@ -523,8 +608,14 @@ pub fn e11() {
 
 /// E12 — Theorem 5.10: the counting lower bound.
 pub fn e12() {
-    header("E12", "Theorem 5.10 — counting bound Lₙ ≥ n/(4k) on degree-k graphs");
-    println!("{:<6} {:<4} {:>12} {:>22}", "n", "k", "n/(4k) bits", "counting threshold bits");
+    header(
+        "E12",
+        "Theorem 5.10 — counting bound Lₙ ≥ n/(4k) on degree-k graphs",
+    );
+    println!(
+        "{:<6} {:<4} {:>12} {:>22}",
+        "n", "k", "n/(4k) bits", "counting threshold bits"
+    );
     for n in [16usize, 32, 64, 128] {
         for k in [2usize, 4] {
             let bound = counting::theorem_5_10_bound(n, k);
@@ -537,15 +628,24 @@ pub fn e12() {
 
 /// E13 — Theorem 6.2 + Corollaries 6.3/6.4: fooling-set lower bounds.
 pub fn e13() {
-    header("E13", "Theorem 6.2 — fooling sets for EQ and MAJ on the bidirectional ring");
-    println!("{:<6} {:>10} {:>14} {:>16}", "n", "|S| (EQ)", "EQ bound bits", "MAJ bound bits");
+    header(
+        "E13",
+        "Theorem 6.2 — fooling sets for EQ and MAJ on the bidirectional ring",
+    );
+    println!(
+        "{:<6} {:>10} {:>14} {:>16}",
+        "n", "|S| (EQ)", "EQ bound bits", "MAJ bound bits"
+    );
     for n in [8usize, 12, 16, 20] {
         let ring = topology::bidirectional_ring(n);
         let eq = fooling::equality_fooling_set(n).unwrap();
         let eq_bound = eq.label_bound(&ring).unwrap();
         let maj = fooling::majority_fooling_set(n).unwrap();
         let maj_bound = maj.label_bound(&ring).unwrap();
-        println!("{n:<6} {:>10} {eq_bound:>14.3} {maj_bound:>16.3}", eq.size());
+        println!(
+            "{n:<6} {:>10} {eq_bound:>14.3} {maj_bound:>16.3}",
+            eq.size()
+        );
         assert!((eq_bound - (n as f64 - 4.0) / 8.0).abs() < 1e-9);
     }
     // The proof mechanism, live: cut labelings of a real label-stabilizing
@@ -560,9 +660,9 @@ pub fn e13() {
         let mut input_bits: Vec<u64> = x.iter().map(|&b| u64::from(b)).collect();
         input_bits.extend(y.iter().map(|&b| u64::from(b)));
         let mut sim =
-            Simulation::new(&p, &input_bits, vec![GenericLabel::zero(n); p.edge_count()])
-                .unwrap();
-        sim.run_until_label_stable(&mut Synchronous, 4 * n as u64).unwrap();
+            Simulation::new(&p, &input_bits, vec![GenericLabel::zero(n); p.edge_count()]).unwrap();
+        sim.run_until_label_stable(&mut Synchronous, 4 * n as u64)
+            .unwrap();
         let sig: Vec<GenericLabel> = c_edges
             .iter()
             .chain(&d_edges)
@@ -580,7 +680,10 @@ pub fn e13() {
 
 /// E14 — the applications: BGP, contagion, asynchronous circuits, games.
 pub fn e14() {
-    header("E14", "Applications — BGP gadgets, contagion, async circuits, games");
+    header(
+        "E14",
+        "Applications — BGP gadgets, contagion, async circuits, games",
+    );
     use best_response::{async_circuit, bgp, contagion, game};
     // BGP.
     for (name, spp, expect_stable) in [
@@ -595,14 +698,17 @@ pub fn e14() {
             .collect();
         let init = spp.labeling_from(&direct);
         let outcome = classify_sync(&p, &vec![0; nn], init, 1_000_000).unwrap();
-        println!("BGP {name:<12} sync from direct routes → {}", verdict(&outcome));
+        println!(
+            "BGP {name:<12} sync from direct routes → {}",
+            verdict(&outcome)
+        );
         assert_eq!(outcome.is_label_stable(), expect_stable);
     }
     // Contagion.
     let g = topology::bidirectional_ring(9);
     let p = contagion::contagion_protocol(g.clone(), 1, 2);
     let init = contagion::seeded_labeling(&g, &[4]);
-    let outcome = classify_sync(&p, &vec![0; 9], init, 1_000_000).unwrap();
+    let outcome = classify_sync(&p, &[0; 9], init, 1_000_000).unwrap();
     println!(
         "contagion q=1/2, ring(9), one seed → {} (full adoption: {})",
         verdict(&outcome),
@@ -611,7 +717,10 @@ pub fn e14() {
     // Async circuits.
     let latch = async_circuit::sr_latch();
     let meta = classify_sync(&latch, &[0, 0], vec![false, false], 1000).unwrap();
-    println!("SR latch, S=R=0, simultaneous switching → {}", verdict(&meta));
+    println!(
+        "SR latch, S=R=0, simultaneous switching → {}",
+        verdict(&meta)
+    );
     assert!(!meta.is_label_stable());
     // Games.
     let mp = game::matching_pennies().to_protocol();
@@ -641,7 +750,10 @@ pub fn e15() {
         sim.run(&mut Synchronous, rounds);
         let dt = start.elapsed().as_secs_f64();
         let act = rounds as f64 * n as f64;
-        println!("n={n:<7} {rounds:>6} rounds  {:>12.0} activations/s", act / dt);
+        println!(
+            "n={n:<7} {rounds:>6} rounds  {:>12.0} activations/s",
+            act / dt
+        );
     }
 }
 

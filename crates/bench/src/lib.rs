@@ -9,3 +9,5 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod perf;
+pub mod workloads;

@@ -1,0 +1,170 @@
+//! Machine-readable performance summary (`experiments --json`).
+//!
+//! Times the three hot paths this crate cares about — the simulation
+//! engine, the exact synchronous classifier, and the exhaustive sweep
+//! driver — each against its naive/sequential reference, and emits one
+//! JSON object. The committed `BENCH_engine.json` at the repository root
+//! is a snapshot of this output and seeds the perf trajectory across PRs.
+
+use std::time::Instant;
+
+use stateless_core::convergence::{
+    all_labelings, classify_sync, classify_sync_naive, sync_round_complexity,
+    sync_round_complexity_par,
+};
+use stateless_core::prelude::*;
+use stateless_protocols::worst_case::worst_case_protocol;
+
+use crate::workloads::{is_stable_naive, max_ring, max_ring_naive, sticky_or_ring};
+
+/// Minimum wall-clock spent per measurement; the reported figure is the
+/// best per-iteration time observed (robust to scheduler noise).
+const MIN_SAMPLE: f64 = 0.2;
+
+fn best_seconds<F: FnMut()>(mut f: F) -> f64 {
+    // Warmup.
+    f();
+    let mut best = f64::INFINITY;
+    let mut spent = 0.0;
+    while spent < MIN_SAMPLE {
+        let t = Instant::now();
+        f();
+        let dt = t.elapsed().as_secs_f64();
+        best = best.min(dt);
+        spent += dt;
+    }
+    best
+}
+
+/// One engine measurement at ring size `n`: activations/s for the naive
+/// and buffered paths.
+fn engine_entry(n: usize) -> String {
+    let rounds = (4_000_000 / n as u64).max(8);
+    let activations = rounds as f64 * n as f64;
+    let inputs: Vec<u64> = (0..n as u64).collect();
+
+    let p = max_ring(n);
+    let mut sim = Simulation::new(&p, &inputs, vec![0u64; n]).unwrap();
+    let buffered = best_seconds(|| sim.run(&mut Synchronous, rounds));
+
+    let p_naive = max_ring_naive(n);
+    let all: Vec<NodeId> = (0..n).collect();
+    let mut sim = Simulation::new(&p_naive, &inputs, vec![0u64; n]).unwrap();
+    let naive = best_seconds(|| {
+        for _ in 0..rounds {
+            sim.step_with_naive(&all);
+        }
+    });
+
+    format!(
+        concat!(
+            "{{\"n\":{},\"rounds_per_iter\":{},",
+            "\"naive_activations_per_s\":{:.0},",
+            "\"buffered_activations_per_s\":{:.0},",
+            "\"speedup\":{:.2}}}"
+        ),
+        n,
+        rounds,
+        activations / naive,
+        activations / buffered,
+        naive / buffered
+    )
+}
+
+/// Convergence measurement at n = 1024: run-until-label-stable on the
+/// max-propagation ring (≈ n rounds, each with a full stability probe),
+/// buffered vs the seed's naive apply() loop.
+fn stabilization_entry(n: usize) -> String {
+    let inputs: Vec<u64> = (0..n as u64).collect();
+    let p = max_ring(n);
+    let buffered = best_seconds(|| {
+        let mut sim = Simulation::new(&p, &inputs, vec![0u64; n]).unwrap();
+        sim.run_until_label_stable(&mut Synchronous, 2 * n as u64)
+            .unwrap();
+    });
+    let p_naive = max_ring_naive(n);
+    let all: Vec<NodeId> = (0..n).collect();
+    let naive = best_seconds(|| {
+        let mut sim = Simulation::new(&p_naive, &inputs, vec![0u64; n]).unwrap();
+        while !is_stable_naive(&p_naive, sim.labeling(), &inputs) {
+            sim.step_with_naive(&all);
+        }
+    });
+    format!(
+        concat!(
+            "{{\"n\":{},\"naive_ms_per_run\":{:.3},",
+            "\"buffered_ms_per_run\":{:.3},\"speedup\":{:.2}}}"
+        ),
+        n,
+        naive * 1e3,
+        buffered * 1e3,
+        naive / buffered
+    )
+}
+
+/// Classifier measurement at n = 1024 (the worst-case protocol visits
+/// exactly n·(q−1)+1 labelings before its fixed point).
+fn classify_entry(n: usize) -> String {
+    let p = worst_case_protocol(n, 2);
+    let inputs = vec![0u64; n];
+    let fast = best_seconds(|| {
+        classify_sync(&p, &inputs, vec![0u64; n], 10_000).unwrap();
+    });
+    let naive = best_seconds(|| {
+        classify_sync_naive(&p, &inputs, vec![0u64; n], 10_000).unwrap();
+    });
+    format!(
+        concat!(
+            "{{\"n\":{},\"naive_ms_per_run\":{:.3},",
+            "\"fingerprint_ms_per_run\":{:.3},\"speedup\":{:.2}}}"
+        ),
+        n,
+        naive * 1e3,
+        fast * 1e3,
+        naive / fast
+    )
+}
+
+/// Sweep measurement: all 2^n binary labelings of the sticky-OR n-ring.
+fn sweep_entry(n: usize) -> String {
+    let p = sticky_or_ring(n);
+    let inputs: Vec<u64> = (0..n as u64).map(|i| i % 2).collect();
+    let seq = best_seconds(|| {
+        sync_round_complexity(&p, &inputs, all_labelings(&[false, true], n), 10_000)
+            .unwrap()
+            .unwrap();
+    });
+    let par = best_seconds(|| {
+        sync_round_complexity_par(&p, &inputs, all_labelings(&[false, true], n), 10_000)
+            .unwrap()
+            .unwrap();
+    });
+    format!(
+        concat!(
+            "{{\"n\":{},\"labelings\":{},\"sequential_ms\":{:.3},",
+            "\"parallel_ms\":{:.3},\"speedup\":{:.2}}}"
+        ),
+        n,
+        1u64 << n,
+        seq * 1e3,
+        par * 1e3,
+        seq / par
+    )
+}
+
+/// Builds the full JSON summary (pretty-printed, one section per line).
+pub fn summary_json() -> String {
+    let threads = rayon::current_num_threads();
+    let engine: Vec<String> = [100usize, 1024].iter().map(|&n| engine_entry(n)).collect();
+    let stabilization = stabilization_entry(1024);
+    let classify = classify_entry(1024);
+    let sweep = sweep_entry(14);
+    format!(
+        "{{\n  \"suite\": \"stateless-computation perf summary\",\n  \"threads\": {},\n  \"engine_throughput\": [{}],\n  \"label_stabilization\": {},\n  \"classify_sync\": {},\n  \"round_complexity_sweep\": {}\n}}\n",
+        threads,
+        engine.join(", "),
+        stabilization,
+        classify,
+        sweep
+    )
+}

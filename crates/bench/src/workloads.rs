@@ -1,0 +1,87 @@
+//! Shared benchmark workloads: the reference protocols the criterion
+//! benches and the `--json` perf summary both measure. One definition —
+//! so the committed `BENCH_engine.json`, the benches, and the acceptance
+//! numbers always time the same reactions.
+
+use stateless_core::prelude::*;
+
+/// Max-propagation on the unidirectional ring through the buffered
+/// (zero-allocation) reaction path.
+pub fn max_ring(n: usize) -> Protocol<u64> {
+    Protocol::builder(topology::unidirectional_ring(n), 8.0)
+        .uniform_reaction(FnBufReaction::new(
+            vec![0u64],
+            |_, inc: &[u64], x, out: &mut [u64]| {
+                let m = inc[0].max(x);
+                out[0] = m;
+                m
+            },
+        ))
+        .build()
+        .expect("ring nodes all have reactions")
+}
+
+/// The same protocol through plain `FnReaction` closures, so the naive
+/// baseline also pays the closure's `Vec` return (as all seed reactions
+/// did).
+pub fn max_ring_naive(n: usize) -> Protocol<u64> {
+    Protocol::builder(topology::unidirectional_ring(n), 8.0)
+        .uniform_reaction(FnReaction::new(|_, inc: &[u64], x| {
+            let m = inc[0].max(x);
+            (vec![m], m)
+        }))
+        .build()
+        .expect("ring nodes all have reactions")
+}
+
+/// Sticky-OR on the unidirectional ring (buffered): the standard
+/// exhaustive-sweep workload — stabilizes from every labeling.
+pub fn sticky_or_ring(n: usize) -> Protocol<bool> {
+    Protocol::builder(topology::unidirectional_ring(n), 1.0)
+        .uniform_reaction(FnBufReaction::new(
+            vec![false],
+            |_, inc: &[bool], x, out: &mut [bool]| {
+                let b = inc[0] || x == 1;
+                out[0] = b;
+                u64::from(b)
+            },
+        ))
+        .build()
+        .expect("ring nodes all have reactions")
+}
+
+/// The seed's per-round stability probe: one allocating `apply` per node,
+/// compared edge by edge. The naive counterpart of
+/// `Protocol::is_stable_labeling_buffered`.
+pub fn is_stable_naive(p: &Protocol<u64>, labeling: &[u64], inputs: &[Input]) -> bool {
+    for (node, &input) in inputs.iter().enumerate() {
+        let (out, _) = p
+            .apply(node, labeling, input)
+            .expect("reaction arity is valid");
+        for (slot, &e) in out.iter().zip(p.graph().out_edges(node)) {
+            if *slot != labeling[e] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffered_and_naive_workloads_agree() {
+        let n = 16;
+        let inputs: Vec<u64> = (0..n as u64).collect();
+        let p = max_ring(n);
+        let p_naive = max_ring_naive(n);
+        let mut a = Simulation::new(&p, &inputs, vec![0; n]).unwrap();
+        let mut b = Simulation::new(&p_naive, &inputs, vec![0; n]).unwrap();
+        a.run(&mut Synchronous, n as u64);
+        b.run(&mut Synchronous, n as u64);
+        assert_eq!(a.labeling(), b.labeling());
+        assert!(is_stable_naive(&p_naive, b.labeling(), &inputs));
+    }
+}

@@ -51,7 +51,11 @@ pub struct BpRingLabel {
 
 impl Default for BpRingLabel {
     fn default() -> Self {
-        BpRingLabel { phase: BpPhase::Reject, hops: 0, verdict: false }
+        BpRingLabel {
+            phase: BpPhase::Reject,
+            hops: 0,
+            verdict: false,
+        }
     }
 }
 
@@ -84,7 +88,10 @@ impl fmt::Display for ConvertError {
                 write!(f, "protocol emitted a label outside the supplied alphabet")
             }
             ConvertError::ArityMismatch { program, ring } => {
-                write!(f, "program has {program} inputs but the ring has {ring} nodes")
+                write!(
+                    f,
+                    "program has {program} inputs but the ring has {ring} nodes"
+                )
             }
             ConvertError::Core(e) => write!(f, "protocol probe failed: {e}"),
         }
@@ -125,7 +132,10 @@ pub fn bp_to_uniring_protocol(
 ) -> Result<Protocol<BpRingLabel>, ConvertError> {
     let n = bp.input_count();
     if n < 2 {
-        return Err(ConvertError::ArityMismatch { program: n, ring: 2 });
+        return Err(ConvertError::ArityMismatch {
+            program: n,
+            ring: 2,
+        });
     }
     let cap = reset_period(bp, n);
     let label_bits = bits_for_cardinality((bp.size() as u128 + 2) * (u128::from(cap) + 1) * 2);
@@ -136,28 +146,40 @@ pub fn bp_to_uniring_protocol(
         let bp = bp.clone();
         builder = builder.reaction(
             node,
-            FnReaction::new(move |i: NodeId, incoming: &[BpRingLabel], input| {
-                let lab = incoming[0];
-                let mut phase = lab.phase;
-                let mut hops = lab.hops.saturating_add(1).min(cap);
-                let mut verdict = lab.verdict;
-                if i == 0 && hops >= cap {
-                    // Publish the completed evaluation's verdict and restart.
-                    verdict = matches!(phase, BpPhase::Accept);
-                    phase = target_to_phase(bp.start());
-                    hops = 0;
-                }
-                // Answer every pending query owned by this node.
-                while let BpPhase::At(v) = phase {
-                    let node = bp.nodes()[v as usize];
-                    if node.var != i {
-                        break;
+            FnBufReaction::new(
+                vec![BpRingLabel::default()],
+                move |i: NodeId, incoming: &[BpRingLabel], input, out: &mut [BpRingLabel]| {
+                    let lab = incoming[0];
+                    let mut phase = lab.phase;
+                    let mut hops = lab.hops.saturating_add(1).min(cap);
+                    let mut verdict = lab.verdict;
+                    if i == 0 && hops >= cap {
+                        // Publish the completed evaluation's verdict and restart.
+                        verdict = matches!(phase, BpPhase::Accept);
+                        phase = target_to_phase(bp.start());
+                        hops = 0;
                     }
-                    let t = if input == 1 { node.if_one } else { node.if_zero };
-                    phase = target_to_phase(t);
-                }
-                (vec![BpRingLabel { phase, hops, verdict }], u64::from(verdict))
-            }),
+                    // Answer every pending query owned by this node.
+                    while let BpPhase::At(v) = phase {
+                        let node = bp.nodes()[v as usize];
+                        if node.var != i {
+                            break;
+                        }
+                        let t = if input == 1 {
+                            node.if_one
+                        } else {
+                            node.if_zero
+                        };
+                        phase = target_to_phase(t);
+                    }
+                    out[0] = BpRingLabel {
+                        phase,
+                        hops,
+                        verdict,
+                    };
+                    u64::from(verdict)
+                },
+            ),
         );
     }
     Ok(builder.build().expect("all ring nodes have reactions"))
@@ -244,7 +266,11 @@ pub fn uniring_protocol_to_bp<L: Label>(
             };
             let if_zero = go(0)?;
             let if_one = go(1)?;
-            nodes.push(BpNode { var: j, if_zero, if_one });
+            nodes.push(BpNode {
+                var: j,
+                if_zero,
+                if_one,
+            });
         }
     }
     Ok(BranchingProgram::new(n, nodes, BpTarget::Node(start_k))
@@ -285,8 +311,7 @@ mod tests {
             for bits in 0..1u32 << n {
                 let x: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
                 let expected = u64::from(bp.eval(&x).unwrap());
-                let outs =
-                    ring_output(&p, &x, vec![BpRingLabel::default(); n], rounds);
+                let outs = ring_output(&p, &x, vec![BpRingLabel::default(); n], rounds);
                 assert_eq!(outs, vec![expected; n], "n={n} x={x:?}");
             }
         }

@@ -26,9 +26,17 @@ pub fn parity(n: usize) -> BranchingProgram {
             }
         };
         // Even-so-far node.
-        nodes.push(BpNode { var: i, if_zero: next(false), if_one: next(true) });
+        nodes.push(BpNode {
+            var: i,
+            if_zero: next(false),
+            if_one: next(true),
+        });
         // Odd-so-far node.
-        nodes.push(BpNode { var: i, if_zero: next(true), if_one: next(false) });
+        nodes.push(BpNode {
+            var: i,
+            if_zero: next(true),
+            if_one: next(false),
+        });
     }
     BranchingProgram::new(n, nodes, BpTarget::Node(0)).expect("layered program is topological")
 }
@@ -71,7 +79,11 @@ pub fn threshold(n: usize, t: usize) -> BranchingProgram {
                 }
                 BpTarget::Node(offset[i + 1] + c_next.min(width(i + 1) - 1))
             };
-            nodes.push(BpNode { var: i, if_zero: go(c), if_one: go(c + 1) });
+            nodes.push(BpNode {
+                var: i,
+                if_zero: go(c),
+                if_one: go(c + 1),
+            });
         }
     }
     BranchingProgram::new(n, nodes, BpTarget::Node(0)).expect("layered program is topological")
@@ -102,14 +114,26 @@ pub fn equality(n: usize) -> BranchingProgram {
     // 3i+2 (saw 1, query x_{half+i}).
     let mut nodes = Vec::with_capacity(3 * half);
     for i in 0..half {
-        let next = if i + 1 == half { BpTarget::Accept } else { BpTarget::Node(3 * (i + 1)) };
+        let next = if i + 1 == half {
+            BpTarget::Accept
+        } else {
+            BpTarget::Node(3 * (i + 1))
+        };
         nodes.push(BpNode {
             var: i,
             if_zero: BpTarget::Node(3 * i + 1),
             if_one: BpTarget::Node(3 * i + 2),
         });
-        nodes.push(BpNode { var: half + i, if_zero: next, if_one: BpTarget::Reject });
-        nodes.push(BpNode { var: half + i, if_zero: BpTarget::Reject, if_one: next });
+        nodes.push(BpNode {
+            var: half + i,
+            if_zero: next,
+            if_one: BpTarget::Reject,
+        });
+        nodes.push(BpNode {
+            var: half + i,
+            if_zero: BpTarget::Reject,
+            if_one: next,
+        });
     }
     BranchingProgram::new(n, nodes, BpTarget::Node(0)).expect("pairwise program is topological")
 }
@@ -134,8 +158,16 @@ pub fn contains_11(n: usize) -> BranchingProgram {
                 BpTarget::Node(2 * (i + 1) + usize::from(seen))
             }
         };
-        nodes.push(BpNode { var: i, if_zero: cont(false), if_one: cont(true) });
-        nodes.push(BpNode { var: i, if_zero: cont(false), if_one: BpTarget::Accept });
+        nodes.push(BpNode {
+            var: i,
+            if_zero: cont(false),
+            if_one: cont(true),
+        });
+        nodes.push(BpNode {
+            var: i,
+            if_zero: cont(false),
+            if_one: BpTarget::Accept,
+        });
     }
     BranchingProgram::new(n, nodes, BpTarget::Node(0)).expect("layered program is topological")
 }

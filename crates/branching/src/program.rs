@@ -101,14 +101,13 @@ impl BranchingProgram {
     ///
     /// Returns [`BpError::BadVariable`], [`BpError::NotTopological`], or
     /// [`BpError::BadStart`] when the node list is malformed.
-    pub fn new(
-        n_inputs: usize,
-        nodes: Vec<BpNode>,
-        start: BpTarget,
-    ) -> Result<Self, BpError> {
+    pub fn new(n_inputs: usize, nodes: Vec<BpNode>, start: BpTarget) -> Result<Self, BpError> {
         for (i, node) in nodes.iter().enumerate() {
             if node.var >= n_inputs {
-                return Err(BpError::BadVariable { node: i, var: node.var });
+                return Err(BpError::BadVariable {
+                    node: i,
+                    var: node.var,
+                });
             }
             for t in [node.if_zero, node.if_one] {
                 if let BpTarget::Node(j) = t {
@@ -126,7 +125,11 @@ impl BranchingProgram {
                 return Err(BpError::BadStart { target: j });
             }
         }
-        Ok(BranchingProgram { n_inputs, nodes, start })
+        Ok(BranchingProgram {
+            n_inputs,
+            nodes,
+            start,
+        })
     }
 
     /// Number of input variables.
@@ -177,7 +180,10 @@ impl BranchingProgram {
     /// Returns [`BpError::WrongInputLength`] on arity mismatch.
     pub fn eval(&self, x: &[bool]) -> Result<bool, BpError> {
         if x.len() != self.n_inputs {
-            return Err(BpError::WrongInputLength { got: x.len(), expected: self.n_inputs });
+            return Err(BpError::WrongInputLength {
+                got: x.len(),
+                expected: self.n_inputs,
+            });
         }
         let mut at = self.start;
         // Topological order guarantees termination in ≤ size steps.
@@ -216,7 +222,11 @@ mod tests {
     fn single_node_is_the_variable() {
         let bp = BranchingProgram::new(
             1,
-            vec![BpNode { var: 0, if_zero: Reject, if_one: Accept }],
+            vec![BpNode {
+                var: 0,
+                if_zero: Reject,
+                if_one: Accept,
+            }],
             Node(0),
         )
         .unwrap();
@@ -235,7 +245,11 @@ mod tests {
     fn rejects_backward_and_self_branches() {
         let err = BranchingProgram::new(
             1,
-            vec![BpNode { var: 0, if_zero: Node(0), if_one: Accept }],
+            vec![BpNode {
+                var: 0,
+                if_zero: Node(0),
+                if_one: Accept,
+            }],
             Node(0),
         )
         .unwrap_err();
@@ -246,7 +260,11 @@ mod tests {
     fn rejects_bad_variable_and_start() {
         let err = BranchingProgram::new(
             1,
-            vec![BpNode { var: 3, if_zero: Reject, if_one: Accept }],
+            vec![BpNode {
+                var: 3,
+                if_zero: Reject,
+                if_one: Accept,
+            }],
             Node(0),
         )
         .unwrap_err();
@@ -260,7 +278,10 @@ mod tests {
         let bp = BranchingProgram::new(2, vec![], Reject).unwrap();
         assert_eq!(
             bp.eval(&[true]),
-            Err(BpError::WrongInputLength { got: 1, expected: 2 })
+            Err(BpError::WrongInputLength {
+                got: 1,
+                expected: 2
+            })
         );
     }
 
@@ -269,8 +290,16 @@ mod tests {
         let bp = BranchingProgram::new(
             2,
             vec![
-                BpNode { var: 0, if_zero: Reject, if_one: Node(1) },
-                BpNode { var: 1, if_zero: Reject, if_one: Accept },
+                BpNode {
+                    var: 0,
+                    if_zero: Reject,
+                    if_one: Node(1),
+                },
+                BpNode {
+                    var: 1,
+                    if_zero: Reject,
+                    if_one: Accept,
+                },
             ],
             Node(0),
         )

@@ -114,7 +114,10 @@ pub struct Circuit {
 impl Circuit {
     /// Starts building a circuit over `n_inputs` input variables.
     pub fn builder(n_inputs: usize) -> CircuitBuilder {
-        CircuitBuilder { n_inputs, gates: Vec::new() }
+        CircuitBuilder {
+            n_inputs,
+            gates: Vec::new(),
+        }
     }
 
     /// Number of input variables.
@@ -156,7 +159,10 @@ impl Circuit {
     /// Returns [`CircuitError::WrongInputLength`] on arity mismatch.
     pub fn eval_gates(&self, x: &[bool]) -> Result<Vec<bool>, CircuitError> {
         if x.len() != self.n_inputs {
-            return Err(CircuitError::WrongInputLength { got: x.len(), expected: self.n_inputs });
+            return Err(CircuitError::WrongInputLength {
+                got: x.len(),
+                expected: self.n_inputs,
+            });
         }
         let mut values = Vec::with_capacity(self.gates.len());
         for gate in &self.gates {
@@ -222,7 +228,10 @@ impl CircuitBuilder {
         if ok {
             Ok(())
         } else {
-            Err(CircuitError::InvalidSource { gate: Some(self.gates.len()), source })
+            Err(CircuitError::InvalidSource {
+                gate: Some(self.gates.len()),
+                source,
+            })
         }
     }
 
@@ -320,9 +329,16 @@ impl CircuitBuilder {
             GateSource::Const(_) => true,
         };
         if !ok {
-            return Err(CircuitError::InvalidSource { gate: None, source: output });
+            return Err(CircuitError::InvalidSource {
+                gate: None,
+                source: output,
+            });
         }
-        Ok(Circuit { n_inputs: self.n_inputs, gates: self.gates, output })
+        Ok(Circuit {
+            n_inputs: self.n_inputs,
+            gates: self.gates,
+            output,
+        })
     }
 }
 
@@ -394,7 +410,10 @@ mod tests {
         let c = b.finish(g).unwrap();
         assert_eq!(
             c.eval(&[true]),
-            Err(CircuitError::WrongInputLength { got: 1, expected: 2 })
+            Err(CircuitError::WrongInputLength {
+                got: 1,
+                expected: 2
+            })
         );
     }
 

@@ -68,7 +68,9 @@ fn popcount(b: &mut CircuitBuilder, n: usize) -> Vec<GateSource> {
 /// Appends a comparison `value ≥ threshold` where `value` is a
 /// little-endian bit vector of gate sources and `threshold` a constant.
 fn ge_const(b: &mut CircuitBuilder, value: &[GateSource], threshold: usize) -> GateSource {
-    let width = value.len().max(usize::BITS as usize - threshold.leading_zeros() as usize);
+    let width = value
+        .len()
+        .max(usize::BITS as usize - threshold.leading_zeros() as usize);
     let mut gt = GateSource::Const(false);
     let mut eq = GateSource::Const(true);
     for i in (0..width).rev() {
@@ -120,13 +122,17 @@ pub fn majority(n: usize) -> Circuit {
 pub fn equality(n: usize) -> Circuit {
     assert!(n >= 1, "equality needs at least one input");
     if n % 2 == 1 {
-        return Circuit::builder(n).finish(GateSource::Const(false)).expect("const output");
+        return Circuit::builder(n)
+            .finish(GateSource::Const(false))
+            .expect("const output");
     }
     let half = n / 2;
     let mut b = Circuit::builder(n);
     let mut acc = GateSource::Const(true);
     for i in 0..half {
-        let same = b.eq(GateSource::Input(i), GateSource::Input(half + i)).expect("valid");
+        let same = b
+            .eq(GateSource::Input(i), GateSource::Input(half + i))
+            .expect("valid");
         acc = b.and(acc, same).expect("valid");
     }
     b.finish(acc).expect("output source is valid")
@@ -142,7 +148,9 @@ pub fn palindrome(n: usize) -> Circuit {
     let mut b = Circuit::builder(n);
     let mut acc = GateSource::Const(true);
     for i in 0..n / 2 {
-        let same = b.eq(GateSource::Input(i), GateSource::Input(n - 1 - i)).expect("valid");
+        let same = b
+            .eq(GateSource::Input(i), GateSource::Input(n - 1 - i))
+            .expect("valid");
         acc = b.and(acc, same).expect("valid");
     }
     b.finish(acc).expect("output source is valid")
@@ -163,9 +171,7 @@ pub fn mod_count(n: usize, modulus: usize, residue: usize) -> Circuit {
     assert!(modulus >= 2, "modulus must be at least 2");
     assert!(residue < modulus, "residue must be below the modulus");
     let mut b = Circuit::builder(n);
-    let mut state: Vec<GateSource> = (0..modulus)
-        .map(|k| GateSource::Const(k == 0))
-        .collect();
+    let mut state: Vec<GateSource> = (0..modulus).map(|k| GateSource::Const(k == 0)).collect();
     for i in 0..n {
         let x = GateSource::Input(i);
         let not_x = b.not(x).expect("valid");
@@ -230,9 +236,7 @@ mod tests {
     #[test]
     fn equality_matches_paper_definition() {
         for n in 1..=8 {
-            brute(&equality(n), |x| {
-                n % 2 == 0 && x[..n / 2] == x[n / 2..]
-            });
+            brute(&equality(n), |x| n % 2 == 0 && x[..n / 2] == x[n / 2..]);
         }
     }
 

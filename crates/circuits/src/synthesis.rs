@@ -19,7 +19,10 @@ use crate::circuit::{Circuit, CircuitError, GateOp, GateSource};
 /// Returns [`CircuitError::WrongInputLength`] if `table.len() != 2^n`.
 pub fn from_truth_table(n: usize, table: &[bool]) -> Result<Circuit, CircuitError> {
     if table.len() != 1usize << n {
-        return Err(CircuitError::WrongInputLength { got: table.len(), expected: 1 << n });
+        return Err(CircuitError::WrongInputLength {
+            got: table.len(),
+            expected: 1 << n,
+        });
     }
     let mut b = Circuit::builder(n);
     let mut acc = GateSource::Const(false);
@@ -51,7 +54,14 @@ pub fn from_truth_table(n: usize, table: &[bool]) -> Result<Circuit, CircuitErro
 pub fn random_circuit<R: rand::Rng>(n: usize, size: usize, rng: &mut R) -> Circuit {
     use rand::RngExt;
     assert!(n >= 1 && size >= 1, "need at least one input and one gate");
-    let ops = [GateOp::And, GateOp::Or, GateOp::Xor, GateOp::Nand, GateOp::Nor, GateOp::Xnor];
+    let ops = [
+        GateOp::And,
+        GateOp::Or,
+        GateOp::Xor,
+        GateOp::Nand,
+        GateOp::Nor,
+        GateOp::Xnor,
+    ];
     let mut b = Circuit::builder(n);
     let mut last = GateSource::Input(0);
     for g in 0..size {

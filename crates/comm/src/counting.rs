@@ -82,7 +82,10 @@ mod tests {
                     f64::from(feasible) >= theorem_5_10_bound(n, k) / 4.0,
                     "n={n} k={k}: feasible={feasible}"
                 );
-                assert!(f64::from(feasible) <= n as f64, "never beyond the trivial bound");
+                assert!(
+                    f64::from(feasible) <= n as f64,
+                    "never beyond the trivial bound"
+                );
             }
         }
     }

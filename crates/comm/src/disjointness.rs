@@ -8,7 +8,11 @@
 ///
 /// Panics if the vectors have different lengths.
 pub fn disjoint(x: &[bool], y: &[bool]) -> bool {
-    assert_eq!(x.len(), y.len(), "characteristic vectors must have equal length");
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "characteristic vectors must have equal length"
+    );
     x.iter().zip(y).all(|(&a, &b)| !(a && b))
 }
 
@@ -18,7 +22,11 @@ pub fn disjoint(x: &[bool], y: &[bool]) -> bool {
 ///
 /// Panics if the vectors have different lengths.
 pub fn first_intersection(x: &[bool], y: &[bool]) -> Option<usize> {
-    assert_eq!(x.len(), y.len(), "characteristic vectors must have equal length");
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "characteristic vectors must have equal length"
+    );
     x.iter().zip(y).position(|(&a, &b)| a && b)
 }
 
@@ -45,7 +53,10 @@ mod tests {
         assert!(disjoint(&[true, false], &[false, true]));
         assert!(!disjoint(&[true, false], &[true, true]));
         assert!(disjoint(&[], &[]));
-        assert_eq!(first_intersection(&[false, true, true], &[false, false, true]), Some(2));
+        assert_eq!(
+            first_intersection(&[false, true, true], &[false, false, true]),
+            Some(2)
+        );
         assert_eq!(first_intersection(&[true, false], &[false, true]), None);
     }
 

@@ -50,7 +50,11 @@ impl fmt::Display for FoolingError {
                 write!(f, "pair {pair} does not evaluate to the claimed value")
             }
             FoolingError::NotFooling { pairs } => {
-                write!(f, "pairs {} and {} violate the fooling condition", pairs.0, pairs.1)
+                write!(
+                    f,
+                    "pairs {} and {} violate the fooling condition",
+                    pairs.0, pairs.1
+                )
             }
             FoolingError::BoundaryNotConstant { node } => {
                 write!(f, "cut node {node} has a non-constant input across the set")
@@ -61,6 +65,10 @@ impl fmt::Display for FoolingError {
 }
 
 impl Error for FoolingError {}
+
+/// A Boolean function over concatenated inputs, boxed for storage in a
+/// [`FoolingSet`].
+pub type BoolFn = Box<dyn Fn(&[bool]) -> bool + Send + Sync>;
 
 /// A fooling set for `f : {0,1}^n → {0,1}` split at position `m`
 /// (Definition 6.1), together with the function it fools.
@@ -74,7 +82,7 @@ pub struct FoolingSet {
     /// The common function value `b`.
     pub value: bool,
     /// The function being fooled.
-    pub f: Box<dyn Fn(&[bool]) -> bool + Send + Sync>,
+    pub f: BoolFn,
 }
 
 impl fmt::Debug for FoolingSet {
@@ -191,7 +199,7 @@ pub fn cut_edges(graph: &DiGraph, m: usize) -> (Vec<EdgeId>, Vec<EdgeId>) {
 /// The paper's equality function `Eqₙ` (Section 6).
 pub fn equality_fn(x: &[bool]) -> bool {
     let n = x.len();
-    n % 2 == 0 && x[..n / 2] == x[n / 2..]
+    n.is_multiple_of(2) && x[..n / 2] == x[n / 2..]
 }
 
 /// The paper's majority function `Majₙ` (Section 6): `Σxᵢ ≥ n/2`.
@@ -209,7 +217,7 @@ pub fn majority_fn(x: &[bool]) -> bool {
 ///
 /// Returns [`FoolingError::BadParameters`] unless `n` is even and ≥ 6.
 pub fn equality_fooling_set(n: usize) -> Result<FoolingSet, FoolingError> {
-    if n % 2 != 0 || n < 6 {
+    if !n.is_multiple_of(2) || n < 6 {
         return Err(FoolingError::BadParameters {
             what: format!("equality fooling set needs even n ≥ 6, got {n}"),
         });
@@ -226,7 +234,13 @@ pub fn equality_fooling_set(n: usize) -> Result<FoolingSet, FoolingError> {
         }
         pairs.push((x.clone(), x));
     }
-    Ok(FoolingSet { m, n, pairs, value: true, f: Box::new(equality_fn) })
+    Ok(FoolingSet {
+        m,
+        n,
+        pairs,
+        value: true,
+        f: Box::new(equality_fn),
+    })
 }
 
 /// The Corollary 6.4 fooling set for `Majₙ` on the bidirectional `n`-ring:
@@ -261,7 +275,13 @@ pub fn majority_fooling_set(n: usize) -> Result<FoolingSet, FoolingError> {
         }
         pairs.push((x, y));
     }
-    Ok(FoolingSet { m, n, pairs, value: true, f: Box::new(majority_fn) })
+    Ok(FoolingSet {
+        m,
+        n,
+        pairs,
+        value: true,
+        f: Box::new(majority_fn),
+    })
 }
 
 #[cfg(test)]
@@ -278,7 +298,10 @@ mod tests {
             let g = topology::bidirectional_ring(n);
             let bound = fs.label_bound(&g).unwrap();
             let expected = (n as f64 - 4.0) / 8.0;
-            assert!((bound - expected).abs() < 1e-9, "n={n}: {bound} vs {expected}");
+            assert!(
+                (bound - expected).abs() < 1e-9,
+                "n={n}: {bound} vs {expected}"
+            );
         }
     }
 
@@ -336,12 +359,18 @@ mod tests {
         let mut pairs = Vec::new();
         for bits in 0..8u8 {
             let mut x = vec![true; m];
-            for k in 1..m {
-                x[k] = bits >> (k - 1) & 1 == 1;
+            for (k, slot) in x.iter_mut().enumerate().skip(1) {
+                *slot = bits >> (k - 1) & 1 == 1;
             }
             pairs.push((x.clone(), x));
         }
-        let fs = FoolingSet { m, n, pairs, value: true, f: Box::new(equality_fn) };
+        let fs = FoolingSet {
+            m,
+            n,
+            pairs,
+            value: true,
+            f: Box::new(equality_fn),
+        };
         fs.verify().unwrap();
         let g = topology::bidirectional_ring(n);
         assert_eq!(

@@ -15,7 +15,11 @@
 //! (Section 2.3), which is defined for synchronous interaction.
 
 use std::collections::HashMap;
+use std::hash::Hasher;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 
+use crate::engine::Simulation;
 use crate::error::CoreError;
 use crate::label::Label;
 use crate::protocol::Protocol;
@@ -81,8 +85,83 @@ impl<L> SyncOutcome<L> {
     }
 }
 
+/// An FxHash-style multiplicative [`Hasher`] with a fixed seed: one
+/// rotate-xor-multiply per 8-byte word, ~4× faster than SipHash on the
+/// wide labelings the classifier fingerprints. Not collision-resistant
+/// against adversaries — which is fine, because every fingerprint hit is
+/// confirmed by exact equality against the history arena.
+#[derive(Default)]
+struct FxHasher {
+    hash: u64,
+}
+
+/// The golden-ratio multiplier used by rustc's FxHash.
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    fn write_u8(&mut self, i: u8) {
+        self.add(u64::from(i));
+    }
+
+    fn write_u32(&mut self, i: u32) {
+        self.add(u64::from(i));
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+/// Seeded 64-bit fingerprint of a labeling ([`FxHasher`] over every
+/// label's `Hash` image). Fingerprints index the visited-state table;
+/// exact equality against the history arena confirms every hit, so
+/// collisions cost a comparison but never an incorrect classification.
+fn fingerprint<L: Label>(labeling: &[L]) -> u64 {
+    let mut h = FxHasher {
+        hash: labeling.len() as u64,
+    };
+    for l in labeling {
+        l.hash(&mut h);
+    }
+    h.finish()
+}
+
 /// Runs `protocol` synchronously from `initial` and classifies the run by
-/// exact cycle detection (hashing every visited labeling).
+/// exact cycle detection.
+///
+/// The hot loop runs through the engine's allocation-free
+/// [`step_sync`](Simulation::step_sync) path; visited labelings are
+/// indexed by 64-bit [fingerprints](fingerprint) into a flat history
+/// arena (one contiguous `Vec<L>`), with exact equality confirmation on
+/// every fingerprint hit — classification stays exact, but no per-round
+/// `HashMap<Vec<L>, _>` key clones are made.
 ///
 /// Memory is proportional to the number of distinct labelings visited,
 /// which is at most `|Σ|^|E|` — use only where that is acceptable; the cap
@@ -94,6 +173,120 @@ impl<L> SyncOutcome<L> {
 /// labelings were visited without closing a cycle, and validation errors
 /// for mismatched lengths.
 pub fn classify_sync<L: Label>(
+    protocol: &Protocol<L>,
+    inputs: &[Input],
+    initial: Vec<L>,
+    max_states: usize,
+) -> Result<SyncOutcome<L>, CoreError> {
+    let n = protocol.node_count();
+    let e = protocol.edge_count();
+    let mut sim = Simulation::new(protocol, inputs, initial)?;
+    // Flat arenas: labeling of round t lives at arena[t*e..(t+1)*e], the
+    // outputs produced by the step into round t at out_arena[t*n..(t+1)*n]
+    // (round 0 holds the pre-run placeholder and is never inspected).
+    let mut arena: Vec<L> = Vec::with_capacity(e * 64.min(max_states + 1));
+    let mut out_arena: Vec<Output> = Vec::with_capacity(n * 64.min(max_states + 1));
+    // fingerprint → first round whose labeling hashed to it. The map is
+    // keyed through FxHasher (fingerprints are already well-mixed 64-bit
+    // words — SipHashing them again would waste the FxHash fast path) and
+    // stores a bare round index; the rare extra rounds on a genuine
+    // 64-bit collision go to the `collisions` side list, so no per-entry
+    // heap allocation happens on the common path.
+    let mut seen: HashMap<u64, u64, std::hash::BuildHasherDefault<FxHasher>> = HashMap::default();
+    let mut collisions: Vec<(u64, u64)> = Vec::new();
+    arena.extend_from_slice(sim.labeling());
+    out_arena.extend(std::iter::repeat_n(0, n));
+    seen.insert(fingerprint(sim.labeling()), 0);
+
+    for t in 1..=(max_states as u64) {
+        sim.step_sync();
+        let current = sim.labeling();
+        let fp = fingerprint(current);
+        let confirmed = |s: u64| &arena[s as usize * e..(s as usize + 1) * e] == current;
+        let hit = match seen.entry(fp) {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(t);
+                None
+            }
+            std::collections::hash_map::Entry::Occupied(o) => {
+                let first = *o.get();
+                if confirmed(first) {
+                    Some(first)
+                } else {
+                    // 64-bit collision: consult (and extend) the side list.
+                    let extra = collisions
+                        .iter()
+                        .filter(|&&(f, _)| f == fp)
+                        .map(|&(_, s)| s)
+                        .find(|&s| confirmed(s));
+                    if extra.is_none() {
+                        collisions.push((fp, t));
+                    }
+                    extra
+                }
+            }
+        };
+        let Some(s) = hit else {
+            arena.extend_from_slice(current);
+            out_arena.extend_from_slice(sim.outputs());
+            continue;
+        };
+        let period = t - s;
+        if period == 1 {
+            // Fixed point. Visited labelings before it are pairwise
+            // distinct (a repeat would have closed a cycle earlier), so the
+            // first round the stable labeling held is `s` itself; the
+            // outputs of the step out of it are the post-stabilization
+            // outputs.
+            return Ok(SyncOutcome::LabelStable {
+                round: s,
+                labeling: current.to_vec(),
+                outputs: sim.outputs().to_vec(),
+            });
+        }
+        out_arena.extend_from_slice(sim.outputs());
+        // Outputs along the cycle are rounds s+1 ..= t (the step out of
+        // round s produced round s+1's outputs, and the cycle repeats).
+        let outs_of = |r: u64| &out_arena[r as usize * n..(r as usize + 1) * n];
+        let constant = (s + 1..t).all(|r| outs_of(r) == outs_of(r + 1));
+        let outputs_stable = if constant {
+            let final_outputs = outs_of(s + 1).to_vec();
+            // Earliest round after which outputs never changed: walk back
+            // from the end of recorded history.
+            let mut round = s + 1;
+            for back in (1..=t).rev() {
+                if outs_of(back) != final_outputs {
+                    round = back + 1;
+                    break;
+                }
+                round = back;
+            }
+            Some((round, final_outputs))
+        } else {
+            None
+        };
+        return Ok(SyncOutcome::Oscillating {
+            cycle_start: s,
+            period,
+            outputs_stable,
+        });
+    }
+    Err(CoreError::NotConverged {
+        steps: max_states as u64,
+    })
+}
+
+/// Reference implementation of [`classify_sync`]: the original
+/// clone-per-round `HashMap<Vec<L>, u64>` cycle detector stepping through
+/// the allocating [`Protocol::apply`] path. Kept for differential testing
+/// and as the baseline in the `convergence` bench; the two must agree on
+/// every input.
+///
+/// # Errors
+///
+/// As for [`classify_sync`].
+#[doc(hidden)]
+pub fn classify_sync_naive<L: Label>(
     protocol: &Protocol<L>,
     inputs: &[Input],
     initial: Vec<L>,
@@ -130,7 +323,11 @@ pub fn classify_sync<L: Label>(
                     .expect("fixed point was visited") as u64;
                 // Outputs after stabilization: produced by stepping from the
                 // stable labeling.
-                return Ok(SyncOutcome::LabelStable { round, labeling: next, outputs: outs });
+                return Ok(SyncOutcome::LabelStable {
+                    round,
+                    labeling: next,
+                    outputs: outs,
+                });
             }
             history.push(next.clone());
             outputs_history.push(outs);
@@ -155,14 +352,20 @@ pub fn classify_sync<L: Label>(
             } else {
                 None
             };
-            return Ok(SyncOutcome::Oscillating { cycle_start: s, period, outputs_stable });
+            return Ok(SyncOutcome::Oscillating {
+                cycle_start: s,
+                period,
+                outputs_stable,
+            });
         }
         seen.insert(next.clone(), t);
         history.push(next.clone());
         outputs_history.push(outs);
         current = next;
     }
-    Err(CoreError::NotConverged { steps: max_states as u64 })
+    Err(CoreError::NotConverged {
+        steps: max_states as u64,
+    })
 }
 
 /// Measures the synchronous round complexity of `protocol` over a set of
@@ -188,11 +391,231 @@ pub fn sync_round_complexity<L: Label>(
     Ok(Some(worst))
 }
 
+/// Work-batch size for the parallel sweep drivers: large enough to
+/// amortize the shared-iterator lock, small enough to balance uneven
+/// per-initial classification costs.
+const PAR_BATCH: usize = 64;
+
+/// Applies `f` to every initial labeling, in parallel across all available
+/// cores, and returns the results **in input order**.
+///
+/// Workers pull batches of [`PAR_BATCH`] labelings from the shared
+/// iterator (so `initials` may be a lazy generator like
+/// [`all_labelings`] — the full sweep is never materialized at once) and
+/// run `f` on each. `Protocol` is `Send + Sync` (reactions are `Arc`ed),
+/// so `f` can capture one and drive per-worker simulations.
+///
+/// # Examples
+///
+/// ```
+/// use stateless_core::convergence::{all_labelings, par_sweep};
+///
+/// let ones = par_sweep(all_labelings(&[false, true], 8), |l| {
+///     l.iter().filter(|&&b| b).count()
+/// });
+/// assert_eq!(ones.len(), 256);
+/// assert_eq!(ones.iter().sum::<usize>(), 8 * 128);
+/// ```
+pub fn par_sweep<L, T, I, F>(initials: I, f: F) -> Vec<T>
+where
+    L: Label,
+    T: Send,
+    I: IntoIterator<Item = Vec<L>>,
+    I::IntoIter: Send,
+    F: Fn(Vec<L>) -> T + Sync,
+{
+    par_sweep_init_with_workers(rayon::current_num_threads(), || (), initials, |(), l| f(l))
+}
+
+/// [`par_sweep`] with per-worker scratch state: `init` builds one `S` per
+/// worker and `f` receives it mutably alongside each labeling, so sweep
+/// bodies can reuse buffers across items instead of allocating per probe
+/// (e.g. the scratch pair of
+/// [`Protocol::is_stable_labeling_buffered`]).
+pub fn par_sweep_init<L, T, S, I, FI, F>(init: FI, initials: I, f: F) -> Vec<T>
+where
+    L: Label,
+    T: Send,
+    I: IntoIterator<Item = Vec<L>>,
+    I::IntoIter: Send,
+    FI: Fn() -> S + Sync,
+    F: Fn(&mut S, Vec<L>) -> T + Sync,
+{
+    par_sweep_init_with_workers(rayon::current_num_threads(), init, initials, f)
+}
+
+/// [`par_sweep_init`] with an explicit worker count (tests exercise the
+/// threaded path regardless of the host's core count).
+fn par_sweep_init_with_workers<L, T, S, I, FI, F>(
+    workers: usize,
+    init: FI,
+    initials: I,
+    f: F,
+) -> Vec<T>
+where
+    L: Label,
+    T: Send,
+    I: IntoIterator<Item = Vec<L>>,
+    I::IntoIter: Send,
+    FI: Fn() -> S + Sync,
+    F: Fn(&mut S, Vec<L>) -> T + Sync,
+{
+    if workers <= 1 {
+        // No parallelism available: skip the worker machinery entirely.
+        let mut state = init();
+        return initials.into_iter().map(|l| f(&mut state, l)).collect();
+    }
+    let iter = Mutex::new(initials.into_iter().enumerate());
+    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::new());
+    rayon::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                let mut state = init();
+                let mut batch: Vec<(usize, Vec<L>)> = Vec::with_capacity(PAR_BATCH);
+                loop {
+                    {
+                        let mut it = iter.lock().expect("sweep iterator lock");
+                        batch.extend(it.by_ref().take(PAR_BATCH));
+                    }
+                    if batch.is_empty() {
+                        break;
+                    }
+                    let mut local: Vec<(usize, T)> = batch
+                        .drain(..)
+                        .map(|(i, l)| (i, f(&mut state, l)))
+                        .collect();
+                    results
+                        .lock()
+                        .expect("sweep results lock")
+                        .append(&mut local);
+                }
+            });
+        }
+    });
+    let mut results = results.into_inner().expect("sweep workers joined");
+    results.sort_unstable_by_key(|&(i, _)| i);
+    results.into_iter().map(|(_, t)| t).collect()
+}
+
+/// Parallel [`sync_round_complexity`]: classifies every initial labeling
+/// concurrently (batched over all cores) and folds the worst
+/// stabilization round. Stops early as soon as any run oscillates.
+///
+/// When every run classifies cleanly the result is identical to the
+/// sequential driver. When the sweep contains both an oscillating run and
+/// a failing one, an oscillation verdict (`Ok(None)`) deterministically
+/// wins here — it is a conclusive statement about the protocol regardless
+/// of the budget failure — whereas the sequential driver returns
+/// whichever it encounters first in iteration order. (Consequently a
+/// classification error stops nothing: the sweep runs to completion —
+/// or to the first oscillation — before the error is reported.) When
+/// several runs fail and none oscillates, which error is reported is
+/// nondeterministic.
+///
+/// # Errors
+///
+/// Propagates [`classify_sync`] errors.
+pub fn sync_round_complexity_par<L, I>(
+    protocol: &Protocol<L>,
+    inputs: &[Input],
+    initials: I,
+    max_states: usize,
+) -> Result<Option<u64>, CoreError>
+where
+    L: Label,
+    I: IntoIterator<Item = Vec<L>>,
+    I::IntoIter: Send,
+{
+    sync_round_complexity_par_with_workers(
+        rayon::current_num_threads(),
+        protocol,
+        inputs,
+        initials,
+        max_states,
+    )
+}
+
+/// [`sync_round_complexity_par`] with an explicit worker count.
+fn sync_round_complexity_par_with_workers<L, I>(
+    workers: usize,
+    protocol: &Protocol<L>,
+    inputs: &[Input],
+    initials: I,
+    max_states: usize,
+) -> Result<Option<u64>, CoreError>
+where
+    L: Label,
+    I: IntoIterator<Item = Vec<L>>,
+    I::IntoIter: Send,
+{
+    if workers <= 1 {
+        return sync_round_complexity(protocol, inputs, initials, max_states);
+    }
+    let iter = Mutex::new(initials.into_iter());
+    let stop = AtomicBool::new(false);
+    let oscillating = AtomicBool::new(false);
+    let worst = AtomicU64::new(0);
+    let error: Mutex<Option<CoreError>> = Mutex::new(None);
+    rayon::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                let mut batch: Vec<Vec<L>> = Vec::with_capacity(PAR_BATCH);
+                while !stop.load(Ordering::Relaxed) {
+                    {
+                        let mut it = iter.lock().expect("sweep iterator lock");
+                        batch.extend(it.by_ref().take(PAR_BATCH));
+                    }
+                    if batch.is_empty() {
+                        break;
+                    }
+                    for initial in batch.drain(..) {
+                        if stop.load(Ordering::Relaxed) {
+                            continue;
+                        }
+                        match classify_sync(protocol, inputs, initial, max_states) {
+                            Ok(SyncOutcome::LabelStable { round, .. }) => {
+                                worst.fetch_max(round, Ordering::Relaxed);
+                            }
+                            Ok(SyncOutcome::Oscillating { .. }) => {
+                                oscillating.store(true, Ordering::Relaxed);
+                                stop.store(true, Ordering::Relaxed);
+                            }
+                            Err(e) => {
+                                // Record the error but keep sweeping: a
+                                // later oscillation verdict overrides it
+                                // (setting `stop` here would starve that
+                                // check and break the documented
+                                // precedence).
+                                let mut slot = error.lock().expect("sweep error lock");
+                                slot.get_or_insert(e);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    // Oscillation is checked before errors: it is a final verdict about
+    // the protocol, while an error only says some *other* run blew its
+    // classification budget (see the doc above).
+    if oscillating.load(Ordering::Relaxed) {
+        return Ok(None);
+    }
+    if let Some(e) = error.into_inner().expect("sweep workers joined") {
+        return Err(e);
+    }
+    Ok(Some(worst.load(Ordering::Relaxed)))
+}
+
 /// Enumerates all labelings of a graph with `edges` edges over the label
 /// alphabet `alphabet` (cartesian power). Intended for exhaustive sweeps on
 /// tiny instances; the iterator yields `|alphabet|^edges` items.
 pub fn all_labelings<L: Label>(alphabet: &[L], edges: usize) -> AllLabelings<L> {
-    AllLabelings { alphabet: alphabet.to_vec(), counters: vec![0; edges], done: alphabet.is_empty() && edges > 0 }
+    AllLabelings {
+        alphabet: alphabet.to_vec(),
+        counters: vec![0; edges],
+        done: alphabet.is_empty() && edges > 0,
+    }
 }
 
 /// Iterator over all labelings; see [`all_labelings`].
@@ -210,8 +633,11 @@ impl<L: Label> Iterator for AllLabelings<L> {
         if self.done {
             return None;
         }
-        let item: Vec<L> =
-            self.counters.iter().map(|&c| self.alphabet[c].clone()).collect();
+        let item: Vec<L> = self
+            .counters
+            .iter()
+            .map(|&c| self.alphabet[c].clone())
+            .collect();
         // Increment odometer.
         let mut i = 0;
         loop {
@@ -261,7 +687,11 @@ mod tests {
         let p = max_ring(4);
         let outcome = classify_sync(&p, &[1, 2, 3, 4], vec![0; 4], 10_000).unwrap();
         match outcome {
-            SyncOutcome::LabelStable { round, labeling, outputs } => {
+            SyncOutcome::LabelStable {
+                round,
+                labeling,
+                outputs,
+            } => {
                 assert!(round <= 4);
                 assert_eq!(labeling, vec![4; 4]);
                 assert_eq!(outputs, vec![4; 4]);
@@ -275,7 +705,11 @@ mod tests {
         let p = rotate_ring(3);
         let outcome = classify_sync(&p, &[0; 3], vec![7, 8, 9], 10_000).unwrap();
         match outcome {
-            SyncOutcome::Oscillating { cycle_start, period, outputs_stable } => {
+            SyncOutcome::Oscillating {
+                cycle_start,
+                period,
+                outputs_stable,
+            } => {
                 assert_eq!(cycle_start, 0);
                 assert_eq!(period, 3);
                 assert!(outputs_stable.is_none(), "rotating distinct outputs");
@@ -321,7 +755,10 @@ mod tests {
     fn round_complexity_none_on_oscillators() {
         let p = rotate_ring(3);
         let initials = vec![vec![0u64, 1, 2]];
-        assert_eq!(sync_round_complexity(&p, &[0; 3], initials, 1000).unwrap(), None);
+        assert_eq!(
+            sync_round_complexity(&p, &[0; 3], initials, 1000).unwrap(),
+            None
+        );
     }
 
     #[test]
@@ -338,6 +775,170 @@ mod tests {
     fn all_labelings_zero_edges_is_single_empty() {
         let all: Vec<Vec<bool>> = all_labelings(&[false, true], 0).collect();
         assert_eq!(all, vec![Vec::<bool>::new()]);
+    }
+
+    #[test]
+    fn fingerprint_classifier_agrees_with_naive_reference() {
+        // Stabilizing, oscillating, and output-stable-only runs must be
+        // classified identically by both implementations.
+        let cases: Vec<(Protocol<u64>, Vec<Input>, Vec<u64>)> = vec![
+            (max_ring(4), vec![1, 2, 3, 4], vec![0; 4]),
+            (max_ring(3), vec![0, 0, 0], vec![9, 1, 5]),
+            (rotate_ring(3), vec![0; 3], vec![7, 8, 9]),
+            (rotate_ring(4), vec![0; 4], vec![1, 1, 2, 2]),
+        ];
+        for (p, inputs, init) in cases {
+            let fast = classify_sync(&p, &inputs, init.clone(), 10_000).unwrap();
+            let naive = classify_sync_naive(&p, &inputs, init, 10_000).unwrap();
+            assert_eq!(fast, naive);
+        }
+        // The constant-outputs oscillator exercises the outputs_stable arm.
+        let p = Protocol::builder(topology::unidirectional_ring(3), 8.0)
+            .uniform_reaction(FnReaction::new(|_, incoming: &[u64], _| {
+                (vec![incoming[0].wrapping_add(1) % 2], 42)
+            }))
+            .build()
+            .unwrap();
+        let fast = classify_sync(&p, &[0; 3], vec![0, 1, 0], 10_000).unwrap();
+        let naive = classify_sync_naive(&p, &[0; 3], vec![0, 1, 0], 10_000).unwrap();
+        assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn parallel_round_complexity_matches_sequential() {
+        let p = max_ring(3);
+        let initials: Vec<Vec<u64>> = all_labelings(&[0u64, 1, 2], 3).collect();
+        let seq = sync_round_complexity(&p, &[0, 1, 2], initials.clone(), 10_000).unwrap();
+        // Exercise the threaded path explicitly (the public entry point
+        // may fall back to sequential on single-core hosts) and the
+        // fallback.
+        for workers in [1, 4] {
+            let par = sync_round_complexity_par_with_workers(
+                workers,
+                &p,
+                &[0, 1, 2],
+                initials.clone(),
+                10_000,
+            )
+            .unwrap();
+            assert_eq!(seq, par, "workers = {workers}");
+            assert!(par.is_some());
+        }
+        let public = sync_round_complexity_par(&p, &[0, 1, 2], initials, 10_000).unwrap();
+        assert_eq!(seq, public);
+    }
+
+    #[test]
+    fn parallel_round_complexity_detects_oscillation() {
+        let p = rotate_ring(3);
+        for workers in [1, 4] {
+            let initials = all_labelings(&[0u64, 1], 3);
+            assert_eq!(
+                sync_round_complexity_par_with_workers(workers, &p, &[0; 3], initials, 1000)
+                    .unwrap(),
+                None,
+                "workers = {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_round_complexity_propagates_errors() {
+        let p = Protocol::builder(topology::unidirectional_ring(2), 64.0)
+            .uniform_reaction(FnReaction::new(|_, incoming: &[u64], _| {
+                (vec![incoming[0] + 1], 0)
+            }))
+            .build()
+            .unwrap();
+        for workers in [1, 4] {
+            let err = sync_round_complexity_par_with_workers(
+                workers,
+                &p,
+                &[0, 0],
+                vec![vec![0u64, 0]],
+                100,
+            )
+            .unwrap_err();
+            assert_eq!(
+                err,
+                CoreError::NotConverged { steps: 100 },
+                "workers = {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_sweep_preserves_input_order() {
+        for workers in [1, 4] {
+            let initials: Vec<Vec<u64>> = (0..500).map(|i| vec![i]).collect();
+            let doubled = par_sweep_init_with_workers(workers, || (), initials, |(), l| l[0] * 2);
+            assert_eq!(doubled.len(), 500);
+            for (i, v) in doubled.into_iter().enumerate() {
+                assert_eq!(v, 2 * i as u64, "workers = {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_sweep_init_reuses_worker_state() {
+        for workers in [1, 4] {
+            let initials: Vec<Vec<u64>> = (0..300).map(|i| vec![i]).collect();
+            // Each worker counts its own items in its scratch state; the
+            // returned running counts prove states persist across items.
+            let counts = par_sweep_init_with_workers(
+                workers,
+                || 0u64,
+                initials,
+                |count, _l| {
+                    *count += 1;
+                    *count
+                },
+            );
+            assert_eq!(counts.len(), 300);
+            let max_seen = counts.iter().max().copied().unwrap();
+            assert!(max_seen > 1, "workers = {workers}: state was not reused");
+            // One count-1 entry per worker that got items (a fast worker
+            // may drain every batch, so only a lower/upper bound holds).
+            let fresh = counts.iter().filter(|&&c| c == 1).count();
+            assert!(
+                (1..=workers).contains(&fresh),
+                "workers = {workers}: {fresh} fresh states"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_oscillation_verdict_beats_budget_error() {
+        // One initial blows the classification budget (counter grows
+        // unboundedly), another oscillates. The documented precedence:
+        // the oscillation verdict (Ok(None)) must win, even when the
+        // failing run is classified first.
+        let p = Protocol::builder(topology::unidirectional_ring(2), 64.0)
+            .uniform_reaction(FnReaction::new(|_, incoming: &[u64], _| {
+                // Labels below 1000 grow forever (budget blower); labels
+                // at 1000/1001 swap forever (oscillator).
+                let next = match incoming[0] {
+                    1000 => 1001,
+                    1001 => 1000,
+                    v => v + 1,
+                };
+                (vec![next], 0)
+            }))
+            .build()
+            .unwrap();
+        // [1000, 1000] ↔ [1001, 1001] is a period-2 cycle; [0, 0] grows
+        // past the 50-state budget.
+        let initials = vec![vec![0u64, 0], vec![1000u64, 1000]];
+        for workers in [1, 4] {
+            let got =
+                sync_round_complexity_par_with_workers(workers, &p, &[0, 0], initials.clone(), 50);
+            if workers == 1 {
+                // Sequential fallback hits the failing run first.
+                assert_eq!(got.unwrap_err(), CoreError::NotConverged { steps: 50 });
+            } else {
+                assert_eq!(got.unwrap(), None, "oscillation wins over the error");
+            }
+        }
     }
 
     #[test]

@@ -13,6 +13,23 @@ use crate::{Input, NodeId, Output};
 /// step `t` read the labeling from the *end of step `t−1`* and their writes
 /// are committed simultaneously.
 ///
+/// # Performance
+///
+/// The step loop is allocation-free after warm-up for cheap-to-clone
+/// labels: incoming labels are gathered into a reusable scratch buffer
+/// (degree-1 nodes borrow straight from the labeling), reactions write
+/// through
+/// [`Reaction::react_into`](crate::reaction::Reaction::react_into) into a
+/// reusable CSR-ordered outgoing buffer, and the deferred scatter swaps
+/// labels into place. The synchronous schedule additionally skips the
+/// activation list and reuses the outgoing buffer *in place* across
+/// rounds, so heap-carrying labels (e.g. `Vec`-backed ones) also recycle
+/// their capacity ([`step_sync`](Simulation::step_sync));
+/// [`run`](Simulation::run) dispatches to it automatically. On the
+/// asynchronous path, heap-carrying labels still pay one clone per
+/// touched edge per step (the prefill); `Copy`-style labels do not
+/// allocate anywhere.
+///
 /// # Examples
 ///
 /// See the crate-level quickstart.
@@ -23,6 +40,15 @@ pub struct Simulation<'p, L: Label> {
     outputs: Vec<Output>,
     inputs: Vec<Input>,
     time: u64,
+    /// Per-node incoming-label gather buffer (reused across activations).
+    in_buf: Vec<L>,
+    /// Flat outgoing-label buffer for the whole step, CSR-ordered by
+    /// activation: each activated node owns one contiguous span.
+    out_buf: Vec<L>,
+    /// `(node, start offset into out_buf)` for the deferred scatter.
+    out_spans: Vec<(NodeId, usize)>,
+    /// Scratch for the stability probe in the run-until loops.
+    stable_buf: Vec<L>,
 }
 
 impl<'p, L: Label> Simulation<'p, L> {
@@ -47,6 +73,10 @@ impl<'p, L: Label> Simulation<'p, L> {
             outputs: vec![0; protocol.node_count()],
             inputs: inputs.to_vec(),
             time: 0,
+            in_buf: Vec::new(),
+            out_buf: Vec::with_capacity(protocol.edge_count()),
+            out_spans: Vec::new(),
+            stable_buf: Vec::new(),
         })
     }
 
@@ -85,6 +115,120 @@ impl<'p, L: Label> Simulation<'p, L> {
     /// labels or an activation names a nonexistent node — both are bugs in
     /// the caller's protocol, not runtime conditions.
     pub fn step_with(&mut self, active: &[NodeId]) {
+        let graph = self.protocol.graph();
+        self.out_buf.clear();
+        self.out_spans.clear();
+        for &node in active {
+            assert!(
+                node < self.protocol.node_count(),
+                "activation of nonexistent node {node}"
+            );
+            // Gather the node's incoming labels; every read happens before
+            // any write (the scatter below), so simultaneity holds. A
+            // single incoming edge borrows straight from the labeling —
+            // no copy.
+            let in_edges = graph.in_edges(node);
+            let incoming: &[L] = if let [e] = *in_edges {
+                std::slice::from_ref(&self.labeling[e])
+            } else {
+                self.in_buf.clear();
+                self.in_buf
+                    .extend(in_edges.iter().map(|&e| self.labeling[e].clone()));
+                &self.in_buf
+            };
+            // Prefill the node's outgoing span with its current labels
+            // (react_into's buffer contract) and react in place.
+            let start = self.out_buf.len();
+            self.out_buf.extend(
+                graph
+                    .out_edges(node)
+                    .iter()
+                    .map(|&e| self.labeling[e].clone()),
+            );
+            self.outputs[node] = self.protocol.reaction(node).react_into(
+                node,
+                incoming,
+                self.inputs[node],
+                &mut self.out_buf[start..],
+            );
+            self.out_spans.push((node, start));
+        }
+        // Deferred scatter: commit all writes together. Duplicate
+        // activations are harmless — reactions are deterministic, so both
+        // spans hold identical labels.
+        for &(node, start) in &self.out_spans {
+            for (k, &e) in graph.out_edges(node).iter().enumerate() {
+                std::mem::swap(&mut self.labeling[e], &mut self.out_buf[start + k]);
+            }
+        }
+        self.time += 1;
+    }
+
+    /// Executes one *synchronous* step (every node activated): the fast
+    /// path behind [`run`](Simulation::run) with
+    /// [`Synchronous`](crate::schedule::Synchronous). Skips the activation
+    /// list and the span bookkeeping of
+    /// [`step_with`](Simulation::step_with); behaviorally identical to
+    /// `step_with(&[0, 1, …, n−1])`.
+    pub fn step_sync(&mut self) {
+        let graph = self.protocol.graph();
+        let n = self.protocol.node_count();
+        // Reuse out_buf *in place* across synchronous steps: after a full
+        // step it holds exactly edge_count() labels (the previous round's
+        // swapped-out values — a legal "unspecified contents" prefill per
+        // the react_into contract), so in-place reactions recycle their
+        // heap capacity instead of the engine re-cloning every outgoing
+        // label each round. Only the first step (or one following a
+        // partial step_with) pays the prefill clone.
+        let prefilled = self.out_buf.len() == self.protocol.edge_count();
+        if !prefilled {
+            self.out_buf.clear();
+        }
+        let mut start = 0;
+        for node in 0..n {
+            let in_edges = graph.in_edges(node);
+            let incoming: &[L] = if let [e] = *in_edges {
+                std::slice::from_ref(&self.labeling[e])
+            } else {
+                self.in_buf.clear();
+                self.in_buf
+                    .extend(in_edges.iter().map(|&e| self.labeling[e].clone()));
+                &self.in_buf
+            };
+            let deg = graph.out_degree(node);
+            if !prefilled {
+                self.out_buf.extend(
+                    graph
+                        .out_edges(node)
+                        .iter()
+                        .map(|&e| self.labeling[e].clone()),
+                );
+            }
+            self.outputs[node] = self.protocol.reaction(node).react_into(
+                node,
+                incoming,
+                self.inputs[node],
+                &mut self.out_buf[start..start + deg],
+            );
+            start += deg;
+        }
+        // Scatter: out_buf is CSR-ordered by node, so spans are implicit.
+        let mut off = 0;
+        for node in 0..n {
+            for &e in graph.out_edges(node) {
+                std::mem::swap(&mut self.labeling[e], &mut self.out_buf[off]);
+                off += 1;
+            }
+        }
+        self.time += 1;
+    }
+
+    /// Reference implementation of [`step_with`](Simulation::step_with)
+    /// through the allocating [`Protocol::apply`] path. Kept for
+    /// differential testing and as the baseline in the `engine` bench; not
+    /// used by any hot path.
+    #[doc(hidden)]
+    pub fn step_with_naive(&mut self, active: &[NodeId]) {
         let mut writes: Vec<(NodeId, Vec<L>, Output)> = Vec::with_capacity(active.len());
         for &node in active {
             assert!(
@@ -98,7 +242,10 @@ impl<'p, L: Label> Simulation<'p, L> {
             writes.push((node, outgoing, output));
         }
         for (node, outgoing, output) in writes {
-            for (slot, &e) in outgoing.into_iter().zip(self.protocol.graph().out_edges(node)) {
+            for (slot, &e) in outgoing
+                .into_iter()
+                .zip(self.protocol.graph().out_edges(node))
+            {
                 self.labeling[e] = slot;
             }
             self.outputs[node] = output;
@@ -106,8 +253,15 @@ impl<'p, L: Label> Simulation<'p, L> {
         self.time += 1;
     }
 
-    /// Runs `steps` steps under `schedule`.
+    /// Runs `steps` steps under `schedule`. Synchronous schedules are
+    /// dispatched to the [`step_sync`](Simulation::step_sync) fast path.
     pub fn run(&mut self, schedule: &mut dyn Schedule, steps: u64) {
+        if schedule.is_synchronous() {
+            for _ in 0..steps {
+                self.step_sync();
+            }
+            return;
+        }
         for _ in 0..steps {
             let active = schedule.activations(self.time + 1, self.protocol.node_count());
             self.step_with(&active);
@@ -139,18 +293,34 @@ impl<'p, L: Label> Simulation<'p, L> {
         max_steps: u64,
     ) -> Result<u64, CoreError> {
         let start = self.time;
+        let sync = schedule.is_synchronous();
         for _ in 0..max_steps {
-            if self.is_label_stable() {
+            if self.is_label_stable_buffered() {
                 return Ok(self.time - start);
             }
-            let active = schedule.activations(self.time + 1, self.protocol.node_count());
-            self.step_with(&active);
+            if sync {
+                self.step_sync();
+            } else {
+                let active = schedule.activations(self.time + 1, self.protocol.node_count());
+                self.step_with(&active);
+            }
         }
-        if self.is_label_stable() {
+        if self.is_label_stable_buffered() {
             Ok(self.time - start)
         } else {
             Err(CoreError::NotConverged { steps: max_steps })
         }
+    }
+
+    /// Allocation-free stability probe reusing the simulation's scratch
+    /// buffers.
+    fn is_label_stable_buffered(&mut self) -> bool {
+        self.protocol.is_stable_labeling_buffered(
+            &self.labeling,
+            &self.inputs,
+            &mut self.in_buf,
+            &mut self.stable_buf,
+        )
     }
 
     /// Runs under `schedule` until the *outputs* stop changing for
@@ -168,11 +338,16 @@ impl<'p, L: Label> Simulation<'p, L> {
         max_steps: u64,
     ) -> Result<u64, CoreError> {
         let start = self.time;
+        let sync = schedule.is_synchronous();
         let mut last_change = 0u64;
         let mut prev = self.outputs.clone();
         for _ in 0..max_steps {
-            let active = schedule.activations(self.time + 1, self.protocol.node_count());
-            self.step_with(&active);
+            if sync {
+                self.step_sync();
+            } else {
+                let active = schedule.activations(self.time + 1, self.protocol.node_count());
+                self.step_with(&active);
+            }
             if self.outputs != prev {
                 last_change = self.time - start;
                 prev = self.outputs.clone();
@@ -267,7 +442,9 @@ mod tests {
     fn rotation_never_label_stabilizes() {
         let p = rotate_ring(3);
         let mut sim = Simulation::new(&p, &[0; 3], vec![1, 2, 3]).unwrap();
-        let err = sim.run_until_label_stable(&mut Synchronous, 50).unwrap_err();
+        let err = sim
+            .run_until_label_stable(&mut Synchronous, 50)
+            .unwrap_err();
         assert_eq!(err, CoreError::NotConverged { steps: 50 });
     }
 

@@ -95,13 +95,19 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::NodeOutOfRange { node, node_count } => {
-                write!(f, "node {node} out of range for graph with {node_count} nodes")
+                write!(
+                    f,
+                    "node {node} out of range for graph with {node_count} nodes"
+                )
             }
             CoreError::DuplicateEdge { from, to } => {
                 write!(f, "duplicate edge ({from}, {to}); graphs are simple")
             }
             CoreError::SelfLoop { node } => {
-                write!(f, "self-loop on node {node}; stateless nodes have no self-edges")
+                write!(
+                    f,
+                    "self-loop on node {node}; stateless nodes have no self-edges"
+                )
             }
             CoreError::NotStronglyConnected => {
                 write!(f, "graph is not strongly connected")
@@ -109,7 +115,11 @@ impl fmt::Display for CoreError {
             CoreError::MissingReaction { node } => {
                 write!(f, "no reaction function supplied for node {node}")
             }
-            CoreError::WrongOutgoingArity { node, got, expected } => write!(
+            CoreError::WrongOutgoingArity {
+                node,
+                got,
+                expected,
+            } => write!(
                 f,
                 "reaction of node {node} returned {got} outgoing labels, expected {expected}"
             ),
@@ -117,7 +127,10 @@ impl fmt::Display for CoreError {
                 write!(f, "labeling has length {got}, graph has {expected} edges")
             }
             CoreError::WrongInputLength { got, expected } => {
-                write!(f, "input vector has length {got}, graph has {expected} nodes")
+                write!(
+                    f,
+                    "input vector has length {got}, graph has {expected} nodes"
+                )
             }
             CoreError::NotConverged { steps } => {
                 write!(f, "run did not converge within {steps} steps")
@@ -126,7 +139,10 @@ impl fmt::Display for CoreError {
                 write!(f, "invalid parameter: {what}")
             }
             CoreError::EdgeOutOfRange { edge, edge_count } => {
-                write!(f, "edge {edge} out of range for graph with {edge_count} edges")
+                write!(
+                    f,
+                    "edge {edge} out of range for graph with {edge_count} edges"
+                )
             }
         }
     }
@@ -141,17 +157,35 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase() {
         let cases = [
-            CoreError::NodeOutOfRange { node: 1, node_count: 1 },
+            CoreError::NodeOutOfRange {
+                node: 1,
+                node_count: 1,
+            },
             CoreError::DuplicateEdge { from: 0, to: 1 },
             CoreError::SelfLoop { node: 2 },
             CoreError::NotStronglyConnected,
             CoreError::MissingReaction { node: 0 },
-            CoreError::WrongOutgoingArity { node: 0, got: 1, expected: 2 },
-            CoreError::WrongLabelingLength { got: 1, expected: 2 },
-            CoreError::WrongInputLength { got: 1, expected: 2 },
+            CoreError::WrongOutgoingArity {
+                node: 0,
+                got: 1,
+                expected: 2,
+            },
+            CoreError::WrongLabelingLength {
+                got: 1,
+                expected: 2,
+            },
+            CoreError::WrongInputLength {
+                got: 1,
+                expected: 2,
+            },
             CoreError::NotConverged { steps: 10 },
-            CoreError::InvalidParameter { what: "n must be odd".into() },
-            CoreError::EdgeOutOfRange { edge: 9, edge_count: 2 },
+            CoreError::InvalidParameter {
+                what: "n must be odd".into(),
+            },
+            CoreError::EdgeOutOfRange {
+                edge: 9,
+                edge_count: 2,
+            },
         ];
         for c in cases {
             let s = c.to_string();

@@ -57,7 +57,10 @@ impl DiGraph {
     pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> Result<EdgeId, CoreError> {
         for node in [from, to] {
             if node >= self.node_count {
-                return Err(CoreError::NodeOutOfRange { node, node_count: self.node_count });
+                return Err(CoreError::NodeOutOfRange {
+                    node,
+                    node_count: self.node_count,
+                });
             }
         }
         if from == to {
@@ -100,7 +103,10 @@ impl DiGraph {
 
     /// All edges as `(edge_id, from, to)` triples in id order.
     pub fn edges(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId)> + '_ {
-        self.edges.iter().enumerate().map(|(id, &(u, v))| (id, u, v))
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(id, &(u, v))| (id, u, v))
     }
 
     /// The edge id of `(from, to)`, if present.
@@ -160,12 +166,18 @@ impl DiGraph {
 
     /// In-neighbors of `node` in incoming-edge order.
     pub fn in_neighbors(&self, node: NodeId) -> Vec<NodeId> {
-        self.in_edges[node].iter().map(|&e| self.edges[e].0).collect()
+        self.in_edges[node]
+            .iter()
+            .map(|&e| self.edges[e].0)
+            .collect()
     }
 
     /// Out-neighbors of `node` in outgoing-edge order.
     pub fn out_neighbors(&self, node: NodeId) -> Vec<NodeId> {
-        self.out_edges[node].iter().map(|&e| self.edges[e].1).collect()
+        self.out_edges[node]
+            .iter()
+            .map(|&e| self.edges[e].1)
+            .collect()
     }
 
     /// Directed BFS distances from `src`; unreachable nodes get `None`.
@@ -217,14 +229,18 @@ impl DiGraph {
     ///
     /// Returns `None` if some node is unreachable from `node`.
     pub fn eccentricity(&self, node: NodeId) -> Option<usize> {
-        self.bfs_distances(node).into_iter().try_fold(0, |acc, d| d.map(|d| acc.max(d)))
+        self.bfs_distances(node)
+            .into_iter()
+            .try_fold(0, |acc, d| d.map(|d| acc.max(d)))
     }
 
     /// The directed radius `min_v ecc(v)` (the `r` of Proposition 2.1).
     ///
     /// Returns `None` for graphs that are not strongly connected.
     pub fn radius(&self) -> Option<usize> {
-        (0..self.node_count).filter_map(|v| self.eccentricity(v)).min()
+        (0..self.node_count)
+            .filter_map(|v| self.eccentricity(v))
+            .min()
     }
 
     /// The directed diameter `max_v ecc(v)`.
@@ -339,10 +355,16 @@ mod tests {
         let mut g = DiGraph::new(2);
         assert_eq!(g.add_edge(0, 0), Err(CoreError::SelfLoop { node: 0 }));
         g.add_edge(0, 1).unwrap();
-        assert_eq!(g.add_edge(0, 1), Err(CoreError::DuplicateEdge { from: 0, to: 1 }));
+        assert_eq!(
+            g.add_edge(0, 1),
+            Err(CoreError::DuplicateEdge { from: 0, to: 1 })
+        );
         assert_eq!(
             g.add_edge(0, 5),
-            Err(CoreError::NodeOutOfRange { node: 5, node_count: 2 })
+            Err(CoreError::NodeOutOfRange {
+                node: 5,
+                node_count: 2
+            })
         );
     }
 

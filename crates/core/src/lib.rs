@@ -89,7 +89,7 @@ pub mod prelude {
     pub use crate::graph::DiGraph;
     pub use crate::label::Label;
     pub use crate::protocol::{Protocol, ProtocolBuilder};
-    pub use crate::reaction::{FnReaction, Reaction};
+    pub use crate::reaction::{ConstReaction, FnBufReaction, FnReaction, Reaction};
     pub use crate::schedule::{
         FairnessMonitor, RandomRFair, RoundRobin, Schedule, Scripted, Synchronous,
     };

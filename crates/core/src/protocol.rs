@@ -77,8 +77,12 @@ impl<L: Label> Protocol<L> {
         labeling: &[L],
         input: Input,
     ) -> Result<(Vec<L>, Output), CoreError> {
-        let incoming: Vec<L> =
-            self.graph.in_edges(node).iter().map(|&e| labeling[e].clone()).collect();
+        let incoming: Vec<L> = self
+            .graph
+            .in_edges(node)
+            .iter()
+            .map(|&e| labeling[e].clone())
+            .collect();
         let (outgoing, output) = self.reactions[node].react(node, &incoming, input);
         if outgoing.len() != self.graph.out_degree(node) {
             return Err(CoreError::WrongOutgoingArity {
@@ -90,24 +94,110 @@ impl<L: Label> Protocol<L> {
         Ok((outgoing, output))
     }
 
+    /// Node `i`'s reaction function (the engine's buffered hot paths call
+    /// it directly, bypassing [`apply`](Protocol::apply)).
+    pub(crate) fn reaction(&self, node: NodeId) -> &dyn Reaction<L> {
+        &*self.reactions[node]
+    }
+
+    /// Allocation-free [`apply`](Protocol::apply): gathers node `i`'s
+    /// incoming labels into `in_buf`, runs its reaction through
+    /// [`Reaction::react_into`] with `out_buf` as the outgoing buffer
+    /// (cleared and prefilled with the node's current outgoing labels),
+    /// and returns the output. On return, `out_buf` holds the new outgoing
+    /// labels ordered like [`DiGraph::out_edges`](crate::graph::DiGraph::out_edges);
+    /// the caller commits them. Both buffers are plain scratch — pass the
+    /// same two `Vec`s across calls and no allocation happens after
+    /// warm-up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range, `labeling` is shorter than the
+    /// edge count, or the reaction misbehaves on the buffered path.
+    pub fn apply_buffered(
+        &self,
+        node: NodeId,
+        labeling: &[L],
+        input: Input,
+        in_buf: &mut Vec<L>,
+        out_buf: &mut Vec<L>,
+    ) -> Output {
+        in_buf.clear();
+        in_buf.extend(
+            self.graph
+                .in_edges(node)
+                .iter()
+                .map(|&e| labeling[e].clone()),
+        );
+        out_buf.clear();
+        out_buf.extend(
+            self.graph
+                .out_edges(node)
+                .iter()
+                .map(|&e| labeling[e].clone()),
+        );
+        self.reactions[node].react_into(node, in_buf, input, out_buf)
+    }
+
     /// Whether `labeling` is a *stable labeling*: a fixed point of every
     /// reaction function under inputs `x` (Section 3).
     ///
     /// # Errors
     ///
-    /// Propagates [`CoreError::WrongOutgoingArity`] from a misbehaving
-    /// reaction, and validates the labeling/input lengths.
+    /// Validates the labeling/input lengths. A reaction that misbehaves on
+    /// the buffered path panics (see
+    /// [`Reaction::react_into`](crate::reaction::Reaction::react_into)).
     pub fn is_stable_labeling(&self, labeling: &[L], inputs: &[Input]) -> Result<bool, CoreError> {
         self.check_lengths(labeling, inputs)?;
+        let mut in_buf = Vec::new();
+        let mut out_buf = Vec::new();
+        Ok(self.is_stable_labeling_buffered(labeling, inputs, &mut in_buf, &mut out_buf))
+    }
+
+    /// [`is_stable_labeling`](Protocol::is_stable_labeling) with
+    /// caller-provided scratch buffers, for allocation-free convergence
+    /// and sweep loops: pass the same two `Vec`s across calls and no
+    /// allocation happens after warm-up.
+    ///
+    /// The labeling/input lengths must already be validated (e.g. once
+    /// per sweep via [`check_lengths`](Protocol::is_stable_labeling) —
+    /// this probe skips that work).
+    ///
+    /// # Panics
+    ///
+    /// May panic on out-of-range indices if `labeling` or `inputs` are
+    /// shorter than the graph requires.
+    pub fn is_stable_labeling_buffered(
+        &self,
+        labeling: &[L],
+        inputs: &[Input],
+        in_buf: &mut Vec<L>,
+        out_buf: &mut Vec<L>,
+    ) -> bool {
         for node in self.graph.nodes() {
-            let (outgoing, _) = self.apply(node, labeling, inputs[node])?;
-            for (slot, &e) in outgoing.iter().zip(self.graph.out_edges(node)) {
+            let in_edges = self.graph.in_edges(node);
+            let incoming: &[L] = if let [e] = *in_edges {
+                std::slice::from_ref(&labeling[e])
+            } else {
+                in_buf.clear();
+                in_buf.extend(in_edges.iter().map(|&e| labeling[e].clone()));
+                in_buf.as_slice()
+            };
+            out_buf.clear();
+            out_buf.extend(
+                self.graph
+                    .out_edges(node)
+                    .iter()
+                    .map(|&e| labeling[e].clone()),
+            );
+            self.reactions[node].react_into(node, incoming, inputs[node], out_buf);
+            for (slot, &e) in out_buf.iter().zip(self.graph.out_edges(node)) {
                 if *slot != labeling[e] {
-                    return Ok(false);
+                    return false;
                 }
             }
         }
-        Ok(true)
+        true
     }
 
     pub(crate) fn check_lengths(&self, labeling: &[L], inputs: &[Input]) -> Result<(), CoreError> {
@@ -192,7 +282,10 @@ impl<L: Label> ProtocolBuilder<L> {
         let mut slots: Vec<Option<Arc<dyn Reaction<L>>>> = vec![None; n];
         for (node, r) in self.reactions {
             if node >= n {
-                return Err(CoreError::NodeOutOfRange { node, node_count: n });
+                return Err(CoreError::NodeOutOfRange {
+                    node,
+                    node_count: n,
+                });
             }
             slots[node] = Some(r);
         }
@@ -256,7 +349,13 @@ mod tests {
             .reaction(9, ConstReaction::new(false, 0, 1))
             .build()
             .unwrap_err();
-        assert_eq!(err, CoreError::NodeOutOfRange { node: 9, node_count: 3 });
+        assert_eq!(
+            err,
+            CoreError::NodeOutOfRange {
+                node: 9,
+                node_count: 3
+            }
+        );
     }
 
     #[test]
@@ -268,7 +367,14 @@ mod tests {
             .unwrap();
         let labeling = vec![false; 6];
         let err = p.apply(0, &labeling, 0).unwrap_err();
-        assert_eq!(err, CoreError::WrongOutgoingArity { node: 0, got: 1, expected: 2 });
+        assert_eq!(
+            err,
+            CoreError::WrongOutgoingArity {
+                node: 0,
+                got: 1,
+                expected: 2
+            }
+        );
     }
 
     #[test]
@@ -276,22 +382,28 @@ mod tests {
         let p = or_clique(3);
         // With all inputs 0: the all-false labeling is stable, all-true too
         // (OR of trues stays true).
-        assert!(p.is_stable_labeling(&vec![false; 6], &[0, 0, 0]).unwrap());
-        assert!(p.is_stable_labeling(&vec![true; 6], &[0, 0, 0]).unwrap());
+        assert!(p.is_stable_labeling(&[false; 6], &[0, 0, 0]).unwrap());
+        assert!(p.is_stable_labeling(&[true; 6], &[0, 0, 0]).unwrap());
         // With input x₀=1 the all-false labeling is not stable.
-        assert!(!p.is_stable_labeling(&vec![false; 6], &[1, 0, 0]).unwrap());
+        assert!(!p.is_stable_labeling(&[false; 6], &[1, 0, 0]).unwrap());
     }
 
     #[test]
     fn stable_labeling_validates_lengths() {
         let p = or_clique(3);
         assert!(matches!(
-            p.is_stable_labeling(&vec![false; 5], &[0, 0, 0]),
-            Err(CoreError::WrongLabelingLength { got: 5, expected: 6 })
+            p.is_stable_labeling(&[false; 5], &[0, 0, 0]),
+            Err(CoreError::WrongLabelingLength {
+                got: 5,
+                expected: 6
+            })
         ));
         assert!(matches!(
-            p.is_stable_labeling(&vec![false; 6], &[0, 0]),
-            Err(CoreError::WrongInputLength { got: 2, expected: 3 })
+            p.is_stable_labeling(&[false; 6], &[0, 0]),
+            Err(CoreError::WrongInputLength {
+                got: 2,
+                expected: 3
+            })
         ));
     }
 

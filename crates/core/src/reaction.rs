@@ -38,6 +38,42 @@ pub trait Reaction<L: Label>: Send + Sync {
     /// Maps the node's incoming labels and private input to outgoing labels
     /// and an output value.
     fn react(&self, node: NodeId, incoming: &[L], input: Input) -> (Vec<L>, Output);
+
+    /// Allocation-free variant of [`react`](Reaction::react): writes the
+    /// outgoing labels into `outgoing` (a buffer of exactly the node's
+    /// out-degree) instead of returning a fresh `Vec`.
+    ///
+    /// This is the entry point the simulation hot paths call. The
+    /// buffer's initial contents are **unspecified** — the engine may
+    /// hand over the node's current outgoing labels or a recycled buffer
+    /// from an earlier round (whose heap capacity in-place
+    /// implementations can reuse) — so implementations must write every
+    /// slot.
+    ///
+    /// The default implementation delegates to `react`, so existing
+    /// reactions keep working unchanged; hot reactions override it (or use
+    /// [`FnBufReaction`]) to avoid the per-activation `Vec` allocation.
+    ///
+    /// # Panics
+    ///
+    /// The default implementation panics if `react` returns a number of
+    /// labels different from `outgoing.len()` — a bug in the reaction, the
+    /// buffered analogue of
+    /// [`CoreError::WrongOutgoingArity`](crate::CoreError::WrongOutgoingArity).
+    fn react_into(&self, node: NodeId, incoming: &[L], input: Input, outgoing: &mut [L]) -> Output {
+        let (out, y) = self.react(node, incoming, input);
+        assert_eq!(
+            out.len(),
+            outgoing.len(),
+            "reaction of node {node} returned {} outgoing labels, expected {}",
+            out.len(),
+            outgoing.len()
+        );
+        for (slot, v) in outgoing.iter_mut().zip(out) {
+            *slot = v;
+        }
+        y
+    }
 }
 
 /// Adapts a closure into a [`Reaction`].
@@ -84,13 +120,112 @@ impl<L: Label> ConstReaction<L> {
     /// Creates a reaction that always emits `label` on each of the node's
     /// `out_degree` outgoing edges and outputs `output`.
     pub fn new(label: L, output: Output, out_degree: usize) -> Self {
-        ConstReaction { label, output, out_degree }
+        ConstReaction {
+            label,
+            output,
+            out_degree,
+        }
     }
 }
 
 impl<L: Label> Reaction<L> for ConstReaction<L> {
     fn react(&self, _node: NodeId, _incoming: &[L], _input: Input) -> (Vec<L>, Output) {
         (vec![self.label.clone(); self.out_degree], self.output)
+    }
+
+    fn react_into(
+        &self,
+        _node: NodeId,
+        _incoming: &[L],
+        _input: Input,
+        outgoing: &mut [L],
+    ) -> Output {
+        // Same hard arity check as the allocating path (which returns
+        // WrongOutgoingArity): a declared-degree mismatch must not pass
+        // silently on the buffered path.
+        assert_eq!(
+            outgoing.len(),
+            self.out_degree,
+            "ConstReaction of node {_node} declared out-degree {}, node has out-degree {}",
+            self.out_degree,
+            outgoing.len()
+        );
+        outgoing.fill(self.label.clone());
+        self.output
+    }
+}
+
+/// Adapts a *buffer-writing* closure into a [`Reaction`] — the
+/// zero-allocation counterpart of [`FnReaction`].
+///
+/// The closure receives the outgoing-label buffer as `&mut [L]` (exactly
+/// the node's out-degree, ordered like
+/// [`DiGraph::out_edges`](crate::graph::DiGraph::out_edges)) and must
+/// write **every** slot; it returns only the output value. `template` is
+/// the buffer the legacy [`react`](Reaction::react) path starts from (any
+/// labeling of the right arity works — its values are fully overwritten by
+/// a conforming closure) and doubles as the arity declaration.
+///
+/// # Examples
+///
+/// ```
+/// use stateless_core::reaction::{FnBufReaction, Reaction};
+///
+/// // A relay node on a unidirectional ring, allocation-free.
+/// let relay = FnBufReaction::new(vec![0u64], |_node, incoming: &[u64], _x, out: &mut [u64]| {
+///     out[0] = incoming[0];
+///     incoming[0]
+/// });
+/// let mut buf = [0u64];
+/// let y = relay.react_into(3, &[42], 0, &mut buf);
+/// assert_eq!(buf, [42]);
+/// assert_eq!(y, 42);
+/// // The legacy allocating path delegates to the same closure.
+/// assert_eq!(relay.react(3, &[7], 0), (vec![7], 7));
+/// ```
+pub struct FnBufReaction<L, F> {
+    template: Vec<L>,
+    f: F,
+}
+
+impl<L: Label, F> FnBufReaction<L, F> {
+    /// Wraps `f` as a buffered reaction of arity `template.len()`.
+    pub fn new(template: Vec<L>, f: F) -> Self {
+        FnBufReaction { template, f }
+    }
+}
+
+impl<L, F> std::fmt::Debug for FnBufReaction<L, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnBufReaction")
+            .field("out_degree", &self.template.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<L, F> Reaction<L> for FnBufReaction<L, F>
+where
+    L: Label,
+    F: Fn(NodeId, &[L], Input, &mut [L]) -> Output + Send + Sync,
+{
+    fn react(&self, node: NodeId, incoming: &[L], input: Input) -> (Vec<L>, Output) {
+        let mut outgoing = self.template.clone();
+        let y = (self.f)(node, incoming, input, &mut outgoing);
+        (outgoing, y)
+    }
+
+    fn react_into(&self, node: NodeId, incoming: &[L], input: Input, outgoing: &mut [L]) -> Output {
+        // Hard check (the allocating path validates arity on every call
+        // too): a template/out-degree mismatch is a protocol construction
+        // bug that would otherwise silently leave edges unwritten.
+        assert_eq!(
+            outgoing.len(),
+            self.template.len(),
+            "FnBufReaction of node {node} declared arity {}, node has out-degree {}",
+            self.template.len(),
+            outgoing.len()
+        );
+        (self.f)(node, incoming, input, outgoing)
     }
 }
 
@@ -121,5 +256,49 @@ mod tests {
         let boxed: Box<dyn Reaction<bool>> = Box::new(ConstReaction::new(false, 0, 1));
         let (out, _) = boxed.react(0, &[], 0);
         assert_eq!(out, vec![false]);
+    }
+
+    #[test]
+    fn default_react_into_delegates_to_react() {
+        let r = FnReaction::new(|_, incoming: &[u64], input| {
+            (vec![input, incoming[0]], incoming[0] + input)
+        });
+        let mut buf = [99u64, 99];
+        let y = r.react_into(0, &[5], 7, &mut buf);
+        assert_eq!(buf, [7, 5]);
+        assert_eq!(y, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "returned 1 outgoing labels, expected 2")]
+    fn default_react_into_panics_on_wrong_arity() {
+        let r = FnReaction::new(|_, _: &[u64], _| (vec![1], 0));
+        let mut buf = [0u64, 0];
+        r.react_into(0, &[], 0, &mut buf);
+    }
+
+    #[test]
+    fn const_react_into_fills_buffer() {
+        let r = ConstReaction::new(true, 9, 3);
+        let mut buf = [false; 3];
+        let y = r.react_into(0, &[], 0, &mut buf);
+        assert_eq!(buf, [true; 3]);
+        assert_eq!(y, 9);
+    }
+
+    #[test]
+    fn buffered_and_allocating_paths_agree() {
+        let buffered =
+            FnBufReaction::new(vec![false; 2], |_, inc: &[bool], x, out: &mut [bool]| {
+                let b = x == 1 || inc.iter().any(|&v| v);
+                out.fill(b);
+                u64::from(b)
+            });
+        let (out, y) = buffered.react(1, &[false, true], 0);
+        assert_eq!(out, vec![true, true]);
+        assert_eq!(y, 1);
+        let mut buf = [false; 2];
+        let y2 = buffered.react_into(1, &[false, true], 0, &mut buf);
+        assert_eq!((buf.to_vec(), y2), (out, y));
     }
 }

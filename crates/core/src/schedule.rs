@@ -17,6 +17,17 @@ use crate::NodeId;
 pub trait Schedule {
     /// The activation set for time step `t` (1-based) on `n` nodes.
     fn activations(&mut self, t: u64, n: usize) -> Vec<NodeId>;
+
+    /// Whether this schedule activates **every** node at **every** step
+    /// and is stateless, i.e. `activations(t, n) = [0, …, n−1]` for all
+    /// `t`. The engine uses this to dispatch to its allocation-free
+    /// synchronous fast path
+    /// ([`Simulation::step_sync`](crate::engine::Simulation::step_sync))
+    /// without calling `activations` at all. Only override to return
+    /// `true` if both conditions hold exactly.
+    fn is_synchronous(&self) -> bool {
+        false
+    }
 }
 
 /// The synchronous schedule: every node is activated at every step
@@ -27,6 +38,10 @@ pub struct Synchronous;
 impl Schedule for Synchronous {
     fn activations(&mut self, _t: u64, n: usize) -> Vec<NodeId> {
         (0..n).collect()
+    }
+
+    fn is_synchronous(&self) -> bool {
+        true
     }
 }
 
@@ -45,7 +60,10 @@ impl RoundRobin {
     ///
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> Self {
-        assert!(k >= 1, "round-robin must activate at least one node per step");
+        assert!(
+            k >= 1,
+            "round-robin must activate at least one node per step"
+        );
         RoundRobin { k, next: 0 }
     }
 }
@@ -81,7 +99,10 @@ impl Scripted {
     ///
     /// Panics if `steps` is empty or contains an empty activation set.
     pub fn cycle(steps: Vec<Vec<NodeId>>) -> Self {
-        assert!(!steps.is_empty(), "scripted schedule needs at least one step");
+        assert!(
+            !steps.is_empty(),
+            "scripted schedule needs at least one step"
+        );
         assert!(
             steps.iter().all(|s| !s.is_empty()),
             "activation sets must be nonempty"
@@ -111,7 +132,11 @@ impl Scripted {
                 return None;
             }
             for (k, &h) in hits.iter().enumerate() {
-                let prev = if k == 0 { hits[hits.len() - 1] as isize - period as isize } else { hits[k - 1] as isize };
+                let prev = if k == 0 {
+                    hits[hits.len() - 1] as isize - period as isize
+                } else {
+                    hits[k - 1] as isize
+                };
                 let gap = (h as isize - prev) as usize;
                 worst = worst.max(gap);
             }
@@ -150,7 +175,12 @@ impl<R: Rng> RandomRFair<R> {
     pub fn new(r: usize, p: f64, rng: R) -> Self {
         assert!(r >= 1, "fairness parameter r must be at least 1");
         assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
-        RandomRFair { r, p, rng, since: Vec::new() }
+        RandomRFair {
+            r,
+            p,
+            rng,
+            since: Vec::new(),
+        }
     }
 
     /// The fairness parameter `r`.
@@ -197,7 +227,11 @@ pub struct FairnessMonitor<S> {
 impl<S: Schedule> FairnessMonitor<S> {
     /// Wraps `inner`.
     pub fn new(inner: S) -> Self {
-        FairnessMonitor { inner, since: Vec::new(), worst_gap: 0 }
+        FairnessMonitor {
+            inner,
+            since: Vec::new(),
+            worst_gap: 0,
+        }
     }
 
     /// The largest observed activation gap so far (a lower bound on the
@@ -290,7 +324,11 @@ mod tests {
             let set = s.activations(t, 9);
             assert!(!set.is_empty());
         }
-        assert!(s.worst_gap() <= 4, "observed gap {} exceeds r=4", s.worst_gap());
+        assert!(
+            s.worst_gap() <= 4,
+            "observed gap {} exceeds r=4",
+            s.worst_gap()
+        );
     }
 
     #[test]

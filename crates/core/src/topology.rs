@@ -55,7 +55,8 @@ pub fn bidirectional_ring(n: usize) -> DiGraph {
         g.add_edge(i, (i + 1) % n).expect("cw ring edges are valid");
     }
     for i in 0..n {
-        g.add_edge(i, (i + n - 1) % n).expect("ccw ring edges are valid");
+        g.add_edge(i, (i + n - 1) % n)
+            .expect("ccw ring edges are valid");
     }
     g
 }
@@ -121,7 +122,10 @@ pub fn bidirectional_path(n: usize) -> DiGraph {
 ///
 /// Panics if `d == 0` or `d > 20`.
 pub fn hypercube(d: u32) -> DiGraph {
-    assert!(d >= 1 && d <= 20, "hypercube dimension must be in 1..=20");
+    assert!(
+        (1..=20).contains(&d),
+        "hypercube dimension must be in 1..=20"
+    );
     let n = 1usize << d;
     let mut g = DiGraph::new(n);
     for v in 0..n {
@@ -187,7 +191,8 @@ pub fn random_strongly_connected<R: Rng>(n: usize, extra_edges: usize, rng: &mut
     }
     let mut g = DiGraph::new(n);
     for i in 0..n {
-        g.add_edge(perm[i], perm[(i + 1) % n]).expect("cycle edge is valid");
+        g.add_edge(perm[i], perm[(i + 1) % n])
+            .expect("cycle edge is valid");
     }
     let mut remaining: Vec<(NodeId, NodeId)> = (0..n)
         .flat_map(|u| (0..n).map(move |v| (u, v)))
@@ -229,10 +234,22 @@ mod tests {
         for i in 0..n {
             let ccw = (i + n - 1) % n;
             let cw = (i + 1) % n;
-            assert_eq!(g.in_neighbor_index(i, ccw), Some(0), "incoming[0] is from ccw");
-            assert_eq!(g.in_neighbor_index(i, cw), Some(1), "incoming[1] is from cw");
+            assert_eq!(
+                g.in_neighbor_index(i, ccw),
+                Some(0),
+                "incoming[0] is from ccw"
+            );
+            assert_eq!(
+                g.in_neighbor_index(i, cw),
+                Some(1),
+                "incoming[1] is from cw"
+            );
             assert_eq!(g.out_neighbor_index(i, cw), Some(0), "outgoing[0] goes cw");
-            assert_eq!(g.out_neighbor_index(i, ccw), Some(1), "outgoing[1] goes ccw");
+            assert_eq!(
+                g.out_neighbor_index(i, ccw),
+                Some(1),
+                "outgoing[1] goes ccw"
+            );
         }
         assert_eq!(g.radius(), Some(n / 2));
     }

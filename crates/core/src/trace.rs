@@ -53,7 +53,9 @@ impl Trace {
         schedule: &mut dyn Schedule,
         steps: u64,
     ) -> Self {
-        let mut trace = Trace { steps: Vec::with_capacity(steps as usize) };
+        let mut trace = Trace {
+            steps: Vec::with_capacity(steps as usize),
+        };
         for _ in 0..steps {
             let before = sim.labeling().to_vec();
             let active = schedule.activations(sim.time() + 1, sim.protocol().node_count());
@@ -86,7 +88,11 @@ impl Trace {
     /// Length of the trailing run of steps in which the labeling did not
     /// change — a quick convergence heuristic.
     pub fn quiescent_suffix(&self) -> usize {
-        self.steps.iter().rev().take_while(|s| !s.labeling_changed).count()
+        self.steps
+            .iter()
+            .rev()
+            .take_while(|s| !s.labeling_changed)
+            .count()
     }
 
     /// The per-step output vectors of one node.
@@ -104,7 +110,11 @@ impl fmt::Display for Trace {
                 s.time,
                 s.active,
                 s.outputs,
-                if s.labeling_changed { "" } else { "  (labels unchanged)" }
+                if s.labeling_changed {
+                    ""
+                } else {
+                    "  (labels unchanged)"
+                }
             )?;
         }
         Ok(())

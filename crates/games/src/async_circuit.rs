@@ -9,7 +9,7 @@
 //! (n−1)-fair.
 
 use stateless_core::prelude::*;
-use stateless_core::reaction::FnReaction;
+use stateless_core::reaction::FnBufReaction;
 
 /// A cross-coupled NOR latch: node 0 is `Q`, node 1 is `Q̄`; their
 /// *inputs* are the external Set and Reset lines (`x₀ = R`, `x₁ = S`).
@@ -20,11 +20,15 @@ use stateless_core::reaction::FnReaction;
 pub fn sr_latch() -> Protocol<bool> {
     Protocol::builder(topology::clique(2), 1.0)
         .name("sr-latch")
-        .uniform_reaction(FnReaction::new(|_, incoming: &[bool], input| {
-            // NOR of the external line and the other gate's output.
-            let bit = !(input == 1 || incoming[0]);
-            (vec![bit], u64::from(bit))
-        }))
+        .uniform_reaction(FnBufReaction::new(
+            vec![false],
+            |_, incoming: &[bool], input, out: &mut [bool]| {
+                // NOR of the external line and the other gate's output.
+                let bit = !(input == 1 || incoming[0]);
+                out[0] = bit;
+                u64::from(bit)
+            },
+        ))
         .build()
         .expect("both gates have reactions")
 }
@@ -40,10 +44,14 @@ pub fn sr_latch() -> Protocol<bool> {
 pub fn ring_oscillator(k: usize) -> Protocol<bool> {
     Protocol::builder(topology::unidirectional_ring(k), 1.0)
         .name(format!("ring-oscillator({k})"))
-        .uniform_reaction(FnReaction::new(|_, incoming: &[bool], _| {
-            let bit = !incoming[0];
-            (vec![bit], u64::from(bit))
-        }))
+        .uniform_reaction(FnBufReaction::new(
+            vec![false],
+            |_, incoming: &[bool], _, out: &mut [bool]| {
+                let bit = !incoming[0];
+                out[0] = bit;
+                u64::from(bit)
+            },
+        ))
         .build()
         .expect("all inverters have reactions")
 }
@@ -51,9 +59,7 @@ pub fn ring_oscillator(k: usize) -> Protocol<bool> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stabilization_verify::{
-        enumerate_stable_labelings, verify_label_stabilization, Limits,
-    };
+    use stabilization_verify::{enumerate_stable_labelings, verify_label_stabilization, Limits};
     use stateless_core::convergence::{classify_sync, SyncOutcome};
 
     #[test]
@@ -70,12 +76,15 @@ mod tests {
     fn latch_metastability_is_a_theorem_3_1_instance() {
         let p = sr_latch();
         // Two stable labelings, n = 2 ⟹ not (n−1) = 1-stabilizing.
-        let v = verify_label_stabilization(&p, &[0, 0], &[false, true], 1, Limits::default())
-            .unwrap();
+        let v =
+            verify_label_stabilization(&p, &[0, 0], &[false, true], 1, Limits::default()).unwrap();
         assert!(!v.is_stabilizing());
         // The concrete metastable run: simultaneous gate switching.
         let outcome = classify_sync(&p, &[0, 0], vec![false, false], 1000).unwrap();
-        assert!(matches!(outcome, SyncOutcome::Oscillating { period: 2, .. }));
+        assert!(matches!(
+            outcome,
+            SyncOutcome::Oscillating { period: 2, .. }
+        ));
     }
 
     #[test]
@@ -83,8 +92,8 @@ mod tests {
         let p = sr_latch();
         // S = 1, R = 0: unique fixed point (Q, Q̄) = (1, 0), reached from
         // everywhere even under adversarial 2-fair schedules.
-        let v = verify_label_stabilization(&p, &[0, 1], &[false, true], 2, Limits::default())
-            .unwrap();
+        let v =
+            verify_label_stabilization(&p, &[0, 1], &[false, true], 2, Limits::default()).unwrap();
         assert!(v.is_stabilizing());
         let outcome = classify_sync(&p, &[0, 1], vec![false, false], 1000).unwrap();
         match outcome {

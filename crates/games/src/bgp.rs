@@ -12,7 +12,7 @@
 use std::sync::Arc;
 
 use stateless_core::prelude::*;
-use stateless_core::reaction::FnReaction;
+use stateless_core::reaction::FnBufReaction;
 
 /// A route: the sequence of nodes from the owner down to the destination
 /// (node 0). The empty vector is "no route".
@@ -39,7 +39,10 @@ impl SppInstance {
         assert_eq!(permitted.len(), n, "one (possibly empty) list per node");
         for (i, paths) in permitted.iter().enumerate() {
             for p in paths {
-                assert!(p.first() == Some(&(i as u8)), "path must start at its owner");
+                assert!(
+                    p.first() == Some(&(i as u8)),
+                    "path must start at its owner"
+                );
                 assert!(p.last() == Some(&0), "path must end at the destination");
             }
         }
@@ -72,40 +75,63 @@ impl SppInstance {
         // The destination always advertises [0].
         builder = builder.reaction(
             0,
-            FnReaction::new(move |_, _: &[Route], _| (vec![vec![0u8]; deg], 0)),
+            FnBufReaction::new(
+                vec![vec![0u8]; deg],
+                move |_, _: &[Route], _, out: &mut [Route]| {
+                    for slot in out {
+                        slot.clear();
+                        slot.push(0);
+                    }
+                    0
+                },
+            ),
         );
         for node in 1..n {
             let paths = Arc::new(self.permitted[node].clone());
             builder = builder.reaction(
                 node,
-                FnReaction::new(move |me: NodeId, incoming: &[Route], _| {
-                    let label_of = |who: NodeId| -> &Route {
-                        &incoming[if who < me { who } else { who - 1 }]
-                    };
-                    let mut chosen: Route = Vec::new();
-                    let mut rank = u64::MAX;
-                    for (k, p) in paths.iter().enumerate() {
-                        let next_hop = p[1] as NodeId;
-                        if label_of(next_hop)[..] == p[1..] {
-                            chosen = p.clone();
-                            rank = k as u64;
-                            break;
+                FnBufReaction::new(
+                    vec![Vec::new(); deg],
+                    move |me: NodeId, incoming: &[Route], _, out: &mut [Route]| {
+                        let label_of = |who: NodeId| -> &Route {
+                            &incoming[if who < me { who } else { who - 1 }]
+                        };
+                        let mut chosen: &[u8] = &[];
+                        let mut rank = u64::MAX;
+                        for (k, p) in paths.iter().enumerate() {
+                            let next_hop = p[1] as NodeId;
+                            if label_of(next_hop)[..] == p[1..] {
+                                chosen = p;
+                                rank = k as u64;
+                                break;
+                            }
                         }
-                    }
-                    (vec![chosen; deg], rank)
-                }),
+                        // Rewrite the buffer routes in place, reusing their
+                        // capacity.
+                        for slot in out {
+                            slot.clear();
+                            slot.extend_from_slice(chosen);
+                        }
+                        rank
+                    },
+                ),
             );
         }
         builder.build().expect("all nodes have reactions")
     }
 
     /// The per-node-uniform labeling where each node advertises `routes[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `routes` has exactly one entry per node.
     pub fn labeling_from(&self, routes: &[Route]) -> Vec<Route> {
+        assert_eq!(routes.len(), self.n, "one route per node");
         let graph = topology::clique(self.n);
         let mut labeling = vec![Vec::new(); graph.edge_count()];
-        for node in 0..self.n {
+        for (node, route) in routes.iter().enumerate().take(self.n) {
             for &e in graph.out_edges(node) {
-                labeling[e] = routes[node].clone();
+                labeling[e] = route.clone();
             }
         }
         labeling
@@ -118,11 +144,7 @@ impl SppInstance {
 pub fn good_gadget() -> SppInstance {
     SppInstance::new(
         3,
-        vec![
-            vec![],
-            vec![vec![1, 0]],
-            vec![vec![2, 1, 0], vec![2, 0]],
-        ],
+        vec![vec![], vec![vec![1, 0]], vec![vec![2, 1, 0], vec![2, 0]]],
     )
 }
 
@@ -184,10 +206,8 @@ mod tests {
     fn disagree_has_two_stable_trees() {
         let spp = disagree_gadget();
         let p = spp.to_protocol();
-        let tree_a =
-            spp.labeling_from(&[vec![0], vec![1, 2, 0], vec![2, 0]]);
-        let tree_b =
-            spp.labeling_from(&[vec![0], vec![1, 0], vec![2, 1, 0]]);
+        let tree_a = spp.labeling_from(&[vec![0], vec![1, 2, 0], vec![2, 0]]);
+        let tree_b = spp.labeling_from(&[vec![0], vec![1, 0], vec![2, 1, 0]]);
         assert!(p.is_stable_labeling(&tree_a, &[0; 3]).unwrap());
         assert!(p.is_stable_labeling(&tree_b, &[0; 3]).unwrap());
     }
@@ -236,9 +256,7 @@ mod tests {
 
     #[test]
     fn instance_validation() {
-        let bad = std::panic::catch_unwind(|| {
-            SppInstance::new(2, vec![vec![], vec![vec![0, 1]]])
-        });
+        let bad = std::panic::catch_unwind(|| SppInstance::new(2, vec![vec![], vec![vec![0, 1]]]));
         assert!(bad.is_err(), "path must start at owner / end at 0");
     }
 }

@@ -9,7 +9,7 @@
 
 use stateless_core::graph::DiGraph;
 use stateless_core::prelude::*;
-use stateless_core::reaction::FnReaction;
+use stateless_core::reaction::FnBufReaction;
 
 /// Builds the threshold-adoption protocol on `graph` (use a symmetric
 /// graph for the classic model): a node outputs and broadcasts 1 iff at
@@ -19,24 +19,33 @@ use stateless_core::reaction::FnReaction;
 ///
 /// Panics if `den == 0`, `num > den`, or some node has no in-neighbors.
 pub fn contagion_protocol(graph: DiGraph, num: usize, den: usize) -> Protocol<bool> {
-    assert!(den > 0 && num <= den, "threshold must be a fraction in [0, 1]");
+    assert!(
+        den > 0 && num <= den,
+        "threshold must be a fraction in [0, 1]"
+    );
     let n = graph.node_count();
     for i in 0..n {
-        assert!(graph.in_degree(i) > 0, "every agent needs neighbors to observe");
+        assert!(
+            graph.in_degree(i) > 0,
+            "every agent needs neighbors to observe"
+        );
     }
-    let mut builder = Protocol::builder(graph.clone(), 1.0)
-        .name(format!("contagion(q={num}/{den}, n={n})"));
+    let mut builder =
+        Protocol::builder(graph.clone(), 1.0).name(format!("contagion(q={num}/{den}, n={n})"));
     for node in 0..n {
         let deg_out = graph.out_degree(node);
         builder = builder.reaction(
             node,
-            FnReaction::new(move |_, incoming: &[bool], _| {
-                let adopters = incoming.iter().filter(|&&b| b).count();
-                // adopters / indegree ≥ num / den  ⟺  adopters·den ≥ num·indegree
-                let adopt = adopters * den >= num * incoming.len() && num > 0
-                    || num == 0;
-                (vec![adopt; deg_out], u64::from(adopt))
-            }),
+            FnBufReaction::new(
+                vec![false; deg_out],
+                move |_, incoming: &[bool], _, out: &mut [bool]| {
+                    let adopters = incoming.iter().filter(|&&b| b).count();
+                    // adopters / indegree ≥ num / den  ⟺  adopters·den ≥ num·indegree
+                    let adopt = adopters * den >= num * incoming.len() && num > 0 || num == 0;
+                    out.fill(adopt);
+                    u64::from(adopt)
+                },
+            ),
         );
     }
     builder.build().expect("all agents have reactions")
@@ -64,8 +73,12 @@ mod tests {
     fn both_extremes_are_stable() {
         let g = topology::bidirectional_ring(6);
         let p = contagion_protocol(g.clone(), 1, 2);
-        assert!(p.is_stable_labeling(&vec![false; g.edge_count()], &vec![0; 6]).unwrap());
-        assert!(p.is_stable_labeling(&vec![true; g.edge_count()], &vec![0; 6]).unwrap());
+        assert!(p
+            .is_stable_labeling(&vec![false; g.edge_count()], &[0; 6])
+            .unwrap());
+        assert!(p
+            .is_stable_labeling(&vec![true; g.edge_count()], &[0; 6])
+            .unwrap());
     }
 
     #[test]
@@ -76,8 +89,8 @@ mod tests {
         let p = contagion_protocol(g, 1, 2);
         let stable = enumerate_stable_labelings(&p, &[0; 3], &[false, true]).unwrap();
         assert!(stable.len() >= 2);
-        let v = verify_label_stabilization(&p, &[0; 3], &[false, true], 2, Limits::default())
-            .unwrap();
+        let v =
+            verify_label_stabilization(&p, &[0; 3], &[false, true], 2, Limits::default()).unwrap();
         assert!(!v.is_stabilizing(), "Theorem 3.1 in action");
     }
 
@@ -86,7 +99,7 @@ mod tests {
         let g = topology::bidirectional_ring(7);
         let p = contagion_protocol(g.clone(), 1, 2);
         let init = seeded_labeling(&g, &[3]);
-        let outcome = classify_sync(&p, &vec![0; 7], init, 100_000).unwrap();
+        let outcome = classify_sync(&p, &[0; 7], init, 100_000).unwrap();
         match outcome {
             SyncOutcome::LabelStable { outputs, .. } => {
                 assert_eq!(outputs, vec![1; 7], "full adoption");
@@ -100,7 +113,7 @@ mod tests {
         let g = topology::bidirectional_ring(7);
         let p = contagion_protocol(g.clone(), 2, 2);
         let init = seeded_labeling(&g, &[3]);
-        let outcome = classify_sync(&p, &vec![0; 7], init, 100_000).unwrap();
+        let outcome = classify_sync(&p, &[0; 7], init, 100_000).unwrap();
         match outcome {
             SyncOutcome::LabelStable { outputs, .. } => {
                 assert_eq!(outputs, vec![0; 7], "isolated adopter retreats");
@@ -115,7 +128,7 @@ mod tests {
         let g = topology::bidirectional_ring(8);
         let p = contagion_protocol(g.clone(), 1, 2);
         let init = seeded_labeling(&g, &[3, 4]);
-        let outcome = classify_sync(&p, &vec![0; 8], init, 100_000).unwrap();
+        let outcome = classify_sync(&p, &[0; 8], init, 100_000).unwrap();
         assert_eq!(
             outcome.final_outputs().expect("stabilizes"),
             &vec![1; 8][..]

@@ -12,18 +12,24 @@
 use std::sync::Arc;
 
 use stateless_core::prelude::*;
-use stateless_core::reaction::FnReaction;
+use stateless_core::reaction::FnBufReaction;
+
+/// A utility function: `utility(player, profile)` scores a full strategy
+/// profile for one player.
+type Utility = Arc<dyn Fn(usize, &[usize]) -> i64 + Send + Sync>;
 
 /// A finite strategic game: `strategy_counts[i]` strategies per player and
 /// an integer utility function over full profiles.
 pub struct Game {
     strategy_counts: Vec<usize>,
-    utility: Arc<dyn Fn(usize, &[usize]) -> i64 + Send + Sync>,
+    utility: Utility,
 }
 
 impl std::fmt::Debug for Game {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Game").field("players", &self.strategy_counts.len()).finish()
+        f.debug_struct("Game")
+            .field("players", &self.strategy_counts.len())
+            .finish()
     }
 }
 
@@ -40,8 +46,14 @@ impl Game {
         U: Fn(usize, &[usize]) -> i64 + Send + Sync + 'static,
     {
         assert!(strategy_counts.len() >= 2, "need at least two players");
-        assert!(strategy_counts.iter().all(|&s| s >= 1), "players need strategies");
-        Game { strategy_counts, utility: Arc::new(utility) }
+        assert!(
+            strategy_counts.iter().all(|&s| s >= 1),
+            "players need strategies"
+        );
+        Game {
+            strategy_counts,
+            utility: Arc::new(utility),
+        }
     }
 
     /// Number of players.
@@ -122,26 +134,29 @@ impl Game {
             let counts = self.strategy_counts.clone();
             builder = builder.reaction(
                 player,
-                FnReaction::new(move |me: NodeId, incoming: &[u64], _| {
-                    // Reconstruct the observed profile; our own entry is
-                    // immaterial (best_response scans it).
-                    let mut profile = vec![0usize; counts.len()];
-                    for (k, other) in (0..counts.len()).filter(|&o| o != me).enumerate() {
-                        profile[other] =
-                            (incoming[k] as usize).min(counts[other] - 1);
-                    }
-                    let mut best = 0;
-                    let mut best_u = i64::MIN;
-                    for s in 0..counts[me] {
-                        profile[me] = s;
-                        let u = (utility)(me, &profile);
-                        if u > best_u {
-                            best_u = u;
-                            best = s;
+                FnBufReaction::new(
+                    vec![0u64; deg],
+                    move |me: NodeId, incoming: &[u64], _, out: &mut [u64]| {
+                        // Reconstruct the observed profile; our own entry is
+                        // immaterial (best_response scans it).
+                        let mut profile = vec![0usize; counts.len()];
+                        for (k, other) in (0..counts.len()).filter(|&o| o != me).enumerate() {
+                            profile[other] = (incoming[k] as usize).min(counts[other] - 1);
                         }
-                    }
-                    (vec![best as u64; deg], best as u64)
-                }),
+                        let mut best = 0;
+                        let mut best_u = i64::MIN;
+                        for s in 0..counts[me] {
+                            profile[me] = s;
+                            let u = (utility)(me, &profile);
+                            if u > best_u {
+                                best_u = u;
+                                best = s;
+                            }
+                        }
+                        out.fill(best as u64);
+                        best as u64
+                    },
+                ),
             );
         }
         builder.build().expect("all players have reactions")
@@ -215,8 +230,7 @@ mod tests {
         // players swap forever.
         let game = coordination();
         let p = game.to_protocol();
-        let v =
-            verify_label_stabilization(&p, &[0, 0], &[0u64, 1], 1, Limits::default()).unwrap();
+        let v = verify_label_stabilization(&p, &[0, 0], &[0u64, 1], 1, Limits::default()).unwrap();
         assert!(!v.is_stabilizing());
         let outcome = classify_sync(&p, &[0, 0], vec![0u64, 1], 1000).unwrap();
         assert!(matches!(outcome, SyncOutcome::Oscillating { .. }));
@@ -227,16 +241,21 @@ mod tests {
         let p = matching_pennies().to_protocol();
         for init in [[0u64, 0], [0, 1], [1, 0], [1, 1]] {
             let outcome = classify_sync(&p, &[0, 0], init.to_vec(), 1000).unwrap();
-            assert!(matches!(outcome, SyncOutcome::Oscillating { .. }), "init = {init:?}");
+            assert!(
+                matches!(outcome, SyncOutcome::Oscillating { .. }),
+                "init = {init:?}"
+            );
         }
     }
 
     #[test]
     fn dominant_strategies_converge_from_everywhere() {
         let p = prisoners_dilemma().to_protocol();
-        let v =
-            verify_label_stabilization(&p, &[0, 0], &[0u64, 1], 2, Limits::default()).unwrap();
-        assert!(v.is_stabilizing(), "unique dominant equilibrium converges even at r = 2");
+        let v = verify_label_stabilization(&p, &[0, 0], &[0u64, 1], 2, Limits::default()).unwrap();
+        assert!(
+            v.is_stabilizing(),
+            "unique dominant equilibrium converges even at r = 2"
+        );
     }
 
     #[test]
@@ -254,6 +273,6 @@ mod tests {
         sim.run_until_label_stable(&mut sched, 100).unwrap();
         let outs = sim.outputs();
         // A balanced split: not all on one link.
-        assert!(outs.iter().any(|&s| s == 0) && outs.iter().any(|&s| s == 1));
+        assert!(outs.contains(&0) && outs.contains(&1));
     }
 }

@@ -61,7 +61,11 @@ pub fn longest_snake(d: u32, budget: Option<u64>) -> SearchOutcome {
     } else {
         None
     };
-    SearchOutcome { snake, exhausted, nodes }
+    SearchOutcome {
+        snake,
+        exhausted,
+        nodes,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -105,7 +109,9 @@ fn dfs(
                     continue;
                 }
                 // Interior extension.
-                extend(d, path, used, adj_count, best, nodes, budget, exhausted, dims_used, bit, w);
+                extend(
+                    d, path, used, adj_count, best, nodes, budget, exhausted, dims_used, bit, w,
+                );
             }
             2 if closes => {
                 // `w` is adjacent to exactly `last` and the start: closing
@@ -142,7 +148,9 @@ fn extend(
     }
     path.push(w);
     let next_dims = dims_used.max(bit + 1);
-    dfs(d, path, used, adj_count, best, nodes, budget, exhausted, next_dims);
+    dfs(
+        d, path, used, adj_count, best, nodes, budget, exhausted, next_dims,
+    );
     path.pop();
     for b2 in 0..d {
         adj_count[(w ^ (1 << b2)) as usize] -= 1;

@@ -78,7 +78,9 @@ impl Snake {
     /// Returns the specific [`SnakeError`] describing the violation.
     pub fn new(d: u32, vertices: Vec<u32>) -> Result<Self, SnakeError> {
         if vertices.len() < 4 {
-            return Err(SnakeError::TooShort { len: vertices.len() });
+            return Err(SnakeError::TooShort {
+                len: vertices.len(),
+            });
         }
         let mut index = HashMap::with_capacity(vertices.len());
         for (i, &v) in vertices.iter().enumerate() {
@@ -119,8 +121,8 @@ impl Snake {
             // here; `Snake::new` re-verifies them at every construction.
             5 => vec![0, 1, 3, 7, 6, 14, 12, 13, 29, 31, 27, 26, 24, 16],
             6 => vec![
-                0, 1, 3, 7, 6, 14, 12, 13, 29, 25, 24, 26, 18, 50, 51, 49, 53, 52, 60, 62, 63,
-                47, 43, 42, 40, 32,
+                0, 1, 3, 7, 6, 14, 12, 13, 29, 25, 24, 26, 18, 50, 51, 49, 53, 52, 60, 62, 63, 47,
+                43, 42, 40, 32,
             ],
             _ => return None,
         };
@@ -322,14 +324,17 @@ mod tests {
         let s = Snake::known(4).unwrap();
         let t = s.translate(0b1010);
         assert_eq!(t.len(), s.len());
-        assert!(t.contains(0 ^ 0b1010));
+        assert!(t.contains(0b1010));
     }
 
     #[test]
     fn q3_max_snake_has_no_free_edge_but_q4_up_do() {
         // The two vertices Q₃'s record snake misses are antipodal, so the
         // counting argument of Theorem B.4 only bites from d = 4 on.
-        assert_eq!(Snake::known(3).unwrap().free_edge(), Err(SnakeError::NoFreeEdge));
+        assert_eq!(
+            Snake::known(3).unwrap().free_edge(),
+            Err(SnakeError::NoFreeEdge)
+        );
     }
 
     #[test]
@@ -372,7 +377,11 @@ mod tests {
             // With an isolated 0, phi fixes the all-zero state.
             assert_eq!(s.phi_step(0), 0, "d={d}");
             // Still exponential length: s(d−1) ≥ λ·2^{d−1}, λ = 0.3.
-            assert!(s.len() as f64 >= 0.3 * f64::from(1u32 << (d - 1)), "d={d}: len {}", s.len());
+            assert!(
+                s.len() as f64 >= 0.3 * f64::from(1u32 << (d - 1)),
+                "d={d}: len {}",
+                s.len()
+            );
         }
         assert!(Snake::embedded_isolated(9).is_none());
     }

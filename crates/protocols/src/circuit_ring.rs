@@ -34,7 +34,7 @@ use std::sync::Arc;
 use boolean_circuit::{Circuit, GateOp, GateSource};
 use stateless_core::label::bits_for_cardinality;
 use stateless_core::prelude::*;
-use stateless_core::reaction::FnReaction;
+use stateless_core::reaction::FnBufReaction;
 
 use crate::counter::{CounterCore, CounterFields};
 
@@ -160,7 +160,7 @@ pub fn compile_circuit(circuit: &Circuit) -> Result<CompiledCircuit, CoreError> 
     let gnode = |j: usize| n + 2 * j;
     let mnode = |j: usize| n + 2 * j + 1;
     let mut ring_size = (n + 2 * size).max(3);
-    if ring_size % 2 == 0 {
+    if ring_size.is_multiple_of(2) {
         ring_size += 1; // helper relay node to make the ring odd
     }
 
@@ -188,9 +188,17 @@ pub fn compile_circuit(circuit: &Circuit) -> Result<CompiledCircuit, CoreError> 
                 let (da, db) = ((g - a) as u64, (g - b) as u64);
                 // The farther provider feeds i1 so its bits arrive together
                 // with i2's (all our gate ops are commutative).
-                let (far, far_d, near, near_d) =
-                    if da >= db { (a, da, b, db) } else { (b, db, a, da) };
-                record_write(&mut writes[far], t_start, true, far == near && far_d == near_d);
+                let (far, far_d, near, near_d) = if da >= db {
+                    (a, da, b, db)
+                } else {
+                    (b, db, a, da)
+                };
+                record_write(
+                    &mut writes[far],
+                    t_start,
+                    true,
+                    far == near && far_d == near_d,
+                );
                 let near_tick = t_start + (far_d - near_d);
                 if far != near || far_d != near_d {
                     record_write(&mut writes[near], near_tick, false, true);
@@ -227,68 +235,86 @@ pub fn compile_circuit(circuit: &Circuit) -> Result<CompiledCircuit, CoreError> 
     };
 
     let core = CounterCore::new(ring_size, modulus)?;
-    let label_bits =
-        2.0 + 2.0 * bits_for_cardinality(u128::from(modulus)) + 4.0;
+    let label_bits = 2.0 + 2.0 * bits_for_cardinality(u128::from(modulus)) + 4.0;
     let rounds_bound = 4 * ring_size as u64 + 8 + 2 * u64::from(modulus) + ring_size as u64 + 8;
 
-    let plan = Arc::new(Plan { core, n_inputs: n, writes, compute, is_compute, o_writer });
+    let plan = Arc::new(Plan {
+        core,
+        n_inputs: n,
+        writes,
+        compute,
+        is_compute,
+        o_writer,
+    });
 
-    let mut builder = Protocol::builder(topology::bidirectional_ring(ring_size), label_bits)
-        .name(format!("circuit-on-ring(N={ring_size}, |C|={size}, D={modulus})"));
+    let mut builder = Protocol::builder(topology::bidirectional_ring(ring_size), label_bits).name(
+        format!("circuit-on-ring(N={ring_size}, |C|={size}, D={modulus})"),
+    );
     for node in 0..ring_size {
         let plan = Arc::clone(&plan);
         builder = builder.reaction(
             node,
-            FnReaction::new(move |j: NodeId, incoming: &[CircuitLabel], input| {
-                let (ccw, cw) = (incoming[0], incoming[1]);
-                let ctr = plan.core.react(j, ccw.ctr, cw.ctr);
-                let clock = plan.core.count(j, ccw.ctr, cw.ctr);
+            FnBufReaction::new(
+                vec![CircuitLabel::default(); 2],
+                move |j: NodeId,
+                      incoming: &[CircuitLabel],
+                      input,
+                      outgoing: &mut [CircuitLabel]| {
+                    let (ccw, cw) = (incoming[0], incoming[1]);
+                    let ctr = plan.core.react(j, ccw.ctr, cw.ctr);
+                    let clock = plan.core.count(j, ccw.ctr, cw.ctr);
 
-                // Data defaults: clockwise relay; v echoes within the pair.
-                let mut i1 = ccw.i1;
-                let mut i2 = ccw.i2;
-                let mut v = if plan.is_compute[j] { cw.v } else { ccw.v };
-                let mut o = ccw.o;
+                    // Data defaults: clockwise relay; v echoes within the pair.
+                    let mut i1 = ccw.i1;
+                    let mut i2 = ccw.i2;
+                    let mut v = if plan.is_compute[j] { cw.v } else { ccw.v };
+                    let mut o = ccw.o;
 
-                // Scheduled provider writes.
-                if let Some(&(w1, w2)) = plan.writes[j].get(&clock) {
-                    let value = if j < plan.n_inputs { input == 1 } else { ccw.v };
-                    if w1 {
-                        i1 = value;
+                    // Scheduled provider writes.
+                    if let Some(&(w1, w2)) = plan.writes[j].get(&clock) {
+                        let value = if j < plan.n_inputs { input == 1 } else { ccw.v };
+                        if w1 {
+                            i1 = value;
+                        }
+                        if w2 {
+                            i2 = value;
+                        }
                     }
-                    if w2 {
-                        i2 = value;
+                    // Scheduled gate computation.
+                    if let Some(task) = &plan.compute[j] {
+                        if task.ticks.contains(&clock) {
+                            let a = match task.i1 {
+                                RoleSrc::Field => ccw.i1,
+                                RoleSrc::Const(c) => c,
+                            };
+                            let b = match task.i2 {
+                                RoleSrc::Field => ccw.i2,
+                                RoleSrc::Const(c) => c,
+                            };
+                            v = task.op.apply(a, b);
+                        }
                     }
-                }
-                // Scheduled gate computation.
-                if let Some(task) = &plan.compute[j] {
-                    if task.ticks.contains(&clock) {
-                        let a = match task.i1 {
-                            RoleSrc::Field => ccw.i1,
-                            RoleSrc::Const(c) => c,
-                        };
-                        let b = match task.i2 {
-                            RoleSrc::Field => ccw.i2,
-                            RoleSrc::Const(c) => c,
-                        };
-                        v = task.op.apply(a, b);
+                    // Output publication.
+                    match plan.o_writer {
+                        OWriter::Memory(m) if m == j => o = ccw.v,
+                        OWriter::Input(i) if i == j => o = input == 1,
+                        OWriter::Constant(c) if j == 0 => o = c,
+                        _ => {}
                     }
-                }
-                // Output publication.
-                match plan.o_writer {
-                    OWriter::Memory(m) if m == j => o = ccw.v,
-                    OWriter::Input(i) if i == j => o = input == 1,
-                    OWriter::Constant(c) if j == 0 => o = c,
-                    _ => {}
-                }
 
-                let out = CircuitLabel { ctr, i1, i2, v, o };
-                (vec![out, out], u64::from(o))
-            }),
+                    outgoing.fill(CircuitLabel { ctr, i1, i2, v, o });
+                    u64::from(o)
+                },
+            ),
         );
     }
     let protocol = builder.build().expect("all ring nodes have reactions");
-    Ok(CompiledCircuit { protocol, ring_size, modulus, rounds_bound })
+    Ok(CompiledCircuit {
+        protocol,
+        ring_size,
+        modulus,
+        rounds_bound,
+    })
 }
 
 fn record_write(map: &mut HashMap<u32, (bool, bool)>, tick: u64, i1: bool, i2: bool) {
@@ -373,7 +399,9 @@ mod tests {
         // NOT(x0) OR (x1 AND true)
         let mut b = Circuit::builder(2);
         let na = b.not(GateSource::Input(0)).unwrap();
-        let and = b.and(GateSource::Input(1), GateSource::Const(true)).unwrap();
+        let and = b
+            .and(GateSource::Input(1), GateSource::Const(true))
+            .unwrap();
         let or = b.or(na, and).unwrap();
         let c = b.finish(or).unwrap();
         check_all_inputs(&c, 4);

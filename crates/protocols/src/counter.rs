@@ -31,7 +31,7 @@
 
 use stateless_core::label::bits_for_cardinality;
 use stateless_core::prelude::*;
-use stateless_core::reaction::FnReaction;
+use stateless_core::reaction::FnBufReaction;
 
 /// The counter label fields `(b1, b2, z, g)`; every node sends the same
 /// fields in both directions. Label complexity `2 + 2·⌈log₂ D⌉` bits.
@@ -69,7 +69,7 @@ impl CounterCore {
     /// would indicate the construction does not synchronize at this size —
     /// never observed; the check is a safety net).
     pub fn new(n: usize, d: u32) -> Result<Self, CoreError> {
-        if n < 3 || n % 2 == 0 {
+        if n < 3 || n.is_multiple_of(2) {
             return Err(CoreError::InvalidParameter {
                 what: format!("the D-counter needs an odd ring of size ≥ 3, got n={n}"),
             });
@@ -79,7 +79,11 @@ impl CounterCore {
                 what: format!("the counter modulus must be ≥ 2, got D={d}"),
             });
         }
-        let mut core = CounterCore { n, d, phase: vec![false; n] };
+        let mut core = CounterCore {
+            n,
+            d,
+            phase: vec![false; n],
+        };
         core.calibrate()?;
         Ok(core)
     }
@@ -104,13 +108,17 @@ impl CounterCore {
             (!cw.b1, ccw.b1)
         } else if j == n - 1 {
             (cw.b1 ^ ccw.b1, ccw.b2)
-        } else if (j + 1) % 2 == 0 {
+        } else if (j + 1).is_multiple_of(2) {
             // Paper index j+1 even: copy b1, negate b2.
             (ccw.b1, !ccw.b2)
         } else {
             (ccw.b1, ccw.b2)
         };
-        let z = if j == 0 { (cw.z + 1) % d } else { (ccw.z + 1) % d };
+        let z = if j == 0 {
+            (cw.z + 1) % d
+        } else {
+            (ccw.z + 1) % d
+        };
         let g = if j == 0 {
             // Sign-correct the chain gap with the local clock bit so the
             // flooded value is constant over time.
@@ -162,7 +170,12 @@ impl CounterCore {
         // self-complementary mod D (like D/2), or the sign of the
         // correction would be unobservable and the phases ambiguous.
         let mut state: Vec<CounterFields> = (0..n)
-            .map(|j| CounterFields { b1: false, b2: false, z: u32::from(j == 1), g: 0 })
+            .map(|j| CounterFields {
+                b1: false,
+                b2: false,
+                z: u32::from(j == 1),
+                g: 0,
+            })
             .collect();
         // Settle: b-machinery ≤ 2n, z-chains ≤ n, g-flood ≤ n rounds.
         for _ in 0..4 * n + 8 {
@@ -192,8 +205,7 @@ impl CounterCore {
                 }
                 if j > 0 {
                     // Must agree with the already-calibrated node 0.
-                    let ref_count =
-                        self.count(0, states[0][n - 1], states[0][1]);
+                    let ref_count = self.count(0, states[0][n - 1], states[0][1]);
                     if counts[0] != ref_count {
                         continue 'candidates;
                     }
@@ -205,9 +217,7 @@ impl CounterCore {
                 Some(c) => self.phase[j] = c,
                 None => {
                     return Err(CoreError::InvalidParameter {
-                        what: format!(
-                            "counter calibration failed at node {j} (n={n}, D={d})"
-                        ),
+                        what: format!("counter calibration failed at node {j} (n={n}, D={d})"),
                     })
                 }
             }
@@ -233,12 +243,14 @@ pub fn counter_protocol(n: usize, d: u32) -> Result<Protocol<CounterFields>, Cor
         let core = core.clone();
         builder = builder.reaction(
             node,
-            FnReaction::new(move |j: NodeId, incoming: &[CounterFields], _| {
-                let (ccw, cw) = (incoming[0], incoming[1]);
-                let out = core.react(j, ccw, cw);
-                let c = core.count(j, ccw, cw);
-                (vec![out, out], u64::from(c))
-            }),
+            FnBufReaction::new(
+                vec![CounterFields::default(); 2],
+                move |j: NodeId, incoming: &[CounterFields], _, out: &mut [CounterFields]| {
+                    let (ccw, cw) = (incoming[0], incoming[1]);
+                    out.fill(core.react(j, ccw, cw));
+                    u64::from(core.count(j, ccw, cw))
+                },
+            ),
         );
     }
     builder.build()
@@ -272,8 +284,9 @@ mod tests {
     fn assert_synchronized(n: usize, d: u32, seed: u64) {
         let p = counter_protocol(n, d).unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
-        let initial: Vec<CounterFields> =
-            (0..p.edge_count()).map(|_| random_fields(&mut rng, d)).collect();
+        let initial: Vec<CounterFields> = (0..p.edge_count())
+            .map(|_| random_fields(&mut rng, d))
+            .collect();
         let mut sim = Simulation::new(&p, &vec![0; n], initial).unwrap();
         sim.run(&mut Synchronous, sync_rounds_bound(n));
         let mut prev: Option<u64> = None;
@@ -285,7 +298,11 @@ mod tests {
                 "n={n} D={d} seed={seed}: outputs not synchronized: {outs:?}"
             );
             if let Some(p) = prev {
-                assert_eq!(outs[0], (p + 1) % u64::from(d), "n={n} D={d}: bad increment");
+                assert_eq!(
+                    outs[0],
+                    (p + 1) % u64::from(d),
+                    "n={n} D={d}: bad increment"
+                );
             }
             prev = Some(outs[0]);
         }
@@ -302,8 +319,7 @@ mod tests {
             }
             let mut prev: Option<Vec<bool>> = None;
             for _ in 0..8 {
-                let obs: Vec<bool> =
-                    (0..n).map(|j| state[(j + n - 1) % n].b2).collect();
+                let obs: Vec<bool> = (0..n).map(|j| state[(j + n - 1) % n].b2).collect();
                 if let Some(p) = prev {
                     for j in 0..n {
                         assert_ne!(p[j], obs[j], "n={n}: node {j}'s clock bit must alternate");

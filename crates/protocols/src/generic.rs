@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use stateless_core::graph::DiGraph;
 use stateless_core::prelude::*;
-use stateless_core::reaction::FnReaction;
+use stateless_core::reaction::FnBufReaction;
 
 /// The `(z, b)` label of the generic protocol: `z` is a partial input
 /// vector (coordinate-wise OR of everything learned so far), `b` the
@@ -29,7 +29,10 @@ pub struct GenericLabel {
 impl GenericLabel {
     /// The all-zero label (the paper's `0^{n+1}`).
     pub fn zero(n: usize) -> Self {
-        GenericLabel { z: vec![false; n], b: false }
+        GenericLabel {
+            z: vec![false; n],
+            b: false,
+        }
     }
 }
 
@@ -72,56 +75,80 @@ where
         children1[from].push(*parent_edge);
     }
 
-    let mut builder = Protocol::builder(graph.clone(), (n + 1) as f64)
-        .name(format!("generic-f(n={n})"));
+    let mut builder =
+        Protocol::builder(graph.clone(), (n + 1) as f64).name(format!("generic-f(n={n})"));
     for node in 0..n {
         let in_edges: Vec<EdgeId> = graph.in_edges(node).to_vec();
         let out_edges: Vec<EdgeId> = graph.out_edges(node).to_vec();
         // Positions (within `incoming`) of this node's T₂-children edges.
         let gather_slots: Vec<usize> = children2[node]
             .iter()
-            .map(|e| in_edges.iter().position(|x| x == e).expect("child edge is incoming"))
+            .map(|e| {
+                in_edges
+                    .iter()
+                    .position(|x| x == e)
+                    .expect("child edge is incoming")
+            })
             .collect();
         // Position of the T₁ parent edge (None for the root).
-        let answer_slot: Option<usize> = t1[node]
-            .map(|e| in_edges.iter().position(|x| *x == e).expect("parent edge is incoming"));
+        let answer_slot: Option<usize> = t1[node].map(|e| {
+            in_edges
+                .iter()
+                .position(|x| *x == e)
+                .expect("parent edge is incoming")
+        });
         // For each outgoing edge: does it go to the T₂ parent, and is it a
         // T₁ child edge?
         let is_gather_out: Vec<bool> = out_edges.iter().map(|e| t2[node] == Some(*e)).collect();
-        let is_flood_out: Vec<bool> =
-            out_edges.iter().map(|e| children1[node].contains(e)).collect();
+        let is_flood_out: Vec<bool> = out_edges
+            .iter()
+            .map(|e| children1[node].contains(e))
+            .collect();
         let f = Arc::clone(&f);
 
         builder = builder.reaction(
             node,
-            FnReaction::new(move |i: NodeId, incoming: &[GenericLabel], input| {
-                // wᵢ ∨ OR over T₂-children's z vectors.
-                let mut z = vec![false; n];
-                z[i] = input == 1;
-                for &slot in &gather_slots {
-                    for (zi, ci) in z.iter_mut().zip(&incoming[slot].z) {
-                        *zi |= *ci;
+            FnBufReaction::new(
+                vec![GenericLabel::zero(n); out_edges.len()],
+                move |i: NodeId,
+                      incoming: &[GenericLabel],
+                      input,
+                      outgoing: &mut [GenericLabel]| {
+                    // wᵢ ∨ OR over T₂-children's z vectors.
+                    let mut z = vec![false; n];
+                    z[i] = input == 1;
+                    for &slot in &gather_slots {
+                        for (zi, ci) in z.iter_mut().zip(&incoming[slot].z) {
+                            *zi |= *ci;
+                        }
                     }
-                }
-                // The answer bit: the root computes it, others read their
-                // T₁ parent's label.
-                let (b, y) = if i == 0 {
-                    let bit = f(&z);
-                    (bit, u64::from(bit))
-                } else {
-                    let bit = answer_slot.map(|s| incoming[s].b).unwrap_or(false);
-                    (bit, u64::from(bit))
-                };
-                let outgoing = is_gather_out
-                    .iter()
-                    .zip(&is_flood_out)
-                    .map(|(&gather, &flood)| GenericLabel {
-                        z: if gather { z.clone() } else { vec![false; n] },
-                        b: flood && b,
-                    })
-                    .collect();
-                (outgoing, y)
-            }),
+                    // The answer bit: the root computes it, others read their
+                    // T₁ parent's label.
+                    let (b, y) = if i == 0 {
+                        let bit = f(&z);
+                        (bit, u64::from(bit))
+                    } else {
+                        let bit = answer_slot.map(|s| incoming[s].b).unwrap_or(false);
+                        (bit, u64::from(bit))
+                    };
+                    // Rewrite the buffer labels in place: their z vectors'
+                    // capacity is reused across steps (clear + resize also
+                    // normalizes garbage-length z's from adversarial
+                    // initial labelings).
+                    for ((out, &gather), &flood) in
+                        outgoing.iter_mut().zip(&is_gather_out).zip(&is_flood_out)
+                    {
+                        out.z.clear();
+                        if gather {
+                            out.z.extend_from_slice(&z);
+                        } else {
+                            out.z.resize(n, false);
+                        }
+                        out.b = flood && b;
+                    }
+                    y
+                },
+            ),
         );
     }
     builder.build()
@@ -153,12 +180,15 @@ mod tests {
             let x: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
             let inputs: Vec<u64> = x.iter().map(|&b| u64::from(b)).collect();
             let mut sim =
-                Simulation::new(&p, &inputs, vec![GenericLabel::zero(n); p.edge_count()])
-                    .unwrap();
+                Simulation::new(&p, &inputs, vec![GenericLabel::zero(n); p.edge_count()]).unwrap();
             let steps = sim
                 .run_until_label_stable(&mut Synchronous, round_bound(n) + 1)
                 .unwrap_or_else(|e| panic!("did not stabilize on x={x:?}: {e}"));
-            assert!(steps <= round_bound(n), "Rₙ ≤ 2n violated: {steps} > {}", round_bound(n));
+            assert!(
+                steps <= round_bound(n),
+                "Rₙ ≤ 2n violated: {steps} > {}",
+                round_bound(n)
+            );
             // Outputs refresh at the activation *after* the labels settle.
             sim.run(&mut Synchronous, 1);
             let expected = u64::from(f(&x));
@@ -182,7 +212,7 @@ mod tests {
 
     #[test]
     fn computes_equality_on_clique_and_star() {
-        let eq = |x: &[bool]| x.len() % 2 == 0 && x[..x.len() / 2] == x[x.len() / 2..];
+        let eq = |x: &[bool]| x.len().is_multiple_of(2) && x[..x.len() / 2] == x[x.len() / 2..];
         check_on_graph(topology::clique(4), eq);
         check_on_graph(topology::star(6), eq);
     }
@@ -212,7 +242,9 @@ mod tests {
                 })
                 .collect();
             let mut sim = Simulation::new(&p, &inputs, initial).unwrap();
-            let steps = sim.run_until_label_stable(&mut Synchronous, round_bound(n) + 1).unwrap();
+            let steps = sim
+                .run_until_label_stable(&mut Synchronous, round_bound(n) + 1)
+                .unwrap();
             assert!(steps <= round_bound(n));
             sim.run(&mut Synchronous, 1);
             assert_eq!(sim.outputs(), &[1, 1, 1, 1, 1]);
@@ -241,13 +273,8 @@ mod tests {
         let n = 4;
         let g = topology::unidirectional_ring(n);
         let p = generic_protocol(g, |x: &[bool]| x[0]).unwrap();
-        let outcome = classify_sync(
-            &p,
-            &[1, 0, 0, 0],
-            vec![GenericLabel::zero(n); n],
-            100_000,
-        )
-        .unwrap();
+        let outcome =
+            classify_sync(&p, &[1, 0, 0, 0], vec![GenericLabel::zero(n); n], 100_000).unwrap();
         match outcome {
             SyncOutcome::LabelStable { round, outputs, .. } => {
                 assert!(round <= round_bound(n));

@@ -23,7 +23,7 @@ use std::sync::Arc;
 
 use stateless_core::label::Label;
 use stateless_core::prelude::*;
-use stateless_core::reaction::FnReaction;
+use stateless_core::reaction::FnBufReaction;
 
 use crate::stateful::StatefulProtocol;
 
@@ -55,47 +55,52 @@ pub fn metanode_lift<L: Label>(
         let stateful = Arc::clone(&stateful);
         builder = builder.reaction(
             node,
-            FnReaction::new(move |me: NodeId, incoming: &[MetaLabel<L>], _| {
-                let peer = |who: NodeId| -> &MetaLabel<L> {
-                    &incoming[if who < me { who } else { who - 1 }]
-                };
-                let my_meta = me / 3;
-                // Reconstruct the corresponding labeling, checking the view.
-                let mut corresponding: Vec<L> = Vec::with_capacity(stateful.node_count());
-                let mut consistent = true;
-                'outer: for meta in 0..stateful.node_count() {
-                    let copies: Vec<&MetaLabel<L>> = (0..3)
-                        .map(|c| 3 * meta + c)
-                        .filter(|&u| u != me)
-                        .map(peer)
-                        .collect();
-                    // Other metanodes expose 3 copies, our own exposes 2;
-                    // all visible copies must agree on a non-ω value.
-                    let first = copies[0];
-                    for c in &copies {
-                        if *c != first {
-                            consistent = false;
-                            break 'outer;
+            FnBufReaction::new(
+                vec![MetaLabel::Omega; deg],
+                move |me: NodeId, incoming: &[MetaLabel<L>], _, outgoing: &mut [MetaLabel<L>]| {
+                    let peer = |who: NodeId| -> &MetaLabel<L> {
+                        &incoming[if who < me { who } else { who - 1 }]
+                    };
+                    let my_meta = me / 3;
+                    // Reconstruct the corresponding labeling, checking the view.
+                    let mut corresponding: Vec<L> = Vec::with_capacity(stateful.node_count());
+                    let mut consistent = true;
+                    'outer: for meta in 0..stateful.node_count() {
+                        let copies: Vec<&MetaLabel<L>> = (0..3)
+                            .map(|c| 3 * meta + c)
+                            .filter(|&u| u != me)
+                            .map(peer)
+                            .collect();
+                        // Other metanodes expose 3 copies, our own exposes 2;
+                        // all visible copies must agree on a non-ω value.
+                        let first = copies[0];
+                        for c in &copies {
+                            if *c != first {
+                                consistent = false;
+                                break 'outer;
+                            }
+                        }
+                        match first {
+                            MetaLabel::Value(v) => corresponding.push(v.clone()),
+                            MetaLabel::Omega => {
+                                consistent = false;
+                                break 'outer;
+                            }
                         }
                     }
-                    match first {
-                        MetaLabel::Value(v) => corresponding.push(v.clone()),
-                        MetaLabel::Omega => {
-                            consistent = false;
-                            break 'outer;
-                        }
-                    }
-                }
-                let out = if !consistent {
-                    MetaLabel::Omega
-                } else if stateful.is_stable(&corresponding) {
-                    MetaLabel::Omega
-                } else {
-                    MetaLabel::Value(stateful.apply(my_meta, &corresponding))
-                };
-                let y = u64::from(matches!(out, MetaLabel::Omega));
-                (vec![out; deg], y)
-            }),
+                    // ω on an inconsistent view, and ω on a stable
+                    // corresponding labeling (the all-ω labeling is the lifted
+                    // protocol's unique resting point).
+                    let out = if !consistent || stateful.is_stable(&corresponding) {
+                        MetaLabel::Omega
+                    } else {
+                        MetaLabel::Value(stateful.apply(my_meta, &corresponding))
+                    };
+                    let y = u64::from(matches!(out, MetaLabel::Omega));
+                    outgoing.fill(out);
+                    y
+                },
+            ),
         );
     }
     builder.build().expect("all clique nodes have reactions")
@@ -138,9 +143,8 @@ mod tests {
         StatefulProtocol::new(
             (0..n)
                 .map(|i| {
-                    Arc::new(move |labels: &[bool]| {
-                        labels[i] || labels[(i + 1) % labels.len()]
-                    }) as Arc<dyn Fn(&[bool]) -> bool + Send + Sync>
+                    Arc::new(move |labels: &[bool]| labels[i] || labels[(i + 1) % labels.len()])
+                        as Arc<dyn Fn(&[bool]) -> bool + Send + Sync>
                 })
                 .collect(),
         )
@@ -152,8 +156,7 @@ mod tests {
         let lifted = metanode_lift(&a, 1.0);
         for init in [[false, false], [true, false], [true, true]] {
             let initial = lifted_labeling(&init);
-            let outcome =
-                classify_sync(&lifted, &vec![0; 6], initial, 100_000).unwrap();
+            let outcome = classify_sync(&lifted, &[0; 6], initial, 100_000).unwrap();
             match outcome {
                 SyncOutcome::LabelStable { labeling, .. } => {
                     assert!(
@@ -171,7 +174,7 @@ mod tests {
         let a = flip(2);
         let lifted = metanode_lift(&a, 1.0);
         let initial = lifted_labeling(&[false, true]);
-        let outcome = classify_sync(&lifted, &vec![0; 6], initial, 100_000).unwrap();
+        let outcome = classify_sync(&lifted, &[0; 6], initial, 100_000).unwrap();
         assert!(matches!(outcome, SyncOutcome::Oscillating { .. }));
     }
 
@@ -185,9 +188,11 @@ mod tests {
         let n_big = 3 * stateful.node_count();
         for t in [[0u8, 0], [1, 0], [1, 1]] {
             let initial = lifted_labeling(&inst.initial_labels(&t));
-            let outcome =
-                classify_sync(&lifted, &vec![0; n_big], initial, 100_000).unwrap();
-            assert!(outcome.is_label_stable(), "halting instance must stabilize (t={t:?})");
+            let outcome = classify_sync(&lifted, &vec![0; n_big], initial, 100_000).unwrap();
+            assert!(
+                outcome.is_label_stable(),
+                "halting instance must stabilize (t={t:?})"
+            );
         }
     }
 
@@ -217,7 +222,7 @@ mod tests {
         for &e in graph.out_edges(0) {
             initial[e] = MetaLabel::Value(true);
         }
-        let outcome = classify_sync(&lifted, &vec![0; 6], initial, 100_000).unwrap();
+        let outcome = classify_sync(&lifted, &[0; 6], initial, 100_000).unwrap();
         match outcome {
             SyncOutcome::LabelStable { labeling, .. } => {
                 assert!(labeling.iter().all(|l| *l == MetaLabel::Omega));

@@ -21,7 +21,7 @@
 
 use hypercube_snake::Snake;
 use stateless_core::prelude::*;
-use stateless_core::reaction::FnReaction;
+use stateless_core::reaction::FnBufReaction;
 
 /// Node roles of the reductions: Alice is node 0, Bob node 1; in the latch
 /// variant nodes 2 and 3 form the latch; the remaining `d` nodes carry the
@@ -47,7 +47,11 @@ fn peer_state(incoming: &[bool], me: NodeId, base: usize, d: u32, own_bit: bool)
     let mut v = 0u32;
     for bit in 0..d {
         let node = base + bit as usize;
-        let b = if node == me { own_bit } else { peer(incoming, me, node) };
+        let b = if node == me {
+            own_bit
+        } else {
+            peer(incoming, me, node)
+        };
         if b {
             v |= 1 << bit;
         }
@@ -75,10 +79,17 @@ fn peer_state(incoming: &[bool], me: NodeId, base: usize, d: u32, own_bit: bool)
 pub fn eq_reduction(snake: &Snake, x: &[bool], y: &[bool]) -> (Protocol<bool>, ReductionLayout) {
     assert_eq!(x.len(), snake.len(), "x must be indexed by snake positions");
     assert_eq!(y.len(), snake.len(), "y must be indexed by snake positions");
-    assert!(!snake.contains(0), "normalize the snake away from vertex 0 first");
+    assert!(
+        !snake.contains(0),
+        "normalize the snake away from vertex 0 first"
+    );
     let d = snake.dimension();
     let n = d as usize + 2;
-    let layout = ReductionLayout { n, state_base: 2, d };
+    let layout = ReductionLayout {
+        n,
+        state_base: 2,
+        d,
+    };
     let deg = n - 1;
     let mut builder = Protocol::builder(topology::clique(n), 1.0)
         .name(format!("eq-reduction(d={d}, |S|={})", snake.len()));
@@ -88,14 +99,18 @@ pub fn eq_reduction(snake: &Snake, x: &[bool], y: &[bool]) -> (Protocol<bool>, R
         let x = x.to_vec();
         builder = builder.reaction(
             0,
-            FnReaction::new(move |me: NodeId, incoming: &[bool], _| {
-                let state = peer_state(incoming, me, 2, d, false);
-                let bit = match snake.position(state) {
-                    Some(i) => x[i],
-                    None => true,
-                };
-                (vec![bit; deg], u64::from(bit))
-            }),
+            FnBufReaction::new(
+                vec![false; deg],
+                move |me: NodeId, incoming: &[bool], _, out: &mut [bool]| {
+                    let state = peer_state(incoming, me, 2, d, false);
+                    let bit = match snake.position(state) {
+                        Some(i) => x[i],
+                        None => true,
+                    };
+                    out.fill(bit);
+                    u64::from(bit)
+                },
+            ),
         );
     }
     // Bob.
@@ -104,14 +119,18 @@ pub fn eq_reduction(snake: &Snake, x: &[bool], y: &[bool]) -> (Protocol<bool>, R
         let y = y.to_vec();
         builder = builder.reaction(
             1,
-            FnReaction::new(move |me: NodeId, incoming: &[bool], _| {
-                let state = peer_state(incoming, me, 2, d, false);
-                let bit = match snake.position(state) {
-                    Some(i) => y[i],
-                    None => false,
-                };
-                (vec![bit; deg], u64::from(bit))
-            }),
+            FnBufReaction::new(
+                vec![false; deg],
+                move |me: NodeId, incoming: &[bool], _, out: &mut [bool]| {
+                    let state = peer_state(incoming, me, 2, d, false);
+                    let bit = match snake.position(state) {
+                        Some(i) => y[i],
+                        None => false,
+                    };
+                    out.fill(bit);
+                    u64::from(bit)
+                },
+            ),
         );
     }
     // Cube-state nodes.
@@ -120,20 +139,27 @@ pub fn eq_reduction(snake: &Snake, x: &[bool], y: &[bool]) -> (Protocol<bool>, R
         let dim = (node - 2) as u32;
         builder = builder.reaction(
             node,
-            FnReaction::new(move |me: NodeId, incoming: &[bool], _| {
-                let alice = peer(incoming, me, 0);
-                let bob = peer(incoming, me, 1);
-                let bit = if alice != bob {
-                    false
-                } else {
-                    let rest = peer_state(incoming, me, 2, d, false);
-                    snake.phi(dim, rest)
-                };
-                (vec![bit; deg], u64::from(bit))
-            }),
+            FnBufReaction::new(
+                vec![false; deg],
+                move |me: NodeId, incoming: &[bool], _, out: &mut [bool]| {
+                    let alice = peer(incoming, me, 0);
+                    let bob = peer(incoming, me, 1);
+                    let bit = if alice != bob {
+                        false
+                    } else {
+                        let rest = peer_state(incoming, me, 2, d, false);
+                        snake.phi(dim, rest)
+                    };
+                    out.fill(bit);
+                    u64::from(bit)
+                },
+            ),
         );
     }
-    (builder.build().expect("all clique nodes have reactions"), layout)
+    (
+        builder.build().expect("all clique nodes have reactions"),
+        layout,
+    )
 }
 
 /// The initial labeling `(α, α, s)` for the equality reduction: Alice and
@@ -176,14 +202,21 @@ pub fn eq_reduction_with_latch(
     y: &[bool],
 ) -> (Protocol<bool>, ReductionLayout) {
     assert!(r >= 1, "fairness parameter must be positive");
-    assert!(!snake.contains(0), "normalize the snake away from vertex 0 first");
+    assert!(
+        !snake.contains(0),
+        "normalize the snake away from vertex 0 first"
+    );
     let chunk = 3 * r;
     let chunks = snake.len().div_ceil(chunk);
     assert_eq!(x.len(), chunks, "x must be indexed by snake chunks");
     assert_eq!(y.len(), chunks, "y must be indexed by snake chunks");
     let d = snake.dimension();
     let n = d as usize + 4;
-    let layout = ReductionLayout { n, state_base: 4, d };
+    let layout = ReductionLayout {
+        n,
+        state_base: 4,
+        d,
+    };
     let deg = n - 1;
     let mut builder = Protocol::builder(topology::clique(n), 1.0)
         .name(format!("eq-latch-reduction(d={d}, r={r})"));
@@ -192,37 +225,47 @@ pub fn eq_reduction_with_latch(
         let snake = snake.clone();
         builder = builder.reaction(
             node,
-            FnReaction::new(move |me: NodeId, incoming: &[bool], _| {
-                let latch =
-                    (peer(incoming, me, 2), peer(incoming, me, 3)) == (true, true);
-                let state = peer_state(incoming, me, 4, d, false);
-                let bit = if !latch {
-                    match snake.position(state) {
-                        Some(j) => input[j / chunk],
-                        None => idle,
-                    }
-                } else {
-                    idle
-                };
-                (vec![bit; deg], u64::from(bit))
-            }),
+            FnBufReaction::new(
+                vec![false; deg],
+                move |me: NodeId, incoming: &[bool], _, out: &mut [bool]| {
+                    let latch = (peer(incoming, me, 2), peer(incoming, me, 3)) == (true, true);
+                    let state = peer_state(incoming, me, 4, d, false);
+                    let bit = if !latch {
+                        match snake.position(state) {
+                            Some(j) => input[j / chunk],
+                            None => idle,
+                        }
+                    } else {
+                        idle
+                    };
+                    out.fill(bit);
+                    u64::from(bit)
+                },
+            ),
         );
     }
     // Latch node 2 copies node 3; latch node 3 sets on disagreement.
     builder = builder.reaction(
         2,
-        FnReaction::new(move |me: NodeId, incoming: &[bool], _| {
-            let bit = peer(incoming, me, 3);
-            (vec![bit; deg], u64::from(bit))
-        }),
+        FnBufReaction::new(
+            vec![false; deg],
+            move |me: NodeId, incoming: &[bool], _, out: &mut [bool]| {
+                let bit = peer(incoming, me, 3);
+                out.fill(bit);
+                u64::from(bit)
+            },
+        ),
     );
     builder = builder.reaction(
         3,
-        FnReaction::new(move |me: NodeId, incoming: &[bool], _| {
-            let bit = peer(incoming, me, 2)
-                || peer(incoming, me, 0) != peer(incoming, me, 1);
-            (vec![bit; deg], u64::from(bit))
-        }),
+        FnBufReaction::new(
+            vec![false; deg],
+            move |me: NodeId, incoming: &[bool], _, out: &mut [bool]| {
+                let bit = peer(incoming, me, 2) || peer(incoming, me, 0) != peer(incoming, me, 1);
+                out.fill(bit);
+                u64::from(bit)
+            },
+        ),
     );
     // Cube-state nodes.
     for node in 4..n {
@@ -230,20 +273,26 @@ pub fn eq_reduction_with_latch(
         let dim = (node - 4) as u32;
         builder = builder.reaction(
             node,
-            FnReaction::new(move |me: NodeId, incoming: &[bool], _| {
-                let latch =
-                    (peer(incoming, me, 2), peer(incoming, me, 3)) == (true, true);
-                let bit = if latch {
-                    false
-                } else {
-                    let rest = peer_state(incoming, me, 4, d, false);
-                    snake.phi(dim, rest)
-                };
-                (vec![bit; deg], u64::from(bit))
-            }),
+            FnBufReaction::new(
+                vec![false; deg],
+                move |me: NodeId, incoming: &[bool], _, out: &mut [bool]| {
+                    let latch = (peer(incoming, me, 2), peer(incoming, me, 3)) == (true, true);
+                    let bit = if latch {
+                        false
+                    } else {
+                        let rest = peer_state(incoming, me, 4, d, false);
+                        snake.phi(dim, rest)
+                    };
+                    out.fill(bit);
+                    u64::from(bit)
+                },
+            ),
         );
     }
-    (builder.build().expect("all clique nodes have reactions"), layout)
+    (
+        builder.build().expect("all clique nodes have reactions"),
+        layout,
+    )
 }
 
 /// The initial labeling for the latch reduction: `(α, α, 0, 0, s)`.
@@ -272,30 +321,41 @@ pub fn disj_reduction(
     assert!(q >= 1, "universe must be nonempty");
     assert_eq!(x.len(), q, "x is a characteristic vector over [q]");
     assert_eq!(y.len(), q, "y is a characteristic vector over [q]");
-    assert!(!snake.contains(0), "normalize the snake away from vertex 0 first");
+    assert!(
+        !snake.contains(0),
+        "normalize the snake away from vertex 0 first"
+    );
     let d = snake.dimension();
     let n = d as usize + 2;
-    let layout = ReductionLayout { n, state_base: 2, d };
+    let layout = ReductionLayout {
+        n,
+        state_base: 2,
+        d,
+    };
     let deg = n - 1;
-    let mut builder = Protocol::builder(topology::clique(n), 1.0)
-        .name(format!("disj-reduction(d={d}, q={q})"));
+    let mut builder =
+        Protocol::builder(topology::clique(n), 1.0).name(format!("disj-reduction(d={d}, q={q})"));
     for (node, input, other) in [(0usize, x.to_vec(), 1usize), (1, y.to_vec(), 0)] {
         let snake = snake.clone();
         builder = builder.reaction(
             node,
-            FnReaction::new(move |me: NodeId, incoming: &[bool], _| {
-                let other_label = peer(incoming, me, other);
-                let state = peer_state(incoming, me, 2, d, false);
-                let bit = if !other_label {
-                    match snake.position(state) {
-                        Some(j) => input[j % q],
-                        None => false,
-                    }
-                } else {
-                    false
-                };
-                (vec![bit; deg], u64::from(bit))
-            }),
+            FnBufReaction::new(
+                vec![false; deg],
+                move |me: NodeId, incoming: &[bool], _, out: &mut [bool]| {
+                    let other_label = peer(incoming, me, other);
+                    let state = peer_state(incoming, me, 2, d, false);
+                    let bit = if !other_label {
+                        match snake.position(state) {
+                            Some(j) => input[j % q],
+                            None => false,
+                        }
+                    } else {
+                        false
+                    };
+                    out.fill(bit);
+                    u64::from(bit)
+                },
+            ),
         );
     }
     for node in 2..n {
@@ -303,19 +363,26 @@ pub fn disj_reduction(
         let dim = (node - 2) as u32;
         builder = builder.reaction(
             node,
-            FnReaction::new(move |me: NodeId, incoming: &[bool], _| {
-                let tops = (peer(incoming, me, 0), peer(incoming, me, 1));
-                let bit = if tops == (true, true) {
-                    let rest = peer_state(incoming, me, 2, d, false);
-                    snake.phi(dim, rest)
-                } else {
-                    false
-                };
-                (vec![bit; deg], u64::from(bit))
-            }),
+            FnBufReaction::new(
+                vec![false; deg],
+                move |me: NodeId, incoming: &[bool], _, out: &mut [bool]| {
+                    let tops = (peer(incoming, me, 0), peer(incoming, me, 1));
+                    let bit = if tops == (true, true) {
+                        let rest = peer_state(incoming, me, 2, d, false);
+                        snake.phi(dim, rest)
+                    } else {
+                        false
+                    };
+                    out.fill(bit);
+                    u64::from(bit)
+                },
+            ),
         );
     }
-    (builder.build().expect("all clique nodes have reactions"), layout)
+    (
+        builder.build().expect("all clique nodes have reactions"),
+        layout,
+    )
 }
 
 /// The Claim B.8 oscillation witness for [`disj_reduction`]: a scripted
@@ -386,8 +453,7 @@ mod tests {
         let (p, layout) = eq_reduction(&snake, &x, &y);
         for start in 0..len {
             let init = eq_initial_labeling(layout, true, snake.vertices()[start]);
-            let outcome =
-                classify_sync(&p, &vec![0; layout.n], init, 100_000).unwrap();
+            let outcome = classify_sync(&p, &vec![0; layout.n], init, 100_000).unwrap();
             match outcome {
                 SyncOutcome::LabelStable { labeling, .. } => {
                     let expected = clique_uniform_labeling(layout.n, |node| node == 0);

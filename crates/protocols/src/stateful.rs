@@ -13,16 +13,22 @@ use std::sync::Arc;
 
 use stateless_core::label::Label;
 
+/// A stateful reaction: node `i`'s next label as a function of the whole
+/// label vector (including `ℓᵢ` itself).
+pub type StatefulReaction<L> = Arc<dyn Fn(&[L]) -> L + Send + Sync>;
+
 /// A stateful clique protocol: node `i`'s next label is
 /// `δᵢ(ℓ₁, …, ℓₙ)` — note the inclusion of `ℓᵢ` itself.
 #[derive(Clone)]
 pub struct StatefulProtocol<L> {
-    reactions: Vec<Arc<dyn Fn(&[L]) -> L + Send + Sync>>,
+    reactions: Vec<StatefulReaction<L>>,
 }
 
 impl<L: Label> std::fmt::Debug for StatefulProtocol<L> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("StatefulProtocol").field("nodes", &self.reactions.len()).finish()
+        f.debug_struct("StatefulProtocol")
+            .field("nodes", &self.reactions.len())
+            .finish()
     }
 }
 
@@ -32,7 +38,7 @@ impl<L: Label> StatefulProtocol<L> {
     /// # Panics
     ///
     /// Panics if `reactions` is empty.
-    pub fn new(reactions: Vec<Arc<dyn Fn(&[L]) -> L + Send + Sync>>) -> Self {
+    pub fn new(reactions: Vec<StatefulReaction<L>>) -> Self {
         assert!(!reactions.is_empty(), "need at least one node");
         StatefulProtocol { reactions }
     }
@@ -121,7 +127,10 @@ mod tests {
     #[test]
     fn sticky_or_stabilizes() {
         let p = copy_protocol(4);
-        assert_eq!(p.sync_stabilizes(vec![false, true, false, false], 100), Ok(true));
+        assert_eq!(
+            p.sync_stabilizes(vec![false, true, false, false], 100),
+            Ok(true)
+        );
         assert!(p.is_stable(&[true; 4]));
         assert!(p.is_stable(&[false; 4]));
     }
@@ -136,8 +145,9 @@ mod tests {
     #[test]
     fn state_budget_is_reported() {
         // A counter protocol that never repeats within the budget.
-        let reactions = vec![Arc::new(|labels: &[u64]| labels[0] + 1)
-            as Arc<dyn Fn(&[u64]) -> u64 + Send + Sync>];
+        let reactions =
+            vec![Arc::new(|labels: &[u64]| labels[0] + 1)
+                as Arc<dyn Fn(&[u64]) -> u64 + Send + Sync>];
         let p = StatefulProtocol::new(reactions);
         assert_eq!(p.sync_stabilizes(vec![0], 50), Err(50));
     }

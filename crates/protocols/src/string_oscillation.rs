@@ -18,12 +18,15 @@ use std::sync::Arc;
 
 use crate::stateful::StatefulProtocol;
 
+/// The oscillation map `g : Γ* → Γ ∪ {halt}` (`None` encodes `halt`).
+type OscillationMap = Arc<dyn Fn(&[u8]) -> Option<u8> + Send + Sync>;
+
 /// A String-Oscillation instance: the alphabet size `|Γ|` and the map `g`
 /// (`None` encodes `halt`).
 pub struct StringOscillation {
     m: usize,
     gamma: u8,
-    g: Arc<dyn Fn(&[u8]) -> Option<u8> + Send + Sync>,
+    g: OscillationMap,
 }
 
 impl std::fmt::Debug for StringOscillation {
@@ -58,7 +61,11 @@ impl StringOscillation {
         G: Fn(&[u8]) -> Option<u8> + Send + Sync + 'static,
     {
         assert!(m >= 1 && gamma >= 1, "need a nonempty string and alphabet");
-        StringOscillation { m, gamma, g: Arc::new(g) }
+        StringOscillation {
+            m,
+            gamma,
+            g: Arc::new(g),
+        }
     }
 
     /// String length `m`.
@@ -79,7 +86,10 @@ impl StringOscillation {
     /// Panics if `initial` has the wrong length or an out-of-range symbol.
     pub fn runs_forever(&self, initial: &[u8]) -> bool {
         assert_eq!(initial.len(), self.m, "string length mismatch");
-        assert!(initial.iter().all(|&s| s < self.gamma), "symbol out of range");
+        assert!(
+            initial.iter().all(|&s| s < self.gamma),
+            "symbol out of range"
+        );
         let mut seen: HashSet<(Vec<u8>, usize)> = HashSet::new();
         let mut t = initial.to_vec();
         let mut i = 0usize;
@@ -132,7 +142,7 @@ impl StringOscillation {
     /// carrying the cursor `(j, γ)`.
     pub fn to_stateful_protocol(&self) -> StatefulProtocol<OscLabel> {
         let m = self.m;
-        let mut reactions: Vec<Arc<dyn Fn(&[OscLabel]) -> OscLabel + Send + Sync>> =
+        let mut reactions: Vec<crate::stateful::StatefulReaction<OscLabel>> =
             Vec::with_capacity(m + 1);
         for i in 0..m {
             reactions.push(Arc::new(move |labels: &[OscLabel]| {
@@ -140,10 +150,14 @@ impl StringOscillation {
                 let controller = labels[m];
                 match controller.sym {
                     None => OscLabel { idx: 0, sym: None },
-                    Some(gamma_val) if usize::from(controller.idx) == i => {
-                        OscLabel { idx: 0, sym: Some(gamma_val) }
-                    }
-                    Some(_) => OscLabel { idx: 0, sym: labels[i].sym },
+                    Some(gamma_val) if usize::from(controller.idx) == i => OscLabel {
+                        idx: 0,
+                        sym: Some(gamma_val),
+                    },
+                    Some(_) => OscLabel {
+                        idx: 0,
+                        sym: labels[i].sym,
+                    },
                 }
             }));
         }
@@ -166,7 +180,10 @@ impl StringOscillation {
                             Some(s) => (g)(&s),
                             None => None, // corrupt symbols: halt defensively
                         };
-                        OscLabel { idx: ((j + 1) % m) as u8, sym: next }
+                        OscLabel {
+                            idx: ((j + 1) % m) as u8,
+                            sym: next,
+                        }
                     } else {
                         me
                     }
@@ -184,9 +201,17 @@ impl StringOscillation {
     /// Panics if `t` has the wrong length.
     pub fn initial_labels(&self, t: &[u8]) -> Vec<OscLabel> {
         assert_eq!(t.len(), self.m, "string length mismatch");
-        let mut labels: Vec<OscLabel> =
-            t.iter().map(|&s| OscLabel { idx: 0, sym: Some(s) }).collect();
-        labels.push(OscLabel { idx: 0, sym: (self.g)(t) });
+        let mut labels: Vec<OscLabel> = t
+            .iter()
+            .map(|&s| OscLabel {
+                idx: 0,
+                sym: Some(s),
+            })
+            .collect();
+        labels.push(OscLabel {
+            idx: 0,
+            sym: (self.g)(t),
+        });
         labels
     }
 }

@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 use stateless_core::label::bits_for_cardinality;
 use stateless_core::prelude::*;
-use stateless_core::reaction::FnReaction;
+use stateless_core::reaction::FnBufReaction;
 use turing_machine::Machine;
 
 /// The ring label `(z, b, c, o)` of the simulation.
@@ -63,35 +63,53 @@ pub fn tm_ring_protocol(machine: Machine) -> Protocol<TmLabel> {
     let n = machine.input_len();
     assert!(n >= 2, "ring simulation needs n ≥ 2");
     let z_count = machine.config_count();
-    let label_bits =
-        bits_for_cardinality(u128::from(z_count) * 2 * (u128::from(z_count) + 1) * 2);
+    let label_bits = bits_for_cardinality(u128::from(z_count) * 2 * (u128::from(z_count) + 1) * 2);
     let machine = Arc::new(machine);
     let mut builder = Protocol::builder(topology::unidirectional_ring(n), label_bits)
         .name(format!("tm-on-uniring(n={n}, |Z|={z_count})"));
 
+    let template = vec![TmLabel::reset(&machine)];
     // Node 0: the simulation driver.
     {
         let m = Arc::clone(&machine);
         builder = builder.reaction(
             0,
-            FnReaction::new(move |_, incoming: &[TmLabel], input| {
-                let lab = incoming[0];
-                // Clamp garbage from adversarial initial labelings.
-                let z_idx = lab.z.min(m.config_count() - 1);
-                let config = m.index_to_config(z_idx).expect("clamped index is valid");
-                let out = if lab.c >= m.config_count() {
-                    // Periodic reset: publish the finished run's verdict.
-                    let verdict = m.is_accepting(&config);
-                    let z0 = m.initial_config();
-                    let b0 = input == 1; // z₀'s head is at position 0 = us
-                    TmLabel { z: m.config_to_index(&z0), b: b0, c: 0, o: verdict }
-                } else {
-                    let next = m.step_with_bit(&config, lab.b);
-                    let b = if next.input_head == 0 { input == 1 } else { lab.b };
-                    TmLabel { z: m.config_to_index(&next), b, c: lab.c + 1, o: lab.o }
-                };
-                (vec![out], u64::from(out.o))
-            }),
+            FnBufReaction::new(
+                template.clone(),
+                move |_, incoming: &[TmLabel], input, outgoing: &mut [TmLabel]| {
+                    let lab = incoming[0];
+                    // Clamp garbage from adversarial initial labelings.
+                    let z_idx = lab.z.min(m.config_count() - 1);
+                    let config = m.index_to_config(z_idx).expect("clamped index is valid");
+                    let out = if lab.c >= m.config_count() {
+                        // Periodic reset: publish the finished run's verdict.
+                        let verdict = m.is_accepting(&config);
+                        let z0 = m.initial_config();
+                        let b0 = input == 1; // z₀'s head is at position 0 = us
+                        TmLabel {
+                            z: m.config_to_index(&z0),
+                            b: b0,
+                            c: 0,
+                            o: verdict,
+                        }
+                    } else {
+                        let next = m.step_with_bit(&config, lab.b);
+                        let b = if next.input_head == 0 {
+                            input == 1
+                        } else {
+                            lab.b
+                        };
+                        TmLabel {
+                            z: m.config_to_index(&next),
+                            b,
+                            c: lab.c + 1,
+                            o: lab.o,
+                        }
+                    };
+                    outgoing[0] = out;
+                    u64::from(out.o)
+                },
+            ),
         );
     }
     // Nodes 1..n: input servers and relays.
@@ -99,14 +117,27 @@ pub fn tm_ring_protocol(machine: Machine) -> Protocol<TmLabel> {
         let m = Arc::clone(&machine);
         builder = builder.reaction(
             node,
-            FnReaction::new(move |i: NodeId, incoming: &[TmLabel], input| {
-                let lab = incoming[0];
-                let z_idx = lab.z.min(m.config_count() - 1);
-                let config = m.index_to_config(z_idx).expect("clamped index is valid");
-                let b = if config.input_head == i { input == 1 } else { lab.b };
-                let out = TmLabel { z: z_idx, b, c: lab.c.min(m.config_count()), o: lab.o };
-                (vec![out], u64::from(out.o))
-            }),
+            FnBufReaction::new(
+                template.clone(),
+                move |i: NodeId, incoming: &[TmLabel], input, outgoing: &mut [TmLabel]| {
+                    let lab = incoming[0];
+                    let z_idx = lab.z.min(m.config_count() - 1);
+                    let config = m.index_to_config(z_idx).expect("clamped index is valid");
+                    let b = if config.input_head == i {
+                        input == 1
+                    } else {
+                        lab.b
+                    };
+                    let out = TmLabel {
+                        z: z_idx,
+                        b,
+                        c: lab.c.min(m.config_count()),
+                        o: lab.o,
+                    };
+                    outgoing[0] = out;
+                    u64::from(out.o)
+                },
+            ),
         );
     }
     builder.build().expect("all ring nodes have reactions")
@@ -128,11 +159,7 @@ mod tests {
     use stateless_core::schedule::Synchronous;
     use turing_machine::library;
 
-    fn run_from(
-        machine: &Machine,
-        x: &[bool],
-        initial: Vec<TmLabel>,
-    ) -> Vec<u64> {
+    fn run_from(machine: &Machine, x: &[bool], initial: Vec<TmLabel>) -> Vec<u64> {
         let p = tm_ring_protocol(machine.clone());
         let inputs: Vec<u64> = x.iter().map(|&b| u64::from(b)).collect();
         let mut sim = Simulation::new(&p, &inputs, initial).unwrap();

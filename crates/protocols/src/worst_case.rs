@@ -8,7 +8,7 @@
 //! from the all-zero labeling.
 
 use stateless_core::prelude::*;
-use stateless_core::reaction::FnReaction;
+use stateless_core::reaction::FnBufReaction;
 
 /// Builds the worst-case protocol on the unidirectional `n`-ring with
 /// label space `Σ = {0, …, q−1}`.
@@ -20,27 +20,35 @@ use stateless_core::reaction::FnReaction;
 /// Panics if `n < 2` or `q < 2`.
 pub fn worst_case_protocol(n: usize, q: u64) -> Protocol<u64> {
     assert!(n >= 2 && q >= 2, "need n ≥ 2 nodes and q ≥ 2 labels");
-    let mut builder =
-        Protocol::builder(topology::unidirectional_ring(n), (q as f64).log2())
-            .name(format!("worst-case(n={n}, q={q})"));
+    let mut builder = Protocol::builder(topology::unidirectional_ring(n), (q as f64).log2())
+        .name(format!("worst-case(n={n}, q={q})"));
     builder = builder.reaction(
         0,
-        FnReaction::new(move |_, incoming: &[u64], _| {
-            let v = incoming[0];
-            if v >= q - 1 {
-                (vec![q - 1], 1)
-            } else {
-                (vec![v + 1], 0)
-            }
-        }),
+        FnBufReaction::new(
+            vec![0u64],
+            move |_, incoming: &[u64], _, out: &mut [u64]| {
+                let v = incoming[0];
+                if v >= q - 1 {
+                    out[0] = q - 1;
+                    1
+                } else {
+                    out[0] = v + 1;
+                    0
+                }
+            },
+        ),
     );
     for node in 1..n {
         builder = builder.reaction(
             node,
-            FnReaction::new(move |_, incoming: &[u64], _| {
-                let v = incoming[0].min(q - 1);
-                (vec![v], u64::from(v == q - 1))
-            }),
+            FnBufReaction::new(
+                vec![0u64],
+                move |_, incoming: &[u64], _, out: &mut [u64]| {
+                    let v = incoming[0].min(q - 1);
+                    out[0] = v;
+                    u64::from(v == q - 1)
+                },
+            ),
         );
     }
     builder.build().expect("all ring nodes have reactions")
@@ -62,10 +70,11 @@ mod tests {
         for n in [2usize, 3, 4, 5] {
             for q in [2u64, 3, 5, 8] {
                 let p = worst_case_protocol(n, q);
-                let outcome =
-                    classify_sync(&p, &vec![0; n], vec![0u64; n], 1_000_000).unwrap();
+                let outcome = classify_sync(&p, &vec![0; n], vec![0u64; n], 1_000_000).unwrap();
                 match outcome {
-                    SyncOutcome::LabelStable { round, labeling, .. } => {
+                    SyncOutcome::LabelStable {
+                        round, labeling, ..
+                    } => {
                         assert_eq!(round, exact_rounds(n, q), "n={n} q={q}");
                         assert_eq!(labeling, vec![q - 1; n]);
                     }

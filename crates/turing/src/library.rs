@@ -33,7 +33,12 @@ pub fn parity_machine(n: usize) -> Machine {
                 b.on_any_work(
                     state,
                     bit,
-                    Transition { next_state, write: 0, work_move: 0, input_move: 1 },
+                    Transition {
+                        next_state,
+                        write: 0,
+                        work_move: 0,
+                        input_move: 1,
+                    },
                 )
                 .expect("states in range");
             }
@@ -69,14 +74,20 @@ pub fn mod_count_machine(n: usize, modulus: u32, residue: u32) -> Machine {
                 b.on_any_work(
                     state,
                     bit,
-                    Transition { next_state, write: 0, work_move: 0, input_move: 1 },
+                    Transition {
+                        next_state,
+                        write: 0,
+                        work_move: 0,
+                        input_move: 1,
+                    },
                 )
                 .expect("states in range");
             }
         }
     }
     for count in 0..modulus {
-        b.halt(scan_states + count, count == residue).expect("state in range");
+        b.halt(scan_states + count, count == residue)
+            .expect("state in range");
     }
     b.build()
 }
@@ -95,18 +106,34 @@ pub fn contains_11_machine(n: usize) -> Machine {
     for pos in 0..n as u32 {
         for seen in 0..2u32 {
             let state = pos * 2 + seen;
-            let step_to = |s: u32| if pos + 1 == n as u32 { reject } else { (pos + 1) * 2 + s };
+            let step_to = |s: u32| {
+                if pos + 1 == n as u32 {
+                    reject
+                } else {
+                    (pos + 1) * 2 + s
+                }
+            };
             b.on_any_work(
                 state,
                 false,
-                Transition { next_state: step_to(0), write: 0, work_move: 0, input_move: 1 },
+                Transition {
+                    next_state: step_to(0),
+                    write: 0,
+                    work_move: 0,
+                    input_move: 1,
+                },
             )
             .expect("states in range");
             let on_one = if seen == 1 { accept } else { step_to(1) };
             b.on_any_work(
                 state,
                 true,
-                Transition { next_state: on_one, write: 0, work_move: 0, input_move: 1 },
+                Transition {
+                    next_state: on_one,
+                    write: 0,
+                    work_move: 0,
+                    input_move: 1,
+                },
             )
             .expect("states in range");
         }
@@ -151,7 +178,12 @@ pub fn first_equals_last_machine(n: usize) -> Machine {
             b.on_any_work_preserve(
                 pos,
                 bit,
-                Transition { next_state: pos + 1, write: 0, work_move: 0, input_move: 1 },
+                Transition {
+                    next_state: pos + 1,
+                    write: 0,
+                    work_move: 0,
+                    input_move: 1,
+                },
             )
             .expect("states in range");
         }
@@ -194,7 +226,9 @@ mod tests {
     #[test]
     fn parity_machine_matches() {
         for n in 1..=6 {
-            brute(&parity_machine(n), |x| x.iter().filter(|&&b| b).count() % 2 == 1);
+            brute(&parity_machine(n), |x| {
+                x.iter().filter(|&&b| b).count() % 2 == 1
+            });
         }
     }
 
@@ -214,7 +248,9 @@ mod tests {
     #[test]
     fn contains_11_machine_matches() {
         for n in 1..=7 {
-            brute(&contains_11_machine(n), |x| x.windows(2).any(|w| w[0] && w[1]));
+            brute(&contains_11_machine(n), |x| {
+                x.windows(2).any(|w| w[0] && w[1])
+            });
         }
     }
 

@@ -68,13 +68,19 @@ impl fmt::Display for MachineError {
                 write!(f, "input has length {got}, machine expects {expected}")
             }
             MachineError::NotADecider => {
-                write!(f, "machine looped without halting; it is not a decider here")
+                write!(
+                    f,
+                    "machine looped without halting; it is not a decider here"
+                )
             }
             MachineError::InvalidTransition { what } => {
                 write!(f, "invalid transition: {what}")
             }
             MachineError::BadConfigIndex { index, count } => {
-                write!(f, "configuration index {index} out of range (|Z| = {count})")
+                write!(
+                    f,
+                    "configuration index {index} out of range (|Z| = {count})"
+                )
             }
         }
     }
@@ -103,8 +109,16 @@ impl Machine {
     ///
     /// Panics if any dimension is zero.
     pub fn builder(n_states: u32, work_len: usize, input_len: usize) -> MachineBuilder {
-        assert!(n_states >= 1 && work_len >= 1 && input_len >= 1, "dimensions must be positive");
-        let default = Transition { next_state: 0, write: BLANK, work_move: 0, input_move: 0 };
+        assert!(
+            n_states >= 1 && work_len >= 1 && input_len >= 1,
+            "dimensions must be positive"
+        );
+        let default = Transition {
+            next_state: 0,
+            write: BLANK,
+            work_move: 0,
+            input_move: 0,
+        };
         MachineBuilder {
             machine: Machine {
                 n_states,
@@ -188,7 +202,10 @@ impl Machine {
     /// Returns [`MachineError::WrongInputLength`] on arity mismatch.
     pub fn step(&self, config: &Config, x: &[bool]) -> Result<Config, MachineError> {
         if x.len() != self.input_len {
-            return Err(MachineError::WrongInputLength { got: x.len(), expected: self.input_len });
+            return Err(MachineError::WrongInputLength {
+                got: x.len(),
+                expected: self.input_len,
+            });
         }
         Ok(self.step_with_bit(config, x[config.input_head]))
     }
@@ -233,7 +250,10 @@ impl Machine {
     /// Returns [`MachineError::BadConfigIndex`] if `index ≥ |Z|`.
     pub fn index_to_config(&self, index: u64) -> Result<Config, MachineError> {
         if index >= self.config_count() {
-            return Err(MachineError::BadConfigIndex { index, count: self.config_count() });
+            return Err(MachineError::BadConfigIndex {
+                index,
+                count: self.config_count(),
+            });
         }
         let input_head = (index % self.input_len as u64) as usize;
         let rest = index / self.input_len as u64;
@@ -246,7 +266,12 @@ impl Machine {
             *slot = (work_val % 3) as u8;
             work_val /= 3;
         }
-        Ok(Config { state, work, work_head, input_head })
+        Ok(Config {
+            state,
+            work,
+            work_head,
+            input_head,
+        })
     }
 }
 
@@ -363,10 +388,28 @@ mod tests {
     /// minimal here; richer machines live in `library`.
     fn always_accept(n: usize) -> Machine {
         let mut b = Machine::builder(2, 1, n);
-        b.on_any_work(0, false, Transition { next_state: 1, write: 0, work_move: 0, input_move: 0 })
-            .unwrap();
-        b.on_any_work(0, true, Transition { next_state: 1, write: 0, work_move: 0, input_move: 0 })
-            .unwrap();
+        b.on_any_work(
+            0,
+            false,
+            Transition {
+                next_state: 1,
+                write: 0,
+                work_move: 0,
+                input_move: 0,
+            },
+        )
+        .unwrap();
+        b.on_any_work(
+            0,
+            true,
+            Transition {
+                next_state: 1,
+                write: 0,
+                work_move: 0,
+                input_move: 0,
+            },
+        )
+        .unwrap();
         b.halt(1, true).unwrap();
         b.build()
     }
@@ -377,7 +420,10 @@ mod tests {
         assert!(m.decide(&[false, true, false, true]).unwrap());
         assert_eq!(
             m.decide(&[true]),
-            Err(MachineError::WrongInputLength { got: 1, expected: 4 })
+            Err(MachineError::WrongInputLength {
+                got: 1,
+                expected: 4
+            })
         );
     }
 
@@ -412,30 +458,82 @@ mod tests {
     #[test]
     fn head_moves_clamp_at_tape_ends() {
         let mut b = Machine::builder(2, 1, 2);
-        b.on_any_work(0, false, Transition { next_state: 0, write: 0, work_move: -1, input_move: -1 })
-            .unwrap();
-        b.on_any_work(0, true, Transition { next_state: 1, write: 0, work_move: 1, input_move: 1 })
-            .unwrap();
+        b.on_any_work(
+            0,
+            false,
+            Transition {
+                next_state: 0,
+                write: 0,
+                work_move: -1,
+                input_move: -1,
+            },
+        )
+        .unwrap();
+        b.on_any_work(
+            0,
+            true,
+            Transition {
+                next_state: 1,
+                write: 0,
+                work_move: 1,
+                input_move: 1,
+            },
+        )
+        .unwrap();
         b.halt(1, true).unwrap();
         let m = b.build();
         let c = m.initial_config();
         let c = m.step_with_bit(&c, false);
         assert_eq!((c.work_head, c.input_head), (0, 0), "clamped at left");
         let c = m.step_with_bit(&c, true);
-        assert_eq!((c.work_head, c.input_head), (0, 1), "work tape len 1 clamps");
+        assert_eq!(
+            (c.work_head, c.input_head),
+            (0, 1),
+            "work tape len 1 clamps"
+        );
     }
 
     #[test]
     fn builder_rejects_bad_transitions() {
         let mut b = Machine::builder(2, 1, 2);
         assert!(b
-            .on(5, 0, false, Transition { next_state: 0, write: 0, work_move: 0, input_move: 0 })
+            .on(
+                5,
+                0,
+                false,
+                Transition {
+                    next_state: 0,
+                    write: 0,
+                    work_move: 0,
+                    input_move: 0
+                }
+            )
             .is_err());
         assert!(b
-            .on(0, 7, false, Transition { next_state: 0, write: 0, work_move: 0, input_move: 0 })
+            .on(
+                0,
+                7,
+                false,
+                Transition {
+                    next_state: 0,
+                    write: 0,
+                    work_move: 0,
+                    input_move: 0
+                }
+            )
             .is_err());
         assert!(b
-            .on(0, 0, false, Transition { next_state: 0, write: 0, work_move: 2, input_move: 0 })
+            .on(
+                0,
+                0,
+                false,
+                Transition {
+                    next_state: 0,
+                    write: 0,
+                    work_move: 2,
+                    input_move: 0
+                }
+            )
             .is_err());
         assert!(b.halt(9, true).is_err());
     }
@@ -446,16 +544,54 @@ mod tests {
         // on the written symbol.
         let mut b = Machine::builder(4, 1, 2);
         // State 0: record bit into work cell.
-        b.on_any_work(0, false, Transition { next_state: 1, write: 0, work_move: 0, input_move: 1 })
-            .unwrap();
-        b.on_any_work(0, true, Transition { next_state: 1, write: 1, work_move: 0, input_move: 1 })
-            .unwrap();
+        b.on_any_work(
+            0,
+            false,
+            Transition {
+                next_state: 1,
+                write: 0,
+                work_move: 0,
+                input_move: 1,
+            },
+        )
+        .unwrap();
+        b.on_any_work(
+            0,
+            true,
+            Transition {
+                next_state: 1,
+                write: 1,
+                work_move: 0,
+                input_move: 1,
+            },
+        )
+        .unwrap();
         // State 1: accept iff recorded symbol is 1 (regardless of input bit).
         for bit in [false, true] {
-            b.on(1, 0, bit, Transition { next_state: 2, write: 0, work_move: 0, input_move: 0 })
-                .unwrap();
-            b.on(1, 1, bit, Transition { next_state: 3, write: 1, work_move: 0, input_move: 0 })
-                .unwrap();
+            b.on(
+                1,
+                0,
+                bit,
+                Transition {
+                    next_state: 2,
+                    write: 0,
+                    work_move: 0,
+                    input_move: 0,
+                },
+            )
+            .unwrap();
+            b.on(
+                1,
+                1,
+                bit,
+                Transition {
+                    next_state: 3,
+                    write: 1,
+                    work_move: 0,
+                    input_move: 0,
+                },
+            )
+            .unwrap();
         }
         b.halt(2, false).unwrap();
         b.halt(3, true).unwrap();

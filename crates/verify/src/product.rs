@@ -17,7 +17,9 @@ pub struct Limits {
 
 impl Default for Limits {
     fn default() -> Self {
-        Limits { max_states: 2_000_000 }
+        Limits {
+            max_states: 2_000_000,
+        }
     }
 }
 
@@ -86,15 +88,25 @@ impl<L> Verdict<L> {
     }
 }
 
+/// One product-graph vertex: `(labeling, countdown, outputs)` (outputs
+/// all-zero when not tracked).
+type ProductState<L> = (Vec<L>, Vec<u8>, Vec<Output>);
+
 struct Explorer<'p, L: Label> {
     protocol: &'p Protocol<L>,
     inputs: Vec<Input>,
     r: u8,
     track_outputs: bool,
-    index: HashMap<(Vec<L>, Vec<u8>, Vec<Output>), usize>,
-    states: Vec<(Vec<L>, Vec<u8>, Vec<Output>)>,
+    index: HashMap<ProductState<L>, usize>,
+    states: Vec<ProductState<L>>,
     /// edges[u] = (v, interesting: labeling/output changed, activation mask)
     edges: Vec<Vec<(usize, bool, u32)>>,
+    /// Reusable gather/outgoing buffers for the buffered reaction path
+    /// (`expand` probes every reaction up to 2^n times per state; going
+    /// through `Protocol::apply_buffered` avoids two `Vec` allocations per
+    /// probe).
+    in_buf: Vec<L>,
+    out_buf: Vec<L>,
 }
 
 impl<'p, L: Label> Explorer<'p, L> {
@@ -113,7 +125,9 @@ impl<'p, L: Label> Explorer<'p, L> {
             });
         }
         if r == 0 {
-            return Err(VerifyError::BadParameters { what: "r must be ≥ 1".into() });
+            return Err(VerifyError::BadParameters {
+                what: "r must be ≥ 1".into(),
+            });
         }
         let mut ex = Explorer {
             protocol,
@@ -123,6 +137,8 @@ impl<'p, L: Label> Explorer<'p, L> {
             index: HashMap::new(),
             states: Vec::new(),
             edges: Vec::new(),
+            in_buf: Vec::new(),
+            out_buf: Vec::new(),
         };
         // Initialization vertices: every labeling, full countdown.
         let mut frontier: Vec<usize> = Vec::new();
@@ -139,16 +155,14 @@ impl<'p, L: Label> Explorer<'p, L> {
         Ok(ex)
     }
 
-    fn intern(
-        &mut self,
-        state: (Vec<L>, Vec<u8>, Vec<Output>),
-        limits: Limits,
-    ) -> Result<usize, VerifyError> {
+    fn intern(&mut self, state: ProductState<L>, limits: Limits) -> Result<usize, VerifyError> {
         if let Some(&id) = self.index.get(&state) {
             return Ok(id);
         }
         if self.states.len() >= limits.max_states {
-            return Err(VerifyError::TooManyStates { limit: limits.max_states });
+            return Err(VerifyError::TooManyStates {
+                limit: limits.max_states,
+            });
         }
         let id = self.states.len();
         self.index.insert(state.clone(), id);
@@ -174,18 +188,33 @@ impl<'p, L: Label> Explorer<'p, L> {
             if mask == 0 {
                 continue;
             }
-            let active: Vec<NodeId> = (0..n).filter(|&i| mask >> i & 1 == 1).collect();
             let mut next_labeling = labeling.clone();
             let mut next_outputs = outputs.clone();
-            for &i in &active {
-                let (out, y) = self.protocol.apply(i, &labeling, self.inputs[i])?;
-                for (slot, &e) in out.into_iter().zip(self.protocol.graph().out_edges(i)) {
-                    next_labeling[e] = slot;
+            let graph = self.protocol.graph();
+            for i in (0..n).filter(|&i| mask >> i & 1 == 1) {
+                // Buffered reaction probe: all reads come from the
+                // pre-step `labeling`, so the per-node commits into
+                // next_labeling cannot corrupt later probes.
+                let y = self.protocol.apply_buffered(
+                    i,
+                    &labeling,
+                    self.inputs[i],
+                    &mut self.in_buf,
+                    &mut self.out_buf,
+                );
+                for (slot, &e) in self.out_buf.iter().zip(graph.out_edges(i)) {
+                    next_labeling[e] = slot.clone();
                 }
                 next_outputs[i] = y;
             }
             let next_countdown: Vec<u8> = (0..n)
-                .map(|i| if mask >> i & 1 == 1 { self.r } else { countdown[i] - 1 })
+                .map(|i| {
+                    if mask >> i & 1 == 1 {
+                        self.r
+                    } else {
+                        countdown[i] - 1
+                    }
+                })
                 .collect();
             let interesting = if self.track_outputs {
                 next_outputs != outputs
@@ -271,10 +300,7 @@ impl<'p, L: Label> Explorer<'p, L> {
                         break;
                     }
                     for &(x, _, m) in &self.edges[w] {
-                        if comp[x] == comp[u]
-                            && x != v
-                            && !prev.contains_key(&x)
-                        {
+                        if comp[x] == comp[u] && x != v && !prev.contains_key(&x) {
                             prev.insert(x, (w, m));
                             if x == u {
                                 found = true;
@@ -387,24 +413,24 @@ mod tests {
     #[test]
     fn rotation_is_not_label_stabilizing_but_output_stabilizes() {
         let p = rotate_ring(3);
-        let label = verify_label_stabilization(&p, &[0; 3], &[false, true], 2, Limits::default())
-            .unwrap();
+        let label =
+            verify_label_stabilization(&p, &[0; 3], &[false, true], 2, Limits::default()).unwrap();
         match label {
             Verdict::NotStabilizing(w) => {
                 assert!(!w.schedule.is_empty());
             }
             Verdict::Stabilizing => panic!("rotation never label-stabilizes"),
         }
-        let output = verify_output_stabilization(&p, &[0; 3], &[false, true], 2, Limits::default())
-            .unwrap();
+        let output =
+            verify_output_stabilization(&p, &[0; 3], &[false, true], 2, Limits::default()).unwrap();
         assert!(output.is_stabilizing(), "constant outputs converge");
     }
 
     #[test]
     fn witness_schedule_really_oscillates() {
         let p = rotate_ring(3);
-        let v = verify_label_stabilization(&p, &[0; 3], &[false, true], 3, Limits::default())
-            .unwrap();
+        let v =
+            verify_label_stabilization(&p, &[0; 3], &[false, true], 3, Limits::default()).unwrap();
         let Verdict::NotStabilizing(w) = v else {
             panic!("expected a witness")
         };
@@ -427,14 +453,9 @@ mod tests {
     #[test]
     fn limits_are_enforced() {
         let p = rotate_ring(4);
-        let err = verify_label_stabilization(
-            &p,
-            &[0; 4],
-            &[false, true],
-            3,
-            Limits { max_states: 10 },
-        )
-        .unwrap_err();
+        let err =
+            verify_label_stabilization(&p, &[0; 4], &[false, true], 3, Limits { max_states: 10 })
+                .unwrap_err();
         assert_eq!(err, VerifyError::TooManyStates { limit: 10 });
     }
 

@@ -1,30 +1,49 @@
 //! Stable-labeling enumeration: the hypothesis side of Theorem 3.1.
 
-use stateless_core::convergence::all_labelings;
+use stateless_core::convergence::{all_labelings, par_sweep_init};
 use stateless_core::label::Label;
 use stateless_core::prelude::*;
 
 /// Enumerates every stable labeling (fixed point of all reactions) of
 /// `protocol` under `inputs`, over the given label alphabet.
 ///
+/// The `|Σ|^|E|` candidate labelings are probed in parallel across all
+/// cores through the allocation-free buffered reaction path
+/// ([`Protocol::is_stable_labeling_buffered`] with per-worker scratch via
+/// [`par_sweep_init`]); the result order matches the [`all_labelings`]
+/// enumeration, so it is deterministic.
+///
 /// Theorem 3.1 says: **two or more** results here ⟹ the protocol is not
 /// label (n−1)-stabilizing.
 ///
 /// # Errors
 ///
-/// Propagates probe failures from misbehaving reactions.
+/// Returns length-validation errors up front. A reaction that misbehaves
+/// on the buffered path panics (see
+/// [`Reaction::react_into`](stateless_core::reaction::Reaction::react_into)).
 pub fn enumerate_stable_labelings<L: Label>(
     protocol: &Protocol<L>,
     inputs: &[Input],
     alphabet: &[L],
 ) -> Result<Vec<Vec<L>>, CoreError> {
-    let mut stable = Vec::new();
-    for labeling in all_labelings(alphabet, protocol.edge_count()) {
-        if protocol.is_stable_labeling(&labeling, inputs)? {
-            stable.push(labeling);
-        }
+    // Validate the input/labeling lengths once, through the validating
+    // probe on the first candidate; the sweep itself then runs the
+    // buffered probe with reusable per-worker scratch buffers.
+    if let Some(labeling) = all_labelings(alphabet, protocol.edge_count()).next() {
+        protocol.is_stable_labeling(&labeling, inputs)?;
     }
-    Ok(stable)
+    let probed = par_sweep_init(
+        || (Vec::new(), Vec::new()),
+        all_labelings(alphabet, protocol.edge_count()),
+        |(in_buf, out_buf), labeling| {
+            if protocol.is_stable_labeling_buffered(&labeling, inputs, in_buf, out_buf) {
+                Some(labeling)
+            } else {
+                None
+            }
+        },
+    );
+    Ok(probed.into_iter().flatten().collect())
 }
 
 #[cfg(test)]
@@ -49,8 +68,7 @@ mod tests {
     fn example1_has_exactly_two_stable_labelings() {
         for n in [3usize, 4] {
             let p = example1(n);
-            let stable =
-                enumerate_stable_labelings(&p, &vec![0; n], &[false, true]).unwrap();
+            let stable = enumerate_stable_labelings(&p, &vec![0; n], &[false, true]).unwrap();
             assert_eq!(stable.len(), 2, "n = {n}");
             assert!(stable.contains(&vec![false; n * (n - 1)]));
             assert!(stable.contains(&vec![true; n * (n - 1)]));

@@ -11,8 +11,9 @@ use stateless_computation::games::bgp;
 fn show(name: &str, spp: &bgp::SppInstance) {
     let protocol = spp.to_protocol();
     let n = spp.node_count();
-    let direct: Vec<bgp::Route> =
-        (0..n as u8).map(|i| if i == 0 { vec![0] } else { vec![i, 0] }).collect();
+    let direct: Vec<bgp::Route> = (0..n as u8)
+        .map(|i| if i == 0 { vec![0] } else { vec![i, 0] })
+        .collect();
     let init = spp.labeling_from(&direct);
     match classify_sync(&protocol, &vec![0; n], init.clone(), 1_000_000).unwrap() {
         SyncOutcome::LabelStable { round, .. } => {
@@ -26,7 +27,10 @@ fn show(name: &str, spp: &bgp::SppInstance) {
     let mut sim = Simulation::new(&protocol, &vec![0; n], init).unwrap();
     let mut sched = RoundRobin::new(1);
     match sim.run_until_label_stable(&mut sched, 1000) {
-        Ok(steps) => println!("{:<10} sequential updates settle after {steps} activations", ""),
+        Ok(steps) => println!(
+            "{:<10} sequential updates settle after {steps} activations",
+            ""
+        ),
         Err(_) => println!("{:<10} even sequential updates never settle", ""),
     }
 }

@@ -41,11 +41,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
 
     let mut sim = Simulation::new(compiled.protocol(), &compiled.ring_inputs(&x), scrambled)?;
-    println!("\nrunning {} rounds from a fully scrambled labeling …", compiled.rounds_bound());
+    println!(
+        "\nrunning {} rounds from a fully scrambled labeling …",
+        compiled.rounds_bound()
+    );
     sim.run(&mut Synchronous, compiled.rounds_bound());
     let outs = sim.outputs();
     println!("all {} nodes output: {}", outs.len(), outs[0]);
-    assert!(outs.iter().all(|&y| y == 1), "majority(1,0,1,1,0) = 1 everywhere");
+    assert!(
+        outs.iter().all(|&y| y == 1),
+        "majority(1,0,1,1,0) = 1 everywhere"
+    );
     println!("✓ matches circuit.eval = {}", circuit.eval(&x)?);
     Ok(())
 }

@@ -26,11 +26,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let active = sched.activations(sim.time() + 1, n);
         sim.step_with(&active);
         let hot: Vec<usize> = (0..n)
-            .filter(|&i| protocol.graph().out_edges(i).iter().any(|&e| sim.labeling()[e]))
+            .filter(|&i| {
+                protocol
+                    .graph()
+                    .out_edges(i)
+                    .iter()
+                    .any(|&e| sim.labeling()[e])
+            })
             .collect();
-        println!("t={:<3} activated {:?}  hot node(s): {:?}", t + 1, active, hot);
+        println!(
+            "t={:<3} activated {:?}  hot node(s): {:?}",
+            t + 1,
+            active,
+            hot
+        );
     }
-    println!("\n→ the hot token circulates forever; worst activation gap = {}", sched.worst_gap());
+    println!(
+        "\n→ the hot token circulates forever; worst activation gap = {}",
+        sched.worst_gap()
+    );
 
     // Exact verification for a small instance: r = n−2 converges,
     // r = n−1 does not.
@@ -40,7 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             verify_label_stabilization(&small, &[0; 3], &[false, true], r, Limits::default())?;
         println!(
             "K3, r = {r}: {}",
-            if verdict.is_stabilizing() { "label r-stabilizing" } else { "oscillation exists" }
+            if verdict.is_stabilizing() {
+                "label r-stabilizing"
+            } else {
+                "oscillation exists"
+            }
         );
     }
     Ok(())

@@ -20,7 +20,9 @@ fn spread(n: usize, num: usize, den: usize, seeds: &[usize]) {
             );
         }
         SyncOutcome::Oscillating { period, .. } => {
-            println!("ring({n}), threshold {num}/{den}, seeds {seeds:?}: oscillates (period {period})");
+            println!(
+                "ring({n}), threshold {num}/{den}, seeds {seeds:?}: oscillates (period {period})"
+            );
         }
     }
 }

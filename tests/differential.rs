@@ -1,0 +1,197 @@
+//! Differential tests: the buffered engine hot path (`react_into` /
+//! `step_sync` / scratch-buffer `step_with`) must produce **bit-identical**
+//! labeling traces and outputs to the naive allocating `react` path, on
+//! random protocols, topologies, schedules, and initial labelings; and the
+//! fingerprint-arena `classify_sync` must agree exactly with the
+//! clone-based reference.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use stateless_computation::core::convergence::{classify_sync, classify_sync_naive};
+use stateless_computation::core::graph::DiGraph;
+use stateless_computation::core::prelude::*;
+
+/// A pseudo-random but fully deterministic reaction body: mixes the node
+/// id, the incoming labels, and the input into one word, then derives a
+/// distinct label per outgoing edge. `q` bounds the label alphabet so
+/// classification state spaces stay finite.
+fn mix(node: NodeId, incoming: &[u64], input: u64, q: u64) -> u64 {
+    let mut acc = 0xcbf2_9ce4_8422_2325u64 ^ (node as u64);
+    for &l in incoming {
+        acc = (acc.rotate_left(7) ^ l).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    acc = (acc.rotate_left(7) ^ input).wrapping_mul(0x0000_0100_0000_01B3);
+    acc % q
+}
+
+fn out_label(seed_word: u64, k: usize, q: u64) -> u64 {
+    (seed_word.wrapping_mul(2 * k as u64 + 1).rotate_left(11) ^ seed_word) % q
+}
+
+/// The same random protocol through the naive (allocating `FnReaction`)
+/// and buffered (`FnBufReaction`) paths.
+fn protocol_pair(graph: &DiGraph, q: u64) -> (Protocol<u64>, Protocol<u64>) {
+    let mut naive = Protocol::builder(graph.clone(), (q as f64).log2());
+    let mut buffered = Protocol::builder(graph.clone(), (q as f64).log2());
+    for node in 0..graph.node_count() {
+        let deg = graph.out_degree(node);
+        naive = naive.reaction(
+            node,
+            FnReaction::new(move |i: NodeId, incoming: &[u64], input| {
+                let w = mix(i, incoming, input, q);
+                ((0..deg).map(|k| out_label(w, k, q)).collect(), w)
+            }),
+        );
+        buffered = buffered.reaction(
+            node,
+            FnBufReaction::new(
+                vec![0u64; deg],
+                move |i: NodeId, incoming: &[u64], input, out: &mut [u64]| {
+                    let w = mix(i, incoming, input, q);
+                    for (k, slot) in out.iter_mut().enumerate() {
+                        *slot = out_label(w, k, q);
+                    }
+                    w
+                },
+            ),
+        );
+    }
+    (naive.build().unwrap(), buffered.build().unwrap())
+}
+
+fn topology_of(kind: usize, size: usize) -> DiGraph {
+    match kind % 4 {
+        0 => topology::unidirectional_ring(size.max(2)),
+        1 => topology::bidirectional_ring(size.max(3)),
+        2 => topology::clique(size.max(2)),
+        _ => topology::torus(3, size.max(3)),
+    }
+}
+
+/// Random activation schedule: `steps` nonempty subsets drawn with a
+/// seeded RNG, replayed identically against both engines.
+fn random_schedule(rng: &mut StdRng, n: usize, steps: usize) -> Vec<Vec<NodeId>> {
+    (0..steps)
+        .map(|_| {
+            let mut set: Vec<NodeId> = (0..n).filter(|_| rng.random_bool(0.4)).collect();
+            if set.is_empty() {
+                set.push(rng.random_range(0..n));
+            }
+            set
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// step_with (buffered scratch path) ≡ step_with_naive (allocating
+    /// apply path) under random asynchronous schedules, on every topology
+    /// family.
+    #[test]
+    fn buffered_step_matches_naive_trace(seed in 0u64..10_000, kind in 0usize..4, size in 3usize..7) {
+        let graph = topology_of(kind, size);
+        let n = graph.node_count();
+        let q = 17;
+        let (p_naive, p_buf) = protocol_pair(&graph, q);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inputs: Vec<u64> = (0..n).map(|_| rng.random_range(0u64..5)).collect();
+        let init: Vec<u64> = (0..graph.edge_count()).map(|_| rng.random_range(0..q)).collect();
+        let schedule = random_schedule(&mut rng, n, 40);
+
+        let mut a = Simulation::new(&p_naive, &inputs, init.clone()).unwrap();
+        let mut b = Simulation::new(&p_buf, &inputs, init).unwrap();
+        for (t, active) in schedule.iter().enumerate() {
+            a.step_with_naive(active);
+            b.step_with(active);
+            prop_assert_eq!(a.labeling(), b.labeling(), "labelings diverged at step {}", t);
+            prop_assert_eq!(a.outputs(), b.outputs(), "outputs diverged at step {}", t);
+        }
+    }
+
+    /// step_sync ≡ step_with_naive(all nodes): the synchronous fast path
+    /// is trace-identical to the naive full-activation step.
+    #[test]
+    fn step_sync_matches_naive_trace(seed in 0u64..10_000, kind in 0usize..4, size in 3usize..7) {
+        let graph = topology_of(kind, size);
+        let n = graph.node_count();
+        let q = 23;
+        let (p_naive, p_buf) = protocol_pair(&graph, q);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x51ac_0ff5);
+        let inputs: Vec<u64> = (0..n).map(|_| rng.random_range(0u64..5)).collect();
+        let init: Vec<u64> = (0..graph.edge_count()).map(|_| rng.random_range(0..q)).collect();
+        let all: Vec<NodeId> = (0..n).collect();
+
+        let mut a = Simulation::new(&p_naive, &inputs, init.clone()).unwrap();
+        let mut b = Simulation::new(&p_buf, &inputs, init).unwrap();
+        for t in 0..30 {
+            a.step_with_naive(&all);
+            b.step_sync();
+            prop_assert_eq!(a.labeling(), b.labeling(), "labelings diverged at round {}", t);
+            prop_assert_eq!(a.outputs(), b.outputs(), "outputs diverged at round {}", t);
+        }
+    }
+
+    /// run_until_label_stable through the buffered engine agrees with the
+    /// naive reference — on the step count when it converges, and on the
+    /// NotConverged verdict and final labeling when it does not (max of
+    /// *incoming* labels can oscillate on even structures).
+    #[test]
+    fn run_until_stable_agrees_across_paths(seed in 0u64..10_000, size in 3usize..7) {
+        let graph = topology::bidirectional_ring(size.max(3));
+        let n = graph.node_count();
+        let build = |buffered: bool| -> Protocol<u64> {
+            let mut b = Protocol::builder(graph.clone(), 8.0);
+            for node in 0..n {
+                let deg = graph.out_degree(node);
+                if buffered {
+                    b = b.reaction(node, FnBufReaction::new(
+                        vec![0u64; deg],
+                        |_, inc: &[u64], x, out: &mut [u64]| {
+                            let m = inc.iter().copied().max().unwrap_or(0).max(x);
+                            out.fill(m);
+                            m
+                        },
+                    ));
+                } else {
+                    b = b.reaction(node, FnReaction::new(move |_, inc: &[u64], x| {
+                        let m = inc.iter().copied().max().unwrap_or(0).max(x);
+                        (vec![m; deg], m)
+                    }));
+                }
+            }
+            b.build().unwrap()
+        };
+        let p_naive = build(false);
+        let p_buf = build(true);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inputs: Vec<u64> = (0..n).map(|_| rng.random_range(0u64..100)).collect();
+        let init: Vec<u64> = (0..graph.edge_count()).map(|_| rng.random_range(0u64..100)).collect();
+
+        let mut a = Simulation::new(&p_naive, &inputs, init.clone()).unwrap();
+        let mut b = Simulation::new(&p_buf, &inputs, init).unwrap();
+        let sa = a.run_until_label_stable(&mut Synchronous, 10 * n as u64);
+        let sb = b.run_until_label_stable(&mut Synchronous, 10 * n as u64);
+        prop_assert_eq!(sa, sb);
+        prop_assert_eq!(a.labeling(), b.labeling());
+        prop_assert_eq!(a.outputs(), b.outputs());
+    }
+
+    /// Fingerprint classify_sync ≡ clone-based reference on random small
+    /// instances (both stabilizing and oscillating dynamics arise from the
+    /// mixed reactions).
+    #[test]
+    fn classify_agrees_with_reference(seed in 0u64..10_000, kind in 0usize..3, size in 3usize..5, q in 2u64..4) {
+        let graph = topology_of(kind, size);
+        let (p_naive, p_buf) = protocol_pair(&graph, q);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = graph.node_count();
+        let inputs: Vec<u64> = (0..n).map(|_| rng.random_range(0u64..3)).collect();
+        let init: Vec<u64> = (0..graph.edge_count()).map(|_| rng.random_range(0..q)).collect();
+        let cap = 200_000;
+        let fast = classify_sync(&p_buf, &inputs, init.clone(), cap);
+        let reference = classify_sync_naive(&p_naive, &inputs, init, cap);
+        prop_assert_eq!(fast, reference);
+    }
+}

@@ -103,8 +103,7 @@ fn theorem_5_2_round_trip() {
     for bits in 0..1u32 << n {
         let x: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
         let inputs: Vec<u64> = x.iter().map(|&b| u64::from(b)).collect();
-        let mut sim =
-            Simulation::new(&p, &inputs, vec![tm_ring::TmLabel::reset(&m); n]).unwrap();
+        let mut sim = Simulation::new(&p, &inputs, vec![tm_ring::TmLabel::reset(&m); n]).unwrap();
         sim.run(&mut Synchronous, budget);
         let expected = u64::from(m.decide(&x).unwrap());
         assert_eq!(sim.outputs(), &vec![expected; n][..]);
@@ -115,12 +114,7 @@ fn theorem_5_2_round_trip() {
     let rp = bpconv::bp_to_uniring_protocol(&bp).unwrap();
     let x = [true, false, true, true, false, true];
     let inputs: Vec<u64> = x.iter().map(|&b| u64::from(b)).collect();
-    let mut sim = Simulation::new(
-        &rp,
-        &inputs,
-        vec![bpconv::BpRingLabel::default(); 6],
-    )
-    .unwrap();
+    let mut sim = Simulation::new(&rp, &inputs, vec![bpconv::BpRingLabel::default(); 6]).unwrap();
     sim.run(&mut Synchronous, bpconv::output_rounds_bound(&bp));
     assert_eq!(sim.outputs(), &[1; 6]);
 }
@@ -186,10 +180,11 @@ fn radius_bound_on_generic_protocols() {
             let x: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
             let inputs: Vec<u64> = x.iter().map(|&b| u64::from(b)).collect();
             let mut sim =
-                Simulation::new(&p, &inputs, vec![GenericLabel::zero(n); p.edge_count()])
-                    .unwrap();
-            worst =
-                worst.max(sim.run_until_label_stable(&mut Synchronous, 10 * n as u64).unwrap());
+                Simulation::new(&p, &inputs, vec![GenericLabel::zero(n); p.edge_count()]).unwrap();
+            worst = worst.max(
+                sim.run_until_label_stable(&mut Synchronous, 10 * n as u64)
+                    .unwrap(),
+            );
         }
         assert!(worst >= radius);
     }

@@ -55,7 +55,7 @@ fn contagion_on_torus_spreads_from_a_block() {
     // A 2×2 block of adopters: every frontier node sees 2 of 4 neighbors.
     let seeds = [0usize, 1, 4, 5];
     let init = seeded_labeling(&g, &seeds);
-    let outcome = classify_sync(&p, &vec![0; 16], init, 1_000_000).unwrap();
+    let outcome = classify_sync(&p, &[0; 16], init, 1_000_000).unwrap();
     // With 4-neighbor adjacency, a frontier node sees only 1 of 4 adopters:
     // the block self-sustains but does NOT spread — Morris's point that the
     // contagion threshold depends on neighborhood structure.

@@ -1,0 +1,329 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! small, API-compatible benchmarking harness covering the subset of
+//! criterion the `benches/` targets use: benchmark groups, per-input
+//! benchmarks, throughput annotation, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Methodology: each benchmark is warmed up, then the iteration count is
+//! calibrated so one sample takes ≈ `SAMPLE_TARGET`; several samples are
+//! collected and the **median** per-iteration time is reported (robust to
+//! scheduler noise). Results are printed in a criterion-like one-line
+//! format and, when `CRITERION_JSON` is set, appended as JSON lines to the
+//! named file so tooling can diff runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Per-sample wall-clock target. Small enough that a full `cargo bench`
+/// stays fast, large enough to dominate timer resolution.
+const SAMPLE_TARGET: Duration = Duration::from_millis(40);
+const DEFAULT_SAMPLES: usize = 12;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group: a function name plus a
+/// parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, criterion's conventional id shape.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The top-level harness handle passed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("", &id.to_string(), None, DEFAULT_SAMPLES, f);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the element/byte throughput of one iteration (reported as a
+    /// rate next to the time).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(3);
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &self.name,
+            &id.to_string(),
+            self.throughput,
+            self.samples,
+            &mut f,
+        );
+        self
+    }
+
+    /// Benchmarks `f` with an input value (criterion's per-input form).
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &self.name,
+            &id.to_string(),
+            self.throughput,
+            self.samples,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group. (Reports are emitted eagerly; this is for API
+    /// compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Drives the timed iterations of one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over this sample's calibrated iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F>(group: &str, id: &str, throughput: Option<Throughput>, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let full = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    // Warmup + calibration: grow the iteration count until one sample
+    // takes at least SAMPLE_TARGET.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= SAMPLE_TARGET || iters >= 1 << 30 {
+            break;
+        }
+        let per_iter = b.elapsed.as_nanos().max(1) / u128::from(iters);
+        let want = (SAMPLE_TARGET.as_nanos() * 5 / 4) / per_iter;
+        iters = iters
+            .max(1)
+            .saturating_mul(2)
+            .max(want.try_into().unwrap_or(u64::MAX))
+            .min(1 << 30);
+    }
+    // Measurement: median of per-iteration sample means.
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let (lo, hi) = (per_iter_ns[0], per_iter_ns[per_iter_ns.len() - 1]);
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => {
+            format!("  thrpt: {} elem/s", human_rate(n as f64 / (median / 1e9)))
+        }
+        Throughput::Bytes(n) => format!("  thrpt: {} B/s", human_rate(n as f64 / (median / 1e9))),
+    });
+    println!(
+        "{full:<48} time: [{} {} {}]{}",
+        human_time(lo),
+        human_time(median),
+        human_time(hi),
+        rate.as_deref().unwrap_or("")
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let elems = match throughput {
+                Some(Throughput::Elements(n)) => n,
+                _ => 0,
+            };
+            let _ = writeln!(
+                file,
+                "{{\"bench\":\"{full}\",\"median_ns_per_iter\":{median:.1},\"low_ns\":{lo:.1},\"high_ns\":{hi:.1},\"elements_per_iter\":{elems}}}"
+            );
+        }
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn human_rate(per_s: f64) -> String {
+    if per_s >= 1e9 {
+        format!("{:.2} G", per_s / 1e9)
+    } else if per_s >= 1e6 {
+        format!("{:.2} M", per_s / 1e6)
+    } else if per_s >= 1e3 {
+        format!("{:.2} K", per_s / 1e3)
+    } else {
+        format!("{per_s:.1} ")
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags (e.g. `--bench`); none apply here.
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(
+            BenchmarkId::new("stabilize", 16).to_string(),
+            "stabilize/16"
+        );
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn bencher_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("selftest");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(1));
+        let mut runs = 0u64;
+        group.bench_function("noop", |b| b.iter(|| runs = runs.wrapping_add(1)));
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn humanized_units() {
+        assert!(human_time(12.3).ends_with("ns"));
+        assert!(human_time(12_300.0).ends_with("µs"));
+        assert!(human_time(12_300_000.0).ends_with("ms"));
+        assert!(human_rate(2.5e7).ends_with('M'));
+    }
+}

@@ -1,0 +1,191 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! miniature property-testing harness covering the subset of proptest the
+//! integration tests use: the `proptest!` macro with `name in strategy`
+//! bindings over integer-range strategies, `prop_assert!` /
+//! `prop_assert_eq!`, and `ProptestConfig::with_cases`.
+//!
+//! Each generated test runs its body over `cases` pseudo-random inputs
+//! drawn from a deterministic per-test seed (FNV-1a of the test's module
+//! path and name), so failures are reproducible across runs. Shrinking is
+//! not implemented — the failing input values are reported via the panic
+//! message instead.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+#[doc(hidden)]
+pub use rand;
+
+use rand::rngs::StdRng;
+
+/// Harness configuration; only the case count is supported.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// A source of random test inputs.
+pub trait Strategy {
+    /// The produced value type.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                use rand::RngExt;
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                use rand::RngExt;
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for bool {
+    type Value = bool;
+    fn sample(&self, rng: &mut StdRng) -> bool {
+        use rand::RngExt;
+        // The literal `true`/`false` strategy degenerates to a coin flip
+        // when used as `any::<bool>()` is unavailable; constants are rare.
+        let _ = self;
+        rng.random_bool(0.5)
+    }
+}
+
+/// Deterministic 64-bit FNV-1a, used to derive per-test seeds.
+#[doc(hidden)]
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Declares property tests; see the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let seed = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+                let mut rng = <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(seed);
+                for case in 0..cfg.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                    if let Err(panic) = result {
+                        eprintln!(
+                            "proptest case {}/{} failed for {} with inputs: {}",
+                            case + 1,
+                            cfg.cases,
+                            stringify!($name),
+                            [$(format!(concat!(stringify!($arg), " = {:?}"), &$arg)),*].join(", "),
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a property holds (panics with the formatted message otherwise).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts two values are unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The commonly glob-imported surface.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_respect_bounds(a in 3usize..9, b in 0u64..=5) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!(b <= 5);
+        }
+
+        #[test]
+        fn arithmetic_property(x in 0u32..1000, y in 0u32..1000) {
+            prop_assert_eq!(x + y, y + x);
+            prop_assert_ne!(x + y + 1, x + y);
+        }
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(crate::fnv1a("abc"), crate::fnv1a("abc"));
+        assert_ne!(crate::fnv1a("abc"), crate::fnv1a("abd"));
+    }
+
+    #[test]
+    fn default_config_has_cases() {
+        assert!(ProptestConfig::default().cases > 0);
+    }
+}

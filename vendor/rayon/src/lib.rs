@@ -1,0 +1,62 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the small slice of rayon's surface the simulation code needs: scoped
+//! threads, a fork-join primitive, and the thread-count query. Everything
+//! is backed by `std::thread::scope` — real OS-level parallelism, without
+//! rayon's work-stealing pool. The parallel sweep drivers in
+//! `stateless-core` chunk their own work, so a pool is unnecessary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use std::thread::{scope, Scope};
+
+/// Number of worker threads a parallel region should use: the machine's
+/// available parallelism (1 if it cannot be queried).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let b = s.spawn(oper_b);
+        let ra = oper_a();
+        (ra, b.join().expect("joined closure panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn scope_spawns_run() {
+        let mut results = vec![0u64; 4];
+        scope(|s| {
+            for (i, slot) in results.iter_mut().enumerate() {
+                s.spawn(move || *slot = i as u64 + 1);
+            }
+        });
+        assert_eq!(results, vec![1, 2, 3, 4]);
+    }
+}
