@@ -1,0 +1,79 @@
+//! The asynchronous scheduling layer: `Simulation::run` (which draws
+//! activation sets through the buffered `Schedule::activations_into` into
+//! one reused buffer) against the naive path that allocates a fresh
+//! activation `Vec` every step, for every built-in schedule family; plus
+//! the two `CycleDetector` modes of the classifier (history arena vs
+//! O(1)-memory Brent) on a long-transient workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use stateless_bench::workloads::{max_ring, schedule_workload, SCHEDULE_KINDS};
+use stateless_core::convergence::{classify_sync_with, CycleDetector};
+use stateless_core::prelude::*;
+use stateless_protocols::worst_case::worst_case_protocol;
+
+const N: usize = 1024;
+const STEPS: u64 = 200;
+
+fn bench_async_engine(c: &mut Criterion) {
+    let p = max_ring(N);
+    let inputs: Vec<u64> = (0..N as u64).collect();
+    let mut group = c.benchmark_group("async_engine");
+    group.throughput(Throughput::Elements(STEPS));
+    for kind in SCHEDULE_KINDS {
+        // Buffered: run() reuses one activation buffer across all steps.
+        group.bench_with_input(BenchmarkId::new(kind, "buffered_run"), &kind, |b, kind| {
+            b.iter(|| {
+                let mut sim = Simulation::new(&p, &inputs, vec![0u64; N]).unwrap();
+                let mut sched = schedule_workload(kind, N);
+                sim.run(sched.as_mut(), STEPS);
+                sim.time()
+            })
+        });
+        // Naive: one fresh Vec per step through the allocating wrapper
+        // (the pre-refactor call shape of every run loop).
+        group.bench_with_input(
+            BenchmarkId::new(kind, "alloc_per_step"),
+            &kind,
+            |b, kind| {
+                b.iter(|| {
+                    let mut sim = Simulation::new(&p, &inputs, vec![0u64; N]).unwrap();
+                    let mut sched = schedule_workload(kind, N);
+                    for _ in 0..STEPS {
+                        let active = sched.activations(sim.time() + 1, N);
+                        sim.step_with(&active);
+                    }
+                    sim.time()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The two detector modes on the worst-case protocol (transient of exactly
+/// n·(q−1) rounds before the fixed point): the arena retains every visited
+/// labeling, Brent re-runs the deterministic prefix instead.
+fn bench_classify_detectors(c: &mut Criterion) {
+    let n = 1024usize;
+    let p = worst_case_protocol(n, 2);
+    let inputs = vec![0u64; n];
+    let mut group = c.benchmark_group("classify_detectors");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n as u64 * n as u64));
+    for (name, detector) in [
+        ("exact_arena", CycleDetector::ExactArena),
+        ("brent", CycleDetector::Brent),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, n), &detector, |b, &detector| {
+            b.iter(|| {
+                let out = classify_sync_with(&p, &inputs, vec![0u64; n], 10_000, detector).unwrap();
+                assert!(out.is_label_stable());
+                out.output_round()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_async_engine, bench_classify_detectors);
+criterion_main!(benches);

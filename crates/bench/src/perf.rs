@@ -6,16 +6,19 @@
 //! JSON object. The committed `BENCH_engine.json` at the repository root
 //! is a snapshot of this output and seeds the perf trajectory across PRs.
 
+use std::io::Write as _;
 use std::time::Instant;
 
 use stateless_core::convergence::{
-    all_labelings, classify_sync, classify_sync_naive, sync_round_complexity,
-    sync_round_complexity_par,
+    all_labelings, classify_sync, classify_sync_naive, classify_sync_with, sync_round_complexity,
+    sync_round_complexity_par, CycleDetector,
 };
 use stateless_core::prelude::*;
 use stateless_protocols::worst_case::worst_case_protocol;
 
-use crate::workloads::{is_stable_naive, max_ring, max_ring_naive, sticky_or_ring};
+use crate::workloads::{
+    is_stable_naive, max_ring, max_ring_naive, schedule_workload, sticky_or_ring, SCHEDULE_KINDS,
+};
 
 /// Minimum wall-clock spent per measurement; the reported figure is the
 /// best per-iteration time observed (robust to scheduler noise).
@@ -34,6 +37,28 @@ fn best_seconds<F: FnMut()>(mut f: F) -> f64 {
         spent += dt;
     }
     best
+}
+
+/// Appends one line to the file named by `CRITERION_JSON` (if set), in the
+/// same line-JSON shape the vendored criterion harness writes, so the
+/// experiments runner's measurements land in the same trend file as
+/// `cargo bench` runs and CI can archive them together.
+fn emit_criterion_line(bench: &str, seconds_per_iter: f64, elements_per_iter: u64) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    else {
+        return;
+    };
+    let ns = seconds_per_iter * 1e9;
+    let _ = writeln!(
+        file,
+        "{{\"bench\":\"{bench}\",\"median_ns_per_iter\":{ns:.1},\"low_ns\":{ns:.1},\"high_ns\":{ns:.1},\"elements_per_iter\":{elements_per_iter}}}"
+    );
 }
 
 /// One engine measurement at ring size `n`: activations/s for the naive
@@ -56,6 +81,8 @@ fn engine_entry(n: usize) -> String {
         }
     });
 
+    emit_criterion_line(&format!("perf/engine/{n}/buffered"), buffered, rounds);
+    emit_criterion_line(&format!("perf/engine/{n}/naive"), naive, rounds);
     format!(
         concat!(
             "{{\"n\":{},\"rounds_per_iter\":{},",
@@ -90,6 +117,8 @@ fn stabilization_entry(n: usize) -> String {
             sim.step_with_naive(&all);
         }
     });
+    emit_criterion_line(&format!("perf/stabilization/{n}/buffered"), buffered, 1);
+    emit_criterion_line(&format!("perf/stabilization/{n}/naive"), naive, 1);
     format!(
         concat!(
             "{{\"n\":{},\"naive_ms_per_run\":{:.3},",
@@ -113,6 +142,8 @@ fn classify_entry(n: usize) -> String {
     let naive = best_seconds(|| {
         classify_sync_naive(&p, &inputs, vec![0u64; n], 10_000).unwrap();
     });
+    emit_criterion_line(&format!("perf/classify/{n}/fingerprint"), fast, 1);
+    emit_criterion_line(&format!("perf/classify/{n}/naive"), naive, 1);
     format!(
         concat!(
             "{{\"n\":{},\"naive_ms_per_run\":{:.3},",
@@ -139,6 +170,8 @@ fn sweep_entry(n: usize) -> String {
             .unwrap()
             .unwrap();
     });
+    emit_criterion_line(&format!("perf/sweep/{n}/sequential"), seq, 1 << n);
+    emit_criterion_line(&format!("perf/sweep/{n}/parallel"), par, 1 << n);
     format!(
         concat!(
             "{{\"n\":{},\"labelings\":{},\"sequential_ms\":{:.3},",
@@ -152,19 +185,115 @@ fn sweep_entry(n: usize) -> String {
     )
 }
 
+/// Async engine measurement at ring size `n`: steps/s under one schedule
+/// family, `Simulation::run` (buffered `activations_into`) vs the
+/// allocating one-`Vec`-per-step path every run loop used before the
+/// buffered scheduling layer.
+fn async_engine_entry(kind: &str, n: usize) -> String {
+    let steps = 50_000u64;
+    let inputs: Vec<u64> = (0..n as u64).collect();
+    let p = max_ring(n);
+
+    let buffered = best_seconds(|| {
+        let mut sim = Simulation::new(&p, &inputs, vec![0u64; n]).unwrap();
+        let mut sched = schedule_workload(kind, n);
+        sim.run(sched.as_mut(), steps);
+    });
+    let alloc = best_seconds(|| {
+        let mut sim = Simulation::new(&p, &inputs, vec![0u64; n]).unwrap();
+        let mut sched = schedule_workload(kind, n);
+        for _ in 0..steps {
+            let active = sched.activations(sim.time() + 1, n);
+            sim.step_with(&active);
+        }
+    });
+    emit_criterion_line(
+        &format!("perf/async_engine/{kind}/buffered"),
+        buffered,
+        steps,
+    );
+    emit_criterion_line(&format!("perf/async_engine/{kind}/alloc"), alloc, steps);
+    format!(
+        concat!(
+            "{{\"schedule\":\"{}\",\"n\":{},\"steps_per_iter\":{},",
+            "\"alloc_steps_per_s\":{:.0},",
+            "\"buffered_steps_per_s\":{:.0},",
+            "\"speedup\":{:.2}}}"
+        ),
+        kind,
+        n,
+        steps,
+        steps as f64 / alloc,
+        steps as f64 / buffered,
+        alloc / buffered
+    )
+}
+
+/// The two [`CycleDetector`] modes on the worst-case protocol at size `n`
+/// (transient of exactly n·(q−1) synchronous rounds): throughput plus the
+/// estimated peak classifier memory — the arena retains every visited
+/// labeling, Brent keeps a constant number of them.
+fn classify_detectors_entry(n: usize) -> String {
+    let q = 2u64;
+    let p = worst_case_protocol(n, q);
+    let inputs = vec![0u64; n];
+    let arena = best_seconds(|| {
+        classify_sync_with(
+            &p,
+            &inputs,
+            vec![0u64; n],
+            10_000,
+            CycleDetector::ExactArena,
+        )
+        .unwrap();
+    });
+    let brent = best_seconds(|| {
+        classify_sync_with(&p, &inputs, vec![0u64; n], 10_000, CycleDetector::Brent).unwrap();
+    });
+    emit_criterion_line(&format!("perf/classify_detectors/{n}/arena"), arena, 1);
+    emit_criterion_line(&format!("perf/classify_detectors/{n}/brent"), brent, 1);
+    // The transient visits n·(q−1)+1 distinct labelings of n u64 labels.
+    let rounds = n as u64 * (q - 1) + 1;
+    let label_bytes = std::mem::size_of::<u64>() as u64;
+    let arena_bytes = rounds * n as u64 * label_bytes;
+    // Brent holds two run cursors plus snapshot/entry/output buffers —
+    // a small constant number of labelings.
+    let brent_bytes = 4 * n as u64 * label_bytes;
+    format!(
+        concat!(
+            "{{\"n\":{},\"arena_ms_per_run\":{:.3},\"brent_ms_per_run\":{:.3},",
+            "\"arena_history_bytes\":{},\"brent_state_bytes\":{},",
+            "\"brent_time_overhead\":{:.2}}}"
+        ),
+        n,
+        arena * 1e3,
+        brent * 1e3,
+        arena_bytes,
+        brent_bytes,
+        brent / arena
+    )
+}
+
 /// Builds the full JSON summary (pretty-printed, one section per line).
 pub fn summary_json() -> String {
     let threads = rayon::current_num_threads();
     let engine: Vec<String> = [100usize, 1024].iter().map(|&n| engine_entry(n)).collect();
+    let async_engine: Vec<String> = SCHEDULE_KINDS
+        .iter()
+        .map(|kind| async_engine_entry(kind, 1024))
+        .collect();
     let stabilization = stabilization_entry(1024);
     let classify = classify_entry(1024);
+    let detectors = classify_detectors_entry(1024);
     let sweep = sweep_entry(14);
     format!(
-        "{{\n  \"suite\": \"stateless-computation perf summary\",\n  \"threads\": {},\n  \"engine_throughput\": [{}],\n  \"label_stabilization\": {},\n  \"classify_sync\": {},\n  \"round_complexity_sweep\": {}\n}}\n",
+        "{{\n  \"suite\": \"stateless-computation perf summary\",\n  \"threads\": {},\n  \"engine_throughput\": [{}],\n  \"async_engine\": [{}],\n  \"label_stabilization\": {},\n  \"classify_sync\": {},\n  \"classify_detectors\": {},\n  \"round_complexity_sweep\": {}\n}}\n",
         threads,
         engine.join(", "),
+        async_engine.join(", "),
         stabilization,
         classify,
+        detectors,
         sweep
     )
 }

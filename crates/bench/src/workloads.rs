@@ -1,8 +1,10 @@
-//! Shared benchmark workloads: the reference protocols the criterion
-//! benches and the `--json` perf summary both measure. One definition —
-//! so the committed `BENCH_engine.json`, the benches, and the acceptance
-//! numbers always time the same reactions.
+//! Shared benchmark workloads: the reference protocols and schedules the
+//! criterion benches and the `--json` perf summary both measure. One
+//! definition — so the committed `BENCH_engine.json`, the benches, and the
+//! acceptance numbers always time the same reactions.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use stateless_core::prelude::*;
 
 /// Max-propagation on the unidirectional ring through the buffered
@@ -48,6 +50,32 @@ pub fn sticky_or_ring(n: usize) -> Protocol<bool> {
         ))
         .build()
         .expect("ring nodes all have reactions")
+}
+
+/// The benchmark schedule families (one representative per built-in
+/// schedule type, seeded deterministically) for a graph of `n` nodes.
+pub const SCHEDULE_KINDS: [&str; 4] = [
+    "round_robin_64",
+    "scripted_pairs",
+    "random_rfair_8",
+    "monitored_rr_64",
+];
+
+/// Builds the named schedule workload from [`SCHEDULE_KINDS`].
+///
+/// # Panics
+///
+/// Panics on an unknown `kind`.
+pub fn schedule_workload(kind: &str, n: usize) -> Box<dyn Schedule> {
+    match kind {
+        "round_robin_64" => Box::new(RoundRobin::new(64)),
+        "scripted_pairs" => Box::new(Scripted::cycle(
+            (0..n).map(|t| vec![t, (t + 1) % n]).collect(),
+        )),
+        "random_rfair_8" => Box::new(RandomRFair::new(8, 0.05, StdRng::seed_from_u64(7))),
+        "monitored_rr_64" => Box::new(FairnessMonitor::new(RoundRobin::new(64))),
+        other => unreachable!("unknown schedule kind {other}"),
+    }
 }
 
 /// The seed's per-round stability probe: one allocating `apply` per node,

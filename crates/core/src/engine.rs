@@ -25,10 +25,13 @@ use crate::{Input, NodeId, Output};
 /// activation list and reuses the outgoing buffer *in place* across
 /// rounds, so heap-carrying labels (e.g. `Vec`-backed ones) also recycle
 /// their capacity ([`step_sync`](Simulation::step_sync));
-/// [`run`](Simulation::run) dispatches to it automatically. On the
-/// asynchronous path, heap-carrying labels still pay one clone per
-/// touched edge per step (the prefill); `Copy`-style labels do not
-/// allocate anywhere.
+/// [`run`](Simulation::run) dispatches to it automatically. Asynchronous
+/// runs draw activation sets through the buffered
+/// [`Schedule::activations_into`] into a reusable activation buffer
+/// ([`step_scheduled`](Simulation::step_scheduled)), so they are
+/// allocation-free after warm-up too for all built-in schedules;
+/// heap-carrying labels still pay one clone per touched edge per step
+/// (the prefill), `Copy`-style labels do not allocate anywhere.
 ///
 /// # Examples
 ///
@@ -49,6 +52,9 @@ pub struct Simulation<'p, L: Label> {
     out_spans: Vec<(NodeId, usize)>,
     /// Scratch for the stability probe in the run-until loops.
     stable_buf: Vec<L>,
+    /// Activation-set buffer for the run loops, filled by
+    /// [`Schedule::activations_into`] and reused across steps.
+    active_buf: Vec<NodeId>,
 }
 
 impl<'p, L: Label> Simulation<'p, L> {
@@ -77,6 +83,7 @@ impl<'p, L: Label> Simulation<'p, L> {
             out_buf: Vec::with_capacity(protocol.edge_count()),
             out_spans: Vec::new(),
             stable_buf: Vec::new(),
+            active_buf: Vec::new(),
         })
     }
 
@@ -253,8 +260,25 @@ impl<'p, L: Label> Simulation<'p, L> {
         self.time += 1;
     }
 
+    /// Executes one step with the activation set drawn from `schedule`
+    /// through the buffered [`Schedule::activations_into`] path, reusing
+    /// the simulation's activation buffer. Together with the scratch-buffer
+    /// [`step_with`](Simulation::step_with) this makes asynchronous run
+    /// loops allocation-free after warm-up for all built-in schedules.
+    pub fn step_scheduled(&mut self, schedule: &mut dyn Schedule) {
+        // Temporarily take the buffer so `step_with` can borrow `self`
+        // mutably; `take` leaves an empty (non-allocating) Vec behind.
+        let mut active = std::mem::take(&mut self.active_buf);
+        schedule.activations_into(self.time + 1, self.protocol.node_count(), &mut active);
+        self.step_with(&active);
+        self.active_buf = active;
+    }
+
     /// Runs `steps` steps under `schedule`. Synchronous schedules are
-    /// dispatched to the [`step_sync`](Simulation::step_sync) fast path.
+    /// dispatched to the [`step_sync`](Simulation::step_sync) fast path;
+    /// all others go through the buffered
+    /// [`step_scheduled`](Simulation::step_scheduled) loop, which reuses
+    /// one activation buffer across steps.
     pub fn run(&mut self, schedule: &mut dyn Schedule, steps: u64) {
         if schedule.is_synchronous() {
             for _ in 0..steps {
@@ -263,8 +287,7 @@ impl<'p, L: Label> Simulation<'p, L> {
             return;
         }
         for _ in 0..steps {
-            let active = schedule.activations(self.time + 1, self.protocol.node_count());
-            self.step_with(&active);
+            self.step_scheduled(schedule);
         }
     }
 
@@ -301,8 +324,7 @@ impl<'p, L: Label> Simulation<'p, L> {
             if sync {
                 self.step_sync();
             } else {
-                let active = schedule.activations(self.time + 1, self.protocol.node_count());
-                self.step_with(&active);
+                self.step_scheduled(schedule);
             }
         }
         if self.is_label_stable_buffered() {
@@ -345,8 +367,7 @@ impl<'p, L: Label> Simulation<'p, L> {
             if sync {
                 self.step_sync();
             } else {
-                let active = schedule.activations(self.time + 1, self.protocol.node_count());
-                self.step_with(&active);
+                self.step_scheduled(schedule);
             }
             if self.outputs != prev {
                 last_change = self.time - start;

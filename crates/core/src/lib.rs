@@ -24,11 +24,13 @@
 //! * [`protocol::Protocol`] — a graph together with one reaction per node
 //!   (the pair `(Σ, δ)` of the paper).
 //! * [`schedule::Schedule`] — synchronous, round-robin, scripted, and random
-//!   r-fair schedules, plus fairness monitoring.
+//!   r-fair schedules, plus fairness monitoring; all buffered
+//!   ([`Schedule::activations_into`](schedule::Schedule::activations_into)).
 //! * [`engine::Simulation`] — executes `(ℓᵗ, yᵗ) = δ(ℓᵗ⁻¹, x, σ(t))`.
-//! * [`convergence`] — exact classification of synchronous runs
-//!   (label-stable / oscillating) by cycle detection, and bounded-horizon
-//!   convergence helpers for arbitrary schedules.
+//! * [`convergence`] — exact classification of synchronous *and*
+//!   periodically scheduled runs (label-stable / oscillating) by pluggable
+//!   cycle detection ([`convergence::CycleDetector`]: history arena or
+//!   O(1)-memory Brent), plus parallel sweep drivers.
 //!
 //! ## Quickstart
 //!
@@ -83,7 +85,9 @@ pub type Output = u64;
 
 /// Convenient glob-import of the whole public surface.
 pub mod prelude {
-    pub use crate::convergence::{classify_sync, SyncOutcome};
+    pub use crate::convergence::{
+        classify_scheduled, classify_sync, classify_sync_with, CycleDetector, SyncOutcome,
+    };
     pub use crate::engine::Simulation;
     pub use crate::error::CoreError;
     pub use crate::graph::DiGraph;
@@ -91,7 +95,8 @@ pub mod prelude {
     pub use crate::protocol::{Protocol, ProtocolBuilder};
     pub use crate::reaction::{ConstReaction, FnBufReaction, FnReaction, Reaction};
     pub use crate::schedule::{
-        FairnessMonitor, RandomRFair, RoundRobin, Schedule, Scripted, Synchronous,
+        FairnessMonitor, PeriodicSchedule, RandomRFair, RoundRobin, Schedule, ScheduleError,
+        Scripted, Synchronous,
     };
     pub use crate::topology;
     pub use crate::{EdgeId, Input, NodeId, Output};

@@ -4,30 +4,140 @@
 //! distinguishes *fair* schedules (every node activated infinitely often)
 //! and *r-fair* schedules (every node activated at least once in every `r`
 //! consecutive steps); the synchronous case is `r = 1`.
+//!
+//! # Buffered activations
+//!
+//! The hot entry point is [`Schedule::activations_into`], which writes the
+//! activation set into a caller-owned buffer so run loops reuse one
+//! allocation across steps (see
+//! [`Simulation::run`](crate::engine::Simulation::run)); the allocating
+//! [`Schedule::activations`] is a convenience wrapper around it. Every
+//! built-in schedule implements `activations_into` allocation-free.
+//!
+//! ## Migration note for `Schedule` implementors
+//!
+//! Prior to the buffered API, `activations` was the one required method.
+//! Both methods now have default bodies that delegate to each other, so
+//! existing implementors keep compiling unchanged — but you **must**
+//! override at least one of the two (overriding neither recurses forever).
+//! New implementations should override `activations_into`; it is the only
+//! method the engine calls.
+
+use std::error::Error;
+use std::fmt;
 
 use rand::{Rng, RngExt};
 
 use crate::NodeId;
 
+/// Errors produced while building or validating schedules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// A scripted schedule had no steps.
+    EmptyScript,
+    /// A scripted activation set was empty (a schedule maps every step to a
+    /// *nonempty* subset of the nodes).
+    EmptyActivationSet {
+        /// Zero-based index of the offending script step.
+        step: usize,
+    },
+    /// A script named a node outside `0..n` for the graph it is driving.
+    NodeOutOfRange {
+        /// Zero-based index of the offending script step.
+        step: usize,
+        /// The offending node id.
+        node: NodeId,
+        /// The node count the schedule was asked to drive.
+        node_count: usize,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::EmptyScript => {
+                write!(f, "scripted schedule needs at least one step")
+            }
+            ScheduleError::EmptyActivationSet { step } => {
+                write!(f, "activation set of script step {step} is empty")
+            }
+            ScheduleError::NodeOutOfRange {
+                step,
+                node,
+                node_count,
+            } => write!(
+                f,
+                "script step {step} activates node {node}, but the graph has {node_count} nodes"
+            ),
+        }
+    }
+}
+
+impl Error for ScheduleError {}
+
 /// A source of activation sets.
 ///
-/// `activations(t, n)` returns the set `σ(t)` for time step `t ≥ 1` on a
-/// graph with `n` nodes. Implementations may be stateful (e.g. random
-/// schedules track deadlines) but must return a nonempty subset of `0..n`.
+/// `activations_into(t, n, out)` writes the set `σ(t)` for time step
+/// `t ≥ 1` on a graph with `n` nodes into `out`. Implementations may be
+/// stateful (e.g. random schedules track deadlines) but must produce a
+/// nonempty subset of `0..n`.
+///
+/// See the [module docs](self) for the buffered-API migration note:
+/// implementors must override at least one of
+/// [`activations_into`](Schedule::activations_into) /
+/// [`activations`](Schedule::activations).
 pub trait Schedule {
-    /// The activation set for time step `t` (1-based) on `n` nodes.
-    fn activations(&mut self, t: u64, n: usize) -> Vec<NodeId>;
+    /// Writes the activation set for time step `t` (1-based) on `n` nodes
+    /// into `out`, replacing its contents. The buffer's capacity is reused
+    /// across calls — every built-in schedule is allocation-free here after
+    /// warm-up.
+    fn activations_into(&mut self, t: u64, n: usize, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.append(&mut self.activations(t, n));
+    }
+
+    /// The activation set for time step `t` (1-based) on `n` nodes, as a
+    /// fresh `Vec`. Convenience wrapper around
+    /// [`activations_into`](Schedule::activations_into); prefer the
+    /// buffered method in loops.
+    fn activations(&mut self, t: u64, n: usize) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.activations_into(t, n, &mut out);
+        out
+    }
 
     /// Whether this schedule activates **every** node at **every** step
     /// and is stateless, i.e. `activations(t, n) = [0, …, n−1]` for all
     /// `t`. The engine uses this to dispatch to its allocation-free
     /// synchronous fast path
     /// ([`Simulation::step_sync`](crate::engine::Simulation::step_sync))
-    /// without calling `activations` at all. Only override to return
+    /// without calling `activations_into` at all. Only override to return
     /// `true` if both conditions hold exactly.
     fn is_synchronous(&self) -> bool {
         false
     }
+}
+
+/// A schedule whose future activation sets are fully determined by a
+/// bounded *phase*: `σ(t + P) = σ(t)` for the period `P = period_on(n)`.
+///
+/// This is what makes exact cycle classification possible beyond the
+/// synchronous case: the pair `(labeling, phase)` evolves deterministically,
+/// so [`classify_scheduled`](crate::convergence::classify_scheduled) can
+/// detect cycles in that product state. The adversarial scripts of the
+/// paper's proofs (Example 1, Claim B.8) are all periodic.
+pub trait PeriodicSchedule: Schedule {
+    /// The schedule's period on `n` nodes (an upper bound is allowed: the
+    /// activation sequence must satisfy `σ(t + period_on(n)) = σ(t)`).
+    fn period_on(&self, n: usize) -> usize;
+
+    /// The current phase. Two instances with equal phases (and equal
+    /// parameters) produce identical activation sequences forever; the
+    /// phase advances deterministically with each `activations_into` call
+    /// and takes at most [`period_on`](PeriodicSchedule::period_on)
+    /// distinct values.
+    fn phase(&self, n: usize) -> u64;
 }
 
 /// The synchronous schedule: every node is activated at every step
@@ -36,12 +146,23 @@ pub trait Schedule {
 pub struct Synchronous;
 
 impl Schedule for Synchronous {
-    fn activations(&mut self, _t: u64, n: usize) -> Vec<NodeId> {
-        (0..n).collect()
+    fn activations_into(&mut self, _t: u64, n: usize, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend(0..n);
     }
 
     fn is_synchronous(&self) -> bool {
         true
+    }
+}
+
+impl PeriodicSchedule for Synchronous {
+    fn period_on(&self, _n: usize) -> usize {
+        1
+    }
+
+    fn phase(&self, _n: usize) -> u64 {
+        0
     }
 }
 
@@ -69,15 +190,34 @@ impl RoundRobin {
 }
 
 impl Schedule for RoundRobin {
-    fn activations(&mut self, _t: u64, n: usize) -> Vec<NodeId> {
-        let mut set = Vec::with_capacity(self.k.min(n));
+    fn activations_into(&mut self, _t: u64, n: usize, out: &mut Vec<NodeId>) {
+        out.clear();
         for i in 0..self.k.min(n) {
-            set.push((self.next + i) % n);
+            out.push((self.next + i) % n);
         }
         self.next = (self.next + self.k) % n.max(1);
-        set.sort_unstable();
-        set.dedup();
-        set
+        out.sort_unstable();
+        out.dedup();
+    }
+}
+
+impl PeriodicSchedule for RoundRobin {
+    fn period_on(&self, n: usize) -> usize {
+        // `next` advances by k (mod n) per step, so the start offset — and
+        // with it the activation set — repeats after n / gcd(k, n) steps.
+        if n == 0 {
+            return 1;
+        }
+        let mut a = n;
+        let mut b = self.k % n;
+        while b != 0 {
+            (a, b) = (b, a % b);
+        }
+        n / a
+    }
+
+    fn phase(&self, _n: usize) -> u64 {
+        self.next as u64
     }
 }
 
@@ -95,24 +235,66 @@ impl Scripted {
     /// Builds a scripted schedule from `steps`; after the last entry the
     /// script repeats from the beginning.
     ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::EmptyScript`] if `steps` is empty and
+    /// [`ScheduleError::EmptyActivationSet`] if any step activates nothing.
+    /// Node ids are validated against the graph at use time (see
+    /// [`validate`](Scripted::validate)), since the script does not know
+    /// the node count yet.
+    pub fn try_cycle(steps: Vec<Vec<NodeId>>) -> Result<Self, ScheduleError> {
+        if steps.is_empty() {
+            return Err(ScheduleError::EmptyScript);
+        }
+        if let Some(step) = steps.iter().position(|s| s.is_empty()) {
+            return Err(ScheduleError::EmptyActivationSet { step });
+        }
+        Ok(Scripted { steps, pos: 0 })
+    }
+
+    /// Builds a scripted schedule from `steps`; after the last entry the
+    /// script repeats from the beginning.
+    ///
     /// # Panics
     ///
-    /// Panics if `steps` is empty or contains an empty activation set.
+    /// Panics if `steps` is empty or contains an empty activation set (the
+    /// fallible constructor is [`try_cycle`](Scripted::try_cycle)).
     pub fn cycle(steps: Vec<Vec<NodeId>>) -> Self {
-        assert!(
-            !steps.is_empty(),
-            "scripted schedule needs at least one step"
-        );
-        assert!(
-            steps.iter().all(|s| !s.is_empty()),
-            "activation sets must be nonempty"
-        );
-        Scripted { steps, pos: 0 }
+        match Self::try_cycle(steps) {
+            Ok(s) => s,
+            Err(ScheduleError::EmptyScript) => {
+                panic!("scripted schedule needs at least one step")
+            }
+            Err(e) => panic!("activation sets must be nonempty: {e}"),
+        }
     }
 
     /// The script length before repetition.
     pub fn period(&self) -> usize {
         self.steps.len()
+    }
+
+    /// Checks that every scripted activation targets a node in `0..n`.
+    ///
+    /// Activation sets are also validated on every
+    /// [`activations_into`](Schedule::activations_into) call (a script
+    /// naming a node `≥ n` used to flow straight into the engine); call
+    /// this up front to get the error as a value instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::NodeOutOfRange`] naming the first offending step.
+    pub fn validate(&self, n: usize) -> Result<(), ScheduleError> {
+        for (step, set) in self.steps.iter().enumerate() {
+            if let Some(&node) = set.iter().find(|&&node| node >= n) {
+                return Err(ScheduleError::NodeOutOfRange {
+                    step,
+                    node,
+                    node_count: n,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// The largest gap between consecutive activations of any node over one
@@ -146,10 +328,29 @@ impl Scripted {
 }
 
 impl Schedule for Scripted {
-    fn activations(&mut self, _t: u64, _n: usize) -> Vec<NodeId> {
-        let set = self.steps[self.pos].clone();
+    fn activations_into(&mut self, _t: u64, n: usize, out: &mut Vec<NodeId>) {
+        let set = &self.steps[self.pos];
+        if let Some(&node) = set.iter().find(|&&node| node >= n) {
+            let err = ScheduleError::NodeOutOfRange {
+                step: self.pos,
+                node,
+                node_count: n,
+            };
+            panic!("invalid scripted schedule: {err}");
+        }
+        out.clear();
+        out.extend_from_slice(set);
         self.pos = (self.pos + 1) % self.steps.len();
-        set
+    }
+}
+
+impl PeriodicSchedule for Scripted {
+    fn period_on(&self, _n: usize) -> usize {
+        self.steps.len()
+    }
+
+    fn phase(&self, _n: usize) -> u64 {
+        self.pos as u64
     }
 }
 
@@ -190,27 +391,32 @@ impl<R: Rng> RandomRFair<R> {
 }
 
 impl<R: Rng> Schedule for RandomRFair<R> {
-    fn activations(&mut self, _t: u64, n: usize) -> Vec<NodeId> {
-        if self.since.len() != n {
-            self.since = vec![0; n];
+    fn activations_into(&mut self, _t: u64, n: usize, out: &mut Vec<NodeId>) {
+        out.clear();
+        if n == 0 {
+            // No nodes, no activations; in particular the nonemptiness
+            // fallback below must not sample from an empty range.
+            return;
         }
-        let mut set: Vec<NodeId> = Vec::new();
+        // Preserve existing deadlines when the node count changes (nodes
+        // beyond the old count start fresh); rebuilding from scratch would
+        // both allocate and forget how long existing nodes have waited.
+        self.since.resize(n, 0);
         for node in 0..n {
             self.since[node] += 1;
             let forced = self.since[node] >= self.r;
             if forced || self.rng.random_bool(self.p) {
-                set.push(node);
+                out.push(node);
                 self.since[node] = 0;
             }
         }
-        if set.is_empty() {
+        if out.is_empty() {
             // A schedule maps to a *nonempty* subset; activate one random
             // node so the step is well-formed.
             let node = self.rng.random_range(0..n);
-            set.push(node);
+            out.push(node);
             self.since[node] = 0;
         }
-        set
     }
 }
 
@@ -247,20 +453,21 @@ impl<S: Schedule> FairnessMonitor<S> {
 }
 
 impl<S: Schedule> Schedule for FairnessMonitor<S> {
-    fn activations(&mut self, t: u64, n: usize) -> Vec<NodeId> {
-        if self.since.len() != n {
-            self.since = vec![0; n];
-        }
-        let set = self.inner.activations(t, n);
+    fn activations_into(&mut self, t: u64, n: usize, out: &mut Vec<NodeId>) {
+        self.since.resize(n, 0);
+        self.inner.activations_into(t, n, out);
         for node in 0..n {
             self.since[node] += 1;
         }
-        for &node in &set {
+        for &node in out.iter() {
             self.worst_gap = self.worst_gap.max(self.since[node]);
             self.since[node] = 0;
         }
-        set
     }
+
+    // Note: is_synchronous stays `false` even for a synchronous inner
+    // schedule — the engine must keep calling `activations_into` so the
+    // monitor actually observes the activations it is wrapping.
 }
 
 #[cfg(test)]
@@ -274,6 +481,35 @@ mod tests {
         let mut s = Synchronous;
         assert_eq!(s.activations(1, 4), vec![0, 1, 2, 3]);
         assert_eq!(s.activations(99, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn activations_into_reuses_the_buffer() {
+        let mut s = Synchronous;
+        let mut buf = Vec::with_capacity(8);
+        s.activations_into(1, 4, &mut buf);
+        assert_eq!(buf, vec![0, 1, 2, 3]);
+        let ptr = buf.as_ptr();
+        s.activations_into(2, 3, &mut buf);
+        assert_eq!(buf, vec![0, 1, 2]);
+        assert_eq!(ptr, buf.as_ptr(), "no reallocation within capacity");
+    }
+
+    /// A legacy implementor that only overrides the allocating method must
+    /// keep working through the `activations_into` default.
+    #[test]
+    fn legacy_allocating_implementors_still_work() {
+        struct Legacy;
+        impl Schedule for Legacy {
+            fn activations(&mut self, t: u64, _n: usize) -> Vec<NodeId> {
+                vec![t as usize % 2]
+            }
+        }
+        let mut s = Legacy;
+        let mut buf = vec![9, 9, 9];
+        s.activations_into(3, 5, &mut buf);
+        assert_eq!(buf, vec![1]);
+        assert_eq!(s.activations(4, 5), vec![0]);
     }
 
     #[test]
@@ -293,13 +529,39 @@ mod tests {
     }
 
     #[test]
+    fn round_robin_period_is_n_over_gcd() {
+        assert_eq!(RoundRobin::new(1).period_on(5), 5);
+        assert_eq!(RoundRobin::new(2).period_on(6), 3);
+        assert_eq!(RoundRobin::new(3).period_on(6), 2);
+        assert_eq!(RoundRobin::new(6).period_on(6), 1);
+        assert_eq!(RoundRobin::new(7).period_on(5), 5);
+    }
+
+    #[test]
+    fn round_robin_activations_repeat_with_period() {
+        let mut s = RoundRobin::new(2);
+        let n = 6;
+        let period = s.period_on(n);
+        let lap: Vec<Vec<NodeId>> = (0..period as u64)
+            .map(|t| s.activations(t + 1, n))
+            .collect();
+        for t in 0..period as u64 {
+            assert_eq!(s.activations(period as u64 + t + 1, n), lap[t as usize]);
+        }
+    }
+
+    #[test]
     fn scripted_cycles_and_reports_fairness() {
         let s = Scripted::cycle(vec![vec![0, 1], vec![1, 2], vec![0, 2]]);
         assert_eq!(s.fairness(3), Some(2));
+        assert_eq!(s.period_on(3), 3);
         let mut s = s;
+        assert_eq!(s.phase(3), 0);
         assert_eq!(s.activations(1, 3), vec![0, 1]);
+        assert_eq!(s.phase(3), 1);
         assert_eq!(s.activations(2, 3), vec![1, 2]);
         assert_eq!(s.activations(3, 3), vec![0, 2]);
+        assert_eq!(s.phase(3), 0);
         assert_eq!(s.activations(4, 3), vec![0, 1], "wraps around");
     }
 
@@ -314,6 +576,43 @@ mod tests {
     #[should_panic(expected = "nonempty")]
     fn scripted_rejects_empty_sets() {
         Scripted::cycle(vec![vec![]]);
+    }
+
+    #[test]
+    fn try_cycle_reports_structured_errors() {
+        assert_eq!(
+            Scripted::try_cycle(vec![]).unwrap_err(),
+            ScheduleError::EmptyScript
+        );
+        assert_eq!(
+            Scripted::try_cycle(vec![vec![0], vec![]]).unwrap_err(),
+            ScheduleError::EmptyActivationSet { step: 1 }
+        );
+        assert!(Scripted::try_cycle(vec![vec![0]]).is_ok());
+    }
+
+    #[test]
+    fn scripted_validate_catches_out_of_range_nodes() {
+        let s = Scripted::cycle(vec![vec![0, 1], vec![2]]);
+        assert_eq!(s.validate(3), Ok(()));
+        assert_eq!(
+            s.validate(2),
+            Err(ScheduleError::NodeOutOfRange {
+                step: 1,
+                node: 2,
+                node_count: 2,
+            })
+        );
+        let msg = s.validate(2).unwrap_err().to_string();
+        assert!(msg.contains("step 1") && msg.contains("node 2"), "{msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scripted schedule")]
+    fn scripted_out_of_range_node_panics_at_use_time() {
+        let mut s = Scripted::cycle(vec![vec![5]]);
+        let mut buf = Vec::new();
+        s.activations_into(1, 3, &mut buf);
     }
 
     #[test]
@@ -341,5 +640,57 @@ mod tests {
         // With p = 0 nodes fire only at deadlines (or as the nonemptiness
         // fallback), so the worst gap is exactly r.
         assert_eq!(s.worst_gap(), 3);
+    }
+
+    #[test]
+    fn random_rfair_zero_nodes_yields_empty_set() {
+        // The nonemptiness fallback used to sample random_range(0..0) here.
+        let rng = StdRng::seed_from_u64(3);
+        let mut s = RandomRFair::new(2, 0.5, rng);
+        assert_eq!(s.activations(1, 0), Vec::<NodeId>::new());
+        // And the schedule still works when nodes appear afterwards.
+        let set = s.activations(2, 4);
+        assert!(!set.is_empty());
+        assert!(set.iter().all(|&i| i < 4));
+    }
+
+    #[test]
+    fn random_rfair_keeps_deadlines_across_node_count_growth() {
+        // With p = 0, activations are exactly the deadline-forced nodes
+        // plus the nonemptiness fallback. Mirror the per-node wait times
+        // independently and check that every overdue node is activated —
+        // the invariant a from-scratch rebuild of `since` would violate
+        // right after the node count grows.
+        let rng = StdRng::seed_from_u64(11);
+        let mut s = RandomRFair::new(3, 0.0, rng);
+        let mut since = [0usize; 6];
+        let mut buf = Vec::new();
+        for t in 1..=20u64 {
+            let n = if t <= 5 { 2 } else { 6 };
+            s.activations_into(t, n, &mut buf);
+            assert!(!buf.is_empty());
+            for wait in since.iter_mut().take(n) {
+                *wait += 1;
+            }
+            for (node, &wait) in since.iter().enumerate().take(n) {
+                if wait >= 3 {
+                    assert!(
+                        buf.contains(&node),
+                        "t={t}: node {node} overdue, got {buf:?}"
+                    );
+                }
+            }
+            for &node in &buf {
+                since[node] = 0;
+            }
+        }
+    }
+
+    #[test]
+    fn fairness_monitor_never_claims_synchrony() {
+        // Claiming it would let the engine bypass activations_into and the
+        // monitor would observe nothing.
+        assert!(!FairnessMonitor::new(Synchronous).is_synchronous());
+        assert!(!FairnessMonitor::new(RoundRobin::new(1)).is_synchronous());
     }
 }

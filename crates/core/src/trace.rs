@@ -56,13 +56,16 @@ impl Trace {
         let mut trace = Trace {
             steps: Vec::with_capacity(steps as usize),
         };
+        // Activation sets are drawn through the buffered schedule path;
+        // the only per-step allocations left are the recorded copies.
+        let mut active: Vec<NodeId> = Vec::new();
         for _ in 0..steps {
             let before = sim.labeling().to_vec();
-            let active = schedule.activations(sim.time() + 1, sim.protocol().node_count());
+            schedule.activations_into(sim.time() + 1, sim.protocol().node_count(), &mut active);
             sim.step_with(&active);
             trace.steps.push(TraceStep {
                 time: sim.time(),
-                active,
+                active: active.clone(),
                 outputs: sim.outputs().to_vec(),
                 labeling_changed: before != sim.labeling(),
             });

@@ -507,9 +507,10 @@ mod tests {
         let mut sim = Simulation::new(&p, &vec![0; layout.n], init.clone()).unwrap();
         let period = sched.period();
         let mut changed = false;
+        let mut active = Vec::new();
         for _ in 0..4 * period {
             let before = sim.labeling().to_vec();
-            let active = sched.activations(sim.time() + 1, layout.n);
+            sched.activations_into(sim.time() + 1, layout.n, &mut active);
             sim.step_with(&active);
             changed |= before != sim.labeling();
         }
@@ -517,10 +518,7 @@ mod tests {
         // After whole laps the labeling returns to the start: a true cycle.
         let mut sim2 = Simulation::new(&p, &vec![0; layout.n], init.clone()).unwrap();
         let mut sched2 = disj_oscillation_schedule(&snake, layout, q, 2).0;
-        for _ in 0..period {
-            let active = sched2.activations(sim2.time() + 1, layout.n);
-            sim2.step_with(&active);
-        }
+        sim2.run(&mut sched2, period as u64);
         assert_eq!(sim2.labeling(), &init[..], "period closes the oscillation");
     }
 
@@ -536,10 +534,8 @@ mod tests {
         for k in 0..q {
             let (mut sched, init) = disj_oscillation_schedule(&snake, layout, q, k);
             let mut sim = Simulation::new(&p, &vec![0; layout.n], init).unwrap();
-            for _ in 0..6 * sched.period() {
-                let active = sched.activations(sim.time() + 1, layout.n);
-                sim.step_with(&active);
-            }
+            let laps = 6 * sched.period() as u64;
+            sim.run(&mut sched, laps);
             assert!(sim.is_label_stable(), "disjoint sets stabilize (k={k})");
         }
         // And the synchronous run stabilizes as well.

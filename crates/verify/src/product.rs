@@ -439,10 +439,12 @@ mod tests {
         // cycle in the product graph).
         let mut sim = Simulation::new(&p, &[0; 3], w.labeling.clone()).unwrap();
         let mut sched = Scripted::cycle(w.schedule.clone());
+        sched.validate(3).expect("witness names real nodes");
         let mut changed = false;
+        let mut active = Vec::new();
         for _ in 0..w.schedule.len() {
             let before = sim.labeling().to_vec();
-            let active = sched.activations(sim.time() + 1, 3);
+            sched.activations_into(sim.time() + 1, 3, &mut active);
             sim.step_with(&active);
             changed |= before != sim.labeling();
         }

@@ -22,8 +22,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // (n−1)-fair — starting with one "hot" node.
     let mut sim = Simulation::new(&protocol, &vec![0; n], hot_node_labeling(n, 0))?;
     let mut sched = FairnessMonitor::new(oscillation_schedule(n));
+    let mut active = Vec::new();
     for t in 0..3 * n {
-        let active = sched.activations(sim.time() + 1, n);
+        sched.activations_into(sim.time() + 1, n, &mut active);
         sim.step_with(&active);
         let hot: Vec<usize> = (0..n)
             .filter(|&i| {
@@ -45,6 +46,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\n→ the hot token circulates forever; worst activation gap = {}",
         sched.worst_gap()
     );
+
+    // The loop above *suggests* an oscillation; cycle detection in the
+    // (labeling, schedule-phase) product *proves* it, with the exact period.
+    let verdict = classify_scheduled(
+        &protocol,
+        &vec![0; n],
+        hot_node_labeling(n, 0),
+        &oscillation_schedule(n),
+        10_000,
+        CycleDetector::ExactArena,
+    )?;
+    match verdict {
+        SyncOutcome::Oscillating { period, .. } => {
+            println!("classify_scheduled: proven oscillation, product period {period}")
+        }
+        SyncOutcome::LabelStable { .. } => unreachable!("Example 1 oscillates"),
+    }
 
     // Exact verification for a small instance: r = n−2 converges,
     // r = n−1 does not.

@@ -1,14 +1,19 @@
 //! Differential tests: the buffered engine hot path (`react_into` /
 //! `step_sync` / scratch-buffer `step_with`) must produce **bit-identical**
 //! labeling traces and outputs to the naive allocating `react` path, on
-//! random protocols, topologies, schedules, and initial labelings; and the
+//! random protocols, topologies, schedules, and initial labelings; the
+//! buffered `Schedule::activations_into` must emit the same activation
+//! sequences as the allocating wrapper for every built-in schedule; the
 //! fingerprint-arena `classify_sync` must agree exactly with the
-//! clone-based reference.
+//! clone-based reference; and the `Brent` cycle detector must agree with
+//! `ExactArena` on every classified run.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use stateless_computation::core::convergence::{classify_sync, classify_sync_naive};
+use stateless_computation::core::convergence::{
+    classify_scheduled, classify_sync, classify_sync_naive, classify_sync_with, CycleDetector,
+};
 use stateless_computation::core::graph::DiGraph;
 use stateless_computation::core::prelude::*;
 
@@ -193,5 +198,124 @@ proptest! {
         let fast = classify_sync(&p_buf, &inputs, init.clone(), cap);
         let reference = classify_sync_naive(&p_naive, &inputs, init, cap);
         prop_assert_eq!(fast, reference);
+    }
+
+    /// Buffered activations_into ≡ allocating activations, for every
+    /// built-in schedule type, driving two identically seeded instances
+    /// side by side (stateful schedules must advance identically through
+    /// either entry point).
+    #[test]
+    fn buffered_activations_match_allocating(seed in 0u64..10_000, n in 1usize..9, r in 1usize..5, k in 1usize..6) {
+        let script: Vec<Vec<NodeId>> = {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..6).map(|_| {
+                let mut set: Vec<NodeId> = (0..n).filter(|_| rng.random_bool(0.5)).collect();
+                if set.is_empty() {
+                    set.push(rng.random_range(0..n));
+                }
+                set
+            }).collect()
+        };
+        let pairs: Vec<(Box<dyn Schedule>, Box<dyn Schedule>)> = vec![
+            (Box::new(Synchronous), Box::new(Synchronous)),
+            (Box::new(RoundRobin::new(k)), Box::new(RoundRobin::new(k))),
+            (
+                Box::new(Scripted::cycle(script.clone())),
+                Box::new(Scripted::cycle(script.clone())),
+            ),
+            (
+                Box::new(RandomRFair::new(r, 0.3, StdRng::seed_from_u64(seed))),
+                Box::new(RandomRFair::new(r, 0.3, StdRng::seed_from_u64(seed))),
+            ),
+            (
+                Box::new(FairnessMonitor::new(RandomRFair::new(r, 0.3, StdRng::seed_from_u64(seed)))),
+                Box::new(FairnessMonitor::new(RandomRFair::new(r, 0.3, StdRng::seed_from_u64(seed)))),
+            ),
+        ];
+        let mut buf = Vec::new();
+        for (mut buffered, mut allocating) in pairs {
+            for t in 1..=40u64 {
+                buffered.activations_into(t, n, &mut buf);
+                let fresh = allocating.activations(t, n);
+                prop_assert_eq!(&buf, &fresh, "t = {}", t);
+                prop_assert!(!fresh.is_empty());
+                prop_assert!(fresh.iter().all(|&i| i < n));
+            }
+        }
+    }
+
+    /// `Simulation::run` through the buffered scheduling layer ≡ the naive
+    /// loop (allocating activations + naive allocating step), bit for bit,
+    /// for every built-in schedule type on random protocols.
+    #[test]
+    fn buffered_run_matches_naive_loop(seed in 0u64..10_000, kind in 0usize..4, size in 3usize..7, r in 1usize..5) {
+        let graph = topology_of(kind, size);
+        let n = graph.node_count();
+        let (p_naive, p_buf) = protocol_pair(&graph, 13);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inputs: Vec<u64> = (0..n).map(|_| rng.random_range(0u64..5)).collect();
+        let init: Vec<u64> = (0..graph.edge_count()).map(|_| rng.random_range(0..13)).collect();
+        let script = random_schedule(&mut rng, n, 7);
+        let schedules: Vec<(Box<dyn Schedule>, Box<dyn Schedule>)> = vec![
+            (Box::new(Synchronous), Box::new(Synchronous)),
+            (Box::new(RoundRobin::new(2)), Box::new(RoundRobin::new(2))),
+            (
+                Box::new(Scripted::cycle(script.clone())),
+                Box::new(Scripted::cycle(script.clone())),
+            ),
+            (
+                Box::new(RandomRFair::new(r, 0.4, StdRng::seed_from_u64(seed))),
+                Box::new(RandomRFair::new(r, 0.4, StdRng::seed_from_u64(seed))),
+            ),
+            (
+                Box::new(FairnessMonitor::new(RoundRobin::new(3))),
+                Box::new(FairnessMonitor::new(RoundRobin::new(3))),
+            ),
+        ];
+        for (mut s_buf, mut s_naive) in schedules {
+            let mut a = Simulation::new(&p_buf, &inputs, init.clone()).unwrap();
+            a.run(s_buf.as_mut(), 30);
+            let mut b = Simulation::new(&p_naive, &inputs, init.clone()).unwrap();
+            for _ in 0..30 {
+                let active = s_naive.activations(b.time() + 1, n);
+                b.step_with_naive(&active);
+            }
+            prop_assert_eq!(a.labeling(), b.labeling());
+            prop_assert_eq!(a.outputs(), b.outputs());
+            prop_assert_eq!(a.time(), b.time());
+        }
+    }
+
+    /// Brent ≡ ExactArena on synchronous classification of random
+    /// protocols: identical outcome enums, including rounds and periods.
+    #[test]
+    fn brent_agrees_with_arena(seed in 0u64..10_000, kind in 0usize..3, size in 3usize..5, q in 2u64..4) {
+        let graph = topology_of(kind, size);
+        let (_, p) = protocol_pair(&graph, q);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xb4e9);
+        let n = graph.node_count();
+        let inputs: Vec<u64> = (0..n).map(|_| rng.random_range(0u64..3)).collect();
+        let init: Vec<u64> = (0..graph.edge_count()).map(|_| rng.random_range(0..q)).collect();
+        let cap = 2_000_000;
+        let arena = classify_sync_with(&p, &inputs, init.clone(), cap, CycleDetector::ExactArena);
+        let brent = classify_sync_with(&p, &inputs, init, cap, CycleDetector::Brent);
+        prop_assert_eq!(arena, brent);
+    }
+
+    /// Brent ≡ ExactArena on product-state classification under random
+    /// periodic (scripted) schedules.
+    #[test]
+    fn brent_agrees_with_arena_scheduled(seed in 0u64..10_000, kind in 0usize..3, size in 3usize..5, q in 2u64..3, period in 1usize..5) {
+        let graph = topology_of(kind, size);
+        let (_, p) = protocol_pair(&graph, q);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5c4ed);
+        let n = graph.node_count();
+        let inputs: Vec<u64> = (0..n).map(|_| rng.random_range(0u64..3)).collect();
+        let init: Vec<u64> = (0..graph.edge_count()).map(|_| rng.random_range(0..q)).collect();
+        let sched = Scripted::cycle(random_schedule(&mut rng, n, period));
+        let cap = 2_000_000;
+        let arena = classify_scheduled(&p, &inputs, init.clone(), &sched, cap, CycleDetector::ExactArena);
+        let brent = classify_scheduled(&p, &inputs, init, &sched, cap, CycleDetector::Brent);
+        prop_assert_eq!(arena, brent);
     }
 }

@@ -46,6 +46,30 @@ proptest! {
         prop_assert!(sched.worst_gap() <= r);
     }
 
+    /// RandomRFair stays r-fair across a node-count growth event: both the
+    /// schedule and the monitor preserve the deadline counters of nodes
+    /// that were already present (a from-scratch rebuild of the counters
+    /// would let an old node's activation gap exceed r unobserved).
+    #[test]
+    fn random_schedule_stays_r_fair_when_nodes_join(
+        seed in 0u64..500,
+        r in 1usize..6,
+        n1 in 2usize..6,
+        extra in 1usize..5,
+    ) {
+        use rand::SeedableRng;
+        let rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut sched = FairnessMonitor::new(RandomRFair::new(r, 0.2, rng));
+        let mut buf = Vec::new();
+        for t in 1..=300u64 {
+            let n = if t <= 150 { n1 } else { n1 + extra };
+            sched.activations_into(t, n, &mut buf);
+            prop_assert!(!buf.is_empty());
+            prop_assert!(buf.iter().all(|&i| i < n));
+        }
+        prop_assert!(sched.worst_gap() <= r, "gap {} > r {}", sched.worst_gap(), r);
+    }
+
     /// Proposition 2.3 end-to-end: the generic protocol computes any
     /// (randomly chosen) 3-junta from any initial labeling within 2n
     /// synchronous rounds.
