@@ -1,7 +1,9 @@
-//! E4/E6: the exponential cost of exact stabilization verification.
+//! E4/E6: the exponential cost of exact stabilization verification, and
+//! the packed-arena explorer against the owned-`Vec` reference.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use stabilization_verify::{verify_label_stabilization, Limits};
+use stabilization_verify::{verify_label_stabilization, verify_label_stabilization_naive, Limits};
+use stateless_bench::workloads::rotation_ring;
 use stateless_protocols::example1::example1_protocol;
 
 fn bench_verify(c: &mut Criterion) {
@@ -29,5 +31,31 @@ fn bench_verify(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_verify);
+/// Packed-arena explorer vs the retained naive reference on the rotation
+/// ring's ≈4ⁿ-state product graph (the `verify_scaling` perf section
+/// measures the same pair at larger sizes, with byte accounting).
+fn bench_explorers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify_explorers");
+    group.sample_size(10);
+    let n = 6usize;
+    let p = rotation_ring(n);
+    let inputs = vec![0u64; n];
+    group.bench_with_input(BenchmarkId::new("rotation_r=2/packed", n), &n, |b, _| {
+        b.iter(|| {
+            verify_label_stabilization(&p, &inputs, &[false, true], 2, Limits::default())
+                .unwrap()
+                .is_stabilizing()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("rotation_r=2/naive", n), &n, |b, _| {
+        b.iter(|| {
+            verify_label_stabilization_naive(&p, &inputs, &[false, true], 2, Limits::default())
+                .unwrap()
+                .is_stabilizing()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_verify, bench_explorers);
 criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! `bench-report` — renders one or more `CRITERION_JSON` line-JSON files
+//! (the per-commit `bench-json-<sha>` CI artifacts) into a per-bench
+//! median markdown table on stdout:
+//!
+//! ```text
+//! cargo run --release -p stateless-bench --bin bench-report -- \
+//!     bench-lines-old.jsonl bench-lines-new.jsonl
+//! ```
+//!
+//! Columns are the input files (labeled by file stem) in argument order,
+//! so passing artifacts of successive commits yields a left-to-right
+//! trend view.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use stateless_bench::report::{parse_lines, render_markdown, BenchLine};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: bench-report <bench-lines.jsonl>...");
+        eprintln!("renders CRITERION_JSON line-JSON files as a per-bench median markdown table");
+        return if args.is_empty() {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+    let mut files: Vec<(String, Vec<BenchLine>)> = Vec::with_capacity(args.len());
+    for path in &args {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench-report: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let label = Path::new(path)
+            .file_stem()
+            .map_or_else(|| path.clone(), |s| s.to_string_lossy().into_owned());
+        files.push((label, parse_lines(&text)));
+    }
+    print!("{}", render_markdown(&files));
+    ExitCode::SUCCESS
+}

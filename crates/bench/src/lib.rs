@@ -10,4 +10,5 @@
 
 pub mod experiments;
 pub mod perf;
+pub mod report;
 pub mod workloads;

@@ -9,6 +9,9 @@
 use std::io::Write as _;
 use std::time::Instant;
 
+use stabilization_verify::{
+    verify_label_stabilization_naive, verify_label_stabilization_with_stats, Limits,
+};
 use stateless_core::convergence::{
     all_labelings, classify_sync, classify_sync_naive, classify_sync_with, sync_round_complexity,
     sync_round_complexity_par, CycleDetector,
@@ -17,7 +20,8 @@ use stateless_core::prelude::*;
 use stateless_protocols::worst_case::worst_case_protocol;
 
 use crate::workloads::{
-    is_stable_naive, max_ring, max_ring_naive, schedule_workload, sticky_or_ring, SCHEDULE_KINDS,
+    is_stable_naive, max_ring, max_ring_naive, rotation_ring, schedule_workload, sticky_or_ring,
+    SCHEDULE_KINDS,
 };
 
 /// Minimum wall-clock spent per measurement; the reported figure is the
@@ -157,6 +161,8 @@ fn classify_entry(n: usize) -> String {
 }
 
 /// Sweep measurement: all 2^n binary labelings of the sticky-OR n-ring.
+/// The entry records the thread count so single-core CI runs (speedup
+/// ≈ 1×) are not mistaken for parallel-path regressions.
 fn sweep_entry(n: usize) -> String {
     let p = sticky_or_ring(n);
     let inputs: Vec<u64> = (0..n as u64).map(|i| i % 2).collect();
@@ -174,14 +180,85 @@ fn sweep_entry(n: usize) -> String {
     emit_criterion_line(&format!("perf/sweep/{n}/parallel"), par, 1 << n);
     format!(
         concat!(
-            "{{\"n\":{},\"labelings\":{},\"sequential_ms\":{:.3},",
+            "{{\"n\":{},\"labelings\":{},\"threads\":{},\"sequential_ms\":{:.3},",
             "\"parallel_ms\":{:.3},\"speedup\":{:.2}}}"
         ),
         n,
         1u64 << n,
+        rayon::current_num_threads(),
         seq * 1e3,
         par * 1e3,
         seq / par
+    )
+}
+
+/// Exact-verifier measurement on the rotation n-ring (Boolean labels,
+/// r = 2): the packed-arena explorer vs the retained owned-`Vec`
+/// reference, on the same product graph. The rotation ring is the
+/// canonical non-stabilizing instance — every labeling is on a cycle, so
+/// the SCC + witness machinery is fully exercised — and its product graph
+/// is ≈ 4ⁿ states, which makes per-state memory the binding constraint
+/// exactly as in real verification workloads.
+///
+/// `naive_state_bytes` is the per-state footprint of the old
+/// representation, counted analytically: the `(Vec<L>, Vec<u8>,
+/// Vec<Output>)` tuple (three 24-byte Vec headers + e·|L| + n + 8n heap
+/// bytes) stored twice (once in the state table, once cloned as the
+/// `HashMap` key) plus ~16 bytes of map entry. The packed figure is the
+/// bytes actually allocated, read off [`ExploreStats`].
+fn verify_scaling_entry(n: usize) -> String {
+    let p = rotation_ring(n);
+    let inputs = vec![0u64; n];
+    let alphabet = [false, true];
+    let r = 2u8;
+    let limits = Limits::default();
+    let (_, stats) =
+        verify_label_stabilization_with_stats(&p, &inputs, &alphabet, r, limits).unwrap();
+    let packed = best_seconds(|| {
+        verify_label_stabilization_with_stats(&p, &inputs, &alphabet, r, limits)
+            .unwrap()
+            .0
+            .is_stabilizing();
+    });
+    let naive = best_seconds(|| {
+        verify_label_stabilization_naive(&p, &inputs, &alphabet, r, limits)
+            .unwrap()
+            .is_stabilizing();
+    });
+    emit_criterion_line(
+        &format!("perf/verify_scaling/{n}/packed"),
+        packed,
+        stats.states as u64,
+    );
+    emit_criterion_line(
+        &format!("perf/verify_scaling/{n}/naive"),
+        naive,
+        stats.states as u64,
+    );
+    let e = p.edge_count();
+    let naive_state_bytes = 2 * (3 * 24 + e * std::mem::size_of::<bool>() + n + 8 * n) + 16;
+    let packed_state_bytes = stats.state_bytes as f64 / stats.states as f64;
+    format!(
+        concat!(
+            "{{\"n\":{},\"r\":{},\"states\":{},\"edges\":{},",
+            "\"naive_states_per_s\":{:.0},\"packed_states_per_s\":{:.0},",
+            "\"speedup\":{:.2},",
+            "\"naive_state_bytes\":{},\"packed_state_bytes\":{:.2},",
+            "\"state_bytes_ratio\":{:.1},",
+            "\"packed_arena_bytes\":{},\"csr_edge_bytes\":{}}}"
+        ),
+        n,
+        r,
+        stats.states,
+        stats.edges,
+        stats.states as f64 / naive,
+        stats.states as f64 / packed,
+        naive / packed,
+        naive_state_bytes,
+        packed_state_bytes,
+        naive_state_bytes as f64 / packed_state_bytes,
+        stats.state_bytes,
+        stats.edge_bytes
     )
 }
 
@@ -286,14 +363,19 @@ pub fn summary_json() -> String {
     let classify = classify_entry(1024);
     let detectors = classify_detectors_entry(1024);
     let sweep = sweep_entry(14);
+    let verify_scaling: Vec<String> = [6usize, 8]
+        .iter()
+        .map(|&n| verify_scaling_entry(n))
+        .collect();
     format!(
-        "{{\n  \"suite\": \"stateless-computation perf summary\",\n  \"threads\": {},\n  \"engine_throughput\": [{}],\n  \"async_engine\": [{}],\n  \"label_stabilization\": {},\n  \"classify_sync\": {},\n  \"classify_detectors\": {},\n  \"round_complexity_sweep\": {}\n}}\n",
+        "{{\n  \"suite\": \"stateless-computation perf summary\",\n  \"threads\": {},\n  \"engine_throughput\": [{}],\n  \"async_engine\": [{}],\n  \"label_stabilization\": {},\n  \"classify_sync\": {},\n  \"classify_detectors\": {},\n  \"round_complexity_sweep\": {},\n  \"verify_scaling\": [{}]\n}}\n",
         threads,
         engine.join(", "),
         async_engine.join(", "),
         stabilization,
         classify,
         detectors,
-        sweep
+        sweep,
+        verify_scaling.join(", ")
     )
 }

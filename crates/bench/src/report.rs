@@ -1,0 +1,189 @@
+//! Rendering of `CRITERION_JSON` line-JSON measurement files into a
+//! per-bench markdown table — the first step of the perf trend report.
+//!
+//! Both the vendored criterion harness and the `experiments --json`
+//! runner append one JSON object per measurement to the file named by
+//! `$CRITERION_JSON`, in the fixed shape
+//! `{"bench":"…","median_ns_per_iter":…,"low_ns":…,"high_ns":…,"elements_per_iter":…}`;
+//! CI archives that file per commit as the `bench-json-<sha>` artifact.
+//! [`render_markdown`] turns one or more such files (e.g. the artifacts
+//! of successive commits) into a bench × file table of medians, so a perf
+//! regression is one `git diff`/eyeball away instead of buried in raw
+//! line JSON. The `bench-report` binary is the CLI wrapper.
+
+use std::collections::BTreeMap;
+
+/// One parsed measurement line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchLine {
+    /// Full bench id (e.g. `engine/step_sync/1024`).
+    pub bench: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+}
+
+/// Extracts the string value of `"key":"…"` from one JSON line. Handles
+/// backslash escapes enough for bench ids (which our harnesses restrict
+/// to path-ish characters anyway).
+fn string_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => out.push(chars.next()?),
+            _ => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extracts the numeric value of `"key":…` from one JSON line.
+fn number_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses the measurement lines of one `CRITERION_JSON` file; lines
+/// without the two required fields (or non-JSON noise) are skipped.
+pub fn parse_lines(text: &str) -> Vec<BenchLine> {
+    text.lines()
+        .filter_map(|line| {
+            Some(BenchLine {
+                bench: string_field(line, "bench")?,
+                median_ns: number_field(line, "median_ns_per_iter")?,
+            })
+        })
+        .collect()
+}
+
+/// Median of a non-empty sample (mean of the middle pair for even sizes).
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN medians"));
+    let m = xs.len() / 2;
+    if xs.len() % 2 == 1 {
+        xs[m]
+    } else {
+        (xs[m - 1] + xs[m]) / 2.0
+    }
+}
+
+/// Formats nanoseconds with a human-readable unit.
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Renders labeled measurement files as a markdown table: one row per
+/// bench id (union over all files, sorted), one column per file, each
+/// cell the per-bench median of that file's measurements (`—` when a file
+/// lacks the bench — e.g. a bench added after an old artifact was taken).
+pub fn render_markdown(files: &[(String, Vec<BenchLine>)]) -> String {
+    let mut per_file: Vec<BTreeMap<&str, Vec<f64>>> = Vec::with_capacity(files.len());
+    let mut benches: BTreeMap<&str, ()> = BTreeMap::new();
+    for (_, lines) in files {
+        let mut map: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+        for l in lines {
+            map.entry(&l.bench).or_default().push(l.median_ns);
+            benches.entry(&l.bench).or_insert(());
+        }
+        per_file.push(map);
+    }
+    let mut out = String::from("| bench |");
+    for (label, _) in files {
+        out.push_str(&format!(" {label} |"));
+    }
+    out.push_str("\n|---|");
+    out.push_str(&"---:|".repeat(files.len()));
+    out.push('\n');
+    for (bench, ()) in &benches {
+        out.push_str(&format!("| `{bench}` |"));
+        for map in &per_file {
+            match map.get(bench) {
+                Some(xs) => out.push_str(&format!(" {} |", format_ns(median(xs.clone())))),
+                None => out.push_str(" — |"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = concat!(
+        "{\"bench\":\"engine/step/1024\",\"median_ns_per_iter\":1500.0,\"low_ns\":1400.0,\"high_ns\":1600.0,\"elements_per_iter\":1}\n",
+        "{\"bench\":\"engine/step/1024\",\"median_ns_per_iter\":2500.0,\"low_ns\":2400.0,\"high_ns\":2600.0,\"elements_per_iter\":1}\n",
+        "not json at all\n",
+        "{\"bench\":\"verify/example1\",\"median_ns_per_iter\":2000000.0,\"low_ns\":1.0,\"high_ns\":1.0,\"elements_per_iter\":4}\n",
+    );
+
+    #[test]
+    fn parses_well_formed_lines_and_skips_noise() {
+        let lines = parse_lines(SAMPLE);
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].bench, "engine/step/1024");
+        assert_eq!(lines[0].median_ns, 1500.0);
+        assert_eq!(lines[2].bench, "verify/example1");
+    }
+
+    #[test]
+    fn median_folds_repeated_measurements() {
+        assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(vec![4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn renders_union_of_benches_across_files() {
+        let a = parse_lines(SAMPLE);
+        let b = parse_lines(
+            "{\"bench\":\"engine/step/1024\",\"median_ns_per_iter\":1800.0,\"low_ns\":1,\"high_ns\":1,\"elements_per_iter\":1}\n",
+        );
+        let table = render_markdown(&[("old".into(), a), ("new".into(), b)]);
+        // Two medians for engine/step in file "old" fold to their mean.
+        assert!(
+            table.contains("| `engine/step/1024` | 2.00 µs | 1.80 µs |"),
+            "{table}"
+        );
+        // verify/example1 exists only in "old"; the other cell is a dash.
+        assert!(
+            table.contains("| `verify/example1` | 2.00 ms | — |"),
+            "{table}"
+        );
+        assert!(
+            table.starts_with("| bench | old | new |\n|---|---:|---:|\n"),
+            "{table}"
+        );
+    }
+
+    #[test]
+    fn unit_formatting_scales() {
+        assert_eq!(format_ns(12.0), "12.0 ns");
+        assert_eq!(format_ns(12_340.0), "12.34 µs");
+        assert_eq!(format_ns(12_340_000.0), "12.34 ms");
+        assert_eq!(format_ns(12_340_000_000.0), "12.340 s");
+    }
+
+    #[test]
+    fn escaped_quotes_in_bench_ids_survive() {
+        let lines = parse_lines("{\"bench\":\"weird\\\"name\",\"median_ns_per_iter\":5.0}\n");
+        assert_eq!(lines[0].bench, "weird\"name");
+    }
+}

@@ -52,6 +52,23 @@ pub fn sticky_or_ring(n: usize) -> Protocol<bool> {
         .expect("ring nodes all have reactions")
 }
 
+/// Rotation on the unidirectional ring (buffered): every node forwards
+/// its incoming label, so labels circulate forever — the canonical
+/// non-stabilizing instance for the exact verifier (its ≈4ⁿ-state
+/// product graph at r = 2 exercises interning, SCCs, and witnesses).
+pub fn rotation_ring(n: usize) -> Protocol<bool> {
+    Protocol::builder(topology::unidirectional_ring(n), 1.0)
+        .uniform_reaction(FnBufReaction::new(
+            vec![false],
+            |_, inc: &[bool], _, out: &mut [bool]| {
+                out[0] = inc[0];
+                0
+            },
+        ))
+        .build()
+        .expect("ring nodes all have reactions")
+}
+
 /// The benchmark schedule families (one representative per built-in
 /// schedule type, seeded deterministically) for a graph of `n` nodes.
 pub const SCHEDULE_KINDS: [&str; 4] = [

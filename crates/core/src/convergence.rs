@@ -32,6 +32,7 @@ use std::sync::Mutex;
 
 use crate::engine::Simulation;
 use crate::error::CoreError;
+use crate::intern::{ChunkedArena, FingerprintIndex, FxHasher};
 use crate::label::Label;
 use crate::protocol::Protocol;
 use crate::schedule::{PeriodicSchedule, Schedule, Synchronous};
@@ -131,69 +132,13 @@ pub enum CycleDetector {
     Brent,
 }
 
-/// An FxHash-style multiplicative [`Hasher`] with a fixed seed: one
-/// rotate-xor-multiply per 8-byte word, ~4× faster than SipHash on the
-/// wide labelings the classifier fingerprints. Not collision-resistant
-/// against adversaries — which is fine, because every fingerprint hit is
-/// confirmed by exact equality against the history arena.
-#[derive(Default)]
-struct FxHasher {
-    hash: u64,
-}
-
-/// The golden-ratio multiplier used by rustc's FxHash.
-const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
-
-impl FxHasher {
-    fn add(&mut self, word: u64) {
-        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
-    }
-}
-
-impl Hasher for FxHasher {
-    fn finish(&self) -> u64 {
-        self.hash
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        let mut chunks = bytes.chunks_exact(8);
-        for c in chunks.by_ref() {
-            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
-        }
-        let rest = chunks.remainder();
-        if !rest.is_empty() {
-            let mut buf = [0u8; 8];
-            buf[..rest.len()].copy_from_slice(rest);
-            self.add(u64::from_le_bytes(buf));
-        }
-    }
-
-    fn write_u8(&mut self, i: u8) {
-        self.add(u64::from(i));
-    }
-
-    fn write_u32(&mut self, i: u32) {
-        self.add(u64::from(i));
-    }
-
-    fn write_u64(&mut self, i: u64) {
-        self.add(i);
-    }
-
-    fn write_usize(&mut self, i: usize) {
-        self.add(i as u64);
-    }
-}
-
 /// Seeded 64-bit fingerprint of a (labeling, schedule-phase) product state
 /// ([`FxHasher`] over every label's `Hash` image, then the phase).
 /// Fingerprints index the visited-state table; exact equality against the
 /// history arena confirms every hit, so collisions cost a comparison but
 /// never an incorrect classification.
 fn fingerprint<L: Label>(labeling: &[L], phase: u64) -> u64 {
-    let mut h = FxHasher {
-        hash: labeling.len() as u64,
-    };
+    let mut h = FxHasher::seeded(labeling.len() as u64);
     for l in labeling {
         l.hash(&mut h);
     }
@@ -338,59 +283,35 @@ where
     let sync = schedule.is_synchronous();
     let mut sched = schedule.clone();
     let mut sim = Simulation::new(protocol, inputs, initial)?;
-    // Flat arenas: labeling of step t lives at arena[t*e..(t+1)*e], the
-    // outputs produced by the step into step t at out_arena[t*n..(t+1)*n]
-    // (step 0 holds the pre-run placeholder and is never inspected), and
-    // the schedule phase at step t in phases[t].
-    let mut arena: Vec<L> = Vec::with_capacity(e * 64.min(max_states + 1));
-    let mut out_arena: Vec<Output> = Vec::with_capacity(n * 64.min(max_states + 1));
+    // Block-chunked arenas (fixed ~1 MiB blocks, so million-round
+    // transients never realloc-and-copy their history): the labeling of
+    // step t is arena.row(t), the outputs produced by the step into step t
+    // are out_arena.row(t) (step 0 holds the pre-run placeholder and is
+    // never inspected), and the schedule phase at step t is phases[t].
+    let mut arena: ChunkedArena<L> = ChunkedArena::new(e);
+    let mut out_arena: ChunkedArena<Output> = ChunkedArena::new(n);
     let mut phases: Vec<u64> = Vec::with_capacity(64.min(max_states + 1));
-    // fingerprint → first step whose product state hashed to it. The map
-    // is keyed through FxHasher (fingerprints are already well-mixed
-    // 64-bit words — SipHashing them again would waste the FxHash fast
-    // path) and stores a bare step index; the rare extra steps on a
-    // genuine 64-bit collision go to the `collisions` side list, so no
-    // per-entry heap allocation happens on the common path.
-    let mut seen: HashMap<u64, u64, std::hash::BuildHasherDefault<FxHasher>> = HashMap::default();
-    let mut collisions: Vec<(u64, u64)> = Vec::new();
-    arena.extend_from_slice(sim.labeling());
-    out_arena.extend(std::iter::repeat_n(0, n));
+    // fingerprint → first step whose product state hashed to it; every hit
+    // is confirmed by exact equality against the arena (see
+    // [`FingerprintIndex`]), so no owned labeling key is ever stored.
+    let mut seen = FingerprintIndex::new();
+    arena.push_row(sim.labeling());
+    out_arena.push_row(&vec![0; n]);
     phases.push(sched.phase(n));
-    seen.insert(fingerprint(sim.labeling(), sched.phase(n)), 0);
+    let fp0 = fingerprint(sim.labeling(), sched.phase(n));
+    let miss = seen.probe(fp0, 0, |_| false);
+    debug_assert!(miss.is_none());
 
     for t in 1..=(max_states as u64) {
         advance(&mut sim, &mut sched, sync);
         let phase = sched.phase(n);
         let current = sim.labeling();
         let fp = fingerprint(current, phase);
-        let row = |s: u64| &arena[s as usize * e..(s as usize + 1) * e];
-        let confirmed = |s: u64| phases[s as usize] == phase && row(s) == current;
-        let hit = match seen.entry(fp) {
-            std::collections::hash_map::Entry::Vacant(v) => {
-                v.insert(t);
-                None
-            }
-            std::collections::hash_map::Entry::Occupied(o) => {
-                let first = *o.get();
-                if confirmed(first) {
-                    Some(first)
-                } else {
-                    // 64-bit collision: consult (and extend) the side list.
-                    let extra = collisions
-                        .iter()
-                        .filter(|&&(f, _)| f == fp)
-                        .map(|&(_, s)| s)
-                        .find(|&s| confirmed(s));
-                    if extra.is_none() {
-                        collisions.push((fp, t));
-                    }
-                    extra
-                }
-            }
-        };
+        let row = |s: u64| arena.row(s as usize);
+        let hit = seen.probe(fp, t, |s| phases[s as usize] == phase && row(s) == current);
         let Some(s) = hit else {
-            arena.extend_from_slice(current);
-            out_arena.extend_from_slice(sim.outputs());
+            arena.push_row(current);
+            out_arena.push_row(sim.outputs());
             phases.push(phase);
             continue;
         };
@@ -415,10 +336,10 @@ where
                 outputs: sim.outputs().to_vec(),
             });
         }
-        out_arena.extend_from_slice(sim.outputs());
+        out_arena.push_row(sim.outputs());
         // Outputs along the cycle are steps s+1 ..= t (the step out of
         // step s produced step s+1's outputs, and the cycle repeats).
-        let outs_of = |r: u64| &out_arena[r as usize * n..(r as usize + 1) * n];
+        let outs_of = |r: u64| out_arena.row(r as usize);
         let constant = (s + 1..t).all(|r| outs_of(r) == outs_of(r + 1));
         let outputs_stable = if constant {
             let final_outputs = outs_of(s + 1).to_vec();

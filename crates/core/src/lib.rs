@@ -31,6 +31,11 @@
 //!   periodically scheduled runs (label-stable / oscillating) by pluggable
 //!   cycle detection ([`convergence::CycleDetector`]: history arena or
 //!   O(1)-memory Brent), plus parallel sweep drivers.
+//! * [`intern`] — the shared state-interning machinery behind the fast
+//!   paths: seeded fingerprint hashing with exact-equality confirmation,
+//!   flat bit packing, and block-chunked history arenas. Used by
+//!   [`convergence`] and by the exact product-graph explorer in
+//!   `stabilization-verify`.
 //!
 //! ## Quickstart
 //!
@@ -64,6 +69,7 @@ pub mod convergence;
 pub mod engine;
 pub mod error;
 pub mod graph;
+pub mod intern;
 pub mod label;
 pub mod protocol;
 pub mod reaction;

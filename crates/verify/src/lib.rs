@@ -17,9 +17,13 @@
 //!
 //! The state space is `|Σ|^{|E|} · r^n` — exponential, exactly as the
 //! paper's PSPACE-completeness (Theorem 4.2) and communication bounds
-//! (Theorem 4.1) say it must be. Use it on small instances; experiment E4
-//! uses it to confirm Example 1's tightness, and bench `verify` charts the
-//! blowup.
+//! (Theorem 4.1) say it must be. The explorer packs each state into a few
+//! `u64` words (alphabet-index labels, narrow countdown fields), resolves
+//! states through a fingerprint index with exact confirmation, stores
+//! transitions in flat CSR arrays, and runs iterative Tarjan — see the
+//! [`product`] module docs for the memory model. Experiment E4 uses it to
+//! confirm Example 1's tightness, and bench `verify` plus the
+//! `verify_scaling` perf section chart the blowup.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,7 +32,9 @@ pub mod product;
 pub mod stable;
 
 pub use product::{
-    verify_label_stabilization, verify_output_stabilization, CycleWitness, Limits, Verdict,
-    VerifyError,
+    verify_label_stabilization, verify_label_stabilization_with_stats, verify_output_stabilization,
+    CycleWitness, ExploreStats, Limits, Verdict, VerifyError,
 };
+#[doc(hidden)]
+pub use product::{verify_label_stabilization_naive, verify_output_stabilization_naive};
 pub use stable::enumerate_stable_labelings;

@@ -1,10 +1,48 @@
 //! The labeling × countdown product graph and its SCC analysis.
+//!
+//! # Memory model
+//!
+//! The explorer is built on the fingerprint-interning machinery of
+//! [`stateless_core::intern`], so the product graph is stored flat:
+//!
+//! * **Packed states.** Each product state `(labeling, countdown,
+//!   outputs)` is bit-packed into a fixed number of `u64` words: every
+//!   edge label becomes a `⌈log₂|Σ|⌉`-bit alphabet index and every
+//!   per-node countdown a `⌈log₂ r⌉`-bit field (outputs, tracked only for
+//!   output-stabilization queries, are palette indices in a parallel flat
+//!   `u32` row). A state of a 16-edge Boolean protocol with `r ≤ 16`
+//!   occupies 16 bytes instead of three heap `Vec`s *plus* their
+//!   `HashMap`-key clones — several-fold less memory per state, which is
+//!   what bounds exact verification in practice.
+//! * **Fingerprint interning.** States are resolved through a seeded
+//!   FxHash fingerprint index ([`FingerprintIndex`]) whose every hit is
+//!   confirmed by exact equality against the packed arena, so hash
+//!   collisions cost a comparison but never a wrong verdict — and no
+//!   owned key is ever stored.
+//! * **CSR edges.** Transitions live in flat compressed-sparse-row
+//!   arrays (`edge_offsets` / `edge_targets` / `edge_meta`), built in
+//!   state order during the breadth-first expansion — 8 bytes per edge
+//!   instead of a `Vec<Vec<(usize, bool, u32)>>`.
+//! * **Tarjan SCC.** Components come from one iterative Tarjan pass over
+//!   the CSR arrays; the reverse graph Kosaraju needs is never
+//!   materialized.
+//!
+//! The previous owned-`Vec`-interning explorer is retained as
+//! [`verify_label_stabilization_naive`] / [`verify_output_stabilization_naive`]
+//! and differentially tested against this one (`tests/differential.rs`);
+//! it exists for testing only. One behavioral refinement: the packed
+//! explorer requires the reactions to be closed over `alphabet` and
+//! reports a violation immediately as [`VerifyError::BadParameters`],
+//! where the naive explorer would silently grow the state space until
+//! [`Limits::max_states`] tripped.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
+use std::hash::Hasher;
 
 use stateless_core::convergence::all_labelings;
+use stateless_core::intern::{bits_for, pack, unpack, FingerprintIndex, FxBuildHasher, FxHasher};
 use stateless_core::label::Label;
 use stateless_core::prelude::*;
 
@@ -17,8 +55,12 @@ pub struct Limits {
 
 impl Default for Limits {
     fn default() -> Self {
+        // The packed-arena explorer stores a Boolean-alphabet state in a
+        // word or two (plus ~16 bytes of fingerprint index and 8 bytes per
+        // CSR edge), so 16M states is a few hundred MB — the old
+        // owned-`Vec` explorer exhausted the same memory near 2M.
         Limits {
-            max_states: 2_000_000,
+            max_states: 16_000_000,
         }
     }
 }
@@ -34,7 +76,8 @@ pub enum VerifyError {
     },
     /// A protocol probe failed.
     Core(CoreError),
-    /// Parameters out of range (e.g. `r = 0` or `n > 16`).
+    /// Parameters out of range (e.g. `r = 0`, `n > 16`, or a reaction
+    /// that emits labels outside the declared alphabet).
     BadParameters {
         /// Description.
         what: String,
@@ -88,11 +131,566 @@ impl<L> Verdict<L> {
     }
 }
 
-/// One product-graph vertex: `(labeling, countdown, outputs)` (outputs
-/// all-zero when not tracked).
-type ProductState<L> = (Vec<L>, Vec<u8>, Vec<Output>);
+/// Size accounting for one exploration, reported by
+/// [`verify_label_stabilization_with_stats`]. All byte figures are the
+/// flat-array payloads actually allocated (the fingerprint index adds
+/// roughly 16 bytes per state on top).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Product states materialized.
+    pub states: usize,
+    /// Product transitions materialized.
+    pub edges: usize,
+    /// Packed `u64` words per state.
+    pub words_per_state: usize,
+    /// Bytes of state storage: the packed arena plus output rows.
+    pub state_bytes: usize,
+    /// Bytes of CSR edge storage (`edge_offsets`/`edge_targets`/`edge_meta`).
+    pub edge_bytes: usize,
+}
+
+/// `edge_meta` bit holding the "interesting" flag (the labeling — or the
+/// outputs, for output-stabilization — changed along the edge). The low
+/// 16 bits hold the activation mask (`n ≤ 16`).
+const META_INTERESTING: u32 = 1 << 16;
 
 struct Explorer<'p, L: Label> {
+    protocol: &'p Protocol<L>,
+    inputs: Vec<Input>,
+    r: u8,
+    track_outputs: bool,
+    /// Deduplicated alphabet; packed label fields are indices into it.
+    alphabet: Vec<L>,
+    label_index: HashMap<L, u32, FxBuildHasher>,
+    label_width: u32,
+    countdown_width: u32,
+    words_per_state: usize,
+    /// Packed state arena: state `u` is `arena[u*w..(u+1)*w]`.
+    arena: Vec<u64>,
+    /// Output palette-index rows (`n` per state), only when
+    /// `track_outputs`; `out_palette_index` interns the raw `Output`
+    /// values (witnesses never need the values back, so no reverse
+    /// palette is kept).
+    out_rows: Vec<u32>,
+    out_palette_index: HashMap<Output, u32, FxBuildHasher>,
+    index: FingerprintIndex,
+    n_states: usize,
+    /// CSR transition arrays: state `u`'s edges are
+    /// `edge_targets[edge_offsets[u]..edge_offsets[u+1]]` with matching
+    /// `edge_meta` (activation mask | [`META_INTERESTING`]). Built in
+    /// state order during expansion, so no second pass is needed.
+    edge_offsets: Vec<usize>,
+    edge_targets: Vec<u32>,
+    edge_meta: Vec<u32>,
+    // -- reusable scratch (no per-state or per-probe allocation) --
+    state_buf: Vec<u64>,
+    label_idx_buf: Vec<u32>,
+    next_label_idx: Vec<u32>,
+    countdown_buf: Vec<u8>,
+    out_idx_buf: Vec<u32>,
+    next_out_idx: Vec<u32>,
+    labeling_buf: Vec<L>,
+    in_buf: Vec<L>,
+    out_buf: Vec<L>,
+    free_buf: Vec<usize>,
+}
+
+impl<'p, L: Label> Explorer<'p, L> {
+    fn explore(
+        protocol: &'p Protocol<L>,
+        inputs: &[Input],
+        alphabet: &[L],
+        r: u8,
+        track_outputs: bool,
+        limits: Limits,
+    ) -> Result<Self, VerifyError> {
+        let n = protocol.node_count();
+        let e = protocol.edge_count();
+        if n > 16 {
+            return Err(VerifyError::BadParameters {
+                what: format!("exhaustive verification supports n ≤ 16, got {n}"),
+            });
+        }
+        if r == 0 {
+            return Err(VerifyError::BadParameters {
+                what: "r must be ≥ 1".into(),
+            });
+        }
+        // Deduplicate the alphabet (first occurrence wins) so equal labels
+        // share one packed index and states dedup exactly as in the naive
+        // explorer.
+        let mut label_index: HashMap<L, u32, FxBuildHasher> = HashMap::default();
+        let mut dedup: Vec<L> = Vec::with_capacity(alphabet.len());
+        for l in alphabet {
+            if !label_index.contains_key(l) {
+                label_index.insert(l.clone(), dedup.len() as u32);
+                dedup.push(l.clone());
+            }
+        }
+        let label_width = bits_for(dedup.len());
+        let countdown_width = bits_for(r as usize);
+        let state_bits = e * label_width as usize + n * countdown_width as usize;
+        let words_per_state = state_bits.div_ceil(64).max(1);
+        let mut ex = Explorer {
+            protocol,
+            inputs: inputs.to_vec(),
+            r,
+            track_outputs,
+            alphabet: dedup,
+            label_index,
+            label_width,
+            countdown_width,
+            words_per_state,
+            arena: Vec::new(),
+            out_rows: Vec::new(),
+            out_palette_index: HashMap::default(),
+            index: FingerprintIndex::new(),
+            n_states: 0,
+            edge_offsets: vec![0],
+            edge_targets: Vec::new(),
+            edge_meta: Vec::new(),
+            state_buf: vec![0; words_per_state],
+            label_idx_buf: vec![0; e],
+            next_label_idx: vec![0; e],
+            countdown_buf: vec![0; n],
+            out_idx_buf: vec![0; n],
+            next_out_idx: vec![0; n],
+            labeling_buf: Vec::with_capacity(e),
+            in_buf: Vec::new(),
+            out_buf: Vec::new(),
+            free_buf: Vec::with_capacity(n),
+        };
+        // Initialization vertices: every labeling, full countdown, zero
+        // outputs (palette index 0 is pre-seeded with the placeholder 0).
+        if track_outputs {
+            ex.out_palette_index.insert(0, 0);
+            ex.next_out_idx.fill(0);
+        }
+        let digit_alphabet: Vec<u32> = (0..ex.alphabet.len() as u32).collect();
+        for digits in all_labelings(&digit_alphabet, e) {
+            ex.state_buf.fill(0);
+            for (k, &d) in digits.iter().enumerate() {
+                pack(
+                    &mut ex.state_buf,
+                    k * label_width as usize,
+                    label_width,
+                    u64::from(d),
+                );
+            }
+            for i in 0..n {
+                pack(
+                    &mut ex.state_buf,
+                    e * label_width as usize + i * countdown_width as usize,
+                    countdown_width,
+                    u64::from(r - 1),
+                );
+            }
+            ex.intern_scratch(limits)?;
+        }
+        let mut cursor = 0;
+        while cursor < ex.n_states {
+            ex.expand(cursor, limits)?;
+            cursor += 1;
+        }
+        debug_assert_eq!(ex.edge_offsets.len(), ex.n_states + 1);
+        Ok(ex)
+    }
+
+    /// Interns the packed state in `state_buf` (and, when outputs are
+    /// tracked, the palette row in `next_out_idx`): returns the id of the
+    /// confirmed-equal existing state, or appends a new one.
+    fn intern_scratch(&mut self, limits: Limits) -> Result<u32, VerifyError> {
+        let w = self.words_per_state;
+        let n = self.protocol.node_count();
+        let mut h = FxHasher::default();
+        for &word in &self.state_buf {
+            h.write_u64(word);
+        }
+        if self.track_outputs {
+            for &o in &self.next_out_idx {
+                h.write_u32(o);
+            }
+        }
+        let fp = h.finish();
+        let (arena, outs, sbuf, obuf) = (
+            &self.arena,
+            &self.out_rows,
+            &self.state_buf,
+            &self.next_out_idx,
+        );
+        let track = self.track_outputs;
+        let hit = self.index.probe(fp, self.n_states as u64, |id| {
+            let id = id as usize;
+            arena[id * w..(id + 1) * w] == sbuf[..]
+                && (!track || outs[id * n..(id + 1) * n] == obuf[..])
+        });
+        if let Some(id) = hit {
+            return Ok(id as u32);
+        }
+        if self.n_states >= limits.max_states.min(u32::MAX as usize - 1) {
+            return Err(VerifyError::TooManyStates {
+                limit: limits.max_states,
+            });
+        }
+        let id = self.n_states as u32;
+        self.arena.extend_from_slice(&self.state_buf);
+        if track {
+            self.out_rows.extend_from_slice(&self.next_out_idx);
+        }
+        self.n_states += 1;
+        Ok(id)
+    }
+
+    /// Decodes state `u` from the packed arena into the scratch buffers
+    /// (`labeling_buf`/`label_idx_buf`/`countdown_buf`/`out_idx_buf`).
+    fn load(&mut self, u: usize) {
+        let w = self.words_per_state;
+        let e = self.protocol.edge_count();
+        let n = self.protocol.node_count();
+        let lw = self.label_width;
+        let cw = self.countdown_width;
+        let row = &self.arena[u * w..(u + 1) * w];
+        self.labeling_buf.clear();
+        for k in 0..e {
+            let idx = unpack(row, k * lw as usize, lw) as u32;
+            self.label_idx_buf[k] = idx;
+            self.labeling_buf.push(self.alphabet[idx as usize].clone());
+        }
+        for i in 0..n {
+            self.countdown_buf[i] = unpack(row, e * lw as usize + i * cw as usize, cw) as u8 + 1;
+        }
+        if self.track_outputs {
+            self.out_idx_buf
+                .copy_from_slice(&self.out_rows[u * n..(u + 1) * n]);
+        }
+    }
+
+    fn expand(&mut self, u: usize, limits: Limits) -> Result<(), VerifyError> {
+        let n = self.protocol.node_count();
+        let e = self.protocol.edge_count();
+        let lw = self.label_width;
+        let cw = self.countdown_width;
+        self.load(u);
+        let forced: u32 = (0..n)
+            .filter(|&i| self.countdown_buf[i] == 1)
+            .map(|i| 1 << i)
+            .sum();
+        self.free_buf.clear();
+        self.free_buf
+            .extend((0..n).filter(|&i| self.countdown_buf[i] != 1));
+        let free_count = self.free_buf.len();
+        // Every activation set: forced nodes plus any subset of the rest
+        // (skipping the empty total set).
+        for subset in 0..(1u32 << free_count) {
+            let mut mask = forced;
+            for k in 0..free_count {
+                if subset >> k & 1 == 1 {
+                    mask |= 1 << self.free_buf[k];
+                }
+            }
+            if mask == 0 {
+                continue;
+            }
+            self.next_label_idx.copy_from_slice(&self.label_idx_buf);
+            if self.track_outputs {
+                self.next_out_idx.copy_from_slice(&self.out_idx_buf);
+            }
+            let graph = self.protocol.graph();
+            for i in (0..n).filter(|&i| mask >> i & 1 == 1) {
+                // Buffered reaction probe: all reads come from the
+                // pre-step `labeling_buf`, so the per-node commits into
+                // next_label_idx cannot corrupt later probes.
+                let y = self.protocol.apply_buffered(
+                    i,
+                    &self.labeling_buf,
+                    self.inputs[i],
+                    &mut self.in_buf,
+                    &mut self.out_buf,
+                );
+                for (slot, &eid) in self.out_buf.iter().zip(graph.out_edges(i)) {
+                    let Some(&idx) = self.label_index.get(slot) else {
+                        return Err(VerifyError::BadParameters {
+                            what: format!(
+                                "node {i} emitted the label {slot:?}, which is \
+                                 outside the declared alphabet"
+                            ),
+                        });
+                    };
+                    self.next_label_idx[eid] = idx;
+                }
+                if self.track_outputs {
+                    let fresh = self.out_palette_index.len() as u32;
+                    let yi = *self.out_palette_index.entry(y).or_insert(fresh);
+                    self.next_out_idx[i] = yi;
+                }
+            }
+            let interesting = if self.track_outputs {
+                self.next_out_idx != self.out_idx_buf
+            } else {
+                self.next_label_idx != self.label_idx_buf
+            };
+            // Pack the successor: labels, then countdowns (reset to r for
+            // activated nodes, decremented otherwise).
+            self.state_buf.fill(0);
+            for (k, &idx) in self.next_label_idx.iter().enumerate() {
+                pack(&mut self.state_buf, k * lw as usize, lw, u64::from(idx));
+            }
+            for i in 0..n {
+                let cd = if mask >> i & 1 == 1 {
+                    self.r
+                } else {
+                    self.countdown_buf[i] - 1
+                };
+                pack(
+                    &mut self.state_buf,
+                    e * lw as usize + i * cw as usize,
+                    cw,
+                    u64::from(cd - 1),
+                );
+            }
+            let v = self.intern_scratch(limits)?;
+            self.edge_targets.push(v);
+            self.edge_meta
+                .push(mask | if interesting { META_INTERESTING } else { 0 });
+        }
+        self.edge_offsets.push(self.edge_targets.len());
+        Ok(())
+    }
+
+    /// Iterative Tarjan SCC over the CSR arrays; returns the component id
+    /// per state. Unlike Kosaraju, no reverse graph is materialized — the
+    /// auxiliary state is four flat per-state arrays plus two stacks.
+    fn sccs(&self) -> Vec<u32> {
+        let n = self.n_states;
+        let mut comp = vec![u32::MAX; n];
+        // Discovery indices, offset by one so 0 means "unvisited".
+        let mut order = vec![0u32; n];
+        let mut low = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut call: Vec<(u32, usize)> = Vec::new();
+        let mut next_order: u32 = 1;
+        let mut comp_count: u32 = 0;
+        for root in 0..n {
+            if order[root] != 0 {
+                continue;
+            }
+            order[root] = next_order;
+            low[root] = next_order;
+            next_order += 1;
+            stack.push(root as u32);
+            on_stack[root] = true;
+            call.push((root as u32, self.edge_offsets[root]));
+            while let Some(&mut (v, ref mut cursor)) = call.last_mut() {
+                let vu = v as usize;
+                if *cursor < self.edge_offsets[vu + 1] {
+                    let w = self.edge_targets[*cursor] as usize;
+                    *cursor += 1;
+                    if order[w] == 0 {
+                        order[w] = next_order;
+                        low[w] = next_order;
+                        next_order += 1;
+                        stack.push(w as u32);
+                        on_stack[w] = true;
+                        call.push((w as u32, self.edge_offsets[w]));
+                    } else if on_stack[w] {
+                        low[vu] = low[vu].min(order[w]);
+                    }
+                } else {
+                    if low[vu] == order[vu] {
+                        loop {
+                            let w = stack.pop().expect("Tarjan stack holds v");
+                            on_stack[w as usize] = false;
+                            comp[w as usize] = comp_count;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp_count += 1;
+                    }
+                    call.pop();
+                    if let Some(&mut (parent, _)) = call.last_mut() {
+                        let pu = parent as usize;
+                        low[pu] = low[pu].min(low[vu]);
+                    }
+                }
+            }
+        }
+        comp
+    }
+
+    /// Finds a cycle through an "interesting" intra-SCC edge, as a
+    /// witness. The *first* such edge suffices — its endpoints share an
+    /// SCC, so the closing path always exists and one BFS settles the
+    /// whole component; the BFS bookkeeping is flat per-state arrays
+    /// (predecessor + mask, plus a reusable queue), not hashed maps.
+    fn witness(&self, comp: &[u32]) -> Option<CycleWitness<L>> {
+        let (u, v, mask) = self.first_interesting_intra_scc_edge(comp)?;
+        let mut prev: Vec<u32> = vec![u32::MAX; self.n_states];
+        let mut prev_mask: Vec<u32> = vec![0; self.n_states];
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        // BFS from v back to u inside the component.
+        queue.push_back(v as u32);
+        let mut found = v == u;
+        'bfs: while let Some(w) = queue.pop_front() {
+            let wu = w as usize;
+            for c in self.edge_offsets[wu]..self.edge_offsets[wu + 1] {
+                let x = self.edge_targets[c] as usize;
+                if comp[x] == comp[u] && x != v && prev[x] == u32::MAX {
+                    prev[x] = w;
+                    prev_mask[x] = self.edge_meta[c] & 0xFFFF;
+                    if x == u {
+                        found = true;
+                        break 'bfs;
+                    }
+                    queue.push_back(x as u32);
+                }
+            }
+        }
+        debug_assert!(found, "u and v share an SCC, so v reaches u");
+        if !found {
+            return None;
+        }
+        // Reconstruct u →(mask) v → … → u.
+        let mut masks = vec![mask];
+        let mut path_rev = Vec::new();
+        let mut at = u;
+        while at != v {
+            path_rev.push(prev_mask[at]);
+            at = prev[at] as usize;
+        }
+        masks.extend(path_rev.into_iter().rev());
+        let n = self.protocol.node_count();
+        let schedule = masks
+            .into_iter()
+            .map(|m| (0..n).filter(|&i| m >> i & 1 == 1).collect())
+            .collect();
+        Some(CycleWitness {
+            labeling: self.decode_labeling(u),
+            schedule,
+        })
+    }
+
+    /// Scans the CSR arrays for the first labeling/output-changing edge
+    /// whose endpoints share a component.
+    fn first_interesting_intra_scc_edge(&self, comp: &[u32]) -> Option<(usize, usize, u32)> {
+        for u in 0..self.n_states {
+            for c in self.edge_offsets[u]..self.edge_offsets[u + 1] {
+                let meta = self.edge_meta[c];
+                if meta & META_INTERESTING == 0 {
+                    continue;
+                }
+                let v = self.edge_targets[c] as usize;
+                if comp[u] == comp[v] {
+                    return Some((u, v, meta & 0xFFFF));
+                }
+            }
+        }
+        None
+    }
+
+    /// Decodes state `u`'s labeling from the packed arena.
+    fn decode_labeling(&self, u: usize) -> Vec<L> {
+        let w = self.words_per_state;
+        let lw = self.label_width;
+        let row = &self.arena[u * w..(u + 1) * w];
+        (0..self.protocol.edge_count())
+            .map(|k| self.alphabet[unpack(row, k * lw as usize, lw) as usize].clone())
+            .collect()
+    }
+
+    fn stats(&self) -> ExploreStats {
+        ExploreStats {
+            states: self.n_states,
+            edges: self.edge_targets.len(),
+            words_per_state: self.words_per_state,
+            state_bytes: self.arena.len() * 8 + self.out_rows.len() * 4,
+            edge_bytes: self.edge_offsets.len() * std::mem::size_of::<usize>()
+                + self.edge_targets.len() * 4
+                + self.edge_meta.len() * 4,
+        }
+    }
+}
+
+/// Decides **label** r-stabilization of `protocol` under the given inputs,
+/// exactly, by exploring the full product graph over `alphabet`-labelings.
+///
+/// `alphabet` must be closed under the reactions; a reaction emitting a
+/// label outside it is reported as [`VerifyError::BadParameters`].
+///
+/// See the [module docs](self) for the memory model (packed states,
+/// fingerprint interning, CSR edges, Tarjan SCC).
+///
+/// # Errors
+///
+/// [`VerifyError::TooManyStates`] if the product graph exceeds the limit;
+/// [`VerifyError::BadParameters`] for `r = 0`, oversized graphs, or a
+/// non-closed alphabet.
+pub fn verify_label_stabilization<L: Label>(
+    protocol: &Protocol<L>,
+    inputs: &[Input],
+    alphabet: &[L],
+    r: u8,
+    limits: Limits,
+) -> Result<Verdict<L>, VerifyError> {
+    verify_label_stabilization_with_stats(protocol, inputs, alphabet, r, limits).map(|(v, _)| v)
+}
+
+/// [`verify_label_stabilization`], also reporting the size of the explored
+/// product graph ([`ExploreStats`]) — the figures behind the
+/// `verify_scaling` perf section.
+///
+/// # Errors
+///
+/// As for [`verify_label_stabilization`].
+pub fn verify_label_stabilization_with_stats<L: Label>(
+    protocol: &Protocol<L>,
+    inputs: &[Input],
+    alphabet: &[L],
+    r: u8,
+    limits: Limits,
+) -> Result<(Verdict<L>, ExploreStats), VerifyError> {
+    let ex = Explorer::explore(protocol, inputs, alphabet, r, false, limits)?;
+    let comp = ex.sccs();
+    let verdict = match ex.witness(&comp) {
+        Some(w) => Verdict::NotStabilizing(w),
+        None => Verdict::Stabilizing,
+    };
+    Ok((verdict, ex.stats()))
+}
+
+/// Decides **output** r-stabilization (the weaker condition: outputs must
+/// converge, labels may dance forever). Same exploration with outputs in
+/// the state.
+///
+/// # Errors
+///
+/// As for [`verify_label_stabilization`].
+pub fn verify_output_stabilization<L: Label>(
+    protocol: &Protocol<L>,
+    inputs: &[Input],
+    alphabet: &[L],
+    r: u8,
+    limits: Limits,
+) -> Result<Verdict<L>, VerifyError> {
+    let ex = Explorer::explore(protocol, inputs, alphabet, r, true, limits)?;
+    let comp = ex.sccs();
+    match ex.witness(&comp) {
+        Some(w) => Ok(Verdict::NotStabilizing(w)),
+        None => Ok(Verdict::Stabilizing),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Naive reference explorer (owned-`Vec` interning + Kosaraju), kept for
+// differential testing only.
+// ---------------------------------------------------------------------------
+
+/// One product-graph vertex of the naive explorer: `(labeling, countdown,
+/// outputs)` (outputs all-zero when not tracked).
+type ProductState<L> = (Vec<L>, Vec<u8>, Vec<Output>);
+
+struct NaiveExplorer<'p, L: Label> {
     protocol: &'p Protocol<L>,
     inputs: Vec<Input>,
     r: u8,
@@ -101,15 +699,11 @@ struct Explorer<'p, L: Label> {
     states: Vec<ProductState<L>>,
     /// edges[u] = (v, interesting: labeling/output changed, activation mask)
     edges: Vec<Vec<(usize, bool, u32)>>,
-    /// Reusable gather/outgoing buffers for the buffered reaction path
-    /// (`expand` probes every reaction up to 2^n times per state; going
-    /// through `Protocol::apply_buffered` avoids two `Vec` allocations per
-    /// probe).
     in_buf: Vec<L>,
     out_buf: Vec<L>,
 }
 
-impl<'p, L: Label> Explorer<'p, L> {
+impl<'p, L: Label> NaiveExplorer<'p, L> {
     fn explore(
         protocol: &'p Protocol<L>,
         inputs: &[Input],
@@ -129,7 +723,7 @@ impl<'p, L: Label> Explorer<'p, L> {
                 what: "r must be ≥ 1".into(),
             });
         }
-        let mut ex = Explorer {
+        let mut ex = NaiveExplorer {
             protocol,
             inputs: inputs.to_vec(),
             r,
@@ -140,12 +734,9 @@ impl<'p, L: Label> Explorer<'p, L> {
             in_buf: Vec::new(),
             out_buf: Vec::new(),
         };
-        // Initialization vertices: every labeling, full countdown.
-        let mut frontier: Vec<usize> = Vec::new();
         for labeling in all_labelings(alphabet, protocol.edge_count()) {
             let state = (labeling, vec![r; n], vec![0; n]);
-            let id = ex.intern(state, limits)?;
-            frontier.push(id);
+            ex.intern(state, limits)?;
         }
         let mut cursor = 0;
         while cursor < ex.states.len() {
@@ -176,8 +767,6 @@ impl<'p, L: Label> Explorer<'p, L> {
         let (labeling, countdown, outputs) = self.states[u].clone();
         let forced: u32 = (0..n).filter(|&i| countdown[i] == 1).map(|i| 1 << i).sum();
         let free: Vec<usize> = (0..n).filter(|&i| countdown[i] != 1).collect();
-        // Every activation set: forced nodes plus any subset of the rest
-        // (skipping the empty total set).
         for subset in 0..(1u32 << free.len()) {
             let mut mask = forced;
             for (k, &i) in free.iter().enumerate() {
@@ -192,9 +781,6 @@ impl<'p, L: Label> Explorer<'p, L> {
             let mut next_outputs = outputs.clone();
             let graph = self.protocol.graph();
             for i in (0..n).filter(|&i| mask >> i & 1 == 1) {
-                // Buffered reaction probe: all reads come from the
-                // pre-step `labeling`, so the per-node commits into
-                // next_labeling cannot corrupt later probes.
                 let y = self.protocol.apply_buffered(
                     i,
                     &labeling,
@@ -235,7 +821,6 @@ impl<'p, L: Label> Explorer<'p, L> {
         let n = self.states.len();
         let mut order = Vec::with_capacity(n);
         let mut seen = vec![false; n];
-        // Iterative post-order DFS.
         for start in 0..n {
             if seen[start] {
                 continue;
@@ -256,7 +841,6 @@ impl<'p, L: Label> Explorer<'p, L> {
                 }
             }
         }
-        // Reverse graph.
         let mut redges: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (u, outs) in self.edges.iter().enumerate() {
             for &(v, _, _) in outs {
@@ -284,16 +868,14 @@ impl<'p, L: Label> Explorer<'p, L> {
         comp
     }
 
-    /// Finds a cycle through an "interesting" intra-SCC edge, as a witness.
     fn witness(&self, comp: &[usize]) -> Option<CycleWitness<L>> {
         for (u, outs) in self.edges.iter().enumerate() {
             for &(v, interesting, mask) in outs {
                 if !interesting || comp[u] != comp[v] {
                     continue;
                 }
-                // BFS from v back to u inside the component.
                 let mut prev: HashMap<usize, (usize, u32)> = HashMap::new();
-                let mut queue = std::collections::VecDeque::from([v]);
+                let mut queue = VecDeque::from([v]);
                 let mut found = v == u;
                 while let Some(w) = queue.pop_front() {
                     if found {
@@ -313,7 +895,6 @@ impl<'p, L: Label> Explorer<'p, L> {
                 if !found && v != u {
                     continue;
                 }
-                // Reconstruct u →(mask) v → … → u.
                 let mut masks = vec![mask];
                 let mut path_rev = Vec::new();
                 let mut at = u;
@@ -338,24 +919,24 @@ impl<'p, L: Label> Explorer<'p, L> {
     }
 }
 
-/// Decides **label** r-stabilization of `protocol` under the given inputs,
-/// exactly, by exploring the full product graph over `alphabet`-labelings.
-///
-/// `alphabet` must be closed under the reactions (a label outside it makes
-/// the exploration grow until the limit trips).
+/// Reference implementation of [`verify_label_stabilization`]: the
+/// original explorer interning owned `(Vec<L>, Vec<u8>, Vec<Output>)`
+/// states in a `HashMap` and running Kosaraju over `Vec<Vec<…>>` edges.
+/// Kept for differential testing and as the baseline in the
+/// `verify_scaling` perf section; the two must agree on every verdict.
 ///
 /// # Errors
 ///
-/// [`VerifyError::TooManyStates`] if the product graph exceeds the limit;
-/// [`VerifyError::BadParameters`] for `r = 0` or oversized graphs.
-pub fn verify_label_stabilization<L: Label>(
+/// As for [`verify_label_stabilization`].
+#[doc(hidden)]
+pub fn verify_label_stabilization_naive<L: Label>(
     protocol: &Protocol<L>,
     inputs: &[Input],
     alphabet: &[L],
     r: u8,
     limits: Limits,
 ) -> Result<Verdict<L>, VerifyError> {
-    let ex = Explorer::explore(protocol, inputs, alphabet, r, false, limits)?;
+    let ex = NaiveExplorer::explore(protocol, inputs, alphabet, r, false, limits)?;
     let comp = ex.sccs();
     match ex.witness(&comp) {
         Some(w) => Ok(Verdict::NotStabilizing(w)),
@@ -363,21 +944,21 @@ pub fn verify_label_stabilization<L: Label>(
     }
 }
 
-/// Decides **output** r-stabilization (the weaker condition: outputs must
-/// converge, labels may dance forever). Same exploration with outputs in
-/// the state.
+/// Reference implementation of [`verify_output_stabilization`]; see
+/// [`verify_label_stabilization_naive`].
 ///
 /// # Errors
 ///
-/// As for [`verify_label_stabilization`].
-pub fn verify_output_stabilization<L: Label>(
+/// As for [`verify_output_stabilization`].
+#[doc(hidden)]
+pub fn verify_output_stabilization_naive<L: Label>(
     protocol: &Protocol<L>,
     inputs: &[Input],
     alphabet: &[L],
     r: u8,
     limits: Limits,
 ) -> Result<Verdict<L>, VerifyError> {
-    let ex = Explorer::explore(protocol, inputs, alphabet, r, true, limits)?;
+    let ex = NaiveExplorer::explore(protocol, inputs, alphabet, r, true, limits)?;
     let comp = ex.sccs();
     match ex.witness(&comp) {
         Some(w) => Ok(Verdict::NotStabilizing(w)),
@@ -468,5 +1049,100 @@ mod tests {
             verify_label_stabilization(&p, &[0; 3], &[false, true], 0, Limits::default()),
             Err(VerifyError::BadParameters { .. })
         ));
+    }
+
+    #[test]
+    fn non_closed_alphabet_is_rejected() {
+        // The reaction emits `true`, which the declared alphabet lacks.
+        let p = Protocol::builder(topology::unidirectional_ring(3), 1.0)
+            .uniform_reaction(FnReaction::new(|_, _: &[bool], _| (vec![true], 0)))
+            .build()
+            .unwrap();
+        let err =
+            verify_label_stabilization(&p, &[0; 3], &[false], 2, Limits::default()).unwrap_err();
+        assert!(matches!(err, VerifyError::BadParameters { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn duplicate_alphabet_entries_do_not_inflate_the_state_space() {
+        let p = rotate_ring(3);
+        let (_, plain) = verify_label_stabilization_with_stats(
+            &p,
+            &[0; 3],
+            &[false, true],
+            2,
+            Limits::default(),
+        )
+        .unwrap();
+        let (_, duped) = verify_label_stabilization_with_stats(
+            &p,
+            &[0; 3],
+            &[false, true, false, true],
+            2,
+            Limits::default(),
+        )
+        .unwrap();
+        assert_eq!(plain.states, duped.states);
+    }
+
+    #[test]
+    fn packed_explorer_matches_naive_on_verdicts() {
+        // Hand-picked spread: stabilizing and oscillating, label and
+        // output mode, r from 1 to 3 (the proptests in
+        // tests/differential.rs cover random protocols).
+        let rot = rotate_ring(3);
+        let constp = Protocol::builder(topology::clique(3), 1.0)
+            .uniform_reaction(ConstReaction::new(false, 0, 2))
+            .build()
+            .unwrap();
+        for r in 1..=3u8 {
+            for p in [&rot, &constp] {
+                let fast =
+                    verify_label_stabilization(p, &[0; 3], &[false, true], r, Limits::default())
+                        .unwrap();
+                let naive = verify_label_stabilization_naive(
+                    p,
+                    &[0; 3],
+                    &[false, true],
+                    r,
+                    Limits::default(),
+                )
+                .unwrap();
+                assert_eq!(fast.is_stabilizing(), naive.is_stabilizing(), "r = {r}");
+                let fast_o =
+                    verify_output_stabilization(p, &[0; 3], &[false, true], r, Limits::default())
+                        .unwrap();
+                let naive_o = verify_output_stabilization_naive(
+                    p,
+                    &[0; 3],
+                    &[false, true],
+                    r,
+                    Limits::default(),
+                )
+                .unwrap();
+                assert_eq!(fast_o.is_stabilizing(), naive_o.is_stabilizing(), "r = {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_report_packed_sizes() {
+        let p = rotate_ring(3);
+        let (_, stats) = verify_label_stabilization_with_stats(
+            &p,
+            &[0; 3],
+            &[false, true],
+            2,
+            Limits::default(),
+        )
+        .unwrap();
+        // 3 label bits + 3 countdown bits pack into one word.
+        assert_eq!(stats.words_per_state, 1);
+        assert!(stats.states > 0 && stats.edges > 0);
+        assert_eq!(stats.state_bytes, stats.states * 8);
+        // Reachable closure of 8 labelings × countdowns ∈ {1,2}³ minus
+        // combinations the dynamics never produce; at least all 8 initial
+        // states exist.
+        assert!(stats.states >= 8);
     }
 }

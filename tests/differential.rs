@@ -16,6 +16,10 @@ use stateless_computation::core::convergence::{
 };
 use stateless_computation::core::graph::DiGraph;
 use stateless_computation::core::prelude::*;
+use stateless_computation::verify::{
+    verify_label_stabilization, verify_label_stabilization_naive, verify_output_stabilization,
+    verify_output_stabilization_naive, CycleWitness, Limits, Verdict,
+};
 
 /// A pseudo-random but fully deterministic reaction body: mixes the node
 /// id, the incoming labels, and the input into one word, then derives a
@@ -86,6 +90,53 @@ fn random_schedule(rng: &mut StdRng, n: usize, steps: usize) -> Vec<Vec<NodeId>>
             set
         })
         .collect()
+}
+
+/// Small strongly connected topologies whose product graphs stay
+/// exhaustively explorable (`|Σ|^E · r^n` states).
+fn verify_topology_of(kind: usize) -> DiGraph {
+    match kind % 4 {
+        0 => topology::unidirectional_ring(3),
+        1 => topology::unidirectional_ring(4),
+        2 => topology::bidirectional_ring(3),
+        _ => topology::clique(3),
+    }
+}
+
+/// Replays a [`CycleWitness`] from its labeling through two laps of its
+/// cyclic schedule; returns whether the labels changed, whether the
+/// outputs changed, and whether the labeling returned to the start after
+/// each lap (the witness is a product-graph cycle, so a valid one always
+/// closes). Output changes are measured on the second lap only: the
+/// countdown construction activates every node at least once per lap, so
+/// lap one flushes the fresh simulation's placeholder outputs and lap two
+/// runs exactly along the product cycle, outputs included.
+fn replay_witness(
+    p: &Protocol<u64>,
+    inputs: &[Input],
+    w: &CycleWitness<u64>,
+) -> (bool, bool, bool) {
+    let n = p.node_count();
+    let mut sim = Simulation::new(p, inputs, w.labeling.clone()).unwrap();
+    let mut sched = Scripted::cycle(w.schedule.clone());
+    sched.validate(n).expect("witness names real nodes");
+    let mut active = Vec::new();
+    let (mut labels_changed, mut outputs_changed) = (false, false);
+    let mut closed = true;
+    for lap in 0..2 {
+        for _ in 0..w.schedule.len() {
+            let labels_before = sim.labeling().to_vec();
+            let outputs_before = sim.outputs().to_vec();
+            sched.activations_into(sim.time() + 1, n, &mut active);
+            sim.step_with(&active);
+            labels_changed |= labels_before != sim.labeling();
+            if lap == 1 {
+                outputs_changed |= outputs_before != sim.outputs();
+            }
+        }
+        closed &= sim.labeling() == &w.labeling[..];
+    }
+    (labels_changed, outputs_changed, closed)
 }
 
 proptest! {
@@ -317,5 +368,70 @@ proptest! {
         let arena = classify_scheduled(&p, &inputs, init.clone(), &sched, cap, CycleDetector::ExactArena);
         let brent = classify_scheduled(&p, &inputs, init, &sched, cap, CycleDetector::Brent);
         prop_assert_eq!(arena, brent);
+    }
+
+    /// The packed-arena product explorer ≡ the retained owned-`Vec`
+    /// reference, on random protocols, topologies, and fairness bounds:
+    /// identical verdicts for both label and output r-stabilization, and
+    /// every produced witness must be *valid* (its labels really change
+    /// and its cycle really closes when replayed) — the two explorers may
+    /// legitimately find different witnesses of the same oscillation.
+    #[test]
+    fn packed_verifier_agrees_with_naive(seed in 0u64..10_000, kind in 0usize..4, q in 2u64..4, r in 1u8..4) {
+        let graph = verify_topology_of(kind);
+        let n = graph.node_count();
+        // Keep |Σ|^E · rⁿ exhaustively explorable: wide graphs get the
+        // Boolean alphabet.
+        let q = if graph.edge_count() > 4 { 2 } else { q };
+        let (_, p) = protocol_pair(&graph, q);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7e51f);
+        let inputs: Vec<u64> = (0..n).map(|_| rng.random_range(0u64..3)).collect();
+        let alphabet: Vec<u64> = (0..q).collect();
+        let limits = Limits { max_states: 500_000 };
+
+        let fast = verify_label_stabilization(&p, &inputs, &alphabet, r, limits).unwrap();
+        let naive = verify_label_stabilization_naive(&p, &inputs, &alphabet, r, limits).unwrap();
+        prop_assert_eq!(fast.is_stabilizing(), naive.is_stabilizing(), "label verdicts");
+        for v in [&fast, &naive] {
+            if let Verdict::NotStabilizing(w) = v {
+                let (labels_changed, _, closed) = replay_witness(&p, &inputs, w);
+                prop_assert!(labels_changed, "label witness must change labels");
+                prop_assert!(closed, "label witness must close its cycle");
+            }
+        }
+
+        let fast_o = verify_output_stabilization(&p, &inputs, &alphabet, r, limits).unwrap();
+        let naive_o = verify_output_stabilization_naive(&p, &inputs, &alphabet, r, limits).unwrap();
+        prop_assert_eq!(fast_o.is_stabilizing(), naive_o.is_stabilizing(), "output verdicts");
+        for v in [&fast_o, &naive_o] {
+            if let Verdict::NotStabilizing(w) = v {
+                let (_, outputs_changed, closed) = replay_witness(&p, &inputs, w);
+                prop_assert!(outputs_changed, "output witness must change outputs");
+                prop_assert!(closed, "output witness must close its cycle");
+            }
+        }
+    }
+
+    /// Every `NotStabilizing` witness of the packed explorer, replayed
+    /// via `Scripted::cycle`, oscillates: labels change within the lap
+    /// and the labeling closes the cycle (the generalization of the
+    /// hand-written `witness_schedule_really_oscillates` test to random
+    /// protocols).
+    #[test]
+    fn verifier_witness_replays_as_oscillation(seed in 0u64..10_000, kind in 0usize..4, r in 1u8..4) {
+        let graph = verify_topology_of(kind);
+        let n = graph.node_count();
+        let (_, p) = protocol_pair(&graph, 2);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9b1d);
+        let inputs: Vec<u64> = (0..n).map(|_| rng.random_range(0u64..3)).collect();
+        let limits = Limits { max_states: 500_000 };
+        let verdict = verify_label_stabilization(&p, &inputs, &[0, 1], r, limits).unwrap();
+        if let Verdict::NotStabilizing(w) = verdict {
+            prop_assert!(!w.schedule.is_empty());
+            prop_assert!(w.schedule.iter().all(|step| !step.is_empty()));
+            let (labels_changed, _, closed) = replay_witness(&p, &inputs, &w);
+            prop_assert!(labels_changed, "witness labels oscillate");
+            prop_assert!(closed, "witness cycle closes");
+        }
     }
 }
