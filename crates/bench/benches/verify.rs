@@ -21,6 +21,7 @@ fn bench_verify(c: &mut Criterion) {
                     (n - 1) as u8,
                     Limits {
                         max_states: 5_000_000,
+                        ..Limits::default()
                     },
                 )
                 .unwrap()
@@ -57,5 +58,40 @@ fn bench_explorers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_verify, bench_explorers);
+/// The parallel explorer across worker counts, on one product graph.
+/// Verdicts and state ids are bit-identical across rows (asserted by the
+/// differential tests); only throughput may differ — on a 1-core host the
+/// extra rows measure the coordination overhead instead.
+fn bench_explorer_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify_threads");
+    group.sample_size(10);
+    let n = 6usize;
+    let p = rotation_ring(n);
+    let inputs = vec![0u64; n];
+    for threads in [1usize, 2, 4] {
+        let limits = Limits {
+            threads,
+            ..Limits::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("rotation_r=2", format!("t{threads}")),
+            &threads,
+            |b, _| {
+                b.iter(|| {
+                    verify_label_stabilization(&p, &inputs, &[false, true], 2, limits)
+                        .unwrap()
+                        .is_stabilizing()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_verify,
+    bench_explorers,
+    bench_explorer_threads
+);
 criterion_main!(benches);

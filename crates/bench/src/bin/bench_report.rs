@@ -1,6 +1,6 @@
-//! `bench-report` — renders one or more `CRITERION_JSON` line-JSON files
-//! (the per-commit `bench-json-<sha>` CI artifacts) into a per-bench
-//! median markdown table on stdout:
+//! `bench-report` — renders one or more measurement files (the per-commit
+//! `bench-json-<sha>` CI artifacts, or the committed `BENCH_engine.json`
+//! perf summary) into a per-bench median markdown table on stdout:
 //!
 //! ```text
 //! cargo run --release -p stateless-bench --bin bench-report -- \
@@ -10,22 +10,38 @@
 //! Columns are the input files (labeled by file stem) in argument order,
 //! so passing artifacts of successive commits yields a left-to-right
 //! trend view.
+//!
+//! With `--compare <baseline> <current>` (exactly two files) the table
+//! gains a trailing `current / baseline` ratio column — CI uses this to
+//! diff each commit's fresh measurements against the committed
+//! `BENCH_engine.json` baseline. Either argument may be a perf summary;
+//! it is adapted into comparable bench lines automatically.
 
 use std::path::Path;
 use std::process::ExitCode;
 
-use stateless_bench::report::{parse_lines, render_markdown, BenchLine};
+use stateless_bench::report::{parse_any, render_compare, render_markdown, BenchLine};
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let compare = args.iter().any(|a| a == "--compare");
+    args.retain(|a| a != "--compare");
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: bench-report <bench-lines.jsonl>...");
-        eprintln!("renders CRITERION_JSON line-JSON files as a per-bench median markdown table");
+        eprintln!("usage: bench-report [--compare] <bench-lines.jsonl | BENCH_engine.json>...");
+        eprintln!("renders measurement files as a per-bench median markdown table");
+        eprintln!("--compare takes exactly two files (baseline, current) and adds a ratio column");
         return if args.is_empty() {
             ExitCode::FAILURE
         } else {
             ExitCode::SUCCESS
         };
+    }
+    if compare && args.len() != 2 {
+        eprintln!(
+            "bench-report: --compare takes exactly two files (baseline, current), got {}",
+            args.len()
+        );
+        return ExitCode::FAILURE;
     }
     let mut files: Vec<(String, Vec<BenchLine>)> = Vec::with_capacity(args.len());
     for path in &args {
@@ -39,8 +55,12 @@ fn main() -> ExitCode {
         let label = Path::new(path)
             .file_stem()
             .map_or_else(|| path.clone(), |s| s.to_string_lossy().into_owned());
-        files.push((label, parse_lines(&text)));
+        files.push((label, parse_any(&text)));
     }
-    print!("{}", render_markdown(&files));
+    if compare {
+        print!("{}", render_compare(&files[0], &files[1]));
+    } else {
+        print!("{}", render_markdown(&files));
+    }
     ExitCode::SUCCESS
 }

@@ -161,6 +161,7 @@ pub fn e4() {
             (n - 2) as u8,
             Limits {
                 max_states: 5_000_000,
+                ..Limits::default()
             },
         )
         .unwrap();
@@ -171,6 +172,7 @@ pub fn e4() {
             (n - 1) as u8,
             Limits {
                 max_states: 5_000_000,
+                ..Limits::default()
             },
         )
         .unwrap();

@@ -1,5 +1,5 @@
 //! Rendering of `CRITERION_JSON` line-JSON measurement files into a
-//! per-bench markdown table — the first step of the perf trend report.
+//! per-bench markdown table — the perf trend report.
 //!
 //! Both the vendored criterion harness and the `experiments --json`
 //! runner append one JSON object per measurement to the file named by
@@ -10,6 +10,19 @@
 //! of successive commits) into a bench × file table of medians, so a perf
 //! regression is one `git diff`/eyeball away instead of buried in raw
 //! line JSON. The `bench-report` binary is the CLI wrapper.
+//!
+//! Two pieces turn the table into a *trend* report:
+//!
+//! * [`parse_summary`] adapts the committed `BENCH_engine.json` perf
+//!   summary into the same [`BenchLine`] shape (each section's per-entry
+//!   rates/times become synthetic `perf/…` bench ids matching the ones
+//!   the runner emits), so the repository's committed baseline is
+//!   directly comparable with a fresh `CRITERION_JSON` artifact —
+//!   [`parse_any`] picks the right parser per file.
+//! * [`render_compare`] renders a baseline/current pair with a trailing
+//!   `current / baseline` ratio column (< 1 is faster). CI diffs every
+//!   commit's fresh measurements against `BENCH_engine.json` this way
+//!   (`bench-report --compare`).
 
 use std::collections::BTreeMap;
 
@@ -63,6 +76,190 @@ pub fn parse_lines(text: &str) -> Vec<BenchLine> {
             })
         })
         .collect()
+}
+
+/// Extracts the section name of a perf-summary line
+/// (`  "engine_throughput": […]` → `engine_throughput`).
+fn section_name(line: &str) -> Option<&str> {
+    let rest = line.trim_start().strip_prefix('"')?;
+    let end = rest.find('"')?;
+    rest[end + 1..]
+        .trim_start()
+        .starts_with(':')
+        .then_some(&rest[..end])
+}
+
+/// The balanced `{…}` object substrings of one summary line. The perf
+/// summary keeps each section's entries un-nested (one flat object per
+/// row), so a depth-1 scan captures exactly the rows.
+fn objects_in(line: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut depth = 0u32;
+    for (i, b) in line.bytes().enumerate() {
+        match b {
+            b'{' => {
+                if depth == 0 {
+                    start = i;
+                }
+                depth += 1;
+            }
+            b'}' if depth > 0 => {
+                depth -= 1;
+                if depth == 0 {
+                    out.push(&line[start..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Converts one perf-summary row into synthetic [`BenchLine`]s whose ids
+/// match the ones `emit_criterion_line` writes for the same measurements,
+/// so a summary column lines up with a `CRITERION_JSON` column.
+fn summary_object_lines(section: &str, obj: &str, out: &mut Vec<BenchLine>) {
+    let num = |key: &str| number_field(obj, key);
+    let mut push = |bench: String, ns: Option<f64>| {
+        if let Some(ns) = ns.filter(|ns| ns.is_finite() && *ns > 0.0) {
+            out.push(BenchLine {
+                bench,
+                median_ns: ns,
+            });
+        }
+    };
+    // Rates (x_per_s over a known work amount) and times (ms per run)
+    // both reduce to nanoseconds per iteration.
+    let per_s = |work: f64, rate: Option<f64>| rate.map(|r| work / r * 1e9);
+    let ms = |v: Option<f64>| v.map(|ms| ms * 1e6);
+    match section {
+        "engine_throughput" => {
+            let (Some(n), Some(rounds)) = (num("n"), num("rounds_per_iter")) else {
+                return;
+            };
+            let work = rounds * n;
+            let n = n as u64;
+            push(
+                format!("perf/engine/{n}/naive"),
+                per_s(work, num("naive_activations_per_s")),
+            );
+            push(
+                format!("perf/engine/{n}/buffered"),
+                per_s(work, num("buffered_activations_per_s")),
+            );
+        }
+        "async_engine" => {
+            let (Some(kind), Some(steps)) = (string_field(obj, "schedule"), num("steps_per_iter"))
+            else {
+                return;
+            };
+            push(
+                format!("perf/async_engine/{kind}/alloc"),
+                per_s(steps, num("alloc_steps_per_s")),
+            );
+            push(
+                format!("perf/async_engine/{kind}/buffered"),
+                per_s(steps, num("buffered_steps_per_s")),
+            );
+        }
+        "label_stabilization" => {
+            let Some(n) = num("n").map(|n| n as u64) else {
+                return;
+            };
+            push(
+                format!("perf/stabilization/{n}/naive"),
+                ms(num("naive_ms_per_run")),
+            );
+            push(
+                format!("perf/stabilization/{n}/buffered"),
+                ms(num("buffered_ms_per_run")),
+            );
+        }
+        "classify_sync" => {
+            let Some(n) = num("n").map(|n| n as u64) else {
+                return;
+            };
+            push(
+                format!("perf/classify/{n}/naive"),
+                ms(num("naive_ms_per_run")),
+            );
+            push(
+                format!("perf/classify/{n}/fingerprint"),
+                ms(num("fingerprint_ms_per_run")),
+            );
+        }
+        "classify_detectors" => {
+            let Some(n) = num("n").map(|n| n as u64) else {
+                return;
+            };
+            push(
+                format!("perf/classify_detectors/{n}/arena"),
+                ms(num("arena_ms_per_run")),
+            );
+            push(
+                format!("perf/classify_detectors/{n}/brent"),
+                ms(num("brent_ms_per_run")),
+            );
+        }
+        "round_complexity_sweep" => {
+            let Some(n) = num("n").map(|n| n as u64) else {
+                return;
+            };
+            push(
+                format!("perf/sweep/{n}/sequential"),
+                ms(num("sequential_ms")),
+            );
+            push(format!("perf/sweep/{n}/parallel"), ms(num("parallel_ms")));
+        }
+        "verify_scaling" => {
+            let (Some(n), Some(states)) = (num("n"), num("states")) else {
+                return;
+            };
+            let n = n as u64;
+            // Rows predating the worker sweep carry no `threads` field —
+            // they were single-threaded.
+            let threads = num("threads").map_or(1, |t| t as u64);
+            push(
+                format!("perf/verify_scaling/{n}/packed/t{threads}"),
+                per_s(states, num("packed_states_per_s")),
+            );
+            if threads == 1 {
+                push(
+                    format!("perf/verify_scaling/{n}/naive"),
+                    per_s(states, num("naive_states_per_s")),
+                );
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Parses a `BENCH_engine.json`-style perf summary into synthetic
+/// [`BenchLine`]s (see [`summary_object_lines`] for the id mapping).
+pub fn parse_summary(text: &str) -> Vec<BenchLine> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(section) = section_name(line) else {
+            continue;
+        };
+        for obj in objects_in(line) {
+            summary_object_lines(section, obj, &mut out);
+        }
+    }
+    out
+}
+
+/// Parses a measurement file of either supported shape: `CRITERION_JSON`
+/// measurement lines when any are present, otherwise the
+/// `BENCH_engine.json` perf-summary adaptation.
+pub fn parse_any(text: &str) -> Vec<BenchLine> {
+    let lines = parse_lines(text);
+    if lines.is_empty() {
+        parse_summary(text)
+    } else {
+        lines
+    }
 }
 
 /// Median of a non-empty sample (mean of the middle pair for even sizes).
@@ -120,6 +317,45 @@ pub fn render_markdown(files: &[(String, Vec<BenchLine>)]) -> String {
             }
         }
         out.push('\n');
+    }
+    out
+}
+
+/// Renders a baseline/current pair as a markdown table with a trailing
+/// delta column: per-bench `current / baseline` median ratio (`< 1` is
+/// faster than the baseline, `—` when a bench exists on one side only).
+pub fn render_compare(
+    baseline: &(String, Vec<BenchLine>),
+    current: &(String, Vec<BenchLine>),
+) -> String {
+    let fold = |lines: &[BenchLine]| -> BTreeMap<String, f64> {
+        let mut samples: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+        for l in lines {
+            samples.entry(&l.bench).or_default().push(l.median_ns);
+        }
+        samples
+            .into_iter()
+            .map(|(bench, xs)| (bench.to_owned(), median(xs)))
+            .collect()
+    };
+    let base = fold(&baseline.1);
+    let cur = fold(&current.1);
+    let mut out = format!(
+        "| bench | {} | {} | current / baseline |\n|---|---:|---:|---:|\n",
+        baseline.0, current.0
+    );
+    let benches: BTreeMap<&str, ()> = base.keys().chain(cur.keys()).map(|b| (&**b, ())).collect();
+    for (bench, ()) in benches {
+        let cell = |m: Option<&f64>| m.map_or("—".into(), |&ns| format_ns(ns));
+        let ratio = match (base.get(bench), cur.get(bench)) {
+            (Some(&b), Some(&c)) if b > 0.0 => format!("{:.2}×", c / b),
+            _ => "—".into(),
+        };
+        out.push_str(&format!(
+            "| `{bench}` | {} | {} | {ratio} |\n",
+            cell(base.get(bench)),
+            cell(cur.get(bench)),
+        ));
     }
     out
 }
@@ -185,5 +421,93 @@ mod tests {
     fn escaped_quotes_in_bench_ids_survive() {
         let lines = parse_lines("{\"bench\":\"weird\\\"name\",\"median_ns_per_iter\":5.0}\n");
         assert_eq!(lines[0].bench, "weird\"name");
+    }
+
+    /// A structural miniature of `BENCH_engine.json`: every section kind,
+    /// including a per-thread `verify_scaling` row and a legacy row
+    /// without the `threads` field.
+    const SUMMARY: &str = concat!(
+        "{\n",
+        "  \"suite\": \"stateless-computation perf summary\",\n",
+        "  \"threads\": 1,\n",
+        "  \"engine_throughput\": [{\"n\":100,\"rounds_per_iter\":1000,\"naive_activations_per_s\":200000000,\"buffered_activations_per_s\":400000000,\"speedup\":2.00}],\n",
+        "  \"async_engine\": [{\"schedule\":\"random_rfair_8\",\"n\":1024,\"steps_per_iter\":50000,\"alloc_steps_per_s\":100000,\"buffered_steps_per_s\":200000,\"speedup\":2.00}],\n",
+        "  \"label_stabilization\": {\"n\":1024,\"naive_ms_per_run\":60.000,\"buffered_ms_per_run\":10.000,\"speedup\":6.00},\n",
+        "  \"classify_sync\": {\"n\":1024,\"naive_ms_per_run\":50.000,\"fingerprint_ms_per_run\":20.000,\"speedup\":2.50},\n",
+        "  \"classify_detectors\": {\"n\":1024,\"arena_ms_per_run\":17.000,\"brent_ms_per_run\":34.000},\n",
+        "  \"round_complexity_sweep\": {\"n\":14,\"labelings\":16384,\"threads\":1,\"sequential_ms\":12.000,\"parallel_ms\":6.000,\"speedup\":2.00},\n",
+        "  \"verify_scaling\": [{\"n\":6,\"r\":2,\"threads\":2,\"states\":1000,\"edges\":9,\"naive_states_per_s\":250000,\"packed_states_per_s\":1000000}, {\"n\":8,\"r\":2,\"states\":2000,\"edges\":9,\"naive_states_per_s\":100000,\"packed_states_per_s\":200000}]\n",
+        "}\n",
+    );
+
+    #[test]
+    fn summary_adapter_matches_runner_bench_ids() {
+        let lines = parse_summary(SUMMARY);
+        let get = |bench: &str| -> f64 {
+            lines
+                .iter()
+                .find(|l| l.bench == bench)
+                .unwrap_or_else(|| panic!("missing {bench}"))
+                .median_ns
+        };
+        // 1000 rounds × 100 nodes at 4e8 activations/s = 250 µs per iter.
+        assert_eq!(get("perf/engine/100/buffered"), 250_000.0);
+        assert_eq!(get("perf/engine/100/naive"), 500_000.0);
+        // 50_000 steps at 2e5 steps/s = 0.25 s.
+        assert_eq!(get("perf/async_engine/random_rfair_8/buffered"), 2.5e8);
+        assert_eq!(get("perf/stabilization/1024/buffered"), 1e7);
+        assert_eq!(get("perf/classify/1024/fingerprint"), 2e7);
+        assert_eq!(get("perf/classify_detectors/1024/arena"), 1.7e7);
+        assert_eq!(get("perf/sweep/14/parallel"), 6e6);
+        // Explicit threads field lands in the bench id; the naive row is
+        // emitted only for 1-thread entries (t=2 row has none).
+        assert_eq!(get("perf/verify_scaling/6/packed/t2"), 1e6);
+        assert!(!lines
+            .iter()
+            .any(|l| l.bench == "perf/verify_scaling/6/naive"));
+        // Legacy rows without `threads` count as single-threaded.
+        assert_eq!(get("perf/verify_scaling/8/packed/t1"), 1e7);
+        assert_eq!(get("perf/verify_scaling/8/naive"), 2e7);
+    }
+
+    #[test]
+    fn parse_any_picks_the_right_shape() {
+        assert_eq!(parse_any(SAMPLE).len(), parse_lines(SAMPLE).len());
+        let adapted = parse_any(SUMMARY);
+        assert!(!adapted.is_empty());
+        assert!(adapted.iter().all(|l| l.bench.starts_with("perf/")));
+    }
+
+    #[test]
+    fn compare_renders_ratio_column() {
+        let base = (
+            "baseline".to_string(),
+            parse_lines(
+                "{\"bench\":\"perf/classify/1024/fingerprint\",\"median_ns_per_iter\":20000000.0}\n{\"bench\":\"perf/only/base\",\"median_ns_per_iter\":5.0}\n",
+            ),
+        );
+        let cur = (
+            "current".to_string(),
+            parse_lines(
+                "{\"bench\":\"perf/classify/1024/fingerprint\",\"median_ns_per_iter\":10000000.0}\n{\"bench\":\"perf/only/current\",\"median_ns_per_iter\":7.0}\n",
+            ),
+        );
+        let table = render_compare(&base, &cur);
+        assert!(
+            table.starts_with("| bench | baseline | current | current / baseline |\n"),
+            "{table}"
+        );
+        assert!(
+            table.contains("| `perf/classify/1024/fingerprint` | 20.00 ms | 10.00 ms | 0.50× |"),
+            "{table}"
+        );
+        assert!(
+            table.contains("| `perf/only/base` | 5.0 ns | — | — |"),
+            "{table}"
+        );
+        assert!(
+            table.contains("| `perf/only/current` | — | 7.0 ns | — |"),
+            "{table}"
+        );
     }
 }

@@ -71,10 +71,15 @@ pub fn rotation_ring(n: usize) -> Protocol<bool> {
 
 /// The benchmark schedule families (one representative per built-in
 /// schedule type, seeded deterministically) for a graph of `n` nodes.
-pub const SCHEDULE_KINDS: [&str; 4] = [
+/// `random_rfair_8` (sparse, p = 0.05) and `random_rfair_dense` (p = 0.5)
+/// bracket the geometric gap sampler: the sparse case is where per-node
+/// Bernoulli sampling wasted ~n RNG draws per step, the dense case is
+/// where gap sampling degenerates toward one draw per node again.
+pub const SCHEDULE_KINDS: [&str; 5] = [
     "round_robin_64",
     "scripted_pairs",
     "random_rfair_8",
+    "random_rfair_dense",
     "monitored_rr_64",
 ];
 
@@ -90,6 +95,7 @@ pub fn schedule_workload(kind: &str, n: usize) -> Box<dyn Schedule> {
             (0..n).map(|t| vec![t, (t + 1) % n]).collect(),
         )),
         "random_rfair_8" => Box::new(RandomRFair::new(8, 0.05, StdRng::seed_from_u64(7))),
+        "random_rfair_dense" => Box::new(RandomRFair::new(8, 0.5, StdRng::seed_from_u64(11))),
         "monitored_rr_64" => Box::new(FairnessMonitor::new(RoundRobin::new(64))),
         other => unreachable!("unknown schedule kind {other}"),
     }

@@ -19,11 +19,15 @@
 //! paper's PSPACE-completeness (Theorem 4.2) and communication bounds
 //! (Theorem 4.1) say it must be. The explorer packs each state into a few
 //! `u64` words (alphabet-index labels, narrow countdown fields), resolves
-//! states through a fingerprint index with exact confirmation, stores
-//! transitions in flat CSR arrays, and runs iterative Tarjan — see the
-//! [`product`] module docs for the memory model. Experiment E4 uses it to
-//! confirm Example 1's tightness, and bench `verify` plus the
-//! `verify_scaling` perf section chart the blowup.
+//! states through a **sharded** fingerprint index with exact confirmation
+//! (`(shard, local)` ids packed into one `u64`), stores transitions in
+//! flat CSR arrays, and runs iterative Tarjan. Frontier expansion is
+//! parallel over [`Limits::threads`] workers and *deterministic*:
+//! verdicts, state numbering, and witnesses are bit-identical at every
+//! thread count — see the [`product`] module docs for the memory model
+//! and the determinism contract. Experiment E4 uses it to confirm
+//! Example 1's tightness, and bench `verify` plus the per-thread
+//! `verify_scaling` perf rows chart the blowup and the scaling.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

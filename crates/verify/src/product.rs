@@ -9,23 +9,57 @@
 //!   outputs)` is bit-packed into a fixed number of `u64` words: every
 //!   edge label becomes a `⌈log₂|Σ|⌉`-bit alphabet index and every
 //!   per-node countdown a `⌈log₂ r⌉`-bit field (outputs, tracked only for
-//!   output-stabilization queries, are palette indices in a parallel flat
-//!   `u32` row). A state of a 16-edge Boolean protocol with `r ≤ 16`
-//!   occupies 16 bytes instead of three heap `Vec`s *plus* their
-//!   `HashMap`-key clones — several-fold less memory per state, which is
-//!   what bounds exact verification in practice.
-//! * **Fingerprint interning.** States are resolved through a seeded
-//!   FxHash fingerprint index ([`FingerprintIndex`]) whose every hit is
-//!   confirmed by exact equality against the packed arena, so hash
-//!   collisions cost a comparison but never a wrong verdict — and no
-//!   owned key is ever stored.
+//!   output-stabilization queries, ride in a parallel flat word row). A
+//!   state of a 16-edge Boolean protocol with `r ≤ 16` occupies 16 bytes
+//!   instead of three heap `Vec`s *plus* their `HashMap`-key clones.
+//! * **Sharded fingerprint interning.** States are resolved through a
+//!   [`ShardedStateIndex`]: the top bits of the seeded FxHash fingerprint
+//!   pick one of [`SHARD_COUNT`] self-contained shards, each owning its
+//!   fingerprint index, collision side list, and packed-row arenas, and
+//!   ids are `(shard, local)` pairs packed into one `u64`. Every
+//!   fingerprint hit is confirmed by exact equality against the shard
+//!   arena, so hash collisions cost a comparison but never a wrong
+//!   verdict.
 //! * **CSR edges.** Transitions live in flat compressed-sparse-row
-//!   arrays (`edge_offsets` / `edge_targets` / `edge_meta`), built in
-//!   state order during the breadth-first expansion — 8 bytes per edge
-//!   instead of a `Vec<Vec<(usize, bool, u32)>>`.
+//!   arrays (`edge_offsets` / `edge_targets` / `edge_meta`), stitched in
+//!   state order from per-chunk segments — 8 bytes per edge instead of a
+//!   `Vec<Vec<(usize, bool, u32)>>`. [`Limits::max_edges`] bounds them:
+//!   on dense activation sets edges outnumber states by orders of
+//!   magnitude, so the state cap alone does not bound memory.
 //! * **Tarjan SCC.** Components come from one iterative Tarjan pass over
 //!   the CSR arrays; the reverse graph Kosaraju needs is never
 //!   materialized.
+//!
+//! # Parallel exploration and determinism
+//!
+//! Frontier expansion runs on [`Limits::threads`] workers in batches of
+//! bounded fan-out, in three phases per batch:
+//!
+//! 1. **Expand** (parallel over chunks): workers claim contiguous slices
+//!    of the batch's source states, decode each state from the shard
+//!    arenas (read locks only), enumerate its activation sets, and emit
+//!    per-chunk CSR segments plus, per target shard, a record stream of
+//!    `(slot, stream key, fingerprint, packed words)` — successors are
+//!    *not* resolved yet.
+//! 2. **Intern** (parallel over shards): each shard is claimed by exactly
+//!    one worker, which replays that shard's records **in stream order**
+//!    (chunk by chunk, record by record) against the shard's fingerprint
+//!    index — so local id assignment never depends on thread timing, and
+//!    shards never contend.
+//! 3. **Number and stitch** (serial barrier + parallel scatter): fresh
+//!    states from all shards are merged by stream key — the position of
+//!    the edge that first discovered them — and dense ids are assigned in
+//!    that order, which is exactly the order the sequential explorer
+//!    interns in. Chunk segments then scatter their resolved targets and
+//!    are appended to the flat CSR arrays in state order.
+//!
+//! Batch and chunk boundaries derive only from per-state degree
+//! estimates (never the thread count), shard assignment depends only on
+//! the fingerprint, and every merge is ordered by stream position — so
+//! verdicts, state numbering, and witnesses are **bit-identical for
+//! every thread count**, and `threads = 1` *is* the sequential packed
+//! explorer rather than a separate code path. `tests/differential.rs`
+//! asserts this invariant on random protocols.
 //!
 //! The previous owned-`Vec`-interning explorer is retained as
 //! [`verify_label_stabilization_naive`] / [`verify_output_stabilization_naive`]
@@ -36,21 +70,36 @@
 //! where the naive explorer would silently grow the state space until
 //! [`Limits::max_states`] tripped.
 
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
 use std::hash::Hasher;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use stateless_core::convergence::all_labelings;
-use stateless_core::intern::{bits_for, pack, unpack, FingerprintIndex, FxBuildHasher, FxHasher};
+use stateless_core::intern::{
+    bits_for, pack, pack_state_id, shard_of, unpack, unpack_state_id, FxBuildHasher, FxHasher,
+    ShardedStateIndex, SHARD_COUNT,
+};
 use stateless_core::label::Label;
 use stateless_core::prelude::*;
 
-/// Exploration limits.
+/// Exploration limits and parallelism.
 #[derive(Debug, Clone, Copy)]
 pub struct Limits {
     /// Maximum number of product states to materialize.
     pub max_states: usize,
+    /// Maximum number of product transitions to materialize in the CSR
+    /// arrays. Edges cost 8 bytes each and outnumber states by the
+    /// activation-set fan-out (up to `2^n − 1` per state on dense
+    /// activation sets, ~30× the state bytes in practice), so the state
+    /// cap alone does not bound memory.
+    pub max_edges: usize,
+    /// Worker threads for frontier expansion; `0` means all available
+    /// cores. Verdicts, state ids, and witnesses are bit-identical for
+    /// every value — the thread count is purely a throughput knob.
+    pub threads: usize,
 }
 
 impl Default for Limits {
@@ -58,9 +107,12 @@ impl Default for Limits {
         // The packed-arena explorer stores a Boolean-alphabet state in a
         // word or two (plus ~16 bytes of fingerprint index and 8 bytes per
         // CSR edge), so 16M states is a few hundred MB — the old
-        // owned-`Vec` explorer exhausted the same memory near 2M.
+        // owned-`Vec` explorer exhausted the same memory near 2M. 256M
+        // edges caps the CSR arrays near 2 GiB.
         Limits {
             max_states: 16_000_000,
+            max_edges: 1 << 28,
+            threads: 0,
         }
     }
 }
@@ -71,6 +123,11 @@ impl Default for Limits {
 pub enum VerifyError {
     /// The product graph exceeded [`Limits::max_states`].
     TooManyStates {
+        /// The limit that was hit.
+        limit: usize,
+    },
+    /// The product graph exceeded [`Limits::max_edges`].
+    TooManyEdges {
         /// The limit that was hit.
         limit: usize,
     },
@@ -89,6 +146,9 @@ impl fmt::Display for VerifyError {
         match self {
             VerifyError::TooManyStates { limit } => {
                 write!(f, "product graph exceeded {limit} states")
+            }
+            VerifyError::TooManyEdges { limit } => {
+                write!(f, "product graph exceeded {limit} edges")
             }
             VerifyError::Core(e) => write!(f, "protocol probe failed: {e}"),
             VerifyError::BadParameters { what } => write!(f, "bad parameters: {what}"),
@@ -132,9 +192,12 @@ impl<L> Verdict<L> {
 }
 
 /// Size accounting for one exploration, reported by
-/// [`verify_label_stabilization_with_stats`]. All byte figures are the
-/// flat-array payloads actually allocated (the fingerprint index adds
-/// roughly 16 bytes per state on top).
+/// [`verify_label_stabilization_with_stats`]. All byte figures are
+/// *logical payload* bytes — rows × row width for states, the flat-array
+/// lengths for edges. Allocation slack on top (partially filled arena
+/// blocks in each of the [`SHARD_COUNT`] shards, ~16 bytes of fingerprint
+/// index per state) is excluded; it is bounded and amortizes away at the
+/// state counts where memory matters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExploreStats {
     /// Product states materialized.
@@ -143,7 +206,7 @@ pub struct ExploreStats {
     pub edges: usize,
     /// Packed `u64` words per state.
     pub words_per_state: usize,
-    /// Bytes of state storage: the packed arena plus output rows.
+    /// Bytes of state storage: the packed arenas plus output rows.
     pub state_bytes: usize,
     /// Bytes of CSR edge storage (`edge_offsets`/`edge_targets`/`edge_meta`).
     pub edge_bytes: usize,
@@ -154,7 +217,29 @@ pub struct ExploreStats {
 /// 16 bits hold the activation mask (`n ≤ 16`).
 const META_INTERESTING: u32 = 1 << 16;
 
-struct Explorer<'p, L: Label> {
+/// Per-batch fan-out budget: a batch closes once the estimated edge count
+/// of its sources reaches this. Bounds the transient record buffers
+/// (roughly 30–40 bytes per edge) independently of the graph.
+///
+/// Fixed constants, **never** derived from the thread count or the
+/// machine: batch and chunk boundaries decide the order in which fresh
+/// states are discovered, so they are part of the determinism contract.
+const BATCH_EDGE_BUDGET: u64 = 1 << 20;
+/// Per-chunk fan-out budget: sources are grouped into chunks of roughly
+/// this many edges, the unit of work-stealing inside a batch.
+const CHUNK_EDGE_BUDGET: u64 = 1 << 14;
+/// Initial labelings interned per seed batch.
+const SEED_BATCH_STATES: usize = 1 << 20;
+/// Batches with fewer estimated edges than this run their pipeline waves
+/// inline instead of spawning workers: the vendored rayon stand-in has no
+/// persistent pool, so each wave costs OS thread spawns, which only
+/// amortize over enough work. Purely a scheduling heuristic — the
+/// pipeline's results are deterministic by construction, so execution
+/// strategy never affects verdicts, ids, or witnesses.
+const PARALLEL_MIN_BATCH_EDGES: u64 = 1 << 16;
+
+/// Read-only exploration parameters, shared by every worker.
+struct Config<'p, L: Label> {
     protocol: &'p Protocol<L>,
     inputs: Vec<Input>,
     r: u8,
@@ -165,34 +250,154 @@ struct Explorer<'p, L: Label> {
     label_width: u32,
     countdown_width: u32,
     words_per_state: usize,
-    /// Packed state arena: state `u` is `arena[u*w..(u+1)*w]`.
-    arena: Vec<u64>,
-    /// Output palette-index rows (`n` per state), only when
-    /// `track_outputs`; `out_palette_index` interns the raw `Output`
-    /// values (witnesses never need the values back, so no reverse
-    /// palette is kept).
-    out_rows: Vec<u32>,
-    out_palette_index: HashMap<Output, u32, FxBuildHasher>,
-    index: FingerprintIndex,
+    /// Words of auxiliary per-state output storage (`n` when outputs are
+    /// tracked, else 0). Outputs are raw `Output` words — no palette
+    /// indirection, so fingerprints and equality never depend on the
+    /// (timing-dependent) order outputs are first observed in.
+    aux_len: usize,
+    n: usize,
+    e: usize,
+    /// Resolved worker count (≥ 1).
+    threads: usize,
+}
+
+impl<L: Label> Config<'_, L> {
+    /// Number of *free* (not deadline-forced) nodes of a packed state: a
+    /// countdown field packs `cd − 1`, so nonzero means the node is not
+    /// forced. Sizes the state's fan-out as `2^free` activation sets.
+    fn free_count(&self, row: &[u64]) -> u8 {
+        let base = self.e * self.label_width as usize;
+        let cw = self.countdown_width;
+        (0..self.n)
+            .filter(|&i| unpack(row, base + i * cw as usize, cw) != 0)
+            .count() as u8
+    }
+}
+
+/// Seeded FxHash fingerprint of a packed state: the `u64` words, then the
+/// auxiliary output words. This is the *only* fingerprint function — the
+/// shard, the confirm-equality probe, and every thread count agree on it.
+fn fingerprint(words: &[u64], aux: &[u64]) -> u64 {
+    let mut h = FxHasher::default();
+    for &w in words {
+        h.write_u64(w);
+    }
+    for &a in aux {
+        h.write_u64(a);
+    }
+    h.finish()
+}
+
+/// Per-target-shard record stream of one chunk: each record is an edge
+/// whose successor hashes into that shard, in stream order (source state
+/// order, then activation-set order). Flat SoA storage — `words`/`aux`
+/// are strided by the packed row lengths.
+#[derive(Default)]
+struct ShardRecords {
+    /// Chunk-local edge index to scatter the resolved target back into.
+    slots: Vec<u32>,
+    /// Stream keys: `(source dense id << 16) | edge index` for expansion
+    /// records, the enumeration index for seed records. Strictly
+    /// increasing along each shard's replayed stream; fresh states are
+    /// dense-numbered in key order.
+    keys: Vec<u64>,
+    fps: Vec<u64>,
+    words: Vec<u64>,
+    aux: Vec<u64>,
+}
+
+impl ShardRecords {
+    /// A record buffer pre-sized for about `records` records of `w` packed
+    /// words and `aux_len` auxiliary words — fingerprints spread records
+    /// uniformly over the shards, so sizing each to its fair share (plus
+    /// slack) avoids most growth reallocations on the hot path.
+    fn with_capacity(records: usize, w: usize, aux_len: usize) -> Self {
+        ShardRecords {
+            slots: Vec::with_capacity(records),
+            keys: Vec::with_capacity(records),
+            fps: Vec::with_capacity(records),
+            words: Vec::with_capacity(records * w),
+            aux: Vec::with_capacity(records * aux_len),
+        }
+    }
+}
+
+/// One chunk's expansion output: its CSR segment (targets still
+/// unresolved) plus the per-shard successor records.
+struct ChunkOut {
+    /// Edges emitted per source state, in source order.
+    counts: Vec<u32>,
+    /// Edge metadata (activation mask | interesting flag), in edge order.
+    meta: Vec<u32>,
+    /// Successor records, bucketed by target shard.
+    shards: Vec<ShardRecords>,
+}
+
+/// One shard's interning output for a batch: per chunk, the local ids the
+/// shard resolved that chunk's records to, plus the fresh states it
+/// discovered (ascending stream keys — the merge relies on it).
+struct ShardIntern {
+    resolved: Vec<Vec<u32>>,
+    /// `(stream key, local id, free-node count)` per fresh state.
+    fresh: Vec<(u64, u32, u8)>,
+}
+
+/// Runs `count` independent jobs on up to `threads` workers (claimed via
+/// an atomic cursor, like the sweep drivers in `stateless-core`) and
+/// returns the results **in job order** — callers depend on index order,
+/// never completion order, which is what keeps the pipeline
+/// deterministic. `threads = 1` runs inline on the caller thread.
+fn run_indexed<T, F>(threads: usize, count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || count <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, T)> = Vec::with_capacity(count);
+    rayon::scope(|scope| {
+        let workers: Vec<_> = (0..threads.min(count))
+            .map(|_| {
+                let (next, f) = (&next, &f);
+                scope.spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        got.push((i, f(i)));
+                    }
+                    got
+                })
+            })
+            .collect();
+        for worker in workers {
+            indexed.extend(worker.join().expect("pipeline worker panicked"));
+        }
+    });
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, t)| t).collect()
+}
+
+struct Explorer<'p, L: Label> {
+    cfg: Config<'p, L>,
+    /// Sharded state storage: fingerprint index + packed rows per shard.
+    index: ShardedStateIndex,
+    /// Dense id → packed `(shard, local)` id.
+    dense_ids: Vec<u64>,
+    /// Dense id → free-node count (sizes batches and chunks).
+    free_bits: Vec<u8>,
     n_states: usize,
     /// CSR transition arrays: state `u`'s edges are
     /// `edge_targets[edge_offsets[u]..edge_offsets[u+1]]` with matching
-    /// `edge_meta` (activation mask | [`META_INTERESTING`]). Built in
-    /// state order during expansion, so no second pass is needed.
+    /// `edge_meta` (activation mask | [`META_INTERESTING`]). Stitched in
+    /// state order from per-chunk segments.
     edge_offsets: Vec<usize>,
     edge_targets: Vec<u32>,
     edge_meta: Vec<u32>,
-    // -- reusable scratch (no per-state or per-probe allocation) --
-    state_buf: Vec<u64>,
-    label_idx_buf: Vec<u32>,
-    next_label_idx: Vec<u32>,
-    countdown_buf: Vec<u8>,
-    out_idx_buf: Vec<u32>,
-    next_out_idx: Vec<u32>,
-    labeling_buf: Vec<L>,
-    in_buf: Vec<L>,
-    out_buf: Vec<L>,
-    free_buf: Vec<usize>,
 }
 
 impl<'p, L: Label> Explorer<'p, L> {
@@ -231,230 +436,424 @@ impl<'p, L: Label> Explorer<'p, L> {
         let countdown_width = bits_for(r as usize);
         let state_bits = e * label_width as usize + n * countdown_width as usize;
         let words_per_state = state_bits.div_ceil(64).max(1);
+        let aux_len = if track_outputs { n } else { 0 };
+        let threads = if limits.threads == 0 {
+            rayon::current_num_threads()
+        } else {
+            limits.threads
+        }
+        .max(1);
         let mut ex = Explorer {
-            protocol,
-            inputs: inputs.to_vec(),
-            r,
-            track_outputs,
-            alphabet: dedup,
-            label_index,
-            label_width,
-            countdown_width,
-            words_per_state,
-            arena: Vec::new(),
-            out_rows: Vec::new(),
-            out_palette_index: HashMap::default(),
-            index: FingerprintIndex::new(),
+            cfg: Config {
+                protocol,
+                inputs: inputs.to_vec(),
+                r,
+                track_outputs,
+                alphabet: dedup,
+                label_index,
+                label_width,
+                countdown_width,
+                words_per_state,
+                aux_len,
+                n,
+                e,
+                threads,
+            },
+            index: ShardedStateIndex::new(words_per_state, aux_len),
+            dense_ids: Vec::new(),
+            free_bits: Vec::new(),
             n_states: 0,
             edge_offsets: vec![0],
             edge_targets: Vec::new(),
             edge_meta: Vec::new(),
-            state_buf: vec![0; words_per_state],
-            label_idx_buf: vec![0; e],
-            next_label_idx: vec![0; e],
-            countdown_buf: vec![0; n],
-            out_idx_buf: vec![0; n],
-            next_out_idx: vec![0; n],
-            labeling_buf: Vec::with_capacity(e),
-            in_buf: Vec::new(),
-            out_buf: Vec::new(),
-            free_buf: Vec::with_capacity(n),
         };
-        // Initialization vertices: every labeling, full countdown, zero
-        // outputs (palette index 0 is pre-seeded with the placeholder 0).
-        if track_outputs {
-            ex.out_palette_index.insert(0, 0);
-            ex.next_out_idx.fill(0);
-        }
-        let digit_alphabet: Vec<u32> = (0..ex.alphabet.len() as u32).collect();
-        for digits in all_labelings(&digit_alphabet, e) {
-            ex.state_buf.fill(0);
-            for (k, &d) in digits.iter().enumerate() {
-                pack(
-                    &mut ex.state_buf,
-                    k * label_width as usize,
-                    label_width,
-                    u64::from(d),
-                );
-            }
-            for i in 0..n {
-                pack(
-                    &mut ex.state_buf,
-                    e * label_width as usize + i * countdown_width as usize,
-                    countdown_width,
-                    u64::from(r - 1),
-                );
-            }
-            ex.intern_scratch(limits)?;
-        }
+        ex.seed(&limits)?;
         let mut cursor = 0;
         while cursor < ex.n_states {
-            ex.expand(cursor, limits)?;
-            cursor += 1;
+            cursor = ex.expand_batch(cursor, &limits)?;
         }
         debug_assert_eq!(ex.edge_offsets.len(), ex.n_states + 1);
         Ok(ex)
     }
 
-    /// Interns the packed state in `state_buf` (and, when outputs are
-    /// tracked, the palette row in `next_out_idx`): returns the id of the
-    /// confirmed-equal existing state, or appends a new one.
-    fn intern_scratch(&mut self, limits: Limits) -> Result<u32, VerifyError> {
-        let w = self.words_per_state;
-        let n = self.protocol.node_count();
-        let mut h = FxHasher::default();
-        for &word in &self.state_buf {
-            h.write_u64(word);
-        }
-        if self.track_outputs {
-            for &o in &self.next_out_idx {
-                h.write_u32(o);
-            }
-        }
-        let fp = h.finish();
-        let (arena, outs, sbuf, obuf) = (
-            &self.arena,
-            &self.out_rows,
-            &self.state_buf,
-            &self.next_out_idx,
+    /// Interns the initialization vertices — every labeling with full
+    /// countdowns and zero outputs — in enumeration order, batched so the
+    /// record buffers stay bounded on huge alphabets.
+    fn seed(&mut self, limits: &Limits) -> Result<(), VerifyError> {
+        let (w, lw, cw) = (
+            self.cfg.words_per_state,
+            self.cfg.label_width,
+            self.cfg.countdown_width,
         );
-        let track = self.track_outputs;
-        let hit = self.index.probe(fp, self.n_states as u64, |id| {
-            let id = id as usize;
-            arena[id * w..(id + 1) * w] == sbuf[..]
-                && (!track || outs[id * n..(id + 1) * n] == obuf[..])
-        });
-        if let Some(id) = hit {
-            return Ok(id as u32);
-        }
-        if self.n_states >= limits.max_states.min(u32::MAX as usize - 1) {
-            return Err(VerifyError::TooManyStates {
-                limit: limits.max_states,
-            });
-        }
-        let id = self.n_states as u32;
-        self.arena.extend_from_slice(&self.state_buf);
-        if track {
-            self.out_rows.extend_from_slice(&self.next_out_idx);
-        }
-        self.n_states += 1;
-        Ok(id)
-    }
-
-    /// Decodes state `u` from the packed arena into the scratch buffers
-    /// (`labeling_buf`/`label_idx_buf`/`countdown_buf`/`out_idx_buf`).
-    fn load(&mut self, u: usize) {
-        let w = self.words_per_state;
-        let e = self.protocol.edge_count();
-        let n = self.protocol.node_count();
-        let lw = self.label_width;
-        let cw = self.countdown_width;
-        let row = &self.arena[u * w..(u + 1) * w];
-        self.labeling_buf.clear();
-        for k in 0..e {
-            let idx = unpack(row, k * lw as usize, lw) as u32;
-            self.label_idx_buf[k] = idx;
-            self.labeling_buf.push(self.alphabet[idx as usize].clone());
-        }
-        for i in 0..n {
-            self.countdown_buf[i] = unpack(row, e * lw as usize + i * cw as usize, cw) as u8 + 1;
-        }
-        if self.track_outputs {
-            self.out_idx_buf
-                .copy_from_slice(&self.out_rows[u * n..(u + 1) * n]);
-        }
-    }
-
-    fn expand(&mut self, u: usize, limits: Limits) -> Result<(), VerifyError> {
-        let n = self.protocol.node_count();
-        let e = self.protocol.edge_count();
-        let lw = self.label_width;
-        let cw = self.countdown_width;
-        self.load(u);
-        let forced: u32 = (0..n)
-            .filter(|&i| self.countdown_buf[i] == 1)
-            .map(|i| 1 << i)
-            .sum();
-        self.free_buf.clear();
-        self.free_buf
-            .extend((0..n).filter(|&i| self.countdown_buf[i] != 1));
-        let free_count = self.free_buf.len();
-        // Every activation set: forced nodes plus any subset of the rest
-        // (skipping the empty total set).
-        for subset in 0..(1u32 << free_count) {
-            let mut mask = forced;
-            for k in 0..free_count {
-                if subset >> k & 1 == 1 {
-                    mask |= 1 << self.free_buf[k];
-                }
-            }
-            if mask == 0 {
-                continue;
-            }
-            self.next_label_idx.copy_from_slice(&self.label_idx_buf);
-            if self.track_outputs {
-                self.next_out_idx.copy_from_slice(&self.out_idx_buf);
-            }
-            let graph = self.protocol.graph();
-            for i in (0..n).filter(|&i| mask >> i & 1 == 1) {
-                // Buffered reaction probe: all reads come from the
-                // pre-step `labeling_buf`, so the per-node commits into
-                // next_label_idx cannot corrupt later probes.
-                let y = self.protocol.apply_buffered(
-                    i,
-                    &self.labeling_buf,
-                    self.inputs[i],
-                    &mut self.in_buf,
-                    &mut self.out_buf,
-                );
-                for (slot, &eid) in self.out_buf.iter().zip(graph.out_edges(i)) {
-                    let Some(&idx) = self.label_index.get(slot) else {
-                        return Err(VerifyError::BadParameters {
-                            what: format!(
-                                "node {i} emitted the label {slot:?}, which is \
-                                 outside the declared alphabet"
-                            ),
-                        });
-                    };
-                    self.next_label_idx[eid] = idx;
-                }
-                if self.track_outputs {
-                    let fresh = self.out_palette_index.len() as u32;
-                    let yi = *self.out_palette_index.entry(y).or_insert(fresh);
-                    self.next_out_idx[i] = yi;
-                }
-            }
-            let interesting = if self.track_outputs {
-                self.next_out_idx != self.out_idx_buf
-            } else {
-                self.next_label_idx != self.label_idx_buf
-            };
-            // Pack the successor: labels, then countdowns (reset to r for
-            // activated nodes, decremented otherwise).
-            self.state_buf.fill(0);
-            for (k, &idx) in self.next_label_idx.iter().enumerate() {
-                pack(&mut self.state_buf, k * lw as usize, lw, u64::from(idx));
-            }
-            for i in 0..n {
-                let cd = if mask >> i & 1 == 1 {
-                    self.r
-                } else {
-                    self.countdown_buf[i] - 1
+        let (n, e, r, threads) = (self.cfg.n, self.cfg.e, self.cfg.r, self.cfg.threads);
+        let digit_alphabet: Vec<u32> = (0..self.cfg.alphabet.len() as u32).collect();
+        let mut labelings = all_labelings(&digit_alphabet, e);
+        let mut state_buf = vec![0u64; w];
+        let aux_zero = vec![0u64; self.cfg.aux_len];
+        let mut next_key = 0u64;
+        loop {
+            let mut recs: Vec<ShardRecords> =
+                (0..SHARD_COUNT).map(|_| ShardRecords::default()).collect();
+            let mut count = 0usize;
+            while count < SEED_BATCH_STATES {
+                let Some(digits) = labelings.next() else {
+                    break;
                 };
-                pack(
-                    &mut self.state_buf,
-                    e * lw as usize + i * cw as usize,
-                    cw,
-                    u64::from(cd - 1),
-                );
+                state_buf.fill(0);
+                for (k, &d) in digits.iter().enumerate() {
+                    pack(&mut state_buf, k * lw as usize, lw, u64::from(d));
+                }
+                for i in 0..n {
+                    pack(
+                        &mut state_buf,
+                        e * lw as usize + i * cw as usize,
+                        cw,
+                        u64::from(r - 1),
+                    );
+                }
+                let fp = fingerprint(&state_buf, &aux_zero);
+                let rec = &mut recs[shard_of(fp)];
+                // No CSR slot: seed batches are interned with
+                // `want_resolved = false` and never scattered.
+                rec.keys.push(next_key);
+                rec.fps.push(fp);
+                rec.words.extend_from_slice(&state_buf);
+                rec.aux.extend_from_slice(&aux_zero);
+                next_key += 1;
+                count += 1;
             }
-            let v = self.intern_scratch(limits)?;
-            self.edge_targets.push(v);
-            self.edge_meta
-                .push(mask | if interesting { META_INTERESTING } else { 0 });
+            if count == 0 {
+                break;
+            }
+            let chunks = vec![ChunkOut {
+                counts: Vec::new(),
+                meta: Vec::new(),
+                shards: recs,
+            }];
+            let wave_threads = if (count as u64) < PARALLEL_MIN_BATCH_EDGES {
+                1
+            } else {
+                threads
+            };
+            let interned = {
+                let this = &*self;
+                run_indexed(wave_threads, SHARD_COUNT, |s| {
+                    this.intern_shard(s, &chunks, false)
+                })
+            };
+            self.assign_dense(&interned, limits)?;
+            if count < SEED_BATCH_STATES {
+                break;
+            }
         }
-        self.edge_offsets.push(self.edge_targets.len());
         Ok(())
+    }
+
+    /// Estimated fan-out of a state with `free` unforced nodes: every
+    /// subset of the free nodes joins the forced ones, minus the empty
+    /// total set (possible only when nothing is forced, i.e. `free = n`).
+    fn est_edges(&self, free: u8) -> u64 {
+        (1u64 << free) - u64::from(usize::from(free) == self.cfg.n)
+    }
+
+    /// Expands one batch of source states starting at `cursor` through
+    /// the three-phase pipeline (see the module docs) and returns the
+    /// cursor past the batch.
+    fn expand_batch(&mut self, cursor: usize, limits: &Limits) -> Result<usize, VerifyError> {
+        // Batch = the next source range whose estimated fan-out fits the
+        // budget (always at least one source). Boundaries derive only
+        // from per-state degree estimates, never the thread count.
+        let mut end = cursor;
+        let mut est = 0u64;
+        while end < self.n_states && (end == cursor || est < BATCH_EDGE_BUDGET) {
+            est += self.est_edges(self.free_bits[end]);
+            end += 1;
+        }
+        let mut ranges: Vec<(usize, usize)> = Vec::new();
+        let mut start = cursor;
+        let mut acc = 0u64;
+        for u in cursor..end {
+            acc += self.est_edges(self.free_bits[u]);
+            if acc >= CHUNK_EDGE_BUDGET {
+                ranges.push((start, u + 1));
+                start = u + 1;
+                acc = 0;
+            }
+        }
+        if start < end {
+            ranges.push((start, end));
+        }
+        // Small batches run their waves inline — OS thread spawns (no
+        // persistent pool in the vendored rayon) only amortize over
+        // enough work, and the results are identical either way.
+        let threads = if est < PARALLEL_MIN_BATCH_EDGES {
+            1
+        } else {
+            self.cfg.threads
+        };
+        // Phase 1: expand chunks in parallel.
+        let chunk_outs: Vec<ChunkOut> = {
+            let this = &*self;
+            run_indexed(threads, ranges.len(), |c| {
+                this.expand_chunk(ranges[c].0, ranges[c].1)
+            })
+            .into_iter()
+            .collect::<Result<_, _>>()?
+        };
+        // Phase 2: replay each shard's record stream in order.
+        let interned: Vec<ShardIntern> = {
+            let this = &*self;
+            run_indexed(threads, SHARD_COUNT, |s| {
+                this.intern_shard(s, &chunk_outs, true)
+            })
+        };
+        // Phase 3a (serial barrier): dense-number the fresh states.
+        self.assign_dense(&interned, limits)?;
+        // Phase 3b: scatter resolved dense targets per chunk, in parallel.
+        let chunk_targets: Vec<Vec<u32>> = {
+            let this = &*self;
+            run_indexed(threads, chunk_outs.len(), |c| {
+                this.resolve_chunk(&chunk_outs[c], &interned, c)
+            })
+        };
+        // Phase 3c (serial): stitch the segments in state order.
+        for (chunk, targets) in chunk_outs.iter().zip(&chunk_targets) {
+            if self.edge_targets.len() + targets.len() > limits.max_edges {
+                return Err(VerifyError::TooManyEdges {
+                    limit: limits.max_edges,
+                });
+            }
+            for &c in &chunk.counts {
+                let last = *self.edge_offsets.last().expect("offsets seeded with 0");
+                self.edge_offsets.push(last + c as usize);
+            }
+            self.edge_targets.extend_from_slice(targets);
+            self.edge_meta.extend_from_slice(&chunk.meta);
+        }
+        Ok(end)
+    }
+
+    /// Phase 1: expands source states `start..end`, emitting the chunk's
+    /// CSR segment and per-shard successor records. Takes only read locks
+    /// on the shards; every per-edge step is allocation-free.
+    fn expand_chunk(&self, start: usize, end: usize) -> Result<ChunkOut, VerifyError> {
+        let cfg = &self.cfg;
+        let (n, e, w) = (cfg.n, cfg.e, cfg.words_per_state);
+        let (lw, cw) = (cfg.label_width, cfg.countdown_width);
+        let guards = self.index.read_all();
+        let est: u64 = self.free_bits[start..end]
+            .iter()
+            .map(|&f| self.est_edges(f))
+            .sum();
+        let per_shard = (est as usize / SHARD_COUNT) * 5 / 4 + 4;
+        let mut out = ChunkOut {
+            counts: Vec::with_capacity(end - start),
+            meta: Vec::with_capacity(est as usize),
+            shards: (0..SHARD_COUNT)
+                .map(|_| ShardRecords::with_capacity(per_shard, w, cfg.aux_len))
+                .collect(),
+        };
+        let mut labeling_buf: Vec<L> = Vec::with_capacity(e);
+        let mut label_idx_buf = vec![0u32; e];
+        let mut next_label_idx = vec![0u32; e];
+        let mut countdown_buf = vec![0u8; n];
+        let mut out_words_buf = vec![0u64; cfg.aux_len];
+        let mut next_out_words = vec![0u64; cfg.aux_len];
+        let mut state_buf = vec![0u64; w];
+        let mut in_buf: Vec<L> = Vec::new();
+        let mut react_buf: Vec<L> = Vec::new();
+        let mut free_nodes: Vec<usize> = Vec::with_capacity(n);
+        for u in start..end {
+            // Decode the source state from its shard arena.
+            let (s, local) = unpack_state_id(self.dense_ids[u]);
+            {
+                let row = guards[s].row(local);
+                labeling_buf.clear();
+                for (k, idx) in label_idx_buf.iter_mut().enumerate() {
+                    let v = unpack(row, k * lw as usize, lw) as u32;
+                    *idx = v;
+                    labeling_buf.push(cfg.alphabet[v as usize].clone());
+                }
+                for (i, cd) in countdown_buf.iter_mut().enumerate() {
+                    *cd = unpack(row, e * lw as usize + i * cw as usize, cw) as u8 + 1;
+                }
+                if cfg.track_outputs {
+                    out_words_buf.copy_from_slice(guards[s].aux_row(local));
+                }
+            }
+            let forced: u32 = (0..n)
+                .filter(|&i| countdown_buf[i] == 1)
+                .map(|i| 1 << i)
+                .sum();
+            free_nodes.clear();
+            free_nodes.extend((0..n).filter(|&i| countdown_buf[i] != 1));
+            let graph = cfg.protocol.graph();
+            let mut edge_k: u32 = 0;
+            // Every activation set: forced nodes plus any subset of the
+            // rest (skipping the empty total set).
+            for subset in 0..(1u32 << free_nodes.len()) {
+                let mut mask = forced;
+                for (k, &i) in free_nodes.iter().enumerate() {
+                    if subset >> k & 1 == 1 {
+                        mask |= 1 << i;
+                    }
+                }
+                if mask == 0 {
+                    continue;
+                }
+                next_label_idx.copy_from_slice(&label_idx_buf);
+                if cfg.track_outputs {
+                    next_out_words.copy_from_slice(&out_words_buf);
+                }
+                for i in (0..n).filter(|&i| mask >> i & 1 == 1) {
+                    // Buffered reaction probe: all reads come from the
+                    // pre-step `labeling_buf`, so the per-node commits into
+                    // next_label_idx cannot corrupt later probes.
+                    let y = cfg.protocol.apply_buffered(
+                        i,
+                        &labeling_buf,
+                        cfg.inputs[i],
+                        &mut in_buf,
+                        &mut react_buf,
+                    );
+                    for (slot, &eid) in react_buf.iter().zip(graph.out_edges(i)) {
+                        let Some(&idx) = cfg.label_index.get(slot) else {
+                            return Err(VerifyError::BadParameters {
+                                what: format!(
+                                    "node {i} emitted the label {slot:?}, which is \
+                                     outside the declared alphabet"
+                                ),
+                            });
+                        };
+                        next_label_idx[eid] = idx;
+                    }
+                    if cfg.track_outputs {
+                        next_out_words[i] = y;
+                    }
+                }
+                let interesting = if cfg.track_outputs {
+                    next_out_words != out_words_buf
+                } else {
+                    next_label_idx != label_idx_buf
+                };
+                // Pack the successor: labels, then countdowns (reset to r
+                // for activated nodes, decremented otherwise).
+                state_buf.fill(0);
+                for (k, &idx) in next_label_idx.iter().enumerate() {
+                    pack(&mut state_buf, k * lw as usize, lw, u64::from(idx));
+                }
+                for (i, &cd_now) in countdown_buf.iter().enumerate() {
+                    let cd = if mask >> i & 1 == 1 {
+                        cfg.r
+                    } else {
+                        cd_now - 1
+                    };
+                    pack(
+                        &mut state_buf,
+                        e * lw as usize + i * cw as usize,
+                        cw,
+                        u64::from(cd - 1),
+                    );
+                }
+                let fp = fingerprint(&state_buf, &next_out_words);
+                let rec = &mut out.shards[shard_of(fp)];
+                rec.slots.push(out.meta.len() as u32);
+                // n ≤ 16 bounds the per-source fan-out below 2^16 edges,
+                // so the key packs (dense source, edge index) exactly.
+                rec.keys.push(((u as u64) << 16) | u64::from(edge_k));
+                rec.fps.push(fp);
+                rec.words.extend_from_slice(&state_buf);
+                rec.aux.extend_from_slice(&next_out_words);
+                out.meta
+                    .push(mask | if interesting { META_INTERESTING } else { 0 });
+                edge_k += 1;
+            }
+            out.counts.push(edge_k);
+        }
+        Ok(out)
+    }
+
+    /// Phase 2: replays shard `s`'s record stream — chunks in order,
+    /// records in order — against its fingerprint index. Exactly one
+    /// worker claims each shard, so interning is single-writer and the
+    /// local id sequence is deterministic.
+    fn intern_shard(&self, s: usize, chunks: &[ChunkOut], want_resolved: bool) -> ShardIntern {
+        let (w, al) = (self.cfg.words_per_state, self.cfg.aux_len);
+        let mut shard = self.index.write(s);
+        let mut out = ShardIntern {
+            resolved: Vec::with_capacity(chunks.len()),
+            fresh: Vec::new(),
+        };
+        for chunk in chunks {
+            let rec = &chunk.shards[s];
+            let mut res = Vec::with_capacity(if want_resolved { rec.fps.len() } else { 0 });
+            for (i, &fp) in rec.fps.iter().enumerate() {
+                let row = &rec.words[i * w..(i + 1) * w];
+                let aux = &rec.aux[i * al..(i + 1) * al];
+                let (local, fresh) = shard.intern(fp, row, aux);
+                if fresh {
+                    out.fresh
+                        .push((rec.keys[i], local, self.cfg.free_count(row)));
+                }
+                if want_resolved {
+                    res.push(local);
+                }
+            }
+            out.resolved.push(res);
+        }
+        out
+    }
+
+    /// Phase 3a: merges every shard's fresh states by stream key — the
+    /// position of the edge (or seed labeling) that first discovered them
+    /// — and assigns dense ids in that order. This is exactly the order a
+    /// sequential scan interns in, so dense numbering is identical for
+    /// every thread count.
+    fn assign_dense(
+        &mut self,
+        interned: &[ShardIntern],
+        limits: &Limits,
+    ) -> Result<(), VerifyError> {
+        let cap = limits.max_states.min(u32::MAX as usize - 1);
+        let mut guards: Vec<_> = (0..SHARD_COUNT).map(|s| self.index.write(s)).collect();
+        let mut heads: BinaryHeap<Reverse<(u64, usize)>> = interned
+            .iter()
+            .enumerate()
+            .filter(|(_, si)| !si.fresh.is_empty())
+            .map(|(s, si)| Reverse((si.fresh[0].0, s)))
+            .collect();
+        let mut pos = [0usize; SHARD_COUNT];
+        while let Some(Reverse((_, s))) = heads.pop() {
+            let (_, local, free) = interned[s].fresh[pos[s]];
+            if self.n_states >= cap {
+                return Err(VerifyError::TooManyStates {
+                    limit: limits.max_states,
+                });
+            }
+            guards[s].push_dense(self.n_states as u32);
+            self.dense_ids.push(pack_state_id(s, local));
+            self.free_bits.push(free);
+            self.n_states += 1;
+            pos[s] += 1;
+            if let Some(&(key, _, _)) = interned[s].fresh.get(pos[s]) {
+                heads.push(Reverse((key, s)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Phase 3b: scatters one chunk's resolved targets — now that every
+    /// `(shard, local)` id has a dense number — into a dense CSR target
+    /// segment.
+    fn resolve_chunk(&self, chunk: &ChunkOut, interned: &[ShardIntern], c: usize) -> Vec<u32> {
+        let guards = self.index.read_all();
+        let mut targets = vec![0u32; chunk.meta.len()];
+        for (s, (rec, si)) in chunk.shards.iter().zip(interned).enumerate() {
+            for (&slot, &local) in rec.slots.iter().zip(&si.resolved[c]) {
+                targets[slot as usize] = guards[s].dense_of(local);
+            }
+        }
+        targets
     }
 
     /// Iterative Tarjan SCC over the CSR arrays; returns the component id
@@ -560,7 +959,7 @@ impl<'p, L: Label> Explorer<'p, L> {
             at = prev[at] as usize;
         }
         masks.extend(path_rev.into_iter().rev());
-        let n = self.protocol.node_count();
+        let n = self.cfg.n;
         let schedule = masks
             .into_iter()
             .map(|m| (0..n).filter(|&i| m >> i & 1 == 1).collect())
@@ -589,13 +988,14 @@ impl<'p, L: Label> Explorer<'p, L> {
         None
     }
 
-    /// Decodes state `u`'s labeling from the packed arena.
+    /// Decodes state `u`'s labeling from its shard arena.
     fn decode_labeling(&self, u: usize) -> Vec<L> {
-        let w = self.words_per_state;
-        let lw = self.label_width;
-        let row = &self.arena[u * w..(u + 1) * w];
-        (0..self.protocol.edge_count())
-            .map(|k| self.alphabet[unpack(row, k * lw as usize, lw) as usize].clone())
+        let (s, local) = unpack_state_id(self.dense_ids[u]);
+        let shard = self.index.read(s);
+        let row = shard.row(local);
+        let lw = self.cfg.label_width;
+        (0..self.cfg.e)
+            .map(|k| self.cfg.alphabet[unpack(row, k * lw as usize, lw) as usize].clone())
             .collect()
     }
 
@@ -603,8 +1003,8 @@ impl<'p, L: Label> Explorer<'p, L> {
         ExploreStats {
             states: self.n_states,
             edges: self.edge_targets.len(),
-            words_per_state: self.words_per_state,
-            state_bytes: self.arena.len() * 8 + self.out_rows.len() * 4,
+            words_per_state: self.cfg.words_per_state,
+            state_bytes: self.n_states * (self.cfg.words_per_state + self.cfg.aux_len) * 8,
             edge_bytes: self.edge_offsets.len() * std::mem::size_of::<usize>()
                 + self.edge_targets.len() * 4
                 + self.edge_meta.len() * 4,
@@ -619,13 +1019,14 @@ impl<'p, L: Label> Explorer<'p, L> {
 /// label outside it is reported as [`VerifyError::BadParameters`].
 ///
 /// See the [module docs](self) for the memory model (packed states,
-/// fingerprint interning, CSR edges, Tarjan SCC).
+/// sharded fingerprint interning, CSR edges, Tarjan SCC) and the
+/// determinism contract of the parallel explorer ([`Limits::threads`]).
 ///
 /// # Errors
 ///
-/// [`VerifyError::TooManyStates`] if the product graph exceeds the limit;
-/// [`VerifyError::BadParameters`] for `r = 0`, oversized graphs, or a
-/// non-closed alphabet.
+/// [`VerifyError::TooManyStates`] / [`VerifyError::TooManyEdges`] if the
+/// product graph exceeds the limits; [`VerifyError::BadParameters`] for
+/// `r = 0`, oversized graphs, or a non-closed alphabet.
 pub fn verify_label_stabilization<L: Label>(
     protocol: &Protocol<L>,
     inputs: &[Input],
@@ -1036,10 +1437,35 @@ mod tests {
     #[test]
     fn limits_are_enforced() {
         let p = rotate_ring(4);
-        let err =
-            verify_label_stabilization(&p, &[0; 4], &[false, true], 3, Limits { max_states: 10 })
-                .unwrap_err();
+        let err = verify_label_stabilization(
+            &p,
+            &[0; 4],
+            &[false, true],
+            3,
+            Limits {
+                max_states: 10,
+                ..Limits::default()
+            },
+        )
+        .unwrap_err();
         assert_eq!(err, VerifyError::TooManyStates { limit: 10 });
+    }
+
+    #[test]
+    fn edge_limits_are_enforced() {
+        let p = rotate_ring(4);
+        let err = verify_label_stabilization(
+            &p,
+            &[0; 4],
+            &[false, true],
+            3,
+            Limits {
+                max_edges: 100,
+                ..Limits::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, VerifyError::TooManyEdges { limit: 100 });
     }
 
     #[test]
@@ -1122,6 +1548,30 @@ mod tests {
                 .unwrap();
                 assert_eq!(fast_o.is_stabilizing(), naive_o.is_stabilizing(), "r = {r}");
             }
+        }
+    }
+
+    #[test]
+    fn verdicts_witnesses_and_stats_are_identical_across_thread_counts() {
+        // The hard determinism invariant: not just equal verdicts, but
+        // bit-identical witnesses and state/edge counts for every worker
+        // count (tests/differential.rs covers random protocols).
+        let p = rotate_ring(4);
+        let at = |threads: usize| {
+            let limits = Limits {
+                threads,
+                ..Limits::default()
+            };
+            let label =
+                verify_label_stabilization_with_stats(&p, &[0; 4], &[false, true], 3, limits)
+                    .unwrap();
+            let output =
+                verify_output_stabilization(&p, &[0; 4], &[false, true], 3, limits).unwrap();
+            (label, output)
+        };
+        let base = at(1);
+        for threads in [2, 4, 7] {
+            assert_eq!(base, at(threads), "threads = {threads}");
         }
     }
 

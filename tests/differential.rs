@@ -5,8 +5,11 @@
 //! buffered `Schedule::activations_into` must emit the same activation
 //! sequences as the allocating wrapper for every built-in schedule; the
 //! fingerprint-arena `classify_sync` must agree exactly with the
-//! clone-based reference; and the `Brent` cycle detector must agree with
-//! `ExactArena` on every classified run.
+//! clone-based reference; the `Brent` cycle detector must agree with
+//! `ExactArena` on every classified run; and the parallel product-graph
+//! explorer must produce verdicts, witnesses, and state/edge counts that
+//! are bit-identical across thread counts — and verdict-identical to the
+//! owned-`Vec` naive explorer.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -17,7 +20,8 @@ use stateless_computation::core::convergence::{
 use stateless_computation::core::graph::DiGraph;
 use stateless_computation::core::prelude::*;
 use stateless_computation::verify::{
-    verify_label_stabilization, verify_label_stabilization_naive, verify_output_stabilization,
+    verify_label_stabilization, verify_label_stabilization_naive,
+    verify_label_stabilization_with_stats, verify_output_stabilization,
     verify_output_stabilization_naive, CycleWitness, Limits, Verdict,
 };
 
@@ -387,7 +391,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x7e51f);
         let inputs: Vec<u64> = (0..n).map(|_| rng.random_range(0u64..3)).collect();
         let alphabet: Vec<u64> = (0..q).collect();
-        let limits = Limits { max_states: 500_000 };
+        let limits = Limits { max_states: 500_000, ..Limits::default() };
 
         let fast = verify_label_stabilization(&p, &inputs, &alphabet, r, limits).unwrap();
         let naive = verify_label_stabilization_naive(&p, &inputs, &alphabet, r, limits).unwrap();
@@ -412,6 +416,38 @@ proptest! {
         }
     }
 
+    /// The parallel product explorer is **deterministic in the thread
+    /// count**: verdicts, witnesses (bit for bit — labeling and schedule,
+    /// not just validity), and the explored state/edge counts are
+    /// identical at 1, 2, and 4 workers, for both label and output
+    /// stabilization, on random protocols, topologies, and fairness
+    /// bounds. This is the hard invariant of the sharded-interning
+    /// design, not a best-effort property.
+    #[test]
+    fn packed_verifier_identical_across_thread_counts(seed in 0u64..10_000, kind in 0usize..4, q in 2u64..4, r in 1u8..4) {
+        let graph = verify_topology_of(kind);
+        let n = graph.node_count();
+        let q = if graph.edge_count() > 4 { 2 } else { q };
+        let (_, p) = protocol_pair(&graph, q);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x3a11e1);
+        let inputs: Vec<u64> = (0..n).map(|_| rng.random_range(0u64..3)).collect();
+        let alphabet: Vec<u64> = (0..q).collect();
+        let at = |threads: usize| {
+            let limits = Limits { max_states: 500_000, threads, ..Limits::default() };
+            let label = verify_label_stabilization_with_stats(&p, &inputs, &alphabet, r, limits)
+                .unwrap();
+            let output = verify_output_stabilization(&p, &inputs, &alphabet, r, limits).unwrap();
+            (label, output)
+        };
+        let sequential = at(1);
+        for threads in [2usize, 4] {
+            let parallel = at(threads);
+            prop_assert_eq!(&sequential.0 .0, &parallel.0 .0, "label verdict+witness, {} threads", threads);
+            prop_assert_eq!(sequential.0 .1, parallel.0 .1, "explore stats, {} threads", threads);
+            prop_assert_eq!(&sequential.1, &parallel.1, "output verdict+witness, {} threads", threads);
+        }
+    }
+
     /// Every `NotStabilizing` witness of the packed explorer, replayed
     /// via `Scripted::cycle`, oscillates: labels change within the lap
     /// and the labeling closes the cycle (the generalization of the
@@ -424,7 +460,7 @@ proptest! {
         let (_, p) = protocol_pair(&graph, 2);
         let mut rng = StdRng::seed_from_u64(seed ^ 0x9b1d);
         let inputs: Vec<u64> = (0..n).map(|_| rng.random_range(0u64..3)).collect();
-        let limits = Limits { max_states: 500_000 };
+        let limits = Limits { max_states: 500_000, ..Limits::default() };
         let verdict = verify_label_stabilization(&p, &inputs, &[0, 1], r, limits).unwrap();
         if let Verdict::NotStabilizing(w) = verdict {
             prop_assert!(!w.schedule.is_empty());
