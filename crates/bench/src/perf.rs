@@ -10,13 +10,15 @@ use std::io::Write as _;
 use std::time::Instant;
 
 use stabilization_verify::{
-    verify_label_stabilization_naive, verify_label_stabilization_with_stats, Limits,
+    product_graph_csr, verify_label_stabilization_naive, verify_label_stabilization_with_stats,
+    Limits,
 };
 use stateless_core::convergence::{
     all_labelings, classify_sync, classify_sync_naive, classify_sync_with, sync_round_complexity,
     sync_round_complexity_par, CycleDetector,
 };
 use stateless_core::prelude::*;
+use stateless_core::scc;
 use stateless_protocols::worst_case::worst_case_protocol;
 
 use crate::workloads::{
@@ -207,6 +209,13 @@ fn sweep_entry(n: usize) -> String {
 /// CI host, which is why the field is recorded rather than assumed).
 /// Verdicts and state ids are bit-identical across rows by construction.
 ///
+/// The SCC phase is additionally timed in isolation on the extracted
+/// product CSR (the [`product_graph_csr`] hook): `scc_ms` is the
+/// trim + Forward–Backward condensation at that row's thread count,
+/// `scc_vs_t1` its parallel efficiency, and `tarjan_scc_ms` (same value
+/// on every row of an `n`) the serial Tarjan reference on the same
+/// arrays.
+///
 /// `naive_state_bytes` is the per-state footprint of the old
 /// representation, counted analytically: the `(Vec<L>, Vec<u8>,
 /// Vec<Output>)` tuple (three 24-byte Vec headers + e·|L| + n + 8n heap
@@ -237,10 +246,23 @@ fn verify_scaling_rows(n: usize, thread_counts: &[usize]) -> Vec<String> {
         naive,
         stats.states as u64,
     );
+    // The SCC phase in isolation, on the product CSR the verifier
+    // actually condenses: Tarjan once as the serial reference, then the
+    // trim+FB engine per worker count.
+    let (offsets, targets) = product_graph_csr(&p, &inputs, &alphabet, r, limits(1)).unwrap();
+    let tarjan = best_seconds(|| {
+        scc::tarjan(&offsets, &targets);
+    });
+    emit_criterion_line(
+        &format!("perf/verify_scaling/{n}/scc/tarjan"),
+        tarjan,
+        stats.states as u64,
+    );
     let e = p.edge_count();
     let naive_state_bytes = 2 * (3 * 24 + e * std::mem::size_of::<bool>() + n + 8 * n) + 16;
     let packed_state_bytes = stats.state_bytes as f64 / stats.states as f64;
     let mut t1_packed = f64::NAN;
+    let mut t1_scc = f64::NAN;
     thread_counts
         .iter()
         .map(|&threads| {
@@ -250,12 +272,21 @@ fn verify_scaling_rows(n: usize, thread_counts: &[usize]) -> Vec<String> {
                     .0
                     .is_stabilizing();
             });
+            let scc_phase = best_seconds(|| {
+                scc::condense(&offsets, &targets, threads);
+            });
             if threads == 1 {
                 t1_packed = packed;
+                t1_scc = scc_phase;
             }
             emit_criterion_line(
                 &format!("perf/verify_scaling/{n}/packed/t{threads}"),
                 packed,
+                stats.states as u64,
+            );
+            emit_criterion_line(
+                &format!("perf/verify_scaling/{n}/scc/t{threads}"),
+                scc_phase,
                 stats.states as u64,
             );
             format!(
@@ -263,6 +294,7 @@ fn verify_scaling_rows(n: usize, thread_counts: &[usize]) -> Vec<String> {
                     "{{\"n\":{},\"r\":{},\"threads\":{},\"states\":{},\"edges\":{},",
                     "\"naive_states_per_s\":{:.0},\"packed_states_per_s\":{:.0},",
                     "\"speedup\":{:.2},\"scaling_vs_t1\":{:.2},",
+                    "\"scc_ms\":{:.3},\"scc_vs_t1\":{:.2},\"tarjan_scc_ms\":{:.3},",
                     "\"naive_state_bytes\":{},\"packed_state_bytes\":{:.2},",
                     "\"state_bytes_ratio\":{:.1},",
                     "\"packed_arena_bytes\":{},\"csr_edge_bytes\":{}}}"
@@ -276,6 +308,9 @@ fn verify_scaling_rows(n: usize, thread_counts: &[usize]) -> Vec<String> {
                 stats.states as f64 / packed,
                 naive / packed,
                 t1_packed / packed,
+                scc_phase * 1e3,
+                t1_scc / scc_phase,
+                tarjan * 1e3,
                 naive_state_bytes,
                 packed_state_bytes,
                 naive_state_bytes as f64 / packed_state_bytes,

@@ -224,10 +224,18 @@ fn summary_object_lines(section: &str, obj: &str, out: &mut Vec<BenchLine>) {
                 format!("perf/verify_scaling/{n}/packed/t{threads}"),
                 per_s(states, num("packed_states_per_s")),
             );
+            push(
+                format!("perf/verify_scaling/{n}/scc/t{threads}"),
+                ms(num("scc_ms")),
+            );
             if threads == 1 {
                 push(
                     format!("perf/verify_scaling/{n}/naive"),
                     per_s(states, num("naive_states_per_s")),
+                );
+                push(
+                    format!("perf/verify_scaling/{n}/scc/tarjan"),
+                    ms(num("tarjan_scc_ms")),
                 );
             }
         }
@@ -436,7 +444,7 @@ mod tests {
         "  \"classify_sync\": {\"n\":1024,\"naive_ms_per_run\":50.000,\"fingerprint_ms_per_run\":20.000,\"speedup\":2.50},\n",
         "  \"classify_detectors\": {\"n\":1024,\"arena_ms_per_run\":17.000,\"brent_ms_per_run\":34.000},\n",
         "  \"round_complexity_sweep\": {\"n\":14,\"labelings\":16384,\"threads\":1,\"sequential_ms\":12.000,\"parallel_ms\":6.000,\"speedup\":2.00},\n",
-        "  \"verify_scaling\": [{\"n\":6,\"r\":2,\"threads\":2,\"states\":1000,\"edges\":9,\"naive_states_per_s\":250000,\"packed_states_per_s\":1000000}, {\"n\":8,\"r\":2,\"states\":2000,\"edges\":9,\"naive_states_per_s\":100000,\"packed_states_per_s\":200000}]\n",
+        "  \"verify_scaling\": [{\"n\":6,\"r\":2,\"threads\":2,\"states\":1000,\"edges\":9,\"naive_states_per_s\":250000,\"packed_states_per_s\":1000000,\"scc_ms\":4.000,\"scc_vs_t1\":1.50,\"tarjan_scc_ms\":5.000}, {\"n\":8,\"r\":2,\"states\":2000,\"edges\":9,\"naive_states_per_s\":100000,\"packed_states_per_s\":200000,\"scc_ms\":8.000,\"tarjan_scc_ms\":7.000}]\n",
         "}\n",
     );
 
@@ -459,15 +467,20 @@ mod tests {
         assert_eq!(get("perf/classify/1024/fingerprint"), 2e7);
         assert_eq!(get("perf/classify_detectors/1024/arena"), 1.7e7);
         assert_eq!(get("perf/sweep/14/parallel"), 6e6);
-        // Explicit threads field lands in the bench id; the naive row is
-        // emitted only for 1-thread entries (t=2 row has none).
+        // Explicit threads field lands in the bench id; the naive and
+        // Tarjan reference rows are emitted only for 1-thread entries
+        // (the t=2 row has neither).
         assert_eq!(get("perf/verify_scaling/6/packed/t2"), 1e6);
+        assert_eq!(get("perf/verify_scaling/6/scc/t2"), 4e6);
         assert!(!lines
             .iter()
-            .any(|l| l.bench == "perf/verify_scaling/6/naive"));
+            .any(|l| l.bench == "perf/verify_scaling/6/naive"
+                || l.bench == "perf/verify_scaling/6/scc/tarjan"));
         // Legacy rows without `threads` count as single-threaded.
         assert_eq!(get("perf/verify_scaling/8/packed/t1"), 1e7);
         assert_eq!(get("perf/verify_scaling/8/naive"), 2e7);
+        assert_eq!(get("perf/verify_scaling/8/scc/t1"), 8e6);
+        assert_eq!(get("perf/verify_scaling/8/scc/tarjan"), 7e6);
     }
 
     #[test]

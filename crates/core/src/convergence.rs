@@ -1430,6 +1430,38 @@ mod tests {
     }
 
     #[test]
+    fn par_sweep_with_more_workers_than_items() {
+        // 3 items on 8 workers: the atomic-counter chunk claiming must
+        // neither panic on empty claims nor drop or duplicate items. A
+        // sub-batch total exercises the sequential fallback; a total one
+        // past PAR_BATCH engages the threaded path with six of the eight
+        // workers claiming beyond-the-end (empty) chunks.
+        for total in [3usize, PAR_BATCH + 1] {
+            let initials: Vec<Vec<u64>> = (0..total as u64).map(|i| vec![i]).collect();
+            let got = par_sweep_init_with_workers(8, || (), initials, |(), l| l[0] + 1);
+            assert_eq!(
+                got,
+                (1..=total as u64).collect::<Vec<_>>(),
+                "total = {total}"
+            );
+        }
+        // Same guard for the round-complexity driver.
+        let p = max_ring(3);
+        let initials: Vec<Vec<u64>> = all_labelings(&[0u64, 1, 2], 3).take(3).collect();
+        let seq = sync_round_complexity(&p, &[0, 1, 2], initials.clone(), 10_000).unwrap();
+        let par = sync_round_complexity_par_with_workers(
+            8,
+            &p,
+            &[0, 1, 2],
+            initials,
+            10_000,
+            CycleDetector::ExactArena,
+        )
+        .unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
     fn par_sweep_over_lazy_generator_preserves_order() {
         // The chunk-claiming path regenerates items from per-worker
         // iterator clones; the odometer jumps must land on the right

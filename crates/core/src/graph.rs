@@ -199,30 +199,34 @@ impl DiGraph {
         dist
     }
 
-    /// Whether every node reaches every other node.
+    /// The graph's adjacency as flat CSR arrays (`offsets`/`targets`,
+    /// out-edges in insertion order) — the input shape of [`crate::scc`].
+    pub fn to_csr(&self) -> (Vec<usize>, Vec<u32>) {
+        let mut offsets = Vec::with_capacity(self.node_count + 1);
+        offsets.push(0);
+        let mut targets = Vec::with_capacity(self.edges.len());
+        for u in 0..self.node_count {
+            for &e in &self.out_edges[u] {
+                targets.push(self.edges[e].1 as u32);
+            }
+            offsets.push(targets.len());
+        }
+        (offsets, targets)
+    }
+
+    /// Whether every node reaches every other node — i.e. the graph is
+    /// one strongly connected component ([`crate::scc::tarjan`] on the
+    /// CSR adjacency).
     pub fn is_strongly_connected(&self) -> bool {
         if self.node_count == 0 {
             return true;
         }
-        let forward = self.bfs_distances(0);
-        if forward.iter().any(Option::is_none) {
-            return false;
-        }
-        // BFS on the reverse graph from node 0.
-        let mut dist = vec![false; self.node_count];
-        let mut queue = std::collections::VecDeque::new();
-        dist[0] = true;
-        queue.push_back(0);
-        while let Some(u) = queue.pop_front() {
-            for &e in &self.in_edges[u] {
-                let v = self.edges[e].0;
-                if !dist[v] {
-                    dist[v] = true;
-                    queue.push_back(v);
-                }
-            }
-        }
-        dist.into_iter().all(|b| b)
+        let (offsets, targets) = self.to_csr();
+        // Canonical numbering: strongly connected ⇔ every component id
+        // is the component of node 0, which numbers 0.
+        crate::scc::tarjan(&offsets, &targets)
+            .iter()
+            .all(|&c| c == 0)
     }
 
     /// Eccentricity of `node`: the maximum BFS distance to any node.

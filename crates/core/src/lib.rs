@@ -36,6 +36,10 @@
 //!   flat bit packing, and block-chunked history arenas. Used by
 //!   [`convergence`] and by the exact product-graph explorer in
 //!   `stabilization-verify`.
+//! * [`scc`] — strongly connected components of flat CSR digraphs: a
+//!   deterministic parallel trim + Forward–Backward engine plus the
+//!   serial Tarjan reference, shared by [`graph::DiGraph`] and the exact
+//!   verifier's product-graph condensation.
 //!
 //! ## Quickstart
 //!
@@ -73,6 +77,7 @@ pub mod intern;
 pub mod label;
 pub mod protocol;
 pub mod reaction;
+pub mod scc;
 pub mod schedule;
 pub mod topology;
 pub mod trace;

@@ -1,0 +1,715 @@
+//! Strongly connected components of flat CSR digraphs.
+//!
+//! The exact verifier in `stabilization-verify` stores its product graph
+//! as compressed sparse rows (`offsets`/`targets`); this module computes
+//! the SCC condensation of any such graph, on borrowed slices, so the
+//! verifier, the graph layer ([`crate::graph::DiGraph`]), and future
+//! explorers share one implementation:
+//!
+//! * [`condense`] — the production engine: a parallel **trim** pass
+//!   (repeatedly peel states of live in- or out-degree 0; each is its own
+//!   trivial SCC, and exhaustive peeling is confluent, so the peeled set
+//!   never depends on scheduling) followed by **Forward–Backward**
+//!   decomposition of the remainder (pick a pivot, mark its forward and
+//!   backward reachable sets; the intersection is one SCC, and the three
+//!   difference slices recurse as independent tasks on a shared work
+//!   queue). Slices a single worker can settle alone finish with one
+//!   slice-local Tarjan pass — the classic FB/Tarjan hybrid that keeps
+//!   chains of small SCCs from turning FB quadratic, while different
+//!   workers still settle different slices in parallel; the cutoff
+//!   scales with the per-worker share (a lone worker skips FB rounds
+//!   entirely — they exist to split work, not to speed a single
+//!   traversal). Runs on an explicit number of workers.
+//! * [`tarjan`] — the serial iterative Tarjan reference the verifier
+//!   shipped with through PR 4, kept `#[doc(hidden)]` for differential
+//!   testing and as the `SccBackend::Tarjan` escape hatch.
+//!
+//! # Determinism
+//!
+//! Both functions return the **canonical** component numbering:
+//! components are numbered by the smallest state id they contain, in
+//! increasing order of that id (equivalently: by first occurrence when
+//! scanning states `0, 1, 2, …`). That numbering depends only on the
+//! component *partition* — a property of the graph, not of any
+//! algorithm — so [`condense`]'s output is bit-identical for every
+//! worker count, identical to [`tarjan`]'s, and unaffected by internal
+//! scheduling choices (wave order in the trim, task interleaving, the
+//! thread-scaled FB→Tarjan slice cutoff). Within the FB pass each task
+//! additionally pivots on the **minimum state id** of its slice, making
+//! the recursion itself reproducible at a fixed cutoff. Thread count is
+//! purely a throughput knob, exactly like the verifier's parallel
+//! explorer — `tests/scc.rs` asserts the cross-thread, cross-backend,
+//! and cross-cutoff equalities against the Tarjan oracle.
+//!
+//! # Memory
+//!
+//! [`condense`] materializes the reverse CSR (needed for backward
+//! reachability and live in-degrees) plus five flat per-state word/byte
+//! arrays — about 17 bytes per state and 12 per edge transiently, freed
+//! on return. [`tarjan`] never builds the reverse graph (~13 bytes per
+//! state) — on memory-starved graphs it remains the cheaper fallback.
+//!
+//! Unlike [`crate::graph::DiGraph`], CSR graphs may contain self-loops
+//! (the verifier's product graph does); a self-loop keeps its state
+//! un-trimmed and the state forms (or joins) a regular SCC.
+
+use std::sync::atomic::{AtomicU32, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// `comp` value of a state not yet assigned to any component.
+const UNASSIGNED: u32 = u32::MAX;
+/// Transient claim marker of the trim pass: a worker won the
+/// compare-exchange and is about to store the real component id.
+const CLAIMED: u32 = u32::MAX - 1;
+/// Forward-reachable mark bit of the FB pass.
+const F: u8 = 1;
+/// Backward-reachable mark bit of the FB pass.
+const B: u8 = 2;
+/// Trim frontiers below this many states are peeled inline: the vendored
+/// rayon stand-in spawns OS threads per scope (no persistent pool), which
+/// only amortize over enough work. A scheduling heuristic only — the
+/// peeled set is confluent, so the result is identical either way.
+const PARALLEL_MIN_FRONTIER: usize = 1 << 10;
+/// FB slices at or below this many states are settled by one
+/// slice-local Tarjan pass instead of further FB rounds (the classic
+/// FB/Tarjan hybrid): FB pays up to one full slice rescan per emitted
+/// component, which a chain of small SCCs turns quadratic. Like every
+/// other constant here this never affects the output — the SCC
+/// partition is a graph property and the numbering is canonicalized —
+/// only how fast a slice is settled.
+const FB_SERIAL_CUTOFF: usize = 1 << 13;
+
+/// One pending Forward–Backward task: a slice id (the `slice_of` value of
+/// exactly this task's states) and its member states in ascending id
+/// order — so `members[0]` *is* the deterministic minimum-id pivot.
+struct FbTask {
+    sid: u32,
+    members: Vec<u32>,
+}
+
+/// Computes the SCC condensation of the CSR digraph
+/// (`offsets.len() - 1` states, edges of state `u` in
+/// `targets[offsets[u]..offsets[u + 1]]`) on up to `threads` workers
+/// (`0` = all available cores) and returns the component id of every
+/// state in the canonical numbering (components ordered by their minimum
+/// state id — see the [module docs](self)). The result is bit-identical
+/// for every thread count.
+///
+/// # Panics
+///
+/// Panics if `offsets` is not a monotone CSR offset array covering
+/// `targets`, or if a target id is out of range.
+pub fn condense(offsets: &[usize], targets: &[u32], threads: usize) -> Vec<u32> {
+    let threads = resolve_threads(threads);
+    // FB rounds exist to *split* the graph across workers: a lone worker
+    // gains nothing from them (slice-local Tarjan settles any slice it
+    // would have to walk anyway, in one pass), and w workers only need
+    // slices fine enough to balance — so the cutoff scales with the
+    // per-worker share. Any cutoff yields the same output (the partition
+    // is a graph property and the numbering is canonicalized; pinned by
+    // `tests/scc.rs` forcing pure FB via [`condense_with`]).
+    let n = offsets.len().saturating_sub(1);
+    let cutoff = if threads <= 1 {
+        usize::MAX
+    } else {
+        FB_SERIAL_CUTOFF.max(n / (4 * threads))
+    };
+    condense_with(offsets, targets, threads, cutoff)
+}
+
+/// Resolves a thread-count knob: `0` means all available cores.
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        rayon::current_num_threads()
+    } else {
+        threads
+    }
+    .max(1)
+}
+
+/// [`condense`] with an explicit FB→Tarjan slice cutoff. The cutoff is
+/// a pure scheduling knob — every value yields the same output — but
+/// the differential suite (`tests/scc.rs`) pins that claim by forcing
+/// `0` (pure Forward–Backward, no slice-local Tarjan) on graphs far
+/// below the production [`FB_SERIAL_CUTOFF`].
+#[doc(hidden)]
+pub fn condense_with(
+    offsets: &[usize],
+    targets: &[u32],
+    threads: usize,
+    serial_cutoff: usize,
+) -> Vec<u32> {
+    let n = offsets
+        .len()
+        .checked_sub(1)
+        .expect("offsets holds n + 1 entries");
+    assert_eq!(offsets[n], targets.len(), "offsets must cover targets");
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = resolve_threads(threads);
+    let (rev_offsets, rev_targets) = reverse_csr(n, offsets, targets);
+    let comp: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNASSIGNED)).collect();
+    let next_comp = AtomicU32::new(0);
+    trim(
+        offsets,
+        targets,
+        &rev_offsets,
+        &rev_targets,
+        &comp,
+        &next_comp,
+        threads,
+    );
+    forward_backward(
+        offsets,
+        targets,
+        &rev_offsets,
+        &rev_targets,
+        &comp,
+        &next_comp,
+        threads,
+        serial_cutoff,
+    );
+    let mut raw: Vec<u32> = comp.into_iter().map(AtomicU32::into_inner).collect();
+    canonicalize(&mut raw, next_comp.into_inner());
+    raw
+}
+
+/// Serial iterative Tarjan over the same CSR arrays, in the same
+/// canonical numbering as [`condense`] — the trusted oracle of the
+/// differential suite (`tests/scc.rs`) and the `SccBackend::Tarjan`
+/// reference path of the verifier. Never materializes the reverse graph.
+#[doc(hidden)]
+pub fn tarjan(offsets: &[usize], targets: &[u32]) -> Vec<u32> {
+    let n = offsets
+        .len()
+        .checked_sub(1)
+        .expect("offsets holds n + 1 entries");
+    assert_eq!(offsets[n], targets.len(), "offsets must cover targets");
+    let mut comp = vec![UNASSIGNED; n];
+    // Discovery indices, offset by one so 0 means "unvisited".
+    let mut order = vec![0u32; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut call: Vec<(u32, usize)> = Vec::new();
+    let mut next_order: u32 = 1;
+    let mut comp_count: u32 = 0;
+    for root in 0..n {
+        if order[root] != 0 {
+            continue;
+        }
+        order[root] = next_order;
+        low[root] = next_order;
+        next_order += 1;
+        stack.push(root as u32);
+        on_stack[root] = true;
+        call.push((root as u32, offsets[root]));
+        while let Some(&mut (v, ref mut cursor)) = call.last_mut() {
+            let vu = v as usize;
+            if *cursor < offsets[vu + 1] {
+                let w = targets[*cursor] as usize;
+                *cursor += 1;
+                if order[w] == 0 {
+                    order[w] = next_order;
+                    low[w] = next_order;
+                    next_order += 1;
+                    stack.push(w as u32);
+                    on_stack[w] = true;
+                    call.push((w as u32, offsets[w]));
+                } else if on_stack[w] {
+                    low[vu] = low[vu].min(order[w]);
+                }
+            } else {
+                if low[vu] == order[vu] {
+                    loop {
+                        let w = stack.pop().expect("Tarjan stack holds v");
+                        on_stack[w as usize] = false;
+                        comp[w as usize] = comp_count;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp_count += 1;
+                }
+                call.pop();
+                if let Some(&mut (parent, _)) = call.last_mut() {
+                    let pu = parent as usize;
+                    low[pu] = low[pu].min(low[vu]);
+                }
+            }
+        }
+    }
+    canonicalize(&mut comp, comp_count);
+    comp
+}
+
+/// Renumbers raw component ids (each `< raw_count`) into the canonical
+/// numbering: components in increasing order of their minimum state id.
+fn canonicalize(comp: &mut [u32], raw_count: u32) {
+    let mut remap = vec![UNASSIGNED; raw_count as usize];
+    let mut next = 0u32;
+    for c in comp.iter_mut() {
+        debug_assert!(*c < raw_count, "every state is assigned");
+        let slot = &mut remap[*c as usize];
+        if *slot == UNASSIGNED {
+            *slot = next;
+            next += 1;
+        }
+        *c = *slot;
+    }
+}
+
+/// Builds the reverse CSR (`rev_offsets`/`rev_targets`) in two serial
+/// O(|E|) passes — memory-bound and a small fraction of the traversal
+/// work, so it is not worth a deterministic parallel scatter.
+fn reverse_csr(n: usize, offsets: &[usize], targets: &[u32]) -> (Vec<usize>, Vec<u32>) {
+    let mut rev_offsets = vec![0usize; n + 1];
+    for &t in targets {
+        rev_offsets[t as usize + 1] += 1;
+    }
+    for i in 0..n {
+        rev_offsets[i + 1] += rev_offsets[i];
+    }
+    let mut cursor = rev_offsets[..n].to_vec();
+    let mut rev_targets = vec![0u32; targets.len()];
+    for u in 0..n {
+        for &v in &targets[offsets[u]..offsets[u + 1]] {
+            rev_targets[cursor[v as usize]] = u as u32;
+            cursor[v as usize] += 1;
+        }
+    }
+    (rev_offsets, rev_targets)
+}
+
+/// Tries to claim `v` as a freshly peeled trivial SCC; returns whether
+/// this caller won. Claiming is a two-step compare-exchange (`UNASSIGNED
+/// → CLAIMED → id`) so component ids stay contiguous — both of a state's
+/// degree counters can hit zero concurrently, and exactly one worker may
+/// own the state.
+fn try_claim(comp: &AtomicU32, next_comp: &AtomicU32) -> bool {
+    if comp
+        .compare_exchange(UNASSIGNED, CLAIMED, Ordering::Relaxed, Ordering::Relaxed)
+        .is_ok()
+    {
+        comp.store(next_comp.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+        true
+    } else {
+        false
+    }
+}
+
+/// The trim pass: repeatedly peels every state whose live in-degree or
+/// out-degree is zero (no such state lies on a cycle, so each is its own
+/// trivial SCC), decrementing the live degrees of its neighbors and
+/// peeling in waves until the frontier empties. Waves run in parallel
+/// over `threads` workers; exhaustive peeling is confluent — the peeled
+/// set is the complement of the unique maximal subgraph with all live
+/// degrees ≥ 1 — so scheduling never changes the outcome.
+fn trim(
+    offsets: &[usize],
+    targets: &[u32],
+    rev_offsets: &[usize],
+    rev_targets: &[u32],
+    comp: &[AtomicU32],
+    next_comp: &AtomicU32,
+    threads: usize,
+) {
+    let n = comp.len();
+    let outdeg: Vec<AtomicU32> = (0..n)
+        .map(|u| AtomicU32::new((offsets[u + 1] - offsets[u]) as u32))
+        .collect();
+    let indeg: Vec<AtomicU32> = (0..n)
+        .map(|u| AtomicU32::new((rev_offsets[u + 1] - rev_offsets[u]) as u32))
+        .collect();
+    let mut frontier: Vec<u32> = (0..n)
+        .filter(|&u| {
+            (indeg[u].load(Ordering::Relaxed) == 0 || outdeg[u].load(Ordering::Relaxed) == 0)
+                && try_claim(&comp[u], next_comp)
+        })
+        .map(|u| u as u32)
+        .collect();
+    // Peels one state: removing it decrements the live in-degree of its
+    // successors and the live out-degree of its predecessors; a counter
+    // hitting zero peels that neighbor too (into the worker-local next
+    // wave). Counters of already-claimed states may keep decrementing
+    // harmlessly — a claim happens at most once per state.
+    let peel = |u: u32, next: &mut Vec<u32>| {
+        let u = u as usize;
+        for &v in &targets[offsets[u]..offsets[u + 1]] {
+            if indeg[v as usize].fetch_sub(1, Ordering::Relaxed) == 1
+                && try_claim(&comp[v as usize], next_comp)
+            {
+                next.push(v);
+            }
+        }
+        for &w in &rev_targets[rev_offsets[u]..rev_offsets[u + 1]] {
+            if outdeg[w as usize].fetch_sub(1, Ordering::Relaxed) == 1
+                && try_claim(&comp[w as usize], next_comp)
+            {
+                next.push(w);
+            }
+        }
+    };
+    while !frontier.is_empty() {
+        if threads <= 1 || frontier.len() < PARALLEL_MIN_FRONTIER {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                peel(u, &mut next);
+            }
+            frontier = next;
+        } else {
+            let chunk = frontier.len().div_ceil(threads);
+            let mut next = Vec::new();
+            rayon::scope(|scope| {
+                let workers: Vec<_> = frontier
+                    .chunks(chunk)
+                    .map(|slice| {
+                        let peel = &peel;
+                        scope.spawn(move || {
+                            let mut local = Vec::new();
+                            for &u in slice {
+                                peel(u, &mut local);
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                for w in workers {
+                    next.extend(w.join().expect("trim worker panicked"));
+                }
+            });
+            frontier = next;
+        }
+    }
+}
+
+/// Iterative Tarjan restricted to one FB slice: states are the ascending
+/// `members`, edges are the global CSR edges whose targets still carry
+/// this slice's id. `local_idx` maps a member's global id to its
+/// position in `members` — a shared array, but each live slice owns its
+/// states exclusively, so filling it here never races. Raw component
+/// ids come from the shared counter; the final canonical renumbering
+/// makes the result indistinguishable from settling the slice by more
+/// FB rounds.
+#[allow(clippy::too_many_arguments)]
+fn tarjan_slice(
+    offsets: &[usize],
+    targets: &[u32],
+    slice_of: &[AtomicU32],
+    local_idx: &[AtomicU32],
+    sid: u32,
+    members: &[u32],
+    comp: &[AtomicU32],
+    next_comp: &AtomicU32,
+) {
+    let m = members.len();
+    for (i, &v) in members.iter().enumerate() {
+        local_idx[v as usize].store(i as u32, Ordering::Relaxed);
+    }
+    let local = |v: u32| -> usize { local_idx[v as usize].load(Ordering::Relaxed) as usize };
+    // Discovery indices, offset by one so 0 means "unvisited".
+    let mut order = vec![0u32; m];
+    let mut low = vec![0u32; m];
+    let mut on_stack = vec![false; m];
+    let mut stack: Vec<u32> = Vec::new();
+    // Call frames: (local id, cursor into the *global* edge range).
+    let mut call: Vec<(u32, usize)> = Vec::new();
+    let mut next_order: u32 = 1;
+    for root in 0..m {
+        if order[root] != 0 {
+            continue;
+        }
+        order[root] = next_order;
+        low[root] = next_order;
+        next_order += 1;
+        stack.push(root as u32);
+        on_stack[root] = true;
+        call.push((root as u32, offsets[members[root] as usize]));
+        while let Some(&mut (v, ref mut cursor)) = call.last_mut() {
+            let vl = v as usize;
+            let vg = members[vl] as usize;
+            if *cursor < offsets[vg + 1] {
+                let wg = targets[*cursor];
+                *cursor += 1;
+                if slice_of[wg as usize].load(Ordering::Relaxed) != sid {
+                    continue; // edge leaves the slice
+                }
+                let w = local(wg);
+                if order[w] == 0 {
+                    order[w] = next_order;
+                    low[w] = next_order;
+                    next_order += 1;
+                    stack.push(w as u32);
+                    on_stack[w] = true;
+                    call.push((w as u32, offsets[wg as usize]));
+                } else if on_stack[w] {
+                    low[vl] = low[vl].min(order[w]);
+                }
+            } else {
+                if low[vl] == order[vl] {
+                    let comp_id = next_comp.fetch_add(1, Ordering::Relaxed);
+                    loop {
+                        let w = stack.pop().expect("Tarjan stack holds v");
+                        on_stack[w as usize] = false;
+                        comp[members[w as usize] as usize].store(comp_id, Ordering::Relaxed);
+                        if w == v {
+                            break;
+                        }
+                    }
+                }
+                call.pop();
+                if let Some(&mut (parent, _)) = call.last_mut() {
+                    let pl = parent as usize;
+                    low[pl] = low[pl].min(low[vl]);
+                }
+            }
+        }
+    }
+}
+
+/// The Forward–Backward decomposition of everything the trim pass left
+/// unassigned. Tasks (slices of states) sit on a shared work queue;
+/// every task picks its **minimum state id** as pivot, marks the
+/// pivot's forward- and backward-reachable sets within the slice, emits
+/// the intersection as one SCC, and requeues the three difference
+/// sub-slices. Each state belongs to exactly one live slice
+/// (`slice_of`), so marks and component stores never race.
+#[allow(clippy::too_many_arguments)]
+fn forward_backward(
+    offsets: &[usize],
+    targets: &[u32],
+    rev_offsets: &[usize],
+    rev_targets: &[u32],
+    comp: &[AtomicU32],
+    next_comp: &AtomicU32,
+    threads: usize,
+    serial_cutoff: usize,
+) {
+    let n = comp.len();
+    let live: Vec<u32> = (0..n as u32)
+        .filter(|&u| comp[u as usize].load(Ordering::Relaxed) == UNASSIGNED)
+        .collect();
+    if live.is_empty() {
+        return;
+    }
+    let slice_of: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    for &u in &live {
+        slice_of[u as usize].store(1, Ordering::Relaxed);
+    }
+    let mark: Vec<AtomicU8> = (0..n).map(|_| AtomicU8::new(0)).collect();
+    // Member-position scratch for the slice-local Tarjan passes; slices
+    // are disjoint, so tasks only ever touch their own entries.
+    let local_idx: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    let queue: Mutex<Vec<FbTask>> = Mutex::new(vec![FbTask {
+        sid: 1,
+        members: live,
+    }]);
+    let pending = AtomicUsize::new(1);
+    let next_slice = AtomicU32::new(2);
+
+    // Marks the `bit`-reachable set of `pivot` within slice `sid`,
+    // walking `offsets`/`targets` (forward) or the reverse arrays. The
+    // mark bytes are shared across tasks but each task owns its slice's
+    // states exclusively, so plain load + store (no read-modify-write
+    // cycles on the hot edge loop) is race-free.
+    let reach = |off: &[usize], tgt: &[u32], sid: u32, pivot: u32, bit: u8| {
+        let mut stack = vec![pivot];
+        let p = mark[pivot as usize].load(Ordering::Relaxed);
+        mark[pivot as usize].store(p | bit, Ordering::Relaxed);
+        while let Some(v) = stack.pop() {
+            let v = v as usize;
+            for &w in &tgt[off[v]..off[v + 1]] {
+                let wu = w as usize;
+                if slice_of[wu].load(Ordering::Relaxed) != sid {
+                    continue;
+                }
+                let m = mark[wu].load(Ordering::Relaxed);
+                if m & bit == 0 {
+                    mark[wu].store(m | bit, Ordering::Relaxed);
+                    stack.push(w);
+                }
+            }
+        }
+    };
+    let worker = || loop {
+        let task = queue.lock().expect("FB queue").pop();
+        let Some(FbTask { sid, members }) = task else {
+            if pending.load(Ordering::Relaxed) == 0 {
+                break;
+            }
+            std::thread::yield_now();
+            continue;
+        };
+        // Small slices finish with slice-local Tarjan instead of more FB
+        // rounds: a chain of small SCCs would otherwise requeue its
+        // "rest" slice once per component (quadratic in the chain
+        // length), while one serial pass settles the whole slice in
+        // O(slice). Different workers still take different slices, so
+        // the cutoff costs no parallelism at scale — and the partition
+        // is the same either way, so (with canonical renumbering) the
+        // output stays bit-identical.
+        if members.len() <= serial_cutoff.max(1) {
+            tarjan_slice(
+                offsets, targets, &slice_of, &local_idx, sid, &members, comp, next_comp,
+            );
+            pending.fetch_sub(1, Ordering::Relaxed);
+            continue;
+        }
+        let comp_id = next_comp.fetch_add(1, Ordering::Relaxed);
+        // Members are ascending, so members[0] is the deterministic
+        // minimum-id pivot (the rule the cross-thread contract rests on).
+        let pivot = members[0];
+        reach(offsets, targets, sid, pivot, F);
+        reach(rev_offsets, rev_targets, sid, pivot, B);
+        let mut fwd: Vec<u32> = Vec::new();
+        let mut bwd: Vec<u32> = Vec::new();
+        let mut rest: Vec<u32> = Vec::new();
+        for &v in &members {
+            let vu = v as usize;
+            match mark[vu].load(Ordering::Relaxed) & (F | B) {
+                m if m == F | B => comp[vu].store(comp_id, Ordering::Relaxed),
+                m if m == F => fwd.push(v),
+                m if m == B => bwd.push(v),
+                _ => rest.push(v),
+            }
+        }
+        for sub in [fwd, bwd, rest] {
+            if sub.is_empty() {
+                continue;
+            }
+            let nsid = next_slice.fetch_add(1, Ordering::Relaxed);
+            for &v in &sub {
+                slice_of[v as usize].store(nsid, Ordering::Relaxed);
+                mark[v as usize].store(0, Ordering::Relaxed);
+            }
+            pending.fetch_add(1, Ordering::Relaxed);
+            queue.lock().expect("FB queue").push(FbTask {
+                sid: nsid,
+                members: sub,
+            });
+        }
+        pending.fetch_sub(1, Ordering::Relaxed);
+    };
+    if threads <= 1 {
+        worker();
+    } else {
+        rayon::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(worker);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// CSR arrays from an explicit edge list (n states).
+    fn csr(n: usize, edges: &[(u32, u32)]) -> (Vec<usize>, Vec<u32>) {
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, _) in edges {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets[..n].to_vec();
+        let mut targets = vec![0u32; edges.len()];
+        for &(u, v) in edges {
+            targets[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+        }
+        (offsets, targets)
+    }
+
+    fn all_agree(n: usize, edges: &[(u32, u32)]) -> Vec<u32> {
+        let (offsets, targets) = csr(n, edges);
+        let reference = tarjan(&offsets, &targets);
+        for threads in [1, 2, 4] {
+            assert_eq!(
+                condense(&offsets, &targets, threads),
+                reference,
+                "threads = {threads}"
+            );
+            // Cutoff 0 forces pure Forward–Backward (no slice-local
+            // Tarjan), which must settle on the same answer.
+            assert_eq!(
+                condense_with(&offsets, &targets, threads, 0),
+                reference,
+                "pure FB, threads = {threads}"
+            );
+        }
+        reference
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        assert_eq!(condense(&[0], &[], 1), Vec::<u32>::new());
+        assert_eq!(tarjan(&[0], &[]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn isolated_states_are_singletons_in_id_order() {
+        let comp = all_agree(4, &[]);
+        assert_eq!(comp, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn self_loop_is_a_singleton_component() {
+        let comp = all_agree(3, &[(0, 1), (1, 1), (1, 2)]);
+        assert_eq!(comp, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn cycle_is_one_component() {
+        let comp = all_agree(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(comp, vec![0; 5]);
+    }
+
+    #[test]
+    fn two_cycles_bridged_are_two_components() {
+        let comp = all_agree(4, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]);
+        assert_eq!(comp, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn dag_numbering_is_identity() {
+        // Canonical numbering orders components by minimum state id, so a
+        // DAG of singletons numbers as the identity.
+        let comp = all_agree(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert_eq!(comp, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn trim_tail_into_cycle() {
+        // 0 → 1 → {2 ⇄ 3} → 4: ends trim away, the 2-cycle survives.
+        let comp = all_agree(5, &[(0, 1), (1, 2), (2, 3), (3, 2), (3, 4)]);
+        assert_eq!(comp, vec![0, 1, 2, 2, 3]);
+    }
+
+    #[test]
+    fn dag_of_cliques() {
+        // Two 3-cliques (strongly connected) joined by one-way edges.
+        let mut edges = Vec::new();
+        for a in 0..3u32 {
+            for b in 0..3u32 {
+                if a != b {
+                    edges.push((a, b));
+                    edges.push((a + 3, b + 3));
+                }
+            }
+        }
+        edges.push((2, 3));
+        edges.push((0, 4));
+        let comp = all_agree(6, &edges);
+        assert_eq!(comp, vec![0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        let (offsets, targets) = csr(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(condense(&offsets, &targets, 0), vec![0, 0, 0]);
+    }
+}

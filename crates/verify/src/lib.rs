@@ -21,13 +21,17 @@
 //! `u64` words (alphabet-index labels, narrow countdown fields), resolves
 //! states through a **sharded** fingerprint index with exact confirmation
 //! (`(shard, local)` ids packed into one `u64`), stores transitions in
-//! flat CSR arrays, and runs iterative Tarjan. Frontier expansion is
-//! parallel over [`Limits::threads`] workers and *deterministic*:
-//! verdicts, state numbering, and witnesses are bit-identical at every
-//! thread count — see the [`product`] module docs for the memory model
-//! and the determinism contract. Experiment E4 uses it to confirm
-//! Example 1's tightness, and bench `verify` plus the per-thread
-//! `verify_scaling` perf rows chart the blowup and the scaling.
+//! flat CSR arrays, and condenses them with the parallel trim +
+//! Forward–Backward SCC engine of `stateless_core::scc` (serial Tarjan
+//! is retained as the [`SccBackend::Tarjan`] reference). Frontier
+//! expansion, condensation, and the witness edge scan are parallel over
+//! [`Limits::threads`] workers and *deterministic*: verdicts, state
+//! numbering, and witnesses are bit-identical at every thread count —
+//! see the [`product`] module docs for the memory model and the
+//! determinism contract. Experiment E4 uses it to confirm Example 1's
+//! tightness, and bench `verify` plus the per-thread `verify_scaling`
+//! perf rows (including the isolated SCC phase) chart the blowup and
+//! the scaling.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,10 +39,12 @@
 pub mod product;
 pub mod stable;
 
+#[doc(hidden)]
+pub use product::{
+    product_graph_csr, verify_label_stabilization_naive, verify_output_stabilization_naive,
+};
 pub use product::{
     verify_label_stabilization, verify_label_stabilization_with_stats, verify_output_stabilization,
-    CycleWitness, ExploreStats, Limits, Verdict, VerifyError,
+    CycleWitness, ExploreStats, Limits, SccBackend, Verdict, VerifyError,
 };
-#[doc(hidden)]
-pub use product::{verify_label_stabilization_naive, verify_output_stabilization_naive};
 pub use stable::enumerate_stable_labelings;

@@ -26,9 +26,22 @@
 //!   `Vec<Vec<(usize, bool, u32)>>`. [`Limits::max_edges`] bounds them:
 //!   on dense activation sets edges outnumber states by orders of
 //!   magnitude, so the state cap alone does not bound memory.
-//! * **Tarjan SCC.** Components come from one iterative Tarjan pass over
-//!   the CSR arrays; the reverse graph Kosaraju needs is never
-//!   materialized.
+//! * **Parallel SCC.** Components come from [`stateless_core::scc`]: a
+//!   parallel **trim** pass (repeatedly peel states of live in/out-degree
+//!   0 — each is a trivial SCC and no cycle member is ever peeled)
+//!   followed by **Forward–Backward** decomposition of the remainder
+//!   (pivot → forward set ∩ backward set = one SCC; the three difference
+//!   slices recurse as parallel tasks), both over the same CSR arrays,
+//!   on [`Limits::threads`] workers. Every FB task pivots on the
+//!   **minimum dense state id** of its slice and both backends return
+//!   the canonical numbering (components ordered by minimum member id),
+//!   so component ids — and hence verdicts and witnesses — are
+//!   bit-identical across thread counts and across backends. The serial
+//!   iterative Tarjan that shipped through PR 4 is retained as
+//!   [`SccBackend::Tarjan`] (backed by the `#[doc(hidden)]`
+//!   `stateless_core::scc::tarjan`), a `_naive`-style reference for the
+//!   differential suite (`tests/scc.rs`, `tests/differential.rs`) — use
+//!   the default [`SccBackend::ForwardBackward`] everywhere else.
 //!
 //! # Parallel exploration and determinism
 //!
@@ -84,6 +97,7 @@ use stateless_core::intern::{
 };
 use stateless_core::label::Label;
 use stateless_core::prelude::*;
+use stateless_core::scc;
 
 /// Exploration limits and parallelism.
 #[derive(Debug, Clone, Copy)]
@@ -96,10 +110,33 @@ pub struct Limits {
     /// activation sets, ~30× the state bytes in practice), so the state
     /// cap alone does not bound memory.
     pub max_edges: usize,
-    /// Worker threads for frontier expansion; `0` means all available
-    /// cores. Verdicts, state ids, and witnesses are bit-identical for
-    /// every value — the thread count is purely a throughput knob.
+    /// Worker threads for frontier expansion, SCC condensation, and the
+    /// interesting-edge scan; `0` means all available cores. Verdicts,
+    /// state ids, and witnesses are bit-identical for every value — the
+    /// thread count is purely a throughput knob.
     pub threads: usize,
+    /// Which SCC engine condenses the product graph. Keep the default
+    /// [`SccBackend::ForwardBackward`]; the Tarjan variant exists for
+    /// differential testing and as a low-memory fallback.
+    pub scc: SccBackend,
+}
+
+/// The SCC engine used on the explored product graph. Both backends
+/// produce the canonical component numbering (components ordered by
+/// their minimum dense state id), so verdicts, witnesses, and stats are
+/// bit-identical whichever is selected — the differential suite
+/// (`tests/scc.rs`, `tests/differential.rs`) asserts exactly that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SccBackend {
+    /// Parallel trim + Forward–Backward decomposition on
+    /// [`Limits::threads`] workers ([`stateless_core::scc::condense`]).
+    #[default]
+    ForwardBackward,
+    /// Serial iterative Tarjan — the PR 3/4 implementation, kept as the
+    /// reference for differential tests; it never materializes the
+    /// reverse CSR, so it is also the fallback when memory is tighter
+    /// than wall time.
+    Tarjan,
 }
 
 impl Default for Limits {
@@ -113,6 +150,7 @@ impl Default for Limits {
             max_states: 16_000_000,
             max_edges: 1 << 28,
             threads: 0,
+            scc: SccBackend::ForwardBackward,
         }
     }
 }
@@ -237,6 +275,11 @@ const SEED_BATCH_STATES: usize = 1 << 20;
 /// pipeline's results are deterministic by construction, so execution
 /// strategy never affects verdicts, ids, or witnesses.
 const PARALLEL_MIN_BATCH_EDGES: u64 = 1 << 16;
+/// States per chunk of the parallel interesting-edge scan. A fixed
+/// constant for the same reason as the budgets above: the scan returns
+/// the first hit of the earliest chunk, so chunk boundaries must not
+/// depend on the thread count.
+const SCAN_CHUNK_STATES: usize = 1 << 14;
 
 /// Read-only exploration parameters, shared by every worker.
 struct Config<'p, L: Label> {
@@ -856,66 +899,18 @@ impl<'p, L: Label> Explorer<'p, L> {
         targets
     }
 
-    /// Iterative Tarjan SCC over the CSR arrays; returns the component id
-    /// per state. Unlike Kosaraju, no reverse graph is materialized — the
-    /// auxiliary state is four flat per-state arrays plus two stacks.
-    fn sccs(&self) -> Vec<u32> {
-        let n = self.n_states;
-        let mut comp = vec![u32::MAX; n];
-        // Discovery indices, offset by one so 0 means "unvisited".
-        let mut order = vec![0u32; n];
-        let mut low = vec![0u32; n];
-        let mut on_stack = vec![false; n];
-        let mut stack: Vec<u32> = Vec::new();
-        let mut call: Vec<(u32, usize)> = Vec::new();
-        let mut next_order: u32 = 1;
-        let mut comp_count: u32 = 0;
-        for root in 0..n {
-            if order[root] != 0 {
-                continue;
+    /// Condenses the explored product graph: the parallel trim +
+    /// Forward–Backward engine of [`stateless_core::scc`] on
+    /// [`Limits::threads`] workers, or the serial Tarjan reference —
+    /// both in the canonical numbering, so the choice (and the thread
+    /// count) never changes a verdict or a witness.
+    fn sccs(&self, backend: SccBackend) -> Vec<u32> {
+        match backend {
+            SccBackend::ForwardBackward => {
+                scc::condense(&self.edge_offsets, &self.edge_targets, self.cfg.threads)
             }
-            order[root] = next_order;
-            low[root] = next_order;
-            next_order += 1;
-            stack.push(root as u32);
-            on_stack[root] = true;
-            call.push((root as u32, self.edge_offsets[root]));
-            while let Some(&mut (v, ref mut cursor)) = call.last_mut() {
-                let vu = v as usize;
-                if *cursor < self.edge_offsets[vu + 1] {
-                    let w = self.edge_targets[*cursor] as usize;
-                    *cursor += 1;
-                    if order[w] == 0 {
-                        order[w] = next_order;
-                        low[w] = next_order;
-                        next_order += 1;
-                        stack.push(w as u32);
-                        on_stack[w] = true;
-                        call.push((w as u32, self.edge_offsets[w]));
-                    } else if on_stack[w] {
-                        low[vu] = low[vu].min(order[w]);
-                    }
-                } else {
-                    if low[vu] == order[vu] {
-                        loop {
-                            let w = stack.pop().expect("Tarjan stack holds v");
-                            on_stack[w as usize] = false;
-                            comp[w as usize] = comp_count;
-                            if w == v {
-                                break;
-                            }
-                        }
-                        comp_count += 1;
-                    }
-                    call.pop();
-                    if let Some(&mut (parent, _)) = call.last_mut() {
-                        let pu = parent as usize;
-                        low[pu] = low[pu].min(low[vu]);
-                    }
-                }
-            }
+            SccBackend::Tarjan => scc::tarjan(&self.edge_offsets, &self.edge_targets),
         }
-        comp
     }
 
     /// Finds a cycle through an "interesting" intra-SCC edge, as a
@@ -970,22 +965,41 @@ impl<'p, L: Label> Explorer<'p, L> {
         })
     }
 
-    /// Scans the CSR arrays for the first labeling/output-changing edge
-    /// whose endpoints share a component.
+    /// Finds the first (in CSR edge order) labeling/output-changing edge
+    /// whose endpoints share a component. The scan is chunked over fixed
+    /// state ranges and the chunks run on [`Limits::threads`] workers;
+    /// taking the earliest non-empty chunk reproduces the serial scan's
+    /// answer exactly (chunk boundaries are constants, never derived
+    /// from the thread count), and a shared low-water mark lets workers
+    /// skip chunks that can no longer win.
     fn first_interesting_intra_scc_edge(&self, comp: &[u32]) -> Option<(usize, usize, u32)> {
-        for u in 0..self.n_states {
-            for c in self.edge_offsets[u]..self.edge_offsets[u + 1] {
-                let meta = self.edge_meta[c];
-                if meta & META_INTERESTING == 0 {
-                    continue;
-                }
-                let v = self.edge_targets[c] as usize;
-                if comp[u] == comp[v] {
-                    return Some((u, v, meta & 0xFFFF));
+        let chunks = self.n_states.div_ceil(SCAN_CHUNK_STATES);
+        let best = AtomicUsize::new(usize::MAX);
+        let scan = |c: usize| -> Option<(usize, usize, u32)> {
+            if c > best.load(Ordering::Relaxed) {
+                return None;
+            }
+            let start = c * SCAN_CHUNK_STATES;
+            let end = (start + SCAN_CHUNK_STATES).min(self.n_states);
+            for u in start..end {
+                for k in self.edge_offsets[u]..self.edge_offsets[u + 1] {
+                    let meta = self.edge_meta[k];
+                    if meta & META_INTERESTING == 0 {
+                        continue;
+                    }
+                    let v = self.edge_targets[k] as usize;
+                    if comp[u] == comp[v] {
+                        best.fetch_min(c, Ordering::Relaxed);
+                        return Some((u, v, meta & 0xFFFF));
+                    }
                 }
             }
-        }
-        None
+            None
+        };
+        run_indexed(self.cfg.threads.min(chunks), chunks, scan)
+            .into_iter()
+            .flatten()
+            .next()
     }
 
     /// Decodes state `u`'s labeling from its shard arena.
@@ -1052,12 +1066,32 @@ pub fn verify_label_stabilization_with_stats<L: Label>(
     limits: Limits,
 ) -> Result<(Verdict<L>, ExploreStats), VerifyError> {
     let ex = Explorer::explore(protocol, inputs, alphabet, r, false, limits)?;
-    let comp = ex.sccs();
+    let comp = ex.sccs(limits.scc);
     let verdict = match ex.witness(&comp) {
         Some(w) => Verdict::NotStabilizing(w),
         None => Verdict::Stabilizing,
     };
     Ok((verdict, ex.stats()))
+}
+
+/// Explores the product graph of a **label**-stabilization query and
+/// returns its CSR adjacency (`edge_offsets`, `edge_targets`) without
+/// condensing it — the hook the `verify_scaling` perf rows use to time
+/// the SCC phase in isolation, per thread count, on the real graph.
+///
+/// # Errors
+///
+/// As for [`verify_label_stabilization`].
+#[doc(hidden)]
+pub fn product_graph_csr<L: Label>(
+    protocol: &Protocol<L>,
+    inputs: &[Input],
+    alphabet: &[L],
+    r: u8,
+    limits: Limits,
+) -> Result<(Vec<usize>, Vec<u32>), VerifyError> {
+    let ex = Explorer::explore(protocol, inputs, alphabet, r, false, limits)?;
+    Ok((ex.edge_offsets, ex.edge_targets))
 }
 
 /// Decides **output** r-stabilization (the weaker condition: outputs must
@@ -1075,7 +1109,7 @@ pub fn verify_output_stabilization<L: Label>(
     limits: Limits,
 ) -> Result<Verdict<L>, VerifyError> {
     let ex = Explorer::explore(protocol, inputs, alphabet, r, true, limits)?;
-    let comp = ex.sccs();
+    let comp = ex.sccs(limits.scc);
     match ex.witness(&comp) {
         Some(w) => Ok(Verdict::NotStabilizing(w)),
         None => Ok(Verdict::Stabilizing),
@@ -1572,6 +1606,42 @@ mod tests {
         let base = at(1);
         for threads in [2, 4, 7] {
             assert_eq!(base, at(threads), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn scc_backends_agree_on_verdicts_witnesses_and_stats() {
+        // The FB engine must be a drop-in for the Tarjan reference: same
+        // verdicts, same witnesses bit for bit, same stats — at any
+        // thread count (tests/differential.rs covers random protocols).
+        let rot = rotate_ring(4);
+        let constp = Protocol::builder(topology::clique(3), 1.0)
+            .uniform_reaction(ConstReaction::new(false, 0, 2))
+            .build()
+            .unwrap();
+        let run = |p: &Protocol<bool>, n: usize, scc: SccBackend, threads: usize| {
+            let limits = Limits {
+                scc,
+                threads,
+                ..Limits::default()
+            };
+            let inputs = vec![0; n];
+            let label =
+                verify_label_stabilization_with_stats(p, &inputs, &[false, true], 3, limits)
+                    .unwrap();
+            let output =
+                verify_output_stabilization(p, &inputs, &[false, true], 3, limits).unwrap();
+            (label, output)
+        };
+        for (p, n) in [(&rot, 4), (&constp, 3)] {
+            let reference = run(p, n, SccBackend::Tarjan, 1);
+            for threads in [1, 2, 4] {
+                assert_eq!(
+                    reference,
+                    run(p, n, SccBackend::ForwardBackward, threads),
+                    "threads = {threads}"
+                );
+            }
         }
     }
 

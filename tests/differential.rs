@@ -22,8 +22,26 @@ use stateless_computation::core::prelude::*;
 use stateless_computation::verify::{
     verify_label_stabilization, verify_label_stabilization_naive,
     verify_label_stabilization_with_stats, verify_output_stabilization,
-    verify_output_stabilization_naive, CycleWitness, Limits, Verdict,
+    verify_output_stabilization_naive, CycleWitness, Limits, SccBackend, Verdict, VerifyError,
 };
+
+/// Thread counts the cross-thread/cross-backend assertions run at: `2`
+/// and `4` always, plus `STATELESS_TEST_THREADS=N` (set by the CI
+/// multi-worker job) so the determinism suite provably exercises more
+/// than one worker where cores exist.
+fn test_threads() -> Vec<usize> {
+    let mut counts = vec![2, 4];
+    if let Some(n) = std::env::var("STATELESS_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        if !counts.contains(&n) {
+            counts.push(n);
+        }
+    }
+    counts
+}
 
 /// A pseudo-random but fully deterministic reaction body: mixes the node
 /// id, the incoming labels, and the input into one word, then derives a
@@ -440,11 +458,81 @@ proptest! {
             (label, output)
         };
         let sequential = at(1);
-        for threads in [2usize, 4] {
+        for threads in test_threads() {
             let parallel = at(threads);
             prop_assert_eq!(&sequential.0 .0, &parallel.0 .0, "label verdict+witness, {} threads", threads);
             prop_assert_eq!(sequential.0 .1, parallel.0 .1, "explore stats, {} threads", threads);
             prop_assert_eq!(&sequential.1, &parallel.1, "output verdict+witness, {} threads", threads);
+        }
+    }
+
+    /// The parallel trim+Forward–Backward SCC engine is a **drop-in** for
+    /// the serial Tarjan reference end to end: on random protocols,
+    /// topologies, and fairness bounds, both backends produce identical
+    /// verdicts, bit-identical witnesses, and identical [`Limits`]-level
+    /// stats — at one worker and at every multi-worker count — and every
+    /// witness replays as a real oscillation via `Scripted::cycle`.
+    #[test]
+    fn verifier_identical_across_scc_backends(seed in 0u64..10_000, kind in 0usize..4, q in 2u64..4, r in 1u8..4) {
+        let graph = verify_topology_of(kind);
+        let n = graph.node_count();
+        let q = if graph.edge_count() > 4 { 2 } else { q };
+        let (_, p) = protocol_pair(&graph, q);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5cc_d1ff);
+        let inputs: Vec<u64> = (0..n).map(|_| rng.random_range(0u64..3)).collect();
+        let alphabet: Vec<u64> = (0..q).collect();
+        let at = |scc: SccBackend, threads: usize| {
+            let limits = Limits { max_states: 500_000, threads, scc, ..Limits::default() };
+            let label = verify_label_stabilization_with_stats(&p, &inputs, &alphabet, r, limits)
+                .unwrap();
+            let output = verify_output_stabilization(&p, &inputs, &alphabet, r, limits).unwrap();
+            (label, output)
+        };
+        let reference = at(SccBackend::Tarjan, 1);
+        let mut runs = vec![(1usize, at(SccBackend::ForwardBackward, 1))];
+        for threads in test_threads() {
+            runs.push((threads, at(SccBackend::ForwardBackward, threads)));
+        }
+        for (threads, fb) in &runs {
+            prop_assert_eq!(&reference.0 .0, &fb.0 .0, "label verdict+witness, {} threads", threads);
+            prop_assert_eq!(reference.0 .1, fb.0 .1, "explore stats, {} threads", threads);
+            prop_assert_eq!(&reference.1, &fb.1, "output verdict+witness, {} threads", threads);
+        }
+        if let Verdict::NotStabilizing(w) = &reference.0 .0 {
+            let (labels_changed, _, closed) = replay_witness(&p, &inputs, w);
+            prop_assert!(labels_changed, "label witness must change labels");
+            prop_assert!(closed, "label witness must close its cycle");
+        }
+        if let Verdict::NotStabilizing(w) = &reference.1 {
+            let (_, outputs_changed, closed) = replay_witness(&p, &inputs, w);
+            prop_assert!(outputs_changed, "output witness must change outputs");
+            prop_assert!(closed, "output witness must close its cycle");
+        }
+    }
+
+    /// A dense activation-set workload (a clique protocol where no node
+    /// is deadline-forced initially, so every state fans out into
+    /// `2^n − 1` activation edges) that exceeds [`Limits::max_edges`]
+    /// must surface as [`VerifyError::TooManyEdges`] — never a panic or
+    /// an OOM grind — under **both** SCC backends and at one and several
+    /// workers. (The cap trips during exploration, before any SCC runs;
+    /// asserting it per backend guards the error path staying shared.)
+    #[test]
+    fn edge_cap_trips_cleanly_on_dense_activation_sets(r in 2u8..4, max_edges in 16usize..200) {
+        let graph = topology::clique(4);
+        let (_, p) = protocol_pair(&graph, 2);
+        let inputs = vec![0u64; 4];
+        for scc in [SccBackend::ForwardBackward, SccBackend::Tarjan] {
+            for threads in [1usize, 4] {
+                let limits = Limits { max_edges, threads, scc, ..Limits::default() };
+                let err = verify_label_stabilization(&p, &inputs, &[0, 1], r, limits)
+                    .unwrap_err();
+                prop_assert_eq!(
+                    err,
+                    VerifyError::TooManyEdges { limit: max_edges },
+                    "scc = {:?}, threads = {}", scc, threads
+                );
+            }
         }
     }
 

@@ -1,0 +1,195 @@
+//! Graph-oracle differential suite for `stateless_core::scc`: the
+//! parallel trim + Forward–Backward engine (`condense`) must produce the
+//! **same components in the same canonical numbering** as the serial
+//! iterative Tarjan oracle (`tarjan`), at every thread count, on random
+//! CSR digraphs from two generator families (Erdős–Rényi, including
+//! self-loops, and layered DAGs of cliques) plus fixed regression
+//! graphs. The verifier's cross-backend equivalence rides on exactly
+//! this equality (`tests/differential.rs`).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use stateless_computation::core::scc::{condense, condense_with, tarjan};
+
+/// Thread counts the determinism assertions run at. `1/2/4` always;
+/// `STATELESS_TEST_THREADS=N` (the CI multi-worker job) adds `N`, so the
+/// suite provably exercises more than one worker where cores exist.
+fn test_threads() -> Vec<usize> {
+    let mut counts = vec![1, 2, 4];
+    if let Some(n) = std::env::var("STATELESS_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        if !counts.contains(&n) {
+            counts.push(n);
+        }
+    }
+    counts
+}
+
+/// CSR arrays from an explicit edge list over `n` states.
+fn csr(n: usize, edges: &[(u32, u32)]) -> (Vec<usize>, Vec<u32>) {
+    let mut offsets = vec![0usize; n + 1];
+    for &(u, _) in edges {
+        offsets[u as usize + 1] += 1;
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut cursor = offsets[..n].to_vec();
+    let mut targets = vec![0u32; edges.len()];
+    for &(u, v) in edges {
+        targets[cursor[u as usize]] = v;
+        cursor[u as usize] += 1;
+    }
+    (offsets, targets)
+}
+
+/// Asserts `condense` ≡ `tarjan` — same components, same canonical
+/// numbering — at every test thread count, and returns the oracle's
+/// component vector for further shape assertions.
+fn assert_matches_oracle(n: usize, edges: &[(u32, u32)]) -> Vec<u32> {
+    let (offsets, targets) = csr(n, edges);
+    let oracle = tarjan(&offsets, &targets);
+    for threads in test_threads() {
+        assert_eq!(
+            condense(&offsets, &targets, threads),
+            oracle,
+            "condense diverged from the Tarjan oracle at {threads} threads \
+             (n = {n}, {} edges)",
+            edges.len()
+        );
+        // Cutoff 0 disables the slice-local Tarjan shortcut, so the pure
+        // trim + Forward–Backward path is oracle-tested even on graphs
+        // far below the production cutoff.
+        assert_eq!(
+            condense_with(&offsets, &targets, threads, 0),
+            oracle,
+            "pure FB diverged from the Tarjan oracle at {threads} threads \
+             (n = {n}, {} edges)",
+            edges.len()
+        );
+    }
+    oracle
+}
+
+/// Erdős–Rényi digraph on `n` states: every ordered pair — including
+/// self-loops, which the product graphs this module serves do contain —
+/// is an edge with probability `p`.
+fn erdos_renyi(rng: &mut StdRng, n: usize, p: f64) -> Vec<(u32, u32)> {
+    let mut edges = Vec::new();
+    for u in 0..n as u32 {
+        for v in 0..n as u32 {
+            if rng.random_bool(p) {
+                edges.push((u, v));
+            }
+        }
+    }
+    edges
+}
+
+/// Layered DAG of cliques: `layers` layers of bidirectional-clique
+/// blocks of `width` states (each block one SCC), with every
+/// consecutive-layer state pair connected forward with probability
+/// `0.5` — an adversarial shape for the trim pass (nothing trims) and
+/// for FB slicing (many same-size components).
+fn layered_cliques(rng: &mut StdRng, layers: usize, width: usize) -> (usize, Vec<(u32, u32)>) {
+    let n = layers * width;
+    let mut edges = Vec::new();
+    for l in 0..layers {
+        let base = (l * width) as u32;
+        for a in 0..width as u32 {
+            for b in 0..width as u32 {
+                if a != b {
+                    edges.push((base + a, base + b));
+                }
+            }
+        }
+        if l + 1 < layers {
+            for a in 0..width as u32 {
+                for b in 0..width as u32 {
+                    if rng.random_bool(0.5) {
+                        edges.push((base + a, base + width as u32 + b));
+                    }
+                }
+            }
+        }
+    }
+    (n, edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Erdős–Rényi graphs across the density spectrum — sparse graphs
+    /// exercise the trim pass, dense ones collapse into few giant SCCs.
+    #[test]
+    fn erdos_renyi_matches_tarjan(seed in 0u64..100_000, n in 1usize..40, permille in 5u64..250) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let edges = erdos_renyi(&mut rng, n, permille as f64 / 1000.0);
+        assert_matches_oracle(n, &edges);
+    }
+
+    /// Layered DAGs of cliques: the condensation must recover exactly
+    /// one component per clique block, numbered by layer.
+    #[test]
+    fn layered_cliques_match_tarjan(seed in 0u64..100_000, layers in 1usize..6, width in 1usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc11c);
+        let (n, edges) = layered_cliques(&mut rng, layers, width);
+        let comp = assert_matches_oracle(n, &edges);
+        // Each width-block is one SCC; canonical numbering orders the
+        // blocks by their first state, i.e. by layer.
+        let expected: Vec<u32> = (0..n).map(|u| (u / width) as u32).collect();
+        prop_assert_eq!(comp, expected);
+    }
+}
+
+#[test]
+fn empty_graph() {
+    assert_eq!(assert_matches_oracle(0, &[]), Vec::<u32>::new());
+}
+
+#[test]
+fn self_loops_are_kept_out_of_the_trim() {
+    // 0 →(loop) 0 → 1 → 2(loop): self-loops pin their states as real
+    // one-state SCCs; state 1 trims away as a trivial singleton. The
+    // partition is all-singletons either way — the point is that no
+    // path panics or misnumbers.
+    let comp = assert_matches_oracle(3, &[(0, 0), (0, 1), (1, 2), (2, 2)]);
+    assert_eq!(comp, vec![0, 1, 2]);
+}
+
+#[test]
+fn two_cycles() {
+    // Two disjoint 2-cycles plus a bridge: exactly two components.
+    let comp = assert_matches_oracle(4, &[(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)]);
+    assert_eq!(comp, vec![0, 0, 1, 1]);
+}
+
+#[test]
+fn single_giant_scc() {
+    // A 512-cycle with chords: one component containing every state.
+    let n = 512u32;
+    let mut edges: Vec<(u32, u32)> = (0..n).map(|u| (u, (u + 1) % n)).collect();
+    edges.extend((0..n).step_by(7).map(|u| (u, (u + n / 2) % n)));
+    let comp = assert_matches_oracle(n as usize, &edges);
+    assert!(comp.iter().all(|&c| c == 0), "one giant component");
+}
+
+#[test]
+fn max_id_isolated_state() {
+    // The highest state id has no edges at all; the rest form a cycle.
+    // Guards the offsets/degree bookkeeping at the array boundary.
+    let comp = assert_matches_oracle(5, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+    assert_eq!(comp, vec![0, 0, 0, 0, 1]);
+}
+
+#[test]
+fn pure_dag_numbering_is_the_identity() {
+    // On a DAG every state is its own component and the canonical
+    // numbering (by minimum member id) is the identity permutation.
+    let comp = assert_matches_oracle(6, &[(0, 2), (1, 2), (2, 3), (2, 4), (4, 5)]);
+    assert_eq!(comp, vec![0, 1, 2, 3, 4, 5]);
+}
