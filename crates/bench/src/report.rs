@@ -329,6 +329,124 @@ pub fn render_markdown(files: &[(String, Vec<BenchLine>)]) -> String {
     out
 }
 
+/// Collects the historical `bench-json-<sha>` artifacts under `dir` into
+/// labeled measurement columns for [`render_markdown`] — the
+/// multi-commit trend view. Accepts both artifact layouts: a loose
+/// `bench-json-<sha>` file (the raw line JSON) or a `bench-json-<sha>`
+/// directory wrapping it (how `actions/download-artifact` unpacks each
+/// artifact); any other entry is ignored. Columns are ordered oldest →
+/// newest by modification time (ties broken by name) and labeled with
+/// the `<sha>` suffix, so the rendered table reads left to right along
+/// history.
+pub fn collect_trend(dir: &std::path::Path) -> std::io::Result<Vec<(String, Vec<BenchLine>)>> {
+    let mut dated: Vec<(std::time::SystemTime, String, Vec<BenchLine>)> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        // Artifact directories keep their name verbatim; loose files drop
+        // the extension, so `bench-json-<sha>.jsonl` labels as `<sha>`.
+        let name = if path.is_dir() {
+            entry.file_name().to_string_lossy().into_owned()
+        } else {
+            path.file_stem()
+                .map_or_else(String::new, |s| s.to_string_lossy().into_owned())
+        };
+        let Some(sha) = name.strip_prefix("bench-json-") else {
+            continue;
+        };
+        let mut text = String::new();
+        if path.is_dir() {
+            // Concatenate the artifact directory's files (normally one).
+            let mut inner: Vec<std::path::PathBuf> = std::fs::read_dir(&path)?
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.is_file())
+                .collect();
+            inner.sort();
+            for p in inner {
+                text.push_str(&std::fs::read_to_string(p)?);
+                text.push('\n');
+            }
+        } else {
+            text = std::fs::read_to_string(&path)?;
+        }
+        let lines = parse_any(&text);
+        if lines.is_empty() {
+            continue;
+        }
+        let mtime = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+        dated.push((mtime, sha.to_owned(), lines));
+    }
+    dated.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+    Ok(dated
+        .into_iter()
+        .map(|(_, label, lines)| (label, lines))
+        .collect())
+}
+
+/// The verifier-memory figure of a perf summary: from the
+/// `verify_scaling` row with the largest `n` (and, among those, the
+/// highest thread count — rows of one `n` report identical sizes),
+/// `(n, (packed_arena_bytes + peak_edge_bytes) / states)` — resident
+/// state storage plus peak transient edge storage, per state. Summaries
+/// predating the edge-less verifier report the stored CSR under
+/// `csr_edge_bytes`; it is accepted as the edge figure so the gate can
+/// compare across that boundary.
+pub fn memory_per_state(text: &str) -> Option<(u64, f64)> {
+    let mut best: Option<(u64, f64)> = None;
+    for line in text.lines() {
+        if section_name(line) != Some("verify_scaling") {
+            continue;
+        }
+        for obj in objects_in(line) {
+            let num = |key: &str| number_field(obj, key);
+            let (Some(n), Some(states)) = (num("n"), num("states")) else {
+                continue;
+            };
+            if states <= 0.0 {
+                continue;
+            }
+            let arena = num("packed_arena_bytes").unwrap_or(0.0);
+            let Some(edge) = num("peak_edge_bytes").or_else(|| num("csr_edge_bytes")) else {
+                continue;
+            };
+            let candidate = (n as u64, (arena + edge) / states);
+            if best.is_none_or(|(bn, _)| candidate.0 >= bn) {
+                best = Some(candidate);
+            }
+        }
+    }
+    best
+}
+
+/// The memory-regression gate: fails (returns `Err` with the verdict
+/// line) when the current summary's largest-row
+/// [`memory_per_state`] exceeds `slack` × the baseline's — the
+/// state-linear budget the edge-less verifier must hold. Comparing
+/// bytes *per state* keeps the gate meaningful when the largest row's
+/// `n` grows (more states is the point; super-linear bytes per state is
+/// the regression).
+pub fn check_memory_gate(baseline: &str, current: &str, slack: f64) -> Result<String, String> {
+    let Some((bn, bb)) = memory_per_state(baseline) else {
+        return Err("memory gate: baseline has no verify_scaling memory figures".into());
+    };
+    let Some((cn, cb)) = memory_per_state(current) else {
+        return Err("memory gate: current has no verify_scaling memory figures".into());
+    };
+    let verdict = format!(
+        "memory gate: baseline n={bn} {bb:.1} B/state, current n={cn} {cb:.1} B/state, \
+         budget {slack:.2}x = {:.1} B/state",
+        bb * slack
+    );
+    if cb <= bb * slack {
+        Ok(verdict)
+    } else {
+        Err(verdict)
+    }
+}
+
 /// Renders a baseline/current pair as a markdown table with a trailing
 /// delta column: per-bench `current / baseline` median ratio (`< 1` is
 /// faster than the baseline, `—` when a bench exists on one side only).
@@ -489,6 +607,75 @@ mod tests {
         let adapted = parse_any(SUMMARY);
         assert!(!adapted.is_empty());
         assert!(adapted.iter().all(|l| l.bench.starts_with("perf/")));
+    }
+
+    #[test]
+    fn trend_collects_artifacts_in_age_then_name_order() {
+        let dir = std::env::temp_dir().join(format!(
+            "bench-trend-test-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        // A loose artifact file…
+        std::fs::write(
+            dir.join("bench-json-aaa1111"),
+            "{\"bench\":\"perf/engine/100/buffered\",\"median_ns_per_iter\":100.0}\n",
+        )
+        .unwrap();
+        // …an artifact directory wrapping its file (download-artifact
+        // layout)…
+        let wrapped = dir.join("bench-json-bbb2222");
+        std::fs::create_dir_all(&wrapped).unwrap();
+        std::fs::write(
+            wrapped.join("lines.jsonl"),
+            "{\"bench\":\"perf/engine/100/buffered\",\"median_ns_per_iter\":200.0}\n",
+        )
+        .unwrap();
+        // …and noise that must be ignored.
+        std::fs::write(dir.join("README.txt"), "not an artifact").unwrap();
+        std::fs::write(dir.join("bench-json-ccc3333"), "no parsable lines").unwrap();
+
+        let files = collect_trend(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        let labels: Vec<&str> = files.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels, vec!["aaa1111", "bbb2222"], "label set and order");
+        assert_eq!(files[0].1[0].median_ns, 100.0);
+        assert_eq!(files[1].1[0].median_ns, 200.0);
+        let table = render_markdown(&files);
+        assert!(
+            table.contains("| `perf/engine/100/buffered` | 100.0 ns | 200.0 ns |"),
+            "{table}"
+        );
+    }
+
+    /// Summaries for the memory gate: the largest-`n` row decides, and
+    /// legacy `csr_edge_bytes` is accepted where `peak_edge_bytes` is
+    /// missing.
+    const MEM_BASE: &str = "  \"verify_scaling\": [\
+        {\"n\":6,\"threads\":1,\"states\":100,\"packed_arena_bytes\":800,\"csr_edge_bytes\":3200}, \
+        {\"n\":8,\"threads\":1,\"states\":1000,\"packed_arena_bytes\":8000,\"csr_edge_bytes\":32000}]\n";
+    const MEM_GOOD: &str = "  \"verify_scaling\": [\
+        {\"n\":10,\"threads\":1,\"states\":10000,\"packed_arena_bytes\":80000,\"peak_edge_bytes\":100000}]\n";
+    const MEM_BAD: &str = "  \"verify_scaling\": [\
+        {\"n\":10,\"threads\":1,\"states\":10000,\"packed_arena_bytes\":80000,\"peak_edge_bytes\":500000}]\n";
+
+    #[test]
+    fn memory_gate_compares_largest_rows_per_state() {
+        // Baseline largest row: n=8, (8000 + 32000) / 1000 = 40 B/state.
+        assert_eq!(memory_per_state(MEM_BASE), Some((8, 40.0)));
+        // Current: n=10, (80000 + 100000) / 10000 = 18 B/state — holds
+        // the state-linear budget easily.
+        assert_eq!(memory_per_state(MEM_GOOD), Some((10, 18.0)));
+        assert!(check_memory_gate(MEM_BASE, MEM_GOOD, 1.25).is_ok());
+        // 58 B/state blows 40 × 1.25 = 50.
+        assert_eq!(memory_per_state(MEM_BAD), Some((10, 58.0)));
+        assert!(check_memory_gate(MEM_BASE, MEM_BAD, 1.25).is_err());
+        // No figures at all → gate errors out rather than passing.
+        assert!(check_memory_gate("{}", MEM_GOOD, 1.25).is_err());
     }
 
     #[test]

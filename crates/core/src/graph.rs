@@ -215,18 +215,23 @@ impl DiGraph {
     }
 
     /// Whether every node reaches every other node — i.e. the graph is
-    /// one strongly connected component ([`crate::scc::tarjan`] on the
-    /// CSR adjacency).
+    /// one strongly connected component ([`crate::scc::tarjan_oracle`]
+    /// over the adjacency lists directly; no CSR is materialized).
     pub fn is_strongly_connected(&self) -> bool {
         if self.node_count == 0 {
             return true;
         }
-        let (offsets, targets) = self.to_csr();
+        let oracle = crate::scc::from_fn(self.node_count, |u, out| {
+            out.clear();
+            out.extend(
+                self.out_edges[u as usize]
+                    .iter()
+                    .map(|&e| self.edges[e].1 as u32),
+            );
+        });
         // Canonical numbering: strongly connected ⇔ every component id
         // is the component of node 0, which numbers 0.
-        crate::scc::tarjan(&offsets, &targets)
-            .iter()
-            .all(|&c| c == 0)
+        crate::scc::tarjan_oracle(&oracle).iter().all(|&c| c == 0)
     }
 
     /// Eccentricity of `node`: the maximum BFS distance to any node.

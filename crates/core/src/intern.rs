@@ -157,6 +157,23 @@ impl FingerprintIndex {
             }
         }
     }
+
+    /// Read-only twin of [`probe`](FingerprintIndex::probe): looks up
+    /// `fp` and returns the confirmed-equal existing id, or `None`.
+    /// Never records anything — this is the lookup the edge-less
+    /// verifier's successor oracle uses on states that are guaranteed
+    /// to have been interned already, from shared read guards.
+    pub fn find(&self, fp: u64, confirm: impl Fn(u64) -> bool) -> Option<u64> {
+        let &first = self.seen.get(&fp)?;
+        if confirm(first) {
+            return Some(first);
+        }
+        self.collisions
+            .iter()
+            .filter(|&&(f, _)| f == fp)
+            .map(|&(_, id)| id)
+            .find(|&id| confirm(id))
+    }
 }
 
 /// Number of top fingerprint bits selecting a shard of a
@@ -251,6 +268,22 @@ impl StateShard {
                 (candidate as u32, true)
             }
         }
+    }
+
+    /// Read-only twin of [`intern`](StateShard::intern): the local id of
+    /// the already-interned state `(row, aux)` under fingerprint `fp`,
+    /// or `None` if no equal state was ever interned. Every fingerprint
+    /// hit is confirmed by exact equality, so collisions never resolve
+    /// to a wrong id. Takes `&self`, so concurrent readers can resolve
+    /// regenerated successors under shared read locks.
+    pub fn lookup(&self, fp: u64, row: &[u64], aux: &[u64]) -> Option<u32> {
+        let (rows, auxes) = (&self.rows, &self.aux);
+        self.index
+            .find(fp, |id| {
+                let id = id as usize;
+                rows.row(id) == row && auxes.row(id) == aux
+            })
+            .map(|id| id as u32)
     }
 
     /// The packed row of local state `local`.

@@ -1,57 +1,87 @@
-//! Strongly connected components of flat CSR digraphs.
+//! Strongly connected components of implicit digraphs behind a
+//! **successor oracle**.
 //!
-//! The exact verifier in `stabilization-verify` stores its product graph
-//! as compressed sparse rows (`offsets`/`targets`); this module computes
-//! the SCC condensation of any such graph, on borrowed slices, so the
-//! verifier, the graph layer ([`crate::graph::DiGraph`]), and future
-//! explorers share one implementation:
+//! The exact verifier in `stabilization-verify` no longer stores its
+//! product graph at all: successors are regenerated on demand from the
+//! interned packed state words. This module therefore computes SCC
+//! condensations against a [`SuccessorOracle`] — anything that can
+//! answer "how many states?" and "overwrite this buffer with the
+//! successors of `u`" — so the verifier, the graph layer
+//! ([`crate::graph::DiGraph`]), and plain CSR arrays share one
+//! implementation:
 //!
-//! * [`condense`] — the production engine: a parallel **trim** pass
-//!   (repeatedly peel states of live in- or out-degree 0; each is its own
-//!   trivial SCC, and exhaustive peeling is confluent, so the peeled set
-//!   never depends on scheduling) followed by **Forward–Backward**
-//!   decomposition of the remainder (pick a pivot, mark its forward and
-//!   backward reachable sets; the intersection is one SCC, and the three
-//!   difference slices recurse as independent tasks on a shared work
-//!   queue). Slices a single worker can settle alone finish with one
-//!   slice-local Tarjan pass — the classic FB/Tarjan hybrid that keeps
-//!   chains of small SCCs from turning FB quadratic, while different
-//!   workers still settle different slices in parallel; the cutoff
-//!   scales with the per-worker share (a lone worker skips FB rounds
-//!   entirely — they exist to split work, not to speed a single
-//!   traversal). Runs on an explicit number of workers.
-//! * [`tarjan`] — the serial iterative Tarjan reference the verifier
-//!   shipped with through PR 4, kept `#[doc(hidden)]` for differential
-//!   testing and as the `SccBackend::Tarjan` escape hatch.
+//! * [`condense_oracle`] — the production engine: a **trim** pass
+//!   (peel states of live in- or out-degree 0; each is its own trivial
+//!   SCC) followed by **Forward–Backward** decomposition of the
+//!   remainder (pick a pivot, mark its forward- and backward-reachable
+//!   sets; the intersection is one SCC, and the three difference slices
+//!   recurse as independent tasks on a shared work queue). Slices a
+//!   single worker can settle alone finish with one slice-local Tarjan
+//!   pass — the classic FB/Tarjan hybrid. Runs on an explicit number of
+//!   workers; graphs below [`PARALLEL_MIN_STATES`] run single-worker
+//!   regardless (the vendored rayon stand-in spawns OS threads per
+//!   scope, which small graphs cannot amortize).
+//! * [`tarjan_oracle`] — the serial iterative Tarjan reference, kept
+//!   `#[doc(hidden)]` for differential testing and as the
+//!   `SccBackend::Tarjan` escape hatch.
+//! * [`condense`] / [`condense_with`] / [`tarjan`] — thin borrowed-CSR
+//!   adapters over the oracle entry points, so existing CSR callers and
+//!   the `tests/scc.rs` graph-oracle suite keep working unchanged.
+//!
+//! # The oracle model
+//!
+//! With only *forward* successors available, the two classically
+//! reverse-CSR-backed steps are restated forward-only:
+//!
+//! * **Trim** seeds in-degrees with one full forward sweep, then peels
+//!   in-degree-0 waves by decrementing the in-degrees of a peeled
+//!   state's regenerated successors. Out-degree-0 peeling cannot cascade
+//!   backwards without predecessors, so it runs as a bounded number
+//!   ([`TRIM_OUT_PASSES`]) of recompute sweeps over the remaining live
+//!   states ("are all my successors dead yet?"). The cap is
+//!   partition-safe: anything trim leaves behind is still settled
+//!   exactly by the FB/Tarjan phase — trim only ever removes states
+//!   provably not on any cycle, so every real SCC survives intact.
+//! * **Backward reachability** inside an FB slice runs as a monotone
+//!   fixpoint over the slice's unresolved members: a member joins the
+//!   pivot's backward set as soon as one of its regenerated successors
+//!   is already in it, sweeping until a pass adds nothing. Pass count is
+//!   bounded by the longest successor chain into the pivot — small on
+//!   the dense, low-diameter product graphs this engine serves, and
+//!   slices at or below the cutoff skip it entirely in favor of the
+//!   slice-local Tarjan pass.
 //!
 //! # Determinism
 //!
-//! Both functions return the **canonical** component numbering:
+//! All entry points return the **canonical** component numbering:
 //! components are numbered by the smallest state id they contain, in
 //! increasing order of that id (equivalently: by first occurrence when
 //! scanning states `0, 1, 2, …`). That numbering depends only on the
 //! component *partition* — a property of the graph, not of any
-//! algorithm — so [`condense`]'s output is bit-identical for every
-//! worker count, identical to [`tarjan`]'s, and unaffected by internal
-//! scheduling choices (wave order in the trim, task interleaving, the
-//! thread-scaled FB→Tarjan slice cutoff). Within the FB pass each task
-//! additionally pivots on the **minimum state id** of its slice, making
-//! the recursion itself reproducible at a fixed cutoff. Thread count is
-//! purely a throughput knob, exactly like the verifier's parallel
-//! explorer — `tests/scc.rs` asserts the cross-thread, cross-backend,
-//! and cross-cutoff equalities against the Tarjan oracle.
+//! algorithm — so [`condense_oracle`]'s output is bit-identical for
+//! every worker count, identical to [`tarjan_oracle`]'s, and unaffected
+//! by internal scheduling choices (wave order in the trim, the capped
+//! out-degree sweeps, task interleaving, the thread-scaled FB→Tarjan
+//! slice cutoff). Within the FB pass each task additionally pivots on
+//! the **minimum state id** of its slice, making the recursion itself
+//! reproducible at a fixed cutoff. Thread count is purely a throughput
+//! knob — `tests/scc.rs` asserts the cross-thread, cross-backend,
+//! cross-cutoff, and oracle-vs-CSR equalities against the Tarjan
+//! oracle.
 //!
 //! # Memory
 //!
-//! [`condense`] materializes the reverse CSR (needed for backward
-//! reachability and live in-degrees) plus five flat per-state word/byte
-//! arrays — about 17 bytes per state and 12 per edge transiently, freed
-//! on return. [`tarjan`] never builds the reverse graph (~13 bytes per
-//! state) — on memory-starved graphs it remains the cheaper fallback.
+//! Nothing here materializes a forward or reverse CSR. The working set
+//! is O(states): flat per-state word/byte arrays (component ids, marks,
+//! degrees, slice ids — about 17 bytes per state) plus per-worker
+//! successor buffers bounded by the maximum out-degree (and, for the
+//! Tarjan passes, by the sum of out-degrees along one DFS path). Edge
+//! storage is whatever the oracle itself holds — for [`CsrOracle`] the
+//! borrowed arrays, for the verifier nothing beyond the packed states.
 //!
-//! Unlike [`crate::graph::DiGraph`], CSR graphs may contain self-loops
-//! (the verifier's product graph does); a self-loop keeps its state
-//! un-trimmed and the state forms (or joins) a regular SCC.
+//! Unlike [`crate::graph::DiGraph`], oracle graphs may contain
+//! self-loops (the verifier's product graph does); a self-loop keeps
+//! its state un-trimmed and the state forms (or joins) a regular SCC.
 
 use std::sync::atomic::{AtomicU32, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -78,6 +108,99 @@ const PARALLEL_MIN_FRONTIER: usize = 1 << 10;
 /// partition is a graph property and the numbering is canonicalized —
 /// only how fast a slice is settled.
 const FB_SERIAL_CUTOFF: usize = 1 << 13;
+/// Graphs below this many states run [`condense_oracle`] single-worker
+/// no matter what `threads` asks for: on the vendored rayon stand-in
+/// every scope spawns OS threads, and the whole condensation of a small
+/// graph costs less than spawning them (the `scc_vs_t1 < 1` regression
+/// in `verify_scaling`). Purely a scheduling default — the explicit
+/// [`condense_oracle_with`] entry point still honors the requested
+/// worker count, and the output is bit-identical either way.
+#[doc(hidden)]
+pub const PARALLEL_MIN_STATES: usize = 1 << 15;
+/// Upper bound on out-degree-0 recompute sweeps in the trim pass. With
+/// only forward successors, "did my last live successor just die?"
+/// cannot cascade backwards edge-by-edge; each sweep re-derives it from
+/// scratch, so a dead chain of length k needs k sweeps. Capping the
+/// sweeps is partition-safe (see the module docs) — deeper out-tails
+/// simply fall through to the FB/Tarjan phase, which settles them in
+/// linear time anyway.
+const TRIM_OUT_PASSES: usize = 4;
+
+/// An implicit digraph: `state_count()` states addressed `0..n`, edges
+/// answered one source state at a time.
+///
+/// `successors` must **replace** the contents of `out` with the
+/// successor list of `u` (clear, then fill). Duplicate targets and
+/// self-loops are allowed; target ids must be `< state_count()`. The
+/// successor list of a given state must be identical on every call —
+/// the engine regenerates edges freely and the determinism contract
+/// rests on the graph not shifting under it. `Sync` is required because
+/// parallel workers share one oracle reference.
+pub trait SuccessorOracle: Sync {
+    /// Number of states; ids run `0..state_count()`.
+    fn state_count(&self) -> usize;
+    /// Overwrites `out` with the successors of `u`.
+    fn successors(&self, u: u32, out: &mut Vec<u32>);
+}
+
+/// Borrowed-CSR adapter: the oracle view of flat `offsets`/`targets`
+/// arrays (edges of state `u` in `targets[offsets[u]..offsets[u + 1]]`).
+pub struct CsrOracle<'a> {
+    offsets: &'a [usize],
+    targets: &'a [u32],
+}
+
+impl<'a> CsrOracle<'a> {
+    /// Wraps borrowed CSR arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets` is not a monotone CSR offset array covering
+    /// `targets`.
+    pub fn new(offsets: &'a [usize], targets: &'a [u32]) -> Self {
+        let n = offsets
+            .len()
+            .checked_sub(1)
+            .expect("offsets holds n + 1 entries");
+        assert_eq!(offsets[n], targets.len(), "offsets must cover targets");
+        Self { offsets, targets }
+    }
+}
+
+impl SuccessorOracle for CsrOracle<'_> {
+    fn state_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn successors(&self, u: u32, out: &mut Vec<u32>) {
+        let u = u as usize;
+        out.clear();
+        out.extend_from_slice(&self.targets[self.offsets[u]..self.offsets[u + 1]]);
+    }
+}
+
+/// Closure-backed oracle from [`from_fn`].
+pub struct FnOracle<F> {
+    n: usize,
+    f: F,
+}
+
+/// Wraps a closure `f(u, &mut out)` (same overwrite contract as
+/// [`SuccessorOracle::successors`]) over `n` states as an oracle — the
+/// lightest way to condense a graph that exists only as a function.
+pub fn from_fn<F: Fn(u32, &mut Vec<u32>) + Sync>(n: usize, f: F) -> FnOracle<F> {
+    FnOracle { n, f }
+}
+
+impl<F: Fn(u32, &mut Vec<u32>) + Sync> SuccessorOracle for FnOracle<F> {
+    fn state_count(&self) -> usize {
+        self.n
+    }
+
+    fn successors(&self, u: u32, out: &mut Vec<u32>) {
+        (self.f)(u, out)
+    }
+}
 
 /// One pending Forward–Backward task: a slice id (the `slice_of` value of
 /// exactly this task's states) and its member states in ascending id
@@ -93,14 +216,25 @@ struct FbTask {
 /// (`0` = all available cores) and returns the component id of every
 /// state in the canonical numbering (components ordered by their minimum
 /// state id — see the [module docs](self)). The result is bit-identical
-/// for every thread count.
+/// for every thread count. A thin adapter over [`condense_oracle`].
 ///
 /// # Panics
 ///
 /// Panics if `offsets` is not a monotone CSR offset array covering
 /// `targets`, or if a target id is out of range.
 pub fn condense(offsets: &[usize], targets: &[u32], threads: usize) -> Vec<u32> {
-    let threads = resolve_threads(threads);
+    condense_oracle(&CsrOracle::new(offsets, targets), threads)
+}
+
+/// Computes the SCC condensation of an implicit digraph on up to
+/// `threads` workers (`0` = all available cores; graphs below
+/// [`PARALLEL_MIN_STATES`] run single-worker regardless) and returns the
+/// component id of every state in the canonical numbering (components
+/// ordered by their minimum state id — see the [module docs](self)).
+/// The result is bit-identical for every thread count.
+pub fn condense_oracle<O: SuccessorOracle + ?Sized>(oracle: &O, threads: usize) -> Vec<u32> {
+    let n = oracle.state_count();
+    let threads = effective_workers(n, threads);
     // FB rounds exist to *split* the graph across workers: a lone worker
     // gains nothing from them (slice-local Tarjan settles any slice it
     // would have to walk anyway, in one pass), and w workers only need
@@ -108,13 +242,27 @@ pub fn condense(offsets: &[usize], targets: &[u32], threads: usize) -> Vec<u32> 
     // per-worker share. Any cutoff yields the same output (the partition
     // is a graph property and the numbering is canonicalized; pinned by
     // `tests/scc.rs` forcing pure FB via [`condense_with`]).
-    let n = offsets.len().saturating_sub(1);
     let cutoff = if threads <= 1 {
         usize::MAX
     } else {
         FB_SERIAL_CUTOFF.max(n / (4 * threads))
     };
-    condense_with(offsets, targets, threads, cutoff)
+    condense_oracle_with(oracle, threads, cutoff)
+}
+
+/// The worker count [`condense_oracle`] actually runs at for a graph of
+/// `n_states` when asked for `threads`: `0` resolves to all cores, and
+/// graphs below [`PARALLEL_MIN_STATES`] are forced single-worker (spawn
+/// overhead exceeds the whole condensation there). Exposed for the
+/// bench suite's scheduling assertions.
+#[doc(hidden)]
+pub fn effective_workers(n_states: usize, threads: usize) -> usize {
+    let threads = resolve_threads(threads);
+    if n_states < PARALLEL_MIN_STATES {
+        1
+    } else {
+        threads
+    }
 }
 
 /// Resolves a thread-count knob: `0` means all available cores.
@@ -127,11 +275,12 @@ fn resolve_threads(threads: usize) -> usize {
     .max(1)
 }
 
-/// [`condense`] with an explicit FB→Tarjan slice cutoff. The cutoff is
-/// a pure scheduling knob — every value yields the same output — but
-/// the differential suite (`tests/scc.rs`) pins that claim by forcing
-/// `0` (pure Forward–Backward, no slice-local Tarjan) on graphs far
-/// below the production [`FB_SERIAL_CUTOFF`].
+/// [`condense`] with an explicit FB→Tarjan slice cutoff; a thin CSR
+/// adapter over [`condense_oracle_with`]. The cutoff is a pure
+/// scheduling knob — every value yields the same output — but the
+/// differential suite (`tests/scc.rs`) pins that claim by forcing `0`
+/// (pure Forward–Backward, no slice-local Tarjan) on graphs far below
+/// the production [`FB_SERIAL_CUTOFF`].
 #[doc(hidden)]
 pub fn condense_with(
     offsets: &[usize],
@@ -139,76 +288,78 @@ pub fn condense_with(
     threads: usize,
     serial_cutoff: usize,
 ) -> Vec<u32> {
-    let n = offsets
-        .len()
-        .checked_sub(1)
-        .expect("offsets holds n + 1 entries");
-    assert_eq!(offsets[n], targets.len(), "offsets must cover targets");
+    condense_oracle_with(&CsrOracle::new(offsets, targets), threads, serial_cutoff)
+}
+
+/// [`condense_oracle`] with an explicit worker count (honored as given —
+/// no small-graph override) and FB→Tarjan slice cutoff. Both knobs are
+/// pure scheduling: every combination yields the same output.
+#[doc(hidden)]
+pub fn condense_oracle_with<O: SuccessorOracle + ?Sized>(
+    oracle: &O,
+    threads: usize,
+    serial_cutoff: usize,
+) -> Vec<u32> {
+    let n = oracle.state_count();
     if n == 0 {
         return Vec::new();
     }
     let threads = resolve_threads(threads);
-    let (rev_offsets, rev_targets) = reverse_csr(n, offsets, targets);
     let comp: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNASSIGNED)).collect();
     let next_comp = AtomicU32::new(0);
-    trim(
-        offsets,
-        targets,
-        &rev_offsets,
-        &rev_targets,
-        &comp,
-        &next_comp,
-        threads,
-    );
-    forward_backward(
-        offsets,
-        targets,
-        &rev_offsets,
-        &rev_targets,
-        &comp,
-        &next_comp,
-        threads,
-        serial_cutoff,
-    );
+    trim(oracle, &comp, &next_comp, threads);
+    forward_backward(oracle, &comp, &next_comp, threads, serial_cutoff);
     let mut raw: Vec<u32> = comp.into_iter().map(AtomicU32::into_inner).collect();
     canonicalize(&mut raw, next_comp.into_inner());
     raw
 }
 
 /// Serial iterative Tarjan over the same CSR arrays, in the same
-/// canonical numbering as [`condense`] — the trusted oracle of the
-/// differential suite (`tests/scc.rs`) and the `SccBackend::Tarjan`
-/// reference path of the verifier. Never materializes the reverse graph.
+/// canonical numbering as [`condense`] — a thin adapter over
+/// [`tarjan_oracle`], kept for the differential suite (`tests/scc.rs`)
+/// and existing CSR callers.
 #[doc(hidden)]
 pub fn tarjan(offsets: &[usize], targets: &[u32]) -> Vec<u32> {
-    let n = offsets
-        .len()
-        .checked_sub(1)
-        .expect("offsets holds n + 1 entries");
-    assert_eq!(offsets[n], targets.len(), "offsets must cover targets");
+    tarjan_oracle(&CsrOracle::new(offsets, targets))
+}
+
+/// Serial iterative Tarjan against the oracle, in the same canonical
+/// numbering as [`condense_oracle`] — the trusted reference of the
+/// differential suite and the `SccBackend::Tarjan` path of the
+/// verifier. Call frames own their materialized successor buffers
+/// (generated once when the frame is pushed, recycled through a spare
+/// pool), so transient memory is bounded by the sum of out-degrees
+/// along one DFS path.
+#[doc(hidden)]
+pub fn tarjan_oracle<O: SuccessorOracle + ?Sized>(oracle: &O) -> Vec<u32> {
+    let n = oracle.state_count();
     let mut comp = vec![UNASSIGNED; n];
     // Discovery indices, offset by one so 0 means "unvisited".
     let mut order = vec![0u32; n];
     let mut low = vec![0u32; n];
     let mut on_stack = vec![false; n];
     let mut stack: Vec<u32> = Vec::new();
-    let mut call: Vec<(u32, usize)> = Vec::new();
+    // Call frames: (state, successor buffer, cursor into it).
+    let mut call: Vec<(u32, Vec<u32>, usize)> = Vec::new();
+    let mut spare: Vec<Vec<u32>> = Vec::new();
     let mut next_order: u32 = 1;
     let mut comp_count: u32 = 0;
-    for root in 0..n {
-        if order[root] != 0 {
+    for root in 0..n as u32 {
+        if order[root as usize] != 0 {
             continue;
         }
-        order[root] = next_order;
-        low[root] = next_order;
+        order[root as usize] = next_order;
+        low[root as usize] = next_order;
         next_order += 1;
-        stack.push(root as u32);
-        on_stack[root] = true;
-        call.push((root as u32, offsets[root]));
-        while let Some(&mut (v, ref mut cursor)) = call.last_mut() {
+        stack.push(root);
+        on_stack[root as usize] = true;
+        let mut succs = spare.pop().unwrap_or_default();
+        oracle.successors(root, &mut succs);
+        call.push((root, succs, 0));
+        while let Some(&mut (v, ref succs, ref mut cursor)) = call.last_mut() {
             let vu = v as usize;
-            if *cursor < offsets[vu + 1] {
-                let w = targets[*cursor] as usize;
+            if *cursor < succs.len() {
+                let w = succs[*cursor] as usize;
                 *cursor += 1;
                 if order[w] == 0 {
                     order[w] = next_order;
@@ -216,7 +367,9 @@ pub fn tarjan(offsets: &[usize], targets: &[u32]) -> Vec<u32> {
                     next_order += 1;
                     stack.push(w as u32);
                     on_stack[w] = true;
-                    call.push((w as u32, offsets[w]));
+                    let mut succs = spare.pop().unwrap_or_default();
+                    oracle.successors(w as u32, &mut succs);
+                    call.push((w as u32, succs, 0));
                 } else if on_stack[w] {
                     low[vu] = low[vu].min(order[w]);
                 }
@@ -232,8 +385,9 @@ pub fn tarjan(offsets: &[usize], targets: &[u32]) -> Vec<u32> {
                     }
                     comp_count += 1;
                 }
-                call.pop();
-                if let Some(&mut (parent, _)) = call.last_mut() {
+                let (_, buf, _) = call.pop().expect("frame present");
+                spare.push(buf);
+                if let Some(&mut (parent, _, _)) = call.last_mut() {
                     let pu = parent as usize;
                     low[pu] = low[pu].min(low[vu]);
                 }
@@ -260,28 +414,6 @@ fn canonicalize(comp: &mut [u32], raw_count: u32) {
     }
 }
 
-/// Builds the reverse CSR (`rev_offsets`/`rev_targets`) in two serial
-/// O(|E|) passes — memory-bound and a small fraction of the traversal
-/// work, so it is not worth a deterministic parallel scatter.
-fn reverse_csr(n: usize, offsets: &[usize], targets: &[u32]) -> (Vec<usize>, Vec<u32>) {
-    let mut rev_offsets = vec![0usize; n + 1];
-    for &t in targets {
-        rev_offsets[t as usize + 1] += 1;
-    }
-    for i in 0..n {
-        rev_offsets[i + 1] += rev_offsets[i];
-    }
-    let mut cursor = rev_offsets[..n].to_vec();
-    let mut rev_targets = vec![0u32; targets.len()];
-    for u in 0..n {
-        for &v in &targets[offsets[u]..offsets[u + 1]] {
-            rev_targets[cursor[v as usize]] = u as u32;
-            cursor[v as usize] += 1;
-        }
-    }
-    (rev_offsets, rev_targets)
-}
-
 /// Tries to claim `v` as a freshly peeled trivial SCC; returns whether
 /// this caller won. Claiming is a two-step compare-exchange (`UNASSIGNED
 /// → CLAIMED → id`) so component ids stay contiguous — both of a state's
@@ -299,29 +431,48 @@ fn try_claim(comp: &AtomicU32, next_comp: &AtomicU32) -> bool {
     }
 }
 
-/// The trim pass: repeatedly peels every state whose live in-degree or
-/// out-degree is zero (no such state lies on a cycle, so each is its own
-/// trivial SCC), decrementing the live degrees of its neighbors and
-/// peeling in waves until the frontier empties. Waves run in parallel
-/// over `threads` workers; exhaustive peeling is confluent — the peeled
-/// set is the complement of the unique maximal subgraph with all live
-/// degrees ≥ 1 — so scheduling never changes the outcome.
-fn trim(
-    offsets: &[usize],
-    targets: &[u32],
-    rev_offsets: &[usize],
-    rev_targets: &[u32],
+/// The trim pass, forward-only (see the module docs): one degree-seeding
+/// sweep, then in-degree-0 wave peeling (a peeled state's regenerated
+/// successors lose one live in-degree each), then up to
+/// [`TRIM_OUT_PASSES`] out-degree recompute sweeps that peel any live
+/// state whose successors are all dead. Every peeled state is provably
+/// off every cycle, so each is its own trivial SCC and the un-peeled
+/// remainder still contains every real SCC intact — the cap on the out
+/// sweeps costs completeness of the *trim*, never correctness of the
+/// condensation.
+fn trim<O: SuccessorOracle + ?Sized>(
+    oracle: &O,
     comp: &[AtomicU32],
     next_comp: &AtomicU32,
     threads: usize,
 ) {
     let n = comp.len();
-    let outdeg: Vec<AtomicU32> = (0..n)
-        .map(|u| AtomicU32::new((offsets[u + 1] - offsets[u]) as u32))
-        .collect();
-    let indeg: Vec<AtomicU32> = (0..n)
-        .map(|u| AtomicU32::new((rev_offsets[u + 1] - rev_offsets[u]) as u32))
-        .collect();
+    let outdeg: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    let indeg: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    // Degree-seeding sweep: one successor regeneration per state.
+    let seed_chunk = |range: std::ops::Range<usize>, buf: &mut Vec<u32>| {
+        for u in range {
+            oracle.successors(u as u32, buf);
+            outdeg[u].store(buf.len() as u32, Ordering::Relaxed);
+            for &v in buf.iter() {
+                indeg[v as usize].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    };
+    if threads <= 1 || n < PARALLEL_MIN_FRONTIER {
+        seed_chunk(0..n, &mut Vec::new());
+    } else {
+        let chunk = n.div_ceil(threads);
+        rayon::scope(|scope| {
+            let mut start = 0;
+            while start < n {
+                let end = (start + chunk).min(n);
+                let seed_chunk = &seed_chunk;
+                scope.spawn(move || seed_chunk(start..end, &mut Vec::new()));
+                start = end;
+            }
+        });
+    }
     let mut frontier: Vec<u32> = (0..n)
         .filter(|&u| {
             (indeg[u].load(Ordering::Relaxed) == 0 || outdeg[u].load(Ordering::Relaxed) == 0)
@@ -330,32 +481,26 @@ fn trim(
         .map(|u| u as u32)
         .collect();
     // Peels one state: removing it decrements the live in-degree of its
-    // successors and the live out-degree of its predecessors; a counter
-    // hitting zero peels that neighbor too (into the worker-local next
-    // wave). Counters of already-claimed states may keep decrementing
-    // harmlessly — a claim happens at most once per state.
-    let peel = |u: u32, next: &mut Vec<u32>| {
-        let u = u as usize;
-        for &v in &targets[offsets[u]..offsets[u + 1]] {
+    // regenerated successors; a counter hitting zero peels that neighbor
+    // too (into the worker-local next wave). Counters of already-claimed
+    // states may keep decrementing harmlessly — a claim happens at most
+    // once per state.
+    let peel = |u: u32, next: &mut Vec<u32>, buf: &mut Vec<u32>| {
+        oracle.successors(u, buf);
+        for &v in buf.iter() {
             if indeg[v as usize].fetch_sub(1, Ordering::Relaxed) == 1
                 && try_claim(&comp[v as usize], next_comp)
             {
                 next.push(v);
             }
         }
-        for &w in &rev_targets[rev_offsets[u]..rev_offsets[u + 1]] {
-            if outdeg[w as usize].fetch_sub(1, Ordering::Relaxed) == 1
-                && try_claim(&comp[w as usize], next_comp)
-            {
-                next.push(w);
-            }
-        }
     };
     while !frontier.is_empty() {
         if threads <= 1 || frontier.len() < PARALLEL_MIN_FRONTIER {
             let mut next = Vec::new();
+            let mut buf = Vec::new();
             for &u in &frontier {
-                peel(u, &mut next);
+                peel(u, &mut next, &mut buf);
             }
             frontier = next;
         } else {
@@ -368,8 +513,9 @@ fn trim(
                         let peel = &peel;
                         scope.spawn(move || {
                             let mut local = Vec::new();
+                            let mut buf = Vec::new();
                             for &u in slice {
-                                peel(u, &mut local);
+                                peel(u, &mut local, &mut buf);
                             }
                             local
                         })
@@ -382,20 +528,71 @@ fn trim(
             frontier = next;
         }
     }
+    // Out-degree recompute sweeps: a live state whose regenerated
+    // successors are all claimed lies on no cycle and peels. Its
+    // successors are all dead, so peeling it never enables an in-degree
+    // peel — only further out sweeps. A state kept alive by a racing
+    // claim is simply caught one sweep later (or by FB), so chunked
+    // parallel sweeps stay partition-correct.
+    let mut live: Vec<u32> = (0..n as u32)
+        .filter(|&u| comp[u as usize].load(Ordering::Relaxed) == UNASSIGNED)
+        .collect();
+    let out_dead = |u: u32, buf: &mut Vec<u32>| -> bool {
+        oracle.successors(u, buf);
+        buf.iter()
+            .all(|&v| comp[v as usize].load(Ordering::Relaxed) != UNASSIGNED)
+            && try_claim(&comp[u as usize], next_comp)
+    };
+    for _ in 0..TRIM_OUT_PASSES {
+        if live.is_empty() {
+            break;
+        }
+        let before = live.len();
+        if threads <= 1 || live.len() < PARALLEL_MIN_FRONTIER {
+            let mut buf = Vec::new();
+            live.retain(|&u| !out_dead(u, &mut buf));
+        } else {
+            let chunk = live.len().div_ceil(threads);
+            let mut kept = Vec::new();
+            rayon::scope(|scope| {
+                let workers: Vec<_> = live
+                    .chunks(chunk)
+                    .map(|slice| {
+                        let out_dead = &out_dead;
+                        scope.spawn(move || {
+                            let mut buf = Vec::new();
+                            slice
+                                .iter()
+                                .copied()
+                                .filter(|&u| !out_dead(u, &mut buf))
+                                .collect::<Vec<u32>>()
+                        })
+                    })
+                    .collect();
+                for w in workers {
+                    kept.extend(w.join().expect("trim worker panicked"));
+                }
+            });
+            live = kept;
+        }
+        if live.len() == before {
+            break;
+        }
+    }
 }
 
 /// Iterative Tarjan restricted to one FB slice: states are the ascending
-/// `members`, edges are the global CSR edges whose targets still carry
-/// this slice's id. `local_idx` maps a member's global id to its
+/// `members`, edges are the regenerated successors whose targets still
+/// carry this slice's id. `local_idx` maps a member's global id to its
 /// position in `members` — a shared array, but each live slice owns its
-/// states exclusively, so filling it here never races. Raw component
-/// ids come from the shared counter; the final canonical renumbering
-/// makes the result indistinguishable from settling the slice by more
-/// FB rounds.
+/// states exclusively, so filling it here never races. Call frames own
+/// their slice-filtered successor buffers (filled once per push,
+/// recycled through a spare pool). Raw component ids come from the
+/// shared counter; the final canonical renumbering makes the result
+/// indistinguishable from settling the slice by more FB rounds.
 #[allow(clippy::too_many_arguments)]
-fn tarjan_slice(
-    offsets: &[usize],
-    targets: &[u32],
+fn tarjan_slice<O: SuccessorOracle + ?Sized>(
+    oracle: &O,
     slice_of: &[AtomicU32],
     local_idx: &[AtomicU32],
     sid: u32,
@@ -413,8 +610,23 @@ fn tarjan_slice(
     let mut low = vec![0u32; m];
     let mut on_stack = vec![false; m];
     let mut stack: Vec<u32> = Vec::new();
-    // Call frames: (local id, cursor into the *global* edge range).
-    let mut call: Vec<(u32, usize)> = Vec::new();
+    // Call frames: (local id, slice-local successor buffer, cursor).
+    let mut call: Vec<(u32, Vec<u32>, usize)> = Vec::new();
+    let mut spare: Vec<Vec<u32>> = Vec::new();
+    let mut raw: Vec<u32> = Vec::new();
+    // Fills a frame buffer with the *local* ids of the in-slice
+    // successors of global state `vg`.
+    let fill = |vg: u32, raw: &mut Vec<u32>, spare: &mut Vec<Vec<u32>>| -> Vec<u32> {
+        oracle.successors(vg, raw);
+        let mut buf = spare.pop().unwrap_or_default();
+        buf.clear();
+        buf.extend(
+            raw.iter()
+                .filter(|&&wg| slice_of[wg as usize].load(Ordering::Relaxed) == sid)
+                .map(|&wg| local(wg) as u32),
+        );
+        buf
+    };
     let mut next_order: u32 = 1;
     for root in 0..m {
         if order[root] != 0 {
@@ -425,24 +637,21 @@ fn tarjan_slice(
         next_order += 1;
         stack.push(root as u32);
         on_stack[root] = true;
-        call.push((root as u32, offsets[members[root] as usize]));
-        while let Some(&mut (v, ref mut cursor)) = call.last_mut() {
+        let succs = fill(members[root], &mut raw, &mut spare);
+        call.push((root as u32, succs, 0));
+        while let Some(&mut (v, ref succs, ref mut cursor)) = call.last_mut() {
             let vl = v as usize;
-            let vg = members[vl] as usize;
-            if *cursor < offsets[vg + 1] {
-                let wg = targets[*cursor];
+            if *cursor < succs.len() {
+                let w = succs[*cursor] as usize;
                 *cursor += 1;
-                if slice_of[wg as usize].load(Ordering::Relaxed) != sid {
-                    continue; // edge leaves the slice
-                }
-                let w = local(wg);
                 if order[w] == 0 {
                     order[w] = next_order;
                     low[w] = next_order;
                     next_order += 1;
                     stack.push(w as u32);
                     on_stack[w] = true;
-                    call.push((w as u32, offsets[wg as usize]));
+                    let succs = fill(members[w], &mut raw, &mut spare);
+                    call.push((w as u32, succs, 0));
                 } else if on_stack[w] {
                     low[vl] = low[vl].min(order[w]);
                 }
@@ -458,8 +667,9 @@ fn tarjan_slice(
                         }
                     }
                 }
-                call.pop();
-                if let Some(&mut (parent, _)) = call.last_mut() {
+                let (_, buf, _) = call.pop().expect("frame present");
+                spare.push(buf);
+                if let Some(&mut (parent, _, _)) = call.last_mut() {
                     let pl = parent as usize;
                     low[pl] = low[pl].min(low[vl]);
                 }
@@ -474,13 +684,11 @@ fn tarjan_slice(
 /// pivot's forward- and backward-reachable sets within the slice, emits
 /// the intersection as one SCC, and requeues the three difference
 /// sub-slices. Each state belongs to exactly one live slice
-/// (`slice_of`), so marks and component stores never race.
-#[allow(clippy::too_many_arguments)]
-fn forward_backward(
-    offsets: &[usize],
-    targets: &[u32],
-    rev_offsets: &[usize],
-    rev_targets: &[u32],
+/// (`slice_of`), so marks and component stores never race. Forward
+/// reachability is a plain DFS over regenerated successors; backward
+/// reachability is the monotone fixpoint described in the module docs.
+fn forward_backward<O: SuccessorOracle + ?Sized>(
+    oracle: &O,
     comp: &[AtomicU32],
     next_comp: &AtomicU32,
     threads: usize,
@@ -508,88 +716,126 @@ fn forward_backward(
     let pending = AtomicUsize::new(1);
     let next_slice = AtomicU32::new(2);
 
-    // Marks the `bit`-reachable set of `pivot` within slice `sid`,
-    // walking `offsets`/`targets` (forward) or the reverse arrays. The
-    // mark bytes are shared across tasks but each task owns its slice's
-    // states exclusively, so plain load + store (no read-modify-write
-    // cycles on the hot edge loop) is race-free.
-    let reach = |off: &[usize], tgt: &[u32], sid: u32, pivot: u32, bit: u8| {
-        let mut stack = vec![pivot];
+    // Marks the forward-reachable set of `pivot` within slice `sid` with
+    // `F`: DFS over regenerated successors. The mark bytes are shared
+    // across tasks but each task owns its slice's states exclusively, so
+    // plain load + store (no read-modify-write cycles on the hot edge
+    // loop) is race-free.
+    let reach_fwd = |sid: u32, pivot: u32, dfs: &mut Vec<u32>, buf: &mut Vec<u32>| {
+        dfs.clear();
+        dfs.push(pivot);
         let p = mark[pivot as usize].load(Ordering::Relaxed);
-        mark[pivot as usize].store(p | bit, Ordering::Relaxed);
-        while let Some(v) = stack.pop() {
-            let v = v as usize;
-            for &w in &tgt[off[v]..off[v + 1]] {
+        mark[pivot as usize].store(p | F, Ordering::Relaxed);
+        while let Some(v) = dfs.pop() {
+            oracle.successors(v, buf);
+            for &w in buf.iter() {
                 let wu = w as usize;
                 if slice_of[wu].load(Ordering::Relaxed) != sid {
                     continue;
                 }
                 let m = mark[wu].load(Ordering::Relaxed);
-                if m & bit == 0 {
-                    mark[wu].store(m | bit, Ordering::Relaxed);
-                    stack.push(w);
+                if m & F == 0 {
+                    mark[wu].store(m | F, Ordering::Relaxed);
+                    dfs.push(w);
                 }
             }
         }
     };
-    let worker = || loop {
-        let task = queue.lock().expect("FB queue").pop();
-        let Some(FbTask { sid, members }) = task else {
-            if pending.load(Ordering::Relaxed) == 0 {
-                break;
+    // Marks the backward-reachable set of the pivot (already marked `B`)
+    // within slice `sid`: monotone fixpoint over the slice's unresolved
+    // members — a member joins B as soon as one regenerated successor is
+    // in B — sweeping until a pass adds nothing. Marks set early in a
+    // pass are visible later in the same pass; the fixpoint is the same
+    // either way.
+    let reach_bwd =
+        |sid: u32, pivot: u32, members: &[u32], pool: &mut Vec<u32>, buf: &mut Vec<u32>| {
+            let p = mark[pivot as usize].load(Ordering::Relaxed);
+            mark[pivot as usize].store(p | B, Ordering::Relaxed);
+            pool.clear();
+            pool.extend(members.iter().copied().filter(|&v| v != pivot));
+            loop {
+                let before = pool.len();
+                pool.retain(|&v| {
+                    oracle.successors(v, buf);
+                    let hits = buf.iter().any(|&w| {
+                        slice_of[w as usize].load(Ordering::Relaxed) == sid
+                            && mark[w as usize].load(Ordering::Relaxed) & B != 0
+                    });
+                    if hits {
+                        let m = mark[v as usize].load(Ordering::Relaxed);
+                        mark[v as usize].store(m | B, Ordering::Relaxed);
+                    }
+                    !hits
+                });
+                if pool.len() == before {
+                    break;
+                }
             }
-            std::thread::yield_now();
-            continue;
         };
-        // Small slices finish with slice-local Tarjan instead of more FB
-        // rounds: a chain of small SCCs would otherwise requeue its
-        // "rest" slice once per component (quadratic in the chain
-        // length), while one serial pass settles the whole slice in
-        // O(slice). Different workers still take different slices, so
-        // the cutoff costs no parallelism at scale — and the partition
-        // is the same either way, so (with canonical renumbering) the
-        // output stays bit-identical.
-        if members.len() <= serial_cutoff.max(1) {
-            tarjan_slice(
-                offsets, targets, &slice_of, &local_idx, sid, &members, comp, next_comp,
-            );
-            pending.fetch_sub(1, Ordering::Relaxed);
-            continue;
-        }
-        let comp_id = next_comp.fetch_add(1, Ordering::Relaxed);
-        // Members are ascending, so members[0] is the deterministic
-        // minimum-id pivot (the rule the cross-thread contract rests on).
-        let pivot = members[0];
-        reach(offsets, targets, sid, pivot, F);
-        reach(rev_offsets, rev_targets, sid, pivot, B);
-        let mut fwd: Vec<u32> = Vec::new();
-        let mut bwd: Vec<u32> = Vec::new();
-        let mut rest: Vec<u32> = Vec::new();
-        for &v in &members {
-            let vu = v as usize;
-            match mark[vu].load(Ordering::Relaxed) & (F | B) {
-                m if m == F | B => comp[vu].store(comp_id, Ordering::Relaxed),
-                m if m == F => fwd.push(v),
-                m if m == B => bwd.push(v),
-                _ => rest.push(v),
-            }
-        }
-        for sub in [fwd, bwd, rest] {
-            if sub.is_empty() {
+    let worker = || {
+        let mut dfs: Vec<u32> = Vec::new();
+        let mut buf: Vec<u32> = Vec::new();
+        let mut pool: Vec<u32> = Vec::new();
+        loop {
+            let task = queue.lock().expect("FB queue").pop();
+            let Some(FbTask { sid, members }) = task else {
+                if pending.load(Ordering::Relaxed) == 0 {
+                    break;
+                }
+                std::thread::yield_now();
+                continue;
+            };
+            // Small slices finish with slice-local Tarjan instead of more
+            // FB rounds: a chain of small SCCs would otherwise requeue its
+            // "rest" slice once per component (quadratic in the chain
+            // length), while one serial pass settles the whole slice in
+            // O(slice). Different workers still take different slices, so
+            // the cutoff costs no parallelism at scale — and the partition
+            // is the same either way, so (with canonical renumbering) the
+            // output stays bit-identical.
+            if members.len() <= serial_cutoff.max(1) {
+                tarjan_slice(
+                    oracle, &slice_of, &local_idx, sid, &members, comp, next_comp,
+                );
+                pending.fetch_sub(1, Ordering::Relaxed);
                 continue;
             }
-            let nsid = next_slice.fetch_add(1, Ordering::Relaxed);
-            for &v in &sub {
-                slice_of[v as usize].store(nsid, Ordering::Relaxed);
-                mark[v as usize].store(0, Ordering::Relaxed);
+            let comp_id = next_comp.fetch_add(1, Ordering::Relaxed);
+            // Members are ascending, so members[0] is the deterministic
+            // minimum-id pivot (the rule the cross-thread contract rests
+            // on).
+            let pivot = members[0];
+            reach_fwd(sid, pivot, &mut dfs, &mut buf);
+            reach_bwd(sid, pivot, &members, &mut pool, &mut buf);
+            let mut fwd: Vec<u32> = Vec::new();
+            let mut bwd: Vec<u32> = Vec::new();
+            let mut rest: Vec<u32> = Vec::new();
+            for &v in &members {
+                let vu = v as usize;
+                match mark[vu].load(Ordering::Relaxed) & (F | B) {
+                    m if m == F | B => comp[vu].store(comp_id, Ordering::Relaxed),
+                    m if m == F => fwd.push(v),
+                    m if m == B => bwd.push(v),
+                    _ => rest.push(v),
+                }
             }
-            pending.fetch_add(1, Ordering::Relaxed);
-            queue.lock().expect("FB queue").push(FbTask {
-                sid: nsid,
-                members: sub,
-            });
+            for sub in [fwd, bwd, rest] {
+                if sub.is_empty() {
+                    continue;
+                }
+                let nsid = next_slice.fetch_add(1, Ordering::Relaxed);
+                for &v in &sub {
+                    slice_of[v as usize].store(nsid, Ordering::Relaxed);
+                    mark[v as usize].store(0, Ordering::Relaxed);
+                }
+                pending.fetch_add(1, Ordering::Relaxed);
+                queue.lock().expect("FB queue").push(FbTask {
+                    sid: nsid,
+                    members: sub,
+                });
+            }
+            pending.fetch_sub(1, Ordering::Relaxed);
         }
-        pending.fetch_sub(1, Ordering::Relaxed);
     };
     if threads <= 1 {
         worker();
@@ -627,11 +873,26 @@ mod tests {
     fn all_agree(n: usize, edges: &[(u32, u32)]) -> Vec<u32> {
         let (offsets, targets) = csr(n, edges);
         let reference = tarjan(&offsets, &targets);
+        // A closure-backed oracle over the same graph: the CSR adapters
+        // and the implicit-graph path must be indistinguishable.
+        let adj: Vec<Vec<u32>> = (0..n)
+            .map(|u| targets[offsets[u]..offsets[u + 1]].to_vec())
+            .collect();
+        let implicit = from_fn(n, |u, out: &mut Vec<u32>| {
+            out.clear();
+            out.extend_from_slice(&adj[u as usize]);
+        });
+        assert_eq!(tarjan_oracle(&implicit), reference, "oracle Tarjan");
         for threads in [1, 2, 4] {
             assert_eq!(
                 condense(&offsets, &targets, threads),
                 reference,
                 "threads = {threads}"
+            );
+            assert_eq!(
+                condense_oracle_with(&implicit, threads, usize::MAX),
+                reference,
+                "implicit oracle, threads = {threads}"
             );
             // Cutoff 0 forces pure Forward–Backward (no slice-local
             // Tarjan), which must settle on the same answer.
@@ -705,6 +966,28 @@ mod tests {
         edges.push((0, 4));
         let comp = all_agree(6, &edges);
         assert_eq!(comp, vec![0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn long_dead_out_tail_exceeding_the_sweep_cap() {
+        // A 2-cycle feeding a long one-way tail: every tail state has
+        // in-degree 1 (never in-peels) and the tail dies back one state
+        // per out sweep — far more states than TRIM_OUT_PASSES, so the
+        // capped trim must hand the leftovers to FB/Tarjan intact.
+        let mut edges = vec![(0u32, 1u32), (1, 0), (1, 2)];
+        edges.extend((2..40u32).map(|u| (u, u + 1)));
+        let comp = all_agree(41, &edges);
+        assert_eq!(comp[0], 0);
+        assert_eq!(comp[1], 0);
+        let expected: Vec<u32> = (1..40).collect();
+        assert_eq!(&comp[2..], &expected[..]);
+    }
+
+    #[test]
+    fn small_graphs_run_single_worker() {
+        assert_eq!(effective_workers(PARALLEL_MIN_STATES - 1, 4), 1);
+        assert_eq!(effective_workers(PARALLEL_MIN_STATES, 4), 4);
+        assert_eq!(effective_workers(PARALLEL_MIN_STATES - 1, 0), 1);
     }
 
     #[test]

@@ -41,7 +41,8 @@ pub mod stable;
 
 #[doc(hidden)]
 pub use product::{
-    product_graph_csr, verify_label_stabilization_naive, verify_output_stabilization_naive,
+    explore_product, product_graph_csr, verify_label_stabilization_naive,
+    verify_output_stabilization_naive, ExploredProduct,
 };
 pub use product::{
     verify_label_stabilization, verify_label_stabilization_with_stats, verify_output_stabilization,

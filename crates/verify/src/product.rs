@@ -20,28 +20,55 @@
 //!   fingerprint hit is confirmed by exact equality against the shard
 //!   arena, so hash collisions cost a comparison but never a wrong
 //!   verdict.
-//! * **CSR edges.** Transitions live in flat compressed-sparse-row
-//!   arrays (`edge_offsets` / `edge_targets` / `edge_meta`), stitched in
-//!   state order from per-chunk segments — 8 bytes per edge instead of a
-//!   `Vec<Vec<(usize, bool, u32)>>`. [`Limits::max_edges`] bounds them:
-//!   on dense activation sets edges outnumber states by orders of
-//!   magnitude, so the state cap alone does not bound memory.
-//! * **Parallel SCC.** Components come from [`stateless_core::scc`]: a
-//!   parallel **trim** pass (repeatedly peel states of live in/out-degree
-//!   0 — each is a trivial SCC and no cycle member is ever peeled)
-//!   followed by **Forward–Backward** decomposition of the remainder
-//!   (pivot → forward set ∩ backward set = one SCC; the three difference
-//!   slices recurse as parallel tasks), both over the same CSR arrays,
-//!   on [`Limits::threads`] workers. Every FB task pivots on the
-//!   **minimum dense state id** of its slice and both backends return
-//!   the canonical numbering (components ordered by minimum member id),
-//!   so component ids — and hence verdicts and witnesses — are
-//!   bit-identical across thread counts and across backends. The serial
-//!   iterative Tarjan that shipped through PR 4 is retained as
+//! * **No stored edges.** The verifier holds **no full-graph CSR**: a
+//!   product transition is a pure function of its packed source row, so
+//!   every phase that needs edges regenerates them on the fly —
+//!   decode the row, enumerate activation sets, pack each successor,
+//!   and resolve it by a read-only fingerprint lookup
+//!   ([`StateShard::lookup`]) against the shard arenas. This is the
+//!   classic on-the-fly / implicit-graph model-checking move: memory is
+//!   O(states) plus bounded transients (per-batch record buffers during
+//!   exploration, per-worker successor buffers during SCC, and one
+//!   small CSR over the single verdict SCC during witness
+//!   reconstruction), never O(edges). [`Limits::max_edges`] survives as
+//!   a **traversal budget**: exploration still counts every transition
+//!   it generates (each exactly once) and fails with
+//!   [`VerifyError::TooManyEdges`] past the budget, bounding wall time
+//!   on dense activation sets — it just no longer corresponds to any
+//!   stored array.
+//! * **Parallel SCC over a successor oracle.** Components come from
+//!   [`stateless_core::scc`] driven through its [`scc::SuccessorOracle`]
+//!   trait: a **trim** pass (peel states of live in/out-degree 0 — each
+//!   is a trivial SCC and no cycle member is ever peeled) followed by
+//!   **Forward–Backward** decomposition of the remainder (pivot →
+//!   forward set ∩ backward set = one SCC; the three difference slices
+//!   recurse as parallel tasks), on [`Limits::threads`] workers, all
+//!   regenerating successors from the packed rows on demand. Every FB
+//!   task pivots on the **minimum dense state id** of its slice and
+//!   both backends return the canonical numbering (components ordered
+//!   by minimum member id), so component ids — and hence verdicts and
+//!   witnesses — are bit-identical across thread counts and across
+//!   backends. The serial iterative Tarjan is retained as
 //!   [`SccBackend::Tarjan`] (backed by the `#[doc(hidden)]`
-//!   `stateless_core::scc::tarjan`), a `_naive`-style reference for the
-//!   differential suite (`tests/scc.rs`, `tests/differential.rs`) — use
-//!   the default [`SccBackend::ForwardBackward`] everywhere else.
+//!   `stateless_core::scc::tarjan_oracle`), a `_naive`-style reference
+//!   for the differential suite (`tests/scc.rs`,
+//!   `tests/differential.rs`) — use the default
+//!   [`SccBackend::ForwardBackward`] everywhere else.
+//!
+//! ## Migration note (`max_edges` / `TooManyEdges`)
+//!
+//! Through PR 5, [`VerifyError::TooManyEdges`] meant "the stored CSR
+//! arrays would exceed [`Limits::max_edges`] entries". The stored
+//! arrays are gone; the error now means "exploration *generated* more
+//! than `max_edges` transitions". Because the old explorer also
+//! generated each edge exactly once, the error trips at the same point
+//! on the same graphs with the same `limit` payload — existing matchers
+//! on `TooManyEdges { limit }` keep working unchanged — but the default
+//! budget is now sized for wall time, not for a 8-byte-per-edge array
+//! (see [`Limits::default`]). [`ExploreStats::edge_bytes`] likewise now
+//! reports the **peak transient** edge bytes (largest per-batch record
+//! buffer, plus the witness-phase component CSR) instead of final CSR
+//! storage.
 //!
 //! # Parallel exploration and determinism
 //!
@@ -50,21 +77,21 @@
 //!
 //! 1. **Expand** (parallel over chunks): workers claim contiguous slices
 //!    of the batch's source states, decode each state from the shard
-//!    arenas (read locks only), enumerate its activation sets, and emit
-//!    per-chunk CSR segments plus, per target shard, a record stream of
-//!    `(slot, stream key, fingerprint, packed words)` — successors are
-//!    *not* resolved yet.
+//!    arenas (read locks only), enumerate its activation sets, and emit,
+//!    per target shard, a record stream of `(stream key, fingerprint,
+//!    packed words)` — successors are *not* resolved yet, and nothing
+//!    per-edge outlives the batch.
 //! 2. **Intern** (parallel over shards): each shard is claimed by exactly
 //!    one worker, which replays that shard's records **in stream order**
 //!    (chunk by chunk, record by record) against the shard's fingerprint
 //!    index — so local id assignment never depends on thread timing, and
 //!    shards never contend.
-//! 3. **Number and stitch** (serial barrier + parallel scatter): fresh
-//!    states from all shards are merged by stream key — the position of
-//!    the edge that first discovered them — and dense ids are assigned in
-//!    that order, which is exactly the order the sequential explorer
-//!    interns in. Chunk segments then scatter their resolved targets and
-//!    are appended to the flat CSR arrays in state order.
+//! 3. **Number** (serial barrier): fresh states from all shards are
+//!    merged by stream key — the position of the edge that first
+//!    discovered them — and dense ids are assigned in that order, which
+//!    is exactly the order the sequential explorer interns in. The
+//!    batch's record buffers are then dropped; only the edge count (the
+//!    traversal budget) and the peak transient byte figure survive.
 //!
 //! Batch and chunk boundaries derive only from per-state degree
 //! estimates (never the thread count), shard assignment depends only on
@@ -89,11 +116,12 @@ use std::error::Error;
 use std::fmt;
 use std::hash::Hasher;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLockReadGuard};
 
 use stateless_core::convergence::all_labelings;
 use stateless_core::intern::{
     bits_for, pack, pack_state_id, shard_of, unpack, unpack_state_id, FxBuildHasher, FxHasher,
-    ShardedStateIndex, SHARD_COUNT,
+    ShardedStateIndex, StateShard, SHARD_COUNT,
 };
 use stateless_core::label::Label;
 use stateless_core::prelude::*;
@@ -104,11 +132,14 @@ use stateless_core::scc;
 pub struct Limits {
     /// Maximum number of product states to materialize.
     pub max_states: usize,
-    /// Maximum number of product transitions to materialize in the CSR
-    /// arrays. Edges cost 8 bytes each and outnumber states by the
+    /// Traversal budget: the maximum number of product transitions
+    /// exploration may *generate* (each edge is generated exactly once).
+    /// Nothing per-edge is stored anymore — see the module docs'
+    /// migration note — but edges outnumber states by the
     /// activation-set fan-out (up to `2^n − 1` per state on dense
-    /// activation sets, ~30× the state bytes in practice), so the state
-    /// cap alone does not bound memory.
+    /// activation sets), so the state cap alone does not bound wall
+    /// time; this one does. Exceeding it fails with
+    /// [`VerifyError::TooManyEdges`], exactly as it always did.
     pub max_edges: usize,
     /// Worker threads for frontier expansion, SCC condensation, and the
     /// interesting-edge scan; `0` means all available cores. Verdicts,
@@ -141,14 +172,18 @@ pub enum SccBackend {
 
 impl Default for Limits {
     fn default() -> Self {
-        // The packed-arena explorer stores a Boolean-alphabet state in a
-        // word or two (plus ~16 bytes of fingerprint index and 8 bytes per
-        // CSR edge), so 16M states is a few hundred MB — the old
-        // owned-`Vec` explorer exhausted the same memory near 2M. 256M
-        // edges caps the CSR arrays near 2 GiB.
+        // With no stored edges, memory is O(states): a Boolean-alphabet
+        // state costs a word or two of packed row plus ~16 bytes of
+        // fingerprint index and ~13 bytes of dense/bookkeeping arrays, so
+        // 10^8 states is a few GB where the seed's CSR arrays alone would
+        // have needed tens. `max_edges` is now a traversal budget (wall
+        // time, not storage) and scales accordingly: 2^40 generated
+        // transitions is roughly a day of single-core exploration — far
+        // past the seed's 2^28 storage cap that dense activation sets
+        // kept tripping.
         Limits {
-            max_states: 16_000_000,
-            max_edges: 1 << 28,
+            max_states: 100_000_000,
+            max_edges: 1 << 40,
             threads: 0,
             scc: SccBackend::ForwardBackward,
         }
@@ -231,43 +266,66 @@ impl<L> Verdict<L> {
 
 /// Size accounting for one exploration, reported by
 /// [`verify_label_stabilization_with_stats`]. All byte figures are
-/// *logical payload* bytes — rows × row width for states, the flat-array
-/// lengths for edges. Allocation slack on top (partially filled arena
-/// blocks in each of the [`SHARD_COUNT`] shards, ~16 bytes of fingerprint
-/// index per state) is excluded; it is bounded and amortizes away at the
-/// state counts where memory matters.
+/// *logical payload* bytes — rows × row width for states, records ×
+/// record width for the transient buffers. Allocation slack on top
+/// (partially filled arena blocks in each of the [`SHARD_COUNT`]
+/// shards, ~16 bytes of fingerprint index per state) is excluded; it is
+/// bounded and amortizes away at the state counts where memory matters.
+///
+/// Every field is bit-identical across thread counts and SCC backends —
+/// the differential suite asserts stats equality — so the transient
+/// peak is computed only from thread-independent quantities (batch
+/// boundaries derive from degree estimates, the witness CSR from the
+/// verdict component).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExploreStats {
     /// Product states materialized.
     pub states: usize,
-    /// Product transitions materialized.
+    /// Product transitions generated during exploration (each exactly
+    /// once) — the figure [`Limits::max_edges`] budgets. None of them
+    /// are stored.
     pub edges: usize,
     /// Packed `u64` words per state.
     pub words_per_state: usize,
     /// Bytes of state storage: the packed arenas plus output rows.
     pub state_bytes: usize,
-    /// Bytes of CSR edge storage (`edge_offsets`/`edge_targets`/`edge_meta`).
+    /// **Peak transient** edge bytes: the largest per-batch successor
+    /// record buffer exploration ever held (records die with their
+    /// batch), maxed with the witness phase's single-component CSR.
+    /// Replaces the stored-CSR figure of the pre-oracle verifier — see
+    /// the module docs' migration note. The exploration contribution is
+    /// capped by the batch-budget ceiling ([`BATCH_EDGE_BUDGET`]); on a
+    /// cyclic verdict the witness CSR — proportional to the verdict
+    /// SCC's intra-edges, not the whole graph — can exceed it and
+    /// dominate this figure.
     pub edge_bytes: usize,
 }
 
-/// `edge_meta` bit holding the "interesting" flag (the labeling — or the
-/// outputs, for output-stabilization — changed along the edge). The low
-/// 16 bits hold the activation mask (`n ≤ 16`).
-const META_INTERESTING: u32 = 1 << 16;
-
-/// Per-batch fan-out budget: a batch closes once the estimated edge count
-/// of its sources reaches this. Bounds the transient record buffers
-/// (roughly 30–40 bytes per edge) independently of the graph.
+/// Ceiling of the per-batch fan-out budget: a batch closes once the
+/// estimated edge count of its sources reaches the current budget (see
+/// [`Explorer::batch_edge_budget`]). With no stored CSR, the per-batch
+/// record buffers (roughly 24–40 bytes per edge) **are** the verifier's
+/// entire per-edge memory, so the budget directly caps the transient
+/// peak that [`ExploreStats::edge_bytes`] reports — a few MB at this
+/// ceiling, independent of the graph.
 ///
-/// Fixed constants, **never** derived from the thread count or the
-/// machine: batch and chunk boundaries decide the order in which fresh
-/// states are discovered, so they are part of the determinism contract.
-const BATCH_EDGE_BUDGET: u64 = 1 << 20;
+/// The budget ramps from [`BATCH_EDGE_BUDGET_MIN`] with the explored
+/// graph size so that small product graphs never see a transient larger
+/// than a fraction of their own (former) CSR. It is a function of
+/// `(n_states, n_edges)` at the batch boundary — deterministic,
+/// identical at every thread count — and **never** of the thread count
+/// or the machine: batch and chunk boundaries decide scheduling only
+/// (dense numbering is anchored to the globally monotone stream keys,
+/// so even the boundaries themselves cannot change the output).
+const BATCH_EDGE_BUDGET: u64 = 1 << 17;
+/// Floor of the adaptive per-batch fan-out budget.
+const BATCH_EDGE_BUDGET_MIN: u64 = 1 << 12;
 /// Per-chunk fan-out budget: sources are grouped into chunks of roughly
 /// this many edges, the unit of work-stealing inside a batch.
 const CHUNK_EDGE_BUDGET: u64 = 1 << 14;
-/// Initial labelings interned per seed batch.
-const SEED_BATCH_STATES: usize = 1 << 20;
+/// Initial labelings interned per seed batch; bounds the seed-phase
+/// record buffers exactly like [`BATCH_EDGE_BUDGET`] bounds expansion.
+const SEED_BATCH_STATES: usize = 1 << 17;
 /// Batches with fewer estimated edges than this run their pipeline waves
 /// inline instead of spawning workers: the vendored rayon stand-in has no
 /// persistent pool, so each wave costs OS thread spawns, which only
@@ -337,8 +395,6 @@ fn fingerprint(words: &[u64], aux: &[u64]) -> u64 {
 /// are strided by the packed row lengths.
 #[derive(Default)]
 struct ShardRecords {
-    /// Chunk-local edge index to scatter the resolved target back into.
-    slots: Vec<u32>,
     /// Stream keys: `(source dense id << 16) | edge index` for expansion
     /// records, the enumeration index for seed records. Strictly
     /// increasing along each shard's replayed stream; fresh states are
@@ -356,7 +412,6 @@ impl ShardRecords {
     /// slack) avoids most growth reallocations on the hot path.
     fn with_capacity(records: usize, w: usize, aux_len: usize) -> Self {
         ShardRecords {
-            slots: Vec::with_capacity(records),
             keys: Vec::with_capacity(records),
             fps: Vec::with_capacity(records),
             words: Vec::with_capacity(records * w),
@@ -365,24 +420,57 @@ impl ShardRecords {
     }
 }
 
-/// One chunk's expansion output: its CSR segment (targets still
-/// unresolved) plus the per-shard successor records.
+/// One chunk's expansion output: the per-shard successor records plus
+/// the chunk's generated-edge count (the traversal-budget figure —
+/// nothing per-edge survives the batch).
 struct ChunkOut {
-    /// Edges emitted per source state, in source order.
-    counts: Vec<u32>,
-    /// Edge metadata (activation mask | interesting flag), in edge order.
-    meta: Vec<u32>,
+    /// Transitions this chunk generated.
+    emitted: usize,
     /// Successor records, bucketed by target shard.
     shards: Vec<ShardRecords>,
 }
 
-/// One shard's interning output for a batch: per chunk, the local ids the
-/// shard resolved that chunk's records to, plus the fresh states it
-/// discovered (ascending stream keys — the merge relies on it).
+/// One shard's interning output for a batch: the fresh states it
+/// discovered (ascending stream keys — the merge relies on it). Hits
+/// are not reported back — with no CSR to scatter into, only fresh
+/// states matter.
 struct ShardIntern {
-    resolved: Vec<Vec<u32>>,
     /// `(stream key, local id, free-node count)` per fresh state.
     fresh: Vec<(u64, u32, u8)>,
+}
+
+/// Reusable per-worker decode/pack buffers for successor enumeration —
+/// everything [`Explorer::for_each_successor`] needs beyond the shard
+/// read guards. One per worker, warm across states: regenerating an edge
+/// allocates nothing.
+struct ExpandScratch<L> {
+    labeling: Vec<L>,
+    label_idx: Vec<u32>,
+    next_label_idx: Vec<u32>,
+    countdown: Vec<u8>,
+    out_words: Vec<u64>,
+    next_out_words: Vec<u64>,
+    state: Vec<u64>,
+    in_buf: Vec<L>,
+    react_buf: Vec<L>,
+    free_nodes: Vec<usize>,
+}
+
+impl<L: Label> ExpandScratch<L> {
+    fn new(cfg: &Config<'_, L>) -> Self {
+        ExpandScratch {
+            labeling: Vec::with_capacity(cfg.e),
+            label_idx: vec![0u32; cfg.e],
+            next_label_idx: vec![0u32; cfg.e],
+            countdown: vec![0u8; cfg.n],
+            out_words: vec![0u64; cfg.aux_len],
+            next_out_words: vec![0u64; cfg.aux_len],
+            state: vec![0u64; cfg.words_per_state],
+            in_buf: Vec::new(),
+            react_buf: Vec::new(),
+            free_nodes: Vec::with_capacity(cfg.n),
+        }
+    }
 }
 
 /// Runs `count` independent jobs on up to `threads` workers (claimed via
@@ -434,13 +522,14 @@ struct Explorer<'p, L: Label> {
     /// Dense id → free-node count (sizes batches and chunks).
     free_bits: Vec<u8>,
     n_states: usize,
-    /// CSR transition arrays: state `u`'s edges are
-    /// `edge_targets[edge_offsets[u]..edge_offsets[u+1]]` with matching
-    /// `edge_meta` (activation mask | [`META_INTERESTING`]). Stitched in
-    /// state order from per-chunk segments.
-    edge_offsets: Vec<usize>,
-    edge_targets: Vec<u32>,
-    edge_meta: Vec<u32>,
+    /// Transitions generated during exploration (each exactly once) —
+    /// the running total [`Limits::max_edges`] budgets. No per-edge
+    /// storage backs it.
+    n_edges: usize,
+    /// Peak transient edge bytes (see [`ExploreStats::edge_bytes`]):
+    /// max over batches of the record-buffer payload, later maxed with
+    /// the witness CSR by `&self` phases — hence atomic.
+    peak_edge_bytes: AtomicUsize,
 }
 
 impl<'p, L: Label> Explorer<'p, L> {
@@ -506,17 +595,26 @@ impl<'p, L: Label> Explorer<'p, L> {
             dense_ids: Vec::new(),
             free_bits: Vec::new(),
             n_states: 0,
-            edge_offsets: vec![0],
-            edge_targets: Vec::new(),
-            edge_meta: Vec::new(),
+            n_edges: 0,
+            peak_edge_bytes: AtomicUsize::new(0),
         };
         ex.seed(&limits)?;
         let mut cursor = 0;
         while cursor < ex.n_states {
             cursor = ex.expand_batch(cursor, &limits)?;
         }
-        debug_assert_eq!(ex.edge_offsets.len(), ex.n_states + 1);
         Ok(ex)
+    }
+
+    /// Logical payload bytes of one successor record: stream key +
+    /// fingerprint + packed words + auxiliary words.
+    fn record_bytes(&self) -> usize {
+        16 + 8 * (self.cfg.words_per_state + self.cfg.aux_len)
+    }
+
+    /// Folds a transient figure into the deterministic peak.
+    fn note_transient_bytes(&self, bytes: usize) {
+        self.peak_edge_bytes.fetch_max(bytes, Ordering::Relaxed);
     }
 
     /// Interns the initialization vertices — every labeling with full
@@ -556,8 +654,6 @@ impl<'p, L: Label> Explorer<'p, L> {
                 }
                 let fp = fingerprint(&state_buf, &aux_zero);
                 let rec = &mut recs[shard_of(fp)];
-                // No CSR slot: seed batches are interned with
-                // `want_resolved = false` and never scattered.
                 rec.keys.push(next_key);
                 rec.fps.push(fp);
                 rec.words.extend_from_slice(&state_buf);
@@ -568,9 +664,9 @@ impl<'p, L: Label> Explorer<'p, L> {
             if count == 0 {
                 break;
             }
+            self.note_transient_bytes(count * self.record_bytes());
             let chunks = vec![ChunkOut {
-                counts: Vec::new(),
-                meta: Vec::new(),
+                emitted: 0, // seed records are states, not transitions
                 shards: recs,
             }];
             let wave_threads = if (count as u64) < PARALLEL_MIN_BATCH_EDGES {
@@ -580,9 +676,7 @@ impl<'p, L: Label> Explorer<'p, L> {
             };
             let interned = {
                 let this = &*self;
-                run_indexed(wave_threads, SHARD_COUNT, |s| {
-                    this.intern_shard(s, &chunks, false)
-                })
+                run_indexed(wave_threads, SHARD_COUNT, |s| this.intern_shard(s, &chunks))
             };
             self.assign_dense(&interned, limits)?;
             if count < SEED_BATCH_STATES {
@@ -599,16 +693,30 @@ impl<'p, L: Label> Explorer<'p, L> {
         (1u64 << free) - u64::from(usize::from(free) == self.cfg.n)
     }
 
+    /// The current batch's fan-out budget: an eighth of the explored
+    /// graph size so far (states + generated edges), clamped between
+    /// [`BATCH_EDGE_BUDGET_MIN`] and [`BATCH_EDGE_BUDGET`]. Small graphs
+    /// get batches a small fraction of their own size — keeping the peak
+    /// transient well under what storing their CSR used to cost — while
+    /// large graphs ramp to the constant ceiling. Depends only on
+    /// deterministic, thread-independent exploration totals.
+    fn batch_edge_budget(&self) -> u64 {
+        (((self.n_states + self.n_edges) / 8) as u64)
+            .clamp(BATCH_EDGE_BUDGET_MIN, BATCH_EDGE_BUDGET)
+    }
+
     /// Expands one batch of source states starting at `cursor` through
     /// the three-phase pipeline (see the module docs) and returns the
     /// cursor past the batch.
     fn expand_batch(&mut self, cursor: usize, limits: &Limits) -> Result<usize, VerifyError> {
         // Batch = the next source range whose estimated fan-out fits the
         // budget (always at least one source). Boundaries derive only
-        // from per-state degree estimates, never the thread count.
+        // from per-state degree estimates and prior batch totals, never
+        // the thread count.
+        let budget = self.batch_edge_budget();
         let mut end = cursor;
         let mut est = 0u64;
-        while end < self.n_states && (end == cursor || est < BATCH_EDGE_BUDGET) {
+        while end < self.n_states && (end == cursor || est < budget) {
             est += self.est_edges(self.free_bits[end]);
             end += 1;
         }
@@ -646,190 +754,218 @@ impl<'p, L: Label> Explorer<'p, L> {
         // Phase 2: replay each shard's record stream in order.
         let interned: Vec<ShardIntern> = {
             let this = &*self;
-            run_indexed(threads, SHARD_COUNT, |s| {
-                this.intern_shard(s, &chunk_outs, true)
-            })
+            run_indexed(threads, SHARD_COUNT, |s| this.intern_shard(s, &chunk_outs))
         };
-        // Phase 3a (serial barrier): dense-number the fresh states.
+        // Phase 3 (serial barrier): dense-number the fresh states, then
+        // charge the batch against the traversal budget and the peak
+        // transient figure. The record buffers die here — nothing
+        // per-edge survives the batch.
         self.assign_dense(&interned, limits)?;
-        // Phase 3b: scatter resolved dense targets per chunk, in parallel.
-        let chunk_targets: Vec<Vec<u32>> = {
-            let this = &*self;
-            run_indexed(threads, chunk_outs.len(), |c| {
-                this.resolve_chunk(&chunk_outs[c], &interned, c)
-            })
-        };
-        // Phase 3c (serial): stitch the segments in state order.
-        for (chunk, targets) in chunk_outs.iter().zip(&chunk_targets) {
-            if self.edge_targets.len() + targets.len() > limits.max_edges {
-                return Err(VerifyError::TooManyEdges {
-                    limit: limits.max_edges,
-                });
-            }
-            for &c in &chunk.counts {
-                let last = *self.edge_offsets.last().expect("offsets seeded with 0");
-                self.edge_offsets.push(last + c as usize);
-            }
-            self.edge_targets.extend_from_slice(targets);
-            self.edge_meta.extend_from_slice(&chunk.meta);
+        let emitted: usize = chunk_outs.iter().map(|c| c.emitted).sum();
+        self.note_transient_bytes(emitted * self.record_bytes());
+        self.n_edges += emitted;
+        if self.n_edges > limits.max_edges {
+            return Err(VerifyError::TooManyEdges {
+                limit: limits.max_edges,
+            });
         }
         Ok(end)
     }
 
-    /// Phase 1: expands source states `start..end`, emitting the chunk's
-    /// CSR segment and per-shard successor records. Takes only read locks
-    /// on the shards; every per-edge step is allocation-free.
+    /// Phase 1: expands source states `start..end`, emitting the
+    /// per-shard successor records. Takes only read locks on the shards;
+    /// every per-edge step is allocation-free.
     fn expand_chunk(&self, start: usize, end: usize) -> Result<ChunkOut, VerifyError> {
         let cfg = &self.cfg;
-        let (n, e, w) = (cfg.n, cfg.e, cfg.words_per_state);
-        let (lw, cw) = (cfg.label_width, cfg.countdown_width);
         let guards = self.index.read_all();
         let est: u64 = self.free_bits[start..end]
             .iter()
             .map(|&f| self.est_edges(f))
             .sum();
         let per_shard = (est as usize / SHARD_COUNT) * 5 / 4 + 4;
-        let mut out = ChunkOut {
-            counts: Vec::with_capacity(end - start),
-            meta: Vec::with_capacity(est as usize),
-            shards: (0..SHARD_COUNT)
-                .map(|_| ShardRecords::with_capacity(per_shard, w, cfg.aux_len))
-                .collect(),
-        };
-        let mut labeling_buf: Vec<L> = Vec::with_capacity(e);
-        let mut label_idx_buf = vec![0u32; e];
-        let mut next_label_idx = vec![0u32; e];
-        let mut countdown_buf = vec![0u8; n];
-        let mut out_words_buf = vec![0u64; cfg.aux_len];
-        let mut next_out_words = vec![0u64; cfg.aux_len];
-        let mut state_buf = vec![0u64; w];
-        let mut in_buf: Vec<L> = Vec::new();
-        let mut react_buf: Vec<L> = Vec::new();
-        let mut free_nodes: Vec<usize> = Vec::with_capacity(n);
+        let mut shards: Vec<ShardRecords> = (0..SHARD_COUNT)
+            .map(|_| ShardRecords::with_capacity(per_shard, cfg.words_per_state, cfg.aux_len))
+            .collect();
+        let mut emitted = 0usize;
+        let mut scratch = ExpandScratch::new(cfg);
         for u in start..end {
-            // Decode the source state from its shard arena.
-            let (s, local) = unpack_state_id(self.dense_ids[u]);
-            {
-                let row = guards[s].row(local);
-                labeling_buf.clear();
-                for (k, idx) in label_idx_buf.iter_mut().enumerate() {
-                    let v = unpack(row, k * lw as usize, lw) as u32;
-                    *idx = v;
-                    labeling_buf.push(cfg.alphabet[v as usize].clone());
-                }
-                for (i, cd) in countdown_buf.iter_mut().enumerate() {
-                    *cd = unpack(row, e * lw as usize + i * cw as usize, cw) as u8 + 1;
-                }
-                if cfg.track_outputs {
-                    out_words_buf.copy_from_slice(guards[s].aux_row(local));
-                }
-            }
-            let forced: u32 = (0..n)
-                .filter(|&i| countdown_buf[i] == 1)
-                .map(|i| 1 << i)
-                .sum();
-            free_nodes.clear();
-            free_nodes.extend((0..n).filter(|&i| countdown_buf[i] != 1));
-            let graph = cfg.protocol.graph();
             let mut edge_k: u32 = 0;
-            // Every activation set: forced nodes plus any subset of the
-            // rest (skipping the empty total set).
-            for subset in 0..(1u32 << free_nodes.len()) {
-                let mut mask = forced;
-                for (k, &i) in free_nodes.iter().enumerate() {
-                    if subset >> k & 1 == 1 {
-                        mask |= 1 << i;
-                    }
-                }
-                if mask == 0 {
-                    continue;
-                }
-                next_label_idx.copy_from_slice(&label_idx_buf);
-                if cfg.track_outputs {
-                    next_out_words.copy_from_slice(&out_words_buf);
-                }
-                for i in (0..n).filter(|&i| mask >> i & 1 == 1) {
-                    // Buffered reaction probe: all reads come from the
-                    // pre-step `labeling_buf`, so the per-node commits into
-                    // next_label_idx cannot corrupt later probes.
-                    let y = cfg.protocol.apply_buffered(
-                        i,
-                        &labeling_buf,
-                        cfg.inputs[i],
-                        &mut in_buf,
-                        &mut react_buf,
-                    );
-                    for (slot, &eid) in react_buf.iter().zip(graph.out_edges(i)) {
-                        let Some(&idx) = cfg.label_index.get(slot) else {
-                            return Err(VerifyError::BadParameters {
-                                what: format!(
-                                    "node {i} emitted the label {slot:?}, which is \
-                                     outside the declared alphabet"
-                                ),
-                            });
-                        };
-                        next_label_idx[eid] = idx;
-                    }
-                    if cfg.track_outputs {
-                        next_out_words[i] = y;
-                    }
-                }
-                let interesting = if cfg.track_outputs {
-                    next_out_words != out_words_buf
-                } else {
-                    next_label_idx != label_idx_buf
-                };
-                // Pack the successor: labels, then countdowns (reset to r
-                // for activated nodes, decremented otherwise).
-                state_buf.fill(0);
-                for (k, &idx) in next_label_idx.iter().enumerate() {
-                    pack(&mut state_buf, k * lw as usize, lw, u64::from(idx));
-                }
-                for (i, &cd_now) in countdown_buf.iter().enumerate() {
-                    let cd = if mask >> i & 1 == 1 {
-                        cfg.r
-                    } else {
-                        cd_now - 1
-                    };
-                    pack(
-                        &mut state_buf,
-                        e * lw as usize + i * cw as usize,
-                        cw,
-                        u64::from(cd - 1),
-                    );
-                }
-                let fp = fingerprint(&state_buf, &next_out_words);
-                let rec = &mut out.shards[shard_of(fp)];
-                rec.slots.push(out.meta.len() as u32);
-                // n ≤ 16 bounds the per-source fan-out below 2^16 edges,
-                // so the key packs (dense source, edge index) exactly.
-                rec.keys.push(((u as u64) << 16) | u64::from(edge_k));
-                rec.fps.push(fp);
-                rec.words.extend_from_slice(&state_buf);
-                rec.aux.extend_from_slice(&next_out_words);
-                out.meta
-                    .push(mask | if interesting { META_INTERESTING } else { 0 });
-                edge_k += 1;
-            }
-            out.counts.push(edge_k);
+            self.for_each_successor(
+                &guards,
+                u,
+                &mut scratch,
+                |words, aux, _mask, _interesting| {
+                    let fp = fingerprint(words, aux);
+                    let rec = &mut shards[shard_of(fp)];
+                    // n ≤ 16 bounds the per-source fan-out below 2^16 edges,
+                    // so the key packs (dense source, edge index) exactly.
+                    rec.keys.push(((u as u64) << 16) | u64::from(edge_k));
+                    rec.fps.push(fp);
+                    rec.words.extend_from_slice(words);
+                    rec.aux.extend_from_slice(aux);
+                    edge_k += 1;
+                },
+            )?;
+            emitted += edge_k as usize;
         }
-        Ok(out)
+        Ok(ChunkOut { emitted, shards })
+    }
+
+    /// Enumerates the successors of dense state `u` in activation-set
+    /// order — the canonical edge order, identical for every phase that
+    /// regenerates edges — invoking `emit(words, aux, mask, interesting)`
+    /// with the packed successor row, its auxiliary output row, the
+    /// activation mask, and whether the labeling (or the tracked
+    /// outputs) changed along the edge. Allocation-free per edge given a
+    /// warm `scratch`; the only error is a reaction emitting a label
+    /// outside the declared alphabet, which exploration surfaces as
+    /// [`VerifyError::BadParameters`] (post-exploration regeneration can
+    /// therefore never hit it).
+    fn for_each_successor<F>(
+        &self,
+        guards: &[RwLockReadGuard<'_, StateShard>],
+        u: usize,
+        scratch: &mut ExpandScratch<L>,
+        mut emit: F,
+    ) -> Result<(), VerifyError>
+    where
+        F: FnMut(&[u64], &[u64], u32, bool),
+    {
+        let cfg = &self.cfg;
+        let (n, e) = (cfg.n, cfg.e);
+        let (lw, cw) = (cfg.label_width, cfg.countdown_width);
+        let sc = scratch;
+        // Decode the source state from its shard arena.
+        let (s, local) = unpack_state_id(self.dense_ids[u]);
+        {
+            let row = guards[s].row(local);
+            sc.labeling.clear();
+            for (k, idx) in sc.label_idx.iter_mut().enumerate() {
+                let v = unpack(row, k * lw as usize, lw) as u32;
+                *idx = v;
+                sc.labeling.push(cfg.alphabet[v as usize].clone());
+            }
+            for (i, cd) in sc.countdown.iter_mut().enumerate() {
+                *cd = unpack(row, e * lw as usize + i * cw as usize, cw) as u8 + 1;
+            }
+            if cfg.track_outputs {
+                sc.out_words.copy_from_slice(guards[s].aux_row(local));
+            }
+        }
+        let forced: u32 = (0..n)
+            .filter(|&i| sc.countdown[i] == 1)
+            .map(|i| 1 << i)
+            .sum();
+        sc.free_nodes.clear();
+        sc.free_nodes
+            .extend((0..n).filter(|&i| sc.countdown[i] != 1));
+        let graph = cfg.protocol.graph();
+        // Every activation set: forced nodes plus any subset of the
+        // rest (skipping the empty total set).
+        for subset in 0..(1u32 << sc.free_nodes.len()) {
+            let mut mask = forced;
+            for (k, &i) in sc.free_nodes.iter().enumerate() {
+                if subset >> k & 1 == 1 {
+                    mask |= 1 << i;
+                }
+            }
+            if mask == 0 {
+                continue;
+            }
+            sc.next_label_idx.copy_from_slice(&sc.label_idx);
+            if cfg.track_outputs {
+                sc.next_out_words.copy_from_slice(&sc.out_words);
+            }
+            for i in (0..n).filter(|&i| mask >> i & 1 == 1) {
+                // Buffered reaction probe: all reads come from the
+                // pre-step labeling, so the per-node commits into
+                // next_label_idx cannot corrupt later probes.
+                let y = cfg.protocol.apply_buffered(
+                    i,
+                    &sc.labeling,
+                    cfg.inputs[i],
+                    &mut sc.in_buf,
+                    &mut sc.react_buf,
+                );
+                for (slot, &eid) in sc.react_buf.iter().zip(graph.out_edges(i)) {
+                    let Some(&idx) = cfg.label_index.get(slot) else {
+                        return Err(VerifyError::BadParameters {
+                            what: format!(
+                                "node {i} emitted the label {slot:?}, which is \
+                                 outside the declared alphabet"
+                            ),
+                        });
+                    };
+                    sc.next_label_idx[eid] = idx;
+                }
+                if cfg.track_outputs {
+                    sc.next_out_words[i] = y;
+                }
+            }
+            let interesting = if cfg.track_outputs {
+                sc.next_out_words != sc.out_words
+            } else {
+                sc.next_label_idx != sc.label_idx
+            };
+            // Pack the successor: labels, then countdowns (reset to r
+            // for activated nodes, decremented otherwise).
+            sc.state.fill(0);
+            for (k, &idx) in sc.next_label_idx.iter().enumerate() {
+                pack(&mut sc.state, k * lw as usize, lw, u64::from(idx));
+            }
+            for (i, &cd_now) in sc.countdown.iter().enumerate() {
+                let cd = if mask >> i & 1 == 1 {
+                    cfg.r
+                } else {
+                    cd_now - 1
+                };
+                pack(
+                    &mut sc.state,
+                    e * lw as usize + i * cw as usize,
+                    cw,
+                    u64::from(cd - 1),
+                );
+            }
+            emit(&sc.state, &sc.next_out_words, mask, interesting);
+        }
+        Ok(())
+    }
+
+    /// Regenerates and resolves the outgoing edges of dense state `u`:
+    /// every successor is packed, fingerprinted, and looked up read-only
+    /// in its shard ([`StateShard::lookup`] — exploration interned all
+    /// of them), then mapped to its dense id. `out` is overwritten with
+    /// `(dense target, activation mask, interesting)` in the canonical
+    /// edge order.
+    fn successors_resolved(
+        &self,
+        guards: &[RwLockReadGuard<'_, StateShard>],
+        u: usize,
+        scratch: &mut ExpandScratch<L>,
+        out: &mut Vec<(u32, u32, bool)>,
+    ) {
+        out.clear();
+        self.for_each_successor(guards, u, scratch, |words, aux, mask, interesting| {
+            let fp = fingerprint(words, aux);
+            let s = shard_of(fp);
+            let local = guards[s]
+                .lookup(fp, words, aux)
+                .expect("every successor was interned during exploration");
+            out.push((guards[s].dense_of(local), mask, interesting));
+        })
+        .expect("alphabet closure was validated during exploration");
     }
 
     /// Phase 2: replays shard `s`'s record stream — chunks in order,
     /// records in order — against its fingerprint index. Exactly one
     /// worker claims each shard, so interning is single-writer and the
     /// local id sequence is deterministic.
-    fn intern_shard(&self, s: usize, chunks: &[ChunkOut], want_resolved: bool) -> ShardIntern {
+    fn intern_shard(&self, s: usize, chunks: &[ChunkOut]) -> ShardIntern {
         let (w, al) = (self.cfg.words_per_state, self.cfg.aux_len);
         let mut shard = self.index.write(s);
-        let mut out = ShardIntern {
-            resolved: Vec::with_capacity(chunks.len()),
-            fresh: Vec::new(),
-        };
+        let mut out = ShardIntern { fresh: Vec::new() };
         for chunk in chunks {
             let rec = &chunk.shards[s];
-            let mut res = Vec::with_capacity(if want_resolved { rec.fps.len() } else { 0 });
             for (i, &fp) in rec.fps.iter().enumerate() {
                 let row = &rec.words[i * w..(i + 1) * w];
                 let aux = &rec.aux[i * al..(i + 1) * al];
@@ -838,11 +974,7 @@ impl<'p, L: Label> Explorer<'p, L> {
                     out.fresh
                         .push((rec.keys[i], local, self.cfg.free_count(row)));
                 }
-                if want_resolved {
-                    res.push(local);
-                }
             }
-            out.resolved.push(res);
         }
         out
     }
@@ -885,55 +1017,82 @@ impl<'p, L: Label> Explorer<'p, L> {
         Ok(())
     }
 
-    /// Phase 3b: scatters one chunk's resolved targets — now that every
-    /// `(shard, local)` id has a dense number — into a dense CSR target
-    /// segment.
-    fn resolve_chunk(&self, chunk: &ChunkOut, interned: &[ShardIntern], c: usize) -> Vec<u32> {
-        let guards = self.index.read_all();
-        let mut targets = vec![0u32; chunk.meta.len()];
-        for (s, (rec, si)) in chunk.shards.iter().zip(interned).enumerate() {
-            for (&slot, &local) in rec.slots.iter().zip(&si.resolved[c]) {
-                targets[slot as usize] = guards[s].dense_of(local);
-            }
-        }
-        targets
+    /// Condenses the explored product graph **without materializing
+    /// it**: a [`ProductOracle`] regenerates successors on demand for
+    /// the parallel trim + Forward–Backward engine of
+    /// [`stateless_core::scc`] on [`Limits::threads`] workers, or for
+    /// the serial Tarjan reference — both in the canonical numbering,
+    /// so the choice (and the thread count) never changes a verdict or
+    /// a witness.
+    fn sccs(&self, backend: SccBackend) -> Vec<u32> {
+        self.sccs_with_threads(backend, self.cfg.threads)
     }
 
-    /// Condenses the explored product graph: the parallel trim +
-    /// Forward–Backward engine of [`stateless_core::scc`] on
-    /// [`Limits::threads`] workers, or the serial Tarjan reference —
-    /// both in the canonical numbering, so the choice (and the thread
-    /// count) never changes a verdict or a witness.
-    fn sccs(&self, backend: SccBackend) -> Vec<u32> {
+    /// [`Explorer::sccs`] at an explicit worker count — the
+    /// SCC-isolation bench hook.
+    fn sccs_with_threads(&self, backend: SccBackend, threads: usize) -> Vec<u32> {
+        let oracle = ProductOracle::new(self);
         match backend {
-            SccBackend::ForwardBackward => {
-                scc::condense(&self.edge_offsets, &self.edge_targets, self.cfg.threads)
-            }
-            SccBackend::Tarjan => scc::tarjan(&self.edge_offsets, &self.edge_targets),
+            SccBackend::ForwardBackward => scc::condense_oracle(&oracle, threads),
+            SccBackend::Tarjan => scc::tarjan_oracle(&oracle),
         }
     }
 
     /// Finds a cycle through an "interesting" intra-SCC edge, as a
     /// witness. The *first* such edge suffices — its endpoints share an
     /// SCC, so the closing path always exists and one BFS settles the
-    /// whole component; the BFS bookkeeping is flat per-state arrays
-    /// (predecessor + mask, plus a reusable queue), not hashed maps.
+    /// whole component. The BFS needs repeated edge access over that one
+    /// component, so the verdict SCC — and only it — is re-expanded into
+    /// a small **transient** CSR (component-local targets + activation
+    /// masks), discarded when the witness is built; its size is folded
+    /// into the [`ExploreStats::edge_bytes`] peak.
     fn witness(&self, comp: &[u32]) -> Option<CycleWitness<L>> {
         let (u, v, mask) = self.first_interesting_intra_scc_edge(comp)?;
-        let mut prev: Vec<u32> = vec![u32::MAX; self.n_states];
-        let mut prev_mask: Vec<u32> = vec![0; self.n_states];
+        // Re-expand the verdict component into local-id CSR arrays.
+        let cid = comp[u];
+        let members: Vec<u32> = (0..self.n_states as u32)
+            .filter(|&x| comp[x as usize] == cid)
+            .collect();
+        let mut local_of: Vec<u32> = vec![u32::MAX; self.n_states];
+        for (i, &x) in members.iter().enumerate() {
+            local_of[x as usize] = i as u32;
+        }
+        let guards = self.index.read_all();
+        let mut scratch = ExpandScratch::new(&self.cfg);
+        let mut edges: Vec<(u32, u32, bool)> = Vec::new();
+        let mut offsets: Vec<usize> = Vec::with_capacity(members.len() + 1);
+        offsets.push(0);
+        let mut targets: Vec<u32> = Vec::new();
+        let mut masks: Vec<u32> = Vec::new();
+        for &x in &members {
+            self.successors_resolved(&guards, x as usize, &mut scratch, &mut edges);
+            for &(t, m, _) in &edges {
+                if comp[t as usize] == cid {
+                    targets.push(local_of[t as usize]);
+                    masks.push(m);
+                }
+            }
+            offsets.push(targets.len());
+        }
+        self.note_transient_bytes(
+            offsets.len() * std::mem::size_of::<usize>() + targets.len() * 4 + masks.len() * 4,
+        );
+        let (lu, lv) = (local_of[u] as usize, local_of[v] as usize);
+        let m = members.len();
+        let mut prev: Vec<u32> = vec![u32::MAX; m];
+        let mut prev_mask: Vec<u32> = vec![0; m];
         let mut queue: VecDeque<u32> = VecDeque::new();
         // BFS from v back to u inside the component.
-        queue.push_back(v as u32);
-        let mut found = v == u;
+        queue.push_back(lv as u32);
+        let mut found = lv == lu;
         'bfs: while let Some(w) = queue.pop_front() {
             let wu = w as usize;
-            for c in self.edge_offsets[wu]..self.edge_offsets[wu + 1] {
-                let x = self.edge_targets[c] as usize;
-                if comp[x] == comp[u] && x != v && prev[x] == u32::MAX {
+            for c in offsets[wu]..offsets[wu + 1] {
+                let x = targets[c] as usize;
+                if x != lv && prev[x] == u32::MAX {
                     prev[x] = w;
-                    prev_mask[x] = self.edge_meta[c] & 0xFFFF;
-                    if x == u {
+                    prev_mask[x] = masks[c];
+                    if x == lu {
                         found = true;
                         break 'bfs;
                     }
@@ -946,16 +1105,16 @@ impl<'p, L: Label> Explorer<'p, L> {
             return None;
         }
         // Reconstruct u →(mask) v → … → u.
-        let mut masks = vec![mask];
+        let mut sched_masks = vec![mask];
         let mut path_rev = Vec::new();
-        let mut at = u;
-        while at != v {
+        let mut at = lu;
+        while at != lv {
             path_rev.push(prev_mask[at]);
             at = prev[at] as usize;
         }
-        masks.extend(path_rev.into_iter().rev());
+        sched_masks.extend(path_rev.into_iter().rev());
         let n = self.cfg.n;
-        let schedule = masks
+        let schedule = sched_masks
             .into_iter()
             .map(|m| (0..n).filter(|&i| m >> i & 1 == 1).collect())
             .collect();
@@ -965,32 +1124,33 @@ impl<'p, L: Label> Explorer<'p, L> {
         })
     }
 
-    /// Finds the first (in CSR edge order) labeling/output-changing edge
-    /// whose endpoints share a component. The scan is chunked over fixed
-    /// state ranges and the chunks run on [`Limits::threads`] workers;
-    /// taking the earliest non-empty chunk reproduces the serial scan's
-    /// answer exactly (chunk boundaries are constants, never derived
-    /// from the thread count), and a shared low-water mark lets workers
-    /// skip chunks that can no longer win.
+    /// Finds the first (in canonical edge order — ascending source
+    /// state, then activation-set order) labeling/output-changing edge
+    /// whose endpoints share a component, regenerating each state's
+    /// edges on the fly. The scan is chunked over fixed state ranges and
+    /// the chunks run on [`Limits::threads`] workers; taking the
+    /// earliest non-empty chunk reproduces the serial scan's answer
+    /// exactly (chunk boundaries are constants, never derived from the
+    /// thread count), and a shared low-water mark lets workers skip
+    /// chunks that can no longer win.
     fn first_interesting_intra_scc_edge(&self, comp: &[u32]) -> Option<(usize, usize, u32)> {
         let chunks = self.n_states.div_ceil(SCAN_CHUNK_STATES);
         let best = AtomicUsize::new(usize::MAX);
+        let guards = self.index.read_all();
         let scan = |c: usize| -> Option<(usize, usize, u32)> {
             if c > best.load(Ordering::Relaxed) {
                 return None;
             }
             let start = c * SCAN_CHUNK_STATES;
             let end = (start + SCAN_CHUNK_STATES).min(self.n_states);
+            let mut scratch = ExpandScratch::new(&self.cfg);
+            let mut edges: Vec<(u32, u32, bool)> = Vec::new();
             for u in start..end {
-                for k in self.edge_offsets[u]..self.edge_offsets[u + 1] {
-                    let meta = self.edge_meta[k];
-                    if meta & META_INTERESTING == 0 {
-                        continue;
-                    }
-                    let v = self.edge_targets[k] as usize;
-                    if comp[u] == comp[v] {
+                self.successors_resolved(&guards, u, &mut scratch, &mut edges);
+                for &(v, mask, interesting) in &edges {
+                    if interesting && comp[u] == comp[v as usize] {
                         best.fetch_min(c, Ordering::Relaxed);
-                        return Some((u, v, meta & 0xFFFF));
+                        return Some((u, v as usize, mask));
                     }
                 }
             }
@@ -1016,13 +1176,81 @@ impl<'p, L: Label> Explorer<'p, L> {
     fn stats(&self) -> ExploreStats {
         ExploreStats {
             states: self.n_states,
-            edges: self.edge_targets.len(),
+            edges: self.n_edges,
             words_per_state: self.cfg.words_per_state,
             state_bytes: self.n_states * (self.cfg.words_per_state + self.cfg.aux_len) * 8,
-            edge_bytes: self.edge_offsets.len() * std::mem::size_of::<usize>()
-                + self.edge_targets.len() * 4
-                + self.edge_meta.len() * 4,
+            edge_bytes: self.peak_edge_bytes.load(Ordering::Relaxed),
         }
+    }
+
+    /// Materializes the full CSR adjacency by regenerating every edge —
+    /// O(edges) memory by definition, so this is strictly a test/bench
+    /// hook (the SCC-isolation rows, the differential suites), never
+    /// part of verification.
+    fn materialize_csr(&self) -> (Vec<usize>, Vec<u32>) {
+        let guards = self.index.read_all();
+        let mut scratch = ExpandScratch::new(&self.cfg);
+        let mut edges: Vec<(u32, u32, bool)> = Vec::new();
+        let mut offsets: Vec<usize> = Vec::with_capacity(self.n_states + 1);
+        offsets.push(0);
+        let mut targets: Vec<u32> = Vec::new();
+        for u in 0..self.n_states {
+            self.successors_resolved(&guards, u, &mut scratch, &mut edges);
+            targets.extend(edges.iter().map(|&(v, _, _)| v));
+            offsets.push(targets.len());
+        }
+        (offsets, targets)
+    }
+}
+
+/// One checkout of oracle scratch: expansion state plus a resolved
+/// `(target, mask, interesting)` edge buffer.
+type OracleScratch<L> = (ExpandScratch<L>, Vec<(u32, u32, bool)>);
+
+/// The verifier's [`scc::SuccessorOracle`]: shared read guards over the
+/// shard arenas plus a pool of per-worker scratch buffers. A successor
+/// query regenerates the state's edges via
+/// [`Explorer::successors_resolved`] and strips them to dense target
+/// ids — the SCC engine never sees (and the process never stores) a
+/// full-graph edge array.
+struct ProductOracle<'e, 'p, L: Label> {
+    ex: &'e Explorer<'p, L>,
+    guards: Vec<RwLockReadGuard<'e, StateShard>>,
+    /// Checked-out/returned per-worker scratch; the lock is held only
+    /// for the pop/push, never across a query.
+    pool: Mutex<Vec<OracleScratch<L>>>,
+}
+
+impl<'e, 'p, L: Label> ProductOracle<'e, 'p, L> {
+    fn new(ex: &'e Explorer<'p, L>) -> Self {
+        ProductOracle {
+            ex,
+            guards: ex.index.read_all(),
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl<L: Label> scc::SuccessorOracle for ProductOracle<'_, '_, L> {
+    fn state_count(&self) -> usize {
+        self.ex.n_states
+    }
+
+    fn successors(&self, u: u32, out: &mut Vec<u32>) {
+        let (mut scratch, mut edges) = self
+            .pool
+            .lock()
+            .expect("oracle scratch pool poisoned")
+            .pop()
+            .unwrap_or_else(|| (ExpandScratch::new(&self.ex.cfg), Vec::new()));
+        self.ex
+            .successors_resolved(&self.guards, u as usize, &mut scratch, &mut edges);
+        out.clear();
+        out.extend(edges.iter().map(|&(v, _, _)| v));
+        self.pool
+            .lock()
+            .expect("oracle scratch pool poisoned")
+            .push((scratch, edges));
     }
 }
 
@@ -1074,10 +1302,52 @@ pub fn verify_label_stabilization_with_stats<L: Label>(
     Ok((verdict, ex.stats()))
 }
 
+/// An explored **label**-stabilization product graph, held open for
+/// repeated SCC condensation — the hook the `verify_scaling` perf rows
+/// use to time the SCC phase in isolation, per thread count and
+/// backend, on the real graph without re-exploring it each time.
+#[doc(hidden)]
+pub struct ExploredProduct<'p, L: Label>(Explorer<'p, L>);
+
 /// Explores the product graph of a **label**-stabilization query and
-/// returns its CSR adjacency (`edge_offsets`, `edge_targets`) without
-/// condensing it — the hook the `verify_scaling` perf rows use to time
-/// the SCC phase in isolation, per thread count, on the real graph.
+/// returns it as an [`ExploredProduct`] handle (no verdict, no CSR).
+///
+/// # Errors
+///
+/// As for [`verify_label_stabilization`].
+#[doc(hidden)]
+pub fn explore_product<'p, L: Label>(
+    protocol: &'p Protocol<L>,
+    inputs: &[Input],
+    alphabet: &[L],
+    r: u8,
+    limits: Limits,
+) -> Result<ExploredProduct<'p, L>, VerifyError> {
+    Explorer::explore(protocol, inputs, alphabet, r, false, limits).map(ExploredProduct)
+}
+
+impl<L: Label> ExploredProduct<'_, L> {
+    /// Condenses via the successor oracle at an explicit worker count.
+    pub fn condense(&self, backend: SccBackend, threads: usize) -> Vec<u32> {
+        self.0.sccs_with_threads(backend, threads)
+    }
+
+    /// Materializes the CSR adjacency by regeneration — O(edges) memory,
+    /// bench/test use only.
+    pub fn csr(&self) -> (Vec<usize>, Vec<u32>) {
+        self.0.materialize_csr()
+    }
+
+    /// Exploration stats ([`ExploreStats`]).
+    pub fn stats(&self) -> ExploreStats {
+        self.0.stats()
+    }
+}
+
+/// Explores the product graph of a **label**-stabilization query and
+/// returns its CSR adjacency (`edge_offsets`, `edge_targets`),
+/// materialized on demand by regenerating every edge (the verifier
+/// itself no longer stores one) — a differential-test adapter.
 ///
 /// # Errors
 ///
@@ -1090,8 +1360,7 @@ pub fn product_graph_csr<L: Label>(
     r: u8,
     limits: Limits,
 ) -> Result<(Vec<usize>, Vec<u32>), VerifyError> {
-    let ex = Explorer::explore(protocol, inputs, alphabet, r, false, limits)?;
-    Ok((ex.edge_offsets, ex.edge_targets))
+    Ok(explore_product(protocol, inputs, alphabet, r, limits)?.csr())
 }
 
 /// Decides **output** r-stabilization (the weaker condition: outputs must

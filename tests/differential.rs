@@ -20,7 +20,7 @@ use stateless_computation::core::convergence::{
 use stateless_computation::core::graph::DiGraph;
 use stateless_computation::core::prelude::*;
 use stateless_computation::verify::{
-    verify_label_stabilization, verify_label_stabilization_naive,
+    product_graph_csr, verify_label_stabilization, verify_label_stabilization_naive,
     verify_label_stabilization_with_stats, verify_output_stabilization,
     verify_output_stabilization_naive, CycleWitness, Limits, SccBackend, Verdict, VerifyError,
 };
@@ -557,5 +557,41 @@ proptest! {
             prop_assert!(labels_changed, "witness labels oscillate");
             prop_assert!(closed, "witness cycle closes");
         }
+    }
+}
+
+/// The edge-less verifier's memory win, pinned end to end on the
+/// clique(4) dense-activation regression (the same instance whose CSR
+/// made `TooManyEdges` the binding limit): the **peak transient** edge
+/// bytes the exploration + witness pipeline ever holds
+/// ([`ExploreStats::edge_bytes`] — per-batch record buffers plus the
+/// re-expanded verdict-component CSR) must stay below half of what
+/// storing the full product CSR used to cost. The old figure is
+/// reconstructed from the materialized adjacency (offsets at 8 bytes
+/// per state, targets + activation metadata at 8 bytes per edge) — the
+/// exact layout the pre-oracle verifier kept resident.
+#[test]
+fn edgeless_verifier_peak_transient_stays_below_half_the_old_csr() {
+    let graph = topology::clique(4);
+    let (_, p) = protocol_pair(&graph, 2);
+    let inputs = vec![0u64; 4];
+    let alphabet = [0u64, 1];
+    for r in [2u8, 3] {
+        let (_, stats) =
+            verify_label_stabilization_with_stats(&p, &inputs, &alphabet, r, Limits::default())
+                .unwrap();
+        let (offsets, targets) =
+            product_graph_csr(&p, &inputs, &alphabet, r, Limits::default()).unwrap();
+        let old_csr_bytes = offsets.len() * std::mem::size_of::<usize>() + targets.len() * (4 + 4);
+        assert!(
+            stats.edge_bytes * 2 < old_csr_bytes,
+            "r = {r}: peak transient edge bytes ({}) must stay below half the \
+             old stored-CSR bytes ({old_csr_bytes}) on clique(4)",
+            stats.edge_bytes
+        );
+        assert!(
+            stats.edge_bytes > 0,
+            "r = {r}: the peak must be tracked, not dropped"
+        );
     }
 }

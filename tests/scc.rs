@@ -10,7 +10,10 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use stateless_computation::core::scc::{condense, condense_with, tarjan};
+use stateless_computation::core::scc::{
+    condense, condense_oracle, condense_oracle_with, condense_with, effective_workers, from_fn,
+    tarjan, tarjan_oracle,
+};
 
 /// Thread counts the determinism assertions run at. `1/2/4` always;
 /// `STATELESS_TEST_THREADS=N` (the CI multi-worker job) adds `N`, so the
@@ -53,12 +56,37 @@ fn csr(n: usize, edges: &[(u32, u32)]) -> (Vec<usize>, Vec<u32>) {
 fn assert_matches_oracle(n: usize, edges: &[(u32, u32)]) -> Vec<u32> {
     let (offsets, targets) = csr(n, edges);
     let oracle = tarjan(&offsets, &targets);
+    // An **implicit** view of the same graph — successors regenerated
+    // from the edge list on every query, no CSR borrowed — must agree
+    // with every CSR entry point: the verifier's edge-less pipeline is
+    // exactly this equivalence.
+    let implicit = from_fn(n, |u, out| {
+        out.clear();
+        out.extend(
+            targets[offsets[u as usize]..offsets[u as usize + 1]]
+                .iter()
+                .copied(),
+        );
+    });
+    assert_eq!(
+        tarjan_oracle(&implicit),
+        oracle,
+        "oracle-Tarjan diverged from CSR Tarjan (n = {n}, {} edges)",
+        edges.len()
+    );
     for threads in test_threads() {
         assert_eq!(
             condense(&offsets, &targets, threads),
             oracle,
             "condense diverged from the Tarjan oracle at {threads} threads \
              (n = {n}, {} edges)",
+            edges.len()
+        );
+        assert_eq!(
+            condense_oracle(&implicit, threads),
+            oracle,
+            "implicit-oracle condense diverged from the Tarjan oracle at \
+             {threads} threads (n = {n}, {} edges)",
             edges.len()
         );
         // Cutoff 0 disables the slice-local Tarjan shortcut, so the pure
@@ -69,6 +97,13 @@ fn assert_matches_oracle(n: usize, edges: &[(u32, u32)]) -> Vec<u32> {
             oracle,
             "pure FB diverged from the Tarjan oracle at {threads} threads \
              (n = {n}, {} edges)",
+            edges.len()
+        );
+        assert_eq!(
+            condense_oracle_with(&implicit, threads, 0),
+            oracle,
+            "implicit-oracle pure FB diverged from the Tarjan oracle at \
+             {threads} threads (n = {n}, {} edges)",
             edges.len()
         );
     }
@@ -184,6 +219,51 @@ fn max_id_isolated_state() {
     // Guards the offsets/degree bookkeeping at the array boundary.
     let comp = assert_matches_oracle(5, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
     assert_eq!(comp, vec![0, 0, 0, 0, 1]);
+}
+
+/// Satellite of the oracle refactor: small graphs must not pay for
+/// parallelism. Below `PARALLEL_MIN_STATES` the engine is forced
+/// single-worker (`effective_workers`), so `condense` at 2/4 threads
+/// runs the *identical* serial code path as 1 thread — first asserted
+/// structurally, then backed by a median-of-runs timing ratio with
+/// slack for scheduler noise (the regression this guards was t4 at
+/// 0.56× t1, far outside any noise band).
+#[test]
+fn small_graphs_condense_without_parallel_overhead() {
+    // Structural: the scheduling decision itself.
+    assert_eq!(effective_workers(1 << 14, 4), 1, "small graph, 4 threads");
+    assert_eq!(effective_workers(1 << 14, 2), 1, "small graph, 2 threads");
+    assert_eq!(effective_workers(1 << 16, 4), 4, "large graph, 4 threads");
+
+    // Timing: a ~16K-state giant SCC (cycle + chords), well under the
+    // single-worker threshold, must condense at 2/4 threads within a
+    // ~0.95× band of the 1-thread time (median of 15 runs each).
+    let n: u32 = 16_000;
+    let mut edges: Vec<(u32, u32)> = (0..n).map(|u| (u, (u + 1) % n)).collect();
+    edges.extend((0..n).step_by(7).map(|u| (u, (u + n / 2) % n)));
+    let (offsets, targets) = csr(n as usize, &edges);
+    let median_secs = |threads: usize| {
+        let mut samples: Vec<f64> = (0..15)
+            .map(|_| {
+                let t = std::time::Instant::now();
+                std::hint::black_box(condense(&offsets, &targets, threads));
+                t.elapsed().as_secs_f64()
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        samples[samples.len() / 2]
+    };
+    let t1 = median_secs(1);
+    for threads in [2usize, 4] {
+        let tn = median_secs(threads);
+        let ratio = t1 / tn;
+        assert!(
+            ratio >= 0.90,
+            "condense at {threads} threads is {ratio:.2}x the 1-thread \
+             throughput on a {n}-state graph — small-slice work must stay \
+             single-worker (≥ ~0.95x expected, 0.90 asserted for noise)"
+        );
+    }
 }
 
 #[test]
