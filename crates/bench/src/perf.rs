@@ -11,7 +11,7 @@ use std::time::Instant;
 
 use stabilization_verify::{
     explore_product, verify_label_stabilization_naive, verify_label_stabilization_with_stats,
-    Limits, SccBackend,
+    Limits, SccBackend, SymmetryMode,
 };
 use stateless_core::convergence::{
     all_labelings, classify_sync, classify_sync_naive, classify_sync_with, sync_round_complexity,
@@ -220,6 +220,13 @@ fn sweep_entry(n: usize) -> String {
 /// `tarjan_scc_ms` (same value on every row of an `n`) the serial
 /// oracle-Tarjan reference on the same graph.
 ///
+/// The symmetry quotient ([`SymmetryMode::Auto`]) is measured once per
+/// `n` at one worker and stamped onto every row: `sym_states` (states
+/// interned under orbit-canonical interning), `quotient_ratio`
+/// (full/quotient states — ≈ n on the rotation ring, whose derived
+/// group is the full Cₙ), and `sym_states_per_s`. All three report the
+/// `0` sentinel when the derived group is trivial.
+///
 /// `naive_state_bytes` is the per-state footprint of the old
 /// representation, counted analytically: the `(Vec<L>, Vec<u8>,
 /// Vec<Output>)` tuple (three 24-byte Vec headers + e·|L| + n + 8n heap
@@ -272,6 +279,44 @@ fn verify_scaling_rows(n: usize, thread_counts: &[usize]) -> Vec<String> {
         tarjan,
         stats.states as u64,
     );
+    // Symmetry-quotient exploration ([`SymmetryMode::Auto`]) at one
+    // worker: the rotation ring is node-symmetric, so the derived group
+    // is the full Cₙ rotation group and the quotient interns ≈ n× fewer
+    // states with the bit-identical verdict. A workload whose derived
+    // group were trivial would explore the identical full graph; the
+    // columns then carry the `0` sentinel the report tooling skips
+    // (exactly like `naive_states_per_s` on large rows).
+    let sym_limits = Limits {
+        symmetry: SymmetryMode::Auto,
+        ..limits(1)
+    };
+    let (sym_verdict, sym_stats) =
+        verify_label_stabilization_with_stats(&p, &inputs, &alphabet, r, sym_limits).unwrap();
+    let sym = if sym_stats.states < stats.states {
+        assert_eq!(
+            std::mem::discriminant(&sym_verdict),
+            std::mem::discriminant(
+                &verify_label_stabilization_with_stats(&p, &inputs, &alphabet, r, limits(1))
+                    .unwrap()
+                    .0
+            ),
+            "quotient exploration must preserve the verdict"
+        );
+        let secs = best_seconds(|| {
+            verify_label_stabilization_with_stats(&p, &inputs, &alphabet, r, sym_limits)
+                .unwrap()
+                .0
+                .is_stabilizing();
+        });
+        emit_criterion_line(
+            &format!("perf/verify_scaling/{n}/sym"),
+            secs,
+            sym_stats.states as u64,
+        );
+        Some((sym_stats.states, secs))
+    } else {
+        None
+    };
     let e = p.edge_count();
     let naive_state_bytes = 2 * (3 * 24 + e * std::mem::size_of::<bool>() + n + 8 * n) + 16;
     let packed_state_bytes = stats.state_bytes as f64 / stats.states as f64;
@@ -309,6 +354,8 @@ fn verify_scaling_rows(n: usize, thread_counts: &[usize]) -> Vec<String> {
                     "\"naive_states_per_s\":{:.0},\"packed_states_per_s\":{:.0},",
                     "\"speedup\":{:.2},\"scaling_vs_t1\":{:.2},",
                     "\"scc_ms\":{:.3},\"scc_vs_t1\":{:.2},\"tarjan_scc_ms\":{:.3},",
+                    "\"sym_states\":{},\"quotient_ratio\":{:.2},",
+                    "\"sym_states_per_s\":{:.0},",
                     "\"naive_state_bytes\":{},\"packed_state_bytes\":{:.2},",
                     "\"state_bytes_ratio\":{:.1},",
                     "\"packed_arena_bytes\":{},\"peak_edge_bytes\":{}}}"
@@ -325,6 +372,9 @@ fn verify_scaling_rows(n: usize, thread_counts: &[usize]) -> Vec<String> {
                 scc_phase * 1e3,
                 t1_scc / scc_phase,
                 tarjan * 1e3,
+                sym.map_or(0, |(states, _)| states),
+                sym.map_or(0.0, |(states, _)| stats.states as f64 / states as f64),
+                sym.map_or(0.0, |(states, secs)| states as f64 / secs),
                 naive_state_bytes,
                 packed_state_bytes,
                 naive_state_bytes as f64 / packed_state_bytes,

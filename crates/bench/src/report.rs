@@ -237,6 +237,17 @@ fn summary_object_lines(section: &str, obj: &str, out: &mut Vec<BenchLine>) {
                     format!("perf/verify_scaling/{n}/scc/tarjan"),
                     ms(num("tarjan_scc_ms")),
                 );
+                // Symmetry-quotient run (measured once per n, stamped on
+                // every row): throughput over the *quotient* state count.
+                // Trivial-group rows carry 0 sentinels, which the `push`
+                // positivity filter drops — same contract as
+                // `naive_states_per_s` on rows past the naive cutoff.
+                if let Some(sym_states) = num("sym_states").filter(|&s| s > 0.0) {
+                    push(
+                        format!("perf/verify_scaling/{n}/sym"),
+                        per_s(sym_states, num("sym_states_per_s")),
+                    );
+                }
             }
         }
         _ => {}
@@ -562,7 +573,7 @@ mod tests {
         "  \"classify_sync\": {\"n\":1024,\"naive_ms_per_run\":50.000,\"fingerprint_ms_per_run\":20.000,\"speedup\":2.50},\n",
         "  \"classify_detectors\": {\"n\":1024,\"arena_ms_per_run\":17.000,\"brent_ms_per_run\":34.000},\n",
         "  \"round_complexity_sweep\": {\"n\":14,\"labelings\":16384,\"threads\":1,\"sequential_ms\":12.000,\"parallel_ms\":6.000,\"speedup\":2.00},\n",
-        "  \"verify_scaling\": [{\"n\":6,\"r\":2,\"threads\":2,\"states\":1000,\"edges\":9,\"naive_states_per_s\":250000,\"packed_states_per_s\":1000000,\"scc_ms\":4.000,\"scc_vs_t1\":1.50,\"tarjan_scc_ms\":5.000}, {\"n\":8,\"r\":2,\"states\":2000,\"edges\":9,\"naive_states_per_s\":100000,\"packed_states_per_s\":200000,\"scc_ms\":8.000,\"tarjan_scc_ms\":7.000}]\n",
+        "  \"verify_scaling\": [{\"n\":6,\"r\":2,\"threads\":2,\"states\":1000,\"edges\":9,\"naive_states_per_s\":250000,\"packed_states_per_s\":1000000,\"scc_ms\":4.000,\"scc_vs_t1\":1.50,\"tarjan_scc_ms\":5.000,\"sym_states\":100,\"quotient_ratio\":10.00,\"sym_states_per_s\":500000}, {\"n\":8,\"r\":2,\"states\":2000,\"edges\":9,\"naive_states_per_s\":100000,\"packed_states_per_s\":200000,\"scc_ms\":8.000,\"tarjan_scc_ms\":7.000,\"sym_states\":200,\"quotient_ratio\":10.00,\"sym_states_per_s\":1000000}, {\"n\":9,\"r\":2,\"states\":3000,\"edges\":9,\"naive_states_per_s\":0,\"packed_states_per_s\":300000,\"scc_ms\":9.000,\"tarjan_scc_ms\":8.000,\"sym_states\":0,\"quotient_ratio\":0.00,\"sym_states_per_s\":0}]\n",
         "}\n",
     );
 
@@ -599,6 +610,14 @@ mod tests {
         assert_eq!(get("perf/verify_scaling/8/naive"), 2e7);
         assert_eq!(get("perf/verify_scaling/8/scc/t1"), 8e6);
         assert_eq!(get("perf/verify_scaling/8/scc/tarjan"), 7e6);
+        // The symmetry-quotient run is 1-thread-only: 200 quotient
+        // states at 1e6/s = 200 µs per iter. The t=2 row never emits it,
+        // and the 0-sentinel row (trivial derived group, like the 0 in
+        // `naive_states_per_s` past the naive cutoff) is skipped.
+        assert_eq!(get("perf/verify_scaling/8/sym"), 2e5);
+        assert!(!lines.iter().any(|l| l.bench == "perf/verify_scaling/6/sym"
+            || l.bench == "perf/verify_scaling/9/sym"
+            || l.bench == "perf/verify_scaling/9/naive"));
     }
 
     #[test]

@@ -40,6 +40,9 @@
 //!   deterministic parallel trim + Forward–Backward engine plus the
 //!   serial Tarjan reference, shared by [`graph::DiGraph`] and the exact
 //!   verifier's product-graph condensation.
+//! * [`symmetry`] — behaviorally-validated topology automorphisms and
+//!   orbit-canonical rewriting of packed product states, the engine behind
+//!   the exact verifier's symmetry-quotient exploration.
 //!
 //! ## Quickstart
 //!
@@ -79,6 +82,7 @@ pub mod protocol;
 pub mod reaction;
 pub mod scc;
 pub mod schedule;
+pub mod symmetry;
 pub mod topology;
 pub mod trace;
 
@@ -109,6 +113,7 @@ pub mod prelude {
         FairnessMonitor, PeriodicSchedule, RandomRFair, RoundRobin, Schedule, ScheduleError,
         Scripted, Synchronous,
     };
+    pub use crate::symmetry::SymmetryMode;
     pub use crate::topology;
     pub use crate::{EdgeId, Input, NodeId, Output};
 }

@@ -84,7 +84,7 @@
 //! its state un-trimmed and the state forms (or joins) a regular SCC.
 
 use std::sync::atomic::{AtomicU32, AtomicU8, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 
 /// `comp` value of a state not yet assigned to any component.
 const UNASSIGNED: u32 = u32::MAX;
@@ -251,13 +251,20 @@ pub fn condense_oracle<O: SuccessorOracle + ?Sized>(oracle: &O, threads: usize) 
 }
 
 /// The worker count [`condense_oracle`] actually runs at for a graph of
-/// `n_states` when asked for `threads`: `0` resolves to all cores, and
-/// graphs below [`PARALLEL_MIN_STATES`] are forced single-worker (spawn
-/// overhead exceeds the whole condensation there). Exposed for the
+/// `n_states` when asked for `threads`: `0` resolves to all cores,
+/// requests beyond the machine's available parallelism are clamped to
+/// it, and graphs below [`PARALLEL_MIN_STATES`] are forced
+/// single-worker (spawn overhead exceeds the whole condensation there).
+/// The clamp matters beyond scheduling overhead: extra workers flip the
+/// FB→Tarjan cutoff toward more Forward–Backward rounds, and through a
+/// successor *oracle* (regeneration on every touch, no stored CSR)
+/// those rounds do real extra work — on a host with fewer cores than
+/// the request there is no parallelism to pay for it, which is exactly
+/// the `scc_vs_t1 ≈ 0.25` oracle-bench regression. Exposed for the
 /// bench suite's scheduling assertions.
 #[doc(hidden)]
 pub fn effective_workers(n_states: usize, threads: usize) -> usize {
-    let threads = resolve_threads(threads);
+    let threads = resolve_threads(threads).min(rayon::current_num_threads()).max(1);
     if n_states < PARALLEL_MIN_STATES {
         1
     } else {
@@ -713,6 +720,13 @@ fn forward_backward<O: SuccessorOracle + ?Sized>(
         sid: 1,
         members: live,
     }]);
+    // Idle workers **block** on this condvar instead of spin-polling the
+    // queue: with more workers than cores (or one giant early slice and
+    // many workers), a yield-loop burns the very CPU the busy worker
+    // needs — the `scc_vs_t1 ≈ 0.25` oracle-bench regression. Waiters
+    // are woken on every task push and on the final pending-count
+    // decrement.
+    let idle = Condvar::new();
     let pending = AtomicUsize::new(1);
     let next_slice = AtomicU32::new(2);
 
@@ -777,13 +791,24 @@ fn forward_backward<O: SuccessorOracle + ?Sized>(
         let mut buf: Vec<u32> = Vec::new();
         let mut pool: Vec<u32> = Vec::new();
         loop {
-            let task = queue.lock().expect("FB queue").pop();
-            let Some(FbTask { sid, members }) = task else {
-                if pending.load(Ordering::Relaxed) == 0 {
-                    break;
+            let task = {
+                let mut q = queue.lock().expect("FB queue");
+                loop {
+                    if let Some(t) = q.pop() {
+                        break Some(t);
+                    }
+                    if pending.load(Ordering::Relaxed) == 0 {
+                        break None;
+                    }
+                    q = idle.wait(q).expect("FB queue");
                 }
-                std::thread::yield_now();
-                continue;
+            };
+            let Some(FbTask { sid, members }) = task else {
+                // Every in-flight task has completed and the queue is
+                // drained; wake the remaining sleepers so they observe the
+                // same and exit.
+                idle.notify_all();
+                break;
             };
             // Small slices finish with slice-local Tarjan instead of more
             // FB rounds: a chain of small SCCs would otherwise requeue its
@@ -797,7 +822,14 @@ fn forward_backward<O: SuccessorOracle + ?Sized>(
                 tarjan_slice(
                     oracle, &slice_of, &local_idx, sid, &members, comp, next_comp,
                 );
-                pending.fetch_sub(1, Ordering::Relaxed);
+                if pending.fetch_sub(1, Ordering::Relaxed) == 1 {
+                    // Last task done. Take the lock before notifying so a
+                    // waiter is either not yet waiting (and will see
+                    // pending == 0 under the lock) or already parked (and
+                    // receives this wakeup) — no lost-wakeup window.
+                    let _q = queue.lock().expect("FB queue");
+                    idle.notify_all();
+                }
                 continue;
             }
             let comp_id = next_comp.fetch_add(1, Ordering::Relaxed);
@@ -819,6 +851,7 @@ fn forward_backward<O: SuccessorOracle + ?Sized>(
                     _ => rest.push(v),
                 }
             }
+            let mut spawned: Vec<FbTask> = Vec::with_capacity(3);
             for sub in [fwd, bwd, rest] {
                 if sub.is_empty() {
                     continue;
@@ -829,12 +862,19 @@ fn forward_backward<O: SuccessorOracle + ?Sized>(
                     mark[v as usize].store(0, Ordering::Relaxed);
                 }
                 pending.fetch_add(1, Ordering::Relaxed);
-                queue.lock().expect("FB queue").push(FbTask {
+                spawned.push(FbTask {
                     sid: nsid,
                     members: sub,
                 });
             }
-            pending.fetch_sub(1, Ordering::Relaxed);
+            if !spawned.is_empty() {
+                queue.lock().expect("FB queue").extend(spawned);
+                idle.notify_all();
+            }
+            if pending.fetch_sub(1, Ordering::Relaxed) == 1 {
+                let _q = queue.lock().expect("FB queue");
+                idle.notify_all();
+            }
         }
     };
     if threads <= 1 {
@@ -986,8 +1026,14 @@ mod tests {
     #[test]
     fn small_graphs_run_single_worker() {
         assert_eq!(effective_workers(PARALLEL_MIN_STATES - 1, 4), 1);
-        assert_eq!(effective_workers(PARALLEL_MIN_STATES, 4), 4);
         assert_eq!(effective_workers(PARALLEL_MIN_STATES - 1, 0), 1);
+        // Large graphs honor the request up to the machine's available
+        // parallelism — never beyond it (oversubscription does extra FB
+        // work with no cores to run it on).
+        let cores = rayon::current_num_threads();
+        assert_eq!(effective_workers(PARALLEL_MIN_STATES, 4), 4.min(cores));
+        assert_eq!(effective_workers(PARALLEL_MIN_STATES, cores), cores);
+        assert_eq!(effective_workers(PARALLEL_MIN_STATES, 0), cores);
     }
 
     #[test]

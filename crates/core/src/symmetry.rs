@@ -1,0 +1,720 @@
+//! Topology automorphisms and orbit-canonical packed states — the
+//! symmetry-reduction machinery behind the exact verifier's
+//! `SymmetryMode::Auto`.
+//!
+//! # Model
+//!
+//! An [`Automorphism`] of a protocol is a node permutation `π` together
+//! with the edge permutation `σ` it induces (`σ(edge(u, v)) =
+//! edge(π(u), π(v))`) such that the *dynamics* commute with it: for every
+//! node `i` and every assignment of in-labels, node `π(i)` reacting on the
+//! `σ`-permuted in-labels produces exactly the `σ`-permuted out-labels and
+//! the same output word, and `inputs[π(i)] = inputs[i]`. Under such a
+//! permutation, applying activation set `A` to a permuted product state
+//! lands on the permuted successor — so whole runs, r-fair schedules,
+//! cycles, and verdicts transport along the group.
+//!
+//! # Derivation ([`Symmetry::derive`])
+//!
+//! Candidate node permutations are proposed purely from the graph shape —
+//! cyclic rotation and reflection on `n` nodes (rings), coordinate
+//! rotations/swaps and single-bit translates when `n` is a power of two
+//! (hypercubes), row/column shifts for every grid factorization of `n`
+//! (tori) — and then **validated behaviorally**: a candidate is kept only
+//! if the induced edge permutation exists (it is a graph automorphism)
+//! and exhaustive probing over every in-labeling of every node (bounded
+//! by a probe budget) confirms reaction equivariance. Validation is what
+//! makes `Auto` sound for *arbitrary* reactions: a reflection on a
+//! bidirectional ring, for example, swaps each node's clockwise and
+//! counter-clockwise slots and survives only if the reaction genuinely
+//! treats them symmetrically. The validated generators are closed into
+//! the full group (bounded by a closure cap; on overflow the derivation
+//! degrades soundly to the identity).
+//!
+//! # Canonicalization ([`Symmetry::canonicalize`])
+//!
+//! The canonical form of a packed product state is the
+//! lexicographically-least element of its orbit (label indices, then
+//! countdown fields, then auxiliary output words). Pure cyclic groups on
+//! ring-shaped layouts use Booth's minimal-rotation algorithm
+//! ([`booth_least_rotation`], O(n)); every other group falls back to the
+//! generator-orbit scan over the (small, capped) closure. Either way the
+//! representative is a deterministic function of the state alone — never
+//! of thread timing — so the verifier's cross-thread determinism
+//! contract survives quotienting verbatim. The element that was applied
+//! is returned so callers (witness reconstruction) can *de*-canonicalize:
+//! a quotient cycle lifts to a concrete cycle by conjugating each
+//! activation mask with the accumulated group element and unrolling until
+//! the accumulator returns to the identity.
+
+use std::collections::HashMap;
+
+use crate::graph::DiGraph;
+use crate::intern::{pack, unpack};
+use crate::label::Label;
+use crate::protocol::Protocol;
+use crate::{EdgeId, Input};
+
+/// Total reaction probes [`Symmetry::derive`] may spend validating one
+/// candidate permutation (the sum over nodes of `|Σ|^indeg`); candidates
+/// whose exhaustive validation would exceed it are rejected — soundly,
+/// since rejecting a true automorphism only costs reduction.
+const PROBE_CAP: u64 = 1 << 14;
+
+/// Cap on the generated group order. Ring/dihedral/hypercube groups at
+/// `n ≤ 16` are far below it; if a closure ever exceeds the cap the
+/// derivation returns the identity group instead.
+const CLOSURE_CAP: usize = 1024;
+
+/// Symmetry reduction mode for the exact verifier (`Limits::symmetry`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SymmetryMode {
+    /// No reduction: explore the full product graph (the default, and
+    /// exactly the pre-symmetry behavior).
+    #[default]
+    Off,
+    /// Derive validated automorphisms from the protocol
+    /// ([`Symmetry::derive`]) and intern only orbit-canonical states.
+    /// Verdicts and replayed witnesses are identical to [`Off`]; state
+    /// and edge counts shrink by up to the group order.
+    ///
+    /// [`Off`]: SymmetryMode::Off
+    Auto,
+}
+
+/// One validated protocol automorphism: a node permutation and the edge
+/// permutation it induces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Automorphism {
+    /// `node_perm[i]` is the image `π(i)` of node `i`.
+    pub node_perm: Vec<u32>,
+    /// `edge_perm[e]` is the image `σ(e)` of edge `e`, where
+    /// `σ(edge(u, v)) = edge(π(u), π(v))`.
+    pub edge_perm: Vec<u32>,
+}
+
+impl Automorphism {
+    /// The identity on `n` nodes and `e` edges.
+    pub fn identity(n: usize, e: usize) -> Self {
+        Automorphism {
+            node_perm: (0..n as u32).collect(),
+            edge_perm: (0..e as u32).collect(),
+        }
+    }
+
+    /// Whether this is the identity permutation.
+    pub fn is_identity(&self) -> bool {
+        self.node_perm.iter().enumerate().all(|(i, &p)| p == i as u32)
+    }
+
+    /// Function composition `self ∘ other` (apply `other` first).
+    pub fn compose(&self, other: &Automorphism) -> Automorphism {
+        Automorphism {
+            node_perm: other
+                .node_perm
+                .iter()
+                .map(|&i| self.node_perm[i as usize])
+                .collect(),
+            edge_perm: other
+                .edge_perm
+                .iter()
+                .map(|&e| self.edge_perm[e as usize])
+                .collect(),
+        }
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Automorphism {
+        let mut node_perm = vec![0u32; self.node_perm.len()];
+        for (i, &p) in self.node_perm.iter().enumerate() {
+            node_perm[p as usize] = i as u32;
+        }
+        let mut edge_perm = vec![0u32; self.edge_perm.len()];
+        for (e, &p) in self.edge_perm.iter().enumerate() {
+            edge_perm[p as usize] = e as u32;
+        }
+        Automorphism {
+            node_perm,
+            edge_perm,
+        }
+    }
+
+    /// Maps an activation bitmask through the node permutation: bit `i`
+    /// of `mask` becomes bit `π(i)` of the result.
+    pub fn apply_mask(&self, mask: u32) -> u32 {
+        let mut out = 0u32;
+        for (i, &p) in self.node_perm.iter().enumerate() {
+            if mask >> i & 1 == 1 {
+                out |= 1 << p;
+            }
+        }
+        out
+    }
+}
+
+/// The bit layout of a packed product state, as the verifier packs it:
+/// `edges` label-index fields of `label_width` bits, then `nodes`
+/// countdown fields of `countdown_width` bits, in `words` little-endian
+/// `u64` words; `aux` auxiliary output words (one per node, or zero)
+/// ride in a parallel row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackedLayout {
+    /// Bits per packed label-index field.
+    pub label_width: u32,
+    /// Bits per packed countdown field.
+    pub countdown_width: u32,
+    /// Number of label fields (the protocol's edge count).
+    pub edges: usize,
+    /// Number of countdown fields (the protocol's node count).
+    pub nodes: usize,
+    /// Packed `u64` words per state.
+    pub words: usize,
+    /// Auxiliary output words per state (`nodes` when outputs are
+    /// tracked, else 0).
+    pub aux: usize,
+}
+
+/// Reusable decode/compare buffers for [`Symmetry::canonicalize`]; keep
+/// one per worker and the per-call cost is allocation-free.
+#[derive(Debug, Default)]
+pub struct CanonScratch {
+    labels: Vec<u32>,
+    cds: Vec<u32>,
+    aux: Vec<u64>,
+    cand_labels: Vec<u32>,
+    cand_cds: Vec<u32>,
+    cand_aux: Vec<u64>,
+    best_labels: Vec<u32>,
+    best_cds: Vec<u32>,
+    best_aux: Vec<u64>,
+    tuples: Vec<(u32, u32, u64)>,
+}
+
+/// A validated automorphism group of a protocol, with the machinery to
+/// rewrite packed product states to their orbit-canonical form. Obtain
+/// one from [`Symmetry::derive`] (validated, always sound) or
+/// [`Symmetry::from_generators`] (caller-asserted, for tests).
+#[derive(Debug, Clone)]
+pub struct Symmetry {
+    /// The full group, element 0 the identity, in deterministic
+    /// closure-discovery order.
+    elements: Vec<Automorphism>,
+    /// Booth fast path: when the group is exactly the `n` rotations of a
+    /// ring-shaped layout (`e == n`, edge `k` co-rotating with node `k`),
+    /// `ring[j]` is the element index of rotation by `j`.
+    ring: Option<Vec<u32>>,
+}
+
+impl Symmetry {
+    /// The trivial (identity-only) group on `n` nodes and `e` edges.
+    pub fn identity(n: usize, e: usize) -> Self {
+        Symmetry {
+            elements: vec![Automorphism::identity(n, e)],
+            ring: None,
+        }
+    }
+
+    /// Closes `generators` into a group (identity first, deterministic
+    /// order) **without behavioral validation** — the caller asserts the
+    /// generators really are protocol automorphisms. Returns `None` if
+    /// the closure exceeds the internal cap or a generator is malformed
+    /// (not a permutation of `0..n` / `0..e`). Prefer
+    /// [`Symmetry::derive`] outside tests.
+    pub fn from_generators(n: usize, e: usize, generators: &[Automorphism]) -> Option<Self> {
+        for g in generators {
+            if !is_permutation(&g.node_perm, n) || !is_permutation(&g.edge_perm, e) {
+                return None;
+            }
+        }
+        let elements = close(n, e, generators)?;
+        let ring = detect_ring(&elements, n, e);
+        Some(Symmetry { elements, ring })
+    }
+
+    /// Derives the validated automorphism group of `protocol` under
+    /// `inputs` over `alphabet` — see the module docs. Always sound:
+    /// every returned element has passed exhaustive behavioral probing,
+    /// and anything unverifiable degrades to the identity group.
+    pub fn derive<L: Label>(protocol: &Protocol<L>, inputs: &[Input], alphabet: &[L]) -> Self {
+        let g = protocol.graph();
+        let (n, e) = (g.node_count(), g.edge_count());
+        if n < 2 || e == 0 || inputs.len() != n || alphabet.is_empty() {
+            return Symmetry::identity(n, e);
+        }
+        let mut alpha: Vec<L> = Vec::with_capacity(alphabet.len());
+        for l in alphabet {
+            if !alpha.contains(l) {
+                alpha.push(l.clone());
+            }
+        }
+        let mut generators: Vec<Automorphism> = Vec::new();
+        for perm in candidate_perms(n) {
+            if let Some(auto) = validate(protocol, inputs, &alpha, &perm) {
+                generators.push(auto);
+            }
+        }
+        if generators.is_empty() {
+            return Symmetry::identity(n, e);
+        }
+        let Some(elements) = close(n, e, &generators) else {
+            return Symmetry::identity(n, e);
+        };
+        let ring = detect_ring(&elements, n, e);
+        Symmetry { elements, ring }
+    }
+
+    /// The group order (≥ 1; element 0 is the identity).
+    pub fn order(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether the group is identity-only (no reduction possible).
+    pub fn is_trivial(&self) -> bool {
+        self.elements.len() <= 1
+    }
+
+    /// The group elements; index 0 is the identity.
+    pub fn elements(&self) -> &[Automorphism] {
+        &self.elements
+    }
+
+    /// Rewrites the packed state (`words` per `layout`, plus its `aux`
+    /// output row) to the lexicographically-least element of its orbit,
+    /// returning the index of the group element that was applied
+    /// (`canonical = elements[returned] · original`; 0 means the state
+    /// was already canonical). Idempotent, and constant on orbits:
+    /// `canonicalize(g · s) == canonicalize(s)` for every group element
+    /// `g` — the property quotient exploration rests on.
+    pub fn canonicalize(
+        &self,
+        layout: &PackedLayout,
+        words: &mut [u64],
+        aux: &mut [u64],
+        scratch: &mut CanonScratch,
+    ) -> usize {
+        if self.is_trivial() {
+            return 0;
+        }
+        let (e, n) = (layout.edges, layout.nodes);
+        let (lw, cw) = (layout.label_width, layout.countdown_width);
+        let sc = scratch;
+        sc.labels.clear();
+        sc.labels
+            .extend((0..e).map(|k| unpack(words, k * lw as usize, lw) as u32));
+        sc.cds.clear();
+        sc.cds
+            .extend((0..n).map(|i| unpack(words, e * lw as usize + i * cw as usize, cw) as u32));
+        let chosen = if let Some(ring) = &self.ring {
+            // Booth fast path: the orbit is the n rotations of the
+            // per-position (label, countdown, aux) tuple sequence; the
+            // least rotation start m corresponds to rotating *by*
+            // (n − m) mod n.
+            sc.tuples.clear();
+            for i in 0..n {
+                sc.tuples
+                    .push((sc.labels[i], sc.cds[i], aux.get(i).copied().unwrap_or(0)));
+            }
+            let m = booth_least_rotation(&sc.tuples);
+            ring[(n - m) % n] as usize
+        } else {
+            // Generator-orbit scan: apply every element, keep the least
+            // (labels, countdowns, aux) image.
+            let mut best = 0usize;
+            sc.best_labels.clone_from(&sc.labels);
+            sc.best_cds.clone_from(&sc.cds);
+            sc.best_aux.clear();
+            sc.best_aux.extend_from_slice(aux);
+            sc.cand_labels.resize(e, 0);
+            sc.cand_cds.resize(n, 0);
+            sc.cand_aux.resize(aux.len(), 0);
+            for (idx, el) in self.elements.iter().enumerate().skip(1) {
+                for (k, &l) in sc.labels.iter().enumerate() {
+                    sc.cand_labels[el.edge_perm[k] as usize] = l;
+                }
+                for (i, &c) in sc.cds.iter().enumerate() {
+                    sc.cand_cds[el.node_perm[i] as usize] = c;
+                }
+                for (i, &a) in aux.iter().enumerate() {
+                    sc.cand_aux[el.node_perm[i] as usize] = a;
+                }
+                if (&sc.cand_labels, &sc.cand_cds, &sc.cand_aux)
+                    < (&sc.best_labels, &sc.best_cds, &sc.best_aux)
+                {
+                    best = idx;
+                    std::mem::swap(&mut sc.best_labels, &mut sc.cand_labels);
+                    std::mem::swap(&mut sc.best_cds, &mut sc.cand_cds);
+                    std::mem::swap(&mut sc.best_aux, &mut sc.cand_aux);
+                }
+            }
+            if best != 0 {
+                sc.labels.clone_from(&sc.best_labels);
+                sc.cds.clone_from(&sc.best_cds);
+                sc.aux.clone_from(&sc.best_aux);
+            }
+            best
+        };
+        if chosen == 0 {
+            return 0;
+        }
+        if self.ring.is_some() {
+            // Materialize the Booth winner through the chosen element.
+            let el = &self.elements[chosen];
+            sc.cand_labels.resize(e, 0);
+            sc.cand_cds.resize(n, 0);
+            sc.cand_aux.resize(aux.len(), 0);
+            for (k, &l) in sc.labels.iter().enumerate() {
+                sc.cand_labels[el.edge_perm[k] as usize] = l;
+            }
+            for (i, &c) in sc.cds.iter().enumerate() {
+                sc.cand_cds[el.node_perm[i] as usize] = c;
+            }
+            for (i, &a) in aux.iter().enumerate() {
+                sc.cand_aux[el.node_perm[i] as usize] = a;
+            }
+            sc.labels.clone_from(&sc.cand_labels);
+            sc.cds.clone_from(&sc.cand_cds);
+            sc.aux.clone_from(&sc.cand_aux);
+        }
+        words.fill(0);
+        for (k, &l) in sc.labels.iter().enumerate() {
+            pack(words, k * lw as usize, lw, u64::from(l));
+        }
+        for (i, &c) in sc.cds.iter().enumerate() {
+            pack(words, e * lw as usize + i * cw as usize, cw, u64::from(c));
+        }
+        aux.copy_from_slice(&sc.aux);
+        chosen
+    }
+}
+
+/// Booth's minimal-rotation algorithm: the least index `m` such that the
+/// rotation of `seq` starting at `m` is lexicographically minimal among
+/// all rotations (ties resolve to the smallest `m`). O(len) time.
+pub fn booth_least_rotation<T: Ord>(seq: &[T]) -> usize {
+    let n = seq.len();
+    if n <= 1 {
+        return 0;
+    }
+    let at = |i: usize| &seq[i % n];
+    let mut f: Vec<isize> = vec![-1; 2 * n];
+    let mut k: usize = 0;
+    for j in 1..2 * n {
+        let mut i = f[j - k - 1];
+        while i != -1 && at(j) != at(k + i as usize + 1) {
+            if at(j) < at(k + i as usize + 1) {
+                k = j - i as usize - 1;
+            }
+            i = f[i as usize];
+        }
+        if i == -1 && at(j) != at(k) {
+            if at(j) < at(k) {
+                k = j;
+            }
+            f[j - k] = -1;
+        } else {
+            f[j - k] = i + 1;
+        }
+    }
+    k % n
+}
+
+/// Shape-derived candidate node permutations for an `n`-node graph, in a
+/// fixed order (deduplicated, identity excluded). Wrong guesses cost
+/// nothing but a rejected validation.
+fn candidate_perms(n: usize) -> Vec<Vec<u32>> {
+    let mut candidates: Vec<Vec<u32>> = Vec::new();
+    let mut add = |perm: Vec<u32>| {
+        if perm.iter().enumerate().any(|(i, &p)| p != i as u32) && !candidates.contains(&perm) {
+            candidates.push(perm);
+        }
+    };
+    // Ring rotation and reflection.
+    add((0..n).map(|i| ((i + 1) % n) as u32).collect());
+    add((0..n).map(|i| ((n - i) % n) as u32).collect());
+    // Hypercube coordinate rotation/swap and a single-bit translate.
+    if n.is_power_of_two() && n >= 4 {
+        let d = n.trailing_zeros() as usize;
+        add((0..n)
+            .map(|v| (((v << 1) | (v >> (d - 1))) & (n - 1)) as u32)
+            .collect());
+        add((0..n)
+            .map(|v| ((v & !3) | ((v & 1) << 1) | ((v >> 1) & 1)) as u32)
+            .collect());
+        add((0..n).map(|v| (v ^ 1) as u32).collect());
+    }
+    // Torus row/column shifts for every w×h grid factorization.
+    for w in 2..n {
+        if !n.is_multiple_of(w) {
+            continue;
+        }
+        let h = n / w;
+        if h < 2 {
+            continue;
+        }
+        add((0..n)
+            .map(|id| (id / w * w + (id % w + 1) % w) as u32)
+            .collect());
+        add((0..n)
+            .map(|id| ((id / w + 1) % h * w + id % w) as u32)
+            .collect());
+    }
+    candidates
+}
+
+fn is_permutation(perm: &[u32], n: usize) -> bool {
+    if perm.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for &p in perm {
+        let p = p as usize;
+        if p >= n || seen[p] {
+            return false;
+        }
+        seen[p] = true;
+    }
+    true
+}
+
+/// Validates one candidate node permutation against the protocol: the
+/// induced edge permutation must exist (graph automorphism), inputs must
+/// be constant on node orbits, and exhaustive probing (capped at
+/// [`PROBE_CAP`] reactions) must confirm reaction equivariance node by
+/// node. Returns the full [`Automorphism`] on success.
+fn validate<L: Label>(
+    protocol: &Protocol<L>,
+    inputs: &[Input],
+    alpha: &[L],
+    node_perm: &[u32],
+) -> Option<Automorphism> {
+    let g: &DiGraph = protocol.graph();
+    let (n, e) = (g.node_count(), g.edge_count());
+    if !is_permutation(node_perm, n) {
+        return None;
+    }
+    let mut edge_perm = vec![0u32; e];
+    let mut seen_edge = vec![false; e];
+    for (id, u, v) in g.edges() {
+        let f = g.edge(node_perm[u] as usize, node_perm[v] as usize)?;
+        if seen_edge[f] {
+            return None;
+        }
+        seen_edge[f] = true;
+        edge_perm[id] = f as u32;
+    }
+    for i in 0..n {
+        if inputs[node_perm[i] as usize] != inputs[i] {
+            return None;
+        }
+    }
+    let q = alpha.len() as u64;
+    let mut probes = 0u64;
+    for i in 0..n {
+        let mut c = 1u64;
+        for _ in 0..g.in_degree(i) {
+            c = c.saturating_mul(q);
+        }
+        probes = probes.saturating_add(c);
+    }
+    if probes > PROBE_CAP {
+        return None;
+    }
+    let base = alpha[0].clone();
+    let mut lab_a = vec![base.clone(); e];
+    let mut lab_b = vec![base.clone(); e];
+    let (mut in_a, mut out_a) = (Vec::new(), Vec::new());
+    let (mut in_b, mut out_b) = (Vec::new(), Vec::new());
+    for i in 0..n {
+        let pi = node_perm[i] as usize;
+        let ins: Vec<EdgeId> = g.in_edges(i).to_vec();
+        // Out-slot correspondence: slot s of node i maps to the slot of
+        // σ(out_edges(i)[s]) within out_edges(π(i)).
+        let out_map: Option<Vec<usize>> = g
+            .out_edges(i)
+            .iter()
+            .map(|&f| {
+                let f2 = edge_perm[f] as usize;
+                g.out_edges(pi).iter().position(|&x| x == f2)
+            })
+            .collect();
+        let out_map = out_map?;
+        let mut digits = vec![0usize; ins.len()];
+        'probe: loop {
+            for (s, &f) in ins.iter().enumerate() {
+                lab_a[f] = alpha[digits[s]].clone();
+                lab_b[edge_perm[f] as usize] = alpha[digits[s]].clone();
+            }
+            let y_a = protocol.apply_buffered(i, &lab_a, inputs[i], &mut in_a, &mut out_a);
+            let y_b = protocol.apply_buffered(pi, &lab_b, inputs[pi], &mut in_b, &mut out_b);
+            let ok = y_a == y_b
+                && out_map
+                    .iter()
+                    .enumerate()
+                    .all(|(s, &s2)| out_a[s] == out_b[s2]);
+            for &f in &ins {
+                lab_a[f] = base.clone();
+                lab_b[edge_perm[f] as usize] = base.clone();
+            }
+            if !ok {
+                return None;
+            }
+            let mut k = 0;
+            while k < digits.len() {
+                digits[k] += 1;
+                if digits[k] < alpha.len() {
+                    continue 'probe;
+                }
+                digits[k] = 0;
+                k += 1;
+            }
+            break;
+        }
+    }
+    Some(Automorphism {
+        node_perm: node_perm.to_vec(),
+        edge_perm,
+    })
+}
+
+/// Closes `generators` under composition (identity first, breadth-first
+/// discovery order — deterministic for a fixed generator list). `None`
+/// if the group would exceed [`CLOSURE_CAP`].
+fn close(n: usize, e: usize, generators: &[Automorphism]) -> Option<Vec<Automorphism>> {
+    let mut elements = vec![Automorphism::identity(n, e)];
+    let mut index: HashMap<Vec<u32>, usize> = HashMap::new();
+    index.insert(elements[0].node_perm.clone(), 0);
+    let mut i = 0;
+    while i < elements.len() {
+        for g in generators {
+            let prod = g.compose(&elements[i]);
+            if !index.contains_key(&prod.node_perm) {
+                if elements.len() >= CLOSURE_CAP {
+                    return None;
+                }
+                index.insert(prod.node_perm.clone(), elements.len());
+                elements.push(prod);
+            }
+        }
+        i += 1;
+    }
+    Some(elements)
+}
+
+/// Detects the Booth fast path: the group is exactly the `n` rotations
+/// of a ring-shaped layout, with edge `k` co-rotating with node `k`.
+/// Returns `ring` with `ring[j]` the element index of rotation by `j`.
+fn detect_ring(elements: &[Automorphism], n: usize, e: usize) -> Option<Vec<u32>> {
+    if e != n || elements.len() != n {
+        return None;
+    }
+    let mut ring = vec![u32::MAX; n];
+    for (idx, el) in elements.iter().enumerate() {
+        let j = el.node_perm[0] as usize;
+        let is_rot = (0..n).all(|i| {
+            el.node_perm[i] as usize == (i + j) % n && el.edge_perm[i] as usize == (i + j) % n
+        });
+        if !is_rot || ring[j] != u32::MAX {
+            return None;
+        }
+        ring[j] = idx as u32;
+    }
+    Some(ring)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reaction::FnReaction;
+    use crate::topology;
+
+    fn rotation_ring(n: usize) -> Protocol<bool> {
+        Protocol::builder(topology::unidirectional_ring(n), 1.0)
+            .uniform_reaction(FnReaction::new(|_, inc: &[bool], _| (vec![inc[0]], 0)))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn booth_agrees_with_brute_force() {
+        let cases: Vec<Vec<u32>> = vec![
+            vec![0],
+            vec![1, 0],
+            vec![0, 0, 0],
+            vec![2, 1, 0, 1],
+            vec![1, 0, 1, 0],
+            vec![3, 1, 2, 1, 3, 0],
+            vec![5, 4, 3, 2, 1, 0],
+        ];
+        for s in cases {
+            let n = s.len();
+            let rot = |m: usize| -> Vec<u32> { (0..n).map(|i| s[(i + m) % n]).collect() };
+            let brute = (0..n).min_by_key(|&m| (rot(m), m)).unwrap();
+            assert_eq!(booth_least_rotation(&s), brute, "seq {s:?}");
+        }
+    }
+
+    #[test]
+    fn derive_finds_ring_rotations_and_uses_booth() {
+        let p = rotation_ring(5);
+        let sym = Symmetry::derive(&p, &[0; 5], &[false, true]);
+        assert_eq!(sym.order(), 5);
+        assert!(sym.ring.is_some(), "pure cyclic ring takes the Booth path");
+    }
+
+    #[test]
+    fn derive_rejects_asymmetric_inputs() {
+        let p = rotation_ring(5);
+        let sym = Symmetry::derive(&p, &[1, 0, 0, 0, 0], &[false, true]);
+        assert!(sym.is_trivial());
+    }
+
+    #[test]
+    fn canonicalize_is_orbit_constant_on_a_ring() {
+        let p = rotation_ring(4);
+        let sym = Symmetry::derive(&p, &[0; 4], &[false, true]);
+        let layout = PackedLayout {
+            label_width: 1,
+            countdown_width: 2,
+            edges: 4,
+            nodes: 4,
+            words: 1,
+            aux: 0,
+        };
+        let mut scratch = CanonScratch::default();
+        // State: labels 1,0,0,1 / countdowns 2,1,3,1 (stored − 1).
+        let labels = [1u64, 0, 0, 1];
+        let cds = [1u64, 0, 2, 0];
+        let pack_state = |labels: &[u64], cds: &[u64]| -> Vec<u64> {
+            let mut w = vec![0u64; 1];
+            for (k, &l) in labels.iter().enumerate() {
+                pack(&mut w, k, 1, l);
+            }
+            for (i, &c) in cds.iter().enumerate() {
+                pack(&mut w, 4 + 2 * i, 2, c);
+            }
+            w
+        };
+        let mut canon0 = pack_state(&labels, &cds);
+        sym.canonicalize(&layout, &mut canon0, &mut [], &mut scratch);
+        for rot in 1..4 {
+            let rl: Vec<u64> = (0..4).map(|k| labels[(k + 4 - rot) % 4]).collect();
+            let rc: Vec<u64> = (0..4).map(|i| cds[(i + 4 - rot) % 4]).collect();
+            let mut w = pack_state(&rl, &rc);
+            sym.canonicalize(&layout, &mut w, &mut [], &mut scratch);
+            assert_eq!(w, canon0, "rotation {rot} lands on the same canonical");
+        }
+    }
+
+    #[test]
+    fn from_generators_rejects_malformed_permutations() {
+        assert!(Symmetry::from_generators(
+            3,
+            3,
+            &[Automorphism {
+                node_perm: vec![0, 0, 1],
+                edge_perm: vec![0, 1, 2],
+            }]
+        )
+        .is_none());
+    }
+}

@@ -173,6 +173,40 @@ impl Snake {
         Snake::new(self.d, vertices).expect("translation preserves snakes")
     }
 
+    /// Applies a coordinate permutation of the cube (bit `k` of each
+    /// vertex moves to bit `perm[k]`) — the other generator family of
+    /// `Aut(Q_d) = translations ⋊ bit-permutations`, and the same
+    /// generators `stateless-core`'s symmetry derivation probes on
+    /// hypercube-topology protocols. Yields another valid snake:
+    /// adjacency (single-bit difference) and non-adjacency are preserved
+    /// by any bijection of the coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..d`.
+    #[must_use]
+    pub fn permute_bits(&self, perm: &[u32]) -> Snake {
+        assert_eq!(perm.len(), self.d as usize, "perm must cover 0..d");
+        let mut seen = vec![false; self.d as usize];
+        for &p in perm {
+            assert!(
+                (p < self.d) && !std::mem::replace(&mut seen[p as usize], true),
+                "perm must be a permutation of 0..d"
+            );
+        }
+        let vertices = self
+            .vertices
+            .iter()
+            .map(|&v| {
+                perm.iter()
+                    .enumerate()
+                    .filter(|&(k, _)| v & (1 << k) != 0)
+                    .fold(0u32, |acc, (_, &p)| acc | 1 << p)
+            })
+            .collect();
+        Snake::new(self.d, vertices).expect("bit permutation preserves snakes")
+    }
+
     /// Finds a cube edge with both endpoints off the snake.
     ///
     /// The counting argument of Theorem B.4 guarantees one for `d ≥ 3`:
@@ -284,6 +318,45 @@ impl Snake {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bit_permutations_preserve_snakes() {
+        // Every coordinate permutation of the cube maps snakes to snakes
+        // (Snake::new revalidates inside permute_bits); the identity is a
+        // fixed point, a rotation composed d times is the identity, and
+        // composing with translate commutes up to a translated mask —
+        // the semidirect-product law of Aut(Q_d).
+        for d in [3u32, 4, 5] {
+            let s = Snake::known(d).unwrap();
+            let id: Vec<u32> = (0..d).collect();
+            assert_eq!(s.permute_bits(&id).vertices(), s.vertices());
+            let rot: Vec<u32> = (0..d).map(|k| (k + 1) % d).collect();
+            let mut walked = s.clone();
+            for _ in 0..d {
+                walked = walked.permute_bits(&rot);
+                assert_eq!(walked.len(), s.len());
+            }
+            assert_eq!(walked.vertices(), s.vertices(), "rot^d = id");
+            // π(s ^ m) = π(s) ^ π(m): translation conjugates to the
+            // permuted mask.
+            let mask = 0b101u32 & ((1 << d) - 1);
+            let pmask = rot
+                .iter()
+                .enumerate()
+                .filter(|&(k, _)| mask & (1 << k) != 0)
+                .fold(0u32, |acc, (_, &p)| acc | 1 << p);
+            assert_eq!(
+                s.translate(mask).permute_bits(&rot).vertices(),
+                s.permute_bits(&rot).translate(pmask).vertices()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "perm must be a permutation")]
+    fn permute_bits_rejects_non_permutations() {
+        let _ = Snake::known(3).unwrap().permute_bits(&[0, 0, 1]);
+    }
 
     #[test]
     fn known_snakes_have_record_lengths() {

@@ -201,6 +201,59 @@ mod tests {
     }
 
     #[test]
+    fn tightness_survives_the_symmetry_quotient() {
+        // Example 1 is fully node-symmetric (uniform inputs, one
+        // commutative OR reaction on the vertex-transitive clique), so
+        // the verifier's derived automorphism group is nontrivial and
+        // `SymmetryMode::Auto` explores a strictly smaller quotient —
+        // with the bit-identical Theorem 3.1 verdicts on both sides of
+        // the r = n−1 threshold.
+        use stabilization_verify::{
+            verify_label_stabilization_with_stats, Limits, SymmetryMode, Verdict,
+        };
+        let n = 3;
+        let p = example1_protocol(n);
+        let quotient = |r: u8, symmetry: SymmetryMode| {
+            verify_label_stabilization_with_stats(
+                &p,
+                &[0; 3],
+                &[false, true],
+                r,
+                Limits {
+                    symmetry,
+                    ..Limits::default()
+                },
+            )
+            .unwrap()
+        };
+        for (r, stabilizing) in [(1u8, true), (2, false)] {
+            let (full_v, full) = quotient(r, SymmetryMode::Off);
+            let (quot_v, quot) = quotient(r, SymmetryMode::Auto);
+            assert_eq!(full_v.is_stabilizing(), stabilizing, "r={r}");
+            assert_eq!(quot_v.is_stabilizing(), stabilizing, "r={r} quotient");
+            assert!(
+                quot.states * 2 <= full.states,
+                "r={r}: expected ≥2× fewer states, got {} vs {}",
+                full.states,
+                quot.states
+            );
+            if let Verdict::NotStabilizing(w) = quot_v {
+                // The de-canonicalized witness replays on the real,
+                // unquotiented system: its cyclic schedule must change
+                // labels forever (checked by one full lap).
+                let mut sim = Simulation::new(&p, &[0; 3], w.labeling.clone()).unwrap();
+                let before = sim.labeling().to_vec();
+                let mut changed = false;
+                for step in w.schedule.iter().chain(w.schedule.iter()) {
+                    sim.step_with(step);
+                    changed |= sim.labeling() != &before[..];
+                }
+                assert!(changed, "witness oscillates on the concrete system");
+            }
+        }
+    }
+
+    #[test]
     fn all_zero_start_stays_zero() {
         let n = 4;
         let p = example1_protocol(n);

@@ -48,4 +48,5 @@ pub use product::{
     verify_label_stabilization, verify_label_stabilization_with_stats, verify_output_stabilization,
     CycleWitness, ExploreStats, Limits, SccBackend, Verdict, VerifyError,
 };
+pub use stateless_core::symmetry::SymmetryMode;
 pub use stable::enumerate_stable_labelings;

@@ -101,6 +101,38 @@
 //! explorer rather than a separate code path. `tests/differential.rs`
 //! asserts this invariant on random protocols.
 //!
+//! # Symmetry-quotient exploration ([`Limits::symmetry`])
+//!
+//! With [`SymmetryMode::Auto`], the explorer quotients the product
+//! graph by the protocol's behaviorally-validated automorphism group
+//! ([`stateless_core::symmetry`]): every packed successor is rewritten
+//! to the lexicographically-least element of its orbit *before*
+//! fingerprint resolution, so exactly one representative per orbit is
+//! ever interned — up to `|G|`× fewer states and generated edges (n× on
+//! rings, 2n× on bidirectional rings).
+//!
+//! **Soundness.** A validated automorphism `g` commutes with the
+//! product transition: `succ_{π_g(A)}(g·s) = g·succ_A(s)`, and it
+//! preserves whether an edge is "interesting" (labels/outputs changed).
+//! The seed set (all labelings × full countdowns × zero outputs) is
+//! closed under the group, so canonical seeding covers every orbit.
+//! Hence any full-graph cycle maps edge-by-edge onto a closed walk of
+//! the quotient, and conversely any interesting intra-SCC quotient edge
+//! lifts to a concrete cycle — the two verdicts coincide. Because the
+//! canonical form is a pure function of the state (Booth's minimal
+//! rotation on pure ring groups, generator-orbit scan otherwise) and
+//! never of thread timing, the cross-thread determinism contract holds
+//! verbatim under the quotient.
+//!
+//! **Witnesses.** Each regenerated quotient edge carries the group
+//! element `h` that canonicalized its successor. Witness reconstruction
+//! de-canonicalizes: walking the quotient cycle with an accumulated
+//! element `c` (concrete mask = `c`-image of the quotient mask, then
+//! `c ← c ∘ h⁻¹`), and unrolling laps until `c` returns to the identity
+//! (at most `|G|` laps), yields a concrete cycle of the *unquotiented*
+//! system — replayed witnesses stay valid `Scripted` schedules exactly
+//! as with symmetry off.
+//!
 //! The previous owned-`Vec`-interning explorer is retained as
 //! [`verify_label_stabilization_naive`] / [`verify_output_stabilization_naive`]
 //! and differentially tested against this one (`tests/differential.rs`);
@@ -126,6 +158,7 @@ use stateless_core::intern::{
 use stateless_core::label::Label;
 use stateless_core::prelude::*;
 use stateless_core::scc;
+use stateless_core::symmetry::{Automorphism, CanonScratch, PackedLayout, Symmetry, SymmetryMode};
 
 /// Exploration limits and parallelism.
 #[derive(Debug, Clone, Copy)]
@@ -150,6 +183,15 @@ pub struct Limits {
     /// [`SccBackend::ForwardBackward`]; the Tarjan variant exists for
     /// differential testing and as a low-memory fallback.
     pub scc: SccBackend,
+    /// Symmetry-quotient exploration. [`SymmetryMode::Off`] (the
+    /// default) explores the full product graph exactly as before;
+    /// [`SymmetryMode::Auto`] derives behaviorally-validated topology
+    /// automorphisms ([`stateless_core::symmetry::Symmetry::derive`])
+    /// and interns only orbit-canonical states, shrinking states and
+    /// generated edges by up to the group order with the **same**
+    /// verdict and a witness that replays on the unquotiented system
+    /// (see the module docs' symmetry section).
+    pub symmetry: SymmetryMode,
 }
 
 /// The SCC engine used on the explored product graph. Both backends
@@ -186,6 +228,7 @@ impl Default for Limits {
             max_edges: 1 << 40,
             threads: 0,
             scc: SccBackend::ForwardBackward,
+            symmetry: SymmetryMode::Off,
         }
     }
 }
@@ -360,6 +403,11 @@ struct Config<'p, L: Label> {
     e: usize,
     /// Resolved worker count (≥ 1).
     threads: usize,
+    /// The packed bit layout, as [`stateless_core::symmetry`] consumes it.
+    layout: PackedLayout,
+    /// The validated automorphism group when quotient exploration is on
+    /// (`None` for [`SymmetryMode::Off`] or a trivial derived group).
+    symmetry: Option<Symmetry>,
 }
 
 impl<L: Label> Config<'_, L> {
@@ -454,6 +502,7 @@ struct ExpandScratch<L> {
     in_buf: Vec<L>,
     react_buf: Vec<L>,
     free_nodes: Vec<usize>,
+    canon: CanonScratch,
 }
 
 impl<L: Label> ExpandScratch<L> {
@@ -469,6 +518,7 @@ impl<L: Label> ExpandScratch<L> {
             in_buf: Vec::new(),
             react_buf: Vec::new(),
             free_nodes: Vec::with_capacity(cfg.n),
+            canon: CanonScratch::default(),
         }
     }
 }
@@ -575,6 +625,22 @@ impl<'p, L: Label> Explorer<'p, L> {
             limits.threads
         }
         .max(1);
+        let layout = PackedLayout {
+            label_width,
+            countdown_width,
+            edges: e,
+            nodes: n,
+            words: words_per_state,
+            aux: aux_len,
+        };
+        // Derive the automorphism group up front (Auto only); a trivial
+        // group degrades to exactly the Off code path.
+        let symmetry = match limits.symmetry {
+            SymmetryMode::Off => None,
+            SymmetryMode::Auto => {
+                Some(Symmetry::derive(protocol, inputs, &dedup)).filter(|s| !s.is_trivial())
+            }
+        };
         let mut ex = Explorer {
             cfg: Config {
                 protocol,
@@ -590,6 +656,8 @@ impl<'p, L: Label> Explorer<'p, L> {
                 n,
                 e,
                 threads,
+                layout,
+                symmetry,
             },
             index: ShardedStateIndex::new(words_per_state, aux_len),
             dense_ids: Vec::new(),
@@ -630,7 +698,8 @@ impl<'p, L: Label> Explorer<'p, L> {
         let digit_alphabet: Vec<u32> = (0..self.cfg.alphabet.len() as u32).collect();
         let mut labelings = all_labelings(&digit_alphabet, e);
         let mut state_buf = vec![0u64; w];
-        let aux_zero = vec![0u64; self.cfg.aux_len];
+        let mut aux_zero = vec![0u64; self.cfg.aux_len];
+        let mut canon = CanonScratch::default();
         let mut next_key = 0u64;
         loop {
             let mut recs: Vec<ShardRecords> =
@@ -651,6 +720,12 @@ impl<'p, L: Label> Explorer<'p, L> {
                         cw,
                         u64::from(r - 1),
                     );
+                }
+                // Seeds are group-closed (uniform countdowns, zero
+                // outputs), so canonical seeding still covers every
+                // orbit; duplicates dedup at the interning step.
+                if let Some(sym) = &self.cfg.symmetry {
+                    sym.canonicalize(&self.cfg.layout, &mut state_buf, &mut aux_zero, &mut canon);
                 }
                 let fp = fingerprint(&state_buf, &aux_zero);
                 let rec = &mut recs[shard_of(fp)];
@@ -794,7 +869,7 @@ impl<'p, L: Label> Explorer<'p, L> {
                 &guards,
                 u,
                 &mut scratch,
-                |words, aux, _mask, _interesting| {
+                |words, aux, _mask, _interesting, _elem| {
                     let fp = fingerprint(words, aux);
                     let rec = &mut shards[shard_of(fp)];
                     // n ≤ 16 bounds the per-source fan-out below 2^16 edges,
@@ -813,10 +888,15 @@ impl<'p, L: Label> Explorer<'p, L> {
 
     /// Enumerates the successors of dense state `u` in activation-set
     /// order — the canonical edge order, identical for every phase that
-    /// regenerates edges — invoking `emit(words, aux, mask, interesting)`
-    /// with the packed successor row, its auxiliary output row, the
-    /// activation mask, and whether the labeling (or the tracked
-    /// outputs) changed along the edge. Allocation-free per edge given a
+    /// regenerates edges — invoking
+    /// `emit(words, aux, mask, interesting, elem)` with the packed
+    /// successor row, its auxiliary output row, the activation mask,
+    /// whether the labeling (or the tracked outputs) changed along the
+    /// edge, and the index of the group element that canonicalized the
+    /// successor (0 — the identity — whenever symmetry is off). Under
+    /// quotient exploration the emitted row is the successor's **orbit
+    /// representative**; mask and `interesting` stay in the source
+    /// state's frame. Allocation-free per edge given a
     /// warm `scratch`; the only error is a reaction emitting a label
     /// outside the declared alphabet, which exploration surfaces as
     /// [`VerifyError::BadParameters`] (post-exploration regeneration can
@@ -829,7 +909,7 @@ impl<'p, L: Label> Explorer<'p, L> {
         mut emit: F,
     ) -> Result<(), VerifyError>
     where
-        F: FnMut(&[u64], &[u64], u32, bool),
+        F: FnMut(&[u64], &[u64], u32, bool, u32),
     {
         let cfg = &self.cfg;
         let (n, e) = (cfg.n, cfg.e);
@@ -926,7 +1006,23 @@ impl<'p, L: Label> Explorer<'p, L> {
                     u64::from(cd - 1),
                 );
             }
-            emit(&sc.state, &sc.next_out_words, mask, interesting);
+            // Quotient step: rewrite the successor to its orbit
+            // representative (a pure function of the packed row, so the
+            // determinism contract is untouched) and remember which
+            // element did it — witness reconstruction de-canonicalizes
+            // with it. `next_out_words` is recopied from `out_words` at
+            // the top of every activation set, so permuting it in place
+            // here is safe.
+            let mut elem = 0u32;
+            if let Some(sym) = &cfg.symmetry {
+                elem = sym.canonicalize(
+                    &cfg.layout,
+                    &mut sc.state,
+                    &mut sc.next_out_words,
+                    &mut sc.canon,
+                ) as u32;
+            }
+            emit(&sc.state, &sc.next_out_words, mask, interesting, elem);
         }
         Ok(())
     }
@@ -935,23 +1031,23 @@ impl<'p, L: Label> Explorer<'p, L> {
     /// every successor is packed, fingerprinted, and looked up read-only
     /// in its shard ([`StateShard::lookup`] — exploration interned all
     /// of them), then mapped to its dense id. `out` is overwritten with
-    /// `(dense target, activation mask, interesting)` in the canonical
-    /// edge order.
+    /// `(dense target, activation mask, interesting, canonicalizing
+    /// element)` in the canonical edge order.
     fn successors_resolved(
         &self,
         guards: &[RwLockReadGuard<'_, StateShard>],
         u: usize,
         scratch: &mut ExpandScratch<L>,
-        out: &mut Vec<(u32, u32, bool)>,
+        out: &mut Vec<(u32, u32, bool, u32)>,
     ) {
         out.clear();
-        self.for_each_successor(guards, u, scratch, |words, aux, mask, interesting| {
+        self.for_each_successor(guards, u, scratch, |words, aux, mask, interesting, elem| {
             let fp = fingerprint(words, aux);
             let s = shard_of(fp);
             let local = guards[s]
                 .lookup(fp, words, aux)
                 .expect("every successor was interned during exploration");
-            out.push((guards[s].dense_of(local), mask, interesting));
+            out.push((guards[s].dense_of(local), mask, interesting, elem));
         })
         .expect("alphabet closure was validated during exploration");
     }
@@ -1044,10 +1140,20 @@ impl<'p, L: Label> Explorer<'p, L> {
     /// whole component. The BFS needs repeated edge access over that one
     /// component, so the verdict SCC — and only it — is re-expanded into
     /// a small **transient** CSR (component-local targets + activation
-    /// masks), discarded when the witness is built; its size is folded
-    /// into the [`ExploreStats::edge_bytes`] peak.
+    /// masks + canonicalizing elements), discarded when the witness is
+    /// built; its size is folded into the [`ExploreStats::edge_bytes`]
+    /// peak.
+    ///
+    /// Under quotient exploration the cycle found here lives in the
+    /// **quotient** graph, so it is de-canonicalized before being
+    /// returned (see the module docs' symmetry section): walking the
+    /// quotient cycle with an accumulated group element `c` (masks map
+    /// through `c`, then `c ← c ∘ h⁻¹` for the edge's canonicalizing
+    /// element `h`) and unrolling laps until `c` is the identity again
+    /// yields a concrete cycle of the unquotiented system, starting at
+    /// the decoded (canonical) entry labeling.
     fn witness(&self, comp: &[u32]) -> Option<CycleWitness<L>> {
-        let (u, v, mask) = self.first_interesting_intra_scc_edge(comp)?;
+        let (u, v, mask, elem) = self.first_interesting_intra_scc_edge(comp)?;
         // Re-expand the verdict component into local-id CSR arrays.
         let cid = comp[u];
         let members: Vec<u32> = (0..self.n_states as u32)
@@ -1059,28 +1165,34 @@ impl<'p, L: Label> Explorer<'p, L> {
         }
         let guards = self.index.read_all();
         let mut scratch = ExpandScratch::new(&self.cfg);
-        let mut edges: Vec<(u32, u32, bool)> = Vec::new();
+        let mut edges: Vec<(u32, u32, bool, u32)> = Vec::new();
         let mut offsets: Vec<usize> = Vec::with_capacity(members.len() + 1);
         offsets.push(0);
         let mut targets: Vec<u32> = Vec::new();
         let mut masks: Vec<u32> = Vec::new();
+        let mut elems: Vec<u32> = Vec::new();
         for &x in &members {
             self.successors_resolved(&guards, x as usize, &mut scratch, &mut edges);
-            for &(t, m, _) in &edges {
+            for &(t, m, _, h) in &edges {
                 if comp[t as usize] == cid {
                     targets.push(local_of[t as usize]);
                     masks.push(m);
+                    elems.push(h);
                 }
             }
             offsets.push(targets.len());
         }
         self.note_transient_bytes(
-            offsets.len() * std::mem::size_of::<usize>() + targets.len() * 4 + masks.len() * 4,
+            offsets.len() * std::mem::size_of::<usize>()
+                + targets.len() * 4
+                + masks.len() * 4
+                + elems.len() * 4,
         );
         let (lu, lv) = (local_of[u] as usize, local_of[v] as usize);
         let m = members.len();
         let mut prev: Vec<u32> = vec![u32::MAX; m];
         let mut prev_mask: Vec<u32> = vec![0; m];
+        let mut prev_elem: Vec<u32> = vec![0; m];
         let mut queue: VecDeque<u32> = VecDeque::new();
         // BFS from v back to u inside the component.
         queue.push_back(lv as u32);
@@ -1092,6 +1204,7 @@ impl<'p, L: Label> Explorer<'p, L> {
                 if x != lv && prev[x] == u32::MAX {
                     prev[x] = w;
                     prev_mask[x] = masks[c];
+                    prev_elem[x] = elems[c];
                     if x == lu {
                         found = true;
                         break 'bfs;
@@ -1104,16 +1217,39 @@ impl<'p, L: Label> Explorer<'p, L> {
         if !found {
             return None;
         }
-        // Reconstruct u →(mask) v → … → u.
-        let mut sched_masks = vec![mask];
+        // Reconstruct the quotient cycle u →(mask, elem) v → … → u in
+        // forward order.
+        let mut quot = vec![(mask, elem)];
         let mut path_rev = Vec::new();
         let mut at = lu;
         while at != lv {
-            path_rev.push(prev_mask[at]);
+            path_rev.push((prev_mask[at], prev_elem[at]));
             at = prev[at] as usize;
         }
-        sched_masks.extend(path_rev.into_iter().rev());
+        quot.extend(path_rev.into_iter().rev());
         let n = self.cfg.n;
+        let sched_masks: Vec<u32> = match &self.cfg.symmetry {
+            None => quot.into_iter().map(|(m, _)| m).collect(),
+            Some(sym) => {
+                // De-canonicalize: the concrete state after t quotient
+                // steps is `c · v_t`; each lap multiplies `c` by a fixed
+                // group element, so at most `|G|` laps close the
+                // concrete cycle.
+                let els = sym.elements();
+                let mut acc = Automorphism::identity(n, self.cfg.e);
+                let mut out = Vec::with_capacity(quot.len());
+                loop {
+                    for &(m, h) in &quot {
+                        out.push(acc.apply_mask(m));
+                        acc = acc.compose(&els[h as usize].inverse());
+                    }
+                    if acc.is_identity() {
+                        break;
+                    }
+                }
+                out
+            }
+        };
         let schedule = sched_masks
             .into_iter()
             .map(|m| (0..n).filter(|&i| m >> i & 1 == 1).collect())
@@ -1133,24 +1269,24 @@ impl<'p, L: Label> Explorer<'p, L> {
     /// exactly (chunk boundaries are constants, never derived from the
     /// thread count), and a shared low-water mark lets workers skip
     /// chunks that can no longer win.
-    fn first_interesting_intra_scc_edge(&self, comp: &[u32]) -> Option<(usize, usize, u32)> {
+    fn first_interesting_intra_scc_edge(&self, comp: &[u32]) -> Option<(usize, usize, u32, u32)> {
         let chunks = self.n_states.div_ceil(SCAN_CHUNK_STATES);
         let best = AtomicUsize::new(usize::MAX);
         let guards = self.index.read_all();
-        let scan = |c: usize| -> Option<(usize, usize, u32)> {
+        let scan = |c: usize| -> Option<(usize, usize, u32, u32)> {
             if c > best.load(Ordering::Relaxed) {
                 return None;
             }
             let start = c * SCAN_CHUNK_STATES;
             let end = (start + SCAN_CHUNK_STATES).min(self.n_states);
             let mut scratch = ExpandScratch::new(&self.cfg);
-            let mut edges: Vec<(u32, u32, bool)> = Vec::new();
+            let mut edges: Vec<(u32, u32, bool, u32)> = Vec::new();
             for u in start..end {
                 self.successors_resolved(&guards, u, &mut scratch, &mut edges);
-                for &(v, mask, interesting) in &edges {
+                for &(v, mask, interesting, elem) in &edges {
                     if interesting && comp[u] == comp[v as usize] {
                         best.fetch_min(c, Ordering::Relaxed);
-                        return Some((u, v as usize, mask));
+                        return Some((u, v as usize, mask, elem));
                     }
                 }
             }
@@ -1190,13 +1326,13 @@ impl<'p, L: Label> Explorer<'p, L> {
     fn materialize_csr(&self) -> (Vec<usize>, Vec<u32>) {
         let guards = self.index.read_all();
         let mut scratch = ExpandScratch::new(&self.cfg);
-        let mut edges: Vec<(u32, u32, bool)> = Vec::new();
+        let mut edges: Vec<(u32, u32, bool, u32)> = Vec::new();
         let mut offsets: Vec<usize> = Vec::with_capacity(self.n_states + 1);
         offsets.push(0);
         let mut targets: Vec<u32> = Vec::new();
         for u in 0..self.n_states {
             self.successors_resolved(&guards, u, &mut scratch, &mut edges);
-            targets.extend(edges.iter().map(|&(v, _, _)| v));
+            targets.extend(edges.iter().map(|&(v, _, _, _)| v));
             offsets.push(targets.len());
         }
         (offsets, targets)
@@ -1204,21 +1340,32 @@ impl<'p, L: Label> Explorer<'p, L> {
 }
 
 /// One checkout of oracle scratch: expansion state plus a resolved
-/// `(target, mask, interesting)` edge buffer.
-type OracleScratch<L> = (ExpandScratch<L>, Vec<(u32, u32, bool)>);
+/// `(target, mask, interesting, element)` edge buffer.
+type OracleScratch<L> = (ExpandScratch<L>, Vec<(u32, u32, bool, u32)>);
+
+/// Stripes of the oracle scratch cache. Workers hash their thread id
+/// into a stripe, so with ≤ 64 SCC workers the stripes are effectively
+/// thread-local: a single shared `Mutex<Vec<_>>` (the PR 6 shape) was
+/// acquired **twice per successor query** from every worker and
+/// serialized the whole oracle-SCC phase — the t=2/4 regression in the
+/// engine bench.
+const ORACLE_SCRATCH_STRIPES: usize = 64;
 
 /// The verifier's [`scc::SuccessorOracle`]: shared read guards over the
-/// shard arenas plus a pool of per-worker scratch buffers. A successor
+/// shard arenas plus striped per-worker scratch buffers. A successor
 /// query regenerates the state's edges via
 /// [`Explorer::successors_resolved`] and strips them to dense target
 /// ids — the SCC engine never sees (and the process never stores) a
-/// full-graph edge array.
+/// full-graph edge array. Under quotient exploration the regenerated
+/// successors are re-canonicalized by `successors_resolved` itself, so
+/// the oracle serves exactly the interned quotient graph.
 struct ProductOracle<'e, 'p, L: Label> {
     ex: &'e Explorer<'p, L>,
     guards: Vec<RwLockReadGuard<'e, StateShard>>,
-    /// Checked-out/returned per-worker scratch; the lock is held only
-    /// for the pop/push, never across a query.
-    pool: Mutex<Vec<OracleScratch<L>>>,
+    /// Checked-out/returned scratch, striped by worker thread id so
+    /// concurrent queries never contend; each lock is held only for the
+    /// pop/push, never across a query.
+    stripes: Vec<Mutex<Vec<OracleScratch<L>>>>,
 }
 
 impl<'e, 'p, L: Label> ProductOracle<'e, 'p, L> {
@@ -1226,8 +1373,19 @@ impl<'e, 'p, L: Label> ProductOracle<'e, 'p, L> {
         ProductOracle {
             ex,
             guards: ex.index.read_all(),
-            pool: Mutex::new(Vec::new()),
+            stripes: (0..ORACLE_SCRATCH_STRIPES)
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
         }
+    }
+
+    /// This worker's scratch stripe (the vendored rayon spawns plain OS
+    /// threads, so the thread id is stable per worker).
+    fn stripe(&self) -> &Mutex<Vec<OracleScratch<L>>> {
+        use std::hash::Hash;
+        let mut h = FxHasher::default();
+        std::thread::current().id().hash(&mut h);
+        &self.stripes[h.finish() as usize % ORACLE_SCRATCH_STRIPES]
     }
 }
 
@@ -1237,19 +1395,19 @@ impl<L: Label> scc::SuccessorOracle for ProductOracle<'_, '_, L> {
     }
 
     fn successors(&self, u: u32, out: &mut Vec<u32>) {
-        let (mut scratch, mut edges) = self
-            .pool
+        let stripe = self.stripe();
+        let (mut scratch, mut edges) = stripe
             .lock()
-            .expect("oracle scratch pool poisoned")
+            .expect("oracle scratch stripe poisoned")
             .pop()
             .unwrap_or_else(|| (ExpandScratch::new(&self.ex.cfg), Vec::new()));
         self.ex
             .successors_resolved(&self.guards, u as usize, &mut scratch, &mut edges);
         out.clear();
-        out.extend(edges.iter().map(|&(v, _, _)| v));
-        self.pool
+        out.extend(edges.iter().map(|&(v, _, _, _)| v));
+        stripe
             .lock()
-            .expect("oracle scratch pool poisoned")
+            .expect("oracle scratch stripe poisoned")
             .push((scratch, edges));
     }
 }
@@ -1911,6 +2069,101 @@ mod tests {
                     "threads = {threads}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn quotient_shrinks_the_ring_and_keeps_the_verdict() {
+        let p = rotate_ring(5);
+        let (full_v, full) = verify_label_stabilization_with_stats(
+            &p,
+            &[0; 5],
+            &[false, true],
+            2,
+            Limits::default(),
+        )
+        .unwrap();
+        let (quot_v, quot) = verify_label_stabilization_with_stats(
+            &p,
+            &[0; 5],
+            &[false, true],
+            2,
+            Limits {
+                symmetry: SymmetryMode::Auto,
+                ..Limits::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(full_v.is_stabilizing(), quot_v.is_stabilizing());
+        // The rotation group has order 5; only the all-equal labelings
+        // are fixed points, so the quotient is very close to 5× smaller.
+        assert!(
+            quot.states * 4 <= full.states,
+            "quotient {} vs full {}",
+            quot.states,
+            full.states
+        );
+        assert!(quot.edges * 4 <= full.edges);
+    }
+
+    #[test]
+    fn quotient_witness_replays_on_the_unquotiented_system() {
+        for n in [3usize, 4, 5] {
+            let p = rotate_ring(n);
+            let v = verify_label_stabilization(
+                &p,
+                &vec![0; n],
+                &[false, true],
+                2,
+                Limits {
+                    symmetry: SymmetryMode::Auto,
+                    ..Limits::default()
+                },
+            )
+            .unwrap();
+            let Verdict::NotStabilizing(w) = v else {
+                panic!("rotation never label-stabilizes (n = {n})")
+            };
+            // The de-canonicalized witness must be a genuine cycle of the
+            // full (unquotiented) system: labels change and the labeling
+            // returns to the start after one script lap.
+            let mut sim = Simulation::new(&p, &vec![0; n], w.labeling.clone()).unwrap();
+            let mut sched = Scripted::cycle(w.schedule.clone());
+            sched.validate(n).expect("witness names real nodes");
+            let mut changed = false;
+            let mut active = Vec::new();
+            for _ in 0..w.schedule.len() {
+                let before = sim.labeling().to_vec();
+                sched.activations_into(sim.time() + 1, n, &mut active);
+                sim.step_with(&active);
+                changed |= before != sim.labeling();
+            }
+            assert!(changed, "labels changed along the cycle (n = {n})");
+            assert_eq!(sim.labeling(), &w.labeling[..], "cycle closes (n = {n})");
+        }
+    }
+
+    #[test]
+    fn quotient_is_thread_and_backend_deterministic() {
+        let p = rotate_ring(4);
+        let run = |threads: usize, scc: SccBackend| {
+            verify_label_stabilization_with_stats(
+                &p,
+                &[0; 4],
+                &[false, true],
+                3,
+                Limits {
+                    threads,
+                    scc,
+                    symmetry: SymmetryMode::Auto,
+                    ..Limits::default()
+                },
+            )
+            .unwrap()
+        };
+        let base = run(1, SccBackend::Tarjan);
+        for threads in [1, 2, 4, 7] {
+            assert_eq!(base, run(threads, SccBackend::ForwardBackward), "t{threads}");
         }
     }
 

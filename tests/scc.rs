@@ -230,32 +230,44 @@ fn max_id_isolated_state() {
 /// 0.56× t1, far outside any noise band).
 #[test]
 fn small_graphs_condense_without_parallel_overhead() {
-    // Structural: the scheduling decision itself.
+    // Structural: the scheduling decision itself. Large graphs honor the
+    // request only up to the machine's core count — oversubscribed
+    // workers would add FB rounds with no cores to run them on.
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
     assert_eq!(effective_workers(1 << 14, 4), 1, "small graph, 4 threads");
     assert_eq!(effective_workers(1 << 14, 2), 1, "small graph, 2 threads");
-    assert_eq!(effective_workers(1 << 16, 4), 4, "large graph, 4 threads");
+    assert_eq!(
+        effective_workers(1 << 16, 4),
+        4.min(cores),
+        "large graph, 4 threads"
+    );
 
     // Timing: a ~16K-state giant SCC (cycle + chords), well under the
     // single-worker threshold, must condense at 2/4 threads within a
-    // ~0.95× band of the 1-thread time (median of 15 runs each).
+    // ~0.95× band of the 1-thread time. Thread counts below the
+    // threshold all run the *identical* serial code path, so the
+    // best-of-runs estimator is the right one — it is immune to the
+    // scheduler-noise outliers that make medians of millisecond-scale
+    // samples flaky on loaded hosts.
     let n: u32 = 16_000;
     let mut edges: Vec<(u32, u32)> = (0..n).map(|u| (u, (u + 1) % n)).collect();
     edges.extend((0..n).step_by(7).map(|u| (u, (u + n / 2) % n)));
     let (offsets, targets) = csr(n as usize, &edges);
-    let median_secs = |threads: usize| {
-        let mut samples: Vec<f64> = (0..15)
-            .map(|_| {
-                let t = std::time::Instant::now();
-                std::hint::black_box(condense(&offsets, &targets, threads));
-                t.elapsed().as_secs_f64()
-            })
-            .collect();
-        samples.sort_by(f64::total_cmp);
-        samples[samples.len() / 2]
-    };
-    let t1 = median_secs(1);
-    for threads in [2usize, 4] {
-        let tn = median_secs(threads);
+    // Interleave the samples (t1, t2, t4 within each round) so slow
+    // drift — CPU-quota throttling after sustained load, frequency
+    // scaling — hits every thread count equally instead of biasing
+    // whichever batch runs last.
+    let counts = [1usize, 2, 4];
+    let mut best = [f64::INFINITY; 3];
+    for _ in 0..15 {
+        for (slot, &threads) in best.iter_mut().zip(&counts) {
+            let t = std::time::Instant::now();
+            std::hint::black_box(condense(&offsets, &targets, threads));
+            *slot = slot.min(t.elapsed().as_secs_f64());
+        }
+    }
+    let t1 = best[0];
+    for (&threads, &tn) in counts.iter().zip(&best).skip(1) {
         let ratio = t1 / tn;
         assert!(
             ratio >= 0.90,

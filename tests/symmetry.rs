@@ -1,0 +1,363 @@
+//! Unit and regression tests for `stateless_core::symmetry`: Booth's
+//! minimal-rotation algorithm against brute force, behavioral group
+//! derivation on the standard topologies (rotations on the
+//! unidirectional ring, the dihedral group on the bidirectional ring,
+//! coordinate/bit permutations on the hypercube), orbit-constancy and
+//! idempotence of `canonicalize`, fixed-point orbits smaller than the
+//! group, and the headline quotient: a node-symmetric protocol on a
+//! small bidirectional ring interns ≥ 5× fewer states under
+//! `SymmetryMode::Auto` with a bit-identical verdict.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use stateless_computation::core::intern::pack;
+use stateless_computation::core::prelude::*;
+use stateless_computation::core::symmetry::{
+    booth_least_rotation, Automorphism, CanonScratch, PackedLayout, Symmetry,
+};
+use stateless_computation::verify::{verify_label_stabilization_with_stats, Limits, SymmetryMode};
+
+/// Brute-force reference: compare every rotation, least index wins ties.
+fn least_rotation_naive<T: Ord + Clone>(seq: &[T]) -> usize {
+    let n = seq.len();
+    let rot = |m: usize| -> Vec<T> {
+        (0..n).map(|i| seq[(m + i) % n].clone()).collect::<Vec<_>>()
+    };
+    (0..n).min_by_key(|&m| (rot(m), m)).unwrap_or(0)
+}
+
+#[test]
+fn booth_matches_brute_force_on_random_sequences() {
+    let mut rng = StdRng::seed_from_u64(0xB007);
+    for len in 1..=12usize {
+        for _ in 0..64 {
+            let seq: Vec<u8> = (0..len).map(|_| rng.random_range(0..4u8)).collect();
+            assert_eq!(
+                booth_least_rotation(&seq),
+                least_rotation_naive(&seq),
+                "sequence {seq:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn booth_breaks_ties_toward_the_least_index() {
+    // All rotations equal: index 0 must win.
+    assert_eq!(booth_least_rotation(&[7u8; 6]), 0);
+    // Period-2 word: rotations 0 and 2 tie as (1,2,1,2); 0 wins.
+    assert_eq!(booth_least_rotation(&[1u8, 2, 1, 2]), 0);
+    assert_eq!(booth_least_rotation(&[2u8, 1, 2, 1]), 1);
+    assert_eq!(booth_least_rotation(&[] as &[u8]), 0);
+}
+
+/// One seeded reaction shared by every node (the node id never enters the
+/// mixing), so vertex-transitive topologies keep their full automorphism
+/// group. Requires uniform out-degree.
+fn symmetric_protocol(graph: &DiGraph, q: u64, seed: u64) -> Protocol<u64> {
+    let deg = graph.out_degree(0);
+    Protocol::builder(graph.clone(), (q as f64).log2())
+        .uniform_reaction(FnBufReaction::new(
+            vec![0u64; deg],
+            move |_, incoming: &[u64], input: u64, out: &mut [u64]| {
+                let mut acc = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+                for &l in incoming {
+                    acc = (acc.rotate_left(7) ^ l).wrapping_mul(0x0000_0100_0000_01B3);
+                }
+                acc = (acc.rotate_left(7) ^ input).wrapping_mul(0x0000_0100_0000_01B3);
+                for (k, slot) in out.iter_mut().enumerate() {
+                    *slot = (acc.wrapping_mul(2 * k as u64 + 1).rotate_left(11) ^ acc) % q;
+                }
+                acc % q
+            },
+        ))
+        .build()
+        .unwrap()
+}
+
+/// Like [`symmetric_protocol`], but additionally invariant under
+/// permutations of the incoming/outgoing edge *slots*: the incoming fold
+/// is commutative (sum mod `q`) and every outgoing slot gets the same
+/// label. Reflections and coordinate permutations — which reorder a
+/// node's edge slots — only validate against reactions like this.
+fn exchange_symmetric_protocol(graph: &DiGraph, q: u64, seed: u64) -> Protocol<u64> {
+    let deg = graph.out_degree(0);
+    Protocol::builder(graph.clone(), (q as f64).log2())
+        .uniform_reaction(FnBufReaction::new(
+            vec![0u64; deg],
+            move |_, incoming: &[u64], input: u64, out: &mut [u64]| {
+                let sum: u64 = incoming.iter().sum();
+                let w = (sum + input + seed) % q;
+                out.fill(w);
+                w
+            },
+        ))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn derive_finds_the_full_rotation_group_on_a_unidirectional_ring() {
+    let n = 6;
+    let protocol = symmetric_protocol(&topology::unidirectional_ring(n), 3, 11);
+    let sym = Symmetry::derive(&protocol, &vec![0u64; n], &[0u64, 1, 2]);
+    assert_eq!(sym.order(), n, "cyclic group C_{n}");
+    // Element 0 is the identity; the others move every node.
+    assert!(sym.elements()[0].is_identity());
+    for el in &sym.elements()[1..] {
+        assert!(!el.is_identity());
+    }
+}
+
+#[test]
+fn derive_finds_the_dihedral_group_on_a_bidirectional_ring() {
+    let n = 5;
+    let protocol = exchange_symmetric_protocol(&topology::bidirectional_ring(n), 2, 3);
+    let sym = Symmetry::derive(&protocol, &vec![0u64; n], &[0u64, 1]);
+    // Rotations × reflection: the dihedral group D_n of order 2n. (The
+    // reflection reorders each node's two incoming slots, so it only
+    // validates because the reaction folds them commutatively.)
+    assert_eq!(sym.order(), 2 * n, "dihedral group D_{n}");
+    let reflections = sym
+        .elements()
+        .iter()
+        .filter(|el| !el.is_identity() && el.compose(el).is_identity())
+        .count();
+    assert!(reflections >= n, "every axis reflection is an involution");
+}
+
+#[test]
+fn derive_finds_bit_permutations_on_the_hypercube() {
+    let d = 3;
+    let n = 1usize << d;
+    let protocol = exchange_symmetric_protocol(&topology::hypercube(d as u32), 2, 5);
+    let sym = Symmetry::derive(&protocol, &vec![0u64; n], &[0u64, 1]);
+    // The candidate generators (bit rotation, bit swap, xor translation)
+    // close into a subgroup of the hyperoctahedral group; for d = 3 that
+    // is at least the 6 coordinate permutations and one translation
+    // coset, and never more than 2^d · d! = 48.
+    assert!(sym.order() >= 12, "got order {}", sym.order());
+    assert!(sym.order() <= 48, "got order {}", sym.order());
+}
+
+#[test]
+fn derive_degrades_to_identity_when_inputs_break_the_symmetry() {
+    let n = 6;
+    let protocol = symmetric_protocol(&topology::unidirectional_ring(n), 3, 11);
+    let mut inputs = vec![0u64; n];
+    inputs[2] = 1; // constant on no nontrivial orbit
+    let sym = Symmetry::derive(&protocol, &inputs, &[0u64, 1, 2]);
+    assert!(sym.is_trivial());
+}
+
+#[test]
+fn derive_degrades_to_identity_when_the_reaction_is_node_dependent() {
+    // The node id enters the reaction with period 2 on an *odd* ring, so
+    // no rotation preserves the parity pattern. (At n = 4 the rotation by
+    // 2 genuinely IS a behavioral automorphism — nodes 0/2 and 1/3 share
+    // reactions — and derive correctly finds it via the 2×2 torus
+    // candidate shifts; an odd length removes every such coincidence.)
+    let n = 5;
+    let graph = topology::unidirectional_ring(n);
+    let mut b = Protocol::builder(graph, 1.0);
+    for node in 0..n {
+        b = b.reaction(
+            node,
+            FnReaction::new(move |i: NodeId, incoming: &[u64], _| {
+                (vec![(incoming[0] + i as u64) % 2], 0)
+            }),
+        );
+    }
+    let protocol = b.build().unwrap();
+    let sym = Symmetry::derive(&protocol, &vec![0u64; n], &[0u64, 1]);
+    assert!(sym.is_trivial());
+}
+
+/// The n rotations of a ring layout where edge k co-rotates with node k.
+fn ring_rotations(n: usize) -> Symmetry {
+    let step = Automorphism {
+        node_perm: (0..n as u32).map(|i| (i + 1) % n as u32).collect(),
+        edge_perm: (0..n as u32).map(|i| (i + 1) % n as u32).collect(),
+    };
+    Symmetry::from_generators(n, n, &[step]).unwrap()
+}
+
+fn ring_layout(n: usize, lw: u32, cw: u32) -> PackedLayout {
+    let bits = n * (lw + cw) as usize;
+    PackedLayout {
+        label_width: lw,
+        countdown_width: cw,
+        edges: n,
+        nodes: n,
+        words: bits.div_ceil(64).max(1),
+        aux: 0,
+    }
+}
+
+fn pack_ring_state(layout: &PackedLayout, labels: &[u32], cds: &[u32]) -> Vec<u64> {
+    let mut words = vec![0u64; layout.words];
+    let lw = layout.label_width as usize;
+    let cw = layout.countdown_width as usize;
+    for (k, &l) in labels.iter().enumerate() {
+        pack(&mut words, k * lw, layout.label_width, u64::from(l));
+    }
+    for (i, &c) in cds.iter().enumerate() {
+        pack(
+            &mut words,
+            layout.edges * lw + i * cw,
+            layout.countdown_width,
+            u64::from(c),
+        );
+    }
+    words
+}
+
+#[test]
+fn canonicalize_is_orbit_constant_and_idempotent() {
+    let n = 6;
+    let sym = ring_rotations(n);
+    assert_eq!(sym.order(), n);
+    let layout = ring_layout(n, 2, 2);
+    let mut rng = StdRng::seed_from_u64(0xCA20);
+    let mut scratch = CanonScratch::default();
+    for _ in 0..50 {
+        let labels: Vec<u32> = (0..n).map(|_| rng.random_range(0..4u32)).collect();
+        let cds: Vec<u32> = (0..n).map(|_| rng.random_range(0..3u32)).collect();
+        // Canonicalize every rotation of the same state: all must land on
+        // the same representative.
+        let mut reps: Vec<Vec<u64>> = Vec::new();
+        for j in 0..n {
+            let rl: Vec<u32> = (0..n).map(|i| labels[(i + j) % n]).collect();
+            let rc: Vec<u32> = (0..n).map(|i| cds[(i + j) % n]).collect();
+            let mut words = pack_ring_state(&layout, &rl, &rc);
+            let mut aux: Vec<u64> = Vec::new();
+            let elem = sym.canonicalize(&layout, &mut words, &mut aux, &mut scratch);
+            assert!(elem < sym.order());
+            reps.push(words);
+        }
+        assert!(reps.windows(2).all(|w| w[0] == w[1]), "orbit constancy");
+        // A second pass is the identity.
+        let mut again = reps[0].clone();
+        let mut aux: Vec<u64> = Vec::new();
+        let elem = sym.canonicalize(&layout, &mut again, &mut aux, &mut scratch);
+        assert_eq!(elem, 0, "canonical states are fixed points");
+        assert_eq!(again, reps[0]);
+    }
+}
+
+#[test]
+fn canonicalize_reports_the_element_that_maps_original_to_canonical() {
+    let n = 5;
+    let sym = ring_rotations(n);
+    let layout = ring_layout(n, 3, 1);
+    let labels: Vec<u32> = vec![4, 1, 3, 2, 5];
+    let cds: Vec<u32> = vec![0, 1, 0, 1, 0];
+    let mut words = pack_ring_state(&layout, &labels, &cds);
+    let original = words.clone();
+    let mut aux: Vec<u64> = Vec::new();
+    let elem = sym.canonicalize(&layout, &mut words, &mut aux, &mut CanonScratch::default());
+    // Re-apply the reported element to the original by hand: it must
+    // reproduce the canonical form.
+    let el = &sym.elements()[elem];
+    let mut rl = vec![0u32; n];
+    let mut rc = vec![0u32; n];
+    for (k, &l) in labels.iter().enumerate() {
+        rl[el.edge_perm[k] as usize] = l;
+    }
+    for (i, &c) in cds.iter().enumerate() {
+        rc[el.node_perm[i] as usize] = c;
+    }
+    assert_eq!(pack_ring_state(&layout, &rl, &rc), words);
+    if elem == 0 {
+        assert_eq!(words, original);
+    }
+}
+
+#[test]
+fn fixed_point_orbits_are_smaller_than_the_group() {
+    // A uniform state is fixed by every rotation: its orbit has size 1
+    // even though the group has order n. The canonicalizer must return
+    // the identity and leave the state untouched (regression: an earlier
+    // sketch assumed orbit size == group order when picking the
+    // representative).
+    let n = 8;
+    let sym = ring_rotations(n);
+    let layout = ring_layout(n, 2, 2);
+    let mut words = pack_ring_state(&layout, &vec![3u32; n], &vec![1u32; n]);
+    let expected = words.clone();
+    let mut aux: Vec<u64> = Vec::new();
+    let elem = sym.canonicalize(&layout, &mut words, &mut aux, &mut CanonScratch::default());
+    assert_eq!(elem, 0);
+    assert_eq!(words, expected);
+
+    // Period-2 word on an even ring: orbit size n/2, still canonical at
+    // the least rotation.
+    let labels: Vec<u32> = (0..n).map(|i| (i % 2) as u32).collect();
+    let mut words = pack_ring_state(&layout, &labels, &vec![0u32; n]);
+    let canon = {
+        let mut aux: Vec<u64> = Vec::new();
+        sym.canonicalize(&layout, &mut words, &mut aux, &mut CanonScratch::default());
+        words.clone()
+    };
+    let shifted: Vec<u32> = (0..n).map(|i| labels[(i + 1) % n] ).collect();
+    let mut words2 = pack_ring_state(&layout, &shifted, &vec![0u32; n]);
+    let mut aux: Vec<u64> = Vec::new();
+    sym.canonicalize(&layout, &mut words2, &mut aux, &mut CanonScratch::default());
+    assert_eq!(words2, canon);
+}
+
+#[test]
+fn from_generators_rejects_non_permutations() {
+    let bad = Automorphism {
+        node_perm: vec![0, 0, 1],
+        edge_perm: vec![0, 1, 2],
+    };
+    assert!(Symmetry::from_generators(3, 3, &[bad]).is_none());
+    let out_of_range = Automorphism {
+        node_perm: vec![0, 1, 3],
+        edge_perm: vec![0, 1, 2],
+    };
+    assert!(Symmetry::from_generators(3, 3, &[out_of_range]).is_none());
+}
+
+#[test]
+fn quotient_shrinks_the_bidirectional_ring_at_least_5x_with_identical_verdict() {
+    // The issue's acceptance shape at a feasible size: D_5 has order 10,
+    // so on the bidirectional 5-ring (2^10 labelings × r^n countdowns)
+    // SymmetryMode::Auto must intern ≥ 5× fewer states and return the
+    // bit-identical verdict.
+    let n = 5;
+    let protocol = exchange_symmetric_protocol(&topology::bidirectional_ring(n), 2, 3);
+    let inputs = vec![0u64; n];
+    let alphabet = [0u64, 1];
+    let (full_v, full) = verify_label_stabilization_with_stats(
+        &protocol,
+        &inputs,
+        &alphabet,
+        2,
+        Limits::default(),
+    )
+    .unwrap();
+    let (quot_v, quot) = verify_label_stabilization_with_stats(
+        &protocol,
+        &inputs,
+        &alphabet,
+        2,
+        Limits {
+            symmetry: SymmetryMode::Auto,
+            ..Limits::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        std::mem::discriminant(&full_v),
+        std::mem::discriminant(&quot_v),
+        "verdicts must agree"
+    );
+    assert!(
+        quot.states * 5 <= full.states,
+        "expected a ≥5× quotient, got {} vs {}",
+        full.states,
+        quot.states
+    );
+}
