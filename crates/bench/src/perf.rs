@@ -18,6 +18,7 @@ use stateless_core::convergence::{
     sync_round_complexity_par, CycleDetector,
 };
 use stateless_core::prelude::*;
+use stateless_protocols::bfs_tree::{bfs_alphabet, bfs_tree_protocol};
 use stateless_protocols::worst_case::worst_case_protocol;
 
 use crate::workloads::{
@@ -385,6 +386,79 @@ fn verify_scaling_rows(n: usize, thread_counts: &[usize]) -> Vec<String> {
         .collect()
 }
 
+/// Byzantine-adversary verification throughput: the BFS spanning-tree
+/// protocol on small rooted bidirectional rings (root 0, cap = 2,
+/// r = 1), fault-free (f = 0) and with one Byzantine node at the root's
+/// neighbor (f = 1). Each row records the explored state count of the
+/// adversary-branched product graph, states/s, and the exact verdict —
+/// on the 4-ring the placement is fatal (`stabilizing: false`), on the
+/// 3-ring tolerated, so a fault-semantics drift flips a committed
+/// verdict and shows up in the perf diff, not just the test suite.
+/// `f0_matches_faultfree` records (and asserts) that an explicit
+/// `FaultModel::none()` query returns the same verdict over the same
+/// state count as the plain fault-free path — the f = 0 degeneracy the
+/// determinism contract promises.
+fn byzantine_scaling_rows() -> Vec<String> {
+    let cap = 2u64;
+    let r = 1u8;
+    let mut rows = Vec::new();
+    for n in [3usize, 4] {
+        let p =
+            bfs_tree_protocol(topology::bidirectional_ring(n), 0, cap, FaultModel::none()).unwrap();
+        let inputs = vec![0u64; n];
+        let alphabet = bfs_alphabet(cap);
+        let (plain_verdict, plain_stats) =
+            verify_label_stabilization_with_stats(&p, &inputs, &alphabet, r, Limits::default())
+                .unwrap();
+        for f in [0usize, 1] {
+            let faults = if f == 0 {
+                FaultModel::none()
+            } else {
+                FaultModel::byzantine(&[1]).unwrap()
+            };
+            let limits = Limits {
+                faults,
+                ..Limits::default()
+            };
+            let (verdict, stats) =
+                verify_label_stabilization_with_stats(&p, &inputs, &alphabet, r, limits).unwrap();
+            let f0_matches = f != 0
+                || (stats.states == plain_stats.states
+                    && verdict.is_stabilizing() == plain_verdict.is_stabilizing());
+            assert!(
+                f0_matches,
+                "an explicit FaultModel::none() must degenerate to the fault-free run"
+            );
+            let secs = best_seconds(|| {
+                verify_label_stabilization_with_stats(&p, &inputs, &alphabet, r, limits)
+                    .unwrap()
+                    .0
+                    .is_stabilizing();
+            });
+            emit_criterion_line(
+                &format!("perf/byzantine/{n}/f{f}"),
+                secs,
+                stats.states as u64,
+            );
+            rows.push(format!(
+                concat!(
+                    "{{\"n\":{},\"f\":{},\"r\":{},\"states\":{},",
+                    "\"states_per_s\":{:.0},\"stabilizing\":{},",
+                    "\"f0_matches_faultfree\":{}}}"
+                ),
+                n,
+                f,
+                r,
+                stats.states,
+                stats.states as f64 / secs,
+                verdict.is_stabilizing(),
+                f0_matches
+            ));
+        }
+    }
+    rows
+}
+
 /// Async engine measurement at ring size `n`: steps/s under one schedule
 /// family, `Simulation::run` (buffered `activations_into`) vs the
 /// allocating one-`Vec`-per-step path every run loop used before the
@@ -517,8 +591,9 @@ pub fn summary_json(max_threads: usize) -> String {
         .iter()
         .flat_map(|&n| verify_scaling_rows(n, &counts))
         .collect();
+    let byzantine = byzantine_scaling_rows();
     format!(
-        "{{\n  \"suite\": \"stateless-computation perf summary\",\n  \"threads\": {},\n  \"engine_throughput\": [{}],\n  \"async_engine\": [{}],\n  \"label_stabilization\": {},\n  \"classify_sync\": {},\n  \"classify_detectors\": {},\n  \"round_complexity_sweep\": {},\n  \"verify_scaling\": [{}]\n}}\n",
+        "{{\n  \"suite\": \"stateless-computation perf summary\",\n  \"threads\": {},\n  \"engine_throughput\": [{}],\n  \"async_engine\": [{}],\n  \"label_stabilization\": {},\n  \"classify_sync\": {},\n  \"classify_detectors\": {},\n  \"round_complexity_sweep\": {},\n  \"verify_scaling\": [{}],\n  \"byzantine_scaling\": [{}]\n}}\n",
         threads,
         engine.join(", "),
         async_engine.join(", "),
@@ -526,6 +601,7 @@ pub fn summary_json(max_threads: usize) -> String {
         classify,
         detectors,
         sweep,
-        verify_scaling.join(", ")
+        verify_scaling.join(", "),
+        byzantine.join(", ")
     )
 }

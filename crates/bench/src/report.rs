@@ -250,6 +250,16 @@ fn summary_object_lines(section: &str, obj: &str, out: &mut Vec<BenchLine>) {
                 }
             }
         }
+        "byzantine_scaling" => {
+            let (Some(n), Some(f), Some(states)) = (num("n"), num("f"), num("states")) else {
+                return;
+            };
+            let (n, f) = (n as u64, f as u64);
+            push(
+                format!("perf/byzantine/{n}/f{f}"),
+                per_s(states, num("states_per_s")),
+            );
+        }
         _ => {}
     }
 }
@@ -573,7 +583,8 @@ mod tests {
         "  \"classify_sync\": {\"n\":1024,\"naive_ms_per_run\":50.000,\"fingerprint_ms_per_run\":20.000,\"speedup\":2.50},\n",
         "  \"classify_detectors\": {\"n\":1024,\"arena_ms_per_run\":17.000,\"brent_ms_per_run\":34.000},\n",
         "  \"round_complexity_sweep\": {\"n\":14,\"labelings\":16384,\"threads\":1,\"sequential_ms\":12.000,\"parallel_ms\":6.000,\"speedup\":2.00},\n",
-        "  \"verify_scaling\": [{\"n\":6,\"r\":2,\"threads\":2,\"states\":1000,\"edges\":9,\"naive_states_per_s\":250000,\"packed_states_per_s\":1000000,\"scc_ms\":4.000,\"scc_vs_t1\":1.50,\"tarjan_scc_ms\":5.000,\"sym_states\":100,\"quotient_ratio\":10.00,\"sym_states_per_s\":500000}, {\"n\":8,\"r\":2,\"states\":2000,\"edges\":9,\"naive_states_per_s\":100000,\"packed_states_per_s\":200000,\"scc_ms\":8.000,\"tarjan_scc_ms\":7.000,\"sym_states\":200,\"quotient_ratio\":10.00,\"sym_states_per_s\":1000000}, {\"n\":9,\"r\":2,\"states\":3000,\"edges\":9,\"naive_states_per_s\":0,\"packed_states_per_s\":300000,\"scc_ms\":9.000,\"tarjan_scc_ms\":8.000,\"sym_states\":0,\"quotient_ratio\":0.00,\"sym_states_per_s\":0}]\n",
+        "  \"verify_scaling\": [{\"n\":6,\"r\":2,\"threads\":2,\"states\":1000,\"edges\":9,\"naive_states_per_s\":250000,\"packed_states_per_s\":1000000,\"scc_ms\":4.000,\"scc_vs_t1\":1.50,\"tarjan_scc_ms\":5.000,\"sym_states\":100,\"quotient_ratio\":10.00,\"sym_states_per_s\":500000}, {\"n\":8,\"r\":2,\"states\":2000,\"edges\":9,\"naive_states_per_s\":100000,\"packed_states_per_s\":200000,\"scc_ms\":8.000,\"tarjan_scc_ms\":7.000,\"sym_states\":200,\"quotient_ratio\":10.00,\"sym_states_per_s\":1000000}, {\"n\":9,\"r\":2,\"states\":3000,\"edges\":9,\"naive_states_per_s\":0,\"packed_states_per_s\":300000,\"scc_ms\":9.000,\"tarjan_scc_ms\":8.000,\"sym_states\":0,\"quotient_ratio\":0.00,\"sym_states_per_s\":0}],\n",
+        "  \"byzantine_scaling\": [{\"n\":4,\"f\":0,\"r\":1,\"states\":4000,\"states_per_s\":2000000,\"stabilizing\":true,\"f0_matches_faultfree\":true}, {\"n\":4,\"f\":1,\"r\":1,\"states\":20000,\"states_per_s\":1000000,\"stabilizing\":false,\"f0_matches_faultfree\":true}]\n",
         "}\n",
     );
 
@@ -618,6 +629,11 @@ mod tests {
         assert!(!lines.iter().any(|l| l.bench == "perf/verify_scaling/6/sym"
             || l.bench == "perf/verify_scaling/9/sym"
             || l.bench == "perf/verify_scaling/9/naive"));
+        // Byzantine rows key on (n, f): 4000 states at 2e6 states/s =
+        // 2 ms; the f=1 row's larger adversary-branched graph maps the
+        // same way.
+        assert_eq!(get("perf/byzantine/4/f0"), 2e6);
+        assert_eq!(get("perf/byzantine/4/f1"), 2e7);
     }
 
     #[test]

@@ -230,6 +230,90 @@ impl<'p, L: Label> Simulation<'p, L> {
         self.time += 1;
     }
 
+    /// Executes one step like [`step_with`](Simulation::step_with), but
+    /// with the nodes marked faulty by `faults` acting adversarially
+    /// instead of running their reactions:
+    ///
+    /// * an activated **Byzantine** node writes the labels recorded for it
+    ///   in `choices` onto its outgoing edges (in `out_edges` order) and
+    ///   leaves its output untouched;
+    /// * an activated **crash** node commits no writes at all (its outgoing
+    ///   labels keep their current values) and leaves its output untouched;
+    /// * correct nodes react normally, reading the pre-step labeling.
+    ///
+    /// `choices` holds one `(node, outgoing labels)` entry per *activated
+    /// Byzantine* node — exactly the per-step records inside a
+    /// `NotStabilizing` witness from `stabilization-verify`, which makes
+    /// the witness a concrete adversary strategy replayable here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an activated Byzantine node has no entry in `choices` or
+    /// the entry has the wrong arity — the script does not match the
+    /// activation set, a caller bug.
+    pub fn step_with_adversary(
+        &mut self,
+        active: &[NodeId],
+        faults: crate::fault::FaultModel,
+        choices: &[(NodeId, Vec<L>)],
+    ) {
+        let graph = self.protocol.graph();
+        self.out_buf.clear();
+        self.out_spans.clear();
+        for &node in active {
+            assert!(
+                node < self.protocol.node_count(),
+                "activation of nonexistent node {node}"
+            );
+            if faults.is_crash(node) {
+                continue;
+            }
+            let start = self.out_buf.len();
+            if faults.is_byzantine(node) {
+                let (_, labels) = choices
+                    .iter()
+                    .find(|&&(i, _)| i == node)
+                    .unwrap_or_else(|| panic!("no adversary choice recorded for node {node}"));
+                assert_eq!(
+                    labels.len(),
+                    graph.out_degree(node),
+                    "adversary choice arity mismatch for node {node}"
+                );
+                self.out_buf.extend(labels.iter().cloned());
+                self.out_spans.push((node, start));
+                continue;
+            }
+            let in_edges = graph.in_edges(node);
+            let incoming: &[L] = if let [e] = *in_edges {
+                std::slice::from_ref(&self.labeling[e])
+            } else {
+                self.in_buf.clear();
+                self.in_buf
+                    .extend(in_edges.iter().map(|&e| self.labeling[e].clone()));
+                &self.in_buf
+            };
+            self.out_buf.extend(
+                graph
+                    .out_edges(node)
+                    .iter()
+                    .map(|&e| self.labeling[e].clone()),
+            );
+            self.outputs[node] = self.protocol.reaction(node).react_into(
+                node,
+                incoming,
+                self.inputs[node],
+                &mut self.out_buf[start..],
+            );
+            self.out_spans.push((node, start));
+        }
+        for &(node, start) in &self.out_spans {
+            for (k, &e) in graph.out_edges(node).iter().enumerate() {
+                std::mem::swap(&mut self.labeling[e], &mut self.out_buf[start + k]);
+            }
+        }
+        self.time += 1;
+    }
+
     /// Reference implementation of [`step_with`](Simulation::step_with)
     /// through the allocating [`Protocol::apply`] path. Kept for
     /// differential testing and as the baseline in the `engine` bench; not
@@ -494,6 +578,33 @@ mod tests {
         assert_eq!(sim.time(), 0);
         sim.run(&mut Synchronous, 7);
         assert_eq!(sim.time(), 7);
+    }
+
+    #[test]
+    fn adversary_step_overrides_byzantine_and_freezes_crash() {
+        use crate::fault::FaultModel;
+        // Max-propagation ring; node 1 byzantine, node 2 crashed.
+        let p = max_ring(4);
+        let faults = FaultModel::new(&[1], &[2]).unwrap();
+        let mut sim = Simulation::new(&p, &[0; 4], vec![5, 6, 7, 8]).unwrap();
+        sim.step_with_adversary(&[0, 1, 2, 3], faults, &[(1, vec![99])]);
+        // Node 0 reacted normally (reads edge 3→0, i.e. label 8): writes 8.
+        // Node 1's out-edge carries the adversary's 99; node 2's keeps 7.
+        // Node 3 reacted normally: max(incoming 7, input 0) = 7.
+        assert_eq!(sim.labeling(), &[8, 99, 7, 7]);
+        // Faulty nodes' outputs never move off their initial 0.
+        assert_eq!(sim.outputs(), &[8, 0, 0, 7]);
+        assert_eq!(sim.time(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no adversary choice recorded")]
+    fn adversary_step_requires_a_choice_per_byzantine_activation() {
+        use crate::fault::FaultModel;
+        let p = max_ring(3);
+        let faults = FaultModel::byzantine(&[1]).unwrap();
+        let mut sim = Simulation::new(&p, &[0; 3], vec![0; 3]).unwrap();
+        sim.step_with_adversary(&[1], faults, &[]);
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! Fault models: Byzantine and crash nodes for adversarial verification.
+//!
+//! A [`FaultModel`] marks a subset of nodes as *faulty*. Faulty nodes keep
+//! their place in the topology and the schedule (they are still activated
+//! under the r-fair discipline), but their reactions are replaced:
+//!
+//! * **Byzantine** nodes are controlled by a demonic adversary. At every
+//!   activation the adversary writes *any* label from the alphabet onto
+//!   each outgoing edge, independently per edge — the full `|Σ|^out-deg`
+//!   choice set. Their tracked output is forced to `0`.
+//! * **Crash** nodes are the degenerate single-choice case: an activation
+//!   commits no writes (outgoing labels keep their current values) and the
+//!   tracked output is forced to `0`.
+//!
+//! The verifier in `stabilization-verify` quantifies universally over both
+//! the scheduler *and* the adversary's choices, so a `Stabilizing` verdict
+//! means "stabilizes from every initial state under every adversary
+//! strategy", and a `NotStabilizing` witness carries a concrete replayable
+//! strategy (see `Simulation::step_with_adversary`).
+//!
+//! The model is a pair of node-id bitmasks, so it is `Copy` and fits in
+//! `Limits` without breaking the verifier's pass-by-value idiom.
+
+use crate::error::CoreError;
+use crate::NodeId;
+
+/// Which nodes are faulty, and how. See the [module docs](self).
+///
+/// Construct with [`FaultModel::none`], [`FaultModel::byzantine`],
+/// [`FaultModel::crash`], or [`FaultModel::new`]; node ids above
+/// [`FaultModel::MAX_NODES`] are rejected at construction time.
+/// [`validate`](FaultModel::validate) checks the model against a concrete
+/// graph size (ids in range, at least one correct node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct FaultModel {
+    /// Bitmask of Byzantine node ids.
+    byzantine: u64,
+    /// Bitmask of crash-faulty node ids (disjoint from `byzantine`).
+    crash: u64,
+}
+
+impl FaultModel {
+    /// The largest node id representable by the bitmask encoding.
+    pub const MAX_NODES: usize = 64;
+
+    /// The fault-free model: every node runs its program faithfully.
+    pub fn none() -> Self {
+        FaultModel::default()
+    }
+
+    /// Marks exactly `ids` as Byzantine (duplicates are ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if any id is ≥
+    /// [`FaultModel::MAX_NODES`].
+    pub fn byzantine(ids: &[NodeId]) -> Result<Self, CoreError> {
+        FaultModel::new(ids, &[])
+    }
+
+    /// Marks exactly `ids` as crash-faulty (duplicates are ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if any id is ≥
+    /// [`FaultModel::MAX_NODES`].
+    pub fn crash(ids: &[NodeId]) -> Result<Self, CoreError> {
+        FaultModel::new(&[], ids)
+    }
+
+    /// Builds a mixed model with the given Byzantine and crash node sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if any id is ≥
+    /// [`FaultModel::MAX_NODES`] or a node appears in both sets.
+    pub fn new(byzantine_ids: &[NodeId], crash_ids: &[NodeId]) -> Result<Self, CoreError> {
+        let mask = |ids: &[NodeId], kind: &str| -> Result<u64, CoreError> {
+            let mut m = 0u64;
+            for &id in ids {
+                if id >= Self::MAX_NODES {
+                    return Err(CoreError::InvalidParameter {
+                        what: format!(
+                            "{kind} node id {id} exceeds the fault-model limit of {} nodes",
+                            Self::MAX_NODES
+                        ),
+                    });
+                }
+                m |= 1u64 << id;
+            }
+            Ok(m)
+        };
+        let byzantine = mask(byzantine_ids, "byzantine")?;
+        let crash = mask(crash_ids, "crash")?;
+        if byzantine & crash != 0 {
+            let id = (byzantine & crash).trailing_zeros();
+            return Err(CoreError::InvalidParameter {
+                what: format!("node {id} is listed as both byzantine and crash-faulty"),
+            });
+        }
+        Ok(FaultModel { byzantine, crash })
+    }
+
+    /// Whether `node` is Byzantine.
+    pub fn is_byzantine(&self, node: NodeId) -> bool {
+        node < Self::MAX_NODES && self.byzantine >> node & 1 == 1
+    }
+
+    /// Whether `node` is crash-faulty.
+    pub fn is_crash(&self, node: NodeId) -> bool {
+        node < Self::MAX_NODES && self.crash >> node & 1 == 1
+    }
+
+    /// Whether `node` is faulty in either way.
+    pub fn is_faulty(&self, node: NodeId) -> bool {
+        self.is_byzantine(node) || self.is_crash(node)
+    }
+
+    /// Whether the model marks any node faulty at all.
+    pub fn has_faults(&self) -> bool {
+        self.byzantine | self.crash != 0
+    }
+
+    /// The number of faulty nodes `f`.
+    pub fn fault_count(&self) -> usize {
+        (self.byzantine | self.crash).count_ones() as usize
+    }
+
+    /// The number of Byzantine nodes.
+    pub fn byzantine_count(&self) -> usize {
+        self.byzantine.count_ones() as usize
+    }
+
+    /// Byzantine node ids in ascending order.
+    pub fn byzantine_nodes(&self) -> impl Iterator<Item = NodeId> {
+        let mask = self.byzantine;
+        (0..Self::MAX_NODES).filter(move |&i| mask >> i & 1 == 1)
+    }
+
+    /// All faulty node ids (Byzantine and crash) in ascending order.
+    pub fn faulty_nodes(&self) -> impl Iterator<Item = NodeId> {
+        let mask = self.byzantine | self.crash;
+        (0..Self::MAX_NODES).filter(move |&i| mask >> i & 1 == 1)
+    }
+
+    /// Checks the model against a concrete graph of `node_count` nodes:
+    /// every faulty id must name an existing node, and at least one node
+    /// must remain correct (`f < n` — an all-faulty system has no
+    /// correct-node property left to verify).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] describing the violation.
+    pub fn validate(&self, node_count: usize) -> Result<(), CoreError> {
+        if let Some(bad) = self.faulty_nodes().find(|&id| id >= node_count) {
+            return Err(CoreError::InvalidParameter {
+                what: format!(
+                    "faulty node id {bad} out of range for a graph with {node_count} nodes"
+                ),
+            });
+        }
+        if node_count > 0 && self.fault_count() >= node_count {
+            return Err(CoreError::InvalidParameter {
+                what: format!(
+                    "fault count f = {} must be below the node count n = {node_count} \
+                     (no correct node left to verify)",
+                    self.fault_count()
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_fault_free() {
+        let fm = FaultModel::none();
+        assert!(!fm.has_faults());
+        assert_eq!(fm.fault_count(), 0);
+        assert!(fm.validate(1).is_ok());
+        assert_eq!(fm, FaultModel::default());
+    }
+
+    #[test]
+    fn byzantine_and_crash_queries() {
+        let fm = FaultModel::new(&[1, 3], &[0]).unwrap();
+        assert!(fm.is_byzantine(1) && fm.is_byzantine(3));
+        assert!(fm.is_crash(0) && !fm.is_crash(1));
+        assert!(fm.is_faulty(0) && fm.is_faulty(3) && !fm.is_faulty(2));
+        assert_eq!(fm.fault_count(), 3);
+        assert_eq!(fm.byzantine_count(), 2);
+        assert_eq!(fm.byzantine_nodes().collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(fm.faulty_nodes().collect::<Vec<_>>(), vec![0, 1, 3]);
+        assert!(!fm.is_faulty(usize::MAX), "out-of-mask ids are not faulty");
+    }
+
+    #[test]
+    fn construction_rejects_oversized_and_overlapping_ids() {
+        assert!(matches!(
+            FaultModel::byzantine(&[64]),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            FaultModel::new(&[2], &[2]),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+        assert!(FaultModel::byzantine(&[63]).is_ok());
+    }
+
+    #[test]
+    fn validate_checks_range_and_fault_budget() {
+        let fm = FaultModel::byzantine(&[3]).unwrap();
+        assert!(fm.validate(4).is_ok());
+        let err = fm.validate(3).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+        let all = FaultModel::byzantine(&[0, 1, 2]).unwrap();
+        let err = all.validate(3).unwrap_err();
+        assert!(err.to_string().contains("f = 3"), "{err}");
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let fm = FaultModel::byzantine(&[2, 2, 2]).unwrap();
+        assert_eq!(fm.fault_count(), 1);
+    }
+}

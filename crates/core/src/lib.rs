@@ -27,6 +27,12 @@
 //!   r-fair schedules, plus fairness monitoring; all buffered
 //!   ([`Schedule::activations_into`](schedule::Schedule::activations_into)).
 //! * [`engine::Simulation`] — executes `(ℓᵗ, yᵗ) = δ(ℓᵗ⁻¹, x, σ(t))`.
+//! * [`fault::FaultModel`] — Byzantine / crash fault sets whose reactions
+//!   are replaced by adversarially-chosen outputs; the engine replays
+//!   recorded adversary scripts
+//!   ([`Simulation::step_with_adversary`](engine::Simulation::step_with_adversary)),
+//!   the exact verifier in `stabilization-verify` quantifies over every
+//!   strategy.
 //! * [`convergence`] — exact classification of synchronous *and*
 //!   periodically scheduled runs (label-stable / oscillating) by pluggable
 //!   cycle detection ([`convergence::CycleDetector`]: history arena or
@@ -75,6 +81,7 @@
 pub mod convergence;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod graph;
 pub mod intern;
 pub mod label;
@@ -105,6 +112,7 @@ pub mod prelude {
     };
     pub use crate::engine::Simulation;
     pub use crate::error::CoreError;
+    pub use crate::fault::FaultModel;
     pub use crate::graph::DiGraph;
     pub use crate::label::Label;
     pub use crate::protocol::{Protocol, ProtocolBuilder};

@@ -264,7 +264,9 @@ pub fn condense_oracle<O: SuccessorOracle + ?Sized>(oracle: &O, threads: usize) 
 /// bench suite's scheduling assertions.
 #[doc(hidden)]
 pub fn effective_workers(n_states: usize, threads: usize) -> usize {
-    let threads = resolve_threads(threads).min(rayon::current_num_threads()).max(1);
+    let threads = resolve_threads(threads)
+        .min(rayon::current_num_threads())
+        .max(1);
     if n_states < PARALLEL_MIN_STATES {
         1
     } else {

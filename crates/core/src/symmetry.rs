@@ -104,7 +104,10 @@ impl Automorphism {
 
     /// Whether this is the identity permutation.
     pub fn is_identity(&self) -> bool {
-        self.node_perm.iter().enumerate().all(|(i, &p)| p == i as u32)
+        self.node_perm
+            .iter()
+            .enumerate()
+            .all(|(i, &p)| p == i as u32)
     }
 
     /// Function composition `self ∘ other` (apply `other` first).
@@ -259,6 +262,34 @@ impl Symmetry {
         let Some(elements) = close(n, e, &generators) else {
             return Symmetry::identity(n, e);
         };
+        let ring = detect_ring(&elements, n, e);
+        Symmetry { elements, ring }
+    }
+
+    /// The stabilizer subgroup of a node coloring: keeps exactly the
+    /// elements whose node permutation preserves `colors`
+    /// (`colors[π(i)] == colors[i]` for every node), in the original
+    /// deterministic order. Used by the verifier to restrict symmetry to
+    /// fault-placement-preserving automorphisms — a Byzantine node may
+    /// only map to a Byzantine node, a crash node to a crash node. The
+    /// Booth ring fast path is re-detected on the subgroup (restriction
+    /// usually breaks the pure-rotation shape).
+    ///
+    /// Color-preservation is closed under composition and inverse, so the
+    /// filtered set is itself a group; the identity always survives.
+    pub fn restrict_to_coloring(&self, colors: &[u64]) -> Symmetry {
+        let elements: Vec<Automorphism> = self
+            .elements
+            .iter()
+            .filter(|el| {
+                el.node_perm
+                    .iter()
+                    .enumerate()
+                    .all(|(i, &p)| colors[p as usize] == colors[i])
+            })
+            .cloned()
+            .collect();
+        let (n, e) = (elements[0].node_perm.len(), elements[0].edge_perm.len());
         let ring = detect_ring(&elements, n, e);
         Symmetry { elements, ring }
     }
@@ -703,6 +734,21 @@ mod tests {
             sym.canonicalize(&layout, &mut w, &mut [], &mut scratch);
             assert_eq!(w, canon0, "rotation {rot} lands on the same canonical");
         }
+    }
+
+    #[test]
+    fn coloring_restriction_keeps_placement_preserving_elements() {
+        let p = rotation_ring(5);
+        let sym = Symmetry::derive(&p, &[0; 5], &[false, true]);
+        assert_eq!(sym.order(), 5);
+        // Marking node 2 faulty kills every nontrivial rotation.
+        let restricted = sym.restrict_to_coloring(&[0, 0, 1, 0, 0]);
+        assert!(restricted.is_trivial());
+        assert!(restricted.ring.is_none());
+        // A uniform coloring keeps the whole group and the Booth path.
+        let unrestricted = sym.restrict_to_coloring(&[7; 5]);
+        assert_eq!(unrestricted.order(), 5);
+        assert!(unrestricted.ring.is_some());
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! A self-stabilizing BFS spanning-tree protocol on rooted topologies —
+//! the classic distance/parent rule of Dolev-style silent stabilization,
+//! in the stateless model (cf. the machine-checked treatment in
+//! Altisen–Bozga, arXiv:2502.17035).
+//!
+//! The root floods distance `0`; every other node takes the minimum
+//! incoming distance plus one (clamped to `cap`) as its own distance,
+//! writes it on all outgoing edges, and outputs `(d << 8) | parent`,
+//! where `parent` is the in-neighbor achieving the minimum (ties broken
+//! toward the smallest node id). On a strongly connected graph the
+//! fault-free protocol label-stabilizes to the true BFS distances from
+//! the root, and the outputs decode to a BFS spanning tree.
+//!
+//! With Byzantine neighbors the picture is subtler — a faulty node
+//! adjacent to the min-selection of a correct node can drag its distance
+//! down and release it forever — which is exactly what the exact
+//! verifier's fault model quantifies over (`Limits::faults` in
+//! `stabilization-verify`): the f = 1 placement sweep on small rings
+//! separates placements the rule tolerates from those it cannot.
+
+use stateless_core::prelude::*;
+use stateless_core::reaction::FnBufReaction;
+
+/// Builds the BFS distance/parent protocol on `graph` rooted at `root`,
+/// with the distance alphabet `{0, …, cap}`.
+///
+/// `faults` is validated up front: the root must be correct (a Byzantine
+/// or crashed root makes "distance from the root" meaningless), and every
+/// faulty id must name a node of `graph` with at least one node left
+/// correct. Faults are *not* baked into the reactions — every node runs
+/// the same rule; pass the same model to the verifier's `Limits::faults`
+/// (or to `Simulation::step_with_adversary`) to subject the protocol to
+/// it.
+///
+/// Outputs encode `(d << 8) | parent` (the root outputs 0), so node ids
+/// must fit 8 bits.
+///
+/// # Errors
+///
+/// [`CoreError::InvalidParameter`] if `root` is out of range or faulty,
+/// `cap == 0`, or `graph` has more than 256 nodes;
+/// [`CoreError`] construction errors from the protocol builder (e.g. a
+/// graph that is not strongly connected).
+pub fn bfs_tree_protocol(
+    graph: DiGraph,
+    root: NodeId,
+    cap: u64,
+    faults: FaultModel,
+) -> Result<Protocol<u64>, CoreError> {
+    let n = graph.node_count();
+    if root >= n {
+        return Err(CoreError::InvalidParameter {
+            what: format!("bfs_tree root {root} out of range for a graph with {n} nodes"),
+        });
+    }
+    if cap == 0 {
+        return Err(CoreError::InvalidParameter {
+            what: "bfs_tree distance cap must be ≥ 1 (the alphabet is {0, …, cap})".into(),
+        });
+    }
+    if n > 256 {
+        return Err(CoreError::InvalidParameter {
+            what: format!("bfs_tree outputs pack the parent id into 8 bits; {n} nodes exceed 256"),
+        });
+    }
+    faults.validate(n)?;
+    if faults.is_faulty(root) {
+        return Err(CoreError::InvalidParameter {
+            what: format!(
+                "bfs_tree root {root} must be a correct node, but the fault model marks it faulty"
+            ),
+        });
+    }
+    let mut builder = Protocol::builder(graph.clone(), ((cap + 1) as f64).log2())
+        .name(format!("bfs-tree(n={n}, root={root}, cap={cap})"));
+    for node in 0..n {
+        if node == root {
+            builder = builder.reaction(
+                node,
+                FnBufReaction::new(
+                    vec![0u64; graph.out_degree(node)],
+                    move |_, _incoming: &[u64], _, out: &mut [u64]| {
+                        out.fill(0);
+                        0
+                    },
+                ),
+            );
+        } else {
+            let nbrs = graph.in_neighbors(node);
+            builder = builder.reaction(
+                node,
+                FnBufReaction::new(
+                    vec![0u64; graph.out_degree(node)],
+                    move |_, incoming: &[u64], _, out: &mut [u64]| {
+                        // Min incoming distance; ties and slot order both
+                        // resolve toward the smallest in-neighbor id, so
+                        // the parent choice is schedule-independent.
+                        let (mut best, mut parent) = (u64::MAX, 0u64);
+                        for (slot, &d) in incoming.iter().enumerate() {
+                            let p = nbrs[slot] as u64;
+                            if d < best || (d == best && p < parent) {
+                                best = d;
+                                parent = p;
+                            }
+                        }
+                        let d = best.saturating_add(1).min(cap);
+                        out.fill(d);
+                        (d << 8) | parent
+                    },
+                ),
+            );
+        }
+    }
+    builder.build()
+}
+
+/// The distance alphabet `{0, …, cap}` — the closed label set to hand the
+/// exact verifier.
+pub fn bfs_alphabet(cap: u64) -> Vec<u64> {
+    (0..=cap).collect()
+}
+
+/// True BFS distances from `root`, clamped to `cap` — the labeling the
+/// fault-free protocol stabilizes to (every edge out of `u` carries
+/// `min(dist(u), cap)`).
+///
+/// # Panics
+///
+/// Panics if some node is unreachable from `root` (the builder already
+/// requires strong connectivity).
+pub fn expected_distances(graph: &DiGraph, root: NodeId, cap: u64) -> Vec<u64> {
+    graph
+        .bfs_distances(root)
+        .into_iter()
+        .map(|d| (d.expect("strongly connected graphs reach every node") as u64).min(cap))
+        .collect()
+}
+
+/// Whether `labeling` (one label per edge, in edge-id order) is the BFS
+/// fixpoint: every edge out of `u` carries `u`'s clamped BFS distance.
+pub fn is_bfs_labeling(graph: &DiGraph, root: NodeId, cap: u64, labeling: &[u64]) -> bool {
+    let dist = expected_distances(graph, root, cap);
+    graph
+        .edges()
+        .all(|(id, u, _)| labeling.get(id).copied() == Some(dist[u]))
+}
+
+/// Decodes a node's output into `(distance, parent)`.
+pub fn decode_output(y: Output) -> (u64, NodeId) {
+    (y >> 8, (y & 0xff) as NodeId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stateless_core::convergence::{classify_sync, SyncOutcome};
+
+    fn converged_outputs(graph: DiGraph, root: NodeId, cap: u64, initial: Vec<u64>) -> Vec<Output> {
+        let n = graph.node_count();
+        let p = bfs_tree_protocol(graph.clone(), root, cap, FaultModel::none()).unwrap();
+        let outcome = classify_sync(&p, &vec![0; n], initial, 10_000).unwrap();
+        match outcome {
+            SyncOutcome::LabelStable { labeling, .. } => {
+                assert!(is_bfs_labeling(&graph, root, cap, &labeling));
+                let mut sim = Simulation::new(&p, &vec![0; n], labeling).unwrap();
+                sim.run(&mut Synchronous, 2);
+                sim.outputs().to_vec()
+            }
+            other => panic!("expected label stabilization, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stabilizes_to_bfs_distances_on_rings_paths_and_stars() {
+        for (graph, root) in [
+            (topology::bidirectional_ring(5), 0),
+            (topology::bidirectional_path(4), 1),
+            (topology::star(5), 0),
+        ] {
+            let cap = 4;
+            let e = graph.edge_count();
+            for initial in [vec![0u64; e], vec![cap; e], vec![3; e]] {
+                converged_outputs(graph.clone(), root, cap, initial);
+            }
+        }
+    }
+
+    #[test]
+    fn outputs_decode_to_a_bfs_spanning_tree() {
+        // Path 0–1–2–3 rooted at 0: parents are the left neighbors.
+        let ys = converged_outputs(topology::bidirectional_path(4), 0, 4, vec![2; 6]);
+        assert_eq!(decode_output(ys[0]), (0, 0));
+        assert_eq!(decode_output(ys[1]), (1, 0));
+        assert_eq!(decode_output(ys[2]), (2, 1));
+        assert_eq!(decode_output(ys[3]), (3, 2));
+    }
+
+    #[test]
+    fn ring_ties_break_toward_the_smaller_neighbor() {
+        // biring(4) rooted at 0: node 2 sees distance 1 from both 1 and
+        // 3; the tie must resolve to parent 1.
+        let ys = converged_outputs(topology::bidirectional_ring(4), 0, 3, vec![3; 8]);
+        assert_eq!(decode_output(ys[2]), (2, 1));
+    }
+
+    #[test]
+    fn distances_clamp_at_the_cap() {
+        let graph = topology::bidirectional_path(5);
+        let dist = expected_distances(&graph, 0, 2);
+        assert_eq!(dist, vec![0, 1, 2, 2, 2]);
+        converged_outputs(graph, 0, 2, vec![2; 8]);
+    }
+
+    #[test]
+    fn bad_parameters_are_rejected_up_front() {
+        let g = topology::bidirectional_ring(4);
+        assert!(matches!(
+            bfs_tree_protocol(g.clone(), 7, 2, FaultModel::none()),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            bfs_tree_protocol(g.clone(), 0, 0, FaultModel::none()),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+        let faulty_root = FaultModel::byzantine(&[0]).unwrap();
+        let err = bfs_tree_protocol(g.clone(), 0, 2, faulty_root).unwrap_err();
+        assert!(err.to_string().contains("root"), "{err}");
+        let oob = FaultModel::byzantine(&[9]).unwrap();
+        assert!(matches!(
+            bfs_tree_protocol(g, 0, 2, oob),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+    }
+}

@@ -14,6 +14,7 @@
 //! | Theorem 4.1 / B.4 / B.7 | [`snake_reduction`] | The snake-in-the-box clique protocols reducing EQ and DISJ to stabilization verification |
 //! | Theorem B.11 | [`string_oscillation`] | The String-Oscillation problem and its stateful-protocol reduction |
 //! | Theorem B.14 | [`metanode`] | The stateful → stateless metanode transformation `Kₙ → K₃ₙ` |
+//! | §6 (fault tolerance), cf. arXiv:2502.17035 | [`bfs_tree`] | The self-stabilizing BFS distance/parent spanning-tree rule on rooted topologies, verified fault-free and under Byzantine placements |
 //!
 //! The branching-program compilations of Theorem 5.2 live in the
 //! `branching-program` crate ([`branching_program::convert`]).
@@ -21,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bfs_tree;
 pub mod circuit_ring;
 pub mod counter;
 pub mod example1;

@@ -32,12 +32,21 @@
 //! tightness, and bench `verify` plus the per-thread `verify_scaling`
 //! perf rows (including the isolated SCC phase) chart the blowup and
 //! the scaling.
+//!
+//! [`Limits::faults`] extends every query with a **Byzantine adversary**:
+//! faulty nodes' reactions are replaced by adversarially-chosen labels,
+//! the product graph branches over every choice (both quantifiers stay
+//! demonic, so the SCC machinery is unchanged), and a `NotStabilizing`
+//! witness carries the adversary's concrete strategy
+//! ([`CycleWitness::adversary`]) alongside the schedule. The [`sweep`]
+//! module quantifies over fault *placements* too.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod product;
 pub mod stable;
+pub mod sweep;
 
 #[doc(hidden)]
 pub use product::{
@@ -48,5 +57,7 @@ pub use product::{
     verify_label_stabilization, verify_label_stabilization_with_stats, verify_output_stabilization,
     CycleWitness, ExploreStats, Limits, SccBackend, Verdict, VerifyError,
 };
-pub use stateless_core::symmetry::SymmetryMode;
 pub use stable::enumerate_stable_labelings;
+pub use stateless_core::fault::FaultModel;
+pub use stateless_core::symmetry::SymmetryMode;
+pub use sweep::{byzantine_placements, sweep_byzantine_placements, PlacementVerdict};

@@ -190,8 +190,24 @@ pub struct Limits {
     /// and interns only orbit-canonical states, shrinking states and
     /// generated edges by up to the group order with the **same**
     /// verdict and a witness that replays on the unquotiented system
-    /// (see the module docs' symmetry section).
+    /// (see the module docs' symmetry section). With faults present the
+    /// derived group is restricted to its fault-placement-preserving
+    /// subgroup (the fault sets act as a node coloring), so quotienting
+    /// stays sound under [`Limits::faults`] too.
     pub symmetry: SymmetryMode,
+    /// The fault model ([`FaultModel::none`] by default). Byzantine
+    /// nodes' reactions are replaced by demonic adversary choices — at
+    /// every activation, any label per outgoing edge — and crash nodes'
+    /// by the single keep-current-labels choice; both leave their
+    /// tracked output frozen at `0`. The product graph then branches
+    /// over *scheduler* edges and *adversary-choice* edges, both
+    /// universally quantified, so `Stabilizing` means "under every
+    /// r-fair schedule **and** every adversary strategy, the
+    /// correct-node labels (or outputs) eventually stop changing", and a
+    /// [`CycleWitness`] carries the adversary's per-step choices — a
+    /// concrete replayable strategy
+    /// ([`Simulation::step_with_adversary`](stateless_core::engine::Simulation::step_with_adversary)).
+    pub faults: FaultModel,
 }
 
 /// The SCC engine used on the explored product graph. Both backends
@@ -229,6 +245,7 @@ impl Default for Limits {
             threads: 0,
             scc: SccBackend::ForwardBackward,
             symmetry: SymmetryMode::Off,
+            faults: FaultModel::none(),
         }
     }
 }
@@ -283,12 +300,23 @@ impl From<CoreError> for VerifyError {
 /// A concrete non-convergence witness: start at `labeling` and repeat
 /// `schedule` forever; the labeling never converges, and the schedule is
 /// r-fair by the countdown construction.
+///
+/// Under a fault model the witness is a full adversary *strategy*:
+/// [`adversary`](CycleWitness::adversary) records, step by step, the
+/// labels the Byzantine nodes write — replay it with
+/// [`Simulation::step_with_adversary`](stateless_core::engine::Simulation::step_with_adversary)
+/// and the correct-node labels oscillate forever.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CycleWitness<L> {
     /// The labeling at the cycle entry.
     pub labeling: Vec<L>,
     /// The cyclic activation script.
     pub schedule: Vec<Vec<NodeId>>,
+    /// The adversary's choices, one entry per schedule step: for each
+    /// *activated Byzantine* node, the labels it writes on its outgoing
+    /// edges (in `out_edges` order). Always `schedule.len()` entries;
+    /// all of them empty when the fault model is fault-free.
+    pub adversary: Vec<Vec<(NodeId, Vec<L>)>>,
 }
 
 /// The verification verdict.
@@ -406,8 +434,23 @@ struct Config<'p, L: Label> {
     /// The packed bit layout, as [`stateless_core::symmetry`] consumes it.
     layout: PackedLayout,
     /// The validated automorphism group when quotient exploration is on
-    /// (`None` for [`SymmetryMode::Off`] or a trivial derived group).
+    /// (`None` for [`SymmetryMode::Off`] or a trivial derived group);
+    /// with faults present, already restricted to the
+    /// fault-placement-preserving subgroup.
     symmetry: Option<Symmetry>,
+    /// The fault model (validated against `n` up front).
+    faults: FaultModel,
+    /// Edge ids whose *source* node is correct — the only edges whose
+    /// changes count as "interesting" under a fault model (Byzantine
+    /// edges change at the adversary's whim, crash edges never change).
+    /// Empty when the model is fault-free (full-slice comparison is
+    /// then the interesting test, exactly the pre-fault code path).
+    correct_src_edges: Vec<usize>,
+    /// Upper bound on the adversary branching factor of any activation
+    /// set: `|Σ|^(total Byzantine out-degree)`, saturating. `1` when
+    /// fault-free — every fan-out estimate degrades to the exact
+    /// pre-fault figure.
+    byz_branch_bound: u64,
 }
 
 impl<L: Label> Config<'_, L> {
@@ -443,7 +486,7 @@ fn fingerprint(words: &[u64], aux: &[u64]) -> u64 {
 /// are strided by the packed row lengths.
 #[derive(Default)]
 struct ShardRecords {
-    /// Stream keys: `(source dense id << 16) | edge index` for expansion
+    /// Stream keys: `(source dense id << 32) | edge index` for expansion
     /// records, the enumeration index for seed records. Strictly
     /// increasing along each shard's replayed stream; fresh states are
     /// dense-numbered in key order.
@@ -502,6 +545,14 @@ struct ExpandScratch<L> {
     in_buf: Vec<L>,
     react_buf: Vec<L>,
     free_nodes: Vec<usize>,
+    /// Out-edge ids of the activated Byzantine nodes of the current
+    /// activation set (ascending node id, `out_edges` order) — the digit
+    /// positions of the adversary-choice code.
+    byz_edges: Vec<usize>,
+    /// Canonicalization-side copy of the auxiliary output row: the same
+    /// successor is re-canonicalized once per adversary choice, so the
+    /// choice-independent `next_out_words` must not be permuted in place.
+    canon_aux: Vec<u64>,
     canon: CanonScratch,
 }
 
@@ -518,6 +569,8 @@ impl<L: Label> ExpandScratch<L> {
             in_buf: Vec::new(),
             react_buf: Vec::new(),
             free_nodes: Vec::with_capacity(cfg.n),
+            byz_edges: Vec::with_capacity(cfg.e),
+            canon_aux: vec![0u64; cfg.aux_len],
             canon: CanonScratch::default(),
         }
     }
@@ -603,6 +656,12 @@ impl<'p, L: Label> Explorer<'p, L> {
                 what: "r must be ≥ 1".into(),
             });
         }
+        limits
+            .faults
+            .validate(n)
+            .map_err(|e| VerifyError::BadParameters {
+                what: e.to_string(),
+            })?;
         // Deduplicate the alphabet (first occurrence wins) so equal labels
         // share one packed index and states dedup exactly as in the naive
         // explorer.
@@ -614,6 +673,37 @@ impl<'p, L: Label> Explorer<'p, L> {
                 dedup.push(l.clone());
             }
         }
+        // Adversary fan-out: an activated Byzantine node branches over
+        // |Σ|^out-degree label choices. The per-source edge index must
+        // fit the u32 half of the stream key, so reject models whose
+        // worst-case fan-out (every activation set × every choice) could
+        // overflow it — such an exploration would be astronomically
+        // infeasible anyway.
+        let faults = limits.faults;
+        let mut byz_branch_bound = 1u64;
+        for i in faults.byzantine_nodes().filter(|&i| i < n) {
+            for _ in 0..protocol.graph().out_degree(i) {
+                byz_branch_bound = byz_branch_bound.saturating_mul(dedup.len() as u64);
+            }
+        }
+        if (1u64 << n).saturating_mul(byz_branch_bound) > u64::from(u32::MAX) {
+            return Err(VerifyError::BadParameters {
+                what: format!(
+                    "adversary fan-out |Σ|^byz-out-degree = {byz_branch_bound} is too \
+                     large to enumerate (per-state fan-out must fit 32 bits)"
+                ),
+            });
+        }
+        let correct_src_edges: Vec<usize> = if faults.has_faults() {
+            protocol
+                .graph()
+                .edges()
+                .filter(|&(_, u, _)| !faults.is_faulty(u))
+                .map(|(id, _, _)| id)
+                .collect()
+        } else {
+            Vec::new()
+        };
         let label_width = bits_for(dedup.len());
         let countdown_width = bits_for(r as usize);
         let state_bits = e * label_width as usize + n * countdown_width as usize;
@@ -634,11 +724,32 @@ impl<'p, L: Label> Explorer<'p, L> {
             aux: aux_len,
         };
         // Derive the automorphism group up front (Auto only); a trivial
-        // group degrades to exactly the Off code path.
+        // group degrades to exactly the Off code path. Fault placement
+        // acts as a node coloring: only placement-preserving elements
+        // survive (a Byzantine node may only map to a Byzantine node),
+        // which is what keeps orbit-canonical interning sound under
+        // adversary branching.
         let symmetry = match limits.symmetry {
             SymmetryMode::Off => None,
             SymmetryMode::Auto => {
-                Some(Symmetry::derive(protocol, inputs, &dedup)).filter(|s| !s.is_trivial())
+                let derived = Symmetry::derive(protocol, inputs, &dedup);
+                let restricted = if faults.has_faults() {
+                    let colors: Vec<u64> = (0..n)
+                        .map(|i| {
+                            if faults.is_byzantine(i) {
+                                1
+                            } else if faults.is_crash(i) {
+                                2
+                            } else {
+                                0
+                            }
+                        })
+                        .collect();
+                    derived.restrict_to_coloring(&colors)
+                } else {
+                    derived
+                };
+                Some(restricted).filter(|s| !s.is_trivial())
             }
         };
         let mut ex = Explorer {
@@ -658,6 +769,9 @@ impl<'p, L: Label> Explorer<'p, L> {
                 threads,
                 layout,
                 symmetry,
+                faults,
+                correct_src_edges,
+                byz_branch_bound,
             },
             index: ShardedStateIndex::new(words_per_state, aux_len),
             dense_ids: Vec::new(),
@@ -763,9 +877,11 @@ impl<'p, L: Label> Explorer<'p, L> {
 
     /// Estimated fan-out of a state with `free` unforced nodes: every
     /// subset of the free nodes joins the forced ones, minus the empty
-    /// total set (possible only when nothing is forced, i.e. `free = n`).
+    /// total set (possible only when nothing is forced, i.e. `free = n`),
+    /// scaled by the adversary branching bound (`1` when fault-free).
     fn est_edges(&self, free: u8) -> u64 {
-        (1u64 << free) - u64::from(usize::from(free) == self.cfg.n)
+        ((1u64 << free) - u64::from(usize::from(free) == self.cfg.n))
+            .saturating_mul(self.cfg.byz_branch_bound)
     }
 
     /// The current batch's fan-out budget: an eighth of the explored
@@ -869,12 +985,15 @@ impl<'p, L: Label> Explorer<'p, L> {
                 &guards,
                 u,
                 &mut scratch,
-                |words, aux, _mask, _interesting, _elem| {
+                |words, aux, _mask, _interesting, _elem, _choice| {
                     let fp = fingerprint(words, aux);
                     let rec = &mut shards[shard_of(fp)];
-                    // n ≤ 16 bounds the per-source fan-out below 2^16 edges,
-                    // so the key packs (dense source, edge index) exactly.
-                    rec.keys.push(((u as u64) << 16) | u64::from(edge_k));
+                    // Dense ids are capped below u32::MAX and the
+                    // adversary fan-out bound is validated to fit 32
+                    // bits, so the key packs (dense source, edge index)
+                    // exactly — and stays strictly increasing in stream
+                    // order, the property dense numbering rests on.
+                    rec.keys.push(((u as u64) << 32) | u64::from(edge_k));
                     rec.fps.push(fp);
                     rec.words.extend_from_slice(words);
                     rec.aux.extend_from_slice(aux);
@@ -887,16 +1006,22 @@ impl<'p, L: Label> Explorer<'p, L> {
     }
 
     /// Enumerates the successors of dense state `u` in activation-set
-    /// order — the canonical edge order, identical for every phase that
+    /// order, then adversary-choice order within each activation set —
+    /// the canonical edge order, identical for every phase that
     /// regenerates edges — invoking
-    /// `emit(words, aux, mask, interesting, elem)` with the packed
-    /// successor row, its auxiliary output row, the activation mask,
-    /// whether the labeling (or the tracked outputs) changed along the
-    /// edge, and the index of the group element that canonicalized the
-    /// successor (0 — the identity — whenever symmetry is off). Under
+    /// `emit(words, aux, mask, interesting, elem, choice)` with the
+    /// packed successor row, its auxiliary output row, the activation
+    /// mask, whether the correct-node labeling (or the tracked outputs)
+    /// changed along the edge, the index of the group element that
+    /// canonicalized the successor (0 — the identity — whenever symmetry
+    /// is off), and the adversary-choice code. The code is a base-`|Σ|`
+    /// number whose digits, least-significant first, are the labels the
+    /// activated Byzantine nodes write on their out-edges (ascending
+    /// node id, `out_edges` order); fault-free states emit exactly one
+    /// choice, code `0` — bit-for-bit the pre-fault behavior. Under
     /// quotient exploration the emitted row is the successor's **orbit
-    /// representative**; mask and `interesting` stay in the source
-    /// state's frame. Allocation-free per edge given a
+    /// representative**; mask, `interesting`, and `choice` stay in the
+    /// source state's frame. Allocation-free per edge given a
     /// warm `scratch`; the only error is a reaction emitting a label
     /// outside the declared alphabet, which exploration surfaces as
     /// [`VerifyError::BadParameters`] (post-exploration regeneration can
@@ -909,7 +1034,7 @@ impl<'p, L: Label> Explorer<'p, L> {
         mut emit: F,
     ) -> Result<(), VerifyError>
     where
-        F: FnMut(&[u64], &[u64], u32, bool, u32),
+        F: FnMut(&[u64], &[u64], u32, bool, u32, u64),
     {
         let cfg = &self.cfg;
         let (n, e) = (cfg.n, cfg.e);
@@ -956,7 +1081,19 @@ impl<'p, L: Label> Explorer<'p, L> {
             if cfg.track_outputs {
                 sc.next_out_words.copy_from_slice(&sc.out_words);
             }
+            sc.byz_edges.clear();
             for i in (0..n).filter(|&i| mask >> i & 1 == 1) {
+                if cfg.faults.is_faulty(i) {
+                    // Crash: the activation commits nothing. Byzantine:
+                    // the out-labels are set per adversary branch below.
+                    // Either way the tracked output stays frozen — it is
+                    // 0 in the seeds and never written, so faulty output
+                    // slots are 0 in every reachable state.
+                    if cfg.faults.is_byzantine(i) {
+                        sc.byz_edges.extend_from_slice(graph.out_edges(i));
+                    }
+                    continue;
+                }
                 // Buffered reaction probe: all reads come from the
                 // pre-step labeling, so the per-node commits into
                 // next_label_idx cannot corrupt later probes.
@@ -982,47 +1119,79 @@ impl<'p, L: Label> Explorer<'p, L> {
                     sc.next_out_words[i] = y;
                 }
             }
-            let interesting = if cfg.track_outputs {
-                sc.next_out_words != sc.out_words
-            } else {
-                sc.next_label_idx != sc.label_idx
-            };
-            // Pack the successor: labels, then countdowns (reset to r
-            // for activated nodes, decremented otherwise).
-            sc.state.fill(0);
-            for (k, &idx) in sc.next_label_idx.iter().enumerate() {
-                pack(&mut sc.state, k * lw as usize, lw, u64::from(idx));
-            }
-            for (i, &cd_now) in sc.countdown.iter().enumerate() {
-                let cd = if mask >> i & 1 == 1 {
-                    cfg.r
+            // One branch per adversary choice: a base-|Σ| code whose
+            // digits (LSD first) are the labels the activated Byzantine
+            // nodes write, in `byz_edges` order. Fault-free runs take
+            // exactly one iteration with choice 0 and no digit writes.
+            let q = cfg.alphabet.len() as u64;
+            let n_choices = q.pow(sc.byz_edges.len() as u32);
+            for choice in 0..n_choices {
+                let mut digits = choice;
+                for &eid in &sc.byz_edges {
+                    sc.next_label_idx[eid] = (digits % q) as u32;
+                    digits /= q;
+                }
+                let interesting = if cfg.track_outputs {
+                    // Faulty output slots are 0 on both sides, so the
+                    // full-row comparison only ever sees correct nodes.
+                    sc.next_out_words != sc.out_words
+                } else if cfg.faults.has_faults() {
+                    // Byzantine-sourced labels flip freely, so label
+                    // stabilization is judged on correct-sourced edges.
+                    cfg.correct_src_edges
+                        .iter()
+                        .any(|&k| sc.next_label_idx[k] != sc.label_idx[k])
                 } else {
-                    cd_now - 1
+                    sc.next_label_idx != sc.label_idx
                 };
-                pack(
-                    &mut sc.state,
-                    e * lw as usize + i * cw as usize,
-                    cw,
-                    u64::from(cd - 1),
-                );
+                // Pack the successor: labels, then countdowns (reset to
+                // r for activated nodes, decremented otherwise).
+                sc.state.fill(0);
+                for (k, &idx) in sc.next_label_idx.iter().enumerate() {
+                    pack(&mut sc.state, k * lw as usize, lw, u64::from(idx));
+                }
+                for (i, &cd_now) in sc.countdown.iter().enumerate() {
+                    let cd = if mask >> i & 1 == 1 {
+                        cfg.r
+                    } else {
+                        cd_now - 1
+                    };
+                    pack(
+                        &mut sc.state,
+                        e * lw as usize + i * cw as usize,
+                        cw,
+                        u64::from(cd - 1),
+                    );
+                }
+                // Quotient step: rewrite the successor to its orbit
+                // representative (a pure function of the packed row, so
+                // the determinism contract is untouched) and remember
+                // which element did it — witness reconstruction
+                // de-canonicalizes with it. Canonicalization permutes
+                // the aux row in place, and the same `next_out_words`
+                // feeds every adversary branch of this activation set,
+                // so it is copied into `canon_aux` first.
+                let mut elem = 0u32;
+                if let Some(sym) = &cfg.symmetry {
+                    sc.canon_aux.copy_from_slice(&sc.next_out_words);
+                    elem = sym.canonicalize(
+                        &cfg.layout,
+                        &mut sc.state,
+                        &mut sc.canon_aux,
+                        &mut sc.canon,
+                    ) as u32;
+                    emit(&sc.state, &sc.canon_aux, mask, interesting, elem, choice);
+                } else {
+                    emit(
+                        &sc.state,
+                        &sc.next_out_words,
+                        mask,
+                        interesting,
+                        elem,
+                        choice,
+                    );
+                }
             }
-            // Quotient step: rewrite the successor to its orbit
-            // representative (a pure function of the packed row, so the
-            // determinism contract is untouched) and remember which
-            // element did it — witness reconstruction de-canonicalizes
-            // with it. `next_out_words` is recopied from `out_words` at
-            // the top of every activation set, so permuting it in place
-            // here is safe.
-            let mut elem = 0u32;
-            if let Some(sym) = &cfg.symmetry {
-                elem = sym.canonicalize(
-                    &cfg.layout,
-                    &mut sc.state,
-                    &mut sc.next_out_words,
-                    &mut sc.canon,
-                ) as u32;
-            }
-            emit(&sc.state, &sc.next_out_words, mask, interesting, elem);
         }
         Ok(())
     }
@@ -1032,23 +1201,28 @@ impl<'p, L: Label> Explorer<'p, L> {
     /// in its shard ([`StateShard::lookup`] — exploration interned all
     /// of them), then mapped to its dense id. `out` is overwritten with
     /// `(dense target, activation mask, interesting, canonicalizing
-    /// element)` in the canonical edge order.
+    /// element, adversary choice)` in the canonical edge order.
     fn successors_resolved(
         &self,
         guards: &[RwLockReadGuard<'_, StateShard>],
         u: usize,
         scratch: &mut ExpandScratch<L>,
-        out: &mut Vec<(u32, u32, bool, u32)>,
+        out: &mut Vec<(u32, u32, bool, u32, u64)>,
     ) {
         out.clear();
-        self.for_each_successor(guards, u, scratch, |words, aux, mask, interesting, elem| {
-            let fp = fingerprint(words, aux);
-            let s = shard_of(fp);
-            let local = guards[s]
-                .lookup(fp, words, aux)
-                .expect("every successor was interned during exploration");
-            out.push((guards[s].dense_of(local), mask, interesting, elem));
-        })
+        self.for_each_successor(
+            guards,
+            u,
+            scratch,
+            |words, aux, mask, interesting, elem, choice| {
+                let fp = fingerprint(words, aux);
+                let s = shard_of(fp);
+                let local = guards[s]
+                    .lookup(fp, words, aux)
+                    .expect("every successor was interned during exploration");
+                out.push((guards[s].dense_of(local), mask, interesting, elem, choice));
+            },
+        )
         .expect("alphabet closure was validated during exploration");
     }
 
@@ -1153,7 +1327,7 @@ impl<'p, L: Label> Explorer<'p, L> {
     /// yields a concrete cycle of the unquotiented system, starting at
     /// the decoded (canonical) entry labeling.
     fn witness(&self, comp: &[u32]) -> Option<CycleWitness<L>> {
-        let (u, v, mask, elem) = self.first_interesting_intra_scc_edge(comp)?;
+        let (u, v, mask, elem, choice) = self.first_interesting_intra_scc_edge(comp)?;
         // Re-expand the verdict component into local-id CSR arrays.
         let cid = comp[u];
         let members: Vec<u32> = (0..self.n_states as u32)
@@ -1165,19 +1339,21 @@ impl<'p, L: Label> Explorer<'p, L> {
         }
         let guards = self.index.read_all();
         let mut scratch = ExpandScratch::new(&self.cfg);
-        let mut edges: Vec<(u32, u32, bool, u32)> = Vec::new();
+        let mut edges: Vec<(u32, u32, bool, u32, u64)> = Vec::new();
         let mut offsets: Vec<usize> = Vec::with_capacity(members.len() + 1);
         offsets.push(0);
         let mut targets: Vec<u32> = Vec::new();
         let mut masks: Vec<u32> = Vec::new();
         let mut elems: Vec<u32> = Vec::new();
+        let mut choices: Vec<u64> = Vec::new();
         for &x in &members {
             self.successors_resolved(&guards, x as usize, &mut scratch, &mut edges);
-            for &(t, m, _, h) in &edges {
+            for &(t, m, _, h, c) in &edges {
                 if comp[t as usize] == cid {
                     targets.push(local_of[t as usize]);
                     masks.push(m);
                     elems.push(h);
+                    choices.push(c);
                 }
             }
             offsets.push(targets.len());
@@ -1186,13 +1362,15 @@ impl<'p, L: Label> Explorer<'p, L> {
             offsets.len() * std::mem::size_of::<usize>()
                 + targets.len() * 4
                 + masks.len() * 4
-                + elems.len() * 4,
+                + elems.len() * 4
+                + choices.len() * 8,
         );
         let (lu, lv) = (local_of[u] as usize, local_of[v] as usize);
         let m = members.len();
         let mut prev: Vec<u32> = vec![u32::MAX; m];
         let mut prev_mask: Vec<u32> = vec![0; m];
         let mut prev_elem: Vec<u32> = vec![0; m];
+        let mut prev_choice: Vec<u64> = vec![0; m];
         let mut queue: VecDeque<u32> = VecDeque::new();
         // BFS from v back to u inside the component.
         queue.push_back(lv as u32);
@@ -1205,6 +1383,7 @@ impl<'p, L: Label> Explorer<'p, L> {
                     prev[x] = w;
                     prev_mask[x] = masks[c];
                     prev_elem[x] = elems[c];
+                    prev_choice[x] = choices[c];
                     if x == lu {
                         found = true;
                         break 'bfs;
@@ -1217,39 +1396,63 @@ impl<'p, L: Label> Explorer<'p, L> {
         if !found {
             return None;
         }
-        // Reconstruct the quotient cycle u →(mask, elem) v → … → u in
-        // forward order.
-        let mut quot = vec![(mask, elem)];
+        // Reconstruct the quotient cycle u →(mask, elem, choice) v → …
+        // → u in forward order.
+        let mut quot = vec![(mask, elem, choice)];
         let mut path_rev = Vec::new();
         let mut at = lu;
         while at != lv {
-            path_rev.push((prev_mask[at], prev_elem[at]));
+            path_rev.push((prev_mask[at], prev_elem[at], prev_choice[at]));
             at = prev[at] as usize;
         }
         quot.extend(path_rev.into_iter().rev());
         let n = self.cfg.n;
-        let sched_masks: Vec<u32> = match &self.cfg.symmetry {
-            None => quot.into_iter().map(|(m, _)| m).collect(),
+        let graph = self.cfg.protocol.graph();
+        let ident = Automorphism::identity(n, self.cfg.e);
+        let mut sched_masks: Vec<u32> = Vec::with_capacity(quot.len());
+        let mut adversary: Vec<Vec<(NodeId, Vec<L>)>> = Vec::with_capacity(quot.len());
+        match &self.cfg.symmetry {
+            None => {
+                for &(m, _, c) in &quot {
+                    sched_masks.push(m);
+                    adversary.push(decode_adversary(
+                        graph,
+                        self.cfg.faults,
+                        &self.cfg.alphabet,
+                        m,
+                        c,
+                        &ident,
+                    ));
+                }
+            }
             Some(sym) => {
                 // De-canonicalize: the concrete state after t quotient
                 // steps is `c · v_t`; each lap multiplies `c` by a fixed
                 // group element, so at most `|G|` laps close the
-                // concrete cycle.
+                // concrete cycle. The coloring-restricted group maps
+                // Byzantine nodes to Byzantine nodes, so the adversary
+                // decode holds in the concrete frame too.
                 let els = sym.elements();
-                let mut acc = Automorphism::identity(n, self.cfg.e);
-                let mut out = Vec::with_capacity(quot.len());
+                let mut acc = ident;
                 loop {
-                    for &(m, h) in &quot {
-                        out.push(acc.apply_mask(m));
+                    for &(m, h, c) in &quot {
+                        sched_masks.push(acc.apply_mask(m));
+                        adversary.push(decode_adversary(
+                            graph,
+                            self.cfg.faults,
+                            &self.cfg.alphabet,
+                            m,
+                            c,
+                            &acc,
+                        ));
                         acc = acc.compose(&els[h as usize].inverse());
                     }
                     if acc.is_identity() {
                         break;
                     }
                 }
-                out
             }
-        };
+        }
         let schedule = sched_masks
             .into_iter()
             .map(|m| (0..n).filter(|&i| m >> i & 1 == 1).collect())
@@ -1257,6 +1460,7 @@ impl<'p, L: Label> Explorer<'p, L> {
         Some(CycleWitness {
             labeling: self.decode_labeling(u),
             schedule,
+            adversary,
         })
     }
 
@@ -1269,24 +1473,27 @@ impl<'p, L: Label> Explorer<'p, L> {
     /// exactly (chunk boundaries are constants, never derived from the
     /// thread count), and a shared low-water mark lets workers skip
     /// chunks that can no longer win.
-    fn first_interesting_intra_scc_edge(&self, comp: &[u32]) -> Option<(usize, usize, u32, u32)> {
+    fn first_interesting_intra_scc_edge(
+        &self,
+        comp: &[u32],
+    ) -> Option<(usize, usize, u32, u32, u64)> {
         let chunks = self.n_states.div_ceil(SCAN_CHUNK_STATES);
         let best = AtomicUsize::new(usize::MAX);
         let guards = self.index.read_all();
-        let scan = |c: usize| -> Option<(usize, usize, u32, u32)> {
+        let scan = |c: usize| -> Option<(usize, usize, u32, u32, u64)> {
             if c > best.load(Ordering::Relaxed) {
                 return None;
             }
             let start = c * SCAN_CHUNK_STATES;
             let end = (start + SCAN_CHUNK_STATES).min(self.n_states);
             let mut scratch = ExpandScratch::new(&self.cfg);
-            let mut edges: Vec<(u32, u32, bool, u32)> = Vec::new();
+            let mut edges: Vec<(u32, u32, bool, u32, u64)> = Vec::new();
             for u in start..end {
                 self.successors_resolved(&guards, u, &mut scratch, &mut edges);
-                for &(v, mask, interesting, elem) in &edges {
+                for &(v, mask, interesting, elem, choice) in &edges {
                     if interesting && comp[u] == comp[v as usize] {
                         best.fetch_min(c, Ordering::Relaxed);
-                        return Some((u, v as usize, mask, elem));
+                        return Some((u, v as usize, mask, elem, choice));
                     }
                 }
             }
@@ -1326,22 +1533,65 @@ impl<'p, L: Label> Explorer<'p, L> {
     fn materialize_csr(&self) -> (Vec<usize>, Vec<u32>) {
         let guards = self.index.read_all();
         let mut scratch = ExpandScratch::new(&self.cfg);
-        let mut edges: Vec<(u32, u32, bool, u32)> = Vec::new();
+        let mut edges: Vec<(u32, u32, bool, u32, u64)> = Vec::new();
         let mut offsets: Vec<usize> = Vec::with_capacity(self.n_states + 1);
         offsets.push(0);
         let mut targets: Vec<u32> = Vec::new();
         for u in 0..self.n_states {
             self.successors_resolved(&guards, u, &mut scratch, &mut edges);
-            targets.extend(edges.iter().map(|&(v, _, _, _)| v));
+            targets.extend(edges.iter().map(|&(v, _, _, _, _)| v));
             offsets.push(targets.len());
         }
         (offsets, targets)
     }
 }
 
+/// Reconstructs the adversary's concrete writes along one product edge
+/// from its `(mask, choice)` tag: for every activated Byzantine node
+/// (ascending quotient-frame id) the base-`|Σ|` digits of `choice` name,
+/// least-significant first, the labels written on its out-edges in
+/// `out_edges` order — the exact encoding of
+/// [`Explorer::for_each_successor`]. `acc` maps the quotient frame into
+/// the concrete frame (pass the identity when symmetry is off): digit
+/// `(i, s)` lands on the concrete edge `acc.edge_perm[out_edges(i)[s]]`,
+/// reported at that edge's slot within the concrete node's own
+/// `out_edges` — the shape [`Simulation::step_with_adversary`] replays.
+fn decode_adversary<L: Label>(
+    graph: &DiGraph,
+    faults: FaultModel,
+    alphabet: &[L],
+    mask: u32,
+    choice: u64,
+    acc: &Automorphism,
+) -> Vec<(NodeId, Vec<L>)> {
+    let q = alphabet.len() as u64;
+    let mut digits = choice;
+    let mut out: Vec<(NodeId, Vec<L>)> = Vec::new();
+    for i in 0..graph.node_count() {
+        if mask >> i & 1 == 0 || !faults.is_byzantine(i) {
+            continue;
+        }
+        let node = acc.node_perm[i] as NodeId;
+        let slots = graph.out_edges(node);
+        let mut labels = vec![alphabet[0].clone(); slots.len()];
+        for &eid in graph.out_edges(i) {
+            let concrete = acc.edge_perm[eid] as EdgeId;
+            let slot = slots
+                .iter()
+                .position(|&k| k == concrete)
+                .expect("automorphisms map out-edges to out-edges");
+            labels[slot] = alphabet[(digits % q) as usize].clone();
+            digits /= q;
+        }
+        out.push((node, labels));
+    }
+    out.sort_by_key(|&(node, _)| node);
+    out
+}
+
 /// One checkout of oracle scratch: expansion state plus a resolved
-/// `(target, mask, interesting, element)` edge buffer.
-type OracleScratch<L> = (ExpandScratch<L>, Vec<(u32, u32, bool, u32)>);
+/// `(target, mask, interesting, element, choice)` edge buffer.
+type OracleScratch<L> = (ExpandScratch<L>, Vec<(u32, u32, bool, u32, u64)>);
 
 /// Stripes of the oracle scratch cache. Workers hash their thread id
 /// into a stripe, so with ≤ 64 SCC workers the stripes are effectively
@@ -1404,7 +1654,7 @@ impl<L: Label> scc::SuccessorOracle for ProductOracle<'_, '_, L> {
         self.ex
             .successors_resolved(&self.guards, u as usize, &mut scratch, &mut edges);
         out.clear();
-        out.extend(edges.iter().map(|&(v, _, _, _)| v));
+        out.extend(edges.iter().map(|&(v, _, _, _, _)| v));
         stripe
             .lock()
             .expect("oracle scratch stripe poisoned")
@@ -1557,10 +1807,18 @@ struct NaiveExplorer<'p, L: Label> {
     inputs: Vec<Input>,
     r: u8,
     track_outputs: bool,
+    faults: FaultModel,
+    /// Deduplicated alphabet (first occurrence wins, like the packed
+    /// explorer) — the digit base of adversary-choice codes.
+    alphabet: Vec<L>,
+    /// Edges sourced at correct nodes; the label-mode "interesting" set
+    /// when the fault model is non-trivial (empty when fault-free).
+    correct_src_edges: Vec<usize>,
     index: HashMap<ProductState<L>, usize>,
     states: Vec<ProductState<L>>,
-    /// edges[u] = (v, interesting: labeling/output changed, activation mask)
-    edges: Vec<Vec<(usize, bool, u32)>>,
+    /// edges[u] = (v, interesting: labeling/output changed, activation
+    /// mask, adversary-choice code)
+    edges: Vec<Vec<(usize, bool, u32, u64)>>,
     in_buf: Vec<L>,
     out_buf: Vec<L>,
 }
@@ -1585,11 +1843,36 @@ impl<'p, L: Label> NaiveExplorer<'p, L> {
                 what: "r must be ≥ 1".into(),
             });
         }
+        limits
+            .faults
+            .validate(n)
+            .map_err(|e| VerifyError::BadParameters {
+                what: e.to_string(),
+            })?;
+        let mut dedup: Vec<L> = Vec::with_capacity(alphabet.len());
+        for l in alphabet {
+            if !dedup.contains(l) {
+                dedup.push(l.clone());
+            }
+        }
+        let correct_src_edges: Vec<usize> = if limits.faults.has_faults() {
+            protocol
+                .graph()
+                .edges()
+                .filter(|&(_, u, _)| !limits.faults.is_faulty(u))
+                .map(|(id, _, _)| id)
+                .collect()
+        } else {
+            Vec::new()
+        };
         let mut ex = NaiveExplorer {
             protocol,
             inputs: inputs.to_vec(),
             r,
             track_outputs,
+            faults: limits.faults,
+            alphabet: dedup,
+            correct_src_edges,
             index: HashMap::new(),
             states: Vec::new(),
             edges: Vec::new(),
@@ -1642,7 +1925,16 @@ impl<'p, L: Label> NaiveExplorer<'p, L> {
             let mut next_labeling = labeling.clone();
             let mut next_outputs = outputs.clone();
             let graph = self.protocol.graph();
+            let mut byz_edges: Vec<usize> = Vec::new();
             for i in (0..n).filter(|&i| mask >> i & 1 == 1) {
+                if self.faults.is_faulty(i) {
+                    // Crash: no writes. Byzantine: set per choice below.
+                    // Faulty outputs stay frozen at 0 either way.
+                    if self.faults.is_byzantine(i) {
+                        byz_edges.extend_from_slice(graph.out_edges(i));
+                    }
+                    continue;
+                }
                 let y = self.protocol.apply_buffered(
                     i,
                     &labeling,
@@ -1664,16 +1956,35 @@ impl<'p, L: Label> NaiveExplorer<'p, L> {
                     }
                 })
                 .collect();
-            let interesting = if self.track_outputs {
-                next_outputs != outputs
-            } else {
-                next_labeling != labeling
-            };
-            if !self.track_outputs {
-                next_outputs = vec![0; n]; // outputs not part of the state
+            // Same digit encoding as the packed explorer: base-|Σ|,
+            // least-significant digit first over byz_edges.
+            let q = self.alphabet.len() as u64;
+            let n_choices = q.pow(byz_edges.len() as u32);
+            for choice in 0..n_choices {
+                let mut digits = choice;
+                for &e in &byz_edges {
+                    next_labeling[e] = self.alphabet[(digits % q) as usize].clone();
+                    digits /= q;
+                }
+                let interesting = if self.track_outputs {
+                    next_outputs != outputs
+                } else if self.faults.has_faults() {
+                    self.correct_src_edges
+                        .iter()
+                        .any(|&k| next_labeling[k] != labeling[k])
+                } else {
+                    next_labeling != labeling
+                };
+                let mut state_outputs = next_outputs.clone();
+                if !self.track_outputs {
+                    state_outputs = vec![0; n]; // outputs not part of the state
+                }
+                let v = self.intern(
+                    (next_labeling.clone(), next_countdown.clone(), state_outputs),
+                    limits,
+                )?;
+                self.edges[u].push((v, interesting, mask, choice));
             }
-            let v = self.intern((next_labeling, next_countdown, next_outputs), limits)?;
-            self.edges[u].push((v, interesting, mask));
         }
         Ok(())
     }
@@ -1705,7 +2016,7 @@ impl<'p, L: Label> NaiveExplorer<'p, L> {
         }
         let mut redges: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (u, outs) in self.edges.iter().enumerate() {
-            for &(v, _, _) in outs {
+            for &(v, _, _, _) in outs {
                 redges[v].push(u);
             }
         }
@@ -1732,20 +2043,20 @@ impl<'p, L: Label> NaiveExplorer<'p, L> {
 
     fn witness(&self, comp: &[usize]) -> Option<CycleWitness<L>> {
         for (u, outs) in self.edges.iter().enumerate() {
-            for &(v, interesting, mask) in outs {
+            for &(v, interesting, mask, choice) in outs {
                 if !interesting || comp[u] != comp[v] {
                     continue;
                 }
-                let mut prev: HashMap<usize, (usize, u32)> = HashMap::new();
+                let mut prev: HashMap<usize, (usize, u32, u64)> = HashMap::new();
                 let mut queue = VecDeque::from([v]);
                 let mut found = v == u;
                 while let Some(w) = queue.pop_front() {
                     if found {
                         break;
                     }
-                    for &(x, _, m) in &self.edges[w] {
+                    for &(x, _, m, c) in &self.edges[w] {
                         if comp[x] == comp[u] && x != v && !prev.contains_key(&x) {
-                            prev.insert(x, (w, m));
+                            prev.insert(x, (w, m, c));
                             if x == u {
                                 found = true;
                                 break;
@@ -1757,23 +2068,32 @@ impl<'p, L: Label> NaiveExplorer<'p, L> {
                 if !found && v != u {
                     continue;
                 }
-                let mut masks = vec![mask];
+                let mut steps = vec![(mask, choice)];
                 let mut path_rev = Vec::new();
                 let mut at = u;
                 while at != v {
-                    let &(p, m) = prev.get(&at).expect("BFS reached u");
-                    path_rev.push(m);
+                    let &(p, m, c) = prev.get(&at).expect("BFS reached u");
+                    path_rev.push((m, c));
                     at = p;
                 }
-                masks.extend(path_rev.into_iter().rev());
+                steps.extend(path_rev.into_iter().rev());
                 let n = self.protocol.node_count();
-                let schedule = masks
+                let graph = self.protocol.graph();
+                let ident = Automorphism::identity(n, graph.edge_count());
+                let adversary = steps
+                    .iter()
+                    .map(|&(m, c)| {
+                        decode_adversary(graph, self.faults, &self.alphabet, m, c, &ident)
+                    })
+                    .collect();
+                let schedule = steps
                     .into_iter()
-                    .map(|m| (0..n).filter(|&i| m >> i & 1 == 1).collect())
+                    .map(|(m, _)| (0..n).filter(|&i| m >> i & 1 == 1).collect())
                     .collect();
                 return Some(CycleWitness {
                     labeling: self.states[u].0.clone(),
                     schedule,
+                    adversary,
                 });
             }
         }
@@ -2163,7 +2483,11 @@ mod tests {
         };
         let base = run(1, SccBackend::Tarjan);
         for threads in [1, 2, 4, 7] {
-            assert_eq!(base, run(threads, SccBackend::ForwardBackward), "t{threads}");
+            assert_eq!(
+                base,
+                run(threads, SccBackend::ForwardBackward),
+                "t{threads}"
+            );
         }
     }
 

@@ -1,0 +1,122 @@
+//! Fault-placement sweeps: verify a protocol under **every** placement
+//! of `f` Byzantine nodes and tabulate the verdicts.
+//!
+//! A single [`Limits::faults`] run answers "does the protocol stabilize
+//! with *these* nodes faulty?"; robustness claims quantify over the
+//! placement too. [`sweep_byzantine_placements`] enumerates all
+//! `C(n − |exclude|, f)` placements in lexicographic order (skipping
+//! `exclude`d nodes — e.g. a BFS root that must stay correct), runs the
+//! exact verifier per placement on a
+//! [`par_sweep`](stateless_core::convergence::par_sweep) worker pool,
+//! and returns one [`PlacementVerdict`] row per placement, in placement
+//! order. Every `NotStabilizing` row carries a concrete replayable
+//! adversary strategy ([`CycleWitness::adversary`]).
+
+use crate::product::{verify_label_stabilization, Limits, Verdict, VerifyError};
+use stateless_core::convergence::par_sweep;
+use stateless_core::prelude::*;
+
+#[allow(unused_imports)] // rustdoc link target
+use crate::product::CycleWitness;
+
+/// One row of a fault-placement sweep: which nodes were Byzantine, and
+/// the exact verdict under that placement.
+#[derive(Debug, Clone)]
+pub struct PlacementVerdict<L: Label> {
+    /// The Byzantine node ids, ascending.
+    pub placement: Vec<NodeId>,
+    /// The exact ∀-schedule ∀-strategy verdict for this placement.
+    pub verdict: Verdict<L>,
+}
+
+/// All size-`f` subsets of `{0, …, n−1} \ exclude`, each ascending, in
+/// lexicographic order — the placement enumeration behind
+/// [`sweep_byzantine_placements`]. Empty when fewer than `f` nodes are
+/// eligible; the single empty placement when `f == 0`.
+pub fn byzantine_placements(n: usize, f: usize, exclude: &[NodeId]) -> Vec<Vec<NodeId>> {
+    let eligible: Vec<NodeId> = (0..n).filter(|i| !exclude.contains(i)).collect();
+    let mut out = Vec::new();
+    if f > eligible.len() {
+        return out;
+    }
+    // Odometer over index combinations of `eligible`.
+    let mut idx: Vec<usize> = (0..f).collect();
+    loop {
+        out.push(idx.iter().map(|&k| eligible[k]).collect());
+        // Advance the rightmost index that still has room.
+        let mut i = f;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if idx[i] + (f - i) < eligible.len() {
+                idx[i] += 1;
+                for j in i + 1..f {
+                    idx[j] = idx[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Verifies **label** r-stabilization of `protocol` under every placement
+/// of `f` Byzantine nodes outside `exclude`, in parallel over placements.
+///
+/// `limits.faults` is overridden per placement; every other limit (state
+/// caps, thread count, SCC backend, symmetry mode) applies to each run
+/// unchanged. Rows come back in the lexicographic placement order of
+/// [`byzantine_placements`], so the table is deterministic.
+///
+/// # Errors
+///
+/// The first placement (in placement order) whose verification fails
+/// surfaces its [`VerifyError`]; `f = 0` runs exactly one fault-free
+/// verification.
+pub fn sweep_byzantine_placements<L: Label>(
+    protocol: &Protocol<L>,
+    inputs: &[Input],
+    alphabet: &[L],
+    r: u8,
+    limits: Limits,
+    f: usize,
+    exclude: &[NodeId],
+) -> Result<Vec<PlacementVerdict<L>>, VerifyError> {
+    let placements = byzantine_placements(protocol.node_count(), f, exclude);
+    let rows = par_sweep(placements, |placement: Vec<NodeId>| {
+        let faults = FaultModel::byzantine(&placement).map_err(|e| VerifyError::BadParameters {
+            what: e.to_string(),
+        })?;
+        let verdict =
+            verify_label_stabilization(protocol, inputs, alphabet, r, Limits { faults, ..limits })?;
+        Ok(PlacementVerdict { placement, verdict })
+    });
+    rows.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placements_enumerate_lexicographically_and_skip_excluded() {
+        assert_eq!(
+            byzantine_placements(4, 2, &[]),
+            vec![
+                vec![0, 1],
+                vec![0, 2],
+                vec![0, 3],
+                vec![1, 2],
+                vec![1, 3],
+                vec![2, 3]
+            ]
+        );
+        assert_eq!(
+            byzantine_placements(4, 1, &[0]),
+            vec![vec![1], vec![2], vec![3]]
+        );
+        assert_eq!(byzantine_placements(3, 0, &[]), vec![Vec::<NodeId>::new()]);
+        assert!(byzantine_placements(3, 3, &[0]).is_empty());
+    }
+}

@@ -1,0 +1,437 @@
+//! Byzantine-adversary verification suite: the packed product explorer
+//! under a [`FaultModel`] must agree verdict-for-verdict with the naive
+//! adversary-enumerating reference on random protocols and fault
+//! placements; adversarial verdicts, witnesses, and stats must be
+//! bit-identical across thread counts, SCC backends, and symmetry
+//! modes; every `NotStabilizing` witness must replay as a concrete
+//! adversary strategy through `Simulation::step_with_adversary`; fault
+//! parameters are validated up front; and the BFS spanning-tree
+//! protocol's f = 1 placement sweep separates tolerated from fatal
+//! placements on small rings.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use stateless_computation::core::graph::DiGraph;
+use stateless_computation::core::prelude::*;
+use stateless_computation::protocols::bfs_tree::{bfs_alphabet, bfs_tree_protocol};
+use stateless_computation::verify::{
+    sweep_byzantine_placements, verify_label_stabilization, verify_label_stabilization_naive,
+    verify_label_stabilization_with_stats, verify_output_stabilization,
+    verify_output_stabilization_naive, CycleWitness, Limits, SccBackend, SymmetryMode, Verdict,
+    VerifyError,
+};
+
+/// Thread counts the cross-thread assertions run at (mirrors the
+/// differential suite): `2` and `4` always, plus `STATELESS_TEST_THREADS`.
+fn test_threads() -> Vec<usize> {
+    let mut counts = vec![2, 4];
+    if let Some(n) = std::env::var("STATELESS_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        if !counts.contains(&n) {
+            counts.push(n);
+        }
+    }
+    counts
+}
+
+fn mix(node: NodeId, incoming: &[u64], input: u64, q: u64) -> u64 {
+    let mut acc = 0xcbf2_9ce4_8422_2325u64 ^ (node as u64);
+    for &l in incoming {
+        acc = (acc.rotate_left(7) ^ l).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    acc = (acc.rotate_left(7) ^ input).wrapping_mul(0x0000_0100_0000_01B3);
+    acc % q
+}
+
+fn out_label(seed_word: u64, k: usize, q: u64) -> u64 {
+    (seed_word.wrapping_mul(2 * k as u64 + 1).rotate_left(11) ^ seed_word) % q
+}
+
+/// A pseudo-random deterministic protocol (the differential suite's
+/// buffered construction).
+fn random_protocol(graph: &DiGraph, q: u64) -> Protocol<u64> {
+    let mut builder = Protocol::builder(graph.clone(), (q as f64).log2());
+    for node in 0..graph.node_count() {
+        let deg = graph.out_degree(node);
+        builder = builder.reaction(
+            node,
+            FnBufReaction::new(
+                vec![0u64; deg],
+                move |i: NodeId, incoming: &[u64], input, out: &mut [u64]| {
+                    let w = mix(i, incoming, input, q);
+                    for (k, slot) in out.iter_mut().enumerate() {
+                        *slot = out_label(w, k, q);
+                    }
+                    w
+                },
+            ),
+        );
+    }
+    builder.build().unwrap()
+}
+
+/// A node-symmetric protocol (uniform reaction), so `SymmetryMode::Auto`
+/// derives a nontrivial group that the fault coloring then restricts.
+fn symmetric_protocol(graph: &DiGraph, q: u64, seed: u64) -> Protocol<u64> {
+    let deg = graph.out_degree(0);
+    Protocol::builder(graph.clone(), (q as f64).log2())
+        .uniform_reaction(FnBufReaction::new(
+            vec![0u64; deg],
+            move |_, incoming: &[u64], input, out: &mut [u64]| {
+                let w = mix(seed as usize, incoming, input, q);
+                for (k, slot) in out.iter_mut().enumerate() {
+                    *slot = out_label(w, k, q);
+                }
+                w
+            },
+        ))
+        .build()
+        .unwrap()
+}
+
+/// Small strongly connected topologies whose adversarial product graphs
+/// stay exhaustively explorable.
+fn small_topology_of(kind: usize) -> DiGraph {
+    match kind % 4 {
+        0 => topology::unidirectional_ring(3),
+        1 => topology::unidirectional_ring(4),
+        2 => topology::bidirectional_ring(3),
+        _ => topology::star(4),
+    }
+}
+
+/// A random fault model with `f < n`: one Byzantine node, plus sometimes
+/// one crash node.
+fn random_faults(rng: &mut StdRng, n: usize) -> FaultModel {
+    let byz = rng.random_range(0..n);
+    if n > 2 && rng.random_bool(0.4) {
+        let crash = (byz + 1 + rng.random_range(0..n - 1)) % n;
+        if crash != byz {
+            return FaultModel::new(&[byz], &[crash]).unwrap();
+        }
+    }
+    FaultModel::byzantine(&[byz]).unwrap()
+}
+
+/// Replays an **adversarial** [`CycleWitness`]: drives the simulation
+/// from the witness labeling with `Scripted::cycle` activations and the
+/// recorded per-step adversary choices via
+/// `Simulation::step_with_adversary`. Returns whether any
+/// correct-sourced label changed, whether outputs changed (second lap,
+/// as in the differential suite), and whether the labeling closed the
+/// cycle after each lap.
+fn replay_adversarial_witness(
+    p: &Protocol<u64>,
+    inputs: &[Input],
+    faults: FaultModel,
+    w: &CycleWitness<u64>,
+) -> (bool, bool, bool) {
+    let n = p.node_count();
+    let correct_src: Vec<usize> = p
+        .graph()
+        .edges()
+        .filter(|&(_, u, _)| !faults.is_faulty(u))
+        .map(|(id, _, _)| id)
+        .collect();
+    assert_eq!(
+        w.adversary.len(),
+        w.schedule.len(),
+        "one adversary entry per schedule step"
+    );
+    let mut sim = Simulation::new(p, inputs, w.labeling.clone()).unwrap();
+    let mut sched = Scripted::cycle(w.schedule.clone());
+    sched.validate(n).expect("witness names real nodes");
+    let mut active = Vec::new();
+    let (mut labels_changed, mut outputs_changed) = (false, false);
+    let mut closed = true;
+    for lap in 0..2 {
+        for (t, _) in w.schedule.iter().enumerate() {
+            let labels_before = sim.labeling().to_vec();
+            let outputs_before = sim.outputs().to_vec();
+            sched.activations_into(sim.time() + 1, n, &mut active);
+            sim.step_with_adversary(&active, faults, &w.adversary[t]);
+            labels_changed |= correct_src
+                .iter()
+                .any(|&k| labels_before[k] != sim.labeling()[k]);
+            if lap == 1 {
+                outputs_changed |= outputs_before != sim.outputs();
+            }
+        }
+        closed &= sim.labeling() == &w.labeling[..];
+    }
+    (labels_changed, outputs_changed, closed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Packed adversarial explorer ≡ the naive adversary-enumerating
+    /// reference: identical label and output verdicts on random
+    /// protocols, topologies, fault placements, and fairness bounds —
+    /// and every packed `NotStabilizing` witness replays as a concrete
+    /// adversary strategy.
+    #[test]
+    fn adversarial_verdicts_match_naive(seed in 0u64..10_000, kind in 0usize..4, r in 1u8..3) {
+        let graph = small_topology_of(kind);
+        let n = graph.node_count();
+        let p = random_protocol(&graph, 2);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xb12a);
+        let faults = random_faults(&mut rng, n);
+        let inputs: Vec<u64> = (0..n).map(|_| rng.random_range(0u64..3)).collect();
+        let limits = Limits { max_states: 500_000, faults, ..Limits::default() };
+        let fast = verify_label_stabilization(&p, &inputs, &[0, 1], r, limits).unwrap();
+        let slow = verify_label_stabilization_naive(&p, &inputs, &[0, 1], r, limits).unwrap();
+        prop_assert_eq!(fast.is_stabilizing(), slow.is_stabilizing(), "label verdicts");
+        let fast_o = verify_output_stabilization(&p, &inputs, &[0, 1], r, limits).unwrap();
+        let slow_o = verify_output_stabilization_naive(&p, &inputs, &[0, 1], r, limits).unwrap();
+        prop_assert_eq!(fast_o.is_stabilizing(), slow_o.is_stabilizing(), "output verdicts");
+        for (verdict, label_mode) in [(&fast, true), (&slow, true), (&fast_o, false), (&slow_o, false)] {
+            if let Verdict::NotStabilizing(w) = verdict {
+                let (labels_changed, outputs_changed, closed) =
+                    replay_adversarial_witness(&p, &inputs, faults, w);
+                prop_assert!(closed, "adversarial witness must close its cycle");
+                if label_mode {
+                    prop_assert!(labels_changed, "correct-sourced labels must oscillate");
+                } else {
+                    prop_assert!(outputs_changed, "outputs must oscillate");
+                }
+            }
+        }
+    }
+
+    /// Adversarial determinism: with a symmetry-compatible fault
+    /// placement, verdicts, witnesses (schedule **and** adversary
+    /// choices), and exploration stats are bit-identical across
+    /// 1/2/4(/`STATELESS_TEST_THREADS`) workers and both SCC backends —
+    /// and `SymmetryMode::Auto` agrees with `Off` on the verdict with a
+    /// state space that never grows, its witnesses replaying on the
+    /// unquotiented system.
+    #[test]
+    fn adversarial_runs_are_deterministic(seed in 0u64..10_000, kind in 0usize..3, r in 1u8..3) {
+        let graph = match kind {
+            0 => topology::unidirectional_ring(4),
+            1 => topology::bidirectional_ring(4),
+            _ => topology::hypercube(2),
+        };
+        let n = graph.node_count();
+        let p = symmetric_protocol(&graph, 2, seed);
+        // {0, 2} is fixed by a nontrivial subgroup on all three
+        // topologies, so the coloring restriction leaves real symmetry.
+        let faults = FaultModel::byzantine(&[0, 2]).unwrap();
+        let inputs = vec![0u64; n];
+        let base_limits = Limits { max_states: 500_000, faults, ..Limits::default() };
+        let at = |threads: usize, scc: SccBackend, symmetry: SymmetryMode| {
+            let limits = Limits { threads, scc, symmetry, ..base_limits };
+            verify_label_stabilization_with_stats(&p, &inputs, &[0, 1], r, limits).unwrap()
+        };
+        let base = at(1, SccBackend::ForwardBackward, SymmetryMode::Off);
+        for threads in test_threads() {
+            prop_assert_eq!(&base, &at(threads, SccBackend::ForwardBackward, SymmetryMode::Off),
+                "{} threads", threads);
+        }
+        prop_assert_eq!(&base, &at(1, SccBackend::Tarjan, SymmetryMode::Off), "tarjan");
+        prop_assert_eq!(&base, &at(4, SccBackend::Tarjan, SymmetryMode::Off), "tarjan, 4 threads");
+        let quot = at(1, SccBackend::ForwardBackward, SymmetryMode::Auto);
+        prop_assert_eq!(quot.0.is_stabilizing(), base.0.is_stabilizing(), "quotient verdict");
+        prop_assert!(quot.1.states <= base.1.states, "quotient never grows the state space");
+        for threads in test_threads() {
+            prop_assert_eq!(&quot, &at(threads, SccBackend::ForwardBackward, SymmetryMode::Auto),
+                "quotient, {} threads", threads);
+        }
+        for (verdict, tag) in [(&base.0, "full"), (&quot.0, "quotient")] {
+            if let Verdict::NotStabilizing(w) = verdict {
+                let (labels_changed, _, closed) =
+                    replay_adversarial_witness(&p, &inputs, faults, w);
+                prop_assert!(closed, "{} witness must close", tag);
+                prop_assert!(labels_changed, "{} witness must oscillate", tag);
+            }
+        }
+    }
+}
+
+/// Fault parameters are rejected up front as `BadParameters`, never as a
+/// mid-exploration panic: out-of-range ids, `f ≥ n`, and an adversary
+/// fan-out too large to enumerate — on both the packed and naive paths.
+#[test]
+fn bad_fault_parameters_are_rejected_up_front() {
+    let graph = topology::bidirectional_ring(3);
+    let p = random_protocol(&graph, 2);
+    let inputs = vec![0u64; 3];
+    let oob = Limits {
+        faults: FaultModel::byzantine(&[5]).unwrap(),
+        ..Limits::default()
+    };
+    for result in [
+        verify_label_stabilization(&p, &inputs, &[0, 1], 1, oob),
+        verify_label_stabilization_naive(&p, &inputs, &[0, 1], 1, oob),
+    ] {
+        match result.unwrap_err() {
+            VerifyError::BadParameters { what } => {
+                assert!(what.contains("out of range"), "{what}")
+            }
+            other => panic!("expected BadParameters, got {other:?}"),
+        }
+    }
+    let all_faulty = Limits {
+        faults: FaultModel::new(&[0, 1], &[2]).unwrap(),
+        ..Limits::default()
+    };
+    for result in [
+        verify_label_stabilization(&p, &inputs, &[0, 1], 1, all_faulty),
+        verify_label_stabilization_naive(&p, &inputs, &[0, 1], 1, all_faulty),
+    ] {
+        match result.unwrap_err() {
+            VerifyError::BadParameters { what } => assert!(what.contains("f = 3"), "{what}"),
+            other => panic!("expected BadParameters, got {other:?}"),
+        }
+    }
+    // |Σ|^byz-out-degree beyond 32 bits of per-state fan-out: 65536² on
+    // a degree-2 node overflows before any state is interned.
+    let huge: Vec<u64> = (0..1 << 16).collect();
+    let wide = Limits {
+        faults: FaultModel::byzantine(&[1]).unwrap(),
+        ..Limits::default()
+    };
+    match verify_label_stabilization(&p, &inputs, &huge, 1, wide).unwrap_err() {
+        VerifyError::BadParameters { what } => {
+            assert!(what.contains("too large to enumerate"), "{what}")
+        }
+        other => panic!("expected BadParameters, got {other:?}"),
+    }
+}
+
+/// An `f = 0` placement sweep degenerates to exactly one fault-free
+/// verification, bit-identical to `verify_label_stabilization` without
+/// a fault model.
+#[test]
+fn zero_fault_sweep_reproduces_the_fault_free_verdict() {
+    let graph = topology::bidirectional_ring(3);
+    let p = symmetric_protocol(&graph, 2, 7);
+    let inputs = vec![0u64; 3];
+    let rows =
+        sweep_byzantine_placements(&p, &inputs, &[0, 1], 2, Limits::default(), 0, &[]).unwrap();
+    assert_eq!(rows.len(), 1);
+    assert!(rows[0].placement.is_empty());
+    let plain = verify_label_stabilization(&p, &inputs, &[0, 1], 2, Limits::default()).unwrap();
+    assert_eq!(rows[0].verdict, plain);
+}
+
+/// Crash faults are the degenerate single-choice adversary: a crashed
+/// relay freezes its outgoing labels, and the max-propagation ring
+/// around it still label-stabilizes (every correct node eventually
+/// copies a constant).
+#[test]
+fn crashed_relay_still_stabilizes_the_ring() {
+    let graph = topology::unidirectional_ring(4);
+    let p = Protocol::builder(graph, 1.0)
+        .uniform_reaction(FnBufReaction::new(
+            vec![0u64],
+            |_, incoming: &[u64], _, out: &mut [u64]| {
+                out[0] = incoming[0];
+                incoming[0]
+            },
+        ))
+        .build()
+        .unwrap();
+    let inputs = vec![0u64; 4];
+    let faults = Limits {
+        faults: FaultModel::crash(&[2]).unwrap(),
+        ..Limits::default()
+    };
+    let verdict = verify_label_stabilization(&p, &inputs, &[0, 1], 1, faults).unwrap();
+    assert!(
+        verdict.is_stabilizing(),
+        "a frozen relay is a constant source"
+    );
+    // The same ring with a *Byzantine* node in place of the crash
+    // oscillates: the adversary alternates the label it feeds downstream.
+    let byz = Limits {
+        faults: FaultModel::byzantine(&[2]).unwrap(),
+        ..Limits::default()
+    };
+    match verify_label_stabilization(&p, &inputs, &[0, 1], 1, byz).unwrap() {
+        Verdict::NotStabilizing(w) => {
+            let fm = FaultModel::byzantine(&[2]).unwrap();
+            let (labels_changed, _, closed) = replay_adversarial_witness(&p, &inputs, fm, &w);
+            assert!(closed && labels_changed, "byzantine relay witness replays");
+            assert!(
+                w.adversary.iter().flatten().any(|(node, _)| *node == 2),
+                "the strategy actually uses node 2"
+            );
+        }
+        Verdict::Stabilizing => panic!("a byzantine relay must break the copy ring"),
+    }
+}
+
+/// The BFS spanning-tree protocol is `Stabilizing` fault-free on small
+/// rooted topologies — exact product-graph verdicts, not just sampled
+/// synchronous runs.
+#[test]
+fn bfs_tree_is_stabilizing_fault_free() {
+    for (graph, root, cap) in [
+        (topology::bidirectional_ring(3), 0, 2),
+        (topology::bidirectional_ring(4), 0, 2),
+        (topology::star(4), 0, 2),
+    ] {
+        let n = graph.node_count();
+        let p = bfs_tree_protocol(graph, root, cap, FaultModel::none()).unwrap();
+        let limits = Limits {
+            max_states: 2_000_000,
+            ..Limits::default()
+        };
+        let verdict =
+            verify_label_stabilization(&p, &vec![0; n], &bfs_alphabet(cap), 1, limits).unwrap();
+        assert!(verdict.is_stabilizing(), "bfs_tree fault-free on n={n}");
+    }
+}
+
+/// The f = 1 Byzantine placement sweep on the 4-ring rooted at 0: the
+/// root's *neighbors* are fatal (they sit on node 2's min-selection and
+/// can flip its distance forever), while the antipodal node is tolerated
+/// (both of its neighbors already hear the root directly). Every fatal
+/// placement's witness replays as a concrete adversary strategy.
+#[test]
+fn bfs_tree_f1_placement_sweep_on_the_4_ring() {
+    let graph = topology::bidirectional_ring(4);
+    let cap = 2;
+    let p = bfs_tree_protocol(graph, 0, cap, FaultModel::none()).unwrap();
+    let inputs = vec![0u64; 4];
+    let limits = Limits {
+        max_states: 2_000_000,
+        ..Limits::default()
+    };
+    let rows =
+        sweep_byzantine_placements(&p, &inputs, &bfs_alphabet(cap), 1, limits, 1, &[0]).unwrap();
+    assert_eq!(rows.len(), 3, "C(3,1) placements excluding the root");
+    for row in &rows {
+        let expect_stabilizing = row.placement == [2];
+        assert_eq!(
+            row.verdict.is_stabilizing(),
+            expect_stabilizing,
+            "placement {:?}",
+            row.placement
+        );
+        if let Verdict::NotStabilizing(w) = &row.verdict {
+            let fm = FaultModel::byzantine(&row.placement).unwrap();
+            let (labels_changed, _, closed) = replay_adversarial_witness(&p, &inputs, fm, w);
+            assert!(closed, "placement {:?} witness closes", row.placement);
+            assert!(
+                labels_changed,
+                "placement {:?} witness oscillates",
+                row.placement
+            );
+        }
+    }
+    // The 3-ring tolerates every non-root placement: each correct node
+    // hears the root directly, so min-selection ignores the liar.
+    let g3 = topology::bidirectional_ring(3);
+    let p3 = bfs_tree_protocol(g3, 0, cap, FaultModel::none()).unwrap();
+    let rows3 =
+        sweep_byzantine_placements(&p3, &[0; 3], &bfs_alphabet(cap), 1, limits, 1, &[0]).unwrap();
+    assert_eq!(rows3.len(), 2);
+    assert!(rows3.iter().all(|r| r.verdict.is_stabilizing()));
+}

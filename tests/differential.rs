@@ -21,10 +21,9 @@ use stateless_computation::core::graph::DiGraph;
 use stateless_computation::core::prelude::*;
 use stateless_computation::verify::{
     explore_product, product_graph_csr, verify_label_stabilization,
-    verify_label_stabilization_naive,
-    verify_label_stabilization_with_stats, verify_output_stabilization,
-    verify_output_stabilization_naive, CycleWitness, Limits, SccBackend, SymmetryMode, Verdict,
-    VerifyError,
+    verify_label_stabilization_naive, verify_label_stabilization_with_stats,
+    verify_output_stabilization, verify_output_stabilization_naive, CycleWitness, Limits,
+    SccBackend, SymmetryMode, Verdict, VerifyError,
 };
 
 /// Thread counts the cross-thread/cross-backend assertions run at: `2`

@@ -20,9 +20,7 @@ use stateless_computation::verify::{verify_label_stabilization_with_stats, Limit
 /// Brute-force reference: compare every rotation, least index wins ties.
 fn least_rotation_naive<T: Ord + Clone>(seq: &[T]) -> usize {
     let n = seq.len();
-    let rot = |m: usize| -> Vec<T> {
-        (0..n).map(|i| seq[(m + i) % n].clone()).collect::<Vec<_>>()
-    };
+    let rot = |m: usize| -> Vec<T> { (0..n).map(|i| seq[(m + i) % n].clone()).collect::<Vec<_>>() };
     (0..n).min_by_key(|&m| (rot(m), m)).unwrap_or(0)
 }
 
@@ -299,7 +297,7 @@ fn fixed_point_orbits_are_smaller_than_the_group() {
         sym.canonicalize(&layout, &mut words, &mut aux, &mut CanonScratch::default());
         words.clone()
     };
-    let shifted: Vec<u32> = (0..n).map(|i| labels[(i + 1) % n] ).collect();
+    let shifted: Vec<u32> = (0..n).map(|i| labels[(i + 1) % n]).collect();
     let mut words2 = pack_ring_state(&layout, &shifted, &vec![0u32; n]);
     let mut aux: Vec<u64> = Vec::new();
     sym.canonicalize(&layout, &mut words2, &mut aux, &mut CanonScratch::default());
@@ -330,14 +328,9 @@ fn quotient_shrinks_the_bidirectional_ring_at_least_5x_with_identical_verdict() 
     let protocol = exchange_symmetric_protocol(&topology::bidirectional_ring(n), 2, 3);
     let inputs = vec![0u64; n];
     let alphabet = [0u64, 1];
-    let (full_v, full) = verify_label_stabilization_with_stats(
-        &protocol,
-        &inputs,
-        &alphabet,
-        2,
-        Limits::default(),
-    )
-    .unwrap();
+    let (full_v, full) =
+        verify_label_stabilization_with_stats(&protocol, &inputs, &alphabet, 2, Limits::default())
+            .unwrap();
     let (quot_v, quot) = verify_label_stabilization_with_stats(
         &protocol,
         &inputs,
