@@ -78,7 +78,7 @@ fn bench_explorer_threads(c: &mut Criterion) {
             &threads,
             |b, _| {
                 b.iter(|| {
-                    verify_label_stabilization(&p, &inputs, &[false, true], 2, limits)
+                    verify_label_stabilization(&p, &inputs, &[false, true], 2, limits.clone())
                         .unwrap()
                         .is_stabilizing()
                 })

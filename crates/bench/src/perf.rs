@@ -11,8 +11,9 @@ use std::time::Instant;
 
 use stabilization_verify::{
     explore_product, verify_label_stabilization_naive, verify_label_stabilization_with_stats,
-    Limits, SccBackend, SymmetryMode,
+    CheckpointPolicy, Limits, SccBackend, SymmetryMode,
 };
+use stateless_core::checkpoint::CheckpointStore;
 use stateless_core::convergence::{
     all_labelings, classify_sync, classify_sync_naive, classify_sync_with, sync_round_complexity,
     sync_round_complexity_par, CycleDetector,
@@ -292,7 +293,8 @@ fn verify_scaling_rows(n: usize, thread_counts: &[usize]) -> Vec<String> {
         ..limits(1)
     };
     let (sym_verdict, sym_stats) =
-        verify_label_stabilization_with_stats(&p, &inputs, &alphabet, r, sym_limits).unwrap();
+        verify_label_stabilization_with_stats(&p, &inputs, &alphabet, r, sym_limits.clone())
+            .unwrap();
     let sym = if sym_stats.states < stats.states {
         assert_eq!(
             std::mem::discriminant(&sym_verdict),
@@ -304,7 +306,7 @@ fn verify_scaling_rows(n: usize, thread_counts: &[usize]) -> Vec<String> {
             "quotient exploration must preserve the verdict"
         );
         let secs = best_seconds(|| {
-            verify_label_stabilization_with_stats(&p, &inputs, &alphabet, r, sym_limits)
+            verify_label_stabilization_with_stats(&p, &inputs, &alphabet, r, sym_limits.clone())
                 .unwrap()
                 .0
                 .is_stabilizing();
@@ -421,7 +423,8 @@ fn byzantine_scaling_rows() -> Vec<String> {
                 ..Limits::default()
             };
             let (verdict, stats) =
-                verify_label_stabilization_with_stats(&p, &inputs, &alphabet, r, limits).unwrap();
+                verify_label_stabilization_with_stats(&p, &inputs, &alphabet, r, limits.clone())
+                    .unwrap();
             let f0_matches = f != 0
                 || (stats.states == plain_stats.states
                     && verdict.is_stabilizing() == plain_verdict.is_stabilizing());
@@ -430,7 +433,7 @@ fn byzantine_scaling_rows() -> Vec<String> {
                 "an explicit FaultModel::none() must degenerate to the fault-free run"
             );
             let secs = best_seconds(|| {
-                verify_label_stabilization_with_stats(&p, &inputs, &alphabet, r, limits)
+                verify_label_stabilization_with_stats(&p, &inputs, &alphabet, r, limits.clone())
                     .unwrap()
                     .0
                     .is_stabilizing();
@@ -456,7 +459,130 @@ fn byzantine_scaling_rows() -> Vec<String> {
             ));
         }
     }
+    // Mixed-model row: one Byzantine node *and* one crashed node on the
+    // 4-ring. The crash side shrinks its node's branching to the single
+    // keep-labels choice while the Byzantine side still branches over
+    // every label choice, so this row pins the combined fault semantics
+    // (a drift in either half moves the state count or flips the
+    // verdict).
+    {
+        let n = 4usize;
+        let p =
+            bfs_tree_protocol(topology::bidirectional_ring(n), 0, cap, FaultModel::none()).unwrap();
+        let inputs = vec![0u64; n];
+        let alphabet = bfs_alphabet(cap);
+        let limits = Limits {
+            faults: FaultModel::new(&[1], &[2]).unwrap(),
+            ..Limits::default()
+        };
+        let (verdict, stats) =
+            verify_label_stabilization_with_stats(&p, &inputs, &alphabet, r, limits.clone())
+                .unwrap();
+        let secs = best_seconds(|| {
+            verify_label_stabilization_with_stats(&p, &inputs, &alphabet, r, limits.clone())
+                .unwrap()
+                .0
+                .is_stabilizing();
+        });
+        emit_criterion_line(
+            &format!("perf/byzantine/{n}/byz1crash1"),
+            secs,
+            stats.states as u64,
+        );
+        rows.push(format!(
+            concat!(
+                "{{\"n\":{},\"model\":\"byz1crash1\",\"r\":{},\"states\":{},",
+                "\"states_per_s\":{:.0},\"stabilizing\":{}}}"
+            ),
+            n,
+            r,
+            stats.states,
+            stats.states as f64 / secs,
+            verdict.is_stabilizing()
+        ));
+    }
     rows
+}
+
+/// Checkpointing overhead: the f = 1 Byzantine BFS instance of
+/// [`byzantine_scaling_rows`], verified plain vs with an
+/// every-eighth-of-the-graph [`CheckpointPolicy`] into a scratch
+/// directory. Reports both throughputs, the slowdown ratio, the epoch
+/// count the policy leaves behind, the newest epoch's file size, and
+/// the largest framed segment in it — the transient buffer bound a
+/// resume needs, which `bench-report --memgate` charges per state on
+/// top of the verifier's resident storage.
+fn checkpoint_overhead_entry() -> String {
+    let (n, cap, r) = (4usize, 2u64, 1u8);
+    let p = bfs_tree_protocol(topology::bidirectional_ring(n), 0, cap, FaultModel::none()).unwrap();
+    let inputs = vec![0u64; n];
+    let alphabet = bfs_alphabet(cap);
+    let plain_limits = Limits {
+        faults: FaultModel::byzantine(&[1]).unwrap(),
+        ..Limits::default()
+    };
+    let (_, stats) =
+        verify_label_stabilization_with_stats(&p, &inputs, &alphabet, r, plain_limits.clone())
+            .unwrap();
+    let plain = best_seconds(|| {
+        verify_label_stabilization_with_stats(&p, &inputs, &alphabet, r, plain_limits.clone())
+            .unwrap()
+            .0
+            .is_stabilizing();
+    });
+    let dir = std::env::temp_dir().join(format!("stateless-bench-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let every = (stats.states / 8).max(1);
+    let ckpt_limits = Limits {
+        checkpoint: Some(CheckpointPolicy {
+            every_states: Some(every),
+            ..CheckpointPolicy::new(&dir)
+        }),
+        ..plain_limits
+    };
+    let checkpointed = best_seconds(|| {
+        verify_label_stabilization_with_stats(&p, &inputs, &alphabet, r, ckpt_limits.clone())
+            .unwrap()
+            .0
+            .is_stabilizing();
+    });
+    emit_criterion_line(
+        &format!("perf/checkpoint/{n}/plain"),
+        plain,
+        stats.states as u64,
+    );
+    emit_criterion_line(
+        &format!("perf/checkpoint/{n}/checkpointed"),
+        checkpointed,
+        stats.states as u64,
+    );
+    let store = CheckpointStore::open(&dir).unwrap();
+    let epochs = store.epochs().unwrap_or_default();
+    let newest = epochs.last().copied();
+    let epoch_bytes = newest
+        .and_then(|e| std::fs::metadata(store.epoch_path(e)).ok())
+        .map_or(0, |m| m.len());
+    let scratch = newest.map_or(0, |e| store.max_segment_bytes(e).unwrap_or(0));
+    let _ = std::fs::remove_dir_all(&dir);
+    format!(
+        concat!(
+            "{{\"n\":{},\"f\":1,\"r\":{},\"states\":{},\"every_states\":{},",
+            "\"plain_states_per_s\":{:.0},\"checkpointed_states_per_s\":{:.0},",
+            "\"overhead\":{:.3},\"epochs\":{},\"epoch_bytes\":{},",
+            "\"checkpoint_scratch_bytes\":{},\"scratch_bytes_per_state\":{:.2}}}"
+        ),
+        n,
+        r,
+        stats.states,
+        every,
+        stats.states as f64 / plain,
+        stats.states as f64 / checkpointed,
+        checkpointed / plain,
+        epochs.len(),
+        epoch_bytes,
+        scratch,
+        scratch as f64 / stats.states as f64
+    )
 }
 
 /// Async engine measurement at ring size `n`: steps/s under one schedule
@@ -592,8 +718,9 @@ pub fn summary_json(max_threads: usize) -> String {
         .flat_map(|&n| verify_scaling_rows(n, &counts))
         .collect();
     let byzantine = byzantine_scaling_rows();
+    let checkpoint = checkpoint_overhead_entry();
     format!(
-        "{{\n  \"suite\": \"stateless-computation perf summary\",\n  \"threads\": {},\n  \"engine_throughput\": [{}],\n  \"async_engine\": [{}],\n  \"label_stabilization\": {},\n  \"classify_sync\": {},\n  \"classify_detectors\": {},\n  \"round_complexity_sweep\": {},\n  \"verify_scaling\": [{}],\n  \"byzantine_scaling\": [{}]\n}}\n",
+        "{{\n  \"suite\": \"stateless-computation perf summary\",\n  \"threads\": {},\n  \"engine_throughput\": [{}],\n  \"async_engine\": [{}],\n  \"label_stabilization\": {},\n  \"classify_sync\": {},\n  \"classify_detectors\": {},\n  \"round_complexity_sweep\": {},\n  \"verify_scaling\": [{}],\n  \"byzantine_scaling\": [{}],\n  \"checkpoint_overhead\": {}\n}}\n",
         threads,
         engine.join(", "),
         async_engine.join(", "),
@@ -602,6 +729,7 @@ pub fn summary_json(max_threads: usize) -> String {
         detectors,
         sweep,
         verify_scaling.join(", "),
-        byzantine.join(", ")
+        byzantine.join(", "),
+        checkpoint
     )
 }

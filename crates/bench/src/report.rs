@@ -251,13 +251,36 @@ fn summary_object_lines(section: &str, obj: &str, out: &mut Vec<BenchLine>) {
             }
         }
         "byzantine_scaling" => {
-            let (Some(n), Some(f), Some(states)) = (num("n"), num("f"), num("states")) else {
+            let (Some(n), Some(states)) = (num("n"), num("states")) else {
                 return;
             };
-            let (n, f) = (n as u64, f as u64);
+            let n = n as u64;
+            // Pure-Byzantine rows key on `f`; mixed-model rows (one
+            // Byzantine plus one crashed node) carry an explicit `model`
+            // slug instead.
+            let id = match string_field(obj, "model") {
+                Some(model) => format!("perf/byzantine/{n}/{model}"),
+                None => {
+                    let Some(f) = num("f") else {
+                        return;
+                    };
+                    format!("perf/byzantine/{n}/f{}", f as u64)
+                }
+            };
+            push(id, per_s(states, num("states_per_s")));
+        }
+        "checkpoint_overhead" => {
+            let (Some(n), Some(states)) = (num("n"), num("states")) else {
+                return;
+            };
+            let n = n as u64;
             push(
-                format!("perf/byzantine/{n}/f{f}"),
-                per_s(states, num("states_per_s")),
+                format!("perf/checkpoint/{n}/plain"),
+                per_s(states, num("plain_states_per_s")),
+            );
+            push(
+                format!("perf/checkpoint/{n}/checkpointed"),
+                per_s(states, num("checkpointed_states_per_s")),
             );
         }
         _ => {}
@@ -414,32 +437,47 @@ pub fn collect_trend(dir: &std::path::Path) -> std::io::Result<Vec<(String, Vec<
 /// state storage plus peak transient edge storage, per state. Summaries
 /// predating the edge-less verifier report the stored CSR under
 /// `csr_edge_bytes`; it is accepted as the edge figure so the gate can
-/// compare across that boundary.
+/// compare across that boundary. When the summary carries a
+/// `checkpoint_overhead` section, its `scratch_bytes_per_state` (the
+/// largest framed segment a checkpoint resume must buffer, per state)
+/// is added on top — summaries predating crash-safe verification
+/// contribute zero scratch, so old baselines stay comparable.
 pub fn memory_per_state(text: &str) -> Option<(u64, f64)> {
     let mut best: Option<(u64, f64)> = None;
+    let mut scratch = 0.0f64;
     for line in text.lines() {
-        if section_name(line) != Some("verify_scaling") {
-            continue;
-        }
-        for obj in objects_in(line) {
-            let num = |key: &str| number_field(obj, key);
-            let (Some(n), Some(states)) = (num("n"), num("states")) else {
-                continue;
-            };
-            if states <= 0.0 {
-                continue;
+        match section_name(line) {
+            Some("verify_scaling") => {
+                for obj in objects_in(line) {
+                    let num = |key: &str| number_field(obj, key);
+                    let (Some(n), Some(states)) = (num("n"), num("states")) else {
+                        continue;
+                    };
+                    if states <= 0.0 {
+                        continue;
+                    }
+                    let arena = num("packed_arena_bytes").unwrap_or(0.0);
+                    let Some(edge) = num("peak_edge_bytes").or_else(|| num("csr_edge_bytes"))
+                    else {
+                        continue;
+                    };
+                    let candidate = (n as u64, (arena + edge) / states);
+                    if best.is_none_or(|(bn, _)| candidate.0 >= bn) {
+                        best = Some(candidate);
+                    }
+                }
             }
-            let arena = num("packed_arena_bytes").unwrap_or(0.0);
-            let Some(edge) = num("peak_edge_bytes").or_else(|| num("csr_edge_bytes")) else {
-                continue;
-            };
-            let candidate = (n as u64, (arena + edge) / states);
-            if best.is_none_or(|(bn, _)| candidate.0 >= bn) {
-                best = Some(candidate);
+            Some("checkpoint_overhead") => {
+                for obj in objects_in(line) {
+                    if let Some(s) = number_field(obj, "scratch_bytes_per_state") {
+                        scratch = scratch.max(s);
+                    }
+                }
             }
+            _ => {}
         }
     }
-    best
+    best.map(|(n, bytes)| (n, bytes + scratch))
 }
 
 /// The memory-regression gate: fails (returns `Err` with the verdict
@@ -584,7 +622,8 @@ mod tests {
         "  \"classify_detectors\": {\"n\":1024,\"arena_ms_per_run\":17.000,\"brent_ms_per_run\":34.000},\n",
         "  \"round_complexity_sweep\": {\"n\":14,\"labelings\":16384,\"threads\":1,\"sequential_ms\":12.000,\"parallel_ms\":6.000,\"speedup\":2.00},\n",
         "  \"verify_scaling\": [{\"n\":6,\"r\":2,\"threads\":2,\"states\":1000,\"edges\":9,\"naive_states_per_s\":250000,\"packed_states_per_s\":1000000,\"scc_ms\":4.000,\"scc_vs_t1\":1.50,\"tarjan_scc_ms\":5.000,\"sym_states\":100,\"quotient_ratio\":10.00,\"sym_states_per_s\":500000}, {\"n\":8,\"r\":2,\"states\":2000,\"edges\":9,\"naive_states_per_s\":100000,\"packed_states_per_s\":200000,\"scc_ms\":8.000,\"tarjan_scc_ms\":7.000,\"sym_states\":200,\"quotient_ratio\":10.00,\"sym_states_per_s\":1000000}, {\"n\":9,\"r\":2,\"states\":3000,\"edges\":9,\"naive_states_per_s\":0,\"packed_states_per_s\":300000,\"scc_ms\":9.000,\"tarjan_scc_ms\":8.000,\"sym_states\":0,\"quotient_ratio\":0.00,\"sym_states_per_s\":0}],\n",
-        "  \"byzantine_scaling\": [{\"n\":4,\"f\":0,\"r\":1,\"states\":4000,\"states_per_s\":2000000,\"stabilizing\":true,\"f0_matches_faultfree\":true}, {\"n\":4,\"f\":1,\"r\":1,\"states\":20000,\"states_per_s\":1000000,\"stabilizing\":false,\"f0_matches_faultfree\":true}]\n",
+        "  \"byzantine_scaling\": [{\"n\":4,\"f\":0,\"r\":1,\"states\":4000,\"states_per_s\":2000000,\"stabilizing\":true,\"f0_matches_faultfree\":true}, {\"n\":4,\"f\":1,\"r\":1,\"states\":20000,\"states_per_s\":1000000,\"stabilizing\":false,\"f0_matches_faultfree\":true}, {\"n\":4,\"model\":\"byz1crash1\",\"r\":1,\"states\":8000,\"states_per_s\":4000000,\"stabilizing\":false}],\n",
+        "  \"checkpoint_overhead\": {\"n\":4,\"f\":1,\"r\":1,\"states\":20000,\"every_states\":2500,\"plain_states_per_s\":1000000,\"checkpointed_states_per_s\":800000,\"overhead\":1.250,\"epochs\":2,\"epoch_bytes\":400000,\"checkpoint_scratch_bytes\":100000,\"scratch_bytes_per_state\":5.00}\n",
         "}\n",
     );
 
@@ -631,9 +670,14 @@ mod tests {
             || l.bench == "perf/verify_scaling/9/naive"));
         // Byzantine rows key on (n, f): 4000 states at 2e6 states/s =
         // 2 ms; the f=1 row's larger adversary-branched graph maps the
-        // same way.
+        // same way, and the mixed-model row keys on its `model` slug.
         assert_eq!(get("perf/byzantine/4/f0"), 2e6);
         assert_eq!(get("perf/byzantine/4/f1"), 2e7);
+        assert_eq!(get("perf/byzantine/4/byz1crash1"), 2e6);
+        // Checkpoint overhead: 20000 states at 1e6 (plain) / 8e5
+        // (checkpointed) states/s.
+        assert_eq!(get("perf/checkpoint/4/plain"), 2e7);
+        assert_eq!(get("perf/checkpoint/4/checkpointed"), 2.5e7);
     }
 
     #[test]
@@ -711,6 +755,25 @@ mod tests {
         assert!(check_memory_gate(MEM_BASE, MEM_BAD, 1.25).is_err());
         // No figures at all → gate errors out rather than passing.
         assert!(check_memory_gate("{}", MEM_GOOD, 1.25).is_err());
+    }
+
+    #[test]
+    fn memory_gate_charges_checkpoint_scratch() {
+        // 18 B/state resident+edge, plus 5 B/state of checkpoint resume
+        // scratch = 23 B/state; a scratch-free baseline (old summary
+        // shape) contributes zero and stays comparable.
+        let current = format!(
+            "{MEM_GOOD}  \"checkpoint_overhead\": {{\"n\":4,\"states\":20000,\
+             \"checkpoint_scratch_bytes\":100000,\"scratch_bytes_per_state\":5.00}}\n"
+        );
+        assert_eq!(memory_per_state(&current), Some((10, 23.0)));
+        assert!(check_memory_gate(MEM_BASE, &current, 1.25).is_ok());
+        // Scratch alone can blow the gate: 40 × 1.25 = 50 < 18 + 33.
+        let heavy = format!(
+            "{MEM_GOOD}  \"checkpoint_overhead\": {{\"n\":4,\"states\":20000,\
+             \"scratch_bytes_per_state\":33.00}}\n"
+        );
+        assert!(check_memory_gate(MEM_BASE, &heavy, 1.25).is_err());
     }
 
     #[test]

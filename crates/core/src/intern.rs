@@ -88,6 +88,22 @@ impl Hasher for FxHasher {
 /// SipHash would waste the fast path.
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
+/// Seeded FxHash fingerprint of a packed state: the row words, then the
+/// auxiliary words. This is **the** state fingerprint — the product-graph
+/// explorer's sharding, its confirm-equality probes, and the checkpoint
+/// restore path all call this one function, so an interned state always
+/// lands in the same shard no matter who hashes it.
+pub fn state_fingerprint(row: &[u64], aux: &[u64]) -> u64 {
+    let mut h = FxHasher::default();
+    for &w in row {
+        h.write_u64(w);
+    }
+    for &a in aux {
+        h.write_u64(a);
+    }
+    h.finish()
+}
+
 /// Fingerprint → id index with exact-equality confirmation.
 ///
 /// Maps 64-bit fingerprints to the id of the first state that produced
@@ -319,6 +335,26 @@ impl StateShard {
     pub fn allocated_bytes(&self) -> usize {
         self.rows.allocated_bytes() + self.aux.allocated_bytes()
     }
+
+    /// The packed state rows, block by block, whole rows in local-id
+    /// order — the zero-copy export checkpointing streams to disk.
+    pub fn row_blocks(&self) -> impl Iterator<Item = &[u64]> {
+        self.rows.blocks()
+    }
+
+    /// The auxiliary rows, block by block, whole rows in local-id order
+    /// — the auxiliary twin of [`row_blocks`](StateShard::row_blocks).
+    /// Rows of length zero occupy no bytes, so the iterator may be
+    /// empty even after states have been interned.
+    pub fn aux_blocks(&self) -> impl Iterator<Item = &[u64]> {
+        self.aux.blocks()
+    }
+
+    /// The dense ids assigned so far, in local-id order. Equals
+    /// [`len`](StateShard::len) entries once a batch has fully merged.
+    pub fn dense_ids(&self) -> &[u32] {
+        &self.dense
+    }
 }
 
 /// A fingerprint-sharded state interner: [`SHARD_COUNT`] independent
@@ -521,6 +557,13 @@ impl<T: Clone> ChunkedArena<T> {
     /// Total bytes of row storage currently allocated.
     pub fn allocated_bytes(&self) -> usize {
         self.blocks.iter().map(Vec::capacity).sum::<usize>() * std::mem::size_of::<T>()
+    }
+
+    /// The stored rows, block by block, in row order. Blocks are never
+    /// realloc-copied after a row lands in them, so this is the zero-copy
+    /// export path (checkpointing streams these slices straight to disk).
+    pub fn blocks(&self) -> impl Iterator<Item = &[T]> {
+        self.blocks.iter().map(|b| b.as_slice())
     }
 
     /// Appends one row.
@@ -768,6 +811,52 @@ mod tests {
         shard.push_dense(40);
         assert_eq!(shard.dense_of(a), 41);
         assert_eq!(shard.dense_of(b), 40);
+    }
+
+    #[test]
+    fn block_export_rebuilds_an_identical_shard() {
+        // The checkpoint restore path: stream rows/aux/dense out of one
+        // shard block by block, re-intern them in local-id order into a
+        // fresh shard, and require identical ids, rows, and dense map.
+        let index = ShardedStateIndex::new(2, 1);
+        let rows: Vec<([u64; 2], [u64; 1])> = (0..500u64).map(|i| ([i, i * 3], [i % 5])).collect();
+        {
+            let mut shard = index.write(0);
+            for (k, (row, aux)) in rows.iter().enumerate() {
+                let (local, fresh) = shard.intern(state_fingerprint(row, aux), row, aux);
+                assert!(fresh);
+                assert_eq!(local as usize, k);
+                shard.push_dense((k * 7) as u32);
+            }
+        }
+        let shard = index.read(0);
+        let flat_rows: Vec<u64> = shard.row_blocks().flatten().copied().collect();
+        let flat_aux: Vec<u64> = shard.aux_blocks().flatten().copied().collect();
+        let dense: Vec<u32> = shard.dense_ids().to_vec();
+        assert_eq!(flat_rows.len(), shard.len() * 2);
+        assert_eq!(flat_aux.len(), shard.len());
+        let rebuilt = ShardedStateIndex::new(2, 1);
+        {
+            let mut fresh_shard = rebuilt.write(0);
+            for (k, &d) in dense.iter().enumerate() {
+                let row = &flat_rows[k * 2..k * 2 + 2];
+                let aux = &flat_aux[k..k + 1];
+                let (local, fresh) = fresh_shard.intern(state_fingerprint(row, aux), row, aux);
+                assert!(fresh, "restored rows are distinct");
+                assert_eq!(local as usize, k, "local ids replay in order");
+                fresh_shard.push_dense(d);
+            }
+        }
+        let restored = rebuilt.read(0);
+        for (k, (row, aux)) in rows.iter().enumerate() {
+            assert_eq!(restored.row(k as u32), row);
+            assert_eq!(restored.aux_row(k as u32), aux);
+            assert_eq!(restored.dense_of(k as u32), shard.dense_of(k as u32));
+            assert_eq!(
+                restored.lookup(state_fingerprint(row, aux), row, aux),
+                Some(k as u32)
+            );
+        }
     }
 
     #[test]

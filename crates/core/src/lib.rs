@@ -42,6 +42,10 @@
 //!   flat bit packing, and block-chunked history arenas. Used by
 //!   [`convergence`] and by the exact product-graph explorer in
 //!   `stabilization-verify`.
+//! * [`checkpoint`] — crash-safe checkpoint storage: checksummed segment
+//!   files with epoch rotation and an atomically-renamed manifest, the
+//!   persistence layer behind the exact verifier's resumable exploration
+//!   in `stabilization-verify`.
 //! * [`scc`] — strongly connected components of flat CSR digraphs: a
 //!   deterministic parallel trim + Forward–Backward engine plus the
 //!   serial Tarjan reference, shared by [`graph::DiGraph`] and the exact
@@ -78,6 +82,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod convergence;
 pub mod engine;
 pub mod error;

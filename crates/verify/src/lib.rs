@@ -40,24 +40,42 @@
 //! witness carries the adversary's concrete strategy
 //! ([`CycleWitness::adversary`]) alongside the schedule. The [`sweep`]
 //! module quantifies over fault *placements* too.
+//!
+//! Long explorations are **crash-safe**: a [`CheckpointPolicy`] on
+//! [`Limits::checkpoint`] persists the sharded state index as
+//! checksummed epoch files at batch boundaries, a [`Limits::deadline`]
+//! degrades gracefully to [`Verdict::Partial`] with a resumable
+//! [`CheckpointHandle`] instead of erroring, and
+//! [`verify_label_stabilization_resumed`] /
+//! [`verify_output_stabilization_resumed`] continue from the newest
+//! valid epoch — after verifying the stored instance fingerprint
+//! ([`checkpoint`] module docs) — to a verdict bit-identical to an
+//! uninterrupted run at any thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod product;
 pub mod stable;
 pub mod sweep;
 
+pub use checkpoint::{CheckpointHandle, CheckpointPolicy, ResumeError};
 #[doc(hidden)]
 pub use product::{
-    explore_product, product_graph_csr, verify_label_stabilization_naive,
-    verify_output_stabilization_naive, ExploredProduct,
+    explore_product, explore_product_resumed, product_graph_csr, verify_label_stabilization_naive,
+    verify_label_stabilization_resumed_at, verify_output_stabilization_naive,
+    verify_output_stabilization_resumed_at, ExploredProduct,
 };
 pub use product::{
-    verify_label_stabilization, verify_label_stabilization_with_stats, verify_output_stabilization,
-    CycleWitness, ExploreStats, Limits, SccBackend, Verdict, VerifyError,
+    verify_label_stabilization, verify_label_stabilization_resumed,
+    verify_label_stabilization_with_stats, verify_output_stabilization,
+    verify_output_stabilization_resumed, CycleWitness, ExploreStats, Limits, SccBackend, Verdict,
+    VerifyError,
 };
 pub use stable::enumerate_stable_labelings;
 pub use stateless_core::fault::FaultModel;
 pub use stateless_core::symmetry::SymmetryMode;
-pub use sweep::{byzantine_placements, sweep_byzantine_placements, PlacementVerdict};
+pub use sweep::{
+    byzantine_placements, sweep_byzantine_placements, sweep_crash_placements, PlacementVerdict,
+};

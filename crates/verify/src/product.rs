@@ -147,21 +147,27 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
 use std::hash::Hasher;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, RwLockReadGuard};
+use std::time::{Duration, Instant};
 
+use stateless_core::checkpoint::{CheckpointError, CheckpointStore, SegmentWriter};
 use stateless_core::convergence::all_labelings;
 use stateless_core::intern::{
-    bits_for, pack, pack_state_id, shard_of, unpack, unpack_state_id, FxBuildHasher, FxHasher,
-    ShardedStateIndex, StateShard, SHARD_COUNT,
+    bits_for, pack, pack_state_id, shard_of, state_fingerprint as fingerprint, unpack,
+    unpack_state_id, FxBuildHasher, FxHasher, ShardedStateIndex, StateShard, SHARD_COUNT,
 };
 use stateless_core::label::Label;
 use stateless_core::prelude::*;
 use stateless_core::scc;
 use stateless_core::symmetry::{Automorphism, CanonScratch, PackedLayout, Symmetry, SymmetryMode};
 
+use crate::checkpoint::{instance_fingerprint, CheckpointHandle, CheckpointPolicy, ResumeError};
+
 /// Exploration limits and parallelism.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Limits {
     /// Maximum number of product states to materialize.
     pub max_states: usize,
@@ -208,6 +214,62 @@ pub struct Limits {
     /// concrete replayable strategy
     /// ([`Simulation::step_with_adversary`](stateless_core::engine::Simulation::step_with_adversary)).
     pub faults: FaultModel,
+    /// Wall-clock budget for exploration (`None` — the default — means
+    /// unlimited). Unlike [`Limits::max_states`], exceeding it is **not**
+    /// an error: exploration stops at the next batch boundary and the
+    /// verifier returns [`Verdict::Partial`], carrying a resumable
+    /// [`CheckpointHandle`] when a [`Limits::checkpoint`] policy is set.
+    /// The budget covers exploration only — a run that finishes
+    /// exploring always condenses and reports its full verdict, however
+    /// long the SCC phase takes. Batch boundaries depend only on
+    /// deterministic exploration totals, but *which* boundary the
+    /// deadline trips at is inherently timing-dependent; determinism is
+    /// preserved where it matters — any checkpoint, wherever taken,
+    /// resumes to the bit-identical final verdict.
+    pub deadline: Option<Duration>,
+    /// Crash-safe checkpointing policy (`None` — the default — writes
+    /// nothing). See [`CheckpointPolicy`]: epochs are written at batch
+    /// boundaries into a [`stateless_core::checkpoint::CheckpointStore`]
+    /// and resumed with `verify_label_stabilization_resumed` /
+    /// `verify_output_stabilization_resumed`.
+    pub checkpoint: Option<CheckpointPolicy>,
+}
+
+impl Limits {
+    /// Rejects meaningless limit combinations up front — a zero
+    /// checkpoint interval, a non-finite or non-positive wall-clock
+    /// interval, a zero epoch retention, or a zero deadline — as
+    /// [`VerifyError::BadParameters`] instead of misbehaving
+    /// mid-exploration. Every verification entry point (packed and
+    /// naive) calls this before exploring.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::BadParameters`] naming the offending field.
+    pub fn validate(&self) -> Result<(), VerifyError> {
+        let bad = |what: &str| {
+            Err(VerifyError::BadParameters {
+                what: what.to_string(),
+            })
+        };
+        if self.deadline == Some(Duration::ZERO) {
+            return bad("deadline must be positive (Duration::ZERO would never explore)");
+        }
+        if let Some(policy) = &self.checkpoint {
+            if policy.every_states == Some(0) {
+                return bad("checkpoint.every_states must be ≥ 1");
+            }
+            if let Some(secs) = policy.every_secs {
+                if !secs.is_finite() || secs <= 0.0 {
+                    return bad("checkpoint.every_secs must be finite and positive");
+                }
+            }
+            if policy.retain == 0 {
+                return bad("checkpoint.retain must be ≥ 1 (0 would prune the epoch just written)");
+            }
+        }
+        Ok(())
+    }
 }
 
 /// The SCC engine used on the explored product graph. Both backends
@@ -246,6 +308,8 @@ impl Default for Limits {
             scc: SccBackend::ForwardBackward,
             symmetry: SymmetryMode::Off,
             faults: FaultModel::none(),
+            deadline: None,
+            checkpoint: None,
         }
     }
 }
@@ -272,6 +336,29 @@ pub enum VerifyError {
         /// Description.
         what: String,
     },
+    /// Writing a checkpoint epoch failed (an I/O problem in the
+    /// [`CheckpointPolicy::dir`] store). Exploration state is intact in
+    /// memory but could not be persisted.
+    Checkpoint {
+        /// The underlying store failure.
+        what: String,
+    },
+    /// Resuming from a checkpoint failed — see [`ResumeError`] for the
+    /// typed causes (instance mismatch, no valid epoch, corruption, I/O).
+    Resume(ResumeError),
+    /// An expand worker panicked on the same chunk twice (once in the
+    /// parallel wave, once in the serial retry) — a reaction with a
+    /// reproducible panic. When a [`Limits::checkpoint`] policy is set,
+    /// everything interned *before* the poisoned batch was written as a
+    /// final epoch first, so the work is not lost; fix the reaction and
+    /// resume from [`checkpoint`](VerifyError::PoisonedChunk::checkpoint).
+    PoisonedChunk {
+        /// The panic payload (when it was a string) and the chunk range.
+        what: String,
+        /// The checkpoint-and-fail epoch, when a policy was set and the
+        /// final write succeeded.
+        checkpoint: Option<CheckpointHandle>,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -285,6 +372,22 @@ impl fmt::Display for VerifyError {
             }
             VerifyError::Core(e) => write!(f, "protocol probe failed: {e}"),
             VerifyError::BadParameters { what } => write!(f, "bad parameters: {what}"),
+            VerifyError::Checkpoint { what } => {
+                write!(f, "checkpoint write failed: {what}")
+            }
+            VerifyError::Resume(e) => write!(f, "resume failed: {e}"),
+            VerifyError::PoisonedChunk { what, checkpoint } => {
+                write!(f, "expand worker panicked twice: {what}")?;
+                match checkpoint {
+                    Some(h) => write!(
+                        f,
+                        " (progress checkpointed as epoch {} in {})",
+                        h.epoch,
+                        h.dir.display()
+                    ),
+                    None => Ok(()),
+                }
+            }
         }
     }
 }
@@ -294,6 +397,20 @@ impl Error for VerifyError {}
 impl From<CoreError> for VerifyError {
     fn from(e: CoreError) -> Self {
         VerifyError::Core(e)
+    }
+}
+
+impl From<ResumeError> for VerifyError {
+    fn from(e: ResumeError) -> Self {
+        VerifyError::Resume(e)
+    }
+}
+
+impl From<CheckpointError> for VerifyError {
+    fn from(e: CheckpointError) -> Self {
+        VerifyError::Checkpoint {
+            what: e.to_string(),
+        }
     }
 }
 
@@ -320,18 +437,53 @@ pub struct CycleWitness<L> {
 }
 
 /// The verification verdict.
+///
+/// # Migration note (`Verdict::Partial`)
+///
+/// Through PR 8 this enum had exactly two variants and exploration
+/// could only end in a full verdict or a [`VerifyError`]. With
+/// [`Limits::deadline`] set, running out of wall clock is **not** an
+/// error: the verifier degrades gracefully to [`Verdict::Partial`],
+/// reporting how far it got and (when a [`Limits::checkpoint`] policy
+/// is set) a resumable [`CheckpointHandle`]. Code that never sets a
+/// deadline never sees the new variant; exhaustive matches need one new
+/// arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Verdict<L> {
     /// Every r-fair run from every initial labeling converges.
     Stabilizing,
     /// Some r-fair run oscillates forever; here is one.
     NotStabilizing(CycleWitness<L>),
+    /// The [`Limits::deadline`] expired before exploration finished: no
+    /// claim either way. Resume with
+    /// [`verify_label_stabilization_resumed`] /
+    /// [`verify_output_stabilization_resumed`] to continue toward the
+    /// full verdict — which is bit-identical to what an uninterrupted
+    /// run would have produced.
+    Partial {
+        /// Product states interned so far (all of them persisted when
+        /// [`checkpoint`](Verdict::Partial::checkpoint) is `Some`).
+        states_explored: usize,
+        /// States interned but not yet expanded — the remaining frontier.
+        frontier_len: usize,
+        /// The final checkpoint epoch written at the deadline boundary,
+        /// when a [`Limits::checkpoint`] policy was set.
+        checkpoint: Option<CheckpointHandle>,
+    },
 }
 
 impl<L> Verdict<L> {
-    /// Whether the verdict is [`Verdict::Stabilizing`].
+    /// Whether the verdict is [`Verdict::Stabilizing`]. A
+    /// [`Verdict::Partial`] is **not** stabilizing — it is no claim at
+    /// all; check [`is_partial`](Verdict::is_partial) first when
+    /// deadlines are in play.
     pub fn is_stabilizing(&self) -> bool {
         matches!(self, Verdict::Stabilizing)
+    }
+
+    /// Whether the verdict is [`Verdict::Partial`].
+    pub fn is_partial(&self) -> bool {
+        matches!(self, Verdict::Partial { .. })
     }
 }
 
@@ -466,19 +618,10 @@ impl<L: Label> Config<'_, L> {
     }
 }
 
-/// Seeded FxHash fingerprint of a packed state: the `u64` words, then the
-/// auxiliary output words. This is the *only* fingerprint function — the
-/// shard, the confirm-equality probe, and every thread count agree on it.
-fn fingerprint(words: &[u64], aux: &[u64]) -> u64 {
-    let mut h = FxHasher::default();
-    for &w in words {
-        h.write_u64(w);
-    }
-    for &a in aux {
-        h.write_u64(a);
-    }
-    h.finish()
-}
+// The state fingerprint is `stateless_core::intern::state_fingerprint`
+// (imported as `fingerprint`): the shard, the confirm-equality probe,
+// the checkpoint restore path, and every thread count agree on the one
+// function.
 
 /// Per-target-shard record stream of one chunk: each record is an edge
 /// whose successor hashes into that shard, in stream order (source state
@@ -581,6 +724,18 @@ impl<L: Label> ExpandScratch<L> {
 /// returns the results **in job order** — callers depend on index order,
 /// never completion order, which is what keeps the pipeline
 /// deterministic. `threads = 1` runs inline on the caller thread.
+/// Renders a caught panic payload for error reporting: the `&str` /
+/// `String` payloads `panic!` produces, or a placeholder otherwise.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 fn run_indexed<T, F>(threads: usize, count: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -616,6 +771,117 @@ where
     indexed.into_iter().map(|(_, t)| t).collect()
 }
 
+/// Outcome of the batch loop: a fully explored product graph, or the
+/// deadline-truncated prefix of one (everything interned so far plus
+/// the cursor separating expanded states from the frontier).
+enum Explored<'p, L: Label> {
+    Complete(Explorer<'p, L>),
+    Partial {
+        ex: Explorer<'p, L>,
+        cursor: usize,
+        checkpoint: Option<CheckpointHandle>,
+    },
+}
+
+/// Magic stamped first into every epoch header segment ("STLSCKP1").
+const CKPT_MAGIC: u64 = 0x5354_4c53_434b_5031;
+/// Epoch payload format version.
+const CKPT_VERSION: u64 = 1;
+/// Header segment: magic, version, instance fingerprint, totals,
+/// cursor, and the packed layout.
+const SEG_HEADER: u32 = 1;
+/// Per-shard metadata: shard index, row count, block counts.
+const SEG_SHARD: u32 = 2;
+/// One arena block of packed state rows (whole rows, local-id order) —
+/// streamed out of [`StateShard::row_blocks`] as-is.
+const SEG_ROWS: u32 = 3;
+/// One arena block of auxiliary output rows.
+const SEG_AUX: u32 = 4;
+/// A shard's dense ids, one `u32` per local id.
+const SEG_DENSE: u32 = 5;
+
+/// The periodic-checkpoint state of one [`Explorer::run`]: the open
+/// store, the next epoch number (continuing past any epochs already in
+/// the directory), and the interval accounting.
+struct CheckpointRun {
+    store: CheckpointStore,
+    every_states: Option<usize>,
+    every_secs: Option<f64>,
+    retain: usize,
+    instance_fp: u64,
+    next_epoch: u64,
+    /// `n_states + cursor` at the last write. Progress is interned
+    /// states *plus* expanded states: label-mode `r = 1` instances seed
+    /// their entire state space up front, so counting interned states
+    /// alone would never trigger a write on exactly the long
+    /// expansion-bound runs checkpointing exists for.
+    progress_at_last: usize,
+    last_write: Instant,
+}
+
+impl CheckpointRun {
+    /// Opens the policy's store (`Ok(None)` when no policy is set).
+    fn begin<L: Label>(
+        ex: &Explorer<'_, L>,
+        cursor: usize,
+        limits: &Limits,
+    ) -> Result<Option<CheckpointRun>, VerifyError> {
+        let Some(policy) = &limits.checkpoint else {
+            return Ok(None);
+        };
+        let store = CheckpointStore::open(&policy.dir)?;
+        let next_epoch = store.epochs()?.last().map_or(1, |&k| k + 1);
+        Ok(Some(CheckpointRun {
+            store,
+            every_states: policy.every_states,
+            every_secs: policy.every_secs,
+            retain: policy.retain,
+            instance_fp: ex.instance_fp(limits),
+            next_epoch,
+            progress_at_last: ex.n_states + cursor,
+            last_write: Instant::now(),
+        }))
+    }
+
+    /// Writes an epoch if either periodic interval has elapsed.
+    fn maybe_write<L: Label>(
+        &mut self,
+        ex: &Explorer<'_, L>,
+        cursor: usize,
+    ) -> Result<(), VerifyError> {
+        let due = self
+            .every_states
+            .is_some_and(|k| ex.n_states + cursor - self.progress_at_last >= k)
+            || self
+                .every_secs
+                .is_some_and(|s| self.last_write.elapsed().as_secs_f64() >= s);
+        if due {
+            self.write(ex, cursor)?;
+        }
+        Ok(())
+    }
+
+    /// Writes one epoch at the batch boundary `cursor` and commits it
+    /// (prune-to-retention included).
+    fn write<L: Label>(
+        &mut self,
+        ex: &Explorer<'_, L>,
+        cursor: usize,
+    ) -> Result<CheckpointHandle, VerifyError> {
+        let mut writer = self.store.begin_epoch(self.next_epoch)?;
+        ex.save_into(&mut writer, cursor, self.instance_fp)?;
+        self.store.commit(writer, self.retain)?;
+        let handle = CheckpointHandle {
+            dir: self.store.dir().to_path_buf(),
+            epoch: self.next_epoch,
+        };
+        self.next_epoch += 1;
+        self.progress_at_last = ex.n_states + cursor;
+        self.last_write = Instant::now();
+        Ok(handle)
+    }
+}
+
 struct Explorer<'p, L: Label> {
     cfg: Config<'p, L>,
     /// Sharded state storage: fingerprint index + packed rows per shard.
@@ -636,14 +902,34 @@ struct Explorer<'p, L: Label> {
 }
 
 impl<'p, L: Label> Explorer<'p, L> {
+    /// Full exploration: [`Explorer::prepare`], seed, then
+    /// [`Explorer::run`] from cursor 0.
     fn explore(
         protocol: &'p Protocol<L>,
         inputs: &[Input],
         alphabet: &[L],
         r: u8,
         track_outputs: bool,
-        limits: Limits,
+        limits: &Limits,
+    ) -> Result<Explored<'p, L>, VerifyError> {
+        let mut ex = Explorer::prepare(protocol, inputs, alphabet, r, track_outputs, limits)?;
+        ex.seed(limits)?;
+        ex.run(0, limits)
+    }
+
+    /// Validates every parameter and constructs an empty explorer —
+    /// shared by [`Explorer::explore`] and the checkpoint-resume path,
+    /// so both agree on every derived quantity (deduped alphabet, packed
+    /// layout, symmetry group, fan-out bounds).
+    fn prepare(
+        protocol: &'p Protocol<L>,
+        inputs: &[Input],
+        alphabet: &[L],
+        r: u8,
+        track_outputs: bool,
+        limits: &Limits,
     ) -> Result<Self, VerifyError> {
+        limits.validate()?;
         let n = protocol.node_count();
         let e = protocol.edge_count();
         if n > 16 {
@@ -752,7 +1038,7 @@ impl<'p, L: Label> Explorer<'p, L> {
                 Some(restricted).filter(|s| !s.is_trivial())
             }
         };
-        let mut ex = Explorer {
+        let ex = Explorer {
             cfg: Config {
                 protocol,
                 inputs: inputs.to_vec(),
@@ -780,12 +1066,306 @@ impl<'p, L: Label> Explorer<'p, L> {
             n_edges: 0,
             peak_edge_bytes: AtomicUsize::new(0),
         };
-        ex.seed(&limits)?;
-        let mut cursor = 0;
-        while cursor < ex.n_states {
-            cursor = ex.expand_batch(cursor, &limits)?;
-        }
         Ok(ex)
+    }
+
+    /// The canonical fingerprint of this exploration instance — what
+    /// every checkpoint epoch stamps and the resume path verifies.
+    fn instance_fp(&self, limits: &Limits) -> u64 {
+        instance_fingerprint(
+            self.cfg.protocol,
+            &self.cfg.inputs,
+            &self.cfg.alphabet,
+            self.cfg.r,
+            self.cfg.track_outputs,
+            &self.cfg.faults,
+            limits.symmetry,
+            limits.max_states,
+            limits.max_edges,
+        )
+    }
+
+    /// Drives the batch loop from `cursor` to completion — or to the
+    /// [`Limits::deadline`], whichever comes first — writing checkpoint
+    /// epochs per the [`Limits::checkpoint`] policy at batch boundaries.
+    /// Both the fresh exploration and the resume path run through this
+    /// one loop, so their behavior can never drift apart.
+    fn run(mut self, mut cursor: usize, limits: &Limits) -> Result<Explored<'p, L>, VerifyError> {
+        let started = Instant::now();
+        let mut ckpt = CheckpointRun::begin(&self, cursor, limits)?;
+        while cursor < self.n_states {
+            if let Some(deadline) = limits.deadline {
+                if started.elapsed() >= deadline {
+                    let checkpoint = match &mut ckpt {
+                        Some(c) => Some(c.write(&self, cursor)?),
+                        None => None,
+                    };
+                    return Ok(Explored::Partial {
+                        ex: self,
+                        cursor,
+                        checkpoint,
+                    });
+                }
+            }
+            cursor = match self.expand_batch(cursor, limits) {
+                Ok(end) => end,
+                Err(VerifyError::PoisonedChunk { what, .. }) => {
+                    // Checkpoint-and-fail: the batch that poisoned did
+                    // not commit (assign_dense never ran), so the state
+                    // at `cursor` is a clean boundary — persist it
+                    // before surfacing the panic.
+                    let checkpoint = match &mut ckpt {
+                        Some(c) => c.write(&self, cursor).ok(),
+                        None => None,
+                    };
+                    return Err(VerifyError::PoisonedChunk { what, checkpoint });
+                }
+                Err(e) => return Err(e),
+            };
+            if let Some(c) = &mut ckpt {
+                c.maybe_write(&self, cursor)?;
+            }
+        }
+        Ok(Explored::Complete(self))
+    }
+
+    /// Serializes the exploration state at the batch boundary `cursor`
+    /// into one epoch: a header segment (format magic + instance
+    /// fingerprint + totals), then per shard its metadata, its packed
+    /// row arena blocks **as-is** ([`StateShard::row_blocks`] — the
+    /// chunked arenas never realloc-copy, so this is a straight stream),
+    /// its auxiliary blocks, and its dense ids. Everything else the
+    /// explorer holds (`dense_ids`, `free_bits`) is derived and gets
+    /// rebuilt on load.
+    fn save_into(
+        &self,
+        writer: &mut SegmentWriter,
+        cursor: usize,
+        instance_fp: u64,
+    ) -> Result<(), VerifyError> {
+        debug_assert!(cursor <= self.n_states, "cursor is a batch boundary");
+        writer.begin_segment(SEG_HEADER);
+        writer.put_u64(CKPT_MAGIC);
+        writer.put_u64(CKPT_VERSION);
+        writer.put_u64(instance_fp);
+        writer.put_u64(self.n_states as u64);
+        writer.put_u64(cursor as u64);
+        writer.put_u64(self.n_edges as u64);
+        writer.put_u64(self.peak_edge_bytes.load(Ordering::Relaxed) as u64);
+        writer.put_u64(self.cfg.words_per_state as u64);
+        writer.put_u64(self.cfg.aux_len as u64);
+        writer.end_segment()?;
+        let guards = self.index.read_all();
+        for (s, shard) in guards.iter().enumerate() {
+            debug_assert_eq!(
+                shard.dense_ids().len(),
+                shard.len(),
+                "batch boundary: every interned state is dense-numbered"
+            );
+            writer.begin_segment(SEG_SHARD);
+            writer.put_u64(s as u64);
+            writer.put_u64(shard.len() as u64);
+            writer.put_u64(shard.row_blocks().count() as u64);
+            writer.put_u64(shard.aux_blocks().count() as u64);
+            writer.end_segment()?;
+            for block in shard.row_blocks() {
+                writer.begin_segment(SEG_ROWS);
+                writer.put_u64s(block);
+                writer.end_segment()?;
+            }
+            for block in shard.aux_blocks() {
+                writer.begin_segment(SEG_AUX);
+                writer.put_u64s(block);
+                writer.end_segment()?;
+            }
+            writer.begin_segment(SEG_DENSE);
+            writer.put_u32s(shard.dense_ids());
+            writer.end_segment()?;
+        }
+        Ok(())
+    }
+
+    /// Loads a checkpoint epoch into a freshly [`prepare`](Explorer::prepare)d
+    /// explorer and returns it with the stored batch cursor. The packed
+    /// rows are **re-interned** in local-id order through the very same
+    /// [`StateShard::intern`] path exploration uses, so the rebuilt
+    /// fingerprint index (probe order, collision side lists) is
+    /// byte-for-byte the one an uninterrupted run would hold — which is
+    /// what makes the continued exploration bit-identical.
+    ///
+    /// `epoch` selects an explicit epoch; `None` means the newest one
+    /// that passes validation (a torn or corrupted newest epoch falls
+    /// back to its predecessor).
+    #[allow(clippy::too_many_arguments)]
+    fn resume(
+        protocol: &'p Protocol<L>,
+        inputs: &[Input],
+        alphabet: &[L],
+        r: u8,
+        track_outputs: bool,
+        limits: &Limits,
+        dir: &Path,
+        epoch: Option<u64>,
+    ) -> Result<(Self, usize), VerifyError> {
+        let corrupt = |what: String| VerifyError::Resume(ResumeError::Corrupt { what });
+        let mut ex = Explorer::prepare(protocol, inputs, alphabet, r, track_outputs, limits)?;
+        let expected = ex.instance_fp(limits);
+        let store = CheckpointStore::open(dir).map_err(ResumeError::from)?;
+        let epoch = match epoch {
+            Some(k) => k,
+            None => store
+                .latest_valid_epoch()
+                .map_err(ResumeError::from)?
+                .ok_or_else(|| ResumeError::NoEpoch {
+                    dir: dir.display().to_string(),
+                })?,
+        };
+        let mut reader = store.open_epoch(epoch).map_err(ResumeError::from)?;
+        let mut head = reader
+            .next_segment()
+            .map_err(ResumeError::from)?
+            .ok_or_else(|| corrupt("epoch has no header segment".into()))?;
+        if head.tag != SEG_HEADER {
+            return Err(corrupt(format!(
+                "expected header segment, got tag {}",
+                head.tag
+            )));
+        }
+        fn take(seg: &mut stateless_core::checkpoint::Segment) -> Result<u64, VerifyError> {
+            Ok(seg.take_u64().map_err(ResumeError::from)?)
+        }
+        if take(&mut head)? != CKPT_MAGIC {
+            return Err(corrupt("not a stateless-verify checkpoint".into()));
+        }
+        let version = take(&mut head)?;
+        if version != CKPT_VERSION {
+            return Err(corrupt(format!(
+                "unsupported checkpoint format version {version} (this build reads {CKPT_VERSION})"
+            )));
+        }
+        let found = take(&mut head)?;
+        if found != expected {
+            return Err(VerifyError::Resume(ResumeError::InstanceMismatch {
+                expected,
+                found,
+            }));
+        }
+        let n_states = take(&mut head)? as usize;
+        let cursor = take(&mut head)? as usize;
+        let n_edges = take(&mut head)? as usize;
+        let peak_edge_bytes = take(&mut head)? as usize;
+        let words = take(&mut head)? as usize;
+        let aux_len = take(&mut head)? as usize;
+        if words != ex.cfg.words_per_state || aux_len != ex.cfg.aux_len {
+            return Err(corrupt(format!(
+                "packed layout mismatch: checkpoint has {words}×u64 + {aux_len} aux words per \
+                 state, instance packs {}×u64 + {}",
+                ex.cfg.words_per_state, ex.cfg.aux_len
+            )));
+        }
+        if cursor > n_states || n_states >= u32::MAX as usize {
+            return Err(corrupt(format!(
+                "inconsistent totals: cursor {cursor} of {n_states} states"
+            )));
+        }
+        let mut dense_ids = vec![u64::MAX; n_states];
+        let mut free_bits = vec![0u8; n_states];
+        let mut rows_flat: Vec<u64> = Vec::new();
+        let mut aux_flat: Vec<u64> = Vec::new();
+        let mut dense: Vec<u32> = Vec::new();
+        let mut expect = |tag: u32| -> Result<stateless_core::checkpoint::Segment, VerifyError> {
+            let seg = reader
+                .next_segment()
+                .map_err(ResumeError::from)?
+                .ok_or_else(|| corrupt("epoch ends mid-shard".into()))?;
+            if seg.tag != tag {
+                return Err(corrupt(format!("expected tag {tag}, got {}", seg.tag)));
+            }
+            Ok(seg)
+        };
+        let mut total = 0usize;
+        for s in 0..SHARD_COUNT {
+            let mut meta = expect(SEG_SHARD)?;
+            let idx = take(&mut meta)?;
+            if idx as usize != s {
+                return Err(corrupt(format!(
+                    "shard segments out of order: {idx} at {s}"
+                )));
+            }
+            let len = take(&mut meta)? as usize;
+            let n_row_blocks = take(&mut meta)? as usize;
+            let n_aux_blocks = take(&mut meta)? as usize;
+            rows_flat.clear();
+            for _ in 0..n_row_blocks {
+                let mut seg = expect(SEG_ROWS)?;
+                let count = seg.remaining() / 8;
+                seg.take_u64s(count, &mut rows_flat)
+                    .map_err(ResumeError::from)?;
+            }
+            if rows_flat.len() != len * words {
+                return Err(corrupt(format!(
+                    "shard {s}: {} row words for {len} rows of {words}",
+                    rows_flat.len()
+                )));
+            }
+            aux_flat.clear();
+            for _ in 0..n_aux_blocks {
+                let mut seg = expect(SEG_AUX)?;
+                let count = seg.remaining() / 8;
+                seg.take_u64s(count, &mut aux_flat)
+                    .map_err(ResumeError::from)?;
+            }
+            if aux_flat.len() != len * aux_len {
+                return Err(corrupt(format!(
+                    "shard {s}: {} aux words for {len} rows of {aux_len}",
+                    aux_flat.len()
+                )));
+            }
+            dense.clear();
+            let mut seg = expect(SEG_DENSE)?;
+            seg.take_u32s(len, &mut dense).map_err(ResumeError::from)?;
+            if seg.remaining() != 0 {
+                return Err(corrupt(format!("shard {s}: trailing dense-id bytes")));
+            }
+            let mut shard = ex.index.write(s);
+            for k in 0..len {
+                let row = &rows_flat[k * words..(k + 1) * words];
+                let aux = &aux_flat[k * aux_len..(k + 1) * aux_len];
+                let fp = fingerprint(row, aux);
+                if shard_of(fp) != s {
+                    return Err(corrupt(format!(
+                        "shard {s}: row {k} hashes to shard {}",
+                        shard_of(fp)
+                    )));
+                }
+                let (local, fresh) = shard.intern(fp, row, aux);
+                if !fresh || local as usize != k {
+                    return Err(corrupt(format!("shard {s}: duplicate row at local id {k}")));
+                }
+                shard.push_dense(dense[k]);
+                let d = dense[k] as usize;
+                if d >= n_states || dense_ids[d] != u64::MAX {
+                    return Err(corrupt(format!("shard {s}: bad dense id {d} at local {k}")));
+                }
+                dense_ids[d] = pack_state_id(s, local);
+                free_bits[d] = ex.cfg.free_count(row);
+                total += 1;
+            }
+        }
+        if total != n_states {
+            return Err(corrupt(format!(
+                "shards hold {total} states, header claims {n_states}"
+            )));
+        }
+        if reader.next_segment().map_err(ResumeError::from)?.is_some() {
+            return Err(corrupt("trailing segments after the last shard".into()));
+        }
+        ex.dense_ids = dense_ids;
+        ex.free_bits = free_bits;
+        ex.n_states = n_states;
+        ex.n_edges = n_edges;
+        ex.peak_edge_bytes = AtomicUsize::new(peak_edge_bytes);
+        Ok((ex, cursor))
     }
 
     /// Logical payload bytes of one successor record: stream key +
@@ -933,15 +1513,46 @@ impl<'p, L: Label> Explorer<'p, L> {
         } else {
             self.cfg.threads
         };
-        // Phase 1: expand chunks in parallel.
-        let chunk_outs: Vec<ChunkOut> = {
+        // Phase 1: expand chunks in parallel, each isolated behind
+        // `catch_unwind` so one panicking reaction cannot take down the
+        // worker pool (and with it hours of interned states). A panicked
+        // chunk is retried once, serially — expansion is read-only and
+        // per-chunk state is local, so a transient panic leaves nothing
+        // poisoned — and a second panic fails the exploration as
+        // [`VerifyError::PoisonedChunk`]; [`Explorer::run`] then writes a
+        // final checkpoint-and-fail epoch (the batch never committed, so
+        // the pre-batch state is a clean boundary).
+        let attempts = {
             let this = &*self;
             run_indexed(threads, ranges.len(), |c| {
-                this.expand_chunk(ranges[c].0, ranges[c].1)
+                catch_unwind(AssertUnwindSafe(|| {
+                    this.expand_chunk(ranges[c].0, ranges[c].1)
+                }))
+                .map_err(panic_message)
             })
-            .into_iter()
-            .collect::<Result<_, _>>()?
         };
+        let mut chunk_outs: Vec<ChunkOut> = Vec::with_capacity(ranges.len());
+        for (c, attempt) in attempts.into_iter().enumerate() {
+            let (start, end) = ranges[c];
+            let outcome = match attempt {
+                Ok(r) => r,
+                Err(first) => {
+                    match catch_unwind(AssertUnwindSafe(|| self.expand_chunk(start, end))) {
+                        Ok(r) => r,
+                        Err(second) => {
+                            return Err(VerifyError::PoisonedChunk {
+                                what: format!(
+                                    "chunk {start}..{end}: {first}; retry: {}",
+                                    panic_message(second)
+                                ),
+                                checkpoint: None,
+                            });
+                        }
+                    }
+                }
+            };
+            chunk_outs.push(outcome?);
+        }
         // Phase 2: replay each shard's record stream in order.
         let interned: Vec<ShardIntern> = {
             let this = &*self;
@@ -1701,13 +2312,123 @@ pub fn verify_label_stabilization_with_stats<L: Label>(
     r: u8,
     limits: Limits,
 ) -> Result<(Verdict<L>, ExploreStats), VerifyError> {
-    let ex = Explorer::explore(protocol, inputs, alphabet, r, false, limits)?;
-    let comp = ex.sccs(limits.scc);
-    let verdict = match ex.witness(&comp) {
-        Some(w) => Verdict::NotStabilizing(w),
-        None => Verdict::Stabilizing,
-    };
-    Ok((verdict, ex.stats()))
+    let explored = Explorer::explore(protocol, inputs, alphabet, r, false, &limits)?;
+    Ok(settle(explored, &limits))
+}
+
+/// Turns a batch-loop outcome into a verdict: condense + witness on a
+/// complete exploration, [`Verdict::Partial`] on a deadline-truncated
+/// one. Shared by every entry point (fresh and resumed, label and
+/// output mode).
+fn settle<L: Label>(explored: Explored<'_, L>, limits: &Limits) -> (Verdict<L>, ExploreStats) {
+    match explored {
+        Explored::Complete(ex) => {
+            let comp = ex.sccs(limits.scc);
+            let verdict = match ex.witness(&comp) {
+                Some(w) => Verdict::NotStabilizing(w),
+                None => Verdict::Stabilizing,
+            };
+            (verdict, ex.stats())
+        }
+        Explored::Partial {
+            ex,
+            cursor,
+            checkpoint,
+        } => {
+            let verdict = Verdict::Partial {
+                states_explored: ex.n_states,
+                frontier_len: ex.n_states - cursor,
+                checkpoint,
+            };
+            (verdict, ex.stats())
+        }
+    }
+}
+
+/// Resumes a **label**-stabilization verification from the newest valid
+/// checkpoint epoch in `dir` (see [`CheckpointPolicy`]) and drives it to
+/// a verdict. Pass the *same* protocol, inputs, alphabet, `r`, and
+/// instance-shaping limits (fault model, symmetry mode, state/edge
+/// budgets) as the original run: the checkpoint's stored instance
+/// fingerprint is verified first and a mismatch is the typed
+/// [`ResumeError::InstanceMismatch`] — never a silently wrong verdict.
+/// `limits.threads` and `limits.scc` may freely differ: the resumed
+/// verdict, state ids, and witness are bit-identical to an
+/// uninterrupted run at any thread count, with either backend.
+///
+/// # Errors
+///
+/// [`VerifyError::Resume`] if the store holds no valid epoch, the epoch
+/// is corrupt, or the instance fingerprint mismatches; otherwise as for
+/// [`verify_label_stabilization`].
+pub fn verify_label_stabilization_resumed<L: Label>(
+    protocol: &Protocol<L>,
+    inputs: &[Input],
+    alphabet: &[L],
+    r: u8,
+    limits: Limits,
+    dir: &Path,
+) -> Result<(Verdict<L>, ExploreStats), VerifyError> {
+    verify_label_stabilization_resumed_at(protocol, inputs, alphabet, r, limits, dir, None)
+}
+
+/// [`verify_label_stabilization_resumed`] from an explicit epoch — the
+/// resume-at-any-epoch test hook.
+///
+/// # Errors
+///
+/// As for [`verify_label_stabilization_resumed`].
+#[doc(hidden)]
+pub fn verify_label_stabilization_resumed_at<L: Label>(
+    protocol: &Protocol<L>,
+    inputs: &[Input],
+    alphabet: &[L],
+    r: u8,
+    limits: Limits,
+    dir: &Path,
+    epoch: Option<u64>,
+) -> Result<(Verdict<L>, ExploreStats), VerifyError> {
+    let (ex, cursor) = Explorer::resume(protocol, inputs, alphabet, r, false, &limits, dir, epoch)?;
+    let explored = ex.run(cursor, &limits)?;
+    Ok(settle(explored, &limits))
+}
+
+/// Resumes an **output**-stabilization verification from the newest
+/// valid checkpoint epoch in `dir`; see
+/// [`verify_label_stabilization_resumed`] for the matching rules.
+///
+/// # Errors
+///
+/// As for [`verify_label_stabilization_resumed`].
+pub fn verify_output_stabilization_resumed<L: Label>(
+    protocol: &Protocol<L>,
+    inputs: &[Input],
+    alphabet: &[L],
+    r: u8,
+    limits: Limits,
+    dir: &Path,
+) -> Result<(Verdict<L>, ExploreStats), VerifyError> {
+    verify_output_stabilization_resumed_at(protocol, inputs, alphabet, r, limits, dir, None)
+}
+
+/// [`verify_output_stabilization_resumed`] from an explicit epoch.
+///
+/// # Errors
+///
+/// As for [`verify_label_stabilization_resumed`].
+#[doc(hidden)]
+pub fn verify_output_stabilization_resumed_at<L: Label>(
+    protocol: &Protocol<L>,
+    inputs: &[Input],
+    alphabet: &[L],
+    r: u8,
+    limits: Limits,
+    dir: &Path,
+    epoch: Option<u64>,
+) -> Result<(Verdict<L>, ExploreStats), VerifyError> {
+    let (ex, cursor) = Explorer::resume(protocol, inputs, alphabet, r, true, &limits, dir, epoch)?;
+    let explored = ex.run(cursor, &limits)?;
+    Ok(settle(explored, &limits))
 }
 
 /// An explored **label**-stabilization product graph, held open for
@@ -1731,7 +2452,45 @@ pub fn explore_product<'p, L: Label>(
     r: u8,
     limits: Limits,
 ) -> Result<ExploredProduct<'p, L>, VerifyError> {
-    Explorer::explore(protocol, inputs, alphabet, r, false, limits).map(ExploredProduct)
+    match Explorer::explore(protocol, inputs, alphabet, r, false, &limits)? {
+        Explored::Complete(ex) => Ok(ExploredProduct(ex)),
+        Explored::Partial { .. } => Err(VerifyError::BadParameters {
+            what: "explore_product cannot represent a deadline-truncated exploration; \
+                   drop Limits::deadline or use verify_label_stabilization_resumed"
+                .into(),
+        }),
+    }
+}
+
+/// Resumes a **label**-stabilization product exploration from the
+/// checkpoint store at `dir` (epoch `epoch`, or the newest valid one
+/// when `None`), drives it to completion, and returns the
+/// [`ExploredProduct`] handle — the checkpoint-overhead perf rows and
+/// the resume tests use this to inspect the resumed graph directly.
+///
+/// # Errors
+///
+/// As for [`verify_label_stabilization_resumed`]; additionally
+/// [`VerifyError::BadParameters`] if a [`Limits::deadline`] truncates
+/// the resumed run again (this handle cannot represent a partial graph).
+#[doc(hidden)]
+pub fn explore_product_resumed<'p, L: Label>(
+    protocol: &'p Protocol<L>,
+    inputs: &[Input],
+    alphabet: &[L],
+    r: u8,
+    limits: Limits,
+    dir: &Path,
+    epoch: Option<u64>,
+) -> Result<ExploredProduct<'p, L>, VerifyError> {
+    let (ex, cursor) = Explorer::resume(protocol, inputs, alphabet, r, false, &limits, dir, epoch)?;
+    match ex.run(cursor, &limits)? {
+        Explored::Complete(ex) => Ok(ExploredProduct(ex)),
+        Explored::Partial { .. } => Err(VerifyError::BadParameters {
+            what: "explore_product_resumed cannot represent a deadline-truncated exploration"
+                .into(),
+        }),
+    }
 }
 
 impl<L: Label> ExploredProduct<'_, L> {
@@ -1785,12 +2544,8 @@ pub fn verify_output_stabilization<L: Label>(
     r: u8,
     limits: Limits,
 ) -> Result<Verdict<L>, VerifyError> {
-    let ex = Explorer::explore(protocol, inputs, alphabet, r, true, limits)?;
-    let comp = ex.sccs(limits.scc);
-    match ex.witness(&comp) {
-        Some(w) => Ok(Verdict::NotStabilizing(w)),
-        None => Ok(Verdict::Stabilizing),
-    }
+    let explored = Explorer::explore(protocol, inputs, alphabet, r, true, &limits)?;
+    Ok(settle(explored, &limits).0)
 }
 
 // ---------------------------------------------------------------------------
@@ -1830,8 +2585,9 @@ impl<'p, L: Label> NaiveExplorer<'p, L> {
         alphabet: &[L],
         r: u8,
         track_outputs: bool,
-        limits: Limits,
+        limits: &Limits,
     ) -> Result<Self, VerifyError> {
+        limits.validate()?;
         let n = protocol.node_count();
         if n > 16 {
             return Err(VerifyError::BadParameters {
@@ -1891,7 +2647,7 @@ impl<'p, L: Label> NaiveExplorer<'p, L> {
         Ok(ex)
     }
 
-    fn intern(&mut self, state: ProductState<L>, limits: Limits) -> Result<usize, VerifyError> {
+    fn intern(&mut self, state: ProductState<L>, limits: &Limits) -> Result<usize, VerifyError> {
         if let Some(&id) = self.index.get(&state) {
             return Ok(id);
         }
@@ -1907,7 +2663,7 @@ impl<'p, L: Label> NaiveExplorer<'p, L> {
         Ok(id)
     }
 
-    fn expand(&mut self, u: usize, limits: Limits) -> Result<(), VerifyError> {
+    fn expand(&mut self, u: usize, limits: &Limits) -> Result<(), VerifyError> {
         let n = self.protocol.node_count();
         let (labeling, countdown, outputs) = self.states[u].clone();
         let forced: u32 = (0..n).filter(|&i| countdown[i] == 1).map(|i| 1 << i).sum();
@@ -2118,7 +2874,7 @@ pub fn verify_label_stabilization_naive<L: Label>(
     r: u8,
     limits: Limits,
 ) -> Result<Verdict<L>, VerifyError> {
-    let ex = NaiveExplorer::explore(protocol, inputs, alphabet, r, false, limits)?;
+    let ex = NaiveExplorer::explore(protocol, inputs, alphabet, r, false, &limits)?;
     let comp = ex.sccs();
     match ex.witness(&comp) {
         Some(w) => Ok(Verdict::NotStabilizing(w)),
@@ -2140,7 +2896,7 @@ pub fn verify_output_stabilization_naive<L: Label>(
     r: u8,
     limits: Limits,
 ) -> Result<Verdict<L>, VerifyError> {
-    let ex = NaiveExplorer::explore(protocol, inputs, alphabet, r, true, limits)?;
+    let ex = NaiveExplorer::explore(protocol, inputs, alphabet, r, true, &limits)?;
     let comp = ex.sccs();
     match ex.witness(&comp) {
         Some(w) => Ok(Verdict::NotStabilizing(w)),
@@ -2183,6 +2939,7 @@ mod tests {
                 assert!(!w.schedule.is_empty());
             }
             Verdict::Stabilizing => panic!("rotation never label-stabilizes"),
+            Verdict::Partial { .. } => panic!("no deadline was set, so no partial verdict"),
         }
         let output =
             verify_output_stabilization(&p, &[0; 3], &[false, true], 2, Limits::default()).unwrap();
@@ -2343,9 +3100,14 @@ mod tests {
                 threads,
                 ..Limits::default()
             };
-            let label =
-                verify_label_stabilization_with_stats(&p, &[0; 4], &[false, true], 3, limits)
-                    .unwrap();
+            let label = verify_label_stabilization_with_stats(
+                &p,
+                &[0; 4],
+                &[false, true],
+                3,
+                limits.clone(),
+            )
+            .unwrap();
             let output =
                 verify_output_stabilization(&p, &[0; 4], &[false, true], 3, limits).unwrap();
             (label, output)
@@ -2373,9 +3135,14 @@ mod tests {
                 ..Limits::default()
             };
             let inputs = vec![0; n];
-            let label =
-                verify_label_stabilization_with_stats(p, &inputs, &[false, true], 3, limits)
-                    .unwrap();
+            let label = verify_label_stabilization_with_stats(
+                p,
+                &inputs,
+                &[false, true],
+                3,
+                limits.clone(),
+            )
+            .unwrap();
             let output =
                 verify_output_stabilization(p, &inputs, &[false, true], 3, limits).unwrap();
             (label, output)

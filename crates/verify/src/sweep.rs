@@ -11,6 +11,9 @@
 //! and returns one [`PlacementVerdict`] row per placement, in placement
 //! order. Every `NotStabilizing` row carries a concrete replayable
 //! adversary strategy ([`CycleWitness::adversary`]).
+//! [`sweep_crash_placements`] is the crash-fault twin: same enumeration,
+//! same driver, with each placement's nodes crashed (frozen labels)
+//! instead of adversarial.
 
 use crate::product::{verify_label_stabilization, Limits, Verdict, VerifyError};
 use stateless_core::convergence::par_sweep;
@@ -83,13 +86,80 @@ pub fn sweep_byzantine_placements<L: Label>(
     f: usize,
     exclude: &[NodeId],
 ) -> Result<Vec<PlacementVerdict<L>>, VerifyError> {
+    sweep_placements(
+        protocol,
+        inputs,
+        alphabet,
+        r,
+        limits,
+        f,
+        exclude,
+        FaultModel::byzantine,
+    )
+}
+
+/// Verifies **label** r-stabilization of `protocol` under every placement
+/// of `f` **crash** nodes outside `exclude` — the crash twin of
+/// [`sweep_byzantine_placements`], with the same placement enumeration,
+/// the same parallel driver, and the same deterministic row order. A
+/// crashed node's reaction is replaced by the single
+/// keep-current-labels choice, so each placement's product graph is far
+/// smaller than its Byzantine counterpart's.
+///
+/// # Errors
+///
+/// As for [`sweep_byzantine_placements`].
+pub fn sweep_crash_placements<L: Label>(
+    protocol: &Protocol<L>,
+    inputs: &[Input],
+    alphabet: &[L],
+    r: u8,
+    limits: Limits,
+    f: usize,
+    exclude: &[NodeId],
+) -> Result<Vec<PlacementVerdict<L>>, VerifyError> {
+    sweep_placements(
+        protocol,
+        inputs,
+        alphabet,
+        r,
+        limits,
+        f,
+        exclude,
+        FaultModel::crash,
+    )
+}
+
+/// The shared sweep driver: enumerate placements, build each placement's
+/// fault model with `model` ([`FaultModel::byzantine`] or
+/// [`FaultModel::crash`]), and verify per placement on the
+/// [`par_sweep`] pool.
+#[allow(clippy::too_many_arguments)] // private driver behind two thin public wrappers
+fn sweep_placements<L: Label>(
+    protocol: &Protocol<L>,
+    inputs: &[Input],
+    alphabet: &[L],
+    r: u8,
+    limits: Limits,
+    f: usize,
+    exclude: &[NodeId],
+    model: fn(&[NodeId]) -> Result<FaultModel, CoreError>,
+) -> Result<Vec<PlacementVerdict<L>>, VerifyError> {
     let placements = byzantine_placements(protocol.node_count(), f, exclude);
     let rows = par_sweep(placements, |placement: Vec<NodeId>| {
-        let faults = FaultModel::byzantine(&placement).map_err(|e| VerifyError::BadParameters {
+        let faults = model(&placement).map_err(|e| VerifyError::BadParameters {
             what: e.to_string(),
         })?;
-        let verdict =
-            verify_label_stabilization(protocol, inputs, alphabet, r, Limits { faults, ..limits })?;
+        let verdict = verify_label_stabilization(
+            protocol,
+            inputs,
+            alphabet,
+            r,
+            Limits {
+                faults,
+                ..limits.clone()
+            },
+        )?;
         Ok(PlacementVerdict { placement, verdict })
     });
     rows.into_iter().collect()

@@ -183,10 +183,10 @@ proptest! {
         let faults = random_faults(&mut rng, n);
         let inputs: Vec<u64> = (0..n).map(|_| rng.random_range(0u64..3)).collect();
         let limits = Limits { max_states: 500_000, faults, ..Limits::default() };
-        let fast = verify_label_stabilization(&p, &inputs, &[0, 1], r, limits).unwrap();
-        let slow = verify_label_stabilization_naive(&p, &inputs, &[0, 1], r, limits).unwrap();
+        let fast = verify_label_stabilization(&p, &inputs, &[0, 1], r, limits.clone()).unwrap();
+        let slow = verify_label_stabilization_naive(&p, &inputs, &[0, 1], r, limits.clone()).unwrap();
         prop_assert_eq!(fast.is_stabilizing(), slow.is_stabilizing(), "label verdicts");
-        let fast_o = verify_output_stabilization(&p, &inputs, &[0, 1], r, limits).unwrap();
+        let fast_o = verify_output_stabilization(&p, &inputs, &[0, 1], r, limits.clone()).unwrap();
         let slow_o = verify_output_stabilization_naive(&p, &inputs, &[0, 1], r, limits).unwrap();
         prop_assert_eq!(fast_o.is_stabilizing(), slow_o.is_stabilizing(), "output verdicts");
         for (verdict, label_mode) in [(&fast, true), (&slow, true), (&fast_o, false), (&slow_o, false)] {
@@ -225,7 +225,7 @@ proptest! {
         let inputs = vec![0u64; n];
         let base_limits = Limits { max_states: 500_000, faults, ..Limits::default() };
         let at = |threads: usize, scc: SccBackend, symmetry: SymmetryMode| {
-            let limits = Limits { threads, scc, symmetry, ..base_limits };
+            let limits = Limits { threads, scc, symmetry, ..base_limits.clone() };
             verify_label_stabilization_with_stats(&p, &inputs, &[0, 1], r, limits).unwrap()
         };
         let base = at(1, SccBackend::ForwardBackward, SymmetryMode::Off);
@@ -266,7 +266,7 @@ fn bad_fault_parameters_are_rejected_up_front() {
         ..Limits::default()
     };
     for result in [
-        verify_label_stabilization(&p, &inputs, &[0, 1], 1, oob),
+        verify_label_stabilization(&p, &inputs, &[0, 1], 1, oob.clone()),
         verify_label_stabilization_naive(&p, &inputs, &[0, 1], 1, oob),
     ] {
         match result.unwrap_err() {
@@ -281,7 +281,7 @@ fn bad_fault_parameters_are_rejected_up_front() {
         ..Limits::default()
     };
     for result in [
-        verify_label_stabilization(&p, &inputs, &[0, 1], 1, all_faulty),
+        verify_label_stabilization(&p, &inputs, &[0, 1], 1, all_faulty.clone()),
         verify_label_stabilization_naive(&p, &inputs, &[0, 1], 1, all_faulty),
     ] {
         match result.unwrap_err() {
@@ -364,6 +364,7 @@ fn crashed_relay_still_stabilizes_the_ring() {
             );
         }
         Verdict::Stabilizing => panic!("a byzantine relay must break the copy ring"),
+        Verdict::Partial { .. } => panic!("no deadline was set, so no partial verdict"),
     }
 }
 
@@ -405,7 +406,8 @@ fn bfs_tree_f1_placement_sweep_on_the_4_ring() {
         ..Limits::default()
     };
     let rows =
-        sweep_byzantine_placements(&p, &inputs, &bfs_alphabet(cap), 1, limits, 1, &[0]).unwrap();
+        sweep_byzantine_placements(&p, &inputs, &bfs_alphabet(cap), 1, limits.clone(), 1, &[0])
+            .unwrap();
     assert_eq!(rows.len(), 3, "C(3,1) placements excluding the root");
     for row in &rows {
         let expect_stabilizing = row.placement == [2];

@@ -1,0 +1,544 @@
+//! Crash-safe verification suite: checkpointed explorations must resume
+//! from **any** epoch — at any thread count, under either SCC backend,
+//! with symmetry quotienting on or off — to verdicts, witnesses, and
+//! stats bit-identical to an uninterrupted run; a corrupted newest epoch
+//! must fall back to the previous one; a mismatched instance must be the
+//! typed [`ResumeError::InstanceMismatch`], never a silent wrong answer;
+//! a [`Limits::deadline`] must degrade gracefully to a resumable
+//! [`Verdict::Partial`]; meaningless policies are rejected up front; and
+//! a panicking expand worker is isolated (retried once, then
+//! checkpoint-and-fail as [`VerifyError::PoisonedChunk`]).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use stateless_computation::core::checkpoint::CheckpointStore;
+use stateless_computation::core::prelude::*;
+use stateless_computation::verify::{
+    verify_label_stabilization, verify_label_stabilization_resumed,
+    verify_label_stabilization_resumed_at, verify_label_stabilization_with_stats,
+    verify_output_stabilization, verify_output_stabilization_resumed, CheckpointPolicy,
+    ExploreStats, Limits, ResumeError, SccBackend, SymmetryMode, Verdict, VerifyError,
+};
+
+/// Thread counts the resume-equality matrix runs at (mirrors the
+/// differential suite): `1`, `2`, `4`, plus `STATELESS_TEST_THREADS`.
+fn test_threads() -> Vec<usize> {
+    let mut counts = vec![1, 2, 4];
+    if let Some(n) = std::env::var("STATELESS_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        if !counts.contains(&n) {
+            counts.push(n);
+        }
+    }
+    counts
+}
+
+/// A fresh, empty scratch directory unique to this process and test.
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("stateless-ckpt-test-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The non-stabilizing rotation ring (every node copies its
+/// predecessor): node-uniform, so `SymmetryMode::Auto` derives a
+/// nontrivial group, and large enough at `r = 3` to take several expand
+/// batches — i.e. several checkpoint epochs at `every_states: Some(1)`.
+fn rotate_ring(n: usize) -> Protocol<bool> {
+    Protocol::builder(topology::unidirectional_ring(n), 1.0)
+        .uniform_reaction(FnReaction::new(|_, inc: &[bool], _| (vec![inc[0]], 42)))
+        .build()
+        .unwrap()
+}
+
+/// A checkpoint-every-batch policy with effectively unbounded retention,
+/// so the resume matrix can replay from *every* epoch.
+fn every_batch(dir: &std::path::Path) -> CheckpointPolicy {
+    CheckpointPolicy {
+        every_states: Some(1),
+        retain: usize::MAX,
+        ..CheckpointPolicy::new(dir)
+    }
+}
+
+/// The tentpole acceptance test: a checkpointed run leaves a trail of
+/// epochs, and resuming from **each** of them — across thread counts,
+/// SCC backends, and symmetry modes — reproduces the uninterrupted
+/// run's verdict, witness, and stats bit for bit.
+#[test]
+fn resume_from_every_epoch_is_bit_identical() {
+    let p = rotate_ring(4);
+    let inputs = [0u64; 4];
+    let alphabet = [false, true];
+    let r = 3;
+    for symmetry in [SymmetryMode::Off, SymmetryMode::Auto] {
+        let dir = scratch_dir(&format!("every-epoch-{symmetry:?}"));
+        let limits = Limits {
+            symmetry,
+            checkpoint: Some(every_batch(&dir)),
+            ..Limits::default()
+        };
+        let clean =
+            verify_label_stabilization_with_stats(&p, &inputs, &alphabet, r, limits.clone())
+                .unwrap();
+        assert!(
+            matches!(clean.0, Verdict::NotStabilizing(_)),
+            "rotation never label-stabilizes"
+        );
+        let epochs = CheckpointStore::open(&dir).unwrap().epochs().unwrap();
+        assert!(
+            epochs.len() >= 2,
+            "every-batch policy must leave a multi-epoch trail, got {epochs:?}"
+        );
+        for &epoch in &epochs {
+            for threads in test_threads() {
+                for scc in [SccBackend::ForwardBackward, SccBackend::Tarjan] {
+                    let resumed = verify_label_stabilization_resumed_at(
+                        &p,
+                        &inputs,
+                        &alphabet,
+                        r,
+                        Limits {
+                            threads,
+                            scc,
+                            checkpoint: None,
+                            ..limits.clone()
+                        },
+                        &dir,
+                        Some(epoch),
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        clean, resumed,
+                        "epoch {epoch}, {threads} threads, {scc:?}, {symmetry:?}"
+                    );
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The output-stabilization twin resumes too (its checkpoints carry the
+/// auxiliary output rows, and its instance fingerprint differs from the
+/// label mode's).
+#[test]
+fn output_mode_resumes_to_identical_verdicts() {
+    let p = rotate_ring(3);
+    let inputs = [0u64; 3];
+    let alphabet = [false, true];
+    let dir = scratch_dir("output-mode");
+    let limits = Limits {
+        checkpoint: Some(every_batch(&dir)),
+        ..Limits::default()
+    };
+    let clean = verify_output_stabilization(&p, &inputs, &alphabet, 3, limits.clone()).unwrap();
+    assert!(clean.is_stabilizing(), "constant outputs converge");
+    let (resumed, _) = verify_output_stabilization_resumed(
+        &p,
+        &inputs,
+        &alphabet,
+        3,
+        Limits {
+            threads: 4,
+            checkpoint: None,
+            ..Limits::default()
+        },
+        &dir,
+    )
+    .unwrap();
+    assert_eq!(clean, resumed);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A tiny deadline degrades gracefully: [`Verdict::Partial`] with the
+/// interned-state count, the unexpanded frontier, and a checkpoint
+/// handle naming the epoch that was flushed on the way out — and that
+/// handle resumes to the uninterrupted run's exact verdict.
+#[test]
+fn deadline_yields_resumable_partial_verdict() {
+    let p = rotate_ring(4);
+    let inputs = [0u64; 4];
+    let alphabet = [false, true];
+    let dir = scratch_dir("deadline");
+    let clean = verify_label_stabilization_with_stats(&p, &inputs, &alphabet, 3, Limits::default())
+        .unwrap();
+    let (partial, stats) = verify_label_stabilization_with_stats(
+        &p,
+        &inputs,
+        &alphabet,
+        3,
+        Limits {
+            deadline: Some(Duration::from_nanos(1)),
+            checkpoint: Some(CheckpointPolicy::new(&dir)),
+            ..Limits::default()
+        },
+    )
+    .unwrap();
+    let Verdict::Partial {
+        states_explored,
+        frontier_len,
+        checkpoint,
+    } = partial
+    else {
+        panic!("a 1 ns deadline must truncate the exploration, got {partial:?}")
+    };
+    assert!(!Verdict::<bool>::Partial {
+        states_explored,
+        frontier_len,
+        checkpoint: checkpoint.clone()
+    }
+    .is_stabilizing());
+    assert_eq!(states_explored, stats.states);
+    assert!(frontier_len > 0, "nothing was expanded before the deadline");
+    let handle = checkpoint.expect("a checkpoint policy was set");
+    assert_eq!(handle.dir, dir);
+    let resumed =
+        verify_label_stabilization_resumed(&p, &inputs, &alphabet, 3, Limits::default(), &dir)
+            .unwrap();
+    assert_eq!(clean, resumed, "resume after deadline truncation");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Flipping one byte in the newest epoch file must not poison resume:
+/// the store falls back to the previous (still-valid) epoch, and the
+/// resumed verdict is still bit-identical. Explicitly requesting the
+/// corrupted epoch is a typed error.
+#[test]
+fn corrupted_newest_epoch_falls_back_to_previous() {
+    let p = rotate_ring(4);
+    let inputs = [0u64; 4];
+    let alphabet = [false, true];
+    let dir = scratch_dir("corrupt");
+    let limits = Limits {
+        checkpoint: Some(every_batch(&dir)),
+        ..Limits::default()
+    };
+    let clean =
+        verify_label_stabilization_with_stats(&p, &inputs, &alphabet, 3, limits.clone()).unwrap();
+    let store = CheckpointStore::open(&dir).unwrap();
+    let epochs = store.epochs().unwrap();
+    assert!(epochs.len() >= 2, "need a fallback epoch, got {epochs:?}");
+    let newest = *epochs.last().unwrap();
+    let path = store.epoch_path(newest);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff;
+    std::fs::write(&path, bytes).unwrap();
+    assert_eq!(
+        store.latest_valid_epoch().unwrap(),
+        Some(newest - 1),
+        "torn newest epoch must be skipped"
+    );
+    let resumed = verify_label_stabilization_resumed(
+        &p,
+        &inputs,
+        &alphabet,
+        3,
+        Limits {
+            checkpoint: None,
+            ..limits.clone()
+        },
+        &dir,
+    )
+    .unwrap();
+    assert_eq!(clean, resumed, "resume from the fallback epoch");
+    let err = verify_label_stabilization_resumed_at(
+        &p,
+        &inputs,
+        &alphabet,
+        3,
+        Limits::default(),
+        &dir,
+        Some(newest),
+    )
+    .unwrap_err();
+    assert!(
+        matches!(
+            &err,
+            VerifyError::Resume(ResumeError::Corrupt { .. } | ResumeError::Io { .. })
+        ),
+        "explicitly resuming the torn epoch: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Resuming a checkpoint under a *different* instance (here: another
+/// fairness bound, then other inputs) is the typed
+/// [`ResumeError::InstanceMismatch`] — never a silently wrong verdict.
+#[test]
+fn instance_mismatch_is_a_typed_error() {
+    let p = rotate_ring(3);
+    let alphabet = [false, true];
+    let dir = scratch_dir("mismatch");
+    let limits = Limits {
+        checkpoint: Some(CheckpointPolicy {
+            every_states: Some(1),
+            ..CheckpointPolicy::new(&dir)
+        }),
+        ..Limits::default()
+    };
+    verify_label_stabilization(&p, &[0u64; 3], &alphabet, 2, limits).unwrap();
+    for (inputs, r) in [([0u64; 3], 3), ([1u64; 3], 2)] {
+        let err =
+            verify_label_stabilization_resumed(&p, &inputs, &alphabet, r, Limits::default(), &dir)
+                .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                VerifyError::Resume(ResumeError::InstanceMismatch { expected, found })
+                    if expected != found
+            ),
+            "inputs {inputs:?}, r = {r}: {err}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An empty (or never-written) checkpoint directory is
+/// [`ResumeError::NoEpoch`].
+#[test]
+fn resuming_an_empty_directory_is_no_epoch() {
+    let p = rotate_ring(3);
+    let dir = scratch_dir("empty");
+    std::fs::create_dir_all(&dir).unwrap();
+    let err = verify_label_stabilization_resumed(
+        &p,
+        &[0u64; 3],
+        &[false, true],
+        2,
+        Limits::default(),
+        &dir,
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, VerifyError::Resume(ResumeError::NoEpoch { .. })),
+        "{err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Meaningless deadline/checkpoint combinations are rejected up front as
+/// [`VerifyError::BadParameters`] — before any exploration work.
+#[test]
+fn meaningless_policies_are_rejected_up_front() {
+    let p = rotate_ring(3);
+    let dir = scratch_dir("badparams");
+    let bad = [
+        Limits {
+            deadline: Some(Duration::ZERO),
+            ..Limits::default()
+        },
+        Limits {
+            checkpoint: Some(CheckpointPolicy {
+                every_states: Some(0),
+                ..CheckpointPolicy::new(&dir)
+            }),
+            ..Limits::default()
+        },
+        Limits {
+            checkpoint: Some(CheckpointPolicy {
+                every_secs: Some(0.0),
+                ..CheckpointPolicy::new(&dir)
+            }),
+            ..Limits::default()
+        },
+        Limits {
+            checkpoint: Some(CheckpointPolicy {
+                every_secs: Some(f64::NAN),
+                ..CheckpointPolicy::new(&dir)
+            }),
+            ..Limits::default()
+        },
+        Limits {
+            checkpoint: Some(CheckpointPolicy {
+                retain: 0,
+                ..CheckpointPolicy::new(&dir)
+            }),
+            ..Limits::default()
+        },
+    ];
+    for limits in bad {
+        let err = verify_label_stabilization(&p, &[0u64; 3], &[false, true], 2, limits.clone())
+            .unwrap_err();
+        assert!(
+            matches!(err, VerifyError::BadParameters { .. }),
+            "{limits:?}: {err}"
+        );
+    }
+    assert!(!dir.exists(), "rejected policies must not touch the disk");
+}
+
+/// A rotation ring whose uniform reaction starts panicking at the
+/// `trip`-th call and never recovers (`trip = usize::MAX` never trips).
+/// The behavior below the trip point is exactly [`rotate_ring`]'s, so
+/// tripped and untripped instances share one fingerprint.
+fn tripwire_ring(n: usize, trip: usize) -> (Protocol<bool>, Arc<AtomicUsize>) {
+    let calls = Arc::new(AtomicUsize::new(0));
+    let counter = Arc::clone(&calls);
+    let p = Protocol::builder(topology::unidirectional_ring(n), 1.0)
+        .uniform_reaction(FnReaction::new(move |_, inc: &[bool], _| {
+            if counter.fetch_add(1, Ordering::Relaxed) >= trip {
+                panic!("tripwire: injected reaction fault");
+            }
+            (vec![inc[0]], 42)
+        }))
+        .build()
+        .unwrap();
+    (p, calls)
+}
+
+/// A reaction that panics **once** is isolated: the poisoned chunk is
+/// retried serially, the retry succeeds, and the verdict and stats are
+/// bit-identical to a clean run's.
+#[test]
+fn single_worker_panic_is_retried_and_absorbed() {
+    let p = rotate_ring(4);
+    let inputs = [0u64; 4];
+    let alphabet = [false, true];
+    let clean = verify_label_stabilization_with_stats(&p, &inputs, &alphabet, 3, Limits::default())
+        .unwrap();
+    // A one-shot tripwire: exactly the 200th reaction call panics (well
+    // past the seed phase, inside batch expansion), every later call
+    // succeeds — so the serial chunk retry goes through.
+    let fired = Arc::new(AtomicUsize::new(0));
+    let armed = Arc::clone(&fired);
+    let p_once = Protocol::builder(topology::unidirectional_ring(4), 1.0)
+        .uniform_reaction(FnReaction::new(move |_, inc: &[bool], _| {
+            if armed.fetch_add(1, Ordering::Relaxed) == 200 {
+                panic!("tripwire: injected one-shot reaction fault");
+            }
+            (vec![inc[0]], 42)
+        }))
+        .build()
+        .unwrap();
+    let recovered = verify_label_stabilization_with_stats(
+        &p_once,
+        &inputs,
+        &alphabet,
+        3,
+        Limits {
+            threads: 1,
+            ..Limits::default()
+        },
+    )
+    .unwrap();
+    assert!(
+        fired.load(Ordering::Relaxed) > 200,
+        "the tripwire must actually have fired"
+    );
+    assert_eq!(clean, recovered, "one panic, retried, absorbed");
+}
+
+/// A chunk that panics on the retry too is **checkpoint-and-fail**:
+/// the typed [`VerifyError::PoisonedChunk`] carries the panic message
+/// and a handle to the epoch flushed at the failed batch's boundary —
+/// and a healthy protocol resumes from that handle to the exact verdict.
+#[test]
+fn persistent_panic_checkpoints_and_fails() {
+    let inputs = [0u64; 4];
+    let alphabet = [false, true];
+    let dir = scratch_dir("poisoned");
+    let clean = verify_label_stabilization_with_stats(
+        &rotate_ring(4),
+        &inputs,
+        &alphabet,
+        3,
+        Limits::default(),
+    )
+    .unwrap();
+    // The instance fingerprint's behavioral probes run ~n·8 reactions at
+    // `begin`; trip far past them so the fingerprint matches
+    // `rotate_ring`'s, but well inside the first expand batches.
+    let (poisoned, _) = tripwire_ring(4, 500);
+    let err = verify_label_stabilization(
+        &poisoned,
+        &inputs,
+        &alphabet,
+        3,
+        Limits {
+            threads: 2,
+            checkpoint: Some(CheckpointPolicy::new(&dir)),
+            ..Limits::default()
+        },
+    )
+    .unwrap_err();
+    let VerifyError::PoisonedChunk { what, checkpoint } = err else {
+        panic!("a persistent panic must poison the run, got {err:?}")
+    };
+    assert!(what.contains("tripwire"), "panic message survives: {what}");
+    let handle = checkpoint.expect("checkpoint-and-fail flushes an epoch");
+    assert_eq!(handle.dir, dir);
+    let resumed = verify_label_stabilization_resumed(
+        &rotate_ring(4),
+        &inputs,
+        &alphabet,
+        3,
+        Limits::default(),
+        &dir,
+    )
+    .unwrap();
+    assert_eq!(clean, resumed, "resume from the checkpoint-and-fail epoch");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Without a checkpoint policy, a persistent panic still fails typed —
+/// with no handle to resume from.
+#[test]
+fn persistent_panic_without_policy_has_no_handle() {
+    let (poisoned, _) = tripwire_ring(4, 100);
+    let err = verify_label_stabilization(
+        &poisoned,
+        &[0u64; 4],
+        &[false, true],
+        3,
+        Limits {
+            threads: 1,
+            ..Limits::default()
+        },
+    )
+    .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            VerifyError::PoisonedChunk {
+                checkpoint: None,
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+}
+
+/// `ExploreStats` sanity on a resumed run: the struct still carries the
+/// packed-layout figures (regression guard for the header round-trip).
+#[test]
+fn resumed_stats_carry_the_packed_layout() {
+    let p = rotate_ring(3);
+    let dir = scratch_dir("stats");
+    let limits = Limits {
+        checkpoint: Some(every_batch(&dir)),
+        ..Limits::default()
+    };
+    let (_, clean): (Verdict<bool>, ExploreStats) =
+        verify_label_stabilization_with_stats(&p, &[0u64; 3], &[false, true], 2, limits).unwrap();
+    let (_, resumed) = verify_label_stabilization_resumed(
+        &p,
+        &[0u64; 3],
+        &[false, true],
+        2,
+        Limits::default(),
+        &dir,
+    )
+    .unwrap();
+    assert_eq!(clean, resumed);
+    assert!(resumed.words_per_state >= 1 && resumed.state_bytes > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -446,8 +446,8 @@ proptest! {
         let alphabet: Vec<u64> = (0..q).collect();
         let limits = Limits { max_states: 500_000, ..Limits::default() };
 
-        let fast = verify_label_stabilization(&p, &inputs, &alphabet, r, limits).unwrap();
-        let naive = verify_label_stabilization_naive(&p, &inputs, &alphabet, r, limits).unwrap();
+        let fast = verify_label_stabilization(&p, &inputs, &alphabet, r, limits.clone()).unwrap();
+        let naive = verify_label_stabilization_naive(&p, &inputs, &alphabet, r, limits.clone()).unwrap();
         prop_assert_eq!(fast.is_stabilizing(), naive.is_stabilizing(), "label verdicts");
         for v in [&fast, &naive] {
             if let Verdict::NotStabilizing(w) = v {
@@ -457,7 +457,7 @@ proptest! {
             }
         }
 
-        let fast_o = verify_output_stabilization(&p, &inputs, &alphabet, r, limits).unwrap();
+        let fast_o = verify_output_stabilization(&p, &inputs, &alphabet, r, limits.clone()).unwrap();
         let naive_o = verify_output_stabilization_naive(&p, &inputs, &alphabet, r, limits).unwrap();
         prop_assert_eq!(fast_o.is_stabilizing(), naive_o.is_stabilizing(), "output verdicts");
         for v in [&fast_o, &naive_o] {
@@ -487,8 +487,9 @@ proptest! {
         let alphabet: Vec<u64> = (0..q).collect();
         let at = |threads: usize| {
             let limits = Limits { max_states: 500_000, threads, ..Limits::default() };
-            let label = verify_label_stabilization_with_stats(&p, &inputs, &alphabet, r, limits)
-                .unwrap();
+            let label =
+                verify_label_stabilization_with_stats(&p, &inputs, &alphabet, r, limits.clone())
+                    .unwrap();
             let output = verify_output_stabilization(&p, &inputs, &alphabet, r, limits).unwrap();
             (label, output)
         };
@@ -518,8 +519,9 @@ proptest! {
         let alphabet: Vec<u64> = (0..q).collect();
         let at = |scc: SccBackend, threads: usize| {
             let limits = Limits { max_states: 500_000, threads, scc, ..Limits::default() };
-            let label = verify_label_stabilization_with_stats(&p, &inputs, &alphabet, r, limits)
-                .unwrap();
+            let label =
+                verify_label_stabilization_with_stats(&p, &inputs, &alphabet, r, limits.clone())
+                    .unwrap();
             let output = verify_output_stabilization(&p, &inputs, &alphabet, r, limits).unwrap();
             (label, output)
         };
@@ -591,18 +593,21 @@ proptest! {
         let inputs = vec![0u64; n];
         let alphabet: Vec<u64> = (0..q).collect();
         let full_limits = Limits { max_states: 500_000, ..Limits::default() };
-        let full = verify_label_stabilization_with_stats(&p, &inputs, &alphabet, r, full_limits)
-            .unwrap();
-        let full_o = verify_output_stabilization(&p, &inputs, &alphabet, r, full_limits).unwrap();
+        let full =
+            verify_label_stabilization_with_stats(&p, &inputs, &alphabet, r, full_limits.clone())
+                .unwrap();
+        let full_o =
+            verify_output_stabilization(&p, &inputs, &alphabet, r, full_limits.clone()).unwrap();
         let at = |threads: usize, scc: SccBackend| {
             let limits = Limits {
                 threads,
                 scc,
                 symmetry: SymmetryMode::Auto,
-                ..full_limits
+                ..full_limits.clone()
             };
-            let label = verify_label_stabilization_with_stats(&p, &inputs, &alphabet, r, limits)
-                .unwrap();
+            let label =
+                verify_label_stabilization_with_stats(&p, &inputs, &alphabet, r, limits.clone())
+                    .unwrap();
             let output = verify_output_stabilization(&p, &inputs, &alphabet, r, limits).unwrap();
             (label, output)
         };

@@ -195,7 +195,7 @@ where
         if b.elapsed >= SAMPLE_TARGET || iters >= 1 << 30 {
             break;
         }
-        let per_iter = b.elapsed.as_nanos().max(1) / u128::from(iters);
+        let per_iter = (b.elapsed.as_nanos() / u128::from(iters)).max(1);
         let want = (SAMPLE_TARGET.as_nanos() * 5 / 4) / per_iter;
         iters = iters
             .max(1)
