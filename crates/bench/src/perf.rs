@@ -9,9 +9,11 @@
 use std::io::Write as _;
 use std::time::Instant;
 
+use stabilization_verify::cache::DEFAULT_BYTE_BUDGET;
 use stabilization_verify::{
-    explore_product, verify_label_stabilization_naive, verify_label_stabilization_with_stats,
-    CheckpointPolicy, Limits, SccBackend, SymmetryMode,
+    explore_product, sweep_byzantine_placements_cached, verify_label_stabilization_naive,
+    verify_label_stabilization_with_stats, CacheOutcome, CheckpointPolicy, Limits, SccBackend,
+    SymmetryMode, VerdictCache,
 };
 use stateless_core::checkpoint::CheckpointStore;
 use stateless_core::convergence::{
@@ -585,6 +587,96 @@ fn checkpoint_overhead_entry() -> String {
     )
 }
 
+/// Verdict-cache service throughput: the f = 1 Byzantine placement
+/// sweep of [`checkpoint_overhead_entry`]'s BFS instance (biring(4),
+/// root 0, cap 2, r = 1 — 4 placements), cold (a fresh
+/// [`VerdictCache`] per iteration, every placement a miss) vs warm
+/// (one shared prewarmed cache, every placement a hit). One extra
+/// previously-unseen fault-free job runs once outside the timed region,
+/// so the warm batch models `verifyd` replaying a job file with one new
+/// entry: 5 jobs, 4 hits, hit rate 0.8 — and the acceptance gate's
+/// "all but one job served from cache" shape. Hit rows are asserted
+/// bit-identical to the cold rows before anything is reported.
+fn cache_service_entry() -> String {
+    let (n, cap, r, f) = (4usize, 2u64, 1u8, 1usize);
+    let p = bfs_tree_protocol(topology::bidirectional_ring(n), 0, cap, FaultModel::none()).unwrap();
+    let inputs = vec![0u64; n];
+    let alphabet = bfs_alphabet(cap);
+    let sweep = |cache: &VerdictCache| {
+        sweep_byzantine_placements_cached(
+            &p,
+            &inputs,
+            &alphabet,
+            r,
+            Limits::default(),
+            f,
+            &[],
+            cache,
+        )
+        .unwrap()
+    };
+    let cold_rows = sweep(&VerdictCache::in_memory(DEFAULT_BYTE_BUDGET));
+    let placements = cold_rows.len();
+    let sweep_states: usize = cold_rows.iter().map(|row| row.stats.states).sum();
+    let cold = best_seconds(|| {
+        let rows = sweep(&VerdictCache::in_memory(DEFAULT_BYTE_BUDGET));
+        assert!(rows.iter().all(|row| row.cache == CacheOutcome::Miss));
+    });
+    let warm_cache = VerdictCache::in_memory(DEFAULT_BYTE_BUDGET);
+    let _prewarm = sweep(&warm_cache);
+    let warm = best_seconds(|| {
+        let rows = sweep(&warm_cache);
+        assert!(
+            rows.iter().all(|row| row.cache == CacheOutcome::Hit),
+            "warm sweep must be served entirely from cache"
+        );
+    });
+    let warm_rows = sweep(&warm_cache);
+    for (cold_row, warm_row) in cold_rows.iter().zip(&warm_rows) {
+        assert_eq!(cold_row.placement, warm_row.placement);
+        assert_eq!(
+            cold_row.verdict, warm_row.verdict,
+            "a hit must be bit-identical to the cold verdict"
+        );
+        assert_eq!(cold_row.stats, warm_row.stats);
+    }
+    // The one previously-unseen job of the warm batch: fault-free over
+    // the same protocol (a different fingerprint), computed once.
+    let extra = warm_cache
+        .verify_label(&p, &inputs, &alphabet, r, &Limits::default())
+        .unwrap();
+    assert_eq!(extra.outcome, CacheOutcome::Miss);
+    let (warm_jobs, warm_hits) = (placements + 1, placements);
+    emit_criterion_line(
+        &format!("perf/cache_service/{n}/cold"),
+        cold,
+        sweep_states as u64,
+    );
+    emit_criterion_line(
+        &format!("perf/cache_service/{n}/warm"),
+        warm,
+        sweep_states as u64,
+    );
+    format!(
+        concat!(
+            "{{\"n\":{},\"f\":{},\"r\":{},\"placements\":{},\"sweep_states\":{},",
+            "\"cold_states_per_s\":{:.0},\"warm_states_per_s\":{:.0},",
+            "\"warm_speedup\":{:.1},\"warm_jobs\":{},\"warm_hits\":{},\"hit_rate\":{:.3}}}"
+        ),
+        n,
+        f,
+        r,
+        placements,
+        sweep_states,
+        sweep_states as f64 / cold,
+        sweep_states as f64 / warm,
+        cold / warm,
+        warm_jobs,
+        warm_hits,
+        warm_hits as f64 / warm_jobs as f64
+    )
+}
+
 /// Async engine measurement at ring size `n`: steps/s under one schedule
 /// family, `Simulation::run` (buffered `activations_into`) vs the
 /// allocating one-`Vec`-per-step path every run loop used before the
@@ -719,8 +811,9 @@ pub fn summary_json(max_threads: usize) -> String {
         .collect();
     let byzantine = byzantine_scaling_rows();
     let checkpoint = checkpoint_overhead_entry();
+    let cache_service = cache_service_entry();
     format!(
-        "{{\n  \"suite\": \"stateless-computation perf summary\",\n  \"threads\": {},\n  \"engine_throughput\": [{}],\n  \"async_engine\": [{}],\n  \"label_stabilization\": {},\n  \"classify_sync\": {},\n  \"classify_detectors\": {},\n  \"round_complexity_sweep\": {},\n  \"verify_scaling\": [{}],\n  \"byzantine_scaling\": [{}],\n  \"checkpoint_overhead\": {}\n}}\n",
+        "{{\n  \"suite\": \"stateless-computation perf summary\",\n  \"threads\": {},\n  \"engine_throughput\": [{}],\n  \"async_engine\": [{}],\n  \"label_stabilization\": {},\n  \"classify_sync\": {},\n  \"classify_detectors\": {},\n  \"round_complexity_sweep\": {},\n  \"verify_scaling\": [{}],\n  \"byzantine_scaling\": [{}],\n  \"checkpoint_overhead\": {},\n  \"cache_service\": {}\n}}\n",
         threads,
         engine.join(", "),
         async_engine.join(", "),
@@ -730,6 +823,7 @@ pub fn summary_json(max_threads: usize) -> String {
         sweep,
         verify_scaling.join(", "),
         byzantine.join(", "),
-        checkpoint
+        checkpoint,
+        cache_service
     )
 }

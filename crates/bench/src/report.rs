@@ -283,6 +283,20 @@ fn summary_object_lines(section: &str, obj: &str, out: &mut Vec<BenchLine>) {
                 per_s(states, num("checkpointed_states_per_s")),
             );
         }
+        "cache_service" => {
+            let (Some(n), Some(states)) = (num("n"), num("sweep_states")) else {
+                return;
+            };
+            let n = n as u64;
+            push(
+                format!("perf/cache_service/{n}/cold"),
+                per_s(states, num("cold_states_per_s")),
+            );
+            push(
+                format!("perf/cache_service/{n}/warm"),
+                per_s(states, num("warm_states_per_s")),
+            );
+        }
         _ => {}
     }
 }
@@ -442,6 +456,14 @@ pub fn collect_trend(dir: &std::path::Path) -> std::io::Result<Vec<(String, Vec<
 /// largest framed segment a checkpoint resume must buffer, per state)
 /// is added on top — summaries predating crash-safe verification
 /// contribute zero scratch, so old baselines stay comparable.
+///
+/// Rows the table adapter would skip as sentinels must not reach the
+/// gate either: a non-finite or non-positive state count, or a byte
+/// total of zero (the `0` sentinel rows of sections that did not
+/// measure memory), would make the per-state ratio NaN/∞/0 and let
+/// [`check_memory_gate`] pass vacuously. Such rows are skipped here, so
+/// a summary with *only* sentinel rows yields `None` and the gate
+/// errors out instead of silently passing.
 pub fn memory_per_state(text: &str) -> Option<(u64, f64)> {
     let mut best: Option<(u64, f64)> = None;
     let mut scratch = 0.0f64;
@@ -453,7 +475,7 @@ pub fn memory_per_state(text: &str) -> Option<(u64, f64)> {
                     let (Some(n), Some(states)) = (num("n"), num("states")) else {
                         continue;
                     };
-                    if states <= 0.0 {
+                    if !states.is_finite() || states <= 0.0 {
                         continue;
                     }
                     let arena = num("packed_arena_bytes").unwrap_or(0.0);
@@ -461,7 +483,11 @@ pub fn memory_per_state(text: &str) -> Option<(u64, f64)> {
                     else {
                         continue;
                     };
-                    let candidate = (n as u64, (arena + edge) / states);
+                    let bytes = arena + edge;
+                    if !bytes.is_finite() || bytes <= 0.0 {
+                        continue;
+                    }
+                    let candidate = (n as u64, bytes / states);
                     if best.is_none_or(|(bn, _)| candidate.0 >= bn) {
                         best = Some(candidate);
                     }
@@ -470,7 +496,9 @@ pub fn memory_per_state(text: &str) -> Option<(u64, f64)> {
             Some("checkpoint_overhead") => {
                 for obj in objects_in(line) {
                     if let Some(s) = number_field(obj, "scratch_bytes_per_state") {
-                        scratch = scratch.max(s);
+                        if s.is_finite() && s > 0.0 {
+                            scratch = scratch.max(s);
+                        }
                     }
                 }
             }
@@ -494,6 +522,15 @@ pub fn check_memory_gate(baseline: &str, current: &str, slack: f64) -> Result<St
     let Some((cn, cb)) = memory_per_state(current) else {
         return Err("memory gate: current has no verify_scaling memory figures".into());
     };
+    // memory_per_state only admits finite positive rows, so these
+    // figures are well-formed by construction — but a gate must never
+    // trust its inputs: re-check before comparing, so a future parsing
+    // change can only make the gate fail loudly, not pass vacuously.
+    if !(bb.is_finite() && bb > 0.0 && cb.is_finite() && cb > 0.0) {
+        return Err(format!(
+            "memory gate: degenerate figures (baseline {bb} B/state, current {cb} B/state)"
+        ));
+    }
     let verdict = format!(
         "memory gate: baseline n={bn} {bb:.1} B/state, current n={cn} {cb:.1} B/state, \
          budget {slack:.2}x = {:.1} B/state",
@@ -623,7 +660,8 @@ mod tests {
         "  \"round_complexity_sweep\": {\"n\":14,\"labelings\":16384,\"threads\":1,\"sequential_ms\":12.000,\"parallel_ms\":6.000,\"speedup\":2.00},\n",
         "  \"verify_scaling\": [{\"n\":6,\"r\":2,\"threads\":2,\"states\":1000,\"edges\":9,\"naive_states_per_s\":250000,\"packed_states_per_s\":1000000,\"scc_ms\":4.000,\"scc_vs_t1\":1.50,\"tarjan_scc_ms\":5.000,\"sym_states\":100,\"quotient_ratio\":10.00,\"sym_states_per_s\":500000}, {\"n\":8,\"r\":2,\"states\":2000,\"edges\":9,\"naive_states_per_s\":100000,\"packed_states_per_s\":200000,\"scc_ms\":8.000,\"tarjan_scc_ms\":7.000,\"sym_states\":200,\"quotient_ratio\":10.00,\"sym_states_per_s\":1000000}, {\"n\":9,\"r\":2,\"states\":3000,\"edges\":9,\"naive_states_per_s\":0,\"packed_states_per_s\":300000,\"scc_ms\":9.000,\"tarjan_scc_ms\":8.000,\"sym_states\":0,\"quotient_ratio\":0.00,\"sym_states_per_s\":0}],\n",
         "  \"byzantine_scaling\": [{\"n\":4,\"f\":0,\"r\":1,\"states\":4000,\"states_per_s\":2000000,\"stabilizing\":true,\"f0_matches_faultfree\":true}, {\"n\":4,\"f\":1,\"r\":1,\"states\":20000,\"states_per_s\":1000000,\"stabilizing\":false,\"f0_matches_faultfree\":true}, {\"n\":4,\"model\":\"byz1crash1\",\"r\":1,\"states\":8000,\"states_per_s\":4000000,\"stabilizing\":false}],\n",
-        "  \"checkpoint_overhead\": {\"n\":4,\"f\":1,\"r\":1,\"states\":20000,\"every_states\":2500,\"plain_states_per_s\":1000000,\"checkpointed_states_per_s\":800000,\"overhead\":1.250,\"epochs\":2,\"epoch_bytes\":400000,\"checkpoint_scratch_bytes\":100000,\"scratch_bytes_per_state\":5.00}\n",
+        "  \"checkpoint_overhead\": {\"n\":4,\"f\":1,\"r\":1,\"states\":20000,\"every_states\":2500,\"plain_states_per_s\":1000000,\"checkpointed_states_per_s\":800000,\"overhead\":1.250,\"epochs\":2,\"epoch_bytes\":400000,\"checkpoint_scratch_bytes\":100000,\"scratch_bytes_per_state\":5.00},\n",
+        "  \"cache_service\": {\"n\":4,\"f\":1,\"r\":1,\"placements\":4,\"sweep_states\":40000,\"cold_states_per_s\":1000000,\"warm_states_per_s\":100000000,\"warm_speedup\":100.0,\"warm_jobs\":5,\"warm_hits\":4,\"hit_rate\":0.800}\n",
         "}\n",
     );
 
@@ -678,6 +716,10 @@ mod tests {
         // (checkpointed) states/s.
         assert_eq!(get("perf/checkpoint/4/plain"), 2e7);
         assert_eq!(get("perf/checkpoint/4/checkpointed"), 2.5e7);
+        // Verdict-cache service: 40000 sweep states at 1e6 (cold) / 1e8
+        // (warm, pure hits) states/s.
+        assert_eq!(get("perf/cache_service/4/cold"), 4e7);
+        assert_eq!(get("perf/cache_service/4/warm"), 4e5);
     }
 
     #[test]
@@ -755,6 +797,41 @@ mod tests {
         assert!(check_memory_gate(MEM_BASE, MEM_BAD, 1.25).is_err());
         // No figures at all → gate errors out rather than passing.
         assert!(check_memory_gate("{}", MEM_GOOD, 1.25).is_err());
+    }
+
+    #[test]
+    fn memory_gate_skips_sentinel_and_degenerate_rows() {
+        // A largest-n row whose byte fields carry the 0 sentinel (a
+        // summary section that did not measure memory) used to produce
+        // a 0 B/state "current" figure — and 0 ≤ any budget, so the
+        // gate passed vacuously. The sentinel row must be skipped and
+        // the next valid row decide instead.
+        let sentinel_largest: &str = "  \"verify_scaling\": [\
+            {\"n\":8,\"threads\":1,\"states\":1000,\"packed_arena_bytes\":8000,\"peak_edge_bytes\":32000}, \
+            {\"n\":10,\"threads\":1,\"states\":10000,\"packed_arena_bytes\":0,\"peak_edge_bytes\":0}]\n";
+        assert_eq!(memory_per_state(sentinel_largest), Some((8, 40.0)));
+        // Zero or non-finite state counts cannot divide: skipped too
+        // (NaN passed the old `states <= 0.0` guard — NaN comparisons
+        // are false — and the row divided to NaN per-state bytes).
+        let zero_states: &str = "  \"verify_scaling\": [\
+            {\"n\":10,\"threads\":1,\"states\":0,\"packed_arena_bytes\":80000,\"peak_edge_bytes\":100000}]\n";
+        assert_eq!(memory_per_state(zero_states), None);
+        let nan_states: &str = "  \"verify_scaling\": [\
+            {\"n\":10,\"threads\":1,\"states\":NaN,\"packed_arena_bytes\":80000,\"peak_edge_bytes\":100000}]\n";
+        assert_eq!(memory_per_state(nan_states), None);
+        // All rows sentinel → no figure at all → the gate errors
+        // instead of comparing against 0.
+        let all_sentinel: &str = "  \"verify_scaling\": [\
+            {\"n\":10,\"threads\":1,\"states\":10000,\"packed_arena_bytes\":0,\"peak_edge_bytes\":0}]\n";
+        assert_eq!(memory_per_state(all_sentinel), None);
+        assert!(check_memory_gate(MEM_BASE, all_sentinel, 1.25).is_err());
+        assert!(check_memory_gate(all_sentinel, MEM_GOOD, 1.25).is_err());
+        // A sentinel scratch figure must not disturb the resident sum.
+        let sentinel_scratch = format!(
+            "{MEM_GOOD}  \"checkpoint_overhead\": {{\"n\":4,\"states\":0,\
+             \"scratch_bytes_per_state\":0.00}}\n"
+        );
+        assert_eq!(memory_per_state(&sentinel_scratch), Some((10, 18.0)));
     }
 
     #[test]

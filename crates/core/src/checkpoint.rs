@@ -97,11 +97,32 @@ pub struct CheckpointStore {
 impl CheckpointStore {
     /// Opens (creating if needed) the checkpoint directory `dir`.
     ///
+    /// Stale `*.tmp` files — an epoch or manifest whose writer died
+    /// between [`begin_epoch`](CheckpointStore::begin_epoch) and the
+    /// atomic rename in [`commit`](CheckpointStore::commit) — are swept
+    /// on open: they were never published (commit renames before the
+    /// manifest mentions them), so removing them loses nothing, and
+    /// leaving them would accumulate orphans across crashes. Only this
+    /// store's own naming patterns (`epoch-*.ckpt.tmp`, `MANIFEST.tmp`)
+    /// are touched; removal is best-effort (a file another process just
+    /// renamed away is not an error).
+    ///
     /// # Errors
     ///
-    /// [`CheckpointError::Io`] if the directory cannot be created.
+    /// [`CheckpointError::Io`] if the directory cannot be created or
+    /// listed.
     pub fn open(dir: &Path) -> Result<Self, CheckpointError> {
         fs::create_dir_all(dir).map_err(|e| io_err("create dir", dir, e))?;
+        let entries = fs::read_dir(dir).map_err(|e| io_err("read dir", dir, e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err("read dir", dir, e))?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let orphaned_epoch = name.starts_with("epoch-") && name.ends_with(".ckpt.tmp");
+            if orphaned_epoch || name == "MANIFEST.tmp" {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
         Ok(CheckpointStore {
             dir: dir.to_path_buf(),
         })
@@ -650,6 +671,37 @@ mod tests {
         // Tear the manifest; the directory scan still finds both epochs.
         fs::write(dir.join("MANIFEST"), "stateless-checkpoint v1\nepoch 2\n").unwrap();
         assert_eq!(store.epochs().unwrap(), vec![1, 2]);
+        assert_eq!(store.latest_valid_epoch().unwrap(), Some(2));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_sweeps_orphaned_tmp_files() {
+        let dir = temp_dir("tmp-sweep");
+        let store = CheckpointStore::open(&dir).unwrap();
+        write_epoch(&store, 1, &[1, 2, 3], 4);
+        // Simulate a crash between begin_epoch and commit: the writer's
+        // tmp file survives the process.
+        let mut w = store.begin_epoch(2).unwrap();
+        w.begin_segment(7);
+        w.put_u64(99);
+        w.end_segment().unwrap();
+        drop(w);
+        // And a torn manifest rewrite.
+        fs::write(dir.join("MANIFEST.tmp"), "half a manifest").unwrap();
+        let tmp = dir.join("epoch-2.ckpt.tmp");
+        assert!(tmp.exists());
+        // A fresh open removes both orphans; committed state is intact,
+        // and an unrelated file is not touched.
+        fs::write(dir.join("notes.txt"), "keep me").unwrap();
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert!(!tmp.exists());
+        assert!(!dir.join("MANIFEST.tmp").exists());
+        assert!(dir.join("notes.txt").exists());
+        assert_eq!(store.epochs().unwrap(), vec![1]);
+        assert_eq!(store.latest_valid_epoch().unwrap(), Some(1));
+        // Epoch 2 can be rewritten cleanly after the sweep.
+        write_epoch(&store, 2, &[4, 5], 4);
         assert_eq!(store.latest_valid_epoch().unwrap(), Some(2));
         let _ = fs::remove_dir_all(&dir);
     }

@@ -51,15 +51,28 @@
 //! valid epoch — after verifying the stored instance fingerprint
 //! ([`checkpoint`] module docs) — to a verdict bit-identical to an
 //! uninterrupted run at any thread count.
+//!
+//! Repeated queries go through the [`cache`] module's [`VerdictCache`]:
+//! exact memoization keyed by the instance fingerprint (which excludes
+//! thread counts, SCC backend, and deadlines — they never change the
+//! verdict), with LRU eviction under a byte budget, optional
+//! checksummed on-disk persistence, and `Partial`-as-resume-pointer
+//! semantics so a deadline-truncated run is *continued*, never served
+//! as an answer. The cached sweep variants
+//! ([`sweep_byzantine_placements_cached`] /
+//! [`sweep_crash_placements_cached`]) route every placement through a
+//! shared cache and report per-row hit/miss/resumed provenance.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod checkpoint;
 pub mod product;
 pub mod stable;
 pub mod sweep;
 
+pub use cache::{CacheOutcome, CachedVerdict, Provenance, VerdictCache};
 pub use checkpoint::{CheckpointHandle, CheckpointPolicy, ResumeError};
 #[doc(hidden)]
 pub use product::{
@@ -70,12 +83,14 @@ pub use product::{
 pub use product::{
     verify_label_stabilization, verify_label_stabilization_resumed,
     verify_label_stabilization_with_stats, verify_output_stabilization,
-    verify_output_stabilization_resumed, CycleWitness, ExploreStats, Limits, SccBackend, Verdict,
-    VerifyError,
+    verify_output_stabilization_resumed, verify_output_stabilization_with_stats, CycleWitness,
+    ExploreStats, Limits, SccBackend, Verdict, VerifyError,
 };
 pub use stable::enumerate_stable_labelings;
 pub use stateless_core::fault::FaultModel;
 pub use stateless_core::symmetry::SymmetryMode;
 pub use sweep::{
-    byzantine_placements, sweep_byzantine_placements, sweep_crash_placements, PlacementVerdict,
+    byzantine_placements, sweep_byzantine_placements, sweep_byzantine_placements_cached,
+    sweep_crash_placements, sweep_crash_placements_cached, CachedPlacementVerdict,
+    PlacementVerdict,
 };

@@ -2544,8 +2544,26 @@ pub fn verify_output_stabilization<L: Label>(
     r: u8,
     limits: Limits,
 ) -> Result<Verdict<L>, VerifyError> {
+    verify_output_stabilization_with_stats(protocol, inputs, alphabet, r, limits).map(|(v, _)| v)
+}
+
+/// [`verify_output_stabilization`], also reporting the size of the
+/// explored product graph — the output-mode twin of
+/// [`verify_label_stabilization_with_stats`] (the verdict cache stores
+/// stats for both query modes).
+///
+/// # Errors
+///
+/// As for [`verify_label_stabilization`].
+pub fn verify_output_stabilization_with_stats<L: Label>(
+    protocol: &Protocol<L>,
+    inputs: &[Input],
+    alphabet: &[L],
+    r: u8,
+    limits: Limits,
+) -> Result<(Verdict<L>, ExploreStats), VerifyError> {
     let explored = Explorer::explore(protocol, inputs, alphabet, r, true, &limits)?;
-    Ok(settle(explored, &limits).0)
+    Ok(settle(explored, &limits))
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,194 @@
+//! `verifyd` — the batch verdict service.
+//!
+//! Reads line-JSON verification jobs (see [`jobs::Job::parse`]) from
+//! stdin or a watched spool directory — no network anywhere — routes
+//! every instance through a shared memoized
+//! [`VerdictCache`], and emits one line-JSON verdict row per instance
+//! with `cache: hit|miss|resumed` provenance.
+//!
+//! # Modes
+//!
+//! **Stdin** (default): one job per line on stdin, one result row per
+//! instance on stdout, in job order.
+//!
+//! ```text
+//! echo '{"id":"j1","graph":"biring","n":4,"cap":2,"r":1,"f":1}' | verifyd
+//! ```
+//!
+//! **Spool** (`--spool DIR`): scans `DIR` for `*.jobs` files (sorted by
+//! name), processes each batch, writes `<stem>.results` next to it
+//! (tmp-then-rename, so a reader never sees a torn file), renames the
+//! input to `<name>.done`, and keeps polling every `--poll-ms` unless
+//! `--once`.
+//!
+//! # Flags
+//!
+//! | flag | meaning |
+//! |---|---|
+//! | `--spool DIR` | watch `DIR` for `*.jobs` batches instead of stdin |
+//! | `--once` | spool mode: process what is there, then exit |
+//! | `--poll-ms MS` | spool poll interval (default 200) |
+//! | `--cache-dir DIR` | persist the verdict cache in `DIR` (survives restarts) |
+//! | `--budget BYTES` | cache byte budget (default 64 MiB) |
+//! | `--threads N` | worker threads per verification (default 0 = all cores) |
+
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use stabilization_verify::cache::DEFAULT_BYTE_BUDGET;
+use stabilization_verify::VerdictCache;
+
+mod jobs;
+
+use jobs::{error_row, run_job, Job};
+
+struct Config {
+    spool: Option<PathBuf>,
+    once: bool,
+    poll_ms: u64,
+    cache_dir: Option<PathBuf>,
+    budget: usize,
+    threads: usize,
+}
+
+fn parse_args() -> Result<Config, String> {
+    let mut config = Config {
+        spool: None,
+        once: false,
+        poll_ms: 200,
+        cache_dir: None,
+        budget: DEFAULT_BYTE_BUDGET,
+        threads: 0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| args.next().ok_or(format!("{what} needs a value"));
+        match arg.as_str() {
+            "--spool" => config.spool = Some(PathBuf::from(value("--spool")?)),
+            "--once" => config.once = true,
+            "--poll-ms" => {
+                config.poll_ms = value("--poll-ms")?
+                    .parse()
+                    .map_err(|_| "--poll-ms must be an integer")?;
+            }
+            "--cache-dir" => config.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--budget" => {
+                config.budget = value("--budget")?
+                    .parse()
+                    .map_err(|_| "--budget must be an integer byte count")?;
+            }
+            "--threads" => {
+                config.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads must be an integer")?;
+            }
+            other => return Err(format!("unknown flag \"{other}\" (see the crate docs)")),
+        }
+    }
+    Ok(config)
+}
+
+/// Runs every job line of `text`, appending result rows to `out`.
+fn run_batch(text: &str, cache: &VerdictCache, config: &Config, out: &mut Vec<String>) {
+    // Deadline checkpoints live beside the cache so resume pointers
+    // stay valid across restarts of a persistent service.
+    let ckpt_root = config.cache_dir.as_deref();
+    for line in text.lines() {
+        match Job::parse(line) {
+            Ok(Some(job)) => out.extend(run_job(&job, cache, config.threads, ckpt_root)),
+            Ok(None) => {}
+            Err(what) => out.push(error_row("", &format!("bad job line: {what}"))),
+        }
+    }
+}
+
+fn run_stdin(cache: &VerdictCache, config: &Config) -> Result<(), String> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut stdout = stdout.lock();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("reading stdin: {e}"))?;
+        let mut rows = Vec::new();
+        run_batch(&line, cache, config, &mut rows);
+        for row in rows {
+            writeln!(stdout, "{row}").map_err(|e| format!("writing stdout: {e}"))?;
+        }
+        stdout.flush().map_err(|e| format!("writing stdout: {e}"))?;
+    }
+    Ok(())
+}
+
+/// One spool pass: returns how many batch files were processed.
+fn spool_pass(dir: &Path, cache: &VerdictCache, config: &Config) -> Result<usize, String> {
+    let listing = std::fs::read_dir(dir).map_err(|e| format!("reading spool {dir:?}: {e}"))?;
+    let mut batches: Vec<PathBuf> = listing
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|path| path.extension().is_some_and(|ext| ext == "jobs"))
+        .collect();
+    batches.sort();
+    for batch in &batches {
+        let text = std::fs::read_to_string(batch).map_err(|e| format!("reading {batch:?}: {e}"))?;
+        let mut rows = Vec::new();
+        run_batch(&text, cache, config, &mut rows);
+        // Results land tmp-then-rename so a concurrent reader never
+        // sees a torn file, then the input is marked done — exactly
+        // once even if we crash between the two (a reprocessed batch
+        // is all cache hits and rewrites identical results).
+        let results = batch.with_extension("results");
+        let tmp = batch.with_extension("results.tmp");
+        std::fs::write(&tmp, rows.join("\n") + "\n")
+            .map_err(|e| format!("writing {tmp:?}: {e}"))?;
+        std::fs::rename(&tmp, &results).map_err(|e| format!("renaming {tmp:?}: {e}"))?;
+        let done = batch.with_extension("jobs.done");
+        std::fs::rename(batch, &done).map_err(|e| format!("renaming {batch:?}: {e}"))?;
+        eprintln!(
+            "verifyd: {} -> {} ({} rows)",
+            batch.display(),
+            results.display(),
+            rows.len()
+        );
+    }
+    Ok(batches.len())
+}
+
+fn run_spool(dir: &Path, cache: &VerdictCache, config: &Config) -> Result<(), String> {
+    loop {
+        spool_pass(dir, cache, config)?;
+        if config.once {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(config.poll_ms));
+    }
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args() {
+        Ok(config) => config,
+        Err(what) => {
+            eprintln!("verifyd: {what}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cache = match &config.cache_dir {
+        Some(dir) => match VerdictCache::open(dir, config.budget) {
+            Ok(cache) => cache,
+            Err(e) => {
+                eprintln!("verifyd: opening cache dir {dir:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => VerdictCache::in_memory(config.budget),
+    };
+    let outcome = match &config.spool {
+        Some(dir) => run_spool(dir, &cache, &config),
+        None => run_stdin(&cache, &config),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(what) => {
+            eprintln!("verifyd: {what}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -542,3 +542,52 @@ fn resumed_stats_carry_the_packed_layout() {
     assert!(resumed.words_per_state >= 1 && resumed.state_bytes > 0);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Satellite (PR 10): a process that dies between `begin_epoch` and
+/// `commit` leaves an orphaned `epoch-*.ckpt.tmp` behind; reopening the
+/// store — which is what a checkpointed verification or a resume does
+/// first — must sweep the orphan while leaving every committed epoch
+/// loadable. The crash is simulated by running a checkpointed
+/// verification (committed epochs), then dropping an uncommitted
+/// `SegmentWriter` and a torn `MANIFEST.tmp` into the same store.
+#[test]
+fn crashed_commit_orphans_are_swept_on_reopen() {
+    let p = rotate_ring(4);
+    let inputs = [0u64; 4];
+    let alphabet = [false, true];
+    let r = 3;
+    let dir = scratch_dir("orphan-sweep");
+    let limits = Limits {
+        checkpoint: Some(every_batch(&dir)),
+        ..Limits::default()
+    };
+    let clean =
+        verify_label_stabilization_with_stats(&p, &inputs, &alphabet, r, limits.clone()).unwrap();
+
+    // Crash simulation: an epoch write that never reached commit, plus a
+    // manifest rewrite torn mid-flight.
+    let store = CheckpointStore::open(&dir).unwrap();
+    let committed = store.epochs().unwrap();
+    let next = committed.last().unwrap() + 1;
+    let mut w = store.begin_epoch(next).unwrap();
+    w.begin_segment(1);
+    w.put_u64(0xdead);
+    w.end_segment().unwrap();
+    drop(w); // process dies before CheckpointStore::commit
+    std::fs::write(dir.join("MANIFEST.tmp"), "torn").unwrap();
+    let orphan = dir.join(format!("epoch-{next}.ckpt.tmp"));
+    assert!(orphan.exists(), "crash must leave the tmp file behind");
+
+    // Reopening sweeps both orphans and keeps the committed trail.
+    let store = CheckpointStore::open(&dir).unwrap();
+    assert!(!orphan.exists(), "stale epoch tmp must be swept on open");
+    assert!(!dir.join("MANIFEST.tmp").exists());
+    assert_eq!(store.epochs().unwrap(), committed);
+
+    // The swept store still resumes to the bit-identical verdict.
+    let resumed =
+        verify_label_stabilization_resumed(&p, &inputs, &alphabet, r, Limits::default(), &dir)
+            .unwrap();
+    assert_eq!(clean, resumed, "sweep must not disturb committed epochs");
+    let _ = std::fs::remove_dir_all(&dir);
+}
